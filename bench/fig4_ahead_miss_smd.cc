@@ -1,0 +1,82 @@
+// Figure 4: on the 28 SMD subsets, the number of subsets where CAD's Ahead
+// (vs each baseline) is at least x, and where CAD's Miss is at most x, as
+// the ratio threshold x varies from 0 to 1. The paper plots these counts as
+// curves; this binary prints the series at x = 0, 0.1, ..., 1.0.
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "eval/ahead_miss.h"
+#include "harness/harness.h"
+
+namespace cad::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_repeats=*/1);
+  const std::vector<std::string> methods = args.MethodRoster();
+  const int n_subsets = 28;
+
+  std::printf("Figure 4: #SMD subsets with Ahead >= x / Miss <= x (CAD vs M2)\n\n");
+
+  std::map<std::string, std::vector<double>> ahead, miss;
+  for (int subset = 1; subset <= n_subsets; ++subset) {
+    const datasets::LabeledDataset dataset = MakeBenchDataset(
+        "SMD-" + std::to_string(subset), 800, 1100, 3, args.scale);
+
+    const std::vector<MethodResult> results = EvaluateMethods(
+        dataset, methods, args.repeats, subset * 977, /*cad_warmup=*/false);
+    const MethodResult* cad = nullptr;
+    for (const MethodResult& r : results) {
+      if (r.name == "CAD") cad = &r;
+    }
+    CAD_CHECK(cad != nullptr, "Figure 4 needs CAD in the roster");
+    const eval::Labels m1 =
+        BinarizeAtBestThreshold(cad->runs[0].scores, dataset.labels,
+                                eval::Adjustment::kDelayPointAdjust);
+    for (const MethodResult& result : results) {
+      if (result.name == "CAD") continue;
+      const eval::Labels m2 =
+          BinarizeAtBestThreshold(result.runs[0].scores, dataset.labels,
+                                  eval::Adjustment::kDelayPointAdjust);
+      const eval::AheadMiss cmp = eval::CompareAheadMiss(m1, m2, dataset.labels);
+      ahead[result.name].push_back(cmp.ahead);
+      miss[result.name].push_back(cmp.miss);
+    }
+    std::fprintf(stderr, "[fig4] subset %d/%d done\n", subset, n_subsets);
+  }
+
+  auto print_series = [&](const char* title,
+                          const std::map<std::string, std::vector<double>>& data,
+                          bool at_least) {
+    std::printf("%s\n", title);
+    std::vector<std::string> header = {"Method"};
+    for (int i = 0; i <= 10; ++i) {
+      header.push_back("x=" + FormatDouble(i / 10.0, 1));
+    }
+    TablePrinter table(header);
+    for (const auto& [name, values] : data) {
+      std::vector<std::string> row = {name};
+      for (int i = 0; i <= 10; ++i) {
+        const double x = i / 10.0;
+        int count = 0;
+        for (double v : values) {
+          if (at_least ? v >= x - 1e-12 : v <= x + 1e-12) ++count;
+        }
+        row.push_back(std::to_string(count));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  };
+
+  print_series("#subsets with Ahead >= x:", ahead, /*at_least=*/true);
+  print_series("#subsets with Miss <= x:", miss, /*at_least=*/false);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

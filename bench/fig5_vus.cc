@@ -1,0 +1,88 @@
+// Figure 5: VUS-ROC and VUS-PR after PA and after DPA for every method on
+// PSM, SWaT, IS-1 and IS-2 (the paper shows these as bar groups; this
+// binary prints one table per measure).
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "harness/harness.h"
+
+namespace cad::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_repeats=*/1);
+  const std::vector<std::string> methods = args.MethodRoster();
+
+  struct DatasetSetup {
+    std::string name;
+    int train_length;
+    int test_length;
+    int n_anomalies;
+  };
+  const std::vector<DatasetSetup> setups = {
+      {"PSM", 1200, 1600, 4},
+      {"SWaT", 1200, 1600, 4},
+      {"IS-1", 600, 1200, 3},
+      {"IS-2", 600, 1200, 3},
+  };
+
+  eval::VusOptions vus_options;
+  vus_options.max_window = 16;
+  vus_options.window_step = 8;
+  vus_options.grid_step = 0.02;
+
+  std::printf("Figure 5: VUS-ROC / VUS-PR after PA and DPA\n\n");
+
+  // rows[measure][method] -> cells per dataset.
+  const char* kMeasures[] = {"VUS-ROC(PA)", "VUS-ROC(DPA)", "VUS-PR(PA)",
+                             "VUS-PR(DPA)"};
+  std::map<std::string, std::map<std::string, std::vector<std::string>>> rows;
+
+  for (const DatasetSetup& setup : setups) {
+    const datasets::LabeledDataset dataset =
+        MakeBenchDataset(setup.name, setup.train_length, setup.test_length,
+                         setup.n_anomalies, args.scale);
+
+    const std::vector<MethodResult> results =
+        EvaluateMethods(dataset, methods, args.repeats);
+    for (const MethodResult& result : results) {
+      double roc_pa = 0.0, roc_dpa = 0.0, pr_pa = 0.0, pr_dpa = 0.0;
+      for (const MethodRun& run : result.runs) {
+        roc_pa += eval::VusRoc(run.scores, dataset.labels,
+                               eval::Adjustment::kPointAdjust, vus_options);
+        roc_dpa += eval::VusRoc(run.scores, dataset.labels,
+                                eval::Adjustment::kDelayPointAdjust, vus_options);
+        pr_pa += eval::VusPr(run.scores, dataset.labels,
+                             eval::Adjustment::kPointAdjust, vus_options);
+        pr_dpa += eval::VusPr(run.scores, dataset.labels,
+                              eval::Adjustment::kDelayPointAdjust, vus_options);
+      }
+      const double n = static_cast<double>(result.runs.size());
+      rows[kMeasures[0]][result.name].push_back(Percent(roc_pa / n));
+      rows[kMeasures[1]][result.name].push_back(Percent(roc_dpa / n));
+      rows[kMeasures[2]][result.name].push_back(Percent(pr_pa / n));
+      rows[kMeasures[3]][result.name].push_back(Percent(pr_dpa / n));
+    }
+    std::fprintf(stderr, "[fig5] %s done\n", dataset.name.c_str());
+  }
+
+  for (const char* measure : kMeasures) {
+    std::printf("%s\n", measure);
+    TablePrinter table({"Method", "PSM", "SWaT", "IS-1", "IS-2"});
+    for (const std::string& name : methods) {
+      std::vector<std::string> row = {name};
+      const auto& cells = rows[measure][name];
+      row.insert(row.end(), cells.begin(), cells.end());
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

@@ -1,0 +1,224 @@
+#include "harness/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "baselines/cad_adapter.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace cad::bench {
+
+BenchArgs BenchArgs::Parse(int argc, char** argv, int default_repeats) {
+  BenchArgs args;
+  args.repeats = default_repeats;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--repeats") {
+      args.repeats = std::atoi(next());
+    } else if (flag == "--scale") {
+      args.scale = std::atof(next());
+    } else if (flag == "--methods") {
+      args.methods = Split(next(), ',');
+    } else if (flag == "--help") {
+      std::cout << "flags: --repeats N  --scale X  --methods a,b,c\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << flag << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  if (args.repeats < 1) args.repeats = 1;
+  if (args.scale <= 0.0) args.scale = 1.0;
+  return args;
+}
+
+datasets::DatasetProfile Scaled(datasets::DatasetProfile profile,
+                                double scale) {
+  profile.train_length = static_cast<int>(profile.train_length * scale);
+  profile.test_length = static_cast<int>(profile.test_length * scale);
+  return profile;
+}
+
+datasets::LabeledDataset MakeBenchDataset(const std::string& name,
+                                          int train_length, int test_length,
+                                          int n_anomalies, double scale) {
+  datasets::DatasetProfile profile;
+  if (name.rfind("SMD-", 0) == 0) {
+    profile = datasets::SmdSubsetProfile(std::atoi(name.c_str() + 4));
+  } else {
+    profile = datasets::ProfileByName(name).ValueOrDie();
+  }
+  profile.train_length = static_cast<int>(train_length * scale);
+  profile.test_length = static_cast<int>(test_length * scale);
+  profile.n_anomalies = n_anomalies;
+  return datasets::MakeDataset(profile);
+}
+
+std::vector<MethodResult> EvaluateMethods(
+    const datasets::LabeledDataset& dataset,
+    const std::vector<std::string>& names, int repeats, uint64_t base_seed,
+    bool cad_warmup) {
+  std::vector<MethodResult> results;
+  for (const std::string& name : names) {
+    MethodResult result;
+    result.name = name;
+    {
+      auto probe = baselines::MakeMethod(name, dataset.recommended, base_seed);
+      result.deterministic = probe->deterministic();
+    }
+    const int n_runs = result.deterministic ? 1 : repeats;
+    for (int run = 0; run < n_runs; ++run) {
+      auto method = baselines::MakeMethod(name, dataset.recommended,
+                                          base_seed + 7919ull * run);
+      MethodRun record;
+      Stopwatch fit_timer;
+      const bool skip_fit = name == "CAD" && !cad_warmup;
+      if (dataset.has_train() && !skip_fit) {
+        const Status status = method->Fit(dataset.train);
+        CAD_CHECK(status.ok(),
+                  name + " Fit failed: " + status.ToString());
+      }
+      record.fit_seconds = fit_timer.ElapsedSeconds();
+
+      Stopwatch score_timer;
+      Result<std::vector<double>> scores = method->Score(dataset.test);
+      CAD_CHECK(scores.ok(), name + " Score failed: " + scores.status().ToString());
+      record.score_seconds = score_timer.ElapsedSeconds();
+      record.scores = std::move(scores).value();
+
+      if (auto* cad = dynamic_cast<baselines::CadAdapter*>(method.get())) {
+        const core::DetectionReport& report = *cad->last_report();
+        record.seconds_per_round = report.seconds_per_round;
+        for (const core::Anomaly& anomaly : report.anomalies) {
+          record.sensor_predictions.push_back(
+              {{anomaly.start_time, anomaly.end_time}, anomaly.sensors});
+        }
+        // For CAD the paper reports warm-up as "training" time.
+        record.fit_seconds = report.warmup_seconds;
+        record.score_seconds = report.detect_seconds;
+      }
+      result.runs.push_back(std::move(record));
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+MetricSummary Summarize(const std::vector<double>& values) {
+  MetricSummary summary;
+  if (values.empty()) return summary;
+  double sum = 0.0;
+  summary.min = values[0];
+  for (double v : values) {
+    sum += v;
+    if (v < summary.min) summary.min = v;
+  }
+  summary.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - summary.mean) * (v - summary.mean);
+  summary.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return summary;
+}
+
+MetricSummary BestF1Summary(const MethodResult& result,
+                            const eval::Labels& truth, eval::Adjustment mode,
+                            double grid_step) {
+  std::vector<double> f1s;
+  for (const MethodRun& run : result.runs) {
+    f1s.push_back(eval::BestF1Search(run.scores, truth, mode, grid_step).f1);
+  }
+  return Summarize(f1s);
+}
+
+std::vector<eval::SensorPrediction> SensorPredictionsFromScores(
+    const std::vector<std::vector<double>>& sensor_scores,
+    const eval::Labels& binary_pred) {
+  std::vector<eval::SensorPrediction> predictions;
+  for (const eval::Segment& segment : eval::ExtractSegments(binary_pred)) {
+    std::vector<double> means(sensor_scores.size(), 0.0);
+    double best = 0.0;
+    for (size_t i = 0; i < sensor_scores.size(); ++i) {
+      for (int t = segment.begin; t < segment.end; ++t) {
+        means[i] += sensor_scores[i][t];
+      }
+      means[i] /= static_cast<double>(segment.end - segment.begin);
+      best = std::max(best, means[i]);
+    }
+    eval::SensorPrediction prediction;
+    prediction.segment = segment;
+    for (size_t i = 0; i < means.size(); ++i) {
+      if (best > 0.0 && means[i] >= 0.5 * best) {
+        prediction.sensors.push_back(static_cast<int>(i));
+      }
+    }
+    predictions.push_back(std::move(prediction));
+  }
+  return predictions;
+}
+
+eval::Labels BinarizeAtBestThreshold(const std::vector<double>& scores,
+                                     const eval::Labels& truth,
+                                     eval::Adjustment mode, double grid_step) {
+  const eval::BestF1 best = eval::BestF1Search(scores, truth, mode, grid_step);
+  eval::Labels pred(scores.size(), 0);
+  for (size_t t = 0; t < scores.size(); ++t) {
+    pred[t] = scores[t] >= best.threshold ? 1 : 0;
+  }
+  return pred;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) line += "  ";
+      line += Pad(rows_[r][c], c == 0 ? -static_cast<int>(widths[c])
+                                      : static_cast<int>(widths[c]));
+    }
+    std::puts(line.c_str());
+    if (r == 0) {
+      std::string rule;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        if (c > 0) rule += "  ";
+        rule.append(widths[c], '-');
+      }
+      std::puts(rule.c_str());
+    }
+  }
+}
+
+std::string Percent(double fraction, int precision) {
+  return FormatDouble(fraction * 100.0, precision);
+}
+
+std::string Seconds(double seconds, int precision) {
+  return FormatDouble(seconds, precision);
+}
+
+}  // namespace cad::bench

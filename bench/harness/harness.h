@@ -1,0 +1,120 @@
+// Shared machinery for the per-table/figure benchmark binaries: running the
+// ten methods over a labelled dataset with repeats, computing the paper's
+// metrics, and printing aligned tables.
+//
+// Every binary accepts:
+//   --repeats N   repeats for stochastic methods (default per binary)
+//   --scale X     scales dataset lengths by X (e.g. 0.5 for a smoke run)
+//   --methods a,b restricts the method roster
+// so the default `for b in build/bench/*; do $b; done` sweep finishes on a
+// laptop while full-fidelity runs remain one flag away.
+#ifndef CAD_BENCH_HARNESS_HARNESS_H_
+#define CAD_BENCH_HARNESS_HARNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/method_registry.h"
+#include "datasets/registry.h"
+#include "eval/adjust.h"
+#include "eval/threshold.h"
+
+namespace cad::bench {
+
+struct BenchArgs {
+  int repeats = 3;
+  double scale = 1.0;
+  std::vector<std::string> methods;  // empty = all ten
+
+  // Parses argv; exits with a usage message on unknown flags.
+  static BenchArgs Parse(int argc, char** argv, int default_repeats);
+
+  std::vector<std::string> MethodRoster() const {
+    return methods.empty() ? baselines::AllMethodNames() : methods;
+  }
+};
+
+// Applies --scale to a profile's lengths (anomaly count is kept).
+datasets::DatasetProfile Scaled(datasets::DatasetProfile profile, double scale);
+
+// Builds a bench dataset: profile `name` ("PSM", "SWaT", "IS-1".. or
+// "SMD-<i>") with train/test lengths and anomaly count overridden, then
+// scaled by `scale`.
+datasets::LabeledDataset MakeBenchDataset(const std::string& name,
+                                          int train_length, int test_length,
+                                          int n_anomalies, double scale);
+
+// One run of one method on one dataset.
+struct MethodRun {
+  std::vector<double> scores;
+  double fit_seconds = 0.0;
+  double score_seconds = 0.0;
+  // Populated for CAD only: per-anomaly sensor attribution + TPR.
+  std::vector<eval::SensorPrediction> sensor_predictions;
+  double seconds_per_round = 0.0;
+};
+
+struct MethodResult {
+  std::string name;
+  bool deterministic = false;
+  std::vector<MethodRun> runs;  // 1 for deterministic methods
+};
+
+// Runs each method on the dataset; stochastic methods run `repeats` times
+// with distinct seeds, deterministic ones once. `cad_warmup=false` skips the
+// historical split for CAD only (the paper's SMD protocol: other methods
+// still train on it).
+std::vector<MethodResult> EvaluateMethods(
+    const datasets::LabeledDataset& dataset,
+    const std::vector<std::string>& names, int repeats, uint64_t base_seed = 1,
+    bool cad_warmup = true);
+
+// Converts per-sensor score series into per-anomaly sensor predictions: for
+// every contiguous segment of `binary_pred`, the sensors whose mean score
+// within the segment is at least half of the best sensor's mean. Used to
+// evaluate F1_sensor for ECOD and RCoders (Table IV).
+std::vector<eval::SensorPrediction> SensorPredictionsFromScores(
+    const std::vector<std::vector<double>>& sensor_scores,
+    const eval::Labels& binary_pred);
+
+// Mean / std / min summary of a per-run metric.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+};
+
+MetricSummary Summarize(const std::vector<double>& values);
+
+// Best F1 per run under the adjustment, summarized across runs.
+MetricSummary BestF1Summary(const MethodResult& result,
+                            const eval::Labels& truth, eval::Adjustment mode,
+                            double grid_step = 0.005);
+
+// Binarizes a run's scores at its own best-F1(DPA) threshold — the paper's
+// protocol before computing Ahead/Miss.
+eval::Labels BinarizeAtBestThreshold(const std::vector<double>& scores,
+                                     const eval::Labels& truth,
+                                     eval::Adjustment mode,
+                                     double grid_step = 0.005);
+
+// ---- table printing ------------------------------------------------------
+
+// Prints a header + rows with right-aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Percent(double fraction, int precision = 1);  // 0.897 -> "89.7"
+std::string Seconds(double seconds, int precision = 1);
+
+}  // namespace cad::bench
+
+#endif  // CAD_BENCH_HARNESS_HARNESS_H_

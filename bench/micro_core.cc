@@ -1,0 +1,123 @@
+// Micro benchmarks (google-benchmark) for CAD's per-round building blocks:
+// window correlation matrix, TSG construction, Louvain, and a complete
+// OutlierDetection round — the costs behind Table VII's TPR and the O(n log n)
+// claim of Section IV-F.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/round_processor.h"
+#include "datasets/generator.h"
+#include "graph/knn_graph.h"
+#include "graph/louvain.h"
+#include "stats/correlation.h"
+
+namespace cad {
+namespace {
+
+ts::MultivariateSeries MakeSeries(int n_sensors, int length) {
+  Rng rng(42);
+  datasets::GeneratorOptions options;
+  options.n_sensors = n_sensors;
+  options.n_communities = std::max(2, n_sensors / 12);
+  datasets::SensorNetworkGenerator generator(options, &rng);
+  return generator.Generate(length, &rng);
+}
+
+constexpr int kWindow = 64;
+
+void BM_WindowCorrelationMatrix(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ts::MultivariateSeries series = MakeSeries(n, kWindow * 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::WindowCorrelationMatrix(series, 0, kWindow));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_WindowCorrelationMatrix)->Arg(26)->Arg(128)->Arg(512)->Complexity();
+
+void BM_BuildKnnGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ts::MultivariateSeries series = MakeSeries(n, kWindow * 2);
+  const stats::CorrelationMatrix corr =
+      stats::WindowCorrelationMatrix(series, 0, kWindow);
+  const graph::KnnGraphOptions options{.k = 10, .tau = 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BuildKnnGraph(corr, options));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BuildKnnGraph)->Arg(26)->Arg(128)->Arg(512)->Complexity();
+
+void BM_Louvain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ts::MultivariateSeries series = MakeSeries(n, kWindow * 2);
+  const stats::CorrelationMatrix corr =
+      stats::WindowCorrelationMatrix(series, 0, kWindow);
+  const graph::Graph tsg =
+      graph::BuildKnnGraph(corr, {.k = 10, .tau = 0.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::Louvain(tsg));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Louvain)->Arg(26)->Arg(128)->Arg(512)->Complexity();
+
+void BM_OutlierDetectionRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ts::MultivariateSeries series = MakeSeries(n, 4096 + kWindow);
+  core::CadOptions options;
+  options.window = kWindow;
+  options.step = 4;
+  options.k = 10;
+  options.tau = 0.5;
+  core::RoundProcessor processor(n, options);
+  int start = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(processor.ProcessWindow(series, start));
+    start = (start + options.step) % 4096;
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_OutlierDetectionRound)->Arg(26)->Arg(128)->Arg(512)->Complexity();
+
+void BM_OutlierDetectionRoundIncremental(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ts::MultivariateSeries series = MakeSeries(n, 4096 + kWindow);
+  core::CadOptions options;
+  options.window = kWindow;
+  options.step = 4;
+  options.k = 10;
+  options.tau = 0.5;
+  options.incremental_correlation = true;  // O(n^2 s) instead of O(n^2 w)
+  core::RoundProcessor processor(n, options);
+  int start = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(processor.ProcessWindow(series, start));
+    start += options.step;
+    if (start + kWindow > 4096) {
+      start = 0;  // the tracker resets itself on the wraparound
+    }
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_OutlierDetectionRoundIncremental)
+    ->Arg(26)
+    ->Arg(128)
+    ->Arg(512)
+    ->Complexity();
+
+void BM_WindowCorrelationMatrixThreaded(benchmark::State& state) {
+  const int n = 512;
+  const int threads = static_cast<int>(state.range(0));
+  const ts::MultivariateSeries series = MakeSeries(n, kWindow * 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::WindowCorrelationMatrix(
+        series, 0, kWindow, stats::CorrelationKind::kPearson, threads));
+  }
+}
+BENCHMARK(BM_WindowCorrelationMatrixThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace cad
+
+BENCHMARK_MAIN();

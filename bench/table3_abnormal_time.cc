@@ -1,0 +1,85 @@
+// Table III: abnormal time detection by PA and DPA on PSM, SWaT, IS-1 and
+// IS-2 — F1_PA and F1_DPA per method (mean ± std over repeats for the
+// stochastic methods) plus the average rank across all eight score columns.
+//
+// Dataset lengths default to laptop-scale fractions of the paper's (see
+// EXPERIMENTS.md); pass --scale to grow them.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "eval/rank.h"
+#include "harness/harness.h"
+
+namespace cad::bench {
+namespace {
+
+struct DatasetSetup {
+  std::string name;
+  int train_length;
+  int test_length;
+  int n_anomalies;
+};
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_repeats=*/3);
+  const std::vector<DatasetSetup> setups = {
+      {"PSM", 1500, 2000, 5},
+      {"SWaT", 1500, 2200, 5},
+      {"IS-1", 700, 1400, 4},
+      {"IS-2", 700, 1400, 4},
+  };
+  const std::vector<std::string> methods = args.MethodRoster();
+
+  std::printf("Table III: abnormal time detection by PA and DPA\n");
+  std::printf("(repeats=%d, scale=%.2f)\n\n", args.repeats, args.scale);
+
+  // columns[i] holds every method's score in one (dataset, metric) column
+  // for the average-rank computation.
+  std::vector<std::vector<double>> rank_columns(setups.size() * 2);
+  std::vector<std::vector<std::string>> cells(methods.size());
+
+  for (size_t d = 0; d < setups.size(); ++d) {
+    const datasets::LabeledDataset dataset =
+        MakeBenchDataset(setups[d].name, setups[d].train_length,
+                         setups[d].test_length, setups[d].n_anomalies,
+                         args.scale);
+
+    const std::vector<MethodResult> results =
+        EvaluateMethods(dataset, methods, args.repeats);
+    for (size_t m = 0; m < results.size(); ++m) {
+      const MetricSummary pa = BestF1Summary(results[m], dataset.labels,
+                                             eval::Adjustment::kPointAdjust);
+      const MetricSummary dpa = BestF1Summary(
+          results[m], dataset.labels, eval::Adjustment::kDelayPointAdjust);
+      rank_columns[2 * d].push_back(pa.mean);
+      rank_columns[2 * d + 1].push_back(dpa.mean);
+      if (results[m].deterministic) {
+        cells[m].push_back(Percent(pa.mean));
+        cells[m].push_back(Percent(dpa.mean));
+      } else {
+        cells[m].push_back(Percent(pa.mean) + "+-" + Percent(pa.stddev));
+        cells[m].push_back(Percent(dpa.mean) + "+-" + Percent(dpa.stddev));
+      }
+    }
+    std::fprintf(stderr, "[table3] %s done\n", dataset.name.c_str());
+  }
+
+  const std::vector<double> avg_rank = eval::AverageRanks(rank_columns);
+
+  TablePrinter table({"Method", "PSM F1_PA", "PSM F1_DPA", "SWaT F1_PA",
+                      "SWaT F1_DPA", "IS-1 F1_PA", "IS-1 F1_DPA",
+                      "IS-2 F1_PA", "IS-2 F1_DPA", "Rank"});
+  for (size_t m = 0; m < methods.size(); ++m) {
+    std::vector<std::string> row = {methods[m]};
+    row.insert(row.end(), cells[m].begin(), cells[m].end());
+    row.push_back(FormatDouble(avg_rank[m], 1));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

@@ -1,0 +1,87 @@
+// Table V: the DaE relative measures Ahead and Miss of CAD (M1) against
+// every baseline (M2) on PSM, SWaT, IS-1 and IS-2. Each method's score
+// series is binarized at its own best-F1(DPA) threshold, per the paper's
+// protocol, before comparing first-detection times per ground-truth anomaly.
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "eval/ahead_miss.h"
+#include "harness/harness.h"
+
+namespace cad::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_repeats=*/1);
+  const std::vector<std::string> methods = args.MethodRoster();
+
+  struct DatasetSetup {
+    std::string name;
+    int train_length;
+    int test_length;
+    int n_anomalies;
+  };
+  const std::vector<DatasetSetup> setups = {
+      {"PSM", 1500, 2600, 7},
+      {"SWaT", 1500, 2600, 7},
+      {"IS-1", 700, 1600, 5},
+      {"IS-2", 700, 1600, 5},
+  };
+
+  std::printf("Table V: Ahead (Ah) and Miss (Ms) of CAD vs each method\n\n");
+
+  // rows[method] = 8 cells (Ah, Ms per dataset).
+  std::map<std::string, std::vector<std::string>> rows;
+  for (const DatasetSetup& setup : setups) {
+    const datasets::LabeledDataset dataset =
+        MakeBenchDataset(setup.name, setup.train_length, setup.test_length,
+                         setup.n_anomalies, args.scale);
+
+    const std::vector<MethodResult> results =
+        EvaluateMethods(dataset, methods, args.repeats);
+    // CAD's binarized prediction (M1).
+    const MethodResult* cad = nullptr;
+    for (const MethodResult& r : results) {
+      if (r.name == "CAD") cad = &r;
+    }
+    CAD_CHECK(cad != nullptr, "Table V needs CAD in the roster");
+    const eval::Labels m1 =
+        BinarizeAtBestThreshold(cad->runs[0].scores, dataset.labels,
+                                eval::Adjustment::kDelayPointAdjust);
+
+    for (const MethodResult& result : results) {
+      if (result.name == "CAD") continue;
+      // Average Ahead/Miss over the method's repeats.
+      double ahead = 0.0, miss = 0.0;
+      for (const MethodRun& run : result.runs) {
+        const eval::Labels m2 = BinarizeAtBestThreshold(
+            run.scores, dataset.labels, eval::Adjustment::kDelayPointAdjust);
+        const eval::AheadMiss cmp = eval::CompareAheadMiss(m1, m2, dataset.labels);
+        ahead += cmp.ahead;
+        miss += cmp.miss;
+      }
+      ahead /= static_cast<double>(result.runs.size());
+      miss /= static_cast<double>(result.runs.size());
+      rows[result.name].push_back(Percent(ahead));
+      rows[result.name].push_back(Percent(miss));
+    }
+    std::fprintf(stderr, "[table5] %s done\n", dataset.name.c_str());
+  }
+
+  TablePrinter table({"CAD vs", "PSM Ah", "PSM Ms", "SWaT Ah", "SWaT Ms",
+                      "IS-1 Ah", "IS-1 Ms", "IS-2 Ah", "IS-2 Ms"});
+  for (const std::string& name : methods) {
+    if (name == "CAD") continue;
+    std::vector<std::string> row = {name};
+    row.insert(row.end(), rows[name].begin(), rows[name].end());
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

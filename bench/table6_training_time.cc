@@ -1,0 +1,71 @@
+// Table VI: training time (seconds) of the MTS methods on PSM, SWaT, IS-1,
+// IS-2 and one SMD subset. For CAD "training" is the warm-up pass; for the
+// univariate methods the paper reports no training time (they are fitted on
+// the input), marked "/".
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "harness/harness.h"
+
+namespace cad::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_repeats=*/1);
+  const std::set<std::string> mts_methods = {"CAD",     "LOF",  "ECOD",
+                                             "IForest", "USAD", "RCoders"};
+
+  struct DatasetSetup {
+    std::string name;
+    int train_length;
+    int test_length;
+    int n_anomalies;
+  };
+  const std::vector<DatasetSetup> setups = {
+      {"PSM", 1500, 2000, 5},  {"SWaT", 1500, 2200, 5}, {"IS-1", 700, 1400, 4},
+      {"IS-2", 700, 1400, 4},  {"SMD-1", 800, 1100, 3},
+  };
+
+  std::printf("Table VI: training time of all MTS methods (seconds)\n\n");
+
+  std::map<std::string, std::vector<std::string>> rows;
+  for (const DatasetSetup& setup : setups) {
+    const datasets::LabeledDataset dataset =
+        MakeBenchDataset(setup.name, setup.train_length, setup.test_length,
+                         setup.n_anomalies, args.scale);
+
+    std::vector<std::string> roster;
+    for (const std::string& name : args.MethodRoster()) {
+      if (mts_methods.count(name)) roster.push_back(name);
+    }
+    const std::vector<MethodResult> results =
+        EvaluateMethods(dataset, roster, args.repeats);
+    for (const MethodResult& result : results) {
+      double fit = 0.0;
+      for (const MethodRun& run : result.runs) fit += run.fit_seconds;
+      fit /= static_cast<double>(result.runs.size());
+      rows[result.name].push_back(Seconds(fit, 2));
+    }
+    std::fprintf(stderr, "[table6] %s done\n", dataset.name.c_str());
+  }
+
+  TablePrinter table({"Method", "PSM", "SWaT", "IS-1", "IS-2", "SMD"});
+  for (const std::string& name : args.MethodRoster()) {
+    std::vector<std::string> row = {name};
+    if (mts_methods.count(name)) {
+      row.insert(row.end(), rows[name].begin(), rows[name].end());
+    } else {
+      row.insert(row.end(), 5, "/");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

@@ -1,0 +1,72 @@
+// Table VII: testing time of all methods (seconds) plus CAD's Time Per
+// Round (TPR, milliseconds) — the quantity that determines the maximum
+// real-time sampling frequency freq < s / TPR (paper Section VI-D).
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "harness/harness.h"
+
+namespace cad::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*default_repeats=*/1);
+  const std::vector<std::string> methods = args.MethodRoster();
+
+  struct DatasetSetup {
+    std::string name;
+    int train_length;
+    int test_length;
+    int n_anomalies;
+  };
+  const std::vector<DatasetSetup> setups = {
+      {"PSM", 1500, 2000, 5},  {"SWaT", 1500, 2200, 5}, {"IS-1", 700, 1400, 4},
+      {"IS-2", 700, 1400, 4},  {"SMD-1", 800, 1100, 3},
+  };
+
+  std::printf("Table VII: testing time (seconds); TPR = CAD ms per round\n\n");
+
+  std::map<std::string, std::vector<std::string>> rows;
+  std::vector<std::string> tpr_row = {"TPR (ms)"};
+  for (const DatasetSetup& setup : setups) {
+    const datasets::LabeledDataset dataset =
+        MakeBenchDataset(setup.name, setup.train_length, setup.test_length,
+                         setup.n_anomalies, args.scale);
+
+    const std::vector<MethodResult> results =
+        EvaluateMethods(dataset, methods, args.repeats);
+    for (const MethodResult& result : results) {
+      double score_seconds = 0.0;
+      for (const MethodRun& run : result.runs) {
+        score_seconds += run.score_seconds;
+      }
+      score_seconds /= static_cast<double>(result.runs.size());
+      rows[result.name].push_back(Seconds(score_seconds, 2));
+      if (result.name == "CAD") {
+        tpr_row.push_back(
+            FormatDouble(result.runs[0].seconds_per_round * 1e3, 2));
+      }
+    }
+    std::fprintf(stderr, "[table7] %s done\n", dataset.name.c_str());
+  }
+
+  TablePrinter table({"Method", "PSM", "SWaT", "IS-1", "IS-2", "SMD"});
+  for (const std::string& name : methods) {
+    std::vector<std::string> row = {name};
+    row.insert(row.end(), rows[name].begin(), rows[name].end());
+    table.AddRow(std::move(row));
+    if (name == "CAD") table.AddRow(tpr_row);
+  }
+  table.Print();
+
+  std::printf(
+      "\nReal-time capacity: CAD sustains sampling frequencies up to\n"
+      "freq < step / TPR for each dataset (paper Section VI-D).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

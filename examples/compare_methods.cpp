@@ -1,0 +1,105 @@
+// Method comparison on one dataset with the paper's Delay-aware Evaluation:
+// runs CAD and a chosen set of baselines on a synthetic PSM-like dataset and
+// prints F1_PA, F1_DPA, and Ahead/Miss of CAD against each baseline.
+//
+//   ./compare_methods                 # CAD vs LOF, ECOD, IForest, S2G
+//   ./compare_methods USAD RCoders    # pick your own baselines
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/method_registry.h"
+#include "baselines/parallel_ensemble.h"
+#include "datasets/registry.h"
+#include "eval/ahead_miss.h"
+#include "eval/threshold.h"
+
+namespace {
+
+cad::eval::Labels Binarize(const std::vector<double>& scores,
+                           const cad::eval::Labels& truth) {
+  const cad::eval::BestF1 best = cad::eval::BestF1Search(
+      scores, truth, cad::eval::Adjustment::kDelayPointAdjust, 0.005);
+  cad::eval::Labels pred(scores.size(), 0);
+  for (size_t t = 0; t < scores.size(); ++t) {
+    pred[t] = scores[t] >= best.threshold ? 1 : 0;
+  }
+  return pred;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> baselines = {"LOF", "ECOD", "IForest", "S2G"};
+  if (argc > 1) {
+    baselines.assign(argv + 1, argv + argc);
+  }
+
+  cad::datasets::DatasetProfile profile =
+      cad::datasets::ProfileByName("PSM").ValueOrDie();
+  profile.train_length = 1500;
+  profile.test_length = 2000;
+  profile.n_anomalies = 5;
+  const cad::datasets::LabeledDataset dataset =
+      cad::datasets::MakeDataset(profile);
+  std::printf("Dataset: %s analogue, %d sensors, %d test points, %zu anomalies\n\n",
+              dataset.name.c_str(), dataset.test.n_sensors(),
+              dataset.test.length(), dataset.anomalies.size());
+
+  auto evaluate = [&](const std::string& name) {
+    auto method = cad::baselines::MakeMethod(name, dataset.recommended, 42);
+    if (dataset.has_train()) {
+      const cad::Status status = method->Fit(dataset.train);
+      CAD_CHECK(status.ok(), status.ToString());
+    }
+    return method->Score(dataset.test).ValueOrDie();
+  };
+
+  const std::vector<double> cad_scores = evaluate("CAD");
+  const cad::eval::Labels cad_pred = Binarize(cad_scores, dataset.labels);
+  auto f1 = [&](const std::vector<double>& scores, cad::eval::Adjustment mode) {
+    return cad::eval::BestF1Search(scores, dataset.labels, mode, 0.005).f1;
+  };
+
+  std::printf("%-10s %8s %8s %9s %8s\n", "Method", "F1_PA", "F1_DPA",
+              "CAD Ahead", "CAD Miss");
+  std::printf("%-10s %7.1f%% %7.1f%% %9s %8s\n", "CAD",
+              100.0 * f1(cad_scores, cad::eval::Adjustment::kPointAdjust),
+              100.0 * f1(cad_scores, cad::eval::Adjustment::kDelayPointAdjust),
+              "-", "-");
+
+  for (const std::string& name : baselines) {
+    const std::vector<double> scores = evaluate(name);
+    const cad::eval::AheadMiss daes = cad::eval::CompareAheadMiss(
+        cad_pred, Binarize(scores, dataset.labels), dataset.labels);
+    std::printf("%-10s %7.1f%% %7.1f%% %8.1f%% %7.1f%%\n", name.c_str(),
+                100.0 * f1(scores, cad::eval::Adjustment::kPointAdjust),
+                100.0 * f1(scores, cad::eval::Adjustment::kDelayPointAdjust),
+                100.0 * daes.ahead, 100.0 * daes.miss);
+  }
+  // The Section IV-F suggestion: CAD in parallel with a point detector
+  // covers amplitude-only anomalies CAD alone cannot see.
+  {
+    std::vector<std::unique_ptr<cad::baselines::Detector>> members;
+    members.push_back(
+        cad::baselines::MakeMethod("CAD", dataset.recommended, 42));
+    members.push_back(
+        cad::baselines::MakeMethod("ECOD", dataset.recommended, 42));
+    cad::baselines::ParallelEnsemble ensemble(std::move(members));
+    if (dataset.has_train()) {
+      CAD_CHECK(ensemble.Fit(dataset.train).ok(), "ensemble fit failed");
+    }
+    const std::vector<double> scores =
+        ensemble.Score(dataset.test).ValueOrDie();
+    std::printf("%-10s %7.1f%% %7.1f%% %9s %8s   (Section IV-F ensemble)\n",
+                ensemble.name().c_str(),
+                100.0 * f1(scores, cad::eval::Adjustment::kPointAdjust),
+                100.0 * f1(scores, cad::eval::Adjustment::kDelayPointAdjust),
+                "-", "-");
+  }
+
+  std::printf(
+      "\nAhead: share of CAD-detected anomalies CAD found before the "
+      "baseline.\nMiss: share of CAD-missed anomalies the baseline caught.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Predictive maintenance scenario: an assembly line whose gearbox sensors
+// begin to decorrelate *gradually* (a mixed correlation-break + drift fault,
+// the failure-propagation situation of the paper's introduction). The
+// example shows the maintenance workflow: alarm lead time before the fault
+// becomes severe, and which components to inspect first.
+//
+//   ./predictive_maintenance
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cad_detector.h"
+#include "datasets/anomaly_injector.h"
+#include "datasets/generator.h"
+
+int main() {
+  // The "assembly line": 48 sensors across 6 stations.
+  cad::Rng rng(77);
+  cad::datasets::GeneratorOptions generator_options;
+  generator_options.n_sensors = 48;
+  generator_options.n_communities = 6;
+  generator_options.noise_std = 0.25;
+  generator_options.seasonal_period = 160;  // shift pattern
+  cad::datasets::SensorNetworkGenerator generator(generator_options, &rng);
+
+  cad::ts::MultivariateSeries history = generator.Generate(2000, &rng);
+  cad::ts::MultivariateSeries monitored = generator.Generate(2600, &rng);
+
+  // The developing gearbox fault on station 2: starts as a pure correlation
+  // deviation at t=1400 and is declared "severe" (visible damage) at 1700.
+  const int fault_onset = 1400;
+  const int severe_at = 1700;
+  cad::datasets::AnomalyEvent fault;
+  fault.type = cad::datasets::AnomalyType::kMixed;
+  fault.start = fault_onset;
+  fault.duration = 400;
+  fault.sensors = generator.CommunityMembers(2);
+  fault.sensors.resize(4);  // four bearings of the gearbox
+  fault.magnitude = 2.0;
+  cad::datasets::InjectAnomalies(generator, {fault}, &monitored, &rng);
+
+  cad::core::CadOptions options;
+  options.window = 80;
+  options.step = 2;
+  options.k = 7;
+  options.tau = 0.5;
+  options.min_sigma = 0.3;
+  cad::core::CadDetector detector(options);
+  const cad::core::DetectionReport report =
+      detector.Detect(monitored, &history).ValueOrDie();
+
+  std::printf("Assembly line: 48 sensors, 6 stations.\n");
+  std::printf("Gearbox fault develops from t=%d; severe damage from t=%d.\n\n",
+              fault_onset, severe_at);
+
+  const cad::core::Anomaly* first_hit = nullptr;
+  for (const cad::core::Anomaly& anomaly : report.anomalies) {
+    if (anomaly.end_time > fault_onset &&
+        anomaly.start_time < fault_onset + fault.duration) {
+      first_hit = &anomaly;
+      break;
+    }
+  }
+  if (first_hit == nullptr) {
+    std::printf("No alarm overlapped the fault — inspection missed!\n");
+    return 1;
+  }
+
+  std::printf("First alarm at t=%d.\n", first_hit->detection_time);
+  std::printf("Lead time before severe damage: %d sampling periods.\n",
+              severe_at - first_hit->detection_time);
+
+  // Inspection short-list: sensors CAD attributes, mapped to stations.
+  std::printf("\nInspection short-list (sensor -> station):\n");
+  for (int sensor : first_hit->sensors) {
+    const int station = generator.community_of()[sensor];
+    const bool truly_faulty =
+        std::find(fault.sensors.begin(), fault.sensors.end(), sensor) !=
+        fault.sensors.end();
+    std::printf("  sensor %-3d station %d%s\n", sensor, station,
+                truly_faulty ? "   <- actual fault location" : "");
+  }
+
+  // How much operator attention the short-list saves.
+  const double ruled_out =
+      1.0 - static_cast<double>(first_hit->sensors.size()) /
+                static_cast<double>(monitored.n_sensors());
+  std::printf("\n%.0f%% of sensors safely ruled out for this inspection.\n",
+              ruled_out * 100.0);
+  return 0;
+}

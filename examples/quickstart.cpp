@@ -1,0 +1,75 @@
+// Quickstart: generate a small correlated sensor network, inject one
+// correlation-break anomaly, run CAD, and print what it found.
+//
+//   ./quickstart
+//
+// This is the 60-second tour of the public API:
+//   datasets::SensorNetworkGenerator / InjectAnomalies  (synthetic data)
+//   core::CadOptions / core::CadDetector                (the detector)
+//   core::DetectionReport                               (results)
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cad_detector.h"
+#include "datasets/anomaly_injector.h"
+#include "datasets/generator.h"
+
+int main() {
+  // --- 1. A machine with 16 sensors in 4 correlated groups. ---------------
+  cad::Rng rng(2024);
+  cad::datasets::GeneratorOptions generator_options;
+  generator_options.n_sensors = 16;
+  generator_options.n_communities = 4;
+  generator_options.noise_std = 0.2;
+  cad::datasets::SensorNetworkGenerator generator(generator_options, &rng);
+
+  // Historical (healthy) data for the warm-up, then the monitored stream.
+  cad::ts::MultivariateSeries history = generator.Generate(1200, &rng);
+  cad::ts::MultivariateSeries live = generator.Generate(1800, &rng);
+
+  // --- 2. A fault: three sensors of group 0 decorrelate at t = 900. -------
+  cad::datasets::AnomalyEvent fault;
+  fault.type = cad::datasets::AnomalyType::kCorrelationBreak;
+  fault.start = 900;
+  fault.duration = 200;
+  fault.sensors = generator.CommunityMembers(0);
+  fault.sensors.resize(3);
+  const auto labels =
+      cad::datasets::InjectAnomalies(generator, {fault}, &live, &rng);
+
+  std::printf("Injected a correlation break at t=[%d, %d) on sensors:",
+              fault.start, fault.start + fault.duration);
+  for (int sensor : fault.sensors) std::printf(" %d", sensor);
+  std::printf("\n\n");
+
+  // --- 3. Configure and run CAD. -------------------------------------------
+  cad::core::CadOptions options;
+  options.window = 60;  // ~3% of the live stream
+  options.step = 2;
+  options.k = 4;        // nearest correlated neighbours per sensor
+  options.tau = 0.5;    // prune weaker correlations from the TSG
+  options.min_sigma = 0.3;  // alarm on >= ~2 simultaneous variations
+  cad::core::CadDetector detector(options);
+
+  const cad::core::DetectionReport report =
+      detector.Detect(live, &history).ValueOrDie();
+
+  // --- 4. Inspect the results. ---------------------------------------------
+  std::printf("Processed %zu rounds in %.3f s (%.2f ms per round).\n",
+              report.rounds.size(), report.detect_seconds,
+              report.seconds_per_round * 1e3);
+  std::printf("Detected %zu anomal%s:\n", report.anomalies.size(),
+              report.anomalies.size() == 1 ? "y" : "ies");
+  for (const cad::core::Anomaly& anomaly : report.anomalies) {
+    std::printf(
+        "  time [%4d, %4d)  first alarm at t=%-4d  affected sensors:",
+        anomaly.start_time, anomaly.end_time, anomaly.detection_time);
+    for (int sensor : anomaly.sensors) std::printf(" %d", sensor);
+    std::printf("\n");
+  }
+  if (!report.anomalies.empty()) {
+    const int delay = report.anomalies.front().detection_time - fault.start;
+    std::printf("\nFirst alarm fired %d points after fault onset.\n", delay);
+  }
+  return 0;
+}

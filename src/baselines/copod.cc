@@ -1,0 +1,79 @@
+#include "baselines/copod.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::baselines {
+
+namespace {
+
+double Skewness(std::span<const double> x) {
+  const size_t n = x.size();
+  if (n < 3) return 0.0;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : x) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 < 1e-12) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double SafeNegLog(double p, size_t sample_size) {
+  const double floor = 0.5 / static_cast<double>(sample_size + 1);
+  return -std::log(p > floor ? p : floor);
+}
+
+}  // namespace
+
+Status Copod::Fit(const ts::MultivariateSeries& train) {
+  if (train.empty()) return Status::InvalidArgument("empty training series");
+  ecdf_.clear();
+  skewness_.clear();
+  for (int i = 0; i < train.n_sensors(); ++i) {
+    ecdf_.emplace_back(train.sensor(i));
+    skewness_.push_back(Skewness(train.sensor(i)));
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Copod::Score(const ts::MultivariateSeries& test) {
+  if (!fitted_) {
+    CAD_RETURN_NOT_OK(Fit(test));
+  }
+  if (static_cast<int>(ecdf_.size()) != test.n_sensors()) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  const double n_dims = static_cast<double>(test.n_sensors());
+  std::vector<double> scores(test.length(), 0.0);
+  std::vector<double> left(test.length(), 0.0);
+  std::vector<double> right(test.length(), 0.0);
+  std::vector<double> corrected(test.length(), 0.0);
+  for (int i = 0; i < test.n_sensors(); ++i) {
+    const stats::Ecdf& ecdf = ecdf_[i];
+    const bool use_left = skewness_[i] < 0.0;
+    auto x = test.sensor(i);
+    for (int t = 0; t < test.length(); ++t) {
+      const double l = SafeNegLog(ecdf.Left(x[t]), ecdf.sample_size());
+      const double r = SafeNegLog(ecdf.Right(x[t]), ecdf.sample_size());
+      left[t] += l;
+      right[t] += r;
+      corrected[t] += use_left ? l : r;
+    }
+  }
+  for (int t = 0; t < test.length(); ++t) {
+    scores[t] =
+        std::max({left[t], right[t], corrected[t]}) / n_dims;  // mean tail
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

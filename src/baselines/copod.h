@@ -1,0 +1,31 @@
+// COPOD — Copula-Based Outlier Detection (Li et al., ICDM 2020, reference
+// [47] of the paper): empirical-copula tail probabilities per dimension,
+// aggregated as the maximum of the averaged left, right and
+// skewness-corrected negative log tail probabilities. ECOD's sibling with a
+// mean aggregation instead of a sum.
+#ifndef CAD_BASELINES_COPOD_H_
+#define CAD_BASELINES_COPOD_H_
+
+#include "baselines/detector.h"
+#include "stats/ecdf.h"
+
+namespace cad::baselines {
+
+class Copod : public Detector {
+ public:
+  std::string name() const override { return "COPOD"; }
+  bool deterministic() const override { return true; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  bool fitted_ = false;
+  std::vector<stats::Ecdf> ecdf_;  // per sensor
+  std::vector<double> skewness_;   // per sensor
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_COPOD_H_

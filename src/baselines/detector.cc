@@ -1,0 +1,19 @@
+#include "baselines/detector.h"
+
+#include <algorithm>
+
+namespace cad::baselines {
+
+void MinMaxNormalize(std::vector<double>* scores) {
+  if (scores->empty()) return;
+  auto [lo_it, hi_it] = std::minmax_element(scores->begin(), scores->end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi - lo < 1e-12) {
+    std::fill(scores->begin(), scores->end(), 0.0);
+    return;
+  }
+  const double inv = 1.0 / (hi - lo);
+  for (double& v : *scores) v = (v - lo) * inv;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,59 @@
+// Common interface for all anomaly detectors compared in the paper's
+// evaluation (Section VI-A): three data-mining methods (LOF, ECOD, IForest),
+// two deep reconstruction methods (USAD, RCoders), four univariate methods
+// lifted to MTS (S2G, SAND, SAND*, NormA) and CAD itself via an adapter.
+//
+// Contract: Fit() consumes the training/historical split (it may be a no-op
+// for methods that fit on the test data like the paper's unsupervised
+// univariate methods); Score() returns one anomaly score per test time
+// point, min-max normalized into [0, 1] (higher = more abnormal), ready for
+// the evaluation stack's threshold grid search.
+#ifndef CAD_BASELINES_DETECTOR_H_
+#define CAD_BASELINES_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::baselines {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string name() const = 0;
+
+  // Whether repeated runs produce identical scores (Table VIII groups
+  // methods by this).
+  virtual bool deterministic() const = 0;
+
+  // Trains / fits on the historical split. Implementations that need no
+  // training data return OK immediately.
+  virtual Status Fit(const ts::MultivariateSeries& train) = 0;
+
+  // Scores every time point of `test` in [0, 1].
+  virtual Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) = 0;
+
+  // Sensor-level attribution: scores_per_sensor[i][t] in [0, 1]. Only ECOD
+  // and RCoders provide this in the paper (Table IV's F1_sensor comparison);
+  // the default reports non-support.
+  virtual bool provides_sensor_scores() const { return false; }
+  virtual Result<std::vector<std::vector<double>>> SensorScores(
+      const ts::MultivariateSeries& test) {
+    (void)test;
+    return Status::FailedPrecondition(name() +
+                                      " does not provide sensor scores");
+  }
+};
+
+// Min-max normalizes raw scores into [0, 1] in place; a constant score
+// vector maps to all zeros.
+void MinMaxNormalize(std::vector<double>* scores);
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_DETECTOR_H_

@@ -1,0 +1,111 @@
+#include "baselines/ecod.h"
+
+#include <cmath>
+
+namespace cad::baselines {
+
+namespace {
+
+double Skewness(std::span<const double> x) {
+  const size_t n = x.size();
+  if (n < 3) return 0.0;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : x) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 < 1e-12) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+// Tail probability floored away from zero so -log stays finite; the floor is
+// half of one empirical mass unit (the convention PyOD's ECOD uses).
+double SafeNegLog(double p, size_t sample_size) {
+  const double floor = 0.5 / static_cast<double>(sample_size + 1);
+  return -std::log(p > floor ? p : floor);
+}
+
+}  // namespace
+
+Status Ecod::Fit(const ts::MultivariateSeries& train) {
+  if (train.empty()) return Status::InvalidArgument("empty training series");
+  ecdf_.clear();
+  skewness_.clear();
+  ecdf_.reserve(train.n_sensors());
+  for (int i = 0; i < train.n_sensors(); ++i) {
+    ecdf_.emplace_back(train.sensor(i));
+    skewness_.push_back(Skewness(train.sensor(i)));
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Status Ecod::EnsureFitted(const ts::MultivariateSeries& fallback) {
+  if (fitted_) {
+    if (static_cast<int>(ecdf_.size()) != fallback.n_sensors()) {
+      return Status::InvalidArgument("sensor count differs from fitted data");
+    }
+    return Status::Ok();
+  }
+  return Fit(fallback);
+}
+
+Result<std::vector<std::vector<double>>> Ecod::DimensionScores(
+    const ts::MultivariateSeries& test) const {
+  std::vector<std::vector<double>> per_sensor(
+      test.n_sensors(), std::vector<double>(test.length(), 0.0));
+  for (int i = 0; i < test.n_sensors(); ++i) {
+    const stats::Ecdf& ecdf = ecdf_[i];
+    const bool use_left = skewness_[i] < 0.0;
+    auto x = test.sensor(i);
+    for (int t = 0; t < test.length(); ++t) {
+      const double left = SafeNegLog(ecdf.Left(x[t]), ecdf.sample_size());
+      const double right = SafeNegLog(ecdf.Right(x[t]), ecdf.sample_size());
+      per_sensor[i][t] = use_left ? left : right;
+    }
+  }
+  return per_sensor;
+}
+
+Result<std::vector<double>> Ecod::Score(const ts::MultivariateSeries& test) {
+  CAD_RETURN_NOT_OK(EnsureFitted(test));
+  std::vector<double> scores(test.length(), 0.0);
+  std::vector<double> sum_left(test.length(), 0.0);
+  std::vector<double> sum_right(test.length(), 0.0);
+  std::vector<double> sum_auto(test.length(), 0.0);
+  for (int i = 0; i < test.n_sensors(); ++i) {
+    const stats::Ecdf& ecdf = ecdf_[i];
+    const bool use_left = skewness_[i] < 0.0;
+    auto x = test.sensor(i);
+    for (int t = 0; t < test.length(); ++t) {
+      const double left = SafeNegLog(ecdf.Left(x[t]), ecdf.sample_size());
+      const double right = SafeNegLog(ecdf.Right(x[t]), ecdf.sample_size());
+      sum_left[t] += left;
+      sum_right[t] += right;
+      sum_auto[t] += use_left ? left : right;
+    }
+  }
+  for (int t = 0; t < test.length(); ++t) {
+    scores[t] = std::max({sum_left[t], sum_right[t], sum_auto[t]});
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+Result<std::vector<std::vector<double>>> Ecod::SensorScores(
+    const ts::MultivariateSeries& test) {
+  CAD_RETURN_NOT_OK(EnsureFitted(test));
+  Result<std::vector<std::vector<double>>> per_sensor = DimensionScores(test);
+  if (!per_sensor.ok()) return per_sensor.status();
+  std::vector<std::vector<double>> scores = std::move(per_sensor).value();
+  for (std::vector<double>& row : scores) MinMaxNormalize(&row);
+  return scores;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,45 @@
+// ECOD — unsupervised outlier detection via Empirical Cumulative
+// distribution functions (Li et al., TKDE 2022).
+//
+// Per sensor, the left and right empirical tail probabilities of each
+// reading are turned into dimension-wise outlier scores
+//   O_left = -log F(x),  O_right = -log (1 - F(x^-)),
+// with a skewness-directed automatic choice per dimension; the final score
+// is max(sum O_left, sum O_right, sum O_auto) over sensors. ECOD is one of
+// the two baselines (with RCoders) that can attribute anomalies to sensors
+// (Table IV), which SensorScores() exposes as the per-sensor O_auto.
+#ifndef CAD_BASELINES_ECOD_H_
+#define CAD_BASELINES_ECOD_H_
+
+#include "baselines/detector.h"
+#include "stats/ecdf.h"
+
+namespace cad::baselines {
+
+class Ecod : public Detector {
+ public:
+  std::string name() const override { return "ECOD"; }
+  bool deterministic() const override { return true; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+  bool provides_sensor_scores() const override { return true; }
+  Result<std::vector<std::vector<double>>> SensorScores(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  Status EnsureFitted(const ts::MultivariateSeries& fallback);
+  // Per-sensor dimension scores [sensor][t]: the skewness-directed O_auto.
+  Result<std::vector<std::vector<double>>> DimensionScores(
+      const ts::MultivariateSeries& test) const;
+
+  bool fitted_ = false;
+  std::vector<stats::Ecdf> ecdf_;   // per sensor
+  std::vector<double> skewness_;    // per sensor
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_ECOD_H_

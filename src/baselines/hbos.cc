@@ -1,0 +1,64 @@
+#include "baselines/hbos.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::baselines {
+
+namespace {
+// Density floor for empty / out-of-range bins so -log stays finite; one
+// order below a single-sample bin at typical training sizes.
+constexpr double kDensityFloor = 1e-4;
+}  // namespace
+
+Status Hbos::Fit(const ts::MultivariateSeries& train) {
+  if (train.empty()) return Status::InvalidArgument("empty training series");
+  histograms_.assign(train.n_sensors(), {});
+  for (int i = 0; i < train.n_sensors(); ++i) {
+    auto x = train.sensor(i);
+    auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
+    Histogram& hist = histograms_[i];
+    hist.lo = *lo_it;
+    const double span = *hi_it - *lo_it;
+    hist.width = span > 1e-12 ? span / options_.n_bins : 1.0;
+    hist.density.assign(options_.n_bins, 0.0);
+    for (double v : x) {
+      int bin = static_cast<int>((v - hist.lo) / hist.width);
+      bin = std::clamp(bin, 0, options_.n_bins - 1);
+      hist.density[bin] += 1.0;
+    }
+    const double peak =
+        *std::max_element(hist.density.begin(), hist.density.end());
+    if (peak > 0.0) {
+      for (double& d : hist.density) d /= peak;
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Hbos::Score(const ts::MultivariateSeries& test) {
+  if (!fitted_) {
+    CAD_RETURN_NOT_OK(Fit(test));  // unsupervised fallback
+  }
+  if (static_cast<int>(histograms_.size()) != test.n_sensors()) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  std::vector<double> scores(test.length(), 0.0);
+  for (int i = 0; i < test.n_sensors(); ++i) {
+    const Histogram& hist = histograms_[i];
+    auto x = test.sensor(i);
+    for (int t = 0; t < test.length(); ++t) {
+      const int bin = static_cast<int>((x[t] - hist.lo) / hist.width);
+      double density = kDensityFloor;  // out of range = maximally surprising
+      if (bin >= 0 && bin < options_.n_bins) {
+        density = std::max(hist.density[bin], kDensityFloor);
+      }
+      scores[t] += std::log(1.0 / density);
+    }
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

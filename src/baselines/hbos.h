@@ -1,0 +1,42 @@
+// HBOS — Histogram-Based Outlier Score (Goldstein & Dengel 2012, reference
+// [30] of the paper): per-dimension equal-width histograms fitted on the
+// training split; a point's score is the sum over dimensions of the log
+// inverse bin density. Assumes feature independence — fast, coarse, and a
+// classic representative of the probabilistic baseline family.
+#ifndef CAD_BASELINES_HBOS_H_
+#define CAD_BASELINES_HBOS_H_
+
+#include "baselines/detector.h"
+
+namespace cad::baselines {
+
+struct HbosOptions {
+  int n_bins = 20;
+};
+
+class Hbos : public Detector {
+ public:
+  explicit Hbos(const HbosOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "HBOS"; }
+  bool deterministic() const override { return true; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  struct Histogram {
+    double lo = 0.0;
+    double width = 1.0;            // bin width
+    std::vector<double> density;   // normalized so the max bin is 1
+  };
+
+  HbosOptions options_;
+  bool fitted_ = false;
+  std::vector<Histogram> histograms_;  // per sensor
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_HBOS_H_

@@ -1,0 +1,138 @@
+#include "baselines/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::baselines {
+
+namespace {
+
+// Average path length of an unsuccessful BST search over n points.
+double AveragePathLength(int n) {
+  if (n <= 1) return 0.0;
+  const double h = std::log(static_cast<double>(n - 1)) + 0.5772156649015329;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+std::vector<std::vector<double>> ToPoints(const ts::MultivariateSeries& series) {
+  std::vector<std::vector<double>> points(series.length());
+  for (int t = 0; t < series.length(); ++t) {
+    points[t].resize(series.n_sensors());
+    for (int i = 0; i < series.n_sensors(); ++i) {
+      points[t][i] = series.value(i, t);
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+int Iforest::BuildNode(Tree* tree, std::vector<int>* indices, int begin,
+                       int end, int depth, int max_depth,
+                       const std::vector<std::vector<double>>& points,
+                       Rng* rng) {
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.push_back({});
+  tree->nodes[node_index].size = end - begin;
+
+  if (end - begin <= 1 || depth >= max_depth) return node_index;
+
+  // Pick a feature with spread; give up after a few attempts (all-constant).
+  int feature = -1;
+  double lo = 0.0, hi = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int f = static_cast<int>(rng->NextBounded(
+        static_cast<uint64_t>(n_features_)));
+    lo = hi = points[(*indices)[begin]][f];
+    for (int i = begin + 1; i < end; ++i) {
+      const double v = points[(*indices)[i]][f];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > 1e-12) {
+      feature = f;
+      break;
+    }
+  }
+  if (feature < 0) return node_index;  // unsplittable leaf
+
+  const double split = rng->Uniform(lo, hi);
+  auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end,
+      [&](int idx) { return points[idx][feature] < split; });
+  const int mid = static_cast<int>(mid_it - indices->begin());
+  if (mid == begin || mid == end) return node_index;  // degenerate split
+
+  tree->nodes[node_index].feature = feature;
+  tree->nodes[node_index].split = split;
+  const int left =
+      BuildNode(tree, indices, begin, mid, depth + 1, max_depth, points, rng);
+  tree->nodes[node_index].left = left;
+  const int right =
+      BuildNode(tree, indices, mid, end, depth + 1, max_depth, points, rng);
+  tree->nodes[node_index].right = right;
+  return node_index;
+}
+
+void Iforest::FitOnPoints(const std::vector<std::vector<double>>& points) {
+  Rng rng(options_.seed);
+  const int n = static_cast<int>(points.size());
+  const int psi = std::min(options_.subsample, n);
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(std::max(2, psi))));
+  c_norm_ = AveragePathLength(psi);
+  n_features_ = static_cast<int>(points[0].size());
+
+  trees_.clear();
+  trees_.reserve(options_.n_trees);
+  for (int t = 0; t < options_.n_trees; ++t) {
+    std::vector<int> sample = rng.SampleWithoutReplacement(n, psi);
+    Tree tree;
+    BuildNode(&tree, &sample, 0, psi, 0, max_depth, points, &rng);
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double Iforest::PathLength(const Tree& tree,
+                           const std::vector<double>& point) const {
+  int node = 0;
+  int depth = 0;
+  while (true) {
+    const Node& current = tree.nodes[node];
+    if (current.feature < 0) {
+      return static_cast<double>(depth) + AveragePathLength(current.size);
+    }
+    node = point[current.feature] < current.split ? current.left
+                                                  : current.right;
+    ++depth;
+  }
+}
+
+Status Iforest::Fit(const ts::MultivariateSeries& train) {
+  if (train.empty()) return Status::InvalidArgument("empty training series");
+  FitOnPoints(ToPoints(train));
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Iforest::Score(const ts::MultivariateSeries& test) {
+  if (!fitted_) {
+    if (test.empty()) return Status::InvalidArgument("empty series");
+    FitOnPoints(ToPoints(test));
+  }
+  if (n_features_ != test.n_sensors()) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  const std::vector<std::vector<double>> points = ToPoints(test);
+  std::vector<double> scores(points.size(), 0.0);
+  for (size_t t = 0; t < points.size(); ++t) {
+    double total = 0.0;
+    for (const Tree& tree : trees_) total += PathLength(tree, points[t]);
+    const double mean = total / static_cast<double>(trees_.size());
+    scores[t] = std::pow(2.0, -mean / std::max(c_norm_, 1e-9));
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,62 @@
+// IForest — Isolation Forest (Liu, Ting & Zhou, ICDM 2008).
+//
+// An ensemble of randomized binary trees isolates each point; anomalies need
+// fewer random splits to isolate. Score(x) = 2^(-E[h(x)] / c(psi)) where
+// h(x) is the path length in each tree and c(psi) is the average path length
+// of an unsuccessful BST search over the subsample size psi. Stochastic:
+// repeated runs differ per seed, which Table VIII's min-F1 robustness study
+// relies on.
+#ifndef CAD_BASELINES_IFOREST_H_
+#define CAD_BASELINES_IFOREST_H_
+
+#include <memory>
+
+#include "baselines/detector.h"
+#include "common/rng.h"
+
+namespace cad::baselines {
+
+struct IforestOptions {
+  int n_trees = 100;
+  int subsample = 256;
+  uint64_t seed = 7;
+};
+
+class Iforest : public Detector {
+ public:
+  explicit Iforest(const IforestOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "IForest"; }
+  bool deterministic() const override { return false; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 marks a leaf
+    double split = 0.0;
+    int left = -1, right = -1;
+    int size = 0;            // points that reached this node while building
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  void FitOnPoints(const std::vector<std::vector<double>>& points);
+  int BuildNode(Tree* tree, std::vector<int>* indices, int begin, int end,
+                int depth, int max_depth,
+                const std::vector<std::vector<double>>& points, Rng* rng);
+  double PathLength(const Tree& tree, const std::vector<double>& point) const;
+
+  IforestOptions options_;
+  bool fitted_ = false;
+  int n_features_ = 0;
+  double c_norm_ = 1.0;  // c(psi)
+  std::vector<Tree> trees_;
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_IFOREST_H_

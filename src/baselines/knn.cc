@@ -1,0 +1,78 @@
+#include "baselines/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::baselines {
+
+namespace {
+
+std::vector<std::vector<double>> ToPoints(const ts::MultivariateSeries& series,
+                                          const ts::Scaler& scaler) {
+  const ts::MultivariateSeries scaled = ts::Apply(scaler, series);
+  std::vector<std::vector<double>> points(scaled.length());
+  for (int t = 0; t < scaled.length(); ++t) {
+    points[t].resize(scaled.n_sensors());
+    for (int i = 0; i < scaled.n_sensors(); ++i) {
+      points[t][i] = scaled.value(i, t);
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+Status KnnDetector::Fit(const ts::MultivariateSeries& train) {
+  if (train.length() <= options_.k) {
+    return Status::InvalidArgument("kNN needs more training points than k");
+  }
+  scaler_ = ts::FitZScore(train);
+  reference_ = ToPoints(train, scaler_);
+  if (options_.max_train_points > 0 &&
+      static_cast<int>(reference_.size()) > options_.max_train_points) {
+    const double stride =
+        static_cast<double>(reference_.size()) / options_.max_train_points;
+    std::vector<std::vector<double>> sampled;
+    sampled.reserve(options_.max_train_points);
+    for (int i = 0; i < options_.max_train_points; ++i) {
+      sampled.push_back(reference_[static_cast<size_t>(i * stride)]);
+    }
+    reference_ = std::move(sampled);
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> KnnDetector::Score(
+    const ts::MultivariateSeries& test) {
+  if (!fitted_) {
+    CAD_RETURN_NOT_OK(Fit(test));  // unsupervised fallback
+  }
+  if (static_cast<int>(scaler_.offset.size()) != test.n_sensors()) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  const std::vector<std::vector<double>> points = ToPoints(test, scaler_);
+  std::vector<double> scores(points.size(), 0.0);
+  std::vector<double> distances;
+  for (size_t t = 0; t < points.size(); ++t) {
+    distances.clear();
+    distances.reserve(reference_.size());
+    for (const std::vector<double>& ref : reference_) {
+      double d = 0.0;
+      for (size_t i = 0; i < ref.size(); ++i) {
+        const double diff = points[t][i] - ref[i];
+        d += diff * diff;
+      }
+      distances.push_back(d);
+    }
+    const int k = std::min<int>(options_.k,
+                                static_cast<int>(distances.size()) - 1);
+    std::nth_element(distances.begin(), distances.begin() + k,
+                     distances.end());
+    scores[t] = std::sqrt(distances[k]);
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,38 @@
+// kNN distance-based outlier detection (Ramaswamy, Rastogi & Shim, SIGMOD
+// 2000 — reference [69] of the paper): a point's anomaly score is its
+// distance to its k-th nearest neighbour in the (training) reference set.
+#ifndef CAD_BASELINES_KNN_H_
+#define CAD_BASELINES_KNN_H_
+
+#include "baselines/detector.h"
+#include "ts/normalize.h"
+
+namespace cad::baselines {
+
+struct KnnDetectorOptions {
+  int k = 10;
+  int max_train_points = 6000;  // stride-subsampling cap (0 = unlimited)
+};
+
+class KnnDetector : public Detector {
+ public:
+  explicit KnnDetector(const KnnDetectorOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "kNN"; }
+  bool deterministic() const override { return true; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  KnnDetectorOptions options_;
+  ts::Scaler scaler_;
+  bool fitted_ = false;
+  std::vector<std::vector<double>> reference_;
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_KNN_H_

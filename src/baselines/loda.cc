@@ -1,0 +1,86 @@
+#include "baselines/loda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cad::baselines {
+
+namespace {
+constexpr double kDensityFloor = 1e-4;
+}  // namespace
+
+double Loda::Project(const Projection& projection,
+                     const ts::MultivariateSeries& scaled, int t) const {
+  double value = 0.0;
+  for (size_t k = 0; k < projection.index.size(); ++k) {
+    value += projection.weight[k] * scaled.value(projection.index[k], t);
+  }
+  return value;
+}
+
+Status Loda::Fit(const ts::MultivariateSeries& train) {
+  if (train.empty()) return Status::InvalidArgument("empty training series");
+  const int n = train.n_sensors();
+  scaler_ = ts::FitZScore(train);
+  const ts::MultivariateSeries scaled = ts::Apply(scaler_, train);
+
+  Rng rng(options_.seed);
+  const int nonzeros = std::max(1, static_cast<int>(std::sqrt(n)));
+  projections_.assign(options_.n_projections, {});
+  for (Projection& projection : projections_) {
+    projection.index = rng.SampleWithoutReplacement(n, nonzeros);
+    std::sort(projection.index.begin(), projection.index.end());
+    projection.weight.resize(nonzeros);
+    for (double& w : projection.weight) w = rng.Gaussian();
+
+    // Histogram over the projected training values.
+    std::vector<double> values(scaled.length());
+    for (int t = 0; t < scaled.length(); ++t) {
+      values[t] = Project(projection, scaled, t);
+    }
+    auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+    projection.lo = *lo_it;
+    const double span = *hi_it - *lo_it;
+    projection.width = span > 1e-12 ? span / options_.n_bins : 1.0;
+    projection.density.assign(options_.n_bins, 0.0);
+    for (double v : values) {
+      int bin = static_cast<int>((v - projection.lo) / projection.width);
+      bin = std::clamp(bin, 0, options_.n_bins - 1);
+      projection.density[bin] += 1.0;
+    }
+    for (double& d : projection.density) {
+      d /= static_cast<double>(scaled.length());
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Loda::Score(const ts::MultivariateSeries& test) {
+  if (!fitted_) {
+    CAD_RETURN_NOT_OK(Fit(test));
+  }
+  if (static_cast<int>(scaler_.offset.size()) != test.n_sensors()) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  const ts::MultivariateSeries scaled = ts::Apply(scaler_, test);
+  std::vector<double> scores(test.length(), 0.0);
+  for (const Projection& projection : projections_) {
+    for (int t = 0; t < test.length(); ++t) {
+      const double v = Project(projection, scaled, t);
+      const int bin = static_cast<int>((v - projection.lo) / projection.width);
+      double density = kDensityFloor;
+      if (bin >= 0 && bin < options_.n_bins) {
+        density = std::max(projection.density[bin], kDensityFloor);
+      }
+      scores[t] += -std::log(density);
+    }
+  }
+  for (double& v : scores) v /= static_cast<double>(projections_.size());
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,53 @@
+// LODA — Lightweight On-line Detector of Anomalies (Pevný, Machine Learning
+// 2016, reference [67] of the paper): an ensemble of sparse random
+// one-dimensional projections, each with a histogram density fitted on the
+// training data; a point's score is the mean negative log density across
+// projections. Stochastic through the projection draw.
+#ifndef CAD_BASELINES_LODA_H_
+#define CAD_BASELINES_LODA_H_
+
+#include <cstdint>
+
+#include "baselines/detector.h"
+#include "ts/normalize.h"
+
+namespace cad::baselines {
+
+struct LodaOptions {
+  int n_projections = 50;
+  int n_bins = 30;
+  uint64_t seed = 17;
+};
+
+class Loda : public Detector {
+ public:
+  explicit Loda(const LodaOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "LODA"; }
+  bool deterministic() const override { return false; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  struct Projection {
+    std::vector<int> index;      // sparse non-zero coordinates
+    std::vector<double> weight;  // Gaussian weights
+    double lo = 0.0;
+    double width = 1.0;
+    std::vector<double> density;  // normalized histogram
+  };
+
+  double Project(const Projection& projection,
+                 const ts::MultivariateSeries& scaled, int t) const;
+
+  LodaOptions options_;
+  bool fitted_ = false;
+  ts::Scaler scaler_;
+  std::vector<Projection> projections_;
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_LODA_H_

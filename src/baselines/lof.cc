@@ -1,0 +1,146 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::baselines {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+// Indices and distances of the k nearest points to `query` among `points`,
+// excluding index `skip` (-1 to keep all), sorted by ascending distance.
+struct NeighborList {
+  std::vector<int> index;
+  std::vector<double> distance;
+};
+
+NeighborList KNearest(const std::vector<std::vector<double>>& points,
+                      const std::vector<double>& query, int k, int skip) {
+  std::vector<std::pair<double, int>> all;
+  all.reserve(points.size());
+  for (int i = 0; i < static_cast<int>(points.size()); ++i) {
+    if (i == skip) continue;
+    all.emplace_back(SquaredDistance(points[i], query), i);
+  }
+  const int take = std::min<int>(k, static_cast<int>(all.size()));
+  std::partial_sort(all.begin(), all.begin() + take, all.end());
+  NeighborList out;
+  out.index.reserve(take);
+  out.distance.reserve(take);
+  for (int i = 0; i < take; ++i) {
+    out.index.push_back(all[i].second);
+    out.distance.push_back(std::sqrt(all[i].first));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ToPoints(const ts::MultivariateSeries& series,
+                                          const ts::Scaler& scaler) {
+  const ts::MultivariateSeries scaled = ts::Apply(scaler, series);
+  std::vector<std::vector<double>> points(scaled.length());
+  for (int t = 0; t < scaled.length(); ++t) {
+    points[t].resize(scaled.n_sensors());
+    for (int i = 0; i < scaled.n_sensors(); ++i) {
+      points[t][i] = scaled.value(i, t);
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+void Lof::FitOnPoints(const std::vector<std::vector<double>>& points) {
+  train_points_ = points;
+  if (options_.max_train_points > 0 &&
+      static_cast<int>(train_points_.size()) > options_.max_train_points) {
+    // Deterministic stride subsampling preserves the temporal spread.
+    const double stride = static_cast<double>(train_points_.size()) /
+                          options_.max_train_points;
+    std::vector<std::vector<double>> sampled;
+    sampled.reserve(options_.max_train_points);
+    for (int i = 0; i < options_.max_train_points; ++i) {
+      sampled.push_back(train_points_[static_cast<size_t>(i * stride)]);
+    }
+    train_points_ = std::move(sampled);
+  }
+
+  const int n = static_cast<int>(train_points_.size());
+  std::vector<NeighborList> neighbors(n);
+  k_distance_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    neighbors[i] = KNearest(train_points_, train_points_[i], options_.k, i);
+    k_distance_[i] =
+        neighbors[i].distance.empty() ? 0.0 : neighbors[i].distance.back();
+  }
+
+  // Local reachability density: lrd(p) = 1 / mean_o reach-dist_k(p, o).
+  lrd_.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const NeighborList& nb = neighbors[i];
+    if (nb.index.empty()) {
+      lrd_[i] = 0.0;
+      continue;
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < nb.index.size(); ++j) {
+      sum += std::max(k_distance_[nb.index[j]], nb.distance[j]);
+    }
+    const double mean = sum / static_cast<double>(nb.index.size());
+    lrd_[i] = mean > 1e-12 ? 1.0 / mean : 1e12;
+  }
+  fitted_ = true;
+}
+
+Status Lof::Fit(const ts::MultivariateSeries& train) {
+  if (train.length() <= options_.k) {
+    return Status::InvalidArgument("LOF needs more training points than k");
+  }
+  scaler_ = ts::FitZScore(train);
+  FitOnPoints(ToPoints(train, scaler_));
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Lof::Score(const ts::MultivariateSeries& test) {
+  if (!fitted_) {
+    // Unsupervised fallback: fit on the test series itself.
+    if (test.length() <= options_.k) {
+      return Status::InvalidArgument("series shorter than k");
+    }
+    scaler_ = ts::FitZScore(test);
+    FitOnPoints(ToPoints(test, scaler_));
+  }
+  if (static_cast<int>(scaler_.offset.size()) != test.n_sensors()) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+
+  const std::vector<std::vector<double>> points = ToPoints(test, scaler_);
+  std::vector<double> scores(points.size(), 0.0);
+  for (size_t t = 0; t < points.size(); ++t) {
+    const NeighborList nb = KNearest(train_points_, points[t], options_.k, -1);
+    if (nb.index.empty()) continue;
+    double reach_sum = 0.0;
+    double lrd_sum = 0.0;
+    for (size_t j = 0; j < nb.index.size(); ++j) {
+      reach_sum += std::max(k_distance_[nb.index[j]], nb.distance[j]);
+      lrd_sum += lrd_[nb.index[j]];
+    }
+    const double count = static_cast<double>(nb.index.size());
+    const double mean_reach = reach_sum / count;
+    const double lrd_p = mean_reach > 1e-12 ? 1.0 / mean_reach : 1e12;
+    scores[t] = (lrd_sum / count) / lrd_p;  // classic LOF ratio
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,50 @@
+// LOF — Local Outlier Factor (Breunig et al., SIGMOD 2000).
+//
+// Each time point is an n-dimensional vector of sensor readings. Following
+// the paper's experimental setup (novelty-style LOF fitted on the training
+// split — which is what makes LOF's training time the dominant cost in
+// Table VI), Fit() computes the k-nearest-neighbour structure and local
+// reachability densities over the training points; Score() then rates each
+// test point by the classic LOF ratio against its k nearest training
+// points. When no training data was provided, the detector fits on the test
+// series itself.
+#ifndef CAD_BASELINES_LOF_H_
+#define CAD_BASELINES_LOF_H_
+
+#include "baselines/detector.h"
+#include "ts/normalize.h"
+
+namespace cad::baselines {
+
+struct LofOptions {
+  int k = 20;
+  // Optional subsampling cap on training points to keep the O(N^2) fit
+  // tractable on long series (0 = use everything).
+  int max_train_points = 6000;
+};
+
+class Lof : public Detector {
+ public:
+  explicit Lof(const LofOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "LOF"; }
+  bool deterministic() const override { return true; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  void FitOnPoints(const std::vector<std::vector<double>>& points);
+
+  LofOptions options_;
+  ts::Scaler scaler_;
+  bool fitted_ = false;
+  std::vector<std::vector<double>> train_points_;
+  std::vector<double> k_distance_;  // distance to the k-th neighbour
+  std::vector<double> lrd_;         // local reachability density
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_LOF_H_

@@ -1,0 +1,114 @@
+#include "baselines/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/subsequence.h"
+#include "stats/autocorrelation.h"
+
+namespace cad::baselines {
+
+namespace {
+
+// Per-position means and stds of all length-m subsequences via prefix sums.
+struct MovingMoments {
+  std::vector<double> mean;
+  std::vector<double> std;
+};
+
+MovingMoments ComputeMoments(std::span<const double> x, int m) {
+  const int n_subs = static_cast<int>(x.size()) - m + 1;
+  MovingMoments moments;
+  moments.mean.resize(n_subs);
+  moments.std.resize(n_subs);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int t = 0; t < m; ++t) {
+    sum += x[t];
+    sum_sq += x[t] * x[t];
+  }
+  for (int i = 0; i < n_subs; ++i) {
+    const double mean = sum / m;
+    const double var = std::max(0.0, sum_sq / m - mean * mean);
+    moments.mean[i] = mean;
+    moments.std[i] = std::sqrt(var);
+    if (i + 1 < n_subs) {
+      sum += x[i + m] - x[i];
+      sum_sq += x[i + m] * x[i + m] - x[i] * x[i];
+    }
+  }
+  return moments;
+}
+
+// Z-normalized distance from the dot product QT of two raw subsequences.
+double ZNormDistance(double qt, int m, double mean_i, double std_i,
+                     double mean_j, double std_j) {
+  if (std_i < 1e-12 || std_j < 1e-12) {
+    // A flat subsequence matches other flat ones exactly, nothing else.
+    return (std_i < 1e-12 && std_j < 1e-12) ? 0.0 : std::sqrt(2.0 * m);
+  }
+  const double corr =
+      (qt - m * mean_i * mean_j) / (m * std_i * std_j);
+  return std::sqrt(std::max(0.0, 2.0 * m * (1.0 - std::min(1.0, corr))));
+}
+
+}  // namespace
+
+std::vector<double> SelfJoinMatrixProfile(std::span<const double> x, int m) {
+  const int n = static_cast<int>(x.size());
+  CAD_CHECK(m >= 2 && m <= n, "bad subsequence length");
+  const int n_subs = n - m + 1;
+  const int exclusion = std::max(1, m / 2);
+  const MovingMoments moments = ComputeMoments(x, m);
+
+  std::vector<double> profile(n_subs, std::numeric_limits<double>::infinity());
+
+  // STOMP: for every diagonal k >= exclusion, the dot product
+  // QT(i, i + k) follows a rolling recurrence along the diagonal.
+  for (int k = exclusion; k < n_subs; ++k) {
+    double qt = 0.0;
+    for (int t = 0; t < m; ++t) qt += x[t] * x[t + k];
+    for (int i = 0; i + k < n_subs; ++i) {
+      if (i > 0) {
+        qt += x[i + m - 1] * x[i + k + m - 1] - x[i - 1] * x[i + k - 1];
+      }
+      const double d =
+          ZNormDistance(qt, m, moments.mean[i], moments.std[i],
+                        moments.mean[i + k], moments.std[i + k]);
+      profile[i] = std::min(profile[i], d);
+      profile[i + k] = std::min(profile[i + k], d);
+    }
+  }
+
+  // Series shorter than 2 * exclusion have no valid neighbour; report 0.
+  for (double& v : profile) {
+    if (!std::isfinite(v)) v = 0.0;
+  }
+  return profile;
+}
+
+std::vector<double> MatrixProfileDetector::ScoreSeries(
+    std::span<const double> train, std::span<const double> test) {
+  (void)train;  // self-join on the scored series, as the discord definition
+  int m = options_.subsequence_length;
+  if (m <= 0) {
+    const int max_lag = std::min<int>(256, static_cast<int>(test.size()) / 3);
+    m = cad::stats::EstimateDominantPeriod(test, 4, max_lag, 0.1, 32);
+    m = std::clamp(2 * m, 8, std::max(8, static_cast<int>(test.size()) / 4));
+  }
+  const std::vector<double> profile = SelfJoinMatrixProfile(test, m);
+  std::vector<double> scores =
+      SpreadSubsequenceScores(profile, m, /*stride=*/1,
+                              static_cast<int>(test.size()));
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+std::unique_ptr<Detector> MakeMatrixProfileEnsemble(
+    const MatrixProfileOptions& options) {
+  return std::make_unique<UnivariateEnsemble>(
+      "MP", /*deterministic=*/true,
+      [options](int) { return std::make_unique<MatrixProfileDetector>(options); });
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,42 @@
+// Matrix Profile discord detection (Yeh et al., ICDM 2016 — reference [85]
+// of the paper), computed with the STOMP O(T^2) recurrence: every
+// subsequence's z-normalized distance to its nearest non-trivial neighbour.
+// Discords (subsequences far from everything else) are anomalies; the
+// profile value is the anomaly score. Deterministic.
+#ifndef CAD_BASELINES_MATRIX_PROFILE_H_
+#define CAD_BASELINES_MATRIX_PROFILE_H_
+
+#include "baselines/univariate.h"
+
+namespace cad::baselines {
+
+struct MatrixProfileOptions {
+  // Subsequence length m; 0 = estimate from the ACF (like SAND / NormA).
+  int subsequence_length = 0;
+};
+
+// Self-join matrix profile of `x` with subsequence length m and the standard
+// m/2 exclusion zone. Returns T - m + 1 nearest-neighbour distances.
+std::vector<double> SelfJoinMatrixProfile(std::span<const double> x, int m);
+
+class MatrixProfileDetector : public UnivariateDetector {
+ public:
+  explicit MatrixProfileDetector(const MatrixProfileOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "MP"; }
+  bool deterministic() const override { return true; }
+
+  std::vector<double> ScoreSeries(std::span<const double> train,
+                                  std::span<const double> test) override;
+
+ private:
+  MatrixProfileOptions options_;
+};
+
+std::unique_ptr<Detector> MakeMatrixProfileEnsemble(
+    const MatrixProfileOptions& options = {});
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_MATRIX_PROFILE_H_

@@ -1,0 +1,85 @@
+#include "baselines/method_registry.h"
+
+#include "baselines/cad_adapter.h"
+#include "baselines/copod.h"
+#include "baselines/ecod.h"
+#include "baselines/hbos.h"
+#include "baselines/iforest.h"
+#include "baselines/knn.h"
+#include "baselines/loda.h"
+#include "baselines/lof.h"
+#include "baselines/matrix_profile.h"
+#include "baselines/norma.h"
+#include "baselines/pca_detector.h"
+#include "baselines/rcoders.h"
+#include "baselines/s2g.h"
+#include "baselines/sand.h"
+#include "baselines/usad.h"
+
+namespace cad::baselines {
+
+std::vector<std::string> AllMethodNames() {
+  return {"CAD",     "LOF",  "ECOD", "IForest", "USAD",
+          "RCoders", "S2G",  "SAND", "SAND*",   "NormA"};
+}
+
+std::vector<std::string> ExtendedMethodNames() {
+  std::vector<std::string> names = AllMethodNames();
+  for (const char* extra : {"kNN", "HBOS", "COPOD", "PCA", "LODA", "MP"}) {
+    names.push_back(extra);
+  }
+  return names;
+}
+
+std::unique_ptr<Detector> MakeMethod(const std::string& name,
+                                     const core::CadOptions& cad_options,
+                                     uint64_t seed) {
+  if (name == "CAD") return std::make_unique<CadAdapter>(cad_options);
+  if (name == "LOF") return std::make_unique<Lof>();
+  if (name == "ECOD") return std::make_unique<Ecod>();
+  if (name == "IForest") {
+    IforestOptions options;
+    options.seed = seed;
+    return std::make_unique<Iforest>(options);
+  }
+  if (name == "USAD") {
+    UsadOptions options;
+    options.seed = seed;
+    return std::make_unique<Usad>(options);
+  }
+  if (name == "RCoders") {
+    RcodersOptions options;
+    options.seed = seed;
+    return std::make_unique<Rcoders>(options);
+  }
+  if (name == "S2G") return MakeS2gEnsemble();
+  if (name == "SAND") {
+    SandOptions options;
+    options.seed = seed;
+    return MakeSandEnsemble(options);
+  }
+  if (name == "SAND*") {
+    SandOptions options;
+    options.seed = seed;
+    return MakeSandStarEnsemble(options);
+  }
+  if (name == "NormA") {
+    NormaOptions options;
+    options.seed = seed;
+    return MakeNormaEnsemble(options);
+  }
+  if (name == "kNN") return std::make_unique<KnnDetector>();
+  if (name == "HBOS") return std::make_unique<Hbos>();
+  if (name == "COPOD") return std::make_unique<Copod>();
+  if (name == "PCA") return std::make_unique<PcaDetector>();
+  if (name == "LODA") {
+    LodaOptions options;
+    options.seed = seed;
+    return std::make_unique<Loda>(options);
+  }
+  if (name == "MP") return MakeMatrixProfileEnsemble();
+  CAD_CHECK(false, "unknown method '" + name + "'");
+  return nullptr;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,32 @@
+// Factory for the ten methods of the paper's comparison (Section VI-A):
+// CAD, LOF, ECOD, IForest, USAD, RCoders, S2G, SAND, SAND*, NormA — in the
+// row order of Table III. Stochastic methods take a run seed so the
+// benchmark harness can average over 10 repeats as the paper does.
+#ifndef CAD_BASELINES_METHOD_REGISTRY_H_
+#define CAD_BASELINES_METHOD_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/detector.h"
+#include "core/cad_options.h"
+
+namespace cad::baselines {
+
+// Names in Table III row order.
+std::vector<std::string> AllMethodNames();
+
+// The extended roster: the paper's ten methods plus the six additional
+// related-work baselines implemented here (kNN, HBOS, COPOD, PCA, LODA, MP).
+std::vector<std::string> ExtendedMethodNames();
+
+// Instantiates one method. `cad_options` configures the CAD adapter (other
+// methods ignore it); `seed` perturbs the stochastic methods per repeat.
+std::unique_ptr<Detector> MakeMethod(const std::string& name,
+                                     const core::CadOptions& cad_options,
+                                     uint64_t seed);
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_METHOD_REGISTRY_H_

@@ -1,0 +1,150 @@
+#include "baselines/norma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/subsequence.h"
+#include "common/rng.h"
+#include "stats/autocorrelation.h"
+
+namespace cad::baselines {
+
+namespace {
+
+struct NormalModel {
+  std::vector<std::vector<double>> patterns;
+  std::vector<double> weights;  // normalized to sum 1
+};
+
+NormalModel BuildModel(std::span<const double> reference, int length,
+                       const NormaOptions& options, cad::Rng* rng) {
+  NormalModel model;
+  const int n_positions = static_cast<int>(reference.size()) - length + 1;
+  if (n_positions <= 0) return model;
+
+  // Sample candidate subsequences at random offsets.
+  const int n_candidates = std::min(options.n_candidates, n_positions);
+  std::vector<std::vector<double>> candidates;
+  candidates.reserve(n_candidates);
+  for (int i = 0; i < n_candidates; ++i) {
+    const int start = static_cast<int>(
+        rng->NextBounded(static_cast<uint64_t>(n_positions)));
+    std::vector<double> sub(reference.begin() + start,
+                            reference.begin() + start + length);
+    ZNormalize(&sub);
+    candidates.push_back(std::move(sub));
+  }
+
+  // Euclidean k-means on the z-normalized candidates.
+  const int k = std::min<int>(options.n_clusters,
+                              static_cast<int>(candidates.size()));
+  std::vector<int> seeds = rng->SampleWithoutReplacement(
+      static_cast<int>(candidates.size()), k);
+  for (int idx : seeds) model.patterns.push_back(candidates[idx]);
+
+  std::vector<int> assignment(candidates.size(), 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t s = 0; s < candidates.size(); ++s) {
+      double best = 1e18;
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = SquaredEuclidean(candidates[s], model.patterns[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[s] != best_c) changed = true;
+      assignment[s] = best_c;
+    }
+    std::vector<std::vector<double>> sums(k, std::vector<double>(length, 0.0));
+    std::vector<int> counts(k, 0);
+    for (size_t s = 0; s < candidates.size(); ++s) {
+      for (int i = 0; i < length; ++i) sums[assignment[s]][i] += candidates[s][i];
+      ++counts[assignment[s]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (int i = 0; i < length; ++i) {
+        sums[c][i] /= static_cast<double>(counts[c]);
+      }
+      ZNormalize(&sums[c]);
+      model.patterns[c] = std::move(sums[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  // Weights: frequency x coherence.
+  model.weights.assign(k, 0.0);
+  std::vector<double> spread(k, 0.0);
+  std::vector<int> counts(k, 0);
+  for (size_t s = 0; s < candidates.size(); ++s) {
+    spread[assignment[s]] +=
+        std::sqrt(SquaredEuclidean(candidates[s], model.patterns[assignment[s]]));
+    ++counts[assignment[s]];
+  }
+  double total = 0.0;
+  for (int c = 0; c < k; ++c) {
+    const double mean_spread =
+        counts[c] > 0 ? spread[c] / static_cast<double>(counts[c]) : 1.0;
+    model.weights[c] = static_cast<double>(counts[c]) / (1.0 + mean_spread);
+    total += model.weights[c];
+  }
+  if (total > 0.0) {
+    for (double& w : model.weights) w /= total;
+  }
+  return model;
+}
+
+}  // namespace
+
+std::vector<double> Norma::ScoreSeries(std::span<const double> train,
+                                       std::span<const double> test) {
+  cad::Rng rng(options_.seed);
+  int l = options_.pattern_length;
+  if (l <= 0) {
+    const int max_lag = std::min<int>(256, static_cast<int>(test.size()) / 3);
+    l = cad::stats::EstimateDominantPeriod(test, 4, max_lag, 0.1, 25);
+  }
+  const int length =
+      std::clamp(4 * l, 8, std::max(8, static_cast<int>(test.size()) / 4));
+  const int stride = std::max(1, length / 4);
+
+  // Normal model from the history when present, else the test series itself.
+  const std::span<const double> reference = train.empty() ? test : train;
+  const NormalModel model = BuildModel(reference, length, options_, &rng);
+  if (model.patterns.empty()) {
+    return std::vector<double>(test.size(), 0.0);
+  }
+
+  std::vector<std::vector<double>> subs =
+      ExtractSubsequences(test, length, stride);
+  std::vector<double> sub_scores(subs.size(), 0.0);
+  for (size_t s = 0; s < subs.size(); ++s) {
+    ZNormalize(&subs[s]);
+    // Weighted sum of distances to the normal-model patterns.
+    double score = 0.0;
+    for (size_t c = 0; c < model.patterns.size(); ++c) {
+      score += model.weights[c] *
+               std::sqrt(SquaredEuclidean(subs[s], model.patterns[c]));
+    }
+    sub_scores[s] = score;
+  }
+
+  std::vector<double> scores = SpreadSubsequenceScores(
+      sub_scores, length, stride, static_cast<int>(test.size()));
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+std::unique_ptr<Detector> MakeNormaEnsemble(const NormaOptions& options) {
+  return std::make_unique<UnivariateEnsemble>(
+      "NormA", /*deterministic=*/false, [options](int sensor) {
+        NormaOptions per_sensor = options;
+        per_sensor.seed = options.seed + static_cast<uint64_t>(sensor) * 131;
+        return std::make_unique<Norma>(per_sensor);
+      });
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,46 @@
+// NormA (Boniol et al., VLDBJ 2021): builds a weighted "normal model" of
+// recurring subsequence patterns, then scores each subsequence by its
+// weighted distance to the model's patterns.
+//
+// Following the paper's setup: the pattern length l comes from the ACF and
+// the normal-model length is 4*l. Model construction samples candidate
+// subsequences and clusters them with Euclidean k-means on z-normalized
+// shapes; each pattern's weight combines its frequency (cluster size) and
+// coherence (inverse intra-cluster spread). Stochastic through the
+// candidate sampling and seeding.
+#ifndef CAD_BASELINES_NORMA_H_
+#define CAD_BASELINES_NORMA_H_
+
+#include <cstdint>
+
+#include "baselines/univariate.h"
+
+namespace cad::baselines {
+
+struct NormaOptions {
+  int pattern_length = 0;  // 0 = estimate from ACF; model length = 4*l
+  int n_candidates = 80;   // sampled candidate subsequences
+  int n_clusters = 4;      // normal-model patterns
+  int max_iterations = 8;
+  uint64_t seed = 13;
+};
+
+class Norma : public UnivariateDetector {
+ public:
+  explicit Norma(const NormaOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "NormA"; }
+  bool deterministic() const override { return false; }
+
+  std::vector<double> ScoreSeries(std::span<const double> train,
+                                  std::span<const double> test) override;
+
+ private:
+  NormaOptions options_;
+};
+
+std::unique_ptr<Detector> MakeNormaEnsemble(const NormaOptions& options = {});
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_NORMA_H_

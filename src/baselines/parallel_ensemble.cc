@@ -1,0 +1,30 @@
+#include "baselines/parallel_ensemble.h"
+
+#include <algorithm>
+
+namespace cad::baselines {
+
+Result<std::vector<double>> ParallelEnsemble::Score(
+    const ts::MultivariateSeries& test) {
+  std::vector<double> fused(test.length(), 0.0);
+  for (const auto& member : members_) {
+    Result<std::vector<double>> scores = member->Score(test);
+    if (!scores.ok()) return scores.status();
+    CAD_CHECK(scores.value().size() == fused.size(),
+              member->name() + " returned wrong score length");
+    for (size_t t = 0; t < fused.size(); ++t) {
+      if (fusion_ == ScoreFusion::kMax) {
+        fused[t] = std::max(fused[t], scores.value()[t]);
+      } else {
+        fused[t] += scores.value()[t];
+      }
+    }
+  }
+  if (fusion_ == ScoreFusion::kMean) {
+    for (double& v : fused) v /= static_cast<double>(members_.size());
+  }
+  MinMaxNormalize(&fused);
+  return fused;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,65 @@
+// ParallelEnsemble — the paper's Section IV-F suggestion made concrete:
+// "CAD can be used in parallel with other anomaly detection methods to
+// provide an additional check for the anomalies."
+//
+// Wraps any set of detectors and fuses their per-point scores. kMax keeps
+// an alarm whenever *any* member raises one (covers CAD's blind spot:
+// anomalies that change amplitudes but never correlations, e.g. a uniform
+// level shift across a whole community); kMean trades that recall for
+// fewer false positives.
+#ifndef CAD_BASELINES_PARALLEL_ENSEMBLE_H_
+#define CAD_BASELINES_PARALLEL_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/detector.h"
+
+namespace cad::baselines {
+
+enum class ScoreFusion {
+  kMax,
+  kMean,
+};
+
+class ParallelEnsemble : public Detector {
+ public:
+  ParallelEnsemble(std::vector<std::unique_ptr<Detector>> members,
+                   ScoreFusion fusion = ScoreFusion::kMax)
+      : members_(std::move(members)), fusion_(fusion) {
+    CAD_CHECK(!members_.empty(), "ensemble needs at least one member");
+  }
+
+  std::string name() const override {
+    std::string name = members_[0]->name();
+    for (size_t i = 1; i < members_.size(); ++i) {
+      name += "+" + members_[i]->name();
+    }
+    return name;
+  }
+
+  bool deterministic() const override {
+    for (const auto& member : members_) {
+      if (!member->deterministic()) return false;
+    }
+    return true;
+  }
+
+  Status Fit(const ts::MultivariateSeries& train) override {
+    for (const auto& member : members_) {
+      CAD_RETURN_NOT_OK(member->Fit(train));
+    }
+    return Status::Ok();
+  }
+
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  std::vector<std::unique_ptr<Detector>> members_;
+  ScoreFusion fusion_;
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_PARALLEL_ENSEMBLE_H_

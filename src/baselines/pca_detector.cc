@@ -1,0 +1,68 @@
+#include "baselines/pca_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::baselines {
+
+Status PcaDetector::Fit(const ts::MultivariateSeries& train) {
+  if (train.length() < 2) {
+    return Status::InvalidArgument("PCA needs at least two training points");
+  }
+  const int n = train.n_sensors();
+  scaler_ = ts::FitZScore(train);
+  const ts::MultivariateSeries scaled = ts::Apply(scaler_, train);
+
+  // Covariance of the z-scored training data (means are ~0 by construction).
+  stats::SymmetricMatrix covariance(n);
+  const double inv_len = 1.0 / static_cast<double>(scaled.length());
+  for (int i = 0; i < n; ++i) {
+    auto xi = scaled.sensor(i);
+    for (int j = i; j < n; ++j) {
+      auto xj = scaled.sensor(j);
+      double sum = 0.0;
+      for (int t = 0; t < scaled.length(); ++t) sum += xi[t] * xj[t];
+      covariance.set(i, j, sum * inv_len);
+    }
+  }
+
+  basis_ = stats::JacobiEigen(covariance);
+  double trace = 0.0;
+  for (double lambda : basis_.values) trace += std::max(lambda, 0.0);
+  const double floor =
+      options_.variance_floor * std::max(trace / n, 1e-12);
+  safe_eigenvalues_.clear();
+  for (double lambda : basis_.values) {
+    safe_eigenvalues_.push_back(std::max(lambda, floor));
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<double>> PcaDetector::Score(
+    const ts::MultivariateSeries& test) {
+  if (!fitted_) {
+    CAD_RETURN_NOT_OK(Fit(test));
+  }
+  const int n = test.n_sensors();
+  if (static_cast<int>(scaler_.offset.size()) != n) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  const ts::MultivariateSeries scaled = ts::Apply(scaler_, test);
+  std::vector<double> scores(test.length(), 0.0);
+  std::vector<double> point(n);
+  for (int t = 0; t < test.length(); ++t) {
+    for (int i = 0; i < n; ++i) point[i] = scaled.value(i, t);
+    double score = 0.0;
+    for (size_t k = 0; k < basis_.vectors.size(); ++k) {
+      double projection = 0.0;
+      for (int i = 0; i < n; ++i) projection += basis_.vectors[k][i] * point[i];
+      score += projection * projection / safe_eigenvalues_[k];
+    }
+    scores[t] = score;
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

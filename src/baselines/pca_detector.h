@@ -1,0 +1,45 @@
+// PCA-based anomaly detection (Shyu et al. 2003 / Aggarwal's linear-model
+// family, references [76] and [4] of the paper): fit the training
+// covariance, eigendecompose it, and score each point by its Mahalanobis
+// distance expressed in the principal basis — sum of y_k^2 / lambda_k over
+// components, which weights deviations along low-variance (minor)
+// directions most heavily. Those minor directions encode the inter-sensor
+// linear structure, so this is the classic linear cousin of CAD's
+// correlation-graph view.
+#ifndef CAD_BASELINES_PCA_DETECTOR_H_
+#define CAD_BASELINES_PCA_DETECTOR_H_
+
+#include "baselines/detector.h"
+#include "stats/eigen.h"
+#include "ts/normalize.h"
+
+namespace cad::baselines {
+
+struct PcaOptions {
+  // Components with eigenvalue below `variance_floor` * trace/n are clamped
+  // to it (near-singular covariance directions would dominate the score).
+  double variance_floor = 1e-4;
+};
+
+class PcaDetector : public Detector {
+ public:
+  explicit PcaDetector(const PcaOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "PCA"; }
+  bool deterministic() const override { return true; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  PcaOptions options_;
+  bool fitted_ = false;
+  ts::Scaler scaler_;
+  stats::EigenDecomposition basis_;
+  std::vector<double> safe_eigenvalues_;
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_PCA_DETECTOR_H_

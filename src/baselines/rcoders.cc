@@ -1,0 +1,116 @@
+#include "baselines/rcoders.h"
+
+#include <algorithm>
+
+namespace cad::baselines {
+
+namespace {
+
+// Flattens window [start, start + w) time-major: sample t's sensors adjacent.
+std::vector<double> Flatten(const ts::MultivariateSeries& scaled, int start,
+                            int w) {
+  std::vector<double> window;
+  window.reserve(static_cast<size_t>(w) * scaled.n_sensors());
+  for (int t = start; t < start + w; ++t) {
+    for (int i = 0; i < scaled.n_sensors(); ++i) {
+      window.push_back(scaled.value(i, t));
+    }
+  }
+  return window;
+}
+
+}  // namespace
+
+Status Rcoders::Fit(const ts::MultivariateSeries& train) {
+  if (train.length() < options_.window * 2) {
+    return Status::InvalidArgument("training series shorter than two windows");
+  }
+  n_sensors_ = train.n_sensors();
+  scaler_ = ts::FitMinMax(train);
+  const ts::MultivariateSeries scaled = ts::Apply(scaler_, train);
+
+  const int input = options_.window * n_sensors_;
+  Rng rng(options_.seed);
+  nn::MlpOptions mlp;
+  mlp.layer_sizes = {input, options_.hidden, options_.latent, options_.hidden,
+                     input};
+  mlp.output_activation = nn::Activation::kSigmoid;
+  mlp.learning_rate = options_.learning_rate;
+  autoencoder_ = std::make_unique<nn::Mlp>(mlp, &rng);
+
+  const int total_positions = train.length() - options_.window + 1;
+  const int stride =
+      std::max(1, total_positions / std::max(1, options_.max_train_windows));
+  std::vector<int> starts;
+  for (int start = 0; start + options_.window <= train.length();
+       start += stride) {
+    starts.push_back(start);
+  }
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&starts);
+    for (int start : starts) {
+      const std::vector<double> window = Flatten(scaled, start, options_.window);
+      autoencoder_->TrainStep(window, window);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<double>>> Rcoders::ReconstructionErrors(
+    const ts::MultivariateSeries& test) {
+  if (autoencoder_ == nullptr) {
+    return Status::FailedPrecondition("RCoders requires Fit before Score");
+  }
+  if (test.n_sensors() != n_sensors_) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  const ts::MultivariateSeries scaled = ts::Apply(scaler_, test);
+  std::vector<std::vector<double>> errors(
+      n_sensors_, std::vector<double>(test.length(), 0.0));
+  std::vector<int> coverage(test.length(), 0);
+
+  const int w = options_.window;
+  for (int start = 0; start + w <= test.length(); ++start) {
+    const std::vector<double> window = Flatten(scaled, start, w);
+    const std::vector<double> recon = autoencoder_->Forward(window);
+    for (int dt = 0; dt < w; ++dt) {
+      const int t = start + dt;
+      for (int i = 0; i < n_sensors_; ++i) {
+        const double d = window[static_cast<size_t>(dt) * n_sensors_ + i] -
+                         recon[static_cast<size_t>(dt) * n_sensors_ + i];
+        errors[i][t] += d * d;
+      }
+    }
+    for (int dt = 0; dt < w; ++dt) ++coverage[start + dt];
+  }
+  for (int t = 0; t < test.length(); ++t) {
+    if (coverage[t] == 0) continue;
+    for (int i = 0; i < n_sensors_; ++i) {
+      errors[i][t] /= static_cast<double>(coverage[t]);
+    }
+  }
+  return errors;
+}
+
+Result<std::vector<double>> Rcoders::Score(const ts::MultivariateSeries& test) {
+  Result<std::vector<std::vector<double>>> errors = ReconstructionErrors(test);
+  if (!errors.ok()) return errors.status();
+  std::vector<double> scores(test.length(), 0.0);
+  for (const std::vector<double>& sensor_errors : errors.value()) {
+    for (int t = 0; t < test.length(); ++t) scores[t] += sensor_errors[t];
+  }
+  for (double& v : scores) v /= static_cast<double>(n_sensors_);
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+Result<std::vector<std::vector<double>>> Rcoders::SensorScores(
+    const ts::MultivariateSeries& test) {
+  Result<std::vector<std::vector<double>>> errors = ReconstructionErrors(test);
+  if (!errors.ok()) return errors.status();
+  std::vector<std::vector<double>> scores = std::move(errors).value();
+  for (std::vector<double>& row : scores) MinMaxNormalize(&row);
+  return scores;
+}
+
+}  // namespace cad::baselines

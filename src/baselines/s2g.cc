@@ -1,0 +1,103 @@
+#include "baselines/s2g.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "baselines/subsequence.h"
+
+namespace cad::baselines {
+
+namespace {
+
+// Autocorrelation of a z-normalized subsequence at one lag (denominator l,
+// biased — fine for a quantized signature).
+double AcfAt(const std::vector<double>& x, int lag) {
+  const int l = static_cast<int>(x.size());
+  if (lag >= l) return 0.0;
+  double num = 0.0;
+  for (int i = 0; i + lag < l; ++i) num += x[i] * x[i + lag];
+  return num / static_cast<double>(l);
+}
+
+int QuantizeUnit(double v, int bins) {  // v in [-1, 1]
+  const double clamped = std::clamp(v, -1.0, 1.0);
+  return std::min(bins - 1, static_cast<int>((clamped + 1.0) / 2.0 * bins));
+}
+
+// Quantizes one z-normalized subsequence into a shape-signature node id:
+// the ACF at quarter and half length (captures periodic structure and its
+// phase relationships) plus the normalized mean absolute first difference
+// (captures roughness). Recurring patterns land on the same node; pattern
+// breaks scatter across rare nodes.
+int64_t NodeId(const std::vector<double>& subsequence, int bins) {
+  const int l = static_cast<int>(subsequence.size());
+  const double acf_quarter = AcfAt(subsequence, std::max(1, l / 4));
+  const double acf_half = AcfAt(subsequence, std::max(1, l / 2));
+  double roughness = 0.0;
+  for (int i = 1; i < l; ++i) {
+    roughness += std::abs(subsequence[i] - subsequence[i - 1]);
+  }
+  roughness /= std::max(1, l - 1);  // in [0, ~2.2] for unit-variance input
+
+  int64_t id = QuantizeUnit(acf_quarter, bins);
+  id = id * bins + QuantizeUnit(acf_half, bins);
+  id = id * bins + QuantizeUnit(roughness - 1.0, bins);
+  return id;
+}
+
+}  // namespace
+
+std::vector<double> S2g::ScoreSeries(std::span<const double> train,
+                                     std::span<const double> test) {
+  const int l = std::min<int>(options_.query_length,
+                              std::max<int>(8, static_cast<int>(test.size()) / 4));
+  const int stride = std::max(1, l / 8);
+
+  // Build the pattern graph from training data when available, otherwise
+  // from the test series itself (the method is unsupervised).
+  std::unordered_map<int64_t, double> node_weight;
+  std::unordered_map<int64_t, double> edge_weight;
+  auto ingest = [&](std::span<const double> x) {
+    std::vector<std::vector<double>> subs = ExtractSubsequences(x, l, stride);
+    int64_t prev = -1;
+    for (std::vector<double>& sub : subs) {
+      ZNormalize(&sub);
+      const int64_t node = NodeId(sub, options_.bins);
+      node_weight[node] += 1.0;
+      if (prev >= 0) {
+        edge_weight[(prev << 20) ^ node] += 1.0;
+      }
+      prev = node;
+    }
+  };
+  if (!train.empty()) ingest(train);
+  ingest(test);
+
+  // Score test subsequences: normality = frequency of the node plus the
+  // frequency of the edge taken to reach it; anomaly = inverse normality.
+  std::vector<std::vector<double>> subs = ExtractSubsequences(test, l, stride);
+  std::vector<double> sub_scores(subs.size(), 0.0);
+  int64_t prev = -1;
+  for (size_t s = 0; s < subs.size(); ++s) {
+    ZNormalize(&subs[s]);
+    const int64_t node = NodeId(subs[s], options_.bins);
+    double normality = node_weight[node];
+    if (prev >= 0) normality += edge_weight[(prev << 20) ^ node];
+    sub_scores[s] = 1.0 / (1.0 + normality);
+    prev = node;
+  }
+
+  std::vector<double> scores = SpreadSubsequenceScores(
+      sub_scores, l, stride, static_cast<int>(test.size()));
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+std::unique_ptr<Detector> MakeS2gEnsemble(const S2gOptions& options) {
+  return std::make_unique<UnivariateEnsemble>(
+      "S2G", /*deterministic=*/true,
+      [options](int) { return std::make_unique<S2g>(options); });
+}
+
+}  // namespace cad::baselines

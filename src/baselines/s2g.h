@@ -1,0 +1,45 @@
+// S2G — Series2Graph (Boniol & Palpanas, PVLDB 2020), reimplemented in its
+// graph-scoring essence: overlapping subsequences are embedded into a small
+// pattern space, quantized into graph nodes, and consecutive subsequences
+// form directed edges whose traversal frequency measures normality — rarely
+// travelled edges indicate anomalous transitions.
+//
+// Embedding simplification (documented in DESIGN.md): instead of the
+// original rotation-invariant PCA embedding we use the per-third means of
+// each z-normalized subsequence quantized into `bins` levels. This keeps
+// the method's signature behaviour — recurring patterns collapse onto heavy
+// paths; anomalies wander off them — while staying dependency-free and
+// fully deterministic (S2G is one of the paper's four deterministic
+// methods).
+#ifndef CAD_BASELINES_S2G_H_
+#define CAD_BASELINES_S2G_H_
+
+#include "baselines/univariate.h"
+
+namespace cad::baselines {
+
+struct S2gOptions {
+  int query_length = 100;  // paper Section VI-A uses 100 for all datasets
+  int bins = 5;            // quantization levels per embedding coordinate
+};
+
+class S2g : public UnivariateDetector {
+ public:
+  explicit S2g(const S2gOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "S2G"; }
+  bool deterministic() const override { return true; }
+
+  std::vector<double> ScoreSeries(std::span<const double> train,
+                                  std::span<const double> test) override;
+
+ private:
+  S2gOptions options_;
+};
+
+// Factory-made MTS ensemble with the paper's settings.
+std::unique_ptr<Detector> MakeS2gEnsemble(const S2gOptions& options = {});
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_S2G_H_

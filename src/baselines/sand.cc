@@ -1,0 +1,297 @@
+#include "baselines/sand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/subsequence.h"
+#include "common/rng.h"
+#include "stats/autocorrelation.h"
+
+namespace cad::baselines {
+
+namespace {
+
+struct WeightedModel {
+  std::vector<std::vector<double>> centroids;  // z-normalized
+  std::vector<double> weights;                 // occurrence mass per centroid
+};
+
+// SBD plus the aligning shift (positive shift: b lags a).
+struct SbdResult {
+  double distance = 2.0;
+  int shift = 0;
+};
+
+SbdResult SbdWithShift(const std::vector<double>& a,
+                       const std::vector<double>& b, int max_shift) {
+  const int l = static_cast<int>(a.size());
+  SbdResult result;
+  double norm_a = 0.0, norm_b = 0.0;
+  for (int i = 0; i < l; ++i) {
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  const double denom = std::sqrt(norm_a * norm_b);
+  if (denom < 1e-12) return {0.0, 0};
+  double best = -1.0;
+  for (int shift = -max_shift; shift <= max_shift; ++shift) {
+    double dot = 0.0;
+    const int begin = std::max(0, shift);
+    const int end = std::min(l, l + shift);
+    for (int i = begin; i < end; ++i) dot += a[i] * b[i - shift];
+    if (dot / denom > best) {
+      best = dot / denom;
+      result.shift = shift;
+    }
+  }
+  result.distance = 1.0 - best;
+  return result;
+}
+
+// Shifts `x` by `shift` with zero padding (aligning it onto the centroid).
+std::vector<double> Shifted(const std::vector<double>& x, int shift) {
+  const int l = static_cast<int>(x.size());
+  std::vector<double> out(l, 0.0);
+  for (int i = 0; i < l; ++i) {
+    const int j = i - shift;
+    if (j >= 0 && j < l) out[i] = x[j];
+  }
+  return out;
+}
+
+int MaxShift(int subsequence_length) { return subsequence_length / 4; }
+
+// Clusters z-normalized subsequences into a weighted model (SBD k-means with
+// aligned-mean refinement).
+WeightedModel ClusterSubsequences(std::vector<std::vector<double>> subs,
+                                  int n_clusters, int max_iterations,
+                                  cad::Rng* rng) {
+  WeightedModel model;
+  if (subs.empty()) return model;
+  const int l = static_cast<int>(subs[0].size());
+  const int k = std::min<int>(n_clusters, static_cast<int>(subs.size()));
+  const int shift_cap = MaxShift(l);
+
+  // Random distinct seeds.
+  std::vector<int> seed_index =
+      rng->SampleWithoutReplacement(static_cast<int>(subs.size()), k);
+  for (int idx : seed_index) model.centroids.push_back(subs[idx]);
+  model.weights.assign(k, 0.0);
+
+  std::vector<int> assignment(subs.size(), 0);
+  std::vector<int> shift(subs.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Assignment.
+    bool changed = false;
+    for (size_t s = 0; s < subs.size(); ++s) {
+      double best = 1e18;
+      int best_c = 0, best_shift = 0;
+      for (int c = 0; c < k; ++c) {
+        const SbdResult r = SbdWithShift(model.centroids[c], subs[s], shift_cap);
+        if (r.distance < best) {
+          best = r.distance;
+          best_c = c;
+          best_shift = r.shift;
+        }
+      }
+      if (assignment[s] != best_c) changed = true;
+      assignment[s] = best_c;
+      shift[s] = best_shift;
+    }
+    // Refinement: SBD-aligned mean per cluster.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(l, 0.0));
+    std::vector<int> counts(k, 0);
+    for (size_t s = 0; s < subs.size(); ++s) {
+      const std::vector<double> aligned = Shifted(subs[s], shift[s]);
+      std::vector<double>& sum = sums[assignment[s]];
+      for (int i = 0; i < l; ++i) sum[i] += aligned[i];
+      ++counts[assignment[s]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (int i = 0; i < l; ++i) {
+        sums[c][i] /= static_cast<double>(counts[c]);
+      }
+      ZNormalize(&sums[c]);
+      model.centroids[c] = std::move(sums[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  // Final weights = cluster occupancy.
+  std::fill(model.weights.begin(), model.weights.end(), 0.0);
+  for (size_t s = 0; s < subs.size(); ++s) model.weights[assignment[s]] += 1.0;
+  return model;
+}
+
+// Weighted anomaly score of one subsequence against the model: the SBD to
+// each centroid inflated for low-weight (rare) clusters.
+double ScoreAgainstModel(const WeightedModel& model,
+                         const std::vector<double>& sub) {
+  if (model.centroids.empty()) return 0.0;
+  const int shift_cap = MaxShift(static_cast<int>(sub.size()));
+  const double w_max =
+      *std::max_element(model.weights.begin(), model.weights.end());
+  double best = 1e18;
+  for (size_t c = 0; c < model.centroids.size(); ++c) {
+    const double d = SbdWithShift(model.centroids[c], sub, shift_cap).distance;
+    const double rarity =
+        std::sqrt((w_max + 1.0) / (model.weights[c] + 1.0));
+    best = std::min(best, d * rarity);
+  }
+  return best;
+}
+
+struct SubsequencePlan {
+  int length = 0;
+  int stride = 0;
+};
+
+SubsequencePlan PlanSubsequences(std::span<const double> series,
+                                 int pattern_length) {
+  SubsequencePlan plan;
+  int l = pattern_length;
+  if (l <= 0) {
+    // Paper protocol: pattern length from the ACF; centroid length 4*l.
+    const int max_lag = std::min<int>(256, static_cast<int>(series.size()) / 3);
+    l = cad::stats::EstimateDominantPeriod(series, 4, max_lag, 0.1, 25);
+  }
+  plan.length =
+      std::clamp(4 * l, 8, std::max(8, static_cast<int>(series.size()) / 4));
+  plan.stride = std::max(1, plan.length / 4);
+  return plan;
+}
+
+std::vector<std::vector<double>> NormalizedSubsequences(
+    std::span<const double> x, const SubsequencePlan& plan) {
+  std::vector<std::vector<double>> subs =
+      ExtractSubsequences(x, plan.length, plan.stride);
+  for (std::vector<double>& sub : subs) ZNormalize(&sub);
+  return subs;
+}
+
+}  // namespace
+
+std::vector<double> Sand::ScoreSeries(std::span<const double> train,
+                                      std::span<const double> test) {
+  cad::Rng rng(options_.seed);
+  const SubsequencePlan plan = PlanSubsequences(test, options_.pattern_length);
+
+  // Model built on everything available (train history + test), as the batch
+  // method sees the whole series at once.
+  std::vector<std::vector<double>> model_subs;
+  if (!train.empty()) model_subs = NormalizedSubsequences(train, plan);
+  std::vector<std::vector<double>> test_subs =
+      NormalizedSubsequences(test, plan);
+  model_subs.insert(model_subs.end(), test_subs.begin(), test_subs.end());
+
+  const WeightedModel model = ClusterSubsequences(
+      std::move(model_subs), options_.n_clusters, options_.max_iterations, &rng);
+
+  std::vector<double> sub_scores(test_subs.size(), 0.0);
+  for (size_t s = 0; s < test_subs.size(); ++s) {
+    sub_scores[s] = ScoreAgainstModel(model, test_subs[s]);
+  }
+  std::vector<double> scores = SpreadSubsequenceScores(
+      sub_scores, plan.length, plan.stride, static_cast<int>(test.size()));
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+std::vector<double> SandStar::ScoreSeries(std::span<const double> train,
+                                          std::span<const double> test) {
+  cad::Rng rng(options_.seed);
+  const SubsequencePlan plan = PlanSubsequences(test, options_.pattern_length);
+  std::vector<std::vector<double>> test_subs =
+      NormalizedSubsequences(test, plan);
+  std::vector<double> sub_scores(test_subs.size(), 0.0);
+  if (test_subs.empty()) {
+    return std::vector<double>(test.size(), 0.0);
+  }
+
+  // Initial model: the training history when present, otherwise the paper's
+  // initial fraction of the stream (those subsequences score against the
+  // model they formed, like the original's initialization batch).
+  size_t init_count = 0;
+  std::vector<std::vector<double>> init_subs;
+  if (!train.empty()) {
+    init_subs = NormalizedSubsequences(train, plan);
+  } else {
+    init_count = std::max<size_t>(
+        1, static_cast<size_t>(test_subs.size() * options_.init_fraction));
+    init_subs.assign(test_subs.begin(), test_subs.begin() + init_count);
+  }
+  WeightedModel model = ClusterSubsequences(
+      init_subs, options_.n_clusters, options_.max_iterations, &rng);
+
+  const size_t batch =
+      std::max<size_t>(1, static_cast<size_t>(test_subs.size() *
+                                              options_.batch_fraction));
+  const int shift_cap = MaxShift(plan.length);
+  const int l = plan.length;
+  size_t s = 0;
+  while (s < test_subs.size()) {
+    const size_t end = std::min(test_subs.size(), s + batch);
+    // Score the batch against the current model, then fold it in.
+    std::vector<std::vector<double>> batch_sum(
+        model.centroids.size(), std::vector<double>(l, 0.0));
+    std::vector<double> batch_count(model.centroids.size(), 0.0);
+    for (size_t i = s; i < end; ++i) {
+      sub_scores[i] = ScoreAgainstModel(model, test_subs[i]);
+      // Assign to the nearest centroid for the model update.
+      double best = 1e18;
+      int best_c = 0, best_shift = 0;
+      for (size_t c = 0; c < model.centroids.size(); ++c) {
+        const SbdResult r =
+            SbdWithShift(model.centroids[c], test_subs[i], shift_cap);
+        if (r.distance < best) {
+          best = r.distance;
+          best_c = static_cast<int>(c);
+          best_shift = r.shift;
+        }
+      }
+      const std::vector<double> aligned = Shifted(test_subs[i], best_shift);
+      for (int j = 0; j < l; ++j) batch_sum[best_c][j] += aligned[j];
+      batch_count[best_c] += 1.0;
+    }
+    // Update rate alpha blends old centroids with the batch means.
+    for (size_t c = 0; c < model.centroids.size(); ++c) {
+      if (batch_count[c] == 0.0) continue;
+      std::vector<double> blended(l, 0.0);
+      for (int j = 0; j < l; ++j) {
+        const double batch_mean = batch_sum[c][j] / batch_count[c];
+        blended[j] = options_.alpha * model.centroids[c][j] +
+                     (1.0 - options_.alpha) * batch_mean;
+      }
+      ZNormalize(&blended);
+      model.centroids[c] = std::move(blended);
+      model.weights[c] += batch_count[c];
+    }
+    s = end;
+  }
+
+  std::vector<double> scores = SpreadSubsequenceScores(
+      sub_scores, plan.length, plan.stride, static_cast<int>(test.size()));
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+std::unique_ptr<Detector> MakeSandEnsemble(const SandOptions& options) {
+  return std::make_unique<UnivariateEnsemble>(
+      "SAND", /*deterministic=*/false, [options](int sensor) {
+        SandOptions per_sensor = options;
+        per_sensor.seed = options.seed + static_cast<uint64_t>(sensor) * 977;
+        return std::make_unique<Sand>(per_sensor);
+      });
+}
+
+std::unique_ptr<Detector> MakeSandStarEnsemble(const SandOptions& options) {
+  return std::make_unique<UnivariateEnsemble>(
+      "SAND*", /*deterministic=*/false, [options](int sensor) {
+        SandOptions per_sensor = options;
+        per_sensor.seed = options.seed + static_cast<uint64_t>(sensor) * 1013;
+        return std::make_unique<SandStar>(per_sensor);
+      });
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,94 @@
+#include "baselines/subsequence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cad::baselines {
+
+void ZNormalize(std::vector<double>* x) {
+  const size_t n = x->size();
+  if (n == 0) return;
+  double mean = 0.0;
+  for (double v : *x) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : *x) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  const double std = std::sqrt(var);
+  if (std < 1e-12) {
+    std::fill(x->begin(), x->end(), 0.0);
+    return;
+  }
+  for (double& v : *x) v = (v - mean) / std;
+}
+
+std::vector<std::vector<double>> ExtractSubsequences(std::span<const double> x,
+                                                     int length, int stride) {
+  CAD_CHECK(length > 0 && stride > 0, "bad subsequence parameters");
+  std::vector<std::vector<double>> out;
+  for (int start = 0; start + length <= static_cast<int>(x.size());
+       start += stride) {
+    out.emplace_back(x.begin() + start, x.begin() + start + length);
+  }
+  return out;
+}
+
+double SquaredEuclidean(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  CAD_CHECK(a.size() == b.size(), "length mismatch");
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+double ShapeBasedDistance(const std::vector<double>& a,
+                          const std::vector<double>& b, int max_shift) {
+  CAD_CHECK(a.size() == b.size(), "length mismatch");
+  const int l = static_cast<int>(a.size());
+  if (l == 0) return 0.0;
+
+  double norm_a = 0.0, norm_b = 0.0;
+  for (int i = 0; i < l; ++i) {
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  const double denom = std::sqrt(norm_a * norm_b);
+  if (denom < 1e-12) return 0.0;  // both flat: identical shapes
+
+  double best = -1.0;
+  for (int shift = -max_shift; shift <= max_shift; ++shift) {
+    double dot = 0.0;
+    // a[i] aligned against b[i - shift].
+    const int begin = std::max(0, shift);
+    const int end = std::min(l, l + shift);
+    for (int i = begin; i < end; ++i) dot += a[i] * b[i - shift];
+    best = std::max(best, dot / denom);
+  }
+  return 1.0 - best;
+}
+
+std::vector<double> SpreadSubsequenceScores(const std::vector<double>& scores,
+                                            int subsequence_length, int stride,
+                                            int series_length) {
+  std::vector<double> point_scores(series_length, 0.0);
+  std::vector<int> coverage(series_length, 0);
+  for (size_t s = 0; s < scores.size(); ++s) {
+    const int begin = static_cast<int>(s) * stride;
+    const int end = std::min(series_length, begin + subsequence_length);
+    for (int t = begin; t < end; ++t) {
+      point_scores[t] += scores[s];
+      ++coverage[t];
+    }
+  }
+  for (int t = 0; t < series_length; ++t) {
+    if (coverage[t] > 0) point_scores[t] /= static_cast<double>(coverage[t]);
+  }
+  return point_scores;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,38 @@
+// Shared subsequence machinery for the univariate baselines (S2G, SAND,
+// SAND*, NormA): extraction, z-normalization, shape-based distance, and
+// mapping per-subsequence scores back onto time points.
+#ifndef CAD_BASELINES_SUBSEQUENCE_H_
+#define CAD_BASELINES_SUBSEQUENCE_H_
+
+#include <span>
+#include <vector>
+
+namespace cad::baselines {
+
+// Z-normalizes in place; constant subsequences become all zeros.
+void ZNormalize(std::vector<double>* x);
+
+// Overlapping subsequences of `length` every `stride` points. The trailing
+// remainder shorter than `length` is dropped (all four methods do this).
+std::vector<std::vector<double>> ExtractSubsequences(std::span<const double> x,
+                                                     int length, int stride);
+
+// Squared Euclidean distance.
+double SquaredEuclidean(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+// Shape-based distance (k-Shape / SAND): 1 - max cross-correlation over
+// shifts in [-max_shift, max_shift], computed on z-normalized inputs.
+// Result is in [0, 2].
+double ShapeBasedDistance(const std::vector<double>& a,
+                          const std::vector<double>& b, int max_shift);
+
+// Distributes per-subsequence scores onto time points: each point gets the
+// mean score of the subsequences covering it (0 where nothing covers).
+std::vector<double> SpreadSubsequenceScores(const std::vector<double>& scores,
+                                            int subsequence_length, int stride,
+                                            int series_length);
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_SUBSEQUENCE_H_

@@ -1,0 +1,26 @@
+#include "baselines/univariate.h"
+
+namespace cad::baselines {
+
+Result<std::vector<double>> UnivariateEnsemble::Score(
+    const ts::MultivariateSeries& test) {
+  if (test.empty()) return Status::InvalidArgument("empty series");
+  if (train_.length() > 0 && train_.n_sensors() != test.n_sensors()) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  std::vector<double> mean_scores(test.length(), 0.0);
+  for (int i = 0; i < test.n_sensors(); ++i) {
+    std::unique_ptr<UnivariateDetector> detector = factory_(i);
+    const std::span<const double> history =
+        train_.length() > 0 ? train_.sensor(i) : std::span<const double>{};
+    std::vector<double> scores = detector->ScoreSeries(history, test.sensor(i));
+    CAD_CHECK(scores.size() == static_cast<size_t>(test.length()),
+              "univariate detector returned wrong score length");
+    for (int t = 0; t < test.length(); ++t) mean_scores[t] += scores[t];
+  }
+  for (double& v : mean_scores) v /= static_cast<double>(test.n_sensors());
+  MinMaxNormalize(&mean_scores);
+  return mean_scores;
+}
+
+}  // namespace cad::baselines

@@ -1,0 +1,60 @@
+// Univariate subsequence anomaly detectors and the ensemble adapter that
+// lifts them to MTS exactly as the paper does (Section VI-A): "we perform
+// these methods on each time series and treat the mean of the abnormal
+// scores as the output".
+#ifndef CAD_BASELINES_UNIVARIATE_H_
+#define CAD_BASELINES_UNIVARIATE_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "baselines/detector.h"
+
+namespace cad::baselines {
+
+// One univariate method: scores every point of `test` in [0, 1]; `train`
+// may be empty (these methods are unsupervised and fit on the input).
+class UnivariateDetector {
+ public:
+  virtual ~UnivariateDetector() = default;
+  virtual std::string name() const = 0;
+  virtual bool deterministic() const = 0;
+  virtual std::vector<double> ScoreSeries(std::span<const double> train,
+                                          std::span<const double> test) = 0;
+};
+
+// Applies a univariate method independently to every sensor and averages the
+// per-sensor score series. A fresh detector instance is created per sensor
+// through the factory so no state leaks across sensors.
+class UnivariateEnsemble : public Detector {
+ public:
+  using Factory = std::function<std::unique_ptr<UnivariateDetector>(int sensor)>;
+
+  UnivariateEnsemble(std::string name, bool deterministic, Factory factory)
+      : name_(std::move(name)),
+        deterministic_(deterministic),
+        factory_(std::move(factory)) {}
+
+  std::string name() const override { return name_; }
+  bool deterministic() const override { return deterministic_; }
+
+  Status Fit(const ts::MultivariateSeries& train) override {
+    train_ = train;  // kept only to hand each sensor its history
+    return Status::Ok();
+  }
+
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  std::string name_;
+  bool deterministic_;
+  Factory factory_;
+  ts::MultivariateSeries train_;
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_UNIVARIATE_H_

@@ -1,0 +1,102 @@
+#include "baselines/usad.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::baselines {
+
+std::vector<std::vector<double>> Usad::MakeWindows(
+    const ts::MultivariateSeries& series, int stride) const {
+  const ts::MultivariateSeries scaled = ts::Apply(scaler_, series);
+  std::vector<std::vector<double>> windows;
+  const int w = options_.window;
+  for (int start = 0; start + w <= scaled.length(); start += stride) {
+    std::vector<double> window;
+    window.reserve(static_cast<size_t>(w) * scaled.n_sensors());
+    for (int t = start; t < start + w; ++t) {
+      for (int i = 0; i < scaled.n_sensors(); ++i) {
+        window.push_back(scaled.value(i, t));
+      }
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+Status Usad::Fit(const ts::MultivariateSeries& train) {
+  if (train.length() < options_.window * 2) {
+    return Status::InvalidArgument("training series shorter than two windows");
+  }
+  n_sensors_ = train.n_sensors();
+  scaler_ = ts::FitMinMax(train);
+
+  // Stride so at most max_train_windows windows are visited per epoch.
+  const int total_positions = train.length() - options_.window + 1;
+  const int stride =
+      std::max(1, total_positions / std::max(1, options_.max_train_windows));
+  const std::vector<std::vector<double>> windows = MakeWindows(train, stride);
+  if (windows.empty()) return Status::InvalidArgument("no training windows");
+
+  const int input = options_.window * n_sensors_;
+  Rng rng(options_.seed);
+  nn::MlpOptions mlp;
+  mlp.layer_sizes = {input, options_.hidden, options_.latent, options_.hidden,
+                     input};
+  mlp.output_activation = nn::Activation::kSigmoid;  // min-max scaled targets
+  mlp.learning_rate = options_.learning_rate;
+  ae1_ = std::make_unique<nn::Mlp>(mlp, &rng);
+  ae2_ = std::make_unique<nn::Mlp>(mlp, &rng);
+
+  // Two-phase schedule per the original: early epochs emphasize plain
+  // reconstruction, later epochs emphasize the chained (adversarial) path.
+  std::vector<int> order(windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 1; epoch <= options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double chain_weight =
+        1.0 - 1.0 / static_cast<double>(epoch);  // (e-1)/e, grows over epochs
+    for (int idx : order) {
+      const std::vector<double>& w = windows[idx];
+      ae1_->TrainStep(w, w);
+      // AE2 reconstructs the original from AE1's current output; the weight
+      // ramps up like USAD's (1 - 1/e) adversarial term.
+      const std::vector<double> recon1 = ae1_->Forward(w);
+      ae2_->TrainStep(recon1, w, std::max(0.1, chain_weight));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Usad::Score(const ts::MultivariateSeries& test) {
+  if (ae1_ == nullptr) {
+    return Status::FailedPrecondition("USAD requires Fit before Score");
+  }
+  if (test.n_sensors() != n_sensors_) {
+    return Status::InvalidArgument("sensor count differs from fitted data");
+  }
+  // Score every window position (stride 1) and assign the window's score to
+  // its last point — the moment the data becomes available.
+  const std::vector<std::vector<double>> windows = MakeWindows(test, 1);
+  std::vector<double> scores(test.length(), 0.0);
+  for (size_t s = 0; s < windows.size(); ++s) {
+    const std::vector<double>& w = windows[s];
+    const std::vector<double> recon1 = ae1_->Forward(w);
+    const std::vector<double> recon2 = ae2_->Forward(recon1);
+    double err1 = 0.0, err2 = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+      err1 += (w[i] - recon1[i]) * (w[i] - recon1[i]);
+      err2 += (w[i] - recon2[i]) * (w[i] - recon2[i]);
+    }
+    const double inv = 1.0 / static_cast<double>(w.size());
+    const int t = static_cast<int>(s) + options_.window - 1;
+    scores[t] = options_.alpha * err1 * inv + options_.beta * err2 * inv;
+  }
+  // Head points (before the first full window) inherit the first score.
+  for (int t = 0; t < options_.window - 1 && t < test.length(); ++t) {
+    scores[t] = scores[std::min(test.length() - 1, options_.window - 1)];
+  }
+  MinMaxNormalize(&scores);
+  return scores;
+}
+
+}  // namespace cad::baselines

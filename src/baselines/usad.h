@@ -1,0 +1,63 @@
+// USAD — UnSupervised Anomaly Detection (Audibert et al., KDD 2020).
+//
+// USAD trains a pair of autoencoders over sliding windows of the MTS with a
+// two-phase adversarial scheme; at inference the anomaly score of a window is
+//   alpha * ||W - AE1(W)||^2 + beta * ||AE2(AE1(W)) - W||^2,
+// i.e. the second autoencoder amplifies reconstruction drift of the first.
+//
+// Substitution note (DESIGN.md §1): the original shares one encoder between
+// the two decoders and trains with epoch-weighted adversarial objectives in
+// PyTorch. Here AE1 and AE2 are two dense autoencoders from the from-scratch
+// cad::nn substrate; AE1 learns to reconstruct normal windows and AE2 learns
+// to reconstruct the original window *from AE1's output*, preserving the
+// chained scoring path, the training-data dependence and the seed-dependent
+// instability the paper highlights (Tables VI and VIII).
+#ifndef CAD_BASELINES_USAD_H_
+#define CAD_BASELINES_USAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/detector.h"
+#include "nn/mlp.h"
+#include "ts/normalize.h"
+
+namespace cad::baselines {
+
+struct UsadOptions {
+  int window = 5;       // window width in time points (input dim = window * n)
+  int latent = 16;      // bottleneck size
+  int hidden = 64;      // hidden layer size
+  int epochs = 8;
+  double learning_rate = 1e-3;
+  double alpha = 0.5;   // weight of the AE1 reconstruction term
+  double beta = 0.5;    // weight of the chained AE2 term
+  uint64_t seed = 3;
+  int max_train_windows = 4000;  // stride-subsampled cap per epoch
+};
+
+class Usad : public Detector {
+ public:
+  explicit Usad(const UsadOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "USAD"; }
+  bool deterministic() const override { return false; }
+
+  Status Fit(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> Score(
+      const ts::MultivariateSeries& test) override;
+
+ private:
+  std::vector<std::vector<double>> MakeWindows(
+      const ts::MultivariateSeries& series, int stride) const;
+
+  UsadOptions options_;
+  ts::Scaler scaler_;
+  int n_sensors_ = 0;
+  std::unique_ptr<nn::Mlp> ae1_;
+  std::unique_ptr<nn::Mlp> ae2_;
+};
+
+}  // namespace cad::baselines
+
+#endif  // CAD_BASELINES_USAD_H_

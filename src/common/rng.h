@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// CAD itself is deterministic, but the synthetic dataset generators and the
+// stochastic baselines (IForest, USAD, SAND, ...) need reproducible yet
+// high-quality randomness. std::mt19937_64 output differs across standard
+// library implementations for distributions, so all distribution sampling
+// here is implemented directly on top of the raw generator.
+#ifndef CAD_COMMON_RNG_H_
+#define CAD_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cad {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+// implementation), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 to fill the state from a single word.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBounded(uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  int UniformInt(int lo, int hi_exclusive) {
+    return lo + static_cast<int>(NextBounded(
+                    static_cast<uint64_t>(hi_exclusive - lo)));
+  }
+
+  // Standard normal via Marsaglia polar method (cached pair).
+  double Gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * factor;
+    has_gauss_ = true;
+    return u * factor;
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Samples `count` distinct indices from [0, n) (count <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int count) {
+    std::vector<int> pool(n);
+    for (int i = 0; i < n; ++i) pool[i] = i;
+    Shuffle(&pool);
+    pool.resize(count);
+    return pool;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace cad
+
+#endif  // CAD_COMMON_RNG_H_

@@ -1,0 +1,147 @@
+// Status and Result<T>: lightweight, exception-free error handling in the
+// style of RocksDB/Arrow. Library entry points that can fail return a Status
+// (or a Result<T> when they also produce a value); internal invariant
+// violations abort via CAD_CHECK.
+#ifndef CAD_COMMON_STATUS_H_
+#define CAD_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cad {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Value-semantic status: kOk or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. ValueOrDie() aborts on error
+// with the status message, mirroring Arrow's Result semantics.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::get<T>(std::move(payload_));
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: "
+                << std::get<Status>(payload_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace cad
+
+// Propagates a non-OK Status from an expression.
+#define CAD_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::cad::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+// Aborts with a message when an invariant is violated. Used for programmer
+// errors (not data errors, which return Status).
+#define CAD_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::cerr << "CAD_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " << (msg) << std::endl;                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // CAD_COMMON_STATUS_H_

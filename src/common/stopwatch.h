@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harness to report training /
+// testing times in the same units as the paper (seconds, milliseconds).
+#ifndef CAD_COMMON_STOPWATCH_H_
+#define CAD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cad {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cad
+
+#endif  // CAD_COMMON_STOPWATCH_H_

@@ -1,0 +1,59 @@
+// Small string helpers shared by the CSV reader and bench table printers.
+#ifndef CAD_COMMON_STRINGS_H_
+#define CAD_COMMON_STRINGS_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cad {
+
+// Splits `s` on `sep`, keeping empty fields.
+inline std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+// Strips ASCII whitespace from both ends.
+inline std::string_view StripAsciiWhitespace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Formats a double with fixed precision, e.g. FormatDouble(89.66, 1) == "89.7".
+inline std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+// Left-pads or right-pads `s` with spaces to `width` (positive width pads on
+// the left / right-aligns).
+inline std::string Pad(const std::string& s, int width) {
+  const int w = width >= 0 ? width : -width;
+  if (static_cast<int>(s.size()) >= w) return s;
+  std::string pad(w - s.size(), ' ');
+  return width >= 0 ? pad + s : s + pad;
+}
+
+}  // namespace cad
+
+#endif  // CAD_COMMON_STRINGS_H_

@@ -1,0 +1,177 @@
+#include "core/cad_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace cad::core {
+
+namespace {
+
+// Threshold on |n_r - mu|. A zero sigma would make the >= comparison fire on
+// every round including n_r == mu; the tiny floor keeps the faithful "any
+// deviation from mu is abnormal" semantics in that degenerate case.
+double DeviationThreshold(const CadOptions& options, double sigma) {
+  const double s = std::max(sigma, options.min_sigma);
+  return std::max(options.eta * s, 1e-9);
+}
+
+}  // namespace
+
+Result<DetectionReport> CadDetector::Detect(
+    const ts::MultivariateSeries& series,
+    const ts::MultivariateSeries* historical) const {
+  CAD_RETURN_NOT_OK(options_.Validate(series.length()));
+  if (historical != nullptr) {
+    CAD_RETURN_NOT_OK(options_.Validate(historical->length()));
+    if (historical->n_sensors() != series.n_sensors()) {
+      return Status::InvalidArgument(
+          "historical series has a different sensor count");
+    }
+  }
+
+  const int n = series.n_sensors();
+  DetectionReport report;
+  stats::RunningStats variation_stats;  // the series N of Algorithm 2
+
+  // --- Warm-up (Algorithm 2, WarmUp): outlier detection only, no anomaly
+  // decisions; every n_r seeds mu and sigma.
+  Stopwatch warmup_timer;
+  if (historical != nullptr) {
+    Result<ts::WindowPlan> plan = ts::WindowPlan::Make(
+        historical->length(), options_.window, options_.step);
+    if (!plan.ok()) return plan.status();
+    RoundProcessor processor(n, options_);
+    const int warmup_burn_in = options_.EffectiveBurnIn();
+    for (int r = 0; r < plan.value().rounds(); ++r) {
+      RoundOutput round = processor.ProcessWindow(*historical,
+                                                  plan.value().start(r));
+      // Cold-start rounds are artifacts of the empty outlier state, not data.
+      if (r >= warmup_burn_in) variation_stats.Add(round.n_variations);
+    }
+    report.warmup_seconds = warmup_timer.ElapsedSeconds();
+  }
+
+  // --- Detection (Algorithm 2, main loop). Processor state restarts with
+  // O_0 = empty, exactly as line 2 of the pseudo-code.
+  Result<ts::WindowPlan> plan_result =
+      ts::WindowPlan::Make(series.length(), options_.window, options_.step);
+  if (!plan_result.ok()) return plan_result.status();
+  const ts::WindowPlan& plan = plan_result.value();
+
+  report.point_scores.assign(series.length(), 0.0);
+  report.point_labels.assign(series.length(), 0);
+  report.sensor_labels.assign(n, 0);
+  report.rounds.reserve(plan.rounds());
+
+  RoundProcessor processor(n, options_);
+  std::vector<int> open_sensors;  // entered outliers while the anomaly is open
+  std::vector<int> open_movers;   // ... that also moved (Definition 2)
+  std::vector<uint8_t> open_sensor_flags(n, 0);
+  int open_first_round = -1;
+
+  auto close_anomaly = [&](int last_round) {
+    Anomaly anomaly;
+    // Attribution (V_Z): prefer vertices that moved communities themselves
+    // (Definition 2) over peers merely abandoned by defectors; then keep the
+    // ones whose RC is still depressed at close time — defectors stay low,
+    // grazed peers have already recovered (cad_options.h).
+    const std::vector<int>& candidates =
+        !open_movers.empty() ? open_movers : open_sensors;
+    const double cut = options_.EffectiveAttributionCut();
+    for (int v : candidates) {
+      if (processor.tracker().ratio(v) < cut) anomaly.sensors.push_back(v);
+    }
+    if (anomaly.sensors.empty()) anomaly.sensors = candidates;
+    std::sort(anomaly.sensors.begin(), anomaly.sensors.end());
+    anomaly.sensors.erase(
+        std::unique(anomaly.sensors.begin(), anomaly.sensors.end()),
+        anomaly.sensors.end());
+    anomaly.first_round = open_first_round;
+    anomaly.last_round = last_round;
+    anomaly.start_time = plan.start(open_first_round);
+    anomaly.end_time = plan.end(last_round);
+    anomaly.detection_time = plan.end(open_first_round) - 1;
+    for (int v : anomaly.sensors) report.sensor_labels[v] = 1;
+    report.anomalies.push_back(std::move(anomaly));
+    open_sensors.clear();
+    open_movers.clear();
+    std::fill(open_sensor_flags.begin(), open_sensor_flags.end(), 0);
+    open_first_round = -1;
+  };
+
+  Stopwatch detect_timer;
+  for (int r = 0; r < plan.rounds(); ++r) {
+    RoundOutput round = processor.ProcessWindow(series, plan.start(r));
+
+    RoundTrace trace;
+    trace.round = r;
+    trace.start_time = plan.start(r);
+    trace.n_variations = round.n_variations;
+    trace.n_outliers = static_cast<int>(round.outliers.size());
+    trace.n_communities = round.n_communities;
+    trace.n_edges = round.n_edges;
+    trace.mu = variation_stats.mean();
+    trace.sigma = variation_stats.stddev();
+
+    // Round 0 has no preceding round (the paper's r > 1 guard) and burn-in
+    // rounds carry cold-start artifacts; neither can be judged abnormal.
+    // Without warm-up the first rounds also have no mu yet.
+    const int burn_in = options_.EffectiveBurnIn();
+    bool abnormal = false;
+    double score = 0.0;
+    if (r > 0 && r >= burn_in && variation_stats.count() > 0) {
+      const double deviation = std::abs(round.n_variations - trace.mu);
+      if (options_.use_sigma_rule) {
+        const double threshold = DeviationThreshold(options_, trace.sigma);
+        abnormal = deviation >= threshold;
+        score = std::min(1.0, 0.5 * deviation / threshold);
+      } else {
+        abnormal = round.n_variations >= options_.fixed_xi;
+        score = std::min(
+            1.0, 0.5 * round.n_variations / static_cast<double>(options_.fixed_xi));
+      }
+    }
+    trace.abnormal = abnormal;
+
+    if (abnormal) {
+      if (open_first_round < 0) open_first_round = r;
+      // Candidates are the vertices newly turned outlier: pre-existing
+      // outliers are background isolates, not sensors this anomaly affected.
+      for (int v : round.entered) {
+        if (!open_sensor_flags[v]) {
+          open_sensor_flags[v] = 1;
+          open_sensors.push_back(v);
+        }
+      }
+      for (int v : round.entered_movers) open_movers.push_back(v);
+    } else if (open_first_round >= 0) {
+      close_anomaly(r - 1);
+    }
+
+    // Time-domain footprint of this round: the trailing fraction of the
+    // window (cad_options.h window_mark_fraction).
+    const int marked = std::max(
+        options_.step,
+        static_cast<int>(options_.window * options_.window_mark_fraction));
+    const int slice_begin = r == 0 ? plan.start(r)
+                                   : std::max(plan.start(r),
+                                              plan.end(r) - marked);
+    for (int t = slice_begin; t < plan.end(r); ++t) {
+      report.point_scores[t] = std::max(report.point_scores[t], score);
+      if (abnormal) report.point_labels[t] = 1;
+    }
+
+    if (r >= burn_in) variation_stats.Add(round.n_variations);
+    report.rounds.push_back(trace);
+  }
+  if (open_first_round >= 0) close_anomaly(plan.rounds() - 1);
+
+  report.detect_seconds = detect_timer.ElapsedSeconds();
+  report.seconds_per_round =
+      plan.rounds() > 0 ? report.detect_seconds / plan.rounds() : 0.0;
+  return report;
+}
+
+}  // namespace cad::core

@@ -1,0 +1,89 @@
+// CadDetector: the full CAD anomaly-detection pipeline (paper Algorithm 2).
+//
+// Workflow:
+//   1. Warm-up on a historical series T_his from the same source: runs
+//      OutlierDetection rounds only to seed the running mean mu and standard
+//      deviation sigma of the outlier-variation counts n_r.
+//   2. Detection on T: for each round r, compute n_r (Algorithm 1); the
+//      round is abnormal when |n_r - mu| >= eta * sigma (eta = 3 by default,
+//      justified by Chebyshev's inequality via Theorem 1). Consecutive
+//      abnormal rounds form one anomaly Z = (V_Z, R_Z) where V_Z is the
+//      union of the rounds' outlier sets. Every n_r (abnormal or not) then
+//      updates mu and sigma.
+//
+// Besides the anomaly list, the detector emits per-time-point scores and
+// binary labels so CAD can be evaluated with the same threshold-based
+// machinery (PA / DPA / VUS) as the baselines: round r's normalized
+// deviation |n_r - mu| / (2 * eta * sigma), clamped to [0, 1], is assigned
+// to the round's fresh time slice [end_r - s, end_r), so a 0.5 threshold on
+// the score series reproduces the eta-sigma rule exactly.
+#ifndef CAD_CORE_CAD_DETECTOR_H_
+#define CAD_CORE_CAD_DETECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cad_options.h"
+#include "core/round_processor.h"
+#include "stats/running_stats.h"
+#include "ts/multivariate_series.h"
+#include "ts/window.h"
+
+namespace cad::core {
+
+// One detected anomaly Z = (V_Z, R_Z) with its time-domain footprint.
+struct Anomaly {
+  std::vector<int> sensors;  // V_Z, ascending sensor ids
+  int first_round = 0;       // R_Z = [first_round, last_round], 0-based
+  int last_round = 0;
+  int start_time = 0;      // first time point covered by the abnormal rounds
+  int end_time = 0;        // one-past-the-end time point
+  int detection_time = 0;  // time point at which the alarm fires (end of the
+                           // first abnormal round's window, minus one)
+};
+
+// Per-round trace for introspection, parameter studies and tests.
+struct RoundTrace {
+  int round = 0;
+  int start_time = 0;
+  int n_variations = 0;   // n_r
+  int n_outliers = 0;     // |O_r|
+  int n_communities = 0;  // c_r
+  int n_edges = 0;        // TSG edges after pruning
+  double mu = 0.0;        // running mean before this round's update
+  double sigma = 0.0;     // running stddev before this round's update
+  bool abnormal = false;
+};
+
+struct DetectionReport {
+  std::vector<Anomaly> anomalies;
+  std::vector<RoundTrace> rounds;
+  // Length |T|; score in [0, 1] per time point (0.5 == the eta-sigma rule).
+  std::vector<double> point_scores;
+  // Length |T|; 1 where an abnormal round's fresh slice covers the point.
+  std::vector<uint8_t> point_labels;
+  // Length n_sensors; 1 for sensors in any anomaly's V_Z.
+  std::vector<uint8_t> sensor_labels;
+  double warmup_seconds = 0.0;
+  double detect_seconds = 0.0;
+  double seconds_per_round = 0.0;  // TPR of Table VII
+};
+
+class CadDetector {
+ public:
+  explicit CadDetector(const CadOptions& options) : options_(options) {}
+
+  const CadOptions& options() const { return options_; }
+
+  // Runs warm-up (optional: pass nullptr to skip, as the paper does on SMD)
+  // followed by detection. Validates options against both series.
+  Result<DetectionReport> Detect(const ts::MultivariateSeries& series,
+                                 const ts::MultivariateSeries* historical) const;
+
+ private:
+  CadOptions options_;
+};
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_CAD_DETECTOR_H_

@@ -1,0 +1,66 @@
+#include "core/co_appearance.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace cad::core {
+
+std::vector<int> CoAppearanceNumbers(const std::vector<int>& prev_community,
+                                     const std::vector<int>& cur_community) {
+  CAD_CHECK(prev_community.size() == cur_community.size(),
+            "community vectors differ in size");
+  const int n = static_cast<int>(cur_community.size());
+
+  // Vertices with identical (prev, cur) community pairs co-appear with each
+  // other and with nobody else: S_r(v) = |group(v)| - 1.
+  std::unordered_map<int64_t, int> group_size;
+  group_size.reserve(n);
+  auto key = [&](int v) {
+    return (static_cast<int64_t>(prev_community[v]) << 32) |
+           static_cast<uint32_t>(cur_community[v]);
+  };
+  for (int v = 0; v < n; ++v) ++group_size[key(v)];
+
+  std::vector<int> s(n);
+  for (int v = 0; v < n; ++v) s[v] = group_size[key(v)] - 1;
+  return s;
+}
+
+std::vector<int> CoAppearanceTracker::Observe(
+    const std::vector<int>& prev_community,
+    const std::vector<int>& cur_community) {
+  CAD_CHECK(static_cast<int>(cur_community.size()) == n_vertices_,
+            "vertex count mismatch");
+  std::vector<int> s = CoAppearanceNumbers(prev_community, cur_community);
+
+  // Previous-round community sizes for the community normalization.
+  std::unordered_map<int, int> prev_size;
+  for (int c : prev_community) ++prev_size[c];
+
+  for (int v = 0; v < n_vertices_; ++v) {
+    double ratio;
+    if (options_.normalization == RcNormalization::kGlobal) {
+      ratio = n_vertices_ > 1
+                  ? static_cast<double>(s[v]) / (n_vertices_ - 1)
+                  : 1.0;
+    } else {
+      const int denom = prev_size[prev_community[v]] - 1;
+      // A singleton has nobody to co-appear with: ratio 0, exactly as the
+      // literal Eq. 3 gives (S = 0). Persistently isolated vertices become
+      // persistent outliers, which is harmless — only outlier-set
+      // *transitions* feed the variation count n_r.
+      ratio = denom > 0 ? static_cast<double>(s[v]) / denom : 0.0;
+    }
+    history_[v].push_back(ratio);
+    sums_[v] += ratio;
+    if (options_.window > 0 &&
+        static_cast<int>(history_[v].size()) > options_.window) {
+      sums_[v] -= history_[v].front();
+      history_[v].pop_front();
+    }
+  }
+  ++transitions_;
+  return s;
+}
+
+}  // namespace cad::core

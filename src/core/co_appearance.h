@@ -1,0 +1,106 @@
+// Co-appearance mining (paper Section IV-C, Definitions 4-7).
+//
+// Two vertices co-appear in round r when they share a community in both
+// round r-1 and round r. S_r(v) counts v's co-appeared vertices (Definition
+// 5); the Ratio of Co-appearance number RC_{v,r} (Definition 6) averages a
+// normalized S_i(v) over recent transitions, and a vertex is an outlier in
+// round r when RC_{v,r} < theta (Definition 7).
+//
+// Two deliberate refinements over a literal reading of Equation 3, both
+// needed to reproduce the behaviour the paper *describes* ("RC will drop
+// drastically" when a vertex defects) across graphs of any scale; both are
+// switchable back to the literal form for ablation (DESIGN.md §4.3):
+//
+//  1. Normalization. Eq. 3 divides S_i(v) by (n - 1), so a perfectly stable
+//     vertex in a community of m sensors has RC = (m-1)/(n-1) — which falls
+//     below any fixed theta once the graph has more than a few communities
+//     (e.g. ~0.05 for IS-5's 20 communities), making every vertex an
+//     "outlier" forever and silencing the variation signal. kCommunity
+//     normalizes by the vertex's own previous community size minus one (the
+//     maximum achievable co-appearance), so stable vertices sit at 1.0 and
+//     a fixed theta carries the same meaning at every n (the paper's 0.3 —
+//     placed just below its stable level — maps to ~0.9 here, see
+//     cad_options.h). Vertices coming from singleton communities have
+//     nobody to co-appear with and get ratio 0, exactly as Eq. 3's S = 0
+//     gives; persistent isolates become persistent outliers, which is
+//     harmless since only outlier-set transitions feed n_r.
+//
+//  2. Windowing. Eq. 3's prefix average over all r rounds cannot "drop
+//     drastically": after a long stable history one defection moves the
+//     average by ~1/r. RC here averages over the last `window` transitions
+//     (window = 0 recovers the full-history prefix average), so a defection
+//     pulls RC below theta within a few rounds — the early-detection
+//     property Section IV-C claims.
+#ifndef CAD_CORE_CO_APPEARANCE_H_
+#define CAD_CORE_CO_APPEARANCE_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::core {
+
+// Counts, for every vertex, how many other vertices kept the same
+// (previous-community, current-community) pair — an O(n) grouping instead of
+// the naive O(n^2) pairwise check (Definitions 4 and 5).
+std::vector<int> CoAppearanceNumbers(const std::vector<int>& prev_community,
+                                     const std::vector<int>& cur_community);
+
+enum class RcNormalization {
+  // S_r(v) / (|C_{r-1}(v)| - 1): stability relative to the vertex's own
+  // community (default; see header comment).
+  kCommunity,
+  // S_r(v) / (n - 1): the literal Equation 3 (ablation mode).
+  kGlobal,
+};
+
+struct CoAppearanceOptions {
+  RcNormalization normalization = RcNormalization::kCommunity;
+  // Number of most recent transitions averaged into RC; 0 = full history
+  // (the literal prefix average of Equation 3).
+  int window = 8;
+};
+
+// Tracks normalized co-appearance across rounds and exposes RC_{v,r}.
+class CoAppearanceTracker {
+ public:
+  explicit CoAppearanceTracker(int n_vertices,
+                               const CoAppearanceOptions& options = {})
+      : n_vertices_(n_vertices),
+        options_(options),
+        sums_(n_vertices, 0.0),
+        history_(n_vertices) {}
+
+  // Feeds the transition from the previous round's communities to the
+  // current round's and returns this round's S_r(v) per vertex.
+  std::vector<int> Observe(const std::vector<int>& prev_community,
+                           const std::vector<int>& cur_community);
+
+  // RC_{v,r} over the windowed transitions observed so far; 1.0 before any
+  // transition (no evidence of instability yet).
+  double ratio(int v) const {
+    if (history_[v].empty()) return 1.0;
+    return sums_[v] / static_cast<double>(history_[v].size());
+  }
+
+  int transitions() const { return transitions_; }
+  int n_vertices() const { return n_vertices_; }
+
+  void Reset() {
+    std::fill(sums_.begin(), sums_.end(), 0.0);
+    for (auto& h : history_) h.clear();
+    transitions_ = 0;
+  }
+
+ private:
+  int n_vertices_;
+  CoAppearanceOptions options_;
+  std::vector<double> sums_;                // windowed sum of ratios
+  std::vector<std::deque<double>> history_; // per-vertex recent ratios
+  int transitions_ = 0;
+};
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_CO_APPEARANCE_H_

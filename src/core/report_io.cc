@@ -1,0 +1,93 @@
+#include "core/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cad::core {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+void AppendIntArray(std::string* out, const std::vector<int>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += std::to_string(values[i]);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+std::string ReportToJson(const DetectionReport& report,
+                         const ReportJsonOptions& options) {
+  std::string json = "{\"anomalies\":[";
+  for (size_t i = 0; i < report.anomalies.size(); ++i) {
+    const Anomaly& anomaly = report.anomalies[i];
+    if (i > 0) json += ',';
+    json += "{\"start\":" + std::to_string(anomaly.start_time);
+    json += ",\"end\":" + std::to_string(anomaly.end_time);
+    json += ",\"detection_time\":" + std::to_string(anomaly.detection_time);
+    json += ",\"first_round\":" + std::to_string(anomaly.first_round);
+    json += ",\"last_round\":" + std::to_string(anomaly.last_round);
+    json += ",\"sensors\":";
+    AppendIntArray(&json, anomaly.sensors);
+    json += '}';
+  }
+  json += "],\"rounds_processed\":" + std::to_string(report.rounds.size());
+  json += ",\"warmup_seconds\":";
+  AppendDouble(&json, report.warmup_seconds);
+  json += ",\"detect_seconds\":";
+  AppendDouble(&json, report.detect_seconds);
+  json += ",\"seconds_per_round\":";
+  AppendDouble(&json, report.seconds_per_round);
+
+  if (options.include_rounds) {
+    json += ",\"rounds\":[";
+    for (size_t r = 0; r < report.rounds.size(); ++r) {
+      const RoundTrace& trace = report.rounds[r];
+      if (r > 0) json += ',';
+      json += "{\"round\":" + std::to_string(trace.round);
+      json += ",\"start\":" + std::to_string(trace.start_time);
+      json += ",\"n_variations\":" + std::to_string(trace.n_variations);
+      json += ",\"n_outliers\":" + std::to_string(trace.n_outliers);
+      json += ",\"n_communities\":" + std::to_string(trace.n_communities);
+      json += ",\"mu\":";
+      AppendDouble(&json, trace.mu);
+      json += ",\"sigma\":";
+      AppendDouble(&json, trace.sigma);
+      json += std::string(",\"abnormal\":") + (trace.abnormal ? "true" : "false");
+      json += '}';
+    }
+    json += ']';
+  }
+  if (options.include_scores) {
+    json += ",\"scores\":[";
+    for (size_t t = 0; t < report.point_scores.size(); ++t) {
+      if (t > 0) json += ',';
+      AppendDouble(&json, report.point_scores[t]);
+    }
+    json += ']';
+  }
+  json += '}';
+  return json;
+}
+
+Status WriteReportJson(const DetectionReport& report, const std::string& path,
+                       const ReportJsonOptions& options) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  file << ReportToJson(report, options) << '\n';
+  if (!file) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace cad::core

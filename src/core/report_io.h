@@ -1,0 +1,37 @@
+// DetectionReport serialization: dependency-free JSON export for dashboards
+// and downstream tooling (used by the detect_csv CLI's --report flag).
+#ifndef CAD_CORE_REPORT_IO_H_
+#define CAD_CORE_REPORT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/cad_detector.h"
+
+namespace cad::core {
+
+struct ReportJsonOptions {
+  // Include the per-round trace (can be large: one entry per round).
+  bool include_rounds = false;
+  // Include the per-point score series.
+  bool include_scores = false;
+};
+
+// Serializes the report to a JSON object string:
+// {
+//   "anomalies": [{"start": ..., "end": ..., "detection_time": ...,
+//                  "first_round": ..., "last_round": ..., "sensors": [...]}],
+//   "rounds_processed": N, "warmup_seconds": ..., "detect_seconds": ...,
+//   "seconds_per_round": ...,
+//   "rounds": [...optional...], "scores": [...optional...]
+// }
+std::string ReportToJson(const DetectionReport& report,
+                         const ReportJsonOptions& options = {});
+
+// Writes ReportToJson(...) to a file.
+Status WriteReportJson(const DetectionReport& report, const std::string& path,
+                       const ReportJsonOptions& options = {});
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_REPORT_IO_H_

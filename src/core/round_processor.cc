@@ -1,0 +1,124 @@
+#include "core/round_processor.h"
+
+#include <unordered_map>
+
+namespace cad::core {
+
+namespace {
+
+// Maps each previous-round community to the current community holding the
+// plurality of its members (ties broken by smaller community id, keeping the
+// mapping deterministic). A vertex whose current community differs from its
+// previous community's successor has *moved* in the sense of Definition 2.
+std::unordered_map<int, int> PluralitySuccessors(
+    const std::vector<int>& prev_community,
+    const std::vector<int>& cur_community) {
+  // votes[(prev, cur)] = members of prev now in cur.
+  std::unordered_map<int64_t, int> votes;
+  for (size_t v = 0; v < prev_community.size(); ++v) {
+    const int64_t key = (static_cast<int64_t>(prev_community[v]) << 32) |
+                        static_cast<uint32_t>(cur_community[v]);
+    ++votes[key];
+  }
+  std::unordered_map<int, int> successor;
+  std::unordered_map<int, int> best_count;
+  for (const auto& [key, count] : votes) {
+    const int prev = static_cast<int>(key >> 32);
+    const int cur = static_cast<int>(key & 0xffffffff);
+    auto it = best_count.find(prev);
+    if (it == best_count.end() || count > it->second ||
+        (count == it->second && cur < successor[prev])) {
+      best_count[prev] = count;
+      successor[prev] = cur;
+    }
+  }
+  return successor;
+}
+
+}  // namespace
+
+RoundOutput RoundProcessor::ProcessWindow(const ts::MultivariateSeries& series,
+                                          int start) {
+  CAD_CHECK(series.n_sensors() == n_sensors_, "sensor count mismatch");
+  if (options_.incremental_correlation && !options_.use_spearman) {
+    if (rolling_ == nullptr) {
+      rolling_ = std::make_unique<stats::RollingCorrelationTracker>(
+          n_sensors_, options_.window);
+      rolling_->Reset(series, start);
+    } else {
+      rolling_->SlideTo(series, start);
+    }
+    return ProcessCorrelation(rolling_->Correlations());
+  }
+  stats::CorrelationMatrix corr = stats::WindowCorrelationMatrix(
+      series, start, options_.window,
+      options_.use_spearman ? stats::CorrelationKind::kSpearman
+                            : stats::CorrelationKind::kPearson,
+      options_.n_threads);
+  return ProcessCorrelation(corr);
+}
+
+RoundOutput RoundProcessor::ProcessCorrelation(
+    const stats::CorrelationMatrix& corr) {
+  CAD_CHECK(corr.size() == n_sensors_, "correlation matrix size mismatch");
+  RoundOutput out;
+
+  // Phase 1: TSG + community detection.
+  graph::KnnGraphOptions knn_options{.k = options_.k, .tau = options_.tau};
+  graph::Graph tsg = graph::BuildKnnGraph(corr, knn_options);
+  out.n_edges = static_cast<int>(tsg.n_edges());
+  graph::Partition partition = graph::Louvain(tsg);
+  out.n_communities = partition.n_communities;
+
+  // Phase 2: co-appearance mining against the previous round, plus the
+  // Definition 2 moved-vertex flags used for sensor attribution.
+  if (!prev_community_.empty()) {
+    tracker_.Observe(prev_community_, partition.community);
+    const std::unordered_map<int, int> successor =
+        PluralitySuccessors(prev_community_, partition.community);
+    for (int v = 0; v < n_sensors_; ++v) {
+      if (partition.community[v] != successor.at(prev_community_[v])) {
+        last_moved_round_[v] = rounds_processed_;
+      }
+    }
+  }
+  for (int v = 0; v < n_sensors_; ++v) {
+    if (tracker_.ratio(v) < options_.theta) out.outliers.push_back(v);
+  }
+
+  // Phase 3: variation analysis. n_r counts vertices transitioning between
+  // outlier and normal states across the two most recent rounds.
+  std::vector<uint8_t> cur_flags(n_sensors_, 0);
+  for (int v : out.outliers) cur_flags[v] = 1;
+  int n_variations = 0;
+  for (int v = 0; v < n_sensors_; ++v) {
+    if (cur_flags[v] != outlier_flags_[v]) {
+      ++n_variations;
+      if (cur_flags[v]) {
+        out.entered.push_back(v);
+        const int recency = options_.rc_window > 0 ? options_.rc_window : 8;
+        if (last_moved_round_[v] >= 0 &&
+            rounds_processed_ - last_moved_round_[v] <= recency) {
+          out.entered_movers.push_back(v);
+        }
+      }
+    }
+  }
+  out.n_variations = n_variations;
+
+  prev_community_ = std::move(partition.community);
+  outlier_flags_ = std::move(cur_flags);
+  ++rounds_processed_;
+  return out;
+}
+
+void RoundProcessor::Reset() {
+  tracker_.Reset();
+  prev_community_.clear();
+  std::fill(outlier_flags_.begin(), outlier_flags_.end(), 0);
+  std::fill(last_moved_round_.begin(), last_moved_round_.end(), -1);
+  rolling_.reset();
+  rounds_processed_ = 0;
+}
+
+}  // namespace cad::core

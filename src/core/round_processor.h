@@ -1,0 +1,79 @@
+// RoundProcessor: the stateful per-round OutlierDetection of the paper
+// (Algorithm 1). Each call converts one window sub-matrix into a TSG,
+// partitions it with Louvain, mines co-appearance against the previous
+// round, derives the outlier set O_r (RC_{v,r} < theta) and the number of
+// outlier variations n_r = |O_{r-1} symmetric-difference O_r|.
+#ifndef CAD_CORE_ROUND_PROCESSOR_H_
+#define CAD_CORE_ROUND_PROCESSOR_H_
+
+#include <vector>
+
+#include <memory>
+
+#include "core/cad_options.h"
+#include "core/co_appearance.h"
+#include "graph/knn_graph.h"
+#include "graph/louvain.h"
+#include "stats/rolling_correlation.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::core {
+
+struct RoundOutput {
+  std::vector<int> outliers;     // O_r, ascending vertex ids
+  std::vector<int> entered;      // vertices that joined O_r this round
+  // Subset of `entered` that also moved communities recently (within
+  // rc_window rounds) in the sense of Definition 2: the vertex left the
+  // plurality successor of its previous community, rather than merely being
+  // abandoned by defecting peers. This is the attribution-grade signal for
+  // V_Z; the full `entered` list still drives n_r.
+  std::vector<int> entered_movers;
+  int n_variations = 0;          // n_r (Definition 8)
+  int n_communities = 0;         // c_r after Louvain
+  int n_edges = 0;               // TSG size after tau pruning
+};
+
+class RoundProcessor {
+ public:
+  RoundProcessor(int n_sensors, const CadOptions& options)
+      : n_sensors_(n_sensors),
+        options_(options),
+        tracker_(n_sensors,
+                 CoAppearanceOptions{
+                     .normalization = options.rc_global_normalization
+                                          ? RcNormalization::kGlobal
+                                          : RcNormalization::kCommunity,
+                     .window = options.rc_window}),
+        outlier_flags_(n_sensors, 0),
+        last_moved_round_(n_sensors, -1) {}
+
+  // Processes the window [start, start + options.window) of `series`.
+  // Rounds must be fed in chronological order.
+  RoundOutput ProcessWindow(const ts::MultivariateSeries& series, int start);
+
+  // Same, but the caller supplies a pre-built correlation matrix (used by the
+  // micro benches to isolate graph/community cost).
+  RoundOutput ProcessCorrelation(const stats::CorrelationMatrix& corr);
+
+  // Clears all cross-round state (communities, RC history, outlier set).
+  void Reset();
+
+  int rounds_processed() const { return rounds_processed_; }
+  const std::vector<int>& last_communities() const { return prev_community_; }
+  const CoAppearanceTracker& tracker() const { return tracker_; }
+
+ private:
+  int n_sensors_;
+  CadOptions options_;
+  CoAppearanceTracker tracker_;
+  std::vector<int> prev_community_;  // empty before the first round
+  std::vector<uint8_t> outlier_flags_;  // membership of O_{r-1}
+  std::vector<int> last_moved_round_;   // -1 = never moved (Definition 2)
+  // Lazily created when options_.incremental_correlation is set.
+  std::unique_ptr<stats::RollingCorrelationTracker> rolling_;
+  int rounds_processed_ = 0;
+};
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_ROUND_PROCESSOR_H_

@@ -1,0 +1,146 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/window.h"
+
+namespace cad::core {
+
+StreamingCad::StreamingCad(int n_sensors, const CadOptions& options)
+    : n_sensors_(n_sensors),
+      options_(options),
+      processor_(n_sensors, options),
+      buffer_(static_cast<size_t>(options.window) * n_sensors, 0.0),
+      open_sensor_flags_(n_sensors, 0) {}
+
+Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {
+  if (samples_seen_ > 0) {
+    return Status::FailedPrecondition("WarmUp must precede the first Push");
+  }
+  if (historical.n_sensors() != n_sensors_) {
+    return Status::InvalidArgument("historical sensor count mismatch");
+  }
+  CAD_RETURN_NOT_OK(options_.Validate(historical.length()));
+  Result<ts::WindowPlan> plan =
+      ts::WindowPlan::Make(historical.length(), options_.window, options_.step);
+  if (!plan.ok()) return plan.status();
+  RoundProcessor warmup_processor(n_sensors_, options_);
+  const int burn_in = options_.EffectiveBurnIn();
+  for (int r = 0; r < plan.value().rounds(); ++r) {
+    RoundOutput round =
+        warmup_processor.ProcessWindow(historical, plan.value().start(r));
+    if (r >= burn_in) variation_stats_.Add(round.n_variations);
+  }
+  warmed_up_ = true;
+  return Status::Ok();
+}
+
+bool StreamingCad::RoundReady() const {
+  if (samples_seen_ < options_.window) return false;
+  return (samples_seen_ - options_.window) % options_.step == 0;
+}
+
+Result<std::optional<StreamEvent>> StreamingCad::Push(
+    std::span<const double> readings) {
+  if (static_cast<int>(readings.size()) != n_sensors_) {
+    return Status::InvalidArgument("sample has " +
+                                   std::to_string(readings.size()) +
+                                   " readings, expected " +
+                                   std::to_string(n_sensors_));
+  }
+  // Overwrite the oldest slot.
+  const int slot = (buffer_head_ + buffered_) % options_.window;
+  std::copy(readings.begin(), readings.end(),
+            buffer_.begin() + static_cast<size_t>(slot) * n_sensors_);
+  if (buffered_ < options_.window) {
+    ++buffered_;
+  } else {
+    buffer_head_ = (buffer_head_ + 1) % options_.window;
+  }
+  ++samples_seen_;
+
+  if (!RoundReady()) return std::optional<StreamEvent>{};
+  return std::optional<StreamEvent>{RunRound()};
+}
+
+StreamEvent StreamingCad::RunRound() {
+  // Materialize the ring buffer into a window-sized series (sensor-major).
+  ts::MultivariateSeries window(n_sensors_, options_.window);
+  for (int t = 0; t < options_.window; ++t) {
+    const int slot = (buffer_head_ + t) % options_.window;
+    const double* sample = buffer_.data() + static_cast<size_t>(slot) * n_sensors_;
+    for (int i = 0; i < n_sensors_; ++i) window.set_value(i, t, sample[i]);
+  }
+
+  RoundOutput round = processor_.ProcessWindow(window, 0);
+
+  StreamEvent event;
+  event.round = rounds_completed_;
+  event.time_index = samples_seen_ - 1;
+  event.n_variations = round.n_variations;
+  event.outliers = round.outliers;
+  event.entered = round.entered;
+  event.mu = variation_stats_.mean();
+  event.sigma = variation_stats_.stddev();
+
+  // Decision mirrors CadDetector: the first stream round has no preceding
+  // round, burn-in rounds carry cold-start artifacts, and afterwards the
+  // eta-sigma rule applies as soon as any statistics exist.
+  const int burn_in = options_.EffectiveBurnIn();
+  if (rounds_completed_ > 0 && rounds_completed_ >= burn_in &&
+      variation_stats_.count() > 0) {
+    const double deviation = std::abs(round.n_variations - event.mu);
+    if (options_.use_sigma_rule) {
+      const double sigma = std::max(event.sigma, options_.min_sigma);
+      event.abnormal = deviation >= std::max(options_.eta * sigma, 1e-9);
+    } else {
+      event.abnormal = round.n_variations >= options_.fixed_xi;
+    }
+  }
+
+  if (event.abnormal) {
+    if (open_first_round_ < 0) {
+      open_first_round_ = event.round;
+      open_start_time_ = samples_seen_ - options_.window;
+      open_detection_time_ = event.time_index;
+    }
+    for (int v : event.entered) {
+      if (!open_sensor_flags_[v]) {
+        open_sensor_flags_[v] = 1;
+        open_sensors_.push_back(v);
+      }
+    }
+    for (int v : round.entered_movers) open_movers_.push_back(v);
+  } else if (open_first_round_ >= 0) {
+    Anomaly anomaly;
+    // Same attribution pipeline as CadDetector::Detect (cad_options.h).
+    const std::vector<int>& candidates =
+        !open_movers_.empty() ? open_movers_ : open_sensors_;
+    const double cut = options_.EffectiveAttributionCut();
+    for (int v : candidates) {
+      if (processor_.tracker().ratio(v) < cut) anomaly.sensors.push_back(v);
+    }
+    if (anomaly.sensors.empty()) anomaly.sensors = candidates;
+    std::sort(anomaly.sensors.begin(), anomaly.sensors.end());
+    anomaly.sensors.erase(
+        std::unique(anomaly.sensors.begin(), anomaly.sensors.end()),
+        anomaly.sensors.end());
+    anomaly.first_round = open_first_round_;
+    anomaly.last_round = event.round - 1;
+    anomaly.start_time = open_start_time_;
+    anomaly.end_time = samples_seen_ - options_.step;  // end of previous round
+    anomaly.detection_time = open_detection_time_;
+    anomalies_.push_back(std::move(anomaly));
+    open_sensors_.clear();
+    open_movers_.clear();
+    std::fill(open_sensor_flags_.begin(), open_sensor_flags_.end(), 0);
+    open_first_round_ = -1;
+  }
+
+  if (rounds_completed_ >= burn_in) variation_stats_.Add(round.n_variations);
+  ++rounds_completed_;
+  return event;
+}
+
+}  // namespace cad::core

@@ -1,0 +1,91 @@
+// StreamingCad: the online generalization of CAD (paper Section IV-F).
+//
+// Samples arrive one time point at a time; whenever a full window closes
+// (every `step` points once `window` points have been seen), the detector
+// runs one OutlierDetection round, applies the eta-sigma rule with the
+// current mu / sigma, and then folds the round's n_r into the running
+// statistics — so, as the paper notes, mu and sigma keep sharpening as the
+// stream progresses. Per-round latency is what Table VII reports as TPR.
+#ifndef CAD_CORE_STREAMING_H_
+#define CAD_CORE_STREAMING_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/cad_detector.h"
+#include "core/cad_options.h"
+#include "core/round_processor.h"
+#include "stats/running_stats.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::core {
+
+// Emitted when a pushed sample completes a detection round.
+struct StreamEvent {
+  int round = 0;             // 0-based round index in the stream
+  int time_index = 0;        // index of the sample that closed the round
+  int n_variations = 0;      // n_r
+  bool abnormal = false;
+  std::vector<int> outliers;  // O_r
+  std::vector<int> entered;   // vertices that joined O_r this round
+  double mu = 0.0;            // statistics used for the decision
+  double sigma = 0.0;
+};
+
+class StreamingCad {
+ public:
+  StreamingCad(int n_sensors, const CadOptions& options);
+
+  // Seeds mu / sigma from a historical series, mirroring Algorithm 2's
+  // WarmUp. Must be called before the first Push.
+  Status WarmUp(const ts::MultivariateSeries& historical);
+
+  // Pushes the readings of all sensors for one time point. Returns an event
+  // when this sample completes a round, std::nullopt otherwise.
+  Result<std::optional<StreamEvent>> Push(std::span<const double> readings);
+
+  // Anomalies fully closed so far (an anomaly closes when a normal round
+  // follows abnormal ones).
+  const std::vector<Anomaly>& anomalies() const { return anomalies_; }
+
+  // True while the most recent rounds are abnormal and the anomaly is still
+  // being assembled.
+  bool anomaly_open() const { return open_first_round_ >= 0; }
+
+  int samples_seen() const { return samples_seen_; }
+  int rounds_completed() const { return rounds_completed_; }
+  double mu() const { return variation_stats_.mean(); }
+  double sigma() const { return variation_stats_.stddev(); }
+
+ private:
+  bool RoundReady() const;
+  StreamEvent RunRound();
+
+  int n_sensors_;
+  CadOptions options_;
+  RoundProcessor processor_;
+  stats::RunningStats variation_stats_;
+
+  // Ring buffer of the last `window` samples, sample-major.
+  std::vector<double> buffer_;
+  int buffer_head_ = 0;  // index of the oldest sample in the ring
+  int buffered_ = 0;     // number of valid samples (<= window)
+
+  int samples_seen_ = 0;
+  int rounds_completed_ = 0;
+  bool warmed_up_ = false;
+
+  // Anomaly assembly, as in CadDetector.
+  std::vector<Anomaly> anomalies_;
+  std::vector<int> open_sensors_;
+  std::vector<int> open_movers_;
+  std::vector<uint8_t> open_sensor_flags_;
+  int open_first_round_ = -1;
+  int open_start_time_ = 0;
+  int open_detection_time_ = 0;
+};
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_STREAMING_H_

@@ -1,0 +1,195 @@
+#include "datasets/anomaly_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::datasets {
+
+namespace {
+
+void ApplyCorrelationBreak(const SensorNetworkGenerator& generator,
+                           const AnomalyEvent& event,
+                           ts::MultivariateSeries* series, Rng* rng) {
+  const double phi = generator.options().factor_smoothness;
+  const double innovation = std::sqrt(1.0 - phi * phi);
+  for (int sensor : event.sensors) {
+    const double sigma = generator.SensorStd(sensor);
+    auto row = series->mutable_sensor(sensor);
+    // Start the replacement walk at the current value so there is no jump;
+    // the signal then wanders independently of the community factor.
+    double state = row[event.start];
+    // Estimate the local level to wander around (mean of the pre-window).
+    const int pre_begin = std::max(0, event.start - 50);
+    double level = 0.0;
+    for (int t = pre_begin; t < event.start; ++t) level += row[t];
+    level = event.start > pre_begin
+                ? level / static_cast<double>(event.start - pre_begin)
+                : state;
+    const int ramp =
+        std::max(1, static_cast<int>(event.duration * event.onset_fraction));
+    for (int t = event.start; t < event.start + event.duration; ++t) {
+      state = level + phi * (state - level) + innovation * sigma * rng->Gaussian();
+      // Fade from the healthy signal into the independent walk so the fault
+      // develops gradually (see AnomalyEvent::onset_fraction).
+      const double alpha =
+          std::min(1.0, static_cast<double>(t - event.start + 1) / ramp);
+      row[t] = (1.0 - alpha) * row[t] + alpha * state;
+    }
+  }
+}
+
+void ApplyLevelShift(const SensorNetworkGenerator& generator,
+                     const AnomalyEvent& event,
+                     ts::MultivariateSeries* series) {
+  for (int sensor : event.sensors) {
+    const double delta = event.magnitude * generator.SensorStd(sensor);
+    auto row = series->mutable_sensor(sensor);
+    for (int t = event.start; t < event.start + event.duration; ++t) {
+      row[t] += delta;
+    }
+  }
+}
+
+void ApplyTrendDrift(const SensorNetworkGenerator& generator,
+                     const AnomalyEvent& event,
+                     ts::MultivariateSeries* series) {
+  for (int sensor : event.sensors) {
+    const double peak = event.magnitude * generator.SensorStd(sensor);
+    auto row = series->mutable_sensor(sensor);
+    for (int t = event.start; t < event.start + event.duration; ++t) {
+      const double progress = static_cast<double>(t - event.start + 1) /
+                              static_cast<double>(event.duration);
+      row[t] += peak * progress;
+    }
+  }
+}
+
+void ApplySpike(const SensorNetworkGenerator& generator,
+                const AnomalyEvent& event, ts::MultivariateSeries* series,
+                Rng* rng) {
+  for (int sensor : event.sensors) {
+    const double amp = event.magnitude * generator.SensorStd(sensor);
+    auto row = series->mutable_sensor(sensor);
+    // A handful of impulses spread across the event span.
+    const int n_spikes = std::max(1, event.duration / 10);
+    for (int i = 0; i < n_spikes; ++i) {
+      const int t = event.start + static_cast<int>(rng->NextBounded(
+                                      static_cast<uint64_t>(event.duration)));
+      row[t] += rng->NextDouble() < 0.5 ? amp : -amp;
+    }
+  }
+}
+
+}  // namespace
+
+eval::Labels InjectAnomalies(const SensorNetworkGenerator& generator,
+                             const std::vector<AnomalyEvent>& events,
+                             ts::MultivariateSeries* series, Rng* rng) {
+  eval::Labels labels(series->length(), 0);
+  for (const AnomalyEvent& event : events) {
+    CAD_CHECK(event.start >= 0 &&
+                  event.start + event.duration <= series->length(),
+              "anomaly event out of series range");
+    CAD_CHECK(event.duration > 0, "anomaly event must have positive duration");
+    switch (event.type) {
+      case AnomalyType::kCorrelationBreak:
+        ApplyCorrelationBreak(generator, event, series, rng);
+        break;
+      case AnomalyType::kLevelShift:
+        ApplyLevelShift(generator, event, series);
+        break;
+      case AnomalyType::kTrendDrift:
+        ApplyTrendDrift(generator, event, series);
+        break;
+      case AnomalyType::kSpike:
+        ApplySpike(generator, event, series, rng);
+        break;
+      case AnomalyType::kMixed:
+        ApplyCorrelationBreak(generator, event, series, rng);
+        ApplyTrendDrift(generator, event, series);
+        break;
+    }
+    for (int t = event.start; t < event.start + event.duration; ++t) {
+      labels[t] = 1;
+    }
+  }
+  return labels;
+}
+
+std::vector<eval::SensorGroundTruth> ToGroundTruth(
+    const std::vector<AnomalyEvent>& events) {
+  std::vector<AnomalyEvent> sorted = events;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AnomalyEvent& a, const AnomalyEvent& b) {
+              return a.start < b.start;
+            });
+  std::vector<eval::SensorGroundTruth> truth;
+  for (const AnomalyEvent& event : sorted) {
+    const int end = event.start + event.duration;
+    if (!truth.empty() && event.start <= truth.back().segment.end) {
+      // Touching/overlapping events fuse into one labelled segment.
+      eval::SensorGroundTruth& last = truth.back();
+      last.segment.end = std::max(last.segment.end, end);
+      last.sensors.insert(last.sensors.end(), event.sensors.begin(),
+                          event.sensors.end());
+      std::sort(last.sensors.begin(), last.sensors.end());
+      last.sensors.erase(std::unique(last.sensors.begin(), last.sensors.end()),
+                         last.sensors.end());
+      continue;
+    }
+    eval::SensorGroundTruth record;
+    record.segment = {event.start, end};
+    record.sensors = event.sensors;
+    std::sort(record.sensors.begin(), record.sensors.end());
+    truth.push_back(std::move(record));
+  }
+  return truth;
+}
+
+std::vector<AnomalyEvent> PlanEvents(const SensorNetworkGenerator& generator,
+                                     int length, int n_events, int min_duration,
+                                     int max_duration, int min_gap, Rng* rng) {
+  CAD_CHECK(min_duration > 0 && max_duration >= min_duration, "bad durations");
+  std::vector<AnomalyEvent> events;
+  // Lay events out over evenly sized slots so they never overlap and keep
+  // min_gap normal points between them.
+  const int usable = length - min_gap;
+  const int slot = n_events > 0 ? usable / n_events : 0;
+  CAD_CHECK(slot > max_duration + min_gap,
+            "series too short for the requested anomaly plan");
+
+  // Correlation breaks dominate; the other families appear in rotation.
+  static constexpr AnomalyType kCycle[] = {
+      AnomalyType::kCorrelationBreak, AnomalyType::kCorrelationBreak,
+      AnomalyType::kMixed,            AnomalyType::kCorrelationBreak,
+      AnomalyType::kTrendDrift,       AnomalyType::kCorrelationBreak,
+      AnomalyType::kLevelShift,       AnomalyType::kSpike,
+  };
+
+  for (int e = 0; e < n_events; ++e) {
+    AnomalyEvent event;
+    event.type = kCycle[e % (sizeof(kCycle) / sizeof(kCycle[0]))];
+    event.duration = min_duration + static_cast<int>(rng->NextBounded(
+                                        static_cast<uint64_t>(
+                                            max_duration - min_duration + 1)));
+    const int slot_begin = min_gap + e * slot;
+    const int wiggle = slot - event.duration - min_gap;
+    event.start = slot_begin + static_cast<int>(rng->NextBounded(
+                                   static_cast<uint64_t>(std::max(1, wiggle))));
+    // Affect 40-80% of one random community.
+    const int community = static_cast<int>(rng->NextBounded(
+        static_cast<uint64_t>(generator.options().n_communities)));
+    std::vector<int> members = generator.CommunityMembers(community);
+    rng->Shuffle(&members);
+    const int take = std::max(
+        1, static_cast<int>(members.size() * rng->Uniform(0.4, 0.8)));
+    members.resize(take);
+    std::sort(members.begin(), members.end());
+    event.sensors = std::move(members);
+    event.magnitude = rng->Uniform(1.5, 3.0);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace cad::datasets

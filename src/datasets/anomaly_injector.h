@@ -1,0 +1,72 @@
+// Anomaly injection into a generated MTS, with ground truth.
+//
+// Four anomaly families cover the failure modes the paper's datasets
+// exhibit (Section VI-G case study):
+//  - kCorrelationBreak: the affected sensors detach from their community's
+//    latent factor and follow an independent AR(1) with the same marginal
+//    spread; amplitudes stay plausible, only the *correlation* breaks — the
+//    regime CAD targets and magnitude-based detectors struggle with early.
+//  - kLevelShift: a constant offset of `magnitude` sensor-sigmas.
+//  - kTrendDrift: a linear ramp reaching `magnitude` sigmas at the end.
+//  - kSpike: short random impulses of ±`magnitude` sigmas.
+// kMixed combines a correlation break with a drift.
+#ifndef CAD_DATASETS_ANOMALY_INJECTOR_H_
+#define CAD_DATASETS_ANOMALY_INJECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generator.h"
+#include "eval/sensor_eval.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::datasets {
+
+enum class AnomalyType {
+  kCorrelationBreak,
+  kLevelShift,
+  kTrendDrift,
+  kSpike,
+  kMixed,
+};
+
+struct AnomalyEvent {
+  AnomalyType type = AnomalyType::kCorrelationBreak;
+  int start = 0;
+  int duration = 0;
+  std::vector<int> sensors;  // affected sensors, ascending
+  double magnitude = 2.0;    // in units of each sensor's marginal sigma
+  // Fraction of the duration over which a correlation break fades in (the
+  // affected sensor blends from its community signal to the independent
+  // walk). Real faults develop gradually (paper Section I): early on the
+  // *values* barely deviate while the correlation is already decaying —
+  // the regime where windowed correlation analysis leads point-based
+  // detectors. 0 = abrupt break.
+  double onset_fraction = 0.4;
+};
+
+// Applies `events` in place and returns per-point labels (1 inside any
+// event's [start, start + duration)). Events must lie within the series.
+// The generator supplies per-sensor sigmas and its smoothness parameter so
+// injected signals match the nominal dynamics.
+eval::Labels InjectAnomalies(const SensorNetworkGenerator& generator,
+                             const std::vector<AnomalyEvent>& events,
+                             ts::MultivariateSeries* series, Rng* rng);
+
+// Converts events to the evaluation ground-truth records. Events whose time
+// spans touch or overlap are merged (their sensor sets union), matching how
+// ExtractSegments would fuse their labels.
+std::vector<eval::SensorGroundTruth> ToGroundTruth(
+    const std::vector<AnomalyEvent>& events);
+
+// Plans `n_events` non-overlapping events over [warmup_margin, length), each
+// affecting a random fraction of one random community, with at least
+// `min_gap` normal points between consecutive events. Types cycle through
+// the anomaly families with correlation breaks dominating.
+std::vector<AnomalyEvent> PlanEvents(const SensorNetworkGenerator& generator,
+                                     int length, int n_events, int min_duration,
+                                     int max_duration, int min_gap, Rng* rng);
+
+}  // namespace cad::datasets
+
+#endif  // CAD_DATASETS_ANOMALY_INJECTOR_H_

@@ -1,0 +1,162 @@
+#include "datasets/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "ts/csv.h"
+
+namespace cad::datasets {
+
+namespace {
+
+Status WriteMeta(const LabeledDataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  const core::CadOptions& o = dataset.recommended;
+  file << "name " << dataset.name << '\n'
+       << "window " << o.window << '\n'
+       << "step " << o.step << '\n'
+       << "k " << o.k << '\n'
+       << "tau " << o.tau << '\n'
+       << "theta " << o.theta << '\n'
+       << "eta " << o.eta << '\n'
+       << "min_sigma " << o.min_sigma << '\n'
+       << "rc_window " << o.rc_window << '\n'
+       << "window_mark_fraction " << o.window_mark_fraction << '\n';
+  if (!file) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+Status ReadMeta(const std::string& path, LabeledDataset* dataset) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  core::CadOptions& o = dataset->recommended;
+  std::string line;
+  while (std::getline(file, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "name") {
+      fields >> dataset->name;
+    } else if (key == "window") {
+      fields >> o.window;
+    } else if (key == "step") {
+      fields >> o.step;
+    } else if (key == "k") {
+      fields >> o.k;
+    } else if (key == "tau") {
+      fields >> o.tau;
+    } else if (key == "theta") {
+      fields >> o.theta;
+    } else if (key == "eta") {
+      fields >> o.eta;
+    } else if (key == "min_sigma") {
+      fields >> o.min_sigma;
+    } else if (key == "rc_window") {
+      fields >> o.rc_window;
+    } else if (key == "window_mark_fraction") {
+      fields >> o.window_mark_fraction;
+    } else if (!key.empty()) {
+      return Status::InvalidArgument("unknown meta key '" + key + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteAnomalies(const LabeledDataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  file << "begin,end,sensors\n";
+  for (const eval::SensorGroundTruth& anomaly : dataset.anomalies) {
+    file << anomaly.segment.begin << ',' << anomaly.segment.end << ',';
+    for (size_t i = 0; i < anomaly.sensors.size(); ++i) {
+      if (i > 0) file << '|';
+      file << anomaly.sensors[i];
+    }
+    file << '\n';
+  }
+  if (!file) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+Status ReadAnomalies(const std::string& path, LabeledDataset* dataset) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::string line;
+  std::getline(file, line);  // header
+  while (std::getline(file, line)) {
+    if (StripAsciiWhitespace(line).empty()) continue;
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("bad anomalies row: '" + line + "'");
+    }
+    eval::SensorGroundTruth anomaly;
+    anomaly.segment.begin = std::atoi(fields[0].c_str());
+    anomaly.segment.end = std::atoi(fields[1].c_str());
+    if (!fields[2].empty()) {
+      for (const std::string& id : Split(fields[2], '|')) {
+        anomaly.sensors.push_back(std::atoi(id.c_str()));
+      }
+    }
+    dataset->anomalies.push_back(std::move(anomaly));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream file(path);
+  return static_cast<bool>(file);
+}
+
+}  // namespace
+
+Status SaveDataset(const LabeledDataset& dataset, const std::string& dir) {
+  if (dataset.labels.size() != static_cast<size_t>(dataset.test.length())) {
+    return Status::InvalidArgument("labels do not match the test length");
+  }
+  CAD_RETURN_NOT_OK(WriteMeta(dataset, dir + "/meta.txt"));
+  if (dataset.has_train()) {
+    CAD_RETURN_NOT_OK(ts::WriteCsv(dataset.train, dir + "/train.csv"));
+  }
+  CAD_RETURN_NOT_OK(ts::WriteCsv(dataset.test, dir + "/test.csv"));
+  {
+    ts::MultivariateSeries labels(1, dataset.test.length());
+    labels.set_sensor_name(0, "label");
+    for (int t = 0; t < dataset.test.length(); ++t) {
+      labels.set_value(0, t, dataset.labels[t]);
+    }
+    CAD_RETURN_NOT_OK(ts::WriteCsv(labels, dir + "/labels.csv"));
+  }
+  return WriteAnomalies(dataset, dir + "/anomalies.csv");
+}
+
+Result<LabeledDataset> LoadDataset(const std::string& dir) {
+  LabeledDataset dataset;
+  CAD_RETURN_NOT_OK(ReadMeta(dir + "/meta.txt", &dataset));
+
+  if (FileExists(dir + "/train.csv")) {
+    Result<ts::MultivariateSeries> train = ts::ReadCsv(dir + "/train.csv");
+    if (!train.ok()) return train.status();
+    dataset.train = std::move(train).value();
+  }
+  Result<ts::MultivariateSeries> test = ts::ReadCsv(dir + "/test.csv");
+  if (!test.ok()) return test.status();
+  dataset.test = std::move(test).value();
+
+  Result<ts::MultivariateSeries> labels = ts::ReadCsv(dir + "/labels.csv");
+  if (!labels.ok()) return labels.status();
+  if (labels.value().length() != dataset.test.length()) {
+    return Status::InvalidArgument("labels.csv length mismatch");
+  }
+  dataset.labels.resize(dataset.test.length());
+  for (int t = 0; t < dataset.test.length(); ++t) {
+    dataset.labels[t] = labels.value().value(0, t) != 0.0 ? 1 : 0;
+  }
+
+  CAD_RETURN_NOT_OK(ReadAnomalies(dir + "/anomalies.csv", &dataset));
+  return dataset;
+}
+
+}  // namespace cad::datasets

@@ -1,0 +1,30 @@
+// LabeledDataset persistence: export a generated benchmark dataset to a
+// directory (CSV series + plain-text metadata) and load it back. This lets
+// the synthetic benchmarks be consumed by external tools (or frozen for
+// regression testing) and custom datasets be fed into the bench harness.
+//
+// Layout of <dir>/:
+//   meta.txt       key/value lines: name + the recommended CadOptions
+//   train.csv      historical split (absent when the dataset has none)
+//   test.csv       labelled split
+//   labels.csv     one column, 0/1 per test time point
+//   anomalies.csv  begin,end,sensors (sensors separated by '|')
+#ifndef CAD_DATASETS_DATASET_IO_H_
+#define CAD_DATASETS_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datasets/registry.h"
+
+namespace cad::datasets {
+
+// Writes all files into `dir` (which must already exist).
+Status SaveDataset(const LabeledDataset& dataset, const std::string& dir);
+
+// Loads a dataset previously written by SaveDataset.
+Result<LabeledDataset> LoadDataset(const std::string& dir);
+
+}  // namespace cad::datasets
+
+#endif  // CAD_DATASETS_DATASET_IO_H_

@@ -1,0 +1,94 @@
+#include "datasets/generator.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace cad::datasets {
+
+SensorNetworkGenerator::SensorNetworkGenerator(const GeneratorOptions& options,
+                                               Rng* rng)
+    : options_(options) {
+  CAD_CHECK(options.n_sensors > 0, "need at least one sensor");
+  CAD_CHECK(options.n_communities > 0, "need at least one community");
+  CAD_CHECK(options.factor_smoothness >= 0.0 && options.factor_smoothness < 1.0,
+            "factor_smoothness must lie in [0, 1)");
+  const int n = options.n_sensors;
+
+  // Balanced community assignment, shuffled so ids are not block-ordered.
+  community_of_.resize(n);
+  for (int i = 0; i < n; ++i) community_of_[i] = i % options.n_communities;
+  rng->Shuffle(&community_of_);
+
+  loading_.resize(n);
+  offset_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    double a = rng->Uniform(options.min_loading, options.max_loading);
+    if (rng->NextDouble() < options.negative_loading_fraction) a = -a;
+    loading_[i] = a;
+    offset_[i] = rng->Uniform(-2.0, 2.0);
+  }
+
+  seasonal_phase_.resize(options.n_communities);
+  for (double& phase : seasonal_phase_) phase = rng->Uniform(0.0, 2.0 * M_PI);
+
+  factor_state_.assign(options.n_communities, 0.0);
+  for (double& f : factor_state_) f = rng->Gaussian();
+  idio_state_.assign(n, 0.0);
+  drift_state_.assign(n, 0.0);
+}
+
+std::vector<int> SensorNetworkGenerator::CommunityMembers(int c) const {
+  std::vector<int> members;
+  for (int i = 0; i < options_.n_sensors; ++i) {
+    if (community_of_[i] == c) members.push_back(i);
+  }
+  return members;
+}
+
+double SensorNetworkGenerator::SensorStd(int i) const {
+  // Var = a_i^2 * (1 + seasonal^2/2) + noise^2 under the unit-variance AR(1)
+  // factor; the seasonal sinusoid has variance amplitude^2 / 2.
+  const double seasonal_var =
+      options_.seasonal_period > 0
+          ? options_.seasonal_amplitude * options_.seasonal_amplitude / 2.0
+          : 0.0;
+  return std::sqrt(loading_[i] * loading_[i] * (1.0 + seasonal_var) +
+                   options_.noise_std * options_.noise_std);
+}
+
+ts::MultivariateSeries SensorNetworkGenerator::Generate(int length, Rng* rng) {
+  const int n = options_.n_sensors;
+  ts::MultivariateSeries series(n, length);
+  const double phi = options_.factor_smoothness;
+  const double innovation = std::sqrt(1.0 - phi * phi);
+
+  for (int t = 0; t < length; ++t) {
+    // Advance latent factors.
+    for (int c = 0; c < options_.n_communities; ++c) {
+      factor_state_[c] = phi * factor_state_[c] + innovation * rng->Gaussian();
+    }
+    const int global_t = time_offset_ + t;
+    for (int i = 0; i < n; ++i) {
+      const int c = community_of_[i];
+      double factor = factor_state_[c];
+      if (options_.seasonal_period > 0) {
+        factor += options_.seasonal_amplitude *
+                  std::sin(2.0 * M_PI * global_t /
+                               static_cast<double>(options_.seasonal_period) +
+                           seasonal_phase_[c]);
+      }
+      idio_state_[i] = phi * idio_state_[i] + innovation * rng->Gaussian();
+      if (options_.baseline_drift_std > 0.0) {
+        drift_state_[i] += options_.baseline_drift_std * rng->Gaussian();
+      }
+      series.set_value(i, t,
+                       loading_[i] * factor +
+                           options_.noise_std * idio_state_[i] + offset_[i] +
+                           drift_state_[i]);
+    }
+  }
+  time_offset_ += length;
+  return series;
+}
+
+}  // namespace cad::datasets

@@ -1,0 +1,90 @@
+// Synthetic correlated sensor-network generator (DESIGN.md §1).
+//
+// This stands in for the paper's eight datasets (PSM, SMD, SWaT, IS-1..5),
+// which are either not redistributable or private. The generator mimics the
+// property CAD exploits: sensors on the same machine are correlated and form
+// community structures (paper Section I and III-C references [1], [18],
+// [21], [22], [89]).
+//
+// Model: each community c has a latent factor f_c(t) — an AR(1) process with
+// unit stationary variance plus an optional seasonal sinusoid. Sensor i in
+// community c reads
+//   x_i(t) = a_i * f_c(t) + noise_std * g_i(t) + b_i,
+// with a random loading a_i (sign flips allowed, producing anti-correlated
+// pairs), an idiosyncratic AR(1) noise g_i and a random offset b_i.
+#ifndef CAD_DATASETS_GENERATOR_H_
+#define CAD_DATASETS_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::datasets {
+
+struct GeneratorOptions {
+  int n_sensors = 26;
+  int n_communities = 4;
+  // AR(1) coefficient of the latent factors; close to 1 = smooth series.
+  // The default keeps the decorrelation time (1+phi)/(1-phi) ~ 6 points,
+  // well inside CAD-scale windows, so window correlations estimate the true
+  // community structure instead of sampling noise.
+  double factor_smoothness = 0.55;
+  // Idiosyncratic noise level relative to the unit-variance factor signal.
+  double noise_std = 0.15;
+  // Optional seasonal component period (0 disables it).
+  int seasonal_period = 0;
+  double seasonal_amplitude = 0.5;
+  // Per-step standard deviation of an independent per-sensor random-walk
+  // baseline offset — the slow distribution drift real sensor deployments
+  // exhibit (paper Section I: "the data distributions often change
+  // constantly"). Over T points the offset wanders ~drift*sqrt(T) signal
+  // sigmas: training-distribution methods go stale while windowed
+  // correlations are unaffected. 0 disables drift.
+  double baseline_drift_std = 0.0;
+  // Loadings are drawn from ±[min_loading, max_loading].
+  double min_loading = 0.6;
+  double max_loading = 1.4;
+  // Fraction of sensors whose loading sign is flipped (anti-correlated).
+  double negative_loading_fraction = 0.2;
+};
+
+class SensorNetworkGenerator {
+ public:
+  // Community layout, loadings and offsets are drawn once from `rng` at
+  // construction, so several series generated from one generator share the
+  // same network (train/test splits of one "machine").
+  SensorNetworkGenerator(const GeneratorOptions& options, Rng* rng);
+
+  const GeneratorOptions& options() const { return options_; }
+
+  // Community id of each sensor (balanced round-robin assignment shuffled
+  // once at construction).
+  const std::vector<int>& community_of() const { return community_of_; }
+
+  // Sensors belonging to community c.
+  std::vector<int> CommunityMembers(int c) const;
+
+  // Generates `length` time points, continuing factor state across calls so
+  // consecutive calls produce one seamless stream.
+  ts::MultivariateSeries Generate(int length, Rng* rng);
+
+  // Marginal standard deviation of sensor i implied by the model (used by
+  // the anomaly injector to express magnitudes in sigma units).
+  double SensorStd(int i) const;
+
+ private:
+  GeneratorOptions options_;
+  std::vector<int> community_of_;
+  std::vector<double> loading_;
+  std::vector<double> offset_;
+  std::vector<double> seasonal_phase_;  // per community
+  std::vector<double> factor_state_;    // per community, persists across calls
+  std::vector<double> idio_state_;      // per sensor
+  std::vector<double> drift_state_;     // per sensor baseline offset
+  int time_offset_ = 0;                 // for seasonal continuity
+};
+
+}  // namespace cad::datasets
+
+#endif  // CAD_DATASETS_GENERATOR_H_

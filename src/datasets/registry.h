@@ -1,0 +1,67 @@
+// Registry of the eight benchmark dataset profiles (paper Table II),
+// instantiated as synthetic analogues (DESIGN.md §1). Sensor counts and the
+// per-dataset k mirror the paper; series lengths are scaled to laptop-class
+// budgets (the scale factors are recorded in EXPERIMENTS.md).
+#ifndef CAD_DATASETS_REGISTRY_H_
+#define CAD_DATASETS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cad_options.h"
+#include "datasets/anomaly_injector.h"
+#include "eval/confusion.h"
+#include "eval/sensor_eval.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::datasets {
+
+// A ready-to-evaluate dataset: anomaly-free historical split (may be empty,
+// e.g. for SMD subsets which the paper runs without warm-up), labelled test
+// split, and the paper-style recommended CAD options.
+struct LabeledDataset {
+  std::string name;
+  ts::MultivariateSeries train;
+  ts::MultivariateSeries test;
+  eval::Labels labels;                              // per test time point
+  std::vector<eval::SensorGroundTruth> anomalies;   // time + sensor truth
+  core::CadOptions recommended;
+
+  bool has_train() const { return train.length() > 0; }
+};
+
+// Static description of one profile.
+struct DatasetProfile {
+  std::string name;
+  int n_sensors = 0;
+  int train_length = 0;  // |T_his| (0 = no warm-up split)
+  int test_length = 0;   // |T|
+  int k = 10;            // Table II's per-dataset k
+  int n_anomalies = 0;
+  int n_communities = 4;
+  double noise_std = 0.15;
+  double drift_std = 0.0;  // slow baseline drift (see GeneratorOptions)
+  int seasonal_period = 0;
+  uint64_t seed = 42;
+};
+
+// The Table II roster: PSM, SWaT, IS-1..IS-5 (SMD subsets are separate, see
+// SmdSubsetProfile).
+std::vector<DatasetProfile> StandardProfiles();
+
+// Profile by name ("PSM", "SWaT", "IS-1", ..., "IS-5").
+Result<DatasetProfile> ProfileByName(const std::string& name);
+
+// One of the 28 SMD subsets (index in [1, 28]), mirroring the paper's
+// machine-1-1 .. machine-3-11 naming as SMD i. No warm-up split.
+DatasetProfile SmdSubsetProfile(int index);
+
+// Materializes a profile: generates the network, the train split (clean) and
+// the test split with injected anomalies + ground truth, and fills in the
+// recommended CAD options (w ~ 2% of |T|, s ~ 2% of w, tau = 0.5,
+// theta = 0.9, k from the profile).
+LabeledDataset MakeDataset(const DatasetProfile& profile);
+
+}  // namespace cad::datasets
+
+#endif  // CAD_DATASETS_REGISTRY_H_

@@ -1,0 +1,55 @@
+#include "eval/adjust.h"
+
+namespace cad::eval {
+
+Labels PointAdjust(const Labels& pred, const Labels& truth) {
+  CAD_CHECK(pred.size() == truth.size(), "label length mismatch");
+  Labels adjusted = pred;
+  for (const Segment& segment : ExtractSegments(truth)) {
+    bool detected = false;
+    for (int t = segment.begin; t < segment.end; ++t) {
+      if (pred[t]) {
+        detected = true;
+        break;
+      }
+    }
+    if (detected) {
+      for (int t = segment.begin; t < segment.end; ++t) adjusted[t] = 1;
+    }
+  }
+  return adjusted;
+}
+
+Labels DelayPointAdjust(const Labels& pred, const Labels& truth) {
+  CAD_CHECK(pred.size() == truth.size(), "label length mismatch");
+  Labels adjusted = pred;
+  for (const Segment& segment : ExtractSegments(truth)) {
+    int first_tp = -1;
+    for (int t = segment.begin; t < segment.end; ++t) {
+      if (pred[t]) {
+        first_tp = t;
+        break;
+      }
+    }
+    if (first_tp >= 0) {
+      for (int t = first_tp; t < segment.end; ++t) adjusted[t] = 1;
+    }
+  }
+  return adjusted;
+}
+
+Labels Adjust(Adjustment mode, const Labels& pred, const Labels& truth) {
+  switch (mode) {
+    case Adjustment::kNone: return pred;
+    case Adjustment::kPointAdjust: return PointAdjust(pred, truth);
+    case Adjustment::kDelayPointAdjust: return DelayPointAdjust(pred, truth);
+  }
+  return pred;
+}
+
+PrfScore ScoreWithAdjustment(Adjustment mode, const Labels& pred,
+                             const Labels& truth) {
+  return FromConfusion(Count(Adjust(mode, pred, truth), truth));
+}
+
+}  // namespace cad::eval

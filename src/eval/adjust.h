@@ -1,0 +1,39 @@
+// Point Adjustment (PA) and Delay-Point Adjustment (DPA), paper Section V.
+//
+// PA (Xu et al., WWW 2018): if any point of a ground-truth anomaly segment is
+// predicted abnormal, the whole segment's predictions are adjusted to 1.
+// PA ignores *when* within the segment the detection happened.
+//
+// DPA (the delay-aware half of the paper's DaE scheme): only the false
+// negatives *after the first true positive* of each segment are adjusted, so
+// a late detection keeps its early missed points as FNs. DPA is strictly
+// more rigorous: F1_DPA <= F1_PA (tests assert this as a property).
+#ifndef CAD_EVAL_ADJUST_H_
+#define CAD_EVAL_ADJUST_H_
+
+#include "eval/confusion.h"
+
+namespace cad::eval {
+
+enum class Adjustment {
+  kNone,
+  kPointAdjust,       // PA
+  kDelayPointAdjust,  // DPA
+};
+
+// Returns a copy of `pred` with PA applied against `truth`.
+Labels PointAdjust(const Labels& pred, const Labels& truth);
+
+// Returns a copy of `pred` with DPA applied against `truth`.
+Labels DelayPointAdjust(const Labels& pred, const Labels& truth);
+
+// Dispatch helper.
+Labels Adjust(Adjustment mode, const Labels& pred, const Labels& truth);
+
+// F1 of `pred` against `truth` under an adjustment mode.
+PrfScore ScoreWithAdjustment(Adjustment mode, const Labels& pred,
+                             const Labels& truth);
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_ADJUST_H_

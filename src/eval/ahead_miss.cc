@@ -1,0 +1,42 @@
+#include "eval/ahead_miss.h"
+
+namespace cad::eval {
+
+int FirstDetection(const Labels& pred, const Segment& segment) {
+  for (int t = segment.begin; t < segment.end; ++t) {
+    if (pred[t]) return t;
+  }
+  return -1;
+}
+
+AheadMiss CompareAheadMiss(const Labels& pred_m1, const Labels& pred_m2,
+                           const Labels& truth) {
+  CAD_CHECK(pred_m1.size() == truth.size() && pred_m2.size() == truth.size(),
+            "label length mismatch");
+  AheadMiss result;
+  const std::vector<Segment> segments = ExtractSegments(truth);
+  result.total_anomalies = static_cast<int>(segments.size());
+
+  for (const Segment& segment : segments) {
+    const int t1 = FirstDetection(pred_m1, segment);
+    const int t2 = FirstDetection(pred_m2, segment);
+    if (t1 >= 0) {
+      ++result.detected_by_m1;
+      if (t2 < 0 || t1 < t2) ++result.ahead_count;
+    } else if (t2 >= 0) {
+      ++result.miss_count;
+    }
+  }
+
+  result.ahead = result.detected_by_m1 > 0
+                     ? static_cast<double>(result.ahead_count) /
+                           static_cast<double>(result.detected_by_m1)
+                     : 0.0;
+  const int missed = result.total_anomalies - result.detected_by_m1;
+  result.miss = missed > 0 ? static_cast<double>(result.miss_count) /
+                                 static_cast<double>(missed)
+                           : 0.0;
+  return result;
+}
+
+}  // namespace cad::eval

@@ -1,0 +1,37 @@
+// Ahead / Miss: the relative half of the paper's Delay-aware Evaluation
+// (Section V). Given two methods' binary predictions against one ground
+// truth with I anomalies:
+//
+//   Ahead = I_ahead / I_d    where I_ahead = #anomalies M1 detects strictly
+//                            earlier than M2 (an anomaly M2 misses entirely
+//                            counts as ahead), I_d = #anomalies M1 detects;
+//   Miss  = I_miss / (I-I_d) where I_miss = #anomalies M1 misses but M2
+//                            detects; Miss = 0 when I_d == I.
+//
+// Ideal: Ahead = 100%, Miss = 0.
+#ifndef CAD_EVAL_AHEAD_MISS_H_
+#define CAD_EVAL_AHEAD_MISS_H_
+
+#include "eval/confusion.h"
+
+namespace cad::eval {
+
+struct AheadMiss {
+  double ahead = 0.0;  // fraction in [0, 1]
+  double miss = 0.0;   // fraction in [0, 1]
+  int total_anomalies = 0;
+  int detected_by_m1 = 0;
+  int ahead_count = 0;
+  int miss_count = 0;
+};
+
+// First index within [segment.begin, segment.end) where pred is 1, or -1.
+int FirstDetection(const Labels& pred, const Segment& segment);
+
+// Compares method M1 against M2 (per the paper, M1 is CAD in all tables).
+AheadMiss CompareAheadMiss(const Labels& pred_m1, const Labels& pred_m2,
+                           const Labels& truth);
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_AHEAD_MISS_H_

@@ -1,0 +1,74 @@
+// Point-wise confusion counting and precision/recall/F1.
+#ifndef CAD_EVAL_CONFUSION_H_
+#define CAD_EVAL_CONFUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::eval {
+
+// Binary per-time-point labels (0 = normal, 1 = abnormal).
+using Labels = std::vector<uint8_t>;
+
+struct Confusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tn = 0;
+};
+
+struct PrfScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+inline Confusion Count(const Labels& pred, const Labels& truth) {
+  CAD_CHECK(pred.size() == truth.size(), "label length mismatch");
+  Confusion c;
+  for (size_t t = 0; t < pred.size(); ++t) {
+    if (pred[t] && truth[t]) ++c.tp;
+    else if (pred[t] && !truth[t]) ++c.fp;
+    else if (!pred[t] && truth[t]) ++c.fn;
+    else ++c.tn;
+  }
+  return c;
+}
+
+inline PrfScore FromConfusion(const Confusion& c) {
+  PrfScore s;
+  const double p_denom = static_cast<double>(c.tp + c.fp);
+  const double r_denom = static_cast<double>(c.tp + c.fn);
+  s.precision = p_denom > 0 ? static_cast<double>(c.tp) / p_denom : 0.0;
+  s.recall = r_denom > 0 ? static_cast<double>(c.tp) / r_denom : 0.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+// Contiguous runs of 1s in a ground truth: the paper's individual anomalies.
+struct Segment {
+  int begin = 0;  // inclusive
+  int end = 0;    // exclusive
+};
+
+inline std::vector<Segment> ExtractSegments(const Labels& truth) {
+  std::vector<Segment> segments;
+  int begin = -1;
+  for (int t = 0; t < static_cast<int>(truth.size()); ++t) {
+    if (truth[t] && begin < 0) begin = t;
+    if (!truth[t] && begin >= 0) {
+      segments.push_back({begin, t});
+      begin = -1;
+    }
+  }
+  if (begin >= 0) segments.push_back({begin, static_cast<int>(truth.size())});
+  return segments;
+}
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_CONFUSION_H_

@@ -1,0 +1,92 @@
+#include "eval/range_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::eval {
+
+namespace {
+
+// Positional weight of index `i` (0-based) within a range of length `n`.
+double PositionWeight(PositionalBias bias, int i, int n) {
+  switch (bias) {
+    case PositionalBias::kFlat: return 1.0;
+    case PositionalBias::kFront: return static_cast<double>(n - i);
+    case PositionalBias::kBack: return static_cast<double>(i + 1);
+  }
+  return 1.0;
+}
+
+// Tatbul's omega: the positionally-weighted fraction of `range` covered by
+// `overlap` (a sub-interval of `range`).
+double OverlapReward(const Segment& range, const Segment& overlap,
+                     PositionalBias bias) {
+  const int n = range.end - range.begin;
+  double covered = 0.0, total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double weight = PositionWeight(bias, i, n);
+    total += weight;
+    const int t = range.begin + i;
+    if (t >= overlap.begin && t < overlap.end) covered += weight;
+  }
+  return total > 0.0 ? covered / total : 0.0;
+}
+
+// Sum of omega over every `other` range intersecting `range`, plus the
+// cardinality discount.
+double RangeReward(const Segment& range, const std::vector<Segment>& others,
+                   const RangeMetricOptions& options) {
+  double reward = 0.0;
+  int overlapping = 0;
+  for (const Segment& other : others) {
+    const int begin = std::max(range.begin, other.begin);
+    const int end = std::min(range.end, other.end);
+    if (begin >= end) continue;
+    ++overlapping;
+    reward += OverlapReward(range, {begin, end}, options.bias);
+  }
+  if (overlapping == 0) return 0.0;
+  const double cardinality =
+      1.0 / std::pow(static_cast<double>(overlapping), options.gamma_exponent);
+  return std::min(1.0, reward * cardinality);
+}
+
+}  // namespace
+
+RangePrf RangeBasedScore(const Labels& pred, const Labels& truth,
+                         const RangeMetricOptions& options) {
+  CAD_CHECK(pred.size() == truth.size(), "label length mismatch");
+  const std::vector<Segment> real = ExtractSegments(truth);
+  const std::vector<Segment> predicted = ExtractSegments(pred);
+
+  RangePrf result;
+  if (!real.empty()) {
+    double recall = 0.0;
+    for (const Segment& range : real) {
+      bool exists = false;
+      for (const Segment& p : predicted) {
+        if (std::max(range.begin, p.begin) < std::min(range.end, p.end)) {
+          exists = true;
+          break;
+        }
+      }
+      recall += options.alpha * (exists ? 1.0 : 0.0) +
+                (1.0 - options.alpha) * RangeReward(range, predicted, options);
+    }
+    result.recall = recall / static_cast<double>(real.size());
+  }
+  if (!predicted.empty()) {
+    double precision = 0.0;
+    for (const Segment& range : predicted) {
+      precision += RangeReward(range, real, options);
+    }
+    result.precision = precision / static_cast<double>(predicted.size());
+  }
+  result.f1 = (result.precision + result.recall) > 0.0
+                  ? 2.0 * result.precision * result.recall /
+                        (result.precision + result.recall)
+                  : 0.0;
+  return result;
+}
+
+}  // namespace cad::eval

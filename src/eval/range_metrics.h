@@ -1,0 +1,47 @@
+// Range-based precision and recall (Tatbul et al., NeurIPS 2018) — the
+// third major evaluation family for time-series anomaly detection, next to
+// the point adjustment (PA/DPA) and volume (VUS) measures this library
+// implements. Scores *ranges* instead of points:
+//
+//   Recall_T(R)  = alpha * ExistenceReward(R) +
+//                  (1-alpha) * (Overlap * Position * Cardinality)(R)
+//   Precision(P) =            (Overlap * Position * Cardinality)(P)
+//
+// averaged over the real ranges R (recall) and predicted ranges P
+// (precision). The positional bias controls where inside a range overlap is
+// worth most; `kFront` expresses the paper's early-detection preference.
+#ifndef CAD_EVAL_RANGE_METRICS_H_
+#define CAD_EVAL_RANGE_METRICS_H_
+
+#include "eval/confusion.h"
+
+namespace cad::eval {
+
+enum class PositionalBias {
+  kFlat,   // every overlapped position counts equally
+  kFront,  // earlier positions of the range count more (early detection)
+  kBack,   // later positions count more
+};
+
+struct RangeMetricOptions {
+  // Weight of the existence reward in recall (Tatbul's alpha).
+  double alpha = 0.5;
+  PositionalBias bias = PositionalBias::kFlat;
+  // Cardinality penalty: one real range split across `x` predicted ranges
+  // is discounted by 1/x^gamma_exponent (0 disables the penalty).
+  double gamma_exponent = 1.0;
+};
+
+struct RangePrf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// Range-based precision/recall/F1 of binary predictions against truth.
+RangePrf RangeBasedScore(const Labels& pred, const Labels& truth,
+                         const RangeMetricOptions& options = {});
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_RANGE_METRICS_H_

@@ -1,0 +1,51 @@
+// Average-rank aggregation for comparison tables (the "Rank" column of the
+// paper's Table III): each method is ranked per metric column (1 = best,
+// average rank for ties), then ranks are averaged across columns.
+#ifndef CAD_EVAL_RANK_H_
+#define CAD_EVAL_RANK_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::eval {
+
+// Ranks one column of method scores (higher score = better = lower rank).
+// Tied scores share the average of the ranks they span.
+inline std::vector<double> RankColumn(const std::vector<double>& scores) {
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return scores[a] > scores[b]; });
+  std::vector<double> ranks(n, 0.0);
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double shared = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (int idx = i; idx <= j; ++idx) ranks[order[idx]] = shared;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+// Averages ranks over columns; columns[c][m] is method m's score in column c.
+inline std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& columns) {
+  CAD_CHECK(!columns.empty(), "no rank columns");
+  const size_t n = columns[0].size();
+  std::vector<double> avg(n, 0.0);
+  for (const std::vector<double>& column : columns) {
+    CAD_CHECK(column.size() == n, "rank column size mismatch");
+    const std::vector<double> ranks = RankColumn(column);
+    for (size_t m = 0; m < n; ++m) avg[m] += ranks[m];
+  }
+  for (double& v : avg) v /= static_cast<double>(columns.size());
+  return avg;
+}
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_RANK_H_

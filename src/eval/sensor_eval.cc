@@ -1,0 +1,49 @@
+#include "eval/sensor_eval.h"
+
+#include <algorithm>
+
+namespace cad::eval {
+
+PrfScore SensorSetF1(const std::vector<int>& predicted,
+                     const std::vector<int>& actual) {
+  std::vector<int> intersection;
+  std::set_intersection(predicted.begin(), predicted.end(), actual.begin(),
+                        actual.end(), std::back_inserter(intersection));
+  Confusion c;
+  c.tp = static_cast<int64_t>(intersection.size());
+  c.fp = static_cast<int64_t>(predicted.size()) - c.tp;
+  c.fn = static_cast<int64_t>(actual.size()) - c.tp;
+  return FromConfusion(c);
+}
+
+namespace {
+
+bool Overlaps(const Segment& a, const Segment& b) {
+  return a.begin < b.end && b.begin < a.end;
+}
+
+}  // namespace
+
+double SensorF1(const std::vector<SensorPrediction>& predictions,
+                const std::vector<SensorGroundTruth>& ground_truth) {
+  if (ground_truth.empty()) return 0.0;
+  double total = 0.0;
+  for (const SensorGroundTruth& anomaly : ground_truth) {
+    // Merge sensors from every prediction overlapping this anomaly's span.
+    std::vector<int> merged;
+    for (const SensorPrediction& prediction : predictions) {
+      if (Overlaps(prediction.segment, anomaly.segment)) {
+        merged.insert(merged.end(), prediction.sensors.begin(),
+                      prediction.sensors.end());
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    if (!merged.empty()) {
+      total += SensorSetF1(merged, anomaly.sensors).f1;
+    }
+  }
+  return total / static_cast<double>(ground_truth.size());
+}
+
+}  // namespace cad::eval

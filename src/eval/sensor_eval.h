@@ -1,0 +1,42 @@
+// Abnormal-sensor evaluation (paper Section VI-C, F1_sensor).
+//
+// Following the paper's protocol, all abnormal sensors a method reports
+// within one ground-truth anomaly period are merged into a single predicted
+// sensor set for that anomaly; the set is scored against the ground-truth
+// abnormal sensors with a set-wise F1, and F1_sensor is the macro average
+// over all anomalies the method detected (an undetected anomaly contributes
+// F1 = 0).
+#ifndef CAD_EVAL_SENSOR_EVAL_H_
+#define CAD_EVAL_SENSOR_EVAL_H_
+
+#include <vector>
+
+#include "eval/confusion.h"
+
+namespace cad::eval {
+
+// Ground truth for one anomaly: its time segment plus affected sensors.
+struct SensorGroundTruth {
+  Segment segment;
+  std::vector<int> sensors;  // ascending ids
+};
+
+// One method's sensor attribution for one anomaly.
+struct SensorPrediction {
+  Segment segment;           // time span of the *detected* anomaly
+  std::vector<int> sensors;  // ascending ids
+};
+
+// Set-wise F1 between two ascending id vectors.
+PrfScore SensorSetF1(const std::vector<int>& predicted,
+                     const std::vector<int>& actual);
+
+// F1_sensor: for each ground-truth anomaly, the predicted sensor set is the
+// union of sensors from predictions whose segment overlaps the anomaly's
+// segment; missing overlap scores 0. Returns the macro average.
+double SensorF1(const std::vector<SensorPrediction>& predictions,
+                const std::vector<SensorGroundTruth>& ground_truth);
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_SENSOR_EVAL_H_

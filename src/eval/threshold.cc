@@ -1,0 +1,147 @@
+#include "eval/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::eval {
+
+namespace {
+
+Labels ThresholdScores(const std::vector<double>& scores, double threshold) {
+  Labels pred(scores.size(), 0);
+  for (size_t t = 0; t < scores.size(); ++t) {
+    pred[t] = scores[t] >= threshold ? 1 : 0;
+  }
+  return pred;
+}
+
+struct RatePoint {
+  double fpr = 0.0;
+  double tpr = 0.0;       // == recall
+  double precision = 0.0;
+};
+
+// Rates of thresholded + adjusted predictions swept over the grid, ordered
+// from the loosest threshold (0: everything abnormal) to the strictest.
+std::vector<RatePoint> SweepRates(const std::vector<double>& scores,
+                                  const Labels& truth, Adjustment mode,
+                                  double grid_step) {
+  std::vector<RatePoint> points;
+  const int steps = static_cast<int>(std::round(1.0 / grid_step));
+  points.reserve(steps + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const double threshold = static_cast<double>(i) * grid_step;
+    const Labels adjusted = Adjust(mode, ThresholdScores(scores, threshold), truth);
+    const Confusion c = Count(adjusted, truth);
+    RatePoint p;
+    const double pos = static_cast<double>(c.tp + c.fn);
+    const double neg = static_cast<double>(c.fp + c.tn);
+    p.tpr = pos > 0 ? static_cast<double>(c.tp) / pos : 0.0;
+    p.fpr = neg > 0 ? static_cast<double>(c.fp) / neg : 0.0;
+    p.precision = (c.tp + c.fp) > 0
+                      ? static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fp)
+                      : 1.0;  // strictest-threshold convention
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace
+
+BestF1 BestF1Search(const std::vector<double>& scores, const Labels& truth,
+                    Adjustment mode, double grid_step) {
+  CAD_CHECK(scores.size() == truth.size(), "scores/truth length mismatch");
+  BestF1 best;
+  const int steps = static_cast<int>(std::round(1.0 / grid_step));
+  for (int i = 0; i <= steps; ++i) {
+    const double threshold = static_cast<double>(i) * grid_step;
+    const PrfScore s =
+        ScoreWithAdjustment(mode, ThresholdScores(scores, threshold), truth);
+    if (s.f1 > best.f1) {
+      best.f1 = s.f1;
+      best.precision = s.precision;
+      best.recall = s.recall;
+      best.threshold = threshold;
+    }
+  }
+  return best;
+}
+
+double AucRoc(const std::vector<double>& scores, const Labels& truth,
+              Adjustment mode, double grid_step) {
+  std::vector<RatePoint> points = SweepRates(scores, truth, mode, grid_step);
+  // Anchor the endpoints and integrate TPR over FPR. Thresholds sweep from
+  // loose (high fpr/tpr) to strict (low), so reverse into ascending fpr.
+  std::reverse(points.begin(), points.end());
+  double area = 0.0;
+  double prev_fpr = 0.0, prev_tpr = 0.0;
+  for (const RatePoint& p : points) {
+    if (p.fpr < prev_fpr) continue;  // guard against non-monotone PA artifacts
+    area += (p.fpr - prev_fpr) * (p.tpr + prev_tpr) / 2.0;
+    prev_fpr = p.fpr;
+    prev_tpr = p.tpr;
+  }
+  area += (1.0 - prev_fpr) * (1.0 + prev_tpr) / 2.0;  // close to (1, 1)
+  return area;
+}
+
+double AucPr(const std::vector<double>& scores, const Labels& truth,
+             Adjustment mode, double grid_step) {
+  std::vector<RatePoint> points = SweepRates(scores, truth, mode, grid_step);
+  // Integrate precision over recall, ascending recall (strict -> loose is
+  // already descending recall, so reverse order of the sweep).
+  double area = 0.0;
+  double prev_recall = 0.0;
+  double prev_precision = 1.0;
+  std::reverse(points.begin(), points.end());  // ascending recall
+  for (const RatePoint& p : points) {
+    if (p.tpr < prev_recall) continue;
+    area += (p.tpr - prev_recall) * (p.precision + prev_precision) / 2.0;
+    prev_recall = p.tpr;
+    prev_precision = p.precision;
+  }
+  return area;
+}
+
+Labels DilateTruth(const Labels& truth, int amount) {
+  if (amount <= 0) return truth;
+  Labels dilated = truth;
+  const int n = static_cast<int>(truth.size());
+  for (const Segment& segment : ExtractSegments(truth)) {
+    const int lo = std::max(0, segment.begin - amount);
+    const int hi = std::min(n, segment.end + amount);
+    for (int t = lo; t < hi; ++t) dilated[t] = 1;
+  }
+  return dilated;
+}
+
+namespace {
+
+template <typename AucFn>
+double Volume(const std::vector<double>& scores, const Labels& truth,
+              Adjustment mode, const VusOptions& options, AucFn auc) {
+  CAD_CHECK(options.window_step > 0, "window_step must be positive");
+  double total = 0.0;
+  int count = 0;
+  for (int window = 0; window <= options.max_window;
+       window += options.window_step) {
+    const Labels dilated = DilateTruth(truth, (window + 1) / 2);
+    total += auc(scores, dilated, mode, options.grid_step);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace
+
+double VusRoc(const std::vector<double>& scores, const Labels& truth,
+              Adjustment mode, const VusOptions& options) {
+  return Volume(scores, truth, mode, options, AucRoc);
+}
+
+double VusPr(const std::vector<double>& scores, const Labels& truth,
+             Adjustment mode, const VusOptions& options) {
+  return Volume(scores, truth, mode, options, AucPr);
+}
+
+}  // namespace cad::eval

@@ -1,0 +1,63 @@
+// Threshold-based evaluation of score series: best-F1 grid search (the
+// paper's protocol: thresholds 0..1 with step 0.001) and ROC / PR curves
+// with VUS (Volume Under the Surface, Paparrizos et al., PVLDB 2022).
+//
+// VUS extends AUC with a third axis: a boundary-tolerance window ell. For
+// each ell the ground truth segments are dilated by ell/2 points on both
+// sides, the ROC (or PR) curve of the score series is computed against the
+// dilated truth — with PA or DPA applied to each thresholded prediction, as
+// the paper evaluates — and the volume is the average of the per-ell areas.
+// The original VUS uses continuous-valued dilated labels; the binary
+// dilation used here preserves the measure's ranking behaviour (which is
+// what Figure 5 compares) and is pinned down by tests.
+#ifndef CAD_EVAL_THRESHOLD_H_
+#define CAD_EVAL_THRESHOLD_H_
+
+#include <vector>
+
+#include "eval/adjust.h"
+
+namespace cad::eval {
+
+struct BestF1 {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double threshold = 0.0;
+};
+
+// Thresholds `scores` at every grid point (score >= threshold => abnormal),
+// applies `mode`, and returns the best F1. Scores must be in [0, 1].
+BestF1 BestF1Search(const std::vector<double>& scores, const Labels& truth,
+                    Adjustment mode, double grid_step = 0.001);
+
+// Area under the ROC curve of thresholded-and-adjusted predictions.
+double AucRoc(const std::vector<double>& scores, const Labels& truth,
+              Adjustment mode, double grid_step = 0.01);
+
+// Area under the PR curve (average-precision style, trapezoidal over the
+// recall axis).
+double AucPr(const std::vector<double>& scores, const Labels& truth,
+             Adjustment mode, double grid_step = 0.01);
+
+struct VusOptions {
+  int max_window = 16;      // largest dilation ell
+  int window_step = 4;      // ell = 0, step, 2*step, ..., <= max_window
+  double grid_step = 0.01;  // threshold grid for each curve
+};
+
+// Volume under the ROC surface over the window axis.
+double VusRoc(const std::vector<double>& scores, const Labels& truth,
+              Adjustment mode, const VusOptions& options = {});
+
+// Volume under the PR surface over the window axis.
+double VusPr(const std::vector<double>& scores, const Labels& truth,
+             Adjustment mode, const VusOptions& options = {});
+
+// Dilates every truth segment by `amount` points on each side (clamped to
+// the series bounds); exposed for tests.
+Labels DilateTruth(const Labels& truth, int amount);
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_THRESHOLD_H_

@@ -1,0 +1,52 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cad::graph {
+
+Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
+                    const KnnGraphOptions& options) {
+  const int n = corr.size();
+  CAD_CHECK(options.k >= 1, "k must be >= 1");
+  Graph graph(n);
+
+  // Candidate neighbour list per vertex: the k largest |corr| entries above
+  // tau. selected[u * n + v] marks directed picks; the final edge set is the
+  // symmetric union with each undirected edge added once.
+  std::vector<uint8_t> selected(static_cast<size_t>(n) * n, 0);
+  std::vector<int> order(n > 0 ? n - 1 : 0);
+  for (int u = 0; u < n; ++u) {
+    order.clear();
+    for (int v = 0; v < n; ++v) {
+      if (v == u) continue;
+      if (std::abs(corr.at(u, v)) >= options.tau) order.push_back(v);
+    }
+    const int take = std::min<int>(options.k, static_cast<int>(order.size()));
+    // Deterministic selection: strongest |corr| first, index as tie-break.
+    std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                      [&](int a, int b) {
+                        const double wa = std::abs(corr.at(u, a));
+                        const double wb = std::abs(corr.at(u, b));
+                        if (wa != wb) return wa > wb;
+                        return a < b;
+                      });
+    for (int idx = 0; idx < take; ++idx) {
+      selected[static_cast<size_t>(u) * n + order[idx]] = 1;
+    }
+  }
+
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (selected[static_cast<size_t>(u) * n + v] ||
+          selected[static_cast<size_t>(v) * n + u]) {
+        graph.AddEdge(u, v, corr.at(u, v));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace cad::graph

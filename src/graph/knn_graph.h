@@ -1,0 +1,27 @@
+// k-NN graph construction from a correlation matrix (paper Section III-B).
+//
+// Each vertex is connected to its k highest-|correlation| neighbours; edges
+// whose absolute weight falls below the correlation threshold tau are pruned.
+// The result of both steps is the paper's Time-Series Graph (TSG).
+#ifndef CAD_GRAPH_KNN_GRAPH_H_
+#define CAD_GRAPH_KNN_GRAPH_H_
+
+#include "graph/graph.h"
+#include "stats/correlation.h"
+
+namespace cad::graph {
+
+struct KnnGraphOptions {
+  int k = 10;          // neighbours per vertex
+  double tau = 0.5;    // prune edges with |corr| < tau
+};
+
+// Builds the TSG: the union of every vertex's k strongest-|corr| neighbour
+// edges, then pruned by tau. Edge weights keep the signed correlation.
+// Deterministic: ties in correlation magnitude are broken by vertex index.
+Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
+                    const KnnGraphOptions& options);
+
+}  // namespace cad::graph
+
+#endif  // CAD_GRAPH_KNN_GRAPH_H_

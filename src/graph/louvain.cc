@@ -1,0 +1,255 @@
+#include "graph/louvain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace cad::graph {
+
+namespace {
+
+// Renumbers community ids densely; communities are ordered by their smallest
+// member so the labeling is canonical and deterministic.
+int Canonicalize(std::vector<int>* community) {
+  const int n = static_cast<int>(community->size());
+  std::unordered_map<int, int> remap;
+  remap.reserve(n);
+  int next = 0;
+  for (int v = 0; v < n; ++v) {
+    auto [it, inserted] = remap.emplace((*community)[v], next);
+    if (inserted) ++next;
+    (*community)[v] = it->second;
+  }
+  return next;
+}
+
+// One Louvain level: local moving on `graph`, writing the found community per
+// vertex into `community`. Returns true if any vertex moved. `self_weight`
+// carries the intra-community mass folded into each aggregated vertex: it
+// adds 2*s to the vertex's weighted degree and s to the total weight (the
+// standard self-loop convention), but never to w(v -> c) since it moves with
+// the vertex.
+bool LocalMoving(const Graph& graph, const std::vector<double>& self_weight,
+                 const LouvainOptions& options, std::vector<int>* community) {
+  const int n = graph.n_vertices();
+  double total_weight = graph.TotalWeight();  // m
+  for (double s : self_weight) total_weight += s;
+  if (total_weight <= 0.0) return false;
+  const double two_m = 2.0 * total_weight;
+
+  std::vector<double> vertex_weight(n);  // k_i (absolute weighted degree)
+  for (int v = 0; v < n; ++v) {
+    vertex_weight[v] = graph.WeightedDegree(v) + 2.0 * self_weight[v];
+  }
+
+  // Sum of k_i over members of each community.
+  std::vector<double> community_total(n, 0.0);
+  for (int v = 0; v < n; ++v) community_total[(*community)[v]] += vertex_weight[v];
+
+  bool any_move = false;
+  std::vector<double> weight_to_community(n, 0.0);
+  std::vector<int> touched;
+
+  for (int pass = 0; pass < options.max_passes_per_level; ++pass) {
+    int moves = 0;
+    for (int v = 0; v < n; ++v) {
+      const int old_community = (*community)[v];
+
+      // Accumulate |w|(v -> community) over v's neighbours.
+      touched.clear();
+      for (const Graph::Neighbor& nb : graph.neighbors(v)) {
+        const int c = (*community)[nb.vertex];
+        if (weight_to_community[c] == 0.0) touched.push_back(c);
+        weight_to_community[c] += std::abs(nb.weight);
+      }
+
+      community_total[old_community] -= vertex_weight[v];
+
+      // Gain of joining community c (relative to staying isolated):
+      //   dQ = w(v->c)/m - k_v * tot_c / (2 m^2); comparing across c we can
+      // drop the common 1/m factor.
+      int best_community = old_community;
+      double best_gain = weight_to_community[old_community] -
+                         vertex_weight[v] * community_total[old_community] / two_m;
+      for (int c : touched) {
+        const double gain =
+            weight_to_community[c] - vertex_weight[v] * community_total[c] / two_m;
+        if (gain > best_gain + 1e-12 ||
+            (std::abs(gain - best_gain) <= 1e-12 && c < best_community)) {
+          best_gain = gain;
+          best_community = c;
+        }
+      }
+
+      community_total[best_community] += vertex_weight[v];
+      if (best_community != old_community) {
+        (*community)[v] = best_community;
+        ++moves;
+        any_move = true;
+      }
+
+      for (int c : touched) weight_to_community[c] = 0.0;
+      weight_to_community[old_community] = 0.0;
+    }
+    if (moves == 0) break;
+  }
+  return any_move;
+}
+
+// Builds the aggregated graph whose vertices are the communities of `graph`.
+Graph Aggregate(const Graph& graph, const std::vector<int>& community,
+                int n_communities) {
+  // Accumulate inter-community |weight|; intra-community weight becomes a
+  // self-loop which we fold into vertex weight via an explicit trick: Graph
+  // forbids self-loops, so we carry intra weights in a parallel vector and
+  // re-add them as paired half-edges. Louvain only needs k_i and w(v->c),
+  // both of which survive if we model the self-loop as extra weighted degree.
+  // To keep Graph simple we instead encode the self-loop as an edge to a
+  // phantom twin; simpler: store aggregated weights densely here and emit a
+  // graph with an extra "self weight" channel folded into WeightedDegree by
+  // duplicating the mass on a dedicated structure.
+  //
+  // In practice CAD's TSGs aggregate to tiny graphs, so we keep a dense map.
+  std::unordered_map<int64_t, double> agg;
+  std::vector<double> self_weight(n_communities, 0.0);
+  for (const Edge& e : graph.SortedEdges()) {
+    const int cu = community[e.u];
+    const int cv = community[e.v];
+    const double w = std::abs(e.weight);
+    if (cu == cv) {
+      self_weight[cu] += w;
+    } else {
+      const int a = std::min(cu, cv), b = std::max(cu, cv);
+      agg[static_cast<int64_t>(a) * n_communities + b] += w;
+    }
+  }
+  // Graph cannot store self-loops; we emulate each community self-loop of
+  // weight s as a pair of vertices? No — instead we return the inter-edges
+  // and attach self weights through the companion vector in LouvainImpl.
+  Graph out(n_communities);
+  std::vector<std::pair<int64_t, double>> sorted(agg.begin(), agg.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [key, w] : sorted) {
+    out.AddEdge(static_cast<int>(key / n_communities),
+                static_cast<int>(key % n_communities), w);
+  }
+  // self_weight is re-derived by the caller; see LouvainImpl.
+  return out;
+}
+
+}  // namespace
+
+double Modularity(const Graph& graph, const std::vector<int>& community) {
+  CAD_CHECK(static_cast<int>(community.size()) == graph.n_vertices(),
+            "community size mismatch");
+  const double m = graph.TotalWeight();
+  if (m <= 0.0) return 0.0;
+  double intra = 0.0;
+  for (const Edge& e : graph.SortedEdges()) {
+    if (community[e.u] == community[e.v]) intra += std::abs(e.weight);
+  }
+  std::unordered_map<int, double> community_degree;
+  for (int v = 0; v < graph.n_vertices(); ++v) {
+    community_degree[community[v]] += graph.WeightedDegree(v);
+  }
+  double degree_term = 0.0;
+  for (const auto& [c, k] : community_degree) degree_term += k * k;
+  return intra / m - degree_term / (4.0 * m * m);
+}
+
+Partition Louvain(const Graph& graph, const LouvainOptions& options) {
+  const int n = graph.n_vertices();
+  Partition result;
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0);
+  if (n == 0) {
+    result.n_communities = 0;
+    return result;
+  }
+
+  // level_community maps current-level vertices to communities; mapping[v]
+  // tracks each original vertex's current-level vertex.
+  Graph level_graph = graph;
+  std::vector<int> mapping(n);
+  std::iota(mapping.begin(), mapping.end(), 0);
+  // Self-loop weights accumulated by aggregation (not representable in
+  // Graph); they only add to a vertex's weighted degree and to the total
+  // weight, never to inter-community moves, so we thread them explicitly.
+  std::vector<double> self_weight(n, 0.0);
+
+  double previous_modularity = Modularity(graph, result.community);
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    std::vector<int> level_community(level_graph.n_vertices());
+    std::iota(level_community.begin(), level_community.end(), 0);
+
+    const bool moved =
+        LocalMoving(level_graph, self_weight, options, &level_community);
+    if (!moved) break;
+
+    const int n_level_communities = Canonicalize(&level_community);
+
+    // Tentatively project onto original vertices; keep the level only if it
+    // improves true modularity on the original graph.
+    std::vector<int> candidate(n);
+    for (int v = 0; v < n; ++v) {
+      candidate[v] = level_community[mapping[v]];
+    }
+    const double modularity = Modularity(graph, candidate);
+    if (modularity <= previous_modularity + options.min_modularity_gain) {
+      break;  // result.community keeps the previous (better) level
+    }
+    result.community = std::move(candidate);
+    previous_modularity = modularity;
+
+    // Aggregate for the next level.
+    Graph next = Aggregate(level_graph, level_community, n_level_communities);
+    std::vector<double> next_self(n_level_communities, 0.0);
+    for (const Edge& e : level_graph.SortedEdges()) {
+      if (level_community[e.u] == level_community[e.v]) {
+        next_self[level_community[e.u]] += std::abs(e.weight);
+      }
+    }
+    for (int v = 0; v < level_graph.n_vertices(); ++v) {
+      next_self[level_community[v]] += self_weight[v];
+    }
+    level_graph = std::move(next);
+    self_weight = std::move(next_self);
+    for (int v = 0; v < n; ++v) mapping[v] = result.community[v];
+
+    if (level_graph.n_vertices() <= 1) break;
+  }
+
+  result.n_communities = Canonicalize(&result.community);
+  return result;
+}
+
+Partition ConnectedComponents(const Graph& graph) {
+  const int n = graph.n_vertices();
+  Partition result;
+  result.community.assign(n, -1);
+  std::vector<int> stack;
+  int next_component = 0;
+  for (int start = 0; start < n; ++start) {
+    if (result.community[start] != -1) continue;
+    stack.push_back(start);
+    result.community[start] = next_component;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const Graph::Neighbor& nb : graph.neighbors(v)) {
+        if (result.community[nb.vertex] == -1) {
+          result.community[nb.vertex] = next_component;
+          stack.push_back(nb.vertex);
+        }
+      }
+    }
+    ++next_component;
+  }
+  result.n_communities = next_component;
+  return result;
+}
+
+}  // namespace cad::graph

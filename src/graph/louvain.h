@@ -1,0 +1,52 @@
+// Louvain community detection (Blondel et al. 2008), Phase 1 of CAD's
+// per-round OutlierDetection (paper Algorithm 1, line 2).
+//
+// The implementation is fully deterministic: vertices are visited in index
+// order and modularity-gain ties are broken by the smallest community id, so
+// repeated runs on the same TSG produce identical partitions. The paper
+// leans on this determinism for CAD's stability claim (Table VIII).
+//
+// Correlation edges may be negative; community detection runs on |weight|
+// because a strong anti-correlation is still a strong structural tie between
+// two sensors of the same machine.
+#ifndef CAD_GRAPH_LOUVAIN_H_
+#define CAD_GRAPH_LOUVAIN_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cad::graph {
+
+struct LouvainOptions {
+  // Stop a local-moving sweep when the modularity gain over one full pass
+  // drops below this threshold.
+  double min_modularity_gain = 1e-7;
+  // Safety cap on local-moving passes per level.
+  int max_passes_per_level = 64;
+  // Safety cap on aggregation levels.
+  int max_levels = 32;
+};
+
+struct Partition {
+  // community[v] is the community id of vertex v; ids are dense in
+  // [0, n_communities) and canonicalized so communities are numbered by
+  // their smallest member vertex.
+  std::vector<int> community;
+  int n_communities = 0;
+};
+
+// Newman modularity of a partition under absolute edge weights. Isolated
+// vertices contribute nothing; an edgeless graph has modularity 0.
+double Modularity(const Graph& graph, const std::vector<int>& community);
+
+// Runs the full multi-level Louvain method.
+Partition Louvain(const Graph& graph, const LouvainOptions& options = {});
+
+// Connected components (ignores weights); used by tests as a coarse
+// consistency check against Louvain (every community is within a component).
+Partition ConnectedComponents(const Graph& graph);
+
+}  // namespace cad::graph
+
+#endif  // CAD_GRAPH_LOUVAIN_H_

@@ -1,0 +1,59 @@
+// Minimal dense row-major matrix used by the neural-network substrate. Only
+// the operations the MLP needs are provided; this is deliberately not a
+// general linear-algebra library.
+#ifndef CAD_NN_MATRIX_H_
+#define CAD_NN_MATRIX_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+// out = a(row) * W + b, where a is a length-`in` vector, W is in x out.
+inline void AffineForward(const double* a, const Matrix& w,
+                          const std::vector<double>& b, double* out) {
+  const int in = w.rows(), n_out = w.cols();
+  for (int j = 0; j < n_out; ++j) out[j] = b[j];
+  for (int i = 0; i < in; ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    const double* w_row = w.row(i);
+    for (int j = 0; j < n_out; ++j) out[j] += ai * w_row[j];
+  }
+}
+
+}  // namespace cad::nn
+
+#endif  // CAD_NN_MATRIX_H_

@@ -1,0 +1,161 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+namespace cad::nn {
+
+Mlp::Mlp(const MlpOptions& options, Rng* rng) : options_(options) {
+  CAD_CHECK(options.layer_sizes.size() >= 2, "MLP needs >= 2 layer sizes");
+  CAD_CHECK(rng != nullptr, "rng must not be null");
+  for (size_t l = 0; l + 1 < options.layer_sizes.size(); ++l) {
+    const int in = options.layer_sizes[l];
+    const int out = options.layer_sizes[l + 1];
+    Layer layer;
+    layer.weights = Matrix(in, out);
+    layer.bias.assign(out, 0.0);
+    // He initialization for ReLU-style hidden layers.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (double& w : layer.weights.data()) w = rng->Gaussian(0.0, scale);
+    layer.m_w = Matrix(in, out);
+    layer.v_w = Matrix(in, out);
+    layer.m_b.assign(out, 0.0);
+    layer.v_b.assign(out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+double Mlp::Activate(Activation a, double x) {
+  switch (a) {
+    case Activation::kReLU: return x > 0.0 ? x : 0.0;
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kIdentity: return x;
+  }
+  return x;
+}
+
+// Gradient expressed in terms of the *activated* value (saves recomputation).
+double Mlp::ActivateGrad(Activation a, double activated) {
+  switch (a) {
+    case Activation::kReLU: return activated > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid: return activated * (1.0 - activated);
+    case Activation::kIdentity: return 1.0;
+  }
+  return 1.0;
+}
+
+std::vector<double> Mlp::Forward(std::span<const double> input) const {
+  CAD_CHECK(static_cast<int>(input.size()) == input_size(), "input size");
+  std::vector<double> current(input.begin(), input.end());
+  std::vector<double> next;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    next.assign(layer.bias.size(), 0.0);
+    AffineForward(current.data(), layer.weights, layer.bias, next.data());
+    const Activation act = (l + 1 == layers_.size())
+                               ? options_.output_activation
+                               : options_.hidden_activation;
+    for (double& v : next) v = Activate(act, v);
+    current.swap(next);
+  }
+  return current;
+}
+
+double Mlp::Loss(std::span<const double> input,
+                 std::span<const double> target) const {
+  const std::vector<double> out = Forward(input);
+  CAD_CHECK(out.size() == target.size(), "target size");
+  double loss = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double d = out[i] - target[i];
+    loss += d * d;
+  }
+  return loss / static_cast<double>(out.size());
+}
+
+double Mlp::TrainStep(std::span<const double> input,
+                      std::span<const double> target, double loss_scale,
+                      std::vector<double>* input_gradient) {
+  CAD_CHECK(static_cast<int>(input.size()) == input_size(), "input size");
+  CAD_CHECK(static_cast<int>(target.size()) == output_size(), "target size");
+
+  // Forward, keeping every layer's activations.
+  std::vector<std::vector<double>> activations;
+  activations.reserve(layers_.size() + 1);
+  activations.emplace_back(input.begin(), input.end());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> out(layer.bias.size(), 0.0);
+    AffineForward(activations.back().data(), layer.weights, layer.bias,
+                  out.data());
+    const Activation act = (l + 1 == layers_.size())
+                               ? options_.output_activation
+                               : options_.hidden_activation;
+    for (double& v : out) v = Activate(act, v);
+    activations.push_back(std::move(out));
+  }
+
+  // MSE loss and output delta.
+  const std::vector<double>& output = activations.back();
+  const double inv_out = 1.0 / static_cast<double>(output.size());
+  double loss = 0.0;
+  std::vector<double> delta(output.size());
+  for (size_t i = 0; i < output.size(); ++i) {
+    const double diff = output[i] - target[i];
+    loss += diff * diff;
+    delta[i] = 2.0 * diff * inv_out * loss_scale *
+               ActivateGrad(options_.output_activation, output[i]);
+  }
+  loss *= inv_out;
+
+  // Backward with per-layer Adam updates.
+  ++adam_step_;
+  const double lr = options_.learning_rate;
+  const double b1 = options_.adam_beta1, b2 = options_.adam_beta2;
+  const double bias_corr1 = 1.0 - std::pow(b1, static_cast<double>(adam_step_));
+  const double bias_corr2 = 1.0 - std::pow(b2, static_cast<double>(adam_step_));
+
+  for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+    Layer& layer = layers_[l];
+    const std::vector<double>& in_act = activations[l];
+    std::vector<double> prev_delta(in_act.size(), 0.0);
+
+    for (int i = 0; i < layer.weights.rows(); ++i) {
+      const double a_i = in_act[i];
+      double* w_row = layer.weights.row(i);
+      double* m_row = layer.m_w.row(i);
+      double* v_row = layer.v_w.row(i);
+      double grad_in = 0.0;
+      for (int j = 0; j < layer.weights.cols(); ++j) {
+        grad_in += w_row[j] * delta[j];
+        const double g = a_i * delta[j];
+        m_row[j] = b1 * m_row[j] + (1.0 - b1) * g;
+        v_row[j] = b2 * v_row[j] + (1.0 - b2) * g * g;
+        const double m_hat = m_row[j] / bias_corr1;
+        const double v_hat = v_row[j] / bias_corr2;
+        w_row[j] -= lr * m_hat / (std::sqrt(v_hat) + options_.adam_epsilon);
+      }
+      prev_delta[i] = grad_in;
+    }
+    for (size_t j = 0; j < layer.bias.size(); ++j) {
+      const double g = delta[j];
+      layer.m_b[j] = b1 * layer.m_b[j] + (1.0 - b1) * g;
+      layer.v_b[j] = b2 * layer.v_b[j] + (1.0 - b2) * g * g;
+      const double m_hat = layer.m_b[j] / bias_corr1;
+      const double v_hat = layer.v_b[j] / bias_corr2;
+      layer.bias[j] -= lr * m_hat / (std::sqrt(v_hat) + options_.adam_epsilon);
+    }
+
+    if (l > 0) {
+      const Activation act = options_.hidden_activation;
+      for (size_t i = 0; i < prev_delta.size(); ++i) {
+        prev_delta[i] *= ActivateGrad(act, in_act[i]);
+      }
+      delta.swap(prev_delta);
+    } else if (input_gradient != nullptr) {
+      *input_gradient = std::move(prev_delta);
+    }
+  }
+  return loss;
+}
+
+}  // namespace cad::nn

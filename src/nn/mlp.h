@@ -1,0 +1,79 @@
+// A small multilayer perceptron with ReLU hidden layers, a configurable
+// output activation and an Adam optimizer — the substrate for the USAD and
+// RCoders reconstruction baselines (see DESIGN.md §1 for why these are
+// reimplemented from scratch instead of using a deep-learning framework).
+//
+// Training is plain stochastic gradient descent over single samples (the
+// baseline workloads are small enough that batching buys nothing here), and
+// all randomness flows through the caller-provided cad::Rng so runs are
+// reproducible per seed.
+#ifndef CAD_NN_MLP_H_
+#define CAD_NN_MLP_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace cad::nn {
+
+enum class Activation {
+  kReLU,
+  kSigmoid,
+  kIdentity,
+};
+
+struct MlpOptions {
+  std::vector<int> layer_sizes;  // e.g. {in, hidden..., out}
+  Activation hidden_activation = Activation::kReLU;
+  Activation output_activation = Activation::kSigmoid;
+  double learning_rate = 1e-3;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_epsilon = 1e-8;
+};
+
+class Mlp {
+ public:
+  // Initializes weights with He/Xavier-style scaling from `rng`.
+  Mlp(const MlpOptions& options, Rng* rng);
+
+  int input_size() const { return options_.layer_sizes.front(); }
+  int output_size() const { return options_.layer_sizes.back(); }
+
+  // Forward pass; returns the output layer activations.
+  std::vector<double> Forward(std::span<const double> input) const;
+
+  // Forward + backward + Adam step against an MSE loss towards `target`.
+  // Returns the sample's MSE. The gradient can optionally be scaled by
+  // `loss_scale` (used by USAD's phase-weighted objectives), and
+  // `input_gradient`, when non-null, receives dLoss/dInput (used to chain
+  // USAD's adversarial pass through the first autoencoder).
+  double TrainStep(std::span<const double> input,
+                   std::span<const double> target, double loss_scale = 1.0,
+                   std::vector<double>* input_gradient = nullptr);
+
+  // MSE of Forward(input) against target without updating weights.
+  double Loss(std::span<const double> input,
+              std::span<const double> target) const;
+
+ private:
+  struct Layer {
+    Matrix weights;               // in x out
+    std::vector<double> bias;     // out
+    Matrix m_w, v_w;              // Adam moments for weights
+    std::vector<double> m_b, v_b; // Adam moments for bias
+  };
+
+  static double Activate(Activation a, double x);
+  static double ActivateGrad(Activation a, double activated);
+
+  MlpOptions options_;
+  std::vector<Layer> layers_;
+  int64_t adam_step_ = 0;
+};
+
+}  // namespace cad::nn
+
+#endif  // CAD_NN_MLP_H_

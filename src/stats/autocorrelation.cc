@@ -1,0 +1,49 @@
+#include "stats/autocorrelation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::stats {
+
+std::vector<double> Autocorrelation(std::span<const double> x, int max_lag) {
+  const int n = static_cast<int>(x.size());
+  if (max_lag >= n) max_lag = n > 0 ? n - 1 : 0;
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (n == 0) return acf;
+
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(n);
+
+  double denom = 0.0;
+  for (double v : x) denom += (v - mean) * (v - mean);
+  if (denom < 1e-12) return acf;  // constant series
+
+  for (int lag = 0; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (int t = 0; t + lag < n; ++t) {
+      num += (x[t] - mean) * (x[t + lag] - mean);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+int EstimateDominantPeriod(std::span<const double> x, int min_lag, int max_lag,
+                           double min_acf, int fallback) {
+  if (min_lag < 1) min_lag = 1;
+  std::vector<double> acf = Autocorrelation(x, max_lag + 1);
+  const int hi = std::min<int>(max_lag, static_cast<int>(acf.size()) - 2);
+  int best_lag = -1;
+  double best_val = min_acf;
+  for (int lag = std::max(min_lag, 1); lag <= hi; ++lag) {
+    const bool local_max = acf[lag] >= acf[lag - 1] && acf[lag] >= acf[lag + 1];
+    if (local_max && acf[lag] > best_val) {
+      best_val = acf[lag];
+      best_lag = lag;
+    }
+  }
+  return best_lag > 0 ? best_lag : fallback;
+}
+
+}  // namespace cad::stats

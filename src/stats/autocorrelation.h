@@ -1,0 +1,25 @@
+// Autocorrelation and dominant-period estimation.
+//
+// The paper (Section VI-A) sets the pattern length of SAND / SAND* / NormA
+// from the autocorrelation function of each series; EstimateDominantPeriod
+// reproduces that: the first prominent local maximum of the ACF after lag 0.
+#ifndef CAD_STATS_AUTOCORRELATION_H_
+#define CAD_STATS_AUTOCORRELATION_H_
+
+#include <span>
+#include <vector>
+
+namespace cad::stats {
+
+// ACF values for lags 0..max_lag (inclusive); acf[0] == 1 for non-constant
+// input, all zeros for constant input.
+std::vector<double> Autocorrelation(std::span<const double> x, int max_lag);
+
+// Lag of the first local ACF maximum with value above `min_acf`, searched in
+// [min_lag, max_lag]. Falls back to `fallback` when none qualifies.
+int EstimateDominantPeriod(std::span<const double> x, int min_lag, int max_lag,
+                           double min_acf = 0.1, int fallback = 50);
+
+}  // namespace cad::stats
+
+#endif  // CAD_STATS_AUTOCORRELATION_H_

@@ -1,0 +1,67 @@
+// Correlation measures (paper Section III-B): TSG edge weights are the
+// correlation of two sensors' readings within one window.
+//
+// Pearson is the paper's choice; Spearman (rank) correlation is offered as a
+// robustness extension — invariant to monotone distortions and insensitive
+// to heavy-tailed spikes, at an O(w log w) per-sensor ranking cost.
+//
+// The matrix form precomputes each sensor's centered, unit-norm residuals so
+// an n x n matrix over a window of width w costs O(n*w + n^2*w) flops with a
+// cache-friendly inner product; rows can be computed on multiple threads
+// (bitwise-identical results regardless of thread count). Degenerate
+// (constant) sensors are mapped to correlation 0 instead of NaN.
+#ifndef CAD_STATS_CORRELATION_H_
+#define CAD_STATS_CORRELATION_H_
+
+#include <span>
+#include <vector>
+
+#include "ts/multivariate_series.h"
+
+namespace cad::stats {
+
+enum class CorrelationKind {
+  kPearson,
+  kSpearman,
+};
+
+// Pearson correlation of two equal-length series; 0 when either is constant.
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y);
+
+// Spearman rank correlation (ties get average ranks); 0 when constant.
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y);
+
+// Dense symmetric correlation matrix with unit diagonal, stored row-major.
+class CorrelationMatrix {
+ public:
+  CorrelationMatrix() = default;
+  explicit CorrelationMatrix(int n) : n_(n), values_(static_cast<size_t>(n) * n, 0.0) {
+    for (int i = 0; i < n; ++i) set(i, i, 1.0);
+  }
+
+  int size() const { return n_; }
+  double at(int i, int j) const { return values_[static_cast<size_t>(i) * n_ + j]; }
+  void set(int i, int j, double v) {
+    values_[static_cast<size_t>(i) * n_ + j] = v;
+    values_[static_cast<size_t>(j) * n_ + i] = v;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<double> values_;
+};
+
+// Correlation matrix of all sensor pairs within window [start, start + w) of
+// `series`. Constant sensors correlate 0 with everything (and 1 with self).
+// `n_threads` > 1 parallelizes the pairwise products (results identical).
+CorrelationMatrix WindowCorrelationMatrix(
+    const ts::MultivariateSeries& series, int start, int w,
+    CorrelationKind kind = CorrelationKind::kPearson, int n_threads = 1);
+
+// Average ranks of `x` (ties share the mean rank); the Spearman transform.
+std::vector<double> RankTransform(std::span<const double> x);
+
+}  // namespace cad::stats
+
+#endif  // CAD_STATS_CORRELATION_H_

@@ -1,0 +1,61 @@
+// Empirical CDF and quantiles. ECOD (Li et al., TKDE 2022) scores points by
+// left/right empirical tail probabilities; this is its statistical substrate.
+#ifndef CAD_STATS_ECDF_H_
+#define CAD_STATS_ECDF_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::stats {
+
+// Immutable empirical CDF over one fitted sample.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> sample)
+      : sorted_(sample.begin(), sample.end()) {
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  // P(X <= x), in [0, 1]; 0 for an empty sample.
+  double Left(double x) const {
+    if (sorted_.empty()) return 0.0;
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+  }
+
+  // P(X >= x).
+  double Right(double x) const {
+    if (sorted_.empty()) return 0.0;
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(sorted_.end() - it) /
+           static_cast<double>(sorted_.size());
+  }
+
+  size_t sample_size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Linear-interpolated quantile of a sample (q in [0, 1]); aborts on empty
+// input because every call site controls its sample.
+inline double Quantile(std::span<const double> sample, double q) {
+  CAD_CHECK(!sample.empty(), "Quantile of empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace cad::stats
+
+#endif  // CAD_STATS_ECDF_H_

@@ -1,0 +1,70 @@
+#include "stats/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cad::stats {
+
+EigenDecomposition JacobiEigen(const SymmetricMatrix& matrix, int max_sweeps,
+                               double tolerance) {
+  const int n = matrix.size();
+  // Working copy of the matrix and the accumulated rotations.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n));
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    v[i][i] = 1.0;
+    for (int j = 0; j < n; ++j) a[i][j] = matrix.at(i, j);
+  }
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) off += a[i][j] * a[i][j];
+    }
+    if (off < tolerance) break;
+
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-300) continue;
+        // Classic Jacobi rotation annihilating a[p][q].
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int i = 0; i < n; ++i) {
+          const double aip = a[i][p], aiq = a[i][q];
+          a[i][p] = c * aip - s * aiq;
+          a[i][q] = s * aip + c * aiq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double api = a[p][i], aqi = a[q][i];
+          a[p][i] = c * api - s * aqi;
+          a[q][i] = s * api + c * aqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = v[i][p], viq = v[i][q];
+          v[i][p] = c * vip - s * viq;
+          v[i][q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition result;
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return a[x][x] > a[y][y]; });
+  for (int k : order) {
+    result.values.push_back(a[k][k]);
+    std::vector<double> vec(n);
+    for (int i = 0; i < n; ++i) vec[i] = v[i][k];
+    result.vectors.push_back(std::move(vec));
+  }
+  return result;
+}
+
+}  // namespace cad::stats

@@ -1,0 +1,48 @@
+// Symmetric eigendecomposition via cyclic Jacobi rotations — the substrate
+// for the PCA baseline (Shyu et al. 2003, cited as [76] in the paper's
+// related work). Sizes here are sensor counts (tens to ~1,000), where
+// Jacobi's O(n^3) per sweep with a handful of sweeps is perfectly adequate
+// and has no external dependencies.
+#ifndef CAD_STATS_EIGEN_H_
+#define CAD_STATS_EIGEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::stats {
+
+// Dense symmetric matrix, row-major.
+class SymmetricMatrix {
+ public:
+  SymmetricMatrix() = default;
+  explicit SymmetricMatrix(int n)
+      : n_(n), values_(static_cast<size_t>(n) * n, 0.0) {}
+
+  int size() const { return n_; }
+  double at(int i, int j) const { return values_[static_cast<size_t>(i) * n_ + j]; }
+  void set(int i, int j, double v) {
+    values_[static_cast<size_t>(i) * n_ + j] = v;
+    values_[static_cast<size_t>(j) * n_ + i] = v;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<double> values_;
+};
+
+struct EigenDecomposition {
+  // Eigenvalues in descending order.
+  std::vector<double> values;
+  // eigenvectors[k] is the unit eigenvector for values[k].
+  std::vector<std::vector<double>> vectors;
+};
+
+// Decomposes a symmetric matrix. `max_sweeps` full Jacobi sweeps; converges
+// when all off-diagonal mass is below `tolerance`.
+EigenDecomposition JacobiEigen(const SymmetricMatrix& matrix,
+                               int max_sweeps = 50, double tolerance = 1e-12);
+
+}  // namespace cad::stats
+
+#endif  // CAD_STATS_EIGEN_H_

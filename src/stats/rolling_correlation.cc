@@ -1,0 +1,94 @@
+#include "stats/rolling_correlation.h"
+
+#include <cmath>
+
+namespace cad::stats {
+
+namespace {
+constexpr double kEpsilon = 1e-12;
+}  // namespace
+
+RollingCorrelationTracker::RollingCorrelationTracker(int n_sensors, int window,
+                                                     int refresh_interval)
+    : n_sensors_(n_sensors),
+      window_(window),
+      refresh_interval_(refresh_interval),
+      sum_(n_sensors, 0.0),
+      sum_sq_(n_sensors, 0.0),
+      cross_(static_cast<size_t>(n_sensors) * n_sensors, 0.0) {
+  CAD_CHECK(n_sensors > 0 && window > 0, "bad tracker shape");
+}
+
+void RollingCorrelationTracker::Accumulate(const ts::MultivariateSeries& series,
+                                           int column, double sign) {
+  // Gather the column once (series is sensor-major).
+  std::vector<double> values(n_sensors_);
+  for (int i = 0; i < n_sensors_; ++i) values[i] = series.value(i, column);
+  for (int i = 0; i < n_sensors_; ++i) {
+    const double xi = values[i];
+    sum_[i] += sign * xi;
+    sum_sq_[i] += sign * xi * xi;
+    double* row = cross_.data() + static_cast<size_t>(i) * n_sensors_;
+    for (int j = i + 1; j < n_sensors_; ++j) {
+      row[j] += sign * xi * values[j];
+    }
+  }
+}
+
+void RollingCorrelationTracker::Reset(const ts::MultivariateSeries& series,
+                                      int start) {
+  CAD_CHECK(start >= 0 && start + window_ <= series.length(),
+            "window out of range");
+  std::fill(sum_.begin(), sum_.end(), 0.0);
+  std::fill(sum_sq_.begin(), sum_sq_.end(), 0.0);
+  std::fill(cross_.begin(), cross_.end(), 0.0);
+  for (int t = start; t < start + window_; ++t) {
+    Accumulate(series, t, +1.0);
+  }
+  start_ = start;
+  slides_since_refresh_ = 0;
+}
+
+void RollingCorrelationTracker::SlideTo(const ts::MultivariateSeries& series,
+                                        int new_start) {
+  CAD_CHECK(new_start >= 0 && new_start + window_ <= series.length(),
+            "window out of range");
+  const bool overlaps =
+      start_ >= 0 && new_start > start_ && new_start <= start_ + window_;
+  if (!overlaps || ++slides_since_refresh_ >= refresh_interval_) {
+    Reset(series, new_start);
+    return;
+  }
+  // Remove the columns leaving the window, add the ones entering it.
+  for (int t = start_; t < new_start; ++t) Accumulate(series, t, -1.0);
+  for (int t = start_ + window_; t < new_start + window_; ++t) {
+    Accumulate(series, t, +1.0);
+  }
+  start_ = new_start;
+}
+
+CorrelationMatrix RollingCorrelationTracker::Correlations() const {
+  CAD_CHECK(start_ >= 0, "tracker not positioned; call Reset first");
+  CorrelationMatrix corr(n_sensors_);
+  const double w = static_cast<double>(window_);
+  // Per-sensor centered norms: sum((x - mean)^2) = sum_sq - sum^2 / w.
+  std::vector<double> centered_norm(n_sensors_);
+  for (int i = 0; i < n_sensors_; ++i) {
+    centered_norm[i] = sum_sq_[i] - sum_[i] * sum_[i] / w;
+  }
+  for (int i = 0; i < n_sensors_; ++i) {
+    if (centered_norm[i] < kEpsilon) continue;  // constant sensor -> 0
+    const double* row = cross_.data() + static_cast<size_t>(i) * n_sensors_;
+    for (int j = i + 1; j < n_sensors_; ++j) {
+      if (centered_norm[j] < kEpsilon) continue;
+      const double cov = row[j] - sum_[i] * sum_[j] / w;
+      double r = cov / std::sqrt(centered_norm[i] * centered_norm[j]);
+      if (r > 1.0) r = 1.0;
+      if (r < -1.0) r = -1.0;
+      corr.set(i, j, r);
+    }
+  }
+  return corr;
+}
+
+}  // namespace cad::stats

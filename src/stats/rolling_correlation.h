@@ -1,0 +1,62 @@
+// RollingCorrelationTracker: incremental window-correlation maintenance.
+//
+// CAD recomputes an n x n Pearson matrix every round over a window of width
+// w — O(n^2 w) work — although consecutive windows share w - s columns. This
+// tracker maintains the sufficient statistics (per-sensor sums, squared
+// sums, and pairwise cross products) and updates them in O(n^2 s) per slide:
+// a w/s-fold speedup for the paper-recommended s ≈ 0.02 w.
+//
+// Floating-point drift from repeated add/subtract accumulates slowly; the
+// tracker transparently recomputes from scratch every `refresh_interval`
+// slides, bounding the drift to ~1e-12 per pairwise correlation (verified by
+// tests against the direct computation).
+#ifndef CAD_STATS_ROLLING_CORRELATION_H_
+#define CAD_STATS_ROLLING_CORRELATION_H_
+
+#include <vector>
+
+#include "stats/correlation.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::stats {
+
+class RollingCorrelationTracker {
+ public:
+  // Tracks windows of width `window` over `n_sensors` sensors.
+  RollingCorrelationTracker(int n_sensors, int window,
+                            int refresh_interval = 64);
+
+  // Positions the tracker on window [start, start + window) of `series`,
+  // computing all statistics from scratch.
+  void Reset(const ts::MultivariateSeries& series, int start);
+
+  // Slides the window from its current position to `new_start` (which must
+  // be > current start and <= current start + window so the windows
+  // overlap; otherwise the tracker resets). `series` must be the same
+  // object passed to Reset.
+  void SlideTo(const ts::MultivariateSeries& series, int new_start);
+
+  // The correlation matrix of the current window.
+  CorrelationMatrix Correlations() const;
+
+  int start() const { return start_; }
+  int window() const { return window_; }
+
+ private:
+  void Accumulate(const ts::MultivariateSeries& series, int column,
+                  double sign);
+
+  int n_sensors_;
+  int window_;
+  int refresh_interval_;
+  int start_ = -1;
+  int slides_since_refresh_ = 0;
+
+  std::vector<double> sum_;      // per sensor
+  std::vector<double> sum_sq_;   // per sensor
+  std::vector<double> cross_;    // n x n upper triangle, row-major full
+};
+
+}  // namespace cad::stats
+
+#endif  // CAD_STATS_ROLLING_CORRELATION_H_

@@ -1,0 +1,110 @@
+// Streaming statistics.
+//
+// RunningStats implements Welford's online algorithm; Algorithm 2 of the
+// paper maintains the mean and standard deviation of the outlier-variation
+// counts n_r incrementally as rounds arrive, which is exactly this
+// accumulator. RollingStats keeps the same moments over a fixed-size sliding
+// window (used by the streaming baselines).
+#ifndef CAD_STATS_RUNNING_STATS_H_
+#define CAD_STATS_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+namespace cad::stats {
+
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance (divides by N), matching the paper's use of sigma
+  // over all observed rounds.
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Merges another accumulator (Chan's parallel update).
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const int64_t total = count_ + other.count_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.count_) /
+             static_cast<double>(total);
+    count_ = total;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Mean/stddev over the last `capacity` values pushed.
+class RollingStats {
+ public:
+  explicit RollingStats(size_t capacity) : capacity_(capacity) {}
+
+  void Add(double x) {
+    window_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+    if (window_.size() > capacity_) {
+      const double old = window_.front();
+      window_.pop_front();
+      sum_ -= old;
+      sum_sq_ -= old * old;
+    }
+  }
+
+  size_t size() const { return window_.size(); }
+  bool full() const { return window_.size() == capacity_; }
+
+  double mean() const {
+    return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+  }
+  double variance() const {
+    if (window_.empty()) return 0.0;
+    const double m = mean();
+    double v = sum_sq_ / static_cast<double>(window_.size()) - m * m;
+    return v > 0.0 ? v : 0.0;  // guard against catastrophic cancellation
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace cad::stats
+
+#endif  // CAD_STATS_RUNNING_STATS_H_

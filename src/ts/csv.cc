@@ -1,0 +1,119 @@
+#include "ts/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cad::ts {
+
+namespace {
+
+Result<double> ParseField(std::string_view field, size_t line_no) {
+  field = StripAsciiWhitespace(field);
+  if (field.empty()) {
+    return Status::InvalidArgument("empty field at line " +
+                                   std::to_string(line_no));
+  }
+  std::string buf(field);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("non-numeric field '" + buf + "' at line " +
+                                   std::to_string(line_no));
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<MultivariateSeries> ParseCsv(const std::string& content,
+                                    const CsvOptions& options) {
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  std::vector<std::string> names;
+  // columns[j] accumulates sensor j's series across time rows.
+  std::vector<std::vector<double>> columns;
+  bool expect_header = options.has_header;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> fields = Split(stripped, options.delimiter);
+    if (expect_header) {
+      for (auto& f : fields) names.emplace_back(StripAsciiWhitespace(f));
+      columns.resize(names.size());
+      expect_header = false;
+      continue;
+    }
+    if (columns.empty()) columns.resize(fields.size());
+    if (fields.size() != columns.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(columns.size()));
+    }
+    for (size_t j = 0; j < fields.size(); ++j) {
+      Result<double> v = ParseField(fields[j], line_no);
+      if (!v.ok()) return v.status();
+      columns[j].push_back(v.value());
+    }
+  }
+
+  if (columns.empty() || columns[0].empty()) {
+    return Status::InvalidArgument("CSV has no data rows");
+  }
+  Result<MultivariateSeries> series = MultivariateSeries::FromRows(columns);
+  if (!series.ok()) return series.status();
+  MultivariateSeries out = std::move(series).value();
+  if (!names.empty()) {
+    for (int i = 0; i < out.n_sensors(); ++i) out.set_sensor_name(i, names[i]);
+  }
+  return out;
+}
+
+Result<MultivariateSeries> ReadCsv(const std::string& path,
+                                   const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return ParseCsv(buf.str(), options);
+}
+
+Status WriteCsv(const MultivariateSeries& series, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (options.has_header) {
+    for (int i = 0; i < series.n_sensors(); ++i) {
+      if (i > 0) file << options.delimiter;
+      file << series.sensor_name(i);
+    }
+    file << '\n';
+  }
+  std::ostringstream row;
+  for (int t = 0; t < series.length(); ++t) {
+    row.str("");
+    for (int i = 0; i < series.n_sensors(); ++i) {
+      if (i > 0) row << options.delimiter;
+      row << series.value(i, t);
+    }
+    row << '\n';
+    file << row.str();
+  }
+  if (!file) {
+    return Status::IoError("write failed for '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cad::ts

@@ -1,0 +1,36 @@
+// CSV import/export for MultivariateSeries.
+//
+// On-disk layout follows the common MTS dataset convention: one row per time
+// point, one column per sensor, optional header row with sensor names. This
+// is the transpose of the in-memory sensor-major layout.
+#ifndef CAD_TS_CSV_H_
+#define CAD_TS_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::ts {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+// Reads a CSV file into a series; every row must have the same field count
+// and every field must parse as a double.
+Result<MultivariateSeries> ReadCsv(const std::string& path,
+                                   const CsvOptions& options = {});
+
+// Parses CSV content from a string (used by tests and small fixtures).
+Result<MultivariateSeries> ParseCsv(const std::string& content,
+                                    const CsvOptions& options = {});
+
+// Writes a series to CSV (time-major rows, header of sensor names).
+Status WriteCsv(const MultivariateSeries& series, const std::string& path,
+                const CsvOptions& options = {});
+
+}  // namespace cad::ts
+
+#endif  // CAD_TS_CSV_H_

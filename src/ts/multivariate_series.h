@@ -1,0 +1,129 @@
+// MultivariateSeries: the sensor-based MTS T = (s_1, ..., s_n)^T from the
+// paper (Section III-A). Each row is one sensor's univariate series; all
+// sensors share the same length and a uniform sampling interval.
+//
+// Storage is sensor-major (each sensor's readings are contiguous), which is
+// the access pattern of every consumer in this codebase: window extraction,
+// Pearson correlation, and the univariate baselines all stream one sensor at
+// a time.
+#ifndef CAD_TS_MULTIVARIATE_SERIES_H_
+#define CAD_TS_MULTIVARIATE_SERIES_H_
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::ts {
+
+class MultivariateSeries {
+ public:
+  MultivariateSeries() = default;
+
+  // An n_sensors x length series filled with zeros.
+  MultivariateSeries(int n_sensors, int length)
+      : n_sensors_(n_sensors), length_(length) {
+    CAD_CHECK(n_sensors >= 0 && length >= 0, "negative shape");
+    data_.assign(static_cast<size_t>(n_sensors) * length, 0.0);
+    for (int i = 0; i < n_sensors; ++i) {
+      sensor_names_.push_back("s" + std::to_string(i + 1));
+    }
+  }
+
+  // Builds from per-sensor rows; all rows must have equal length.
+  static Result<MultivariateSeries> FromRows(
+      const std::vector<std::vector<double>>& rows) {
+    MultivariateSeries series(static_cast<int>(rows.size()),
+                              rows.empty() ? 0 : static_cast<int>(rows[0].size()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (static_cast<int>(rows[i].size()) != series.length()) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(i) + " has length " +
+            std::to_string(rows[i].size()) + ", expected " +
+            std::to_string(series.length()));
+      }
+      std::copy(rows[i].begin(), rows[i].end(),
+                series.data_.begin() + static_cast<size_t>(i) * series.length());
+    }
+    return series;
+  }
+
+  int n_sensors() const { return n_sensors_; }
+  int length() const { return length_; }
+  bool empty() const { return n_sensors_ == 0 || length_ == 0; }
+
+  double value(int sensor, int t) const {
+    return data_[static_cast<size_t>(sensor) * length_ + t];
+  }
+  void set_value(int sensor, int t, double v) {
+    data_[static_cast<size_t>(sensor) * length_ + t] = v;
+  }
+
+  // The full series of one sensor.
+  std::span<const double> sensor(int i) const {
+    return {data_.data() + static_cast<size_t>(i) * length_,
+            static_cast<size_t>(length_)};
+  }
+  std::span<double> mutable_sensor(int i) {
+    return {data_.data() + static_cast<size_t>(i) * length_,
+            static_cast<size_t>(length_)};
+  }
+
+  // The readings of sensor `i` within window [start, start + w).
+  std::span<const double> sensor_window(int i, int start, int w) const {
+    return {data_.data() + static_cast<size_t>(i) * length_ + start,
+            static_cast<size_t>(w)};
+  }
+
+  const std::string& sensor_name(int i) const { return sensor_names_[i]; }
+  void set_sensor_name(int i, std::string name) {
+    sensor_names_[i] = std::move(name);
+  }
+  const std::vector<std::string>& sensor_names() const { return sensor_names_; }
+
+  // Copies the sub-matrix T[t0 : t0 + len) across all sensors.
+  Result<MultivariateSeries> Slice(int t0, int len) const {
+    if (t0 < 0 || len < 0 || t0 + len > length_) {
+      return Status::OutOfRange("slice [" + std::to_string(t0) + ", " +
+                                std::to_string(t0 + len) + ") out of [0, " +
+                                std::to_string(length_) + ")");
+    }
+    MultivariateSeries out(n_sensors_, len);
+    for (int i = 0; i < n_sensors_; ++i) {
+      auto src = sensor_window(i, t0, len);
+      std::copy(src.begin(), src.end(), out.mutable_sensor(i).begin());
+    }
+    out.sensor_names_ = sensor_names_;
+    return out;
+  }
+
+  // Appends `other` in time (same sensor set required).
+  Status AppendInTime(const MultivariateSeries& other) {
+    if (other.n_sensors_ != n_sensors_) {
+      return Status::InvalidArgument("sensor count mismatch in AppendInTime");
+    }
+    MultivariateSeries merged(n_sensors_, length_ + other.length_);
+    for (int i = 0; i < n_sensors_; ++i) {
+      auto dst = merged.mutable_sensor(i);
+      auto a = sensor(i);
+      auto b = other.sensor(i);
+      std::copy(a.begin(), a.end(), dst.begin());
+      std::copy(b.begin(), b.end(), dst.begin() + length_);
+    }
+    merged.sensor_names_ = sensor_names_;
+    *this = std::move(merged);
+    return Status::Ok();
+  }
+
+ private:
+  int n_sensors_ = 0;
+  int length_ = 0;
+  std::vector<double> data_;               // sensor-major, n_sensors_ * length_
+  std::vector<std::string> sensor_names_;  // size n_sensors_
+};
+
+}  // namespace cad::ts
+
+#endif  // CAD_TS_MULTIVARIATE_SERIES_H_

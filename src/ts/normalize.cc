@@ -1,0 +1,58 @@
+#include "ts/normalize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cad::ts {
+
+namespace {
+constexpr double kEpsilon = 1e-12;
+}  // namespace
+
+Scaler FitZScore(const MultivariateSeries& series) {
+  Scaler scaler;
+  scaler.offset.resize(series.n_sensors());
+  scaler.scale.resize(series.n_sensors());
+  for (int i = 0; i < series.n_sensors(); ++i) {
+    auto x = series.sensor(i);
+    double mean = 0.0;
+    for (double v : x) mean += v;
+    mean /= static_cast<double>(x.size());
+    double var = 0.0;
+    for (double v : x) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(x.size());
+    double std = std::sqrt(var);
+    scaler.offset[i] = mean;
+    scaler.scale[i] = std > kEpsilon ? std : 1.0;
+  }
+  return scaler;
+}
+
+Scaler FitMinMax(const MultivariateSeries& series) {
+  Scaler scaler;
+  scaler.offset.resize(series.n_sensors());
+  scaler.scale.resize(series.n_sensors());
+  for (int i = 0; i < series.n_sensors(); ++i) {
+    auto x = series.sensor(i);
+    auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
+    double lo = *lo_it, hi = *hi_it;
+    scaler.offset[i] = lo;
+    scaler.scale[i] = (hi - lo) > kEpsilon ? (hi - lo) : 1.0;
+  }
+  return scaler;
+}
+
+MultivariateSeries Apply(const Scaler& scaler, const MultivariateSeries& series) {
+  CAD_CHECK(static_cast<int>(scaler.offset.size()) == series.n_sensors(),
+            "scaler fitted on a different sensor count");
+  MultivariateSeries out = series;
+  for (int i = 0; i < series.n_sensors(); ++i) {
+    auto row = out.mutable_sensor(i);
+    const double offset = scaler.offset[i];
+    const double scale = scaler.scale[i];
+    for (double& v : row) v = (v - offset) / scale;
+  }
+  return out;
+}
+
+}  // namespace cad::ts

@@ -1,0 +1,32 @@
+// Per-sensor normalization utilities. The deep-learning baselines (USAD,
+// RCoders) and the distance-based baselines (LOF, kNN) require z-scored or
+// min-max-scaled input; CAD itself is scale-free because Pearson correlation
+// is invariant to affine transforms of each sensor.
+#ifndef CAD_TS_NORMALIZE_H_
+#define CAD_TS_NORMALIZE_H_
+
+#include "ts/multivariate_series.h"
+
+namespace cad::ts {
+
+// Per-sensor affine parameters fitted on one series (typically the training /
+// historical split) and applied to another, so the test data never leaks into
+// the fit.
+struct Scaler {
+  std::vector<double> offset;  // subtract
+  std::vector<double> scale;   // then divide (>= epsilon)
+};
+
+// Fits z-score parameters (mean, std) per sensor. Constant sensors get
+// scale 1 so they map to zero rather than NaN.
+Scaler FitZScore(const MultivariateSeries& series);
+
+// Fits min-max parameters mapping each sensor to [0, 1].
+Scaler FitMinMax(const MultivariateSeries& series);
+
+// Returns (x - offset) / scale applied element-wise per sensor.
+MultivariateSeries Apply(const Scaler& scaler, const MultivariateSeries& series);
+
+}  // namespace cad::ts
+
+#endif  // CAD_TS_NORMALIZE_H_

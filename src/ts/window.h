@@ -1,0 +1,63 @@
+// Sliding-window partitioning of an MTS (paper Section III-B).
+//
+// Given a window w and step s (s < w), a series of length |T| is cut into
+// R = floor((|T| - w) / s) + 1 overlapping sub-matrices T_1 .. T_R with
+// T_r = T[1 + (r-1)s : w + (r-1)s]. When (|T| - w) is not divisible by s the
+// paper drops the trailing columns, which the floor above implements.
+#ifndef CAD_TS_WINDOW_H_
+#define CAD_TS_WINDOW_H_
+
+#include "common/status.h"
+
+namespace cad::ts {
+
+class WindowPlan {
+ public:
+  // Validates the paper's constraints: 0 < s < w <= length.
+  static Result<WindowPlan> Make(int length, int window, int step) {
+    if (window <= 0 || step <= 0) {
+      return Status::InvalidArgument("window and step must be positive");
+    }
+    if (step >= window) {
+      return Status::InvalidArgument("step must be smaller than window");
+    }
+    if (window > length) {
+      return Status::InvalidArgument("window larger than series length");
+    }
+    return WindowPlan(length, window, step);
+  }
+
+  int length() const { return length_; }
+  int window() const { return window_; }
+  int step() const { return step_; }
+
+  // Number of rounds R.
+  int rounds() const { return (length_ - window_) / step_ + 1; }
+
+  // Start index (0-based) of round r in [0, rounds()).
+  int start(int round) const { return round * step_; }
+
+  // One-past-the-end time index of round r.
+  int end(int round) const { return start(round) + window_; }
+
+  // The last round whose window ends at or before time t+1; in other words,
+  // the most recent round fully observable once time point t has arrived.
+  // Returns -1 if no window fits yet.
+  int LastCompleteRoundAt(int t) const {
+    if (t + 1 < window_) return -1;
+    int r = (t + 1 - window_) / step_;
+    return r >= rounds() ? rounds() - 1 : r;
+  }
+
+ private:
+  WindowPlan(int length, int window, int step)
+      : length_(length), window_(window), step_(step) {}
+
+  int length_;
+  int window_;
+  int step_;
+};
+
+}  // namespace cad::ts
+
+#endif  // CAD_TS_WINDOW_H_

@@ -1,0 +1,176 @@
+// Tests for the data-mining baselines: LOF, ECOD, IForest, and the score
+// normalization contract they share.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/detector.h"
+#include "baselines/ecod.h"
+#include "baselines/iforest.h"
+#include "baselines/lof.h"
+#include "common/rng.h"
+
+namespace cad::baselines {
+namespace {
+
+// A 2-sensor series of correlated Gaussian noise with a burst of extreme
+// values in [spike_begin, spike_end).
+ts::MultivariateSeries SpikySeries(int length, int spike_begin, int spike_end,
+                                   uint64_t seed, double spike_magnitude = 6.0) {
+  Rng rng(seed);
+  ts::MultivariateSeries series(2, length);
+  for (int t = 0; t < length; ++t) {
+    const double f = rng.Gaussian();
+    const bool spike = t >= spike_begin && t < spike_end;
+    series.set_value(0, t, f + 0.2 * rng.Gaussian() +
+                               (spike ? spike_magnitude : 0.0));
+    series.set_value(1, t, f + 0.2 * rng.Gaussian());
+  }
+  return series;
+}
+
+double MeanScore(const std::vector<double>& scores, int begin, int end) {
+  double sum = 0.0;
+  for (int t = begin; t < end; ++t) sum += scores[t];
+  return sum / std::max(1, end - begin);
+}
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  std::vector<double> scores = {2.0, 4.0, 3.0};
+  MinMaxNormalize(&scores);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.5);
+}
+
+TEST(MinMaxNormalizeTest, ConstantBecomesZero) {
+  std::vector<double> scores = {5.0, 5.0};
+  MinMaxNormalize(&scores);
+  EXPECT_EQ(scores, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(MinMaxNormalizeTest, EmptyIsFine) {
+  std::vector<double> scores;
+  MinMaxNormalize(&scores);
+  EXPECT_TRUE(scores.empty());
+}
+
+template <typename DetectorT>
+void ExpectSpikeScoredHigher(DetectorT&& detector, uint64_t seed) {
+  const ts::MultivariateSeries train = SpikySeries(600, 0, 0, seed);  // clean
+  const ts::MultivariateSeries test = SpikySeries(400, 150, 180, seed + 1);
+  ASSERT_TRUE(detector.Fit(train).ok());
+  const std::vector<double> scores = detector.Score(test).ValueOrDie();
+  ASSERT_EQ(scores.size(), 400u);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  const double inside = MeanScore(scores, 150, 180);
+  const double outside =
+      (MeanScore(scores, 0, 150) * 150 + MeanScore(scores, 180, 400) * 220) /
+      370.0;
+  EXPECT_GT(inside, outside + 0.2);
+}
+
+TEST(LofTest, SpikeRegionScoresHigher) { ExpectSpikeScoredHigher(Lof(), 21); }
+
+TEST(EcodTest, SpikeRegionScoresHigher) { ExpectSpikeScoredHigher(Ecod(), 22); }
+
+TEST(IforestTest, SpikeRegionScoresHigher) {
+  ExpectSpikeScoredHigher(Iforest(), 23);
+}
+
+TEST(LofTest, UnsupervisedFallbackWithoutFit) {
+  Lof lof;
+  const ts::MultivariateSeries test = SpikySeries(300, 100, 120, 31);
+  const std::vector<double> scores = lof.Score(test).ValueOrDie();
+  EXPECT_GT(MeanScore(scores, 100, 120), MeanScore(scores, 0, 100));
+}
+
+TEST(LofTest, RejectsTinyTrainingData) {
+  Lof lof(LofOptions{.k = 20, .max_train_points = 0});
+  EXPECT_FALSE(lof.Fit(SpikySeries(10, 0, 0, 1)).ok());
+}
+
+TEST(LofTest, RejectsSensorMismatchAfterFit) {
+  Lof lof;
+  ASSERT_TRUE(lof.Fit(SpikySeries(200, 0, 0, 3)).ok());
+  const ts::MultivariateSeries wrong(3, 100);
+  EXPECT_FALSE(lof.Score(wrong).ok());
+}
+
+TEST(LofTest, DeterministicAcrossRuns) {
+  const ts::MultivariateSeries train = SpikySeries(300, 0, 0, 5);
+  const ts::MultivariateSeries test = SpikySeries(200, 80, 100, 6);
+  Lof a, b;
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_EQ(a.Score(test).ValueOrDie(), b.Score(test).ValueOrDie());
+}
+
+TEST(LofTest, SubsamplingCapRespected) {
+  LofOptions options;
+  options.max_train_points = 100;
+  Lof lof(options);
+  ASSERT_TRUE(lof.Fit(SpikySeries(1000, 0, 0, 7)).ok());
+  // Still functional after subsampling.
+  const ts::MultivariateSeries test = SpikySeries(150, 50, 70, 8);
+  EXPECT_TRUE(lof.Score(test).ok());
+}
+
+TEST(EcodTest, ProvidesSensorScoresForAffectedSensorOnly) {
+  Ecod ecod;
+  const ts::MultivariateSeries train = SpikySeries(600, 0, 0, 41);
+  // Spike only on sensor 0 (SpikySeries construction).
+  const ts::MultivariateSeries test = SpikySeries(300, 100, 130, 42);
+  ASSERT_TRUE(ecod.Fit(train).ok());
+  ASSERT_TRUE(ecod.provides_sensor_scores());
+  const auto sensor_scores = ecod.SensorScores(test).ValueOrDie();
+  ASSERT_EQ(sensor_scores.size(), 2u);
+  const double s0_inside = MeanScore(sensor_scores[0], 100, 130);
+  const double s0_outside = MeanScore(sensor_scores[0], 0, 100);
+  EXPECT_GT(s0_inside, s0_outside + 0.3);
+}
+
+TEST(EcodTest, DeterministicAcrossRuns) {
+  const ts::MultivariateSeries test = SpikySeries(300, 100, 120, 43);
+  Ecod a, b;
+  EXPECT_EQ(a.Score(test).ValueOrDie(), b.Score(test).ValueOrDie());
+}
+
+TEST(IforestTest, SeedChangesScores) {
+  const ts::MultivariateSeries train = SpikySeries(400, 0, 0, 51);
+  const ts::MultivariateSeries test = SpikySeries(200, 80, 100, 52);
+  Iforest a(IforestOptions{.n_trees = 50, .subsample = 128, .seed = 1});
+  Iforest b(IforestOptions{.n_trees = 50, .subsample = 128, .seed = 2});
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_NE(a.Score(test).ValueOrDie(), b.Score(test).ValueOrDie());
+}
+
+TEST(IforestTest, SameSeedSameScores) {
+  const ts::MultivariateSeries train = SpikySeries(400, 0, 0, 53);
+  const ts::MultivariateSeries test = SpikySeries(200, 80, 100, 54);
+  Iforest a(IforestOptions{.seed = 9});
+  Iforest b(IforestOptions{.seed = 9});
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_EQ(a.Score(test).ValueOrDie(), b.Score(test).ValueOrDie());
+}
+
+TEST(IforestTest, HandlesConstantFeatures) {
+  ts::MultivariateSeries train(3, 300);
+  Rng rng(55);
+  for (int t = 0; t < 300; ++t) {
+    train.set_value(0, t, 1.0);  // constant feature
+    train.set_value(1, t, rng.Gaussian());
+    train.set_value(2, t, rng.Gaussian());
+  }
+  Iforest forest;
+  ASSERT_TRUE(forest.Fit(train).ok());
+  EXPECT_TRUE(forest.Score(train).ok());
+}
+
+}  // namespace
+}  // namespace cad::baselines

@@ -1,0 +1,175 @@
+// Tests for the deep reconstruction baselines (USAD, RCoders) and the CAD
+// adapter + method registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/cad_adapter.h"
+#include "baselines/method_registry.h"
+#include "baselines/rcoders.h"
+#include "baselines/usad.h"
+#include "testing/synthetic.h"
+
+namespace cad::baselines {
+namespace {
+
+double MeanScore(const std::vector<double>& scores, int begin, int end) {
+  double sum = 0.0;
+  for (int t = begin; t < end; ++t) sum += scores[t];
+  return sum / (end - begin);
+}
+
+UsadOptions FastUsad(uint64_t seed) {
+  UsadOptions options;
+  options.epochs = 4;
+  options.hidden = 24;
+  options.latent = 8;
+  options.max_train_windows = 600;
+  options.seed = seed;
+  return options;
+}
+
+RcodersOptions FastRcoders(uint64_t seed) {
+  RcodersOptions options;
+  options.epochs = 4;
+  options.hidden = 24;
+  options.latent = 8;
+  options.max_train_windows = 600;
+  options.seed = seed;
+  return options;
+}
+
+TEST(UsadTest, ScoresAnomalyRegionHigher) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario(
+      /*n_sensors=*/8, /*communities=*/2, /*train_len=*/700, /*test_len=*/800,
+      /*seed=*/301);
+  Usad usad(FastUsad(1));
+  ASSERT_TRUE(usad.Fit(scenario.train).ok());
+  const std::vector<double> scores = usad.Score(scenario.test).ValueOrDie();
+  ASSERT_EQ(scores.size(), 800u);
+  const double inside =
+      MeanScore(scores, scenario.anomaly_start, scenario.anomaly_end);
+  const double outside = MeanScore(scores, 50, scenario.anomaly_start);
+  EXPECT_GT(inside, outside);
+}
+
+TEST(UsadTest, RequiresFitBeforeScore) {
+  Usad usad(FastUsad(1));
+  const ts::MultivariateSeries test(4, 100);
+  EXPECT_EQ(usad.Score(test).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(UsadTest, SeedChangesOutput) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario(
+      8, 2, 500, 400, 302);
+  Usad a(FastUsad(1)), b(FastUsad(2));
+  ASSERT_TRUE(a.Fit(scenario.train).ok());
+  ASSERT_TRUE(b.Fit(scenario.train).ok());
+  EXPECT_NE(a.Score(scenario.test).ValueOrDie(),
+            b.Score(scenario.test).ValueOrDie());
+}
+
+TEST(UsadTest, RejectsShortTraining) {
+  Usad usad(FastUsad(1));
+  EXPECT_FALSE(usad.Fit(ts::MultivariateSeries(3, 5)).ok());
+}
+
+TEST(RcodersTest, ScoresAnomalyRegionHigher) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario(
+      8, 2, 700, 800, 303);
+  Rcoders rcoders(FastRcoders(1));
+  ASSERT_TRUE(rcoders.Fit(scenario.train).ok());
+  const std::vector<double> scores = rcoders.Score(scenario.test).ValueOrDie();
+  const double inside =
+      MeanScore(scores, scenario.anomaly_start, scenario.anomaly_end);
+  const double outside = MeanScore(scores, 50, scenario.anomaly_start);
+  EXPECT_GT(inside, outside);
+}
+
+TEST(RcodersTest, SensorScoresLocalizeTheBreak) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario(
+      8, 2, 700, 800, 304);
+  Rcoders rcoders(FastRcoders(2));
+  ASSERT_TRUE(rcoders.Fit(scenario.train).ok());
+  ASSERT_TRUE(rcoders.provides_sensor_scores());
+  const auto sensor_scores =
+      rcoders.SensorScores(scenario.test).ValueOrDie();
+  ASSERT_EQ(sensor_scores.size(), 8u);
+
+  // Mean in-anomaly error of affected sensors should exceed that of the
+  // unaffected sensors.
+  double affected = 0.0, unaffected = 0.0;
+  int n_affected = 0, n_unaffected = 0;
+  for (int v = 0; v < 8; ++v) {
+    const double m = MeanScore(sensor_scores[v], scenario.anomaly_start,
+                               scenario.anomaly_end);
+    const bool is_abnormal =
+        std::find(scenario.abnormal_sensors.begin(),
+                  scenario.abnormal_sensors.end(),
+                  v) != scenario.abnormal_sensors.end();
+    if (is_abnormal) {
+      affected += m;
+      ++n_affected;
+    } else {
+      unaffected += m;
+      ++n_unaffected;
+    }
+  }
+  ASSERT_GT(n_affected, 0);
+  ASSERT_GT(n_unaffected, 0);
+  EXPECT_GT(affected / n_affected, unaffected / n_unaffected);
+}
+
+TEST(CadAdapterTest, ScoreMatchesDetectorAndKeepsReport) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  core::CadOptions options;
+  options.window = 40;
+  options.step = 4;
+  options.k = 3;
+  options.tau = 0.55;
+  CadAdapter adapter(options);
+  ASSERT_TRUE(adapter.Fit(scenario.train).ok());
+  const std::vector<double> scores = adapter.Score(scenario.test).ValueOrDie();
+  ASSERT_TRUE(adapter.last_report().has_value());
+  EXPECT_EQ(scores, adapter.last_report()->point_scores);
+  EXPECT_TRUE(adapter.deterministic());
+
+  const auto sensor_scores = adapter.SensorScores(scenario.test).ValueOrDie();
+  ASSERT_EQ(sensor_scores.size(), static_cast<size_t>(scenario.test.n_sensors()));
+  // Sensor scores are 1 exactly inside detected anomalies for flagged sensors.
+  for (const core::Anomaly& anomaly : adapter.last_report()->anomalies) {
+    for (int v : anomaly.sensors) {
+      EXPECT_EQ(sensor_scores[v][anomaly.start_time], 1.0);
+    }
+  }
+}
+
+TEST(MethodRegistryTest, AllTenMethodsInstantiate) {
+  const std::vector<std::string> names = AllMethodNames();
+  ASSERT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.front(), "CAD");
+  core::CadOptions options;
+  for (const std::string& name : names) {
+    auto method = MakeMethod(name, options, 7);
+    ASSERT_NE(method, nullptr) << name;
+    EXPECT_EQ(method->name(), name);
+  }
+}
+
+TEST(MethodRegistryTest, DeterminismFlagsMatchPaperTable8) {
+  // Table VIII: CAD, LOF, ECOD, S2G are the four deterministic methods.
+  core::CadOptions options;
+  const std::vector<std::string> deterministic = {"CAD", "LOF", "ECOD", "S2G"};
+  const std::vector<std::string> stochastic = {"IForest", "USAD",  "RCoders",
+                                               "SAND",    "SAND*", "NormA"};
+  for (const std::string& name : deterministic) {
+    EXPECT_TRUE(MakeMethod(name, options, 1)->deterministic()) << name;
+  }
+  for (const std::string& name : stochastic) {
+    EXPECT_FALSE(MakeMethod(name, options, 1)->deterministic()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cad::baselines

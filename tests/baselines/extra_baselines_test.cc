@@ -1,0 +1,162 @@
+// Tests for the extended related-work baselines: kNN, HBOS, COPOD, PCA,
+// LODA and the Matrix Profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/copod.h"
+#include "baselines/hbos.h"
+#include "baselines/knn.h"
+#include "baselines/loda.h"
+#include "baselines/matrix_profile.h"
+#include "baselines/method_registry.h"
+#include "baselines/pca_detector.h"
+#include "common/rng.h"
+
+namespace cad::baselines {
+namespace {
+
+ts::MultivariateSeries SpikySeries(int length, int spike_begin, int spike_end,
+                                   uint64_t seed, double magnitude = 6.0) {
+  Rng rng(seed);
+  ts::MultivariateSeries series(3, length);
+  for (int t = 0; t < length; ++t) {
+    const double f = rng.Gaussian();
+    const bool spike = t >= spike_begin && t < spike_end;
+    series.set_value(0, t, f + 0.2 * rng.Gaussian() + (spike ? magnitude : 0.0));
+    series.set_value(1, t, f + 0.2 * rng.Gaussian());
+    series.set_value(2, t, -f + 0.2 * rng.Gaussian());
+  }
+  return series;
+}
+
+double MeanScore(const std::vector<double>& scores, int begin, int end) {
+  double sum = 0.0;
+  for (int t = begin; t < end; ++t) sum += scores[t];
+  return sum / (end - begin);
+}
+
+template <typename DetectorT>
+void ExpectSpikeScoredHigher(DetectorT&& detector, uint64_t seed) {
+  const ts::MultivariateSeries train = SpikySeries(500, 0, 0, seed);
+  const ts::MultivariateSeries test = SpikySeries(400, 150, 180, seed + 1);
+  ASSERT_TRUE(detector.Fit(train).ok());
+  const std::vector<double> scores = detector.Score(test).ValueOrDie();
+  ASSERT_EQ(scores.size(), 400u);
+  const double inside = MeanScore(scores, 150, 180);
+  const double outside =
+      (MeanScore(scores, 0, 150) * 150 + MeanScore(scores, 180, 400) * 220) /
+      370.0;
+  EXPECT_GT(inside, outside + 0.2) << "detector failed to rank the spike";
+}
+
+TEST(KnnDetectorTest, SpikeScoredHigher) {
+  ExpectSpikeScoredHigher(KnnDetector(), 61);
+}
+TEST(HbosTest, SpikeScoredHigher) { ExpectSpikeScoredHigher(Hbos(), 62); }
+TEST(CopodTest, SpikeScoredHigher) { ExpectSpikeScoredHigher(Copod(), 63); }
+TEST(PcaDetectorTest, SpikeScoredHigher) {
+  ExpectSpikeScoredHigher(PcaDetector(), 64);
+}
+TEST(LodaTest, SpikeScoredHigher) { ExpectSpikeScoredHigher(Loda(), 65); }
+
+TEST(PcaDetectorTest, CatchesCorrelationViolationWithNormalMarginals) {
+  // Sensors 1 and 2 are anti-correlated (see SpikySeries). Breaking that
+  // relation without extreme values is invisible to per-dimension methods
+  // (HBOS) but visible to PCA's minor components.
+  Rng rng(66);
+  const ts::MultivariateSeries train = SpikySeries(600, 0, 0, 67);
+  ts::MultivariateSeries test = SpikySeries(400, 0, 0, 68);
+  for (int t = 150; t < 180; ++t) {
+    // Make sensor 2 follow +f instead of -f: marginally unremarkable,
+    // jointly impossible.
+    test.set_value(2, t, -test.value(2, t));
+  }
+  PcaDetector pca;
+  ASSERT_TRUE(pca.Fit(train).ok());
+  const std::vector<double> pca_scores = pca.Score(test).ValueOrDie();
+  // Scores are min-max compressed (the anomaly peak defines 1.0), so compare
+  // relatively: the violation region scores many times above the baseline.
+  EXPECT_GT(MeanScore(pca_scores, 150, 180),
+            5.0 * MeanScore(pca_scores, 0, 150));
+
+  Hbos hbos;
+  ASSERT_TRUE(hbos.Fit(train).ok());
+  const std::vector<double> hbos_scores = hbos.Score(test).ValueOrDie();
+  EXPECT_LT(MeanScore(hbos_scores, 150, 180),
+            MeanScore(hbos_scores, 0, 150) + 0.2);
+}
+
+TEST(LodaTest, SeedDependent) {
+  const ts::MultivariateSeries train = SpikySeries(400, 0, 0, 70);
+  const ts::MultivariateSeries test = SpikySeries(300, 100, 120, 71);
+  Loda a(LodaOptions{.n_projections = 20, .seed = 1});
+  Loda b(LodaOptions{.n_projections = 20, .seed = 2});
+  ASSERT_TRUE(a.Fit(train).ok());
+  ASSERT_TRUE(b.Fit(train).ok());
+  EXPECT_NE(a.Score(test).ValueOrDie(), b.Score(test).ValueOrDie());
+}
+
+TEST(MatrixProfileTest, SelfJoinFindsPlantedDiscord) {
+  // A periodic signal with one dissonant stretch: the discord subsequences
+  // carry the largest profile values.
+  Rng rng(72);
+  std::vector<double> x(800);
+  for (int t = 0; t < 800; ++t) {
+    if (t >= 500 && t < 540) {
+      x[t] = 1.5 * rng.Gaussian();
+    } else {
+      x[t] = std::sin(2.0 * M_PI * t / 20.0) + 0.05 * rng.Gaussian();
+    }
+  }
+  const std::vector<double> profile = SelfJoinMatrixProfile(x, 40);
+  int argmax = 0;
+  for (size_t i = 1; i < profile.size(); ++i) {
+    if (profile[i] > profile[argmax]) argmax = static_cast<int>(i);
+  }
+  // The discord subsequence overlaps the planted stretch.
+  EXPECT_GE(argmax + 40, 500);
+  EXPECT_LE(argmax, 540);
+}
+
+TEST(MatrixProfileTest, PerfectlyPeriodicSignalHasLowProfile) {
+  std::vector<double> x(400);
+  for (int t = 0; t < 400; ++t) x[t] = std::sin(2.0 * M_PI * t / 25.0);
+  const std::vector<double> profile = SelfJoinMatrixProfile(x, 50);
+  for (double v : profile) EXPECT_LT(v, 0.5);
+}
+
+TEST(MatrixProfileTest, DetectorScoresAnomalousStretchHigher) {
+  Rng rng(73);
+  std::vector<double> test(900);
+  for (int t = 0; t < 900; ++t) {
+    test[t] = (t >= 600 && t < 680)
+                  ? 2.0 * rng.Gaussian()
+                  : std::sin(2.0 * M_PI * t / 24.0) + 0.1 * rng.Gaussian();
+  }
+  MatrixProfileDetector detector;
+  const std::vector<double> scores = detector.ScoreSeries({}, test);
+  EXPECT_GT(MeanScore(scores, 600, 680), MeanScore(scores, 100, 600) + 0.15);
+}
+
+TEST(ExtendedRegistryTest, AllSixteenMethodsInstantiate) {
+  const std::vector<std::string> names = ExtendedMethodNames();
+  ASSERT_EQ(names.size(), 16u);
+  core::CadOptions options;
+  for (const std::string& name : names) {
+    auto method = MakeMethod(name, options, 3);
+    ASSERT_NE(method, nullptr) << name;
+    EXPECT_EQ(method->name(), name);
+  }
+}
+
+TEST(ExtendedRegistryTest, NewDeterminismFlags) {
+  core::CadOptions options;
+  for (const char* name : {"kNN", "HBOS", "COPOD", "PCA", "MP"}) {
+    EXPECT_TRUE(MakeMethod(name, options, 1)->deterministic()) << name;
+  }
+  EXPECT_FALSE(MakeMethod("LODA", options, 1)->deterministic());
+}
+
+}  // namespace
+}  // namespace cad::baselines

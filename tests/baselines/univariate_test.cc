@@ -1,0 +1,181 @@
+// Tests for the univariate methods (S2G, SAND, SAND*, NormA), the shared
+// subsequence utilities, and the MTS ensemble adapter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/norma.h"
+#include "baselines/s2g.h"
+#include "baselines/sand.h"
+#include "baselines/subsequence.h"
+#include "common/rng.h"
+
+namespace cad::baselines {
+namespace {
+
+// A periodic signal with one dissonant stretch.
+std::vector<double> PeriodicWithAnomaly(int length, int period,
+                                        int anomaly_begin, int anomaly_end,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(length);
+  for (int t = 0; t < length; ++t) {
+    if (t >= anomaly_begin && t < anomaly_end) {
+      x[t] = 2.0 * rng.Gaussian();  // pattern destroyed
+    } else {
+      x[t] = std::sin(2.0 * M_PI * t / period) + 0.1 * rng.Gaussian();
+    }
+  }
+  return x;
+}
+
+double MeanScore(const std::vector<double>& scores, int begin, int end) {
+  double sum = 0.0;
+  for (int t = begin; t < end; ++t) sum += scores[t];
+  return sum / (end - begin);
+}
+
+template <typename DetectorT>
+void ExpectAnomalousStretchScoresHigher(DetectorT&& detector) {
+  const std::vector<double> test =
+      PeriodicWithAnomaly(1200, 24, 700, 800, 71);
+  const std::vector<double> scores = detector.ScoreSeries({}, test);
+  ASSERT_EQ(scores.size(), test.size());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  const double inside = MeanScore(scores, 700, 800);
+  const double outside =
+      (MeanScore(scores, 100, 700) * 600 + MeanScore(scores, 800, 1100) * 300) /
+      900.0;
+  EXPECT_GT(inside, outside + 0.1);
+}
+
+TEST(S2gTest, AnomalousStretchScoresHigher) {
+  ExpectAnomalousStretchScoresHigher(S2g());
+}
+
+TEST(SandTest, AnomalousStretchScoresHigher) {
+  ExpectAnomalousStretchScoresHigher(Sand());
+}
+
+TEST(SandStarTest, AnomalousStretchScoresHigher) {
+  ExpectAnomalousStretchScoresHigher(SandStar());
+}
+
+TEST(NormaTest, AnomalousStretchScoresHigher) {
+  ExpectAnomalousStretchScoresHigher(Norma());
+}
+
+TEST(S2gTest, Deterministic) {
+  const std::vector<double> test = PeriodicWithAnomaly(800, 20, 500, 560, 72);
+  S2g a, b;
+  EXPECT_EQ(a.ScoreSeries({}, test), b.ScoreSeries({}, test));
+}
+
+TEST(SandTest, SeedDependent) {
+  const std::vector<double> test = PeriodicWithAnomaly(800, 20, 500, 560, 73);
+  SandOptions opt_a, opt_b;
+  opt_a.seed = 1;
+  opt_b.seed = 2;
+  Sand a(opt_a), b(opt_b);
+  EXPECT_NE(a.ScoreSeries({}, test), b.ScoreSeries({}, test));
+}
+
+TEST(NormaTest, TrainHistoryUsedAsNormalModel) {
+  const std::vector<double> train = PeriodicWithAnomaly(800, 20, 0, 0, 74);
+  const std::vector<double> test = PeriodicWithAnomaly(600, 20, 300, 380, 75);
+  Norma norma;
+  const std::vector<double> scores = norma.ScoreSeries(train, test);
+  EXPECT_GT(MeanScore(scores, 300, 380), MeanScore(scores, 50, 300));
+}
+
+TEST(SubsequenceTest, ZNormalizeProperties) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  ZNormalize(&x);
+  double mean = 0.0, var = 0.0;
+  for (double v : x) mean += v;
+  mean /= x.size();
+  for (double v : x) var += (v - mean) * (v - mean);
+  var /= x.size();
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+  std::vector<double> flat = {2, 2, 2};
+  ZNormalize(&flat);
+  EXPECT_EQ(flat, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(SubsequenceTest, ExtractDropsTail) {
+  const std::vector<double> x = {0, 1, 2, 3, 4, 5, 6};
+  const auto subs = ExtractSubsequences(x, 3, 2);
+  ASSERT_EQ(subs.size(), 3u);  // starts 0, 2, 4; start 6 would overrun
+  EXPECT_EQ(subs[2], (std::vector<double>{4, 5, 6}));
+}
+
+TEST(SubsequenceTest, SbdZeroForIdenticalShapes) {
+  std::vector<double> a = {0, 1, 0, -1, 0, 1, 0, -1};
+  ZNormalize(&a);
+  EXPECT_NEAR(ShapeBasedDistance(a, a, 2), 0.0, 1e-9);
+}
+
+TEST(SubsequenceTest, SbdFindsShiftedMatch) {
+  // b is a circularly shifted version of a; with enough shift allowance the
+  // distance is much smaller than the unshifted mismatch.
+  std::vector<double> a(32), b(32);
+  for (int i = 0; i < 32; ++i) {
+    a[i] = std::sin(2.0 * M_PI * i / 16.0);
+    b[i] = std::sin(2.0 * M_PI * (i + 4) / 16.0);
+  }
+  ZNormalize(&a);
+  ZNormalize(&b);
+  const double aligned = ShapeBasedDistance(a, b, 8);
+  const double unaligned = ShapeBasedDistance(a, b, 0);
+  EXPECT_LT(aligned, unaligned * 0.5);
+}
+
+TEST(SubsequenceTest, SbdRange) {
+  std::vector<double> a = {1, -1, 1, -1};
+  std::vector<double> b = {-1, 1, -1, 1};
+  ZNormalize(&a);
+  ZNormalize(&b);
+  const double d = ShapeBasedDistance(a, b, 0);
+  EXPECT_NEAR(d, 2.0, 1e-9);  // perfectly anti-correlated, no shift allowed
+}
+
+TEST(SubsequenceTest, SpreadAveragesCoverage) {
+  // Two subsequences of length 3 stride 2 over length 5: scores {1, 3}.
+  // Coverage: t0,t1 by sub0; t2 by both; t3,t4 by sub1.
+  const std::vector<double> point =
+      SpreadSubsequenceScores({1.0, 3.0}, 3, 2, 5);
+  EXPECT_DOUBLE_EQ(point[0], 1.0);
+  EXPECT_DOUBLE_EQ(point[2], 2.0);
+  EXPECT_DOUBLE_EQ(point[4], 3.0);
+}
+
+TEST(UnivariateEnsembleTest, AveragesAcrossSensors) {
+  // Ensemble over a 3-sensor MTS where only sensor 0 carries the anomaly;
+  // the mean still rises inside the anomalous stretch.
+  ts::MultivariateSeries test(3, 900);
+  Rng rng(76);
+  const std::vector<double> anomalous =
+      PeriodicWithAnomaly(900, 24, 500, 580, 77);
+  for (int t = 0; t < 900; ++t) {
+    test.set_value(0, t, anomalous[t]);
+    test.set_value(1, t, std::sin(2.0 * M_PI * t / 24) + 0.1 * rng.Gaussian());
+    test.set_value(2, t, std::cos(2.0 * M_PI * t / 24) + 0.1 * rng.Gaussian());
+  }
+  auto ensemble = MakeS2gEnsemble();
+  EXPECT_EQ(ensemble->name(), "S2G");
+  EXPECT_TRUE(ensemble->deterministic());
+  const std::vector<double> scores = ensemble->Score(test).ValueOrDie();
+  EXPECT_GT(MeanScore(scores, 500, 580), MeanScore(scores, 100, 500));
+}
+
+TEST(UnivariateEnsembleTest, RejectsEmptySeries) {
+  auto ensemble = MakeNormaEnsemble();
+  EXPECT_FALSE(ensemble->Score(ts::MultivariateSeries()).ok());
+}
+
+}  // namespace
+}  // namespace cad::baselines

@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace cad {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const uint64_t first = a.NextUint64();
+  a.NextUint64();
+  a.Seed(7);
+  EXPECT_EQ(a.NextUint64(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 2.5);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+  EXPECT_NE(v, original);  // overwhelmingly unlikely to be identity
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(19);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int idx : sample) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 100);
+  }
+}
+
+// Property sweep: bounded sampling never exceeds its bound for many bounds.
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, NeverExceedsBound) {
+  Rng rng(GetParam());
+  for (uint64_t bound : {1ull, 2ull, 3ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundSweep,
+                         ::testing::Values(1, 42, 999, 123456789));
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,51 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cad {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  const std::vector<std::string> fields = Split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const std::vector<std::string> fields = Split(",x,,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  const std::vector<std::string> fields = Split("whole", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "whole");
+}
+
+TEST(StripTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\r\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace(" \t "), "");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(89.66, 1), "89.7");
+  EXPECT_EQ(FormatDouble(100.0, 1), "100.0");
+  EXPECT_EQ(FormatDouble(0.1234, 3), "0.123");
+}
+
+TEST(PadTest, LeftAndRightAlignment) {
+  EXPECT_EQ(Pad("ab", 5), "   ab");
+  EXPECT_EQ(Pad("ab", -5), "ab   ");
+  EXPECT_EQ(Pad("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace cad

@@ -1,0 +1,193 @@
+#include "core/cad_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/synthetic.h"
+
+namespace cad::core {
+namespace {
+
+CadOptions ScenarioOptions() {
+  CadOptions options;
+  options.window = 40;
+  options.step = 4;
+  options.k = 3;
+  options.tau = 0.55;
+  options.theta = 0.9;
+  return options;
+}
+
+TEST(CadDetectorTest, DetectsInjectedCorrelationBreak) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+
+  ASSERT_FALSE(report.anomalies.empty());
+  // At least one detected anomaly overlaps the injected span.
+  bool overlap = false;
+  for (const Anomaly& anomaly : report.anomalies) {
+    if (anomaly.start_time < scenario.anomaly_end &&
+        anomaly.end_time > scenario.anomaly_start) {
+      overlap = true;
+    }
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST(CadDetectorTest, IdentifiesAffectedSensors) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+
+  // Most flagged sensors should be genuinely abnormal ones.
+  int flagged = 0, correct = 0;
+  for (int v = 0; v < scenario.test.n_sensors(); ++v) {
+    if (!report.sensor_labels[v]) continue;
+    ++flagged;
+    if (std::find(scenario.abnormal_sensors.begin(),
+                  scenario.abnormal_sensors.end(),
+                  v) != scenario.abnormal_sensors.end()) {
+      ++correct;
+    }
+  }
+  ASSERT_GT(flagged, 0);
+  EXPECT_GE(static_cast<double>(correct) / flagged, 0.5);
+}
+
+TEST(CadDetectorTest, CleanDataRaisesNoAlarm) {
+  // Test on the (anomaly-free) training split itself.
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport report =
+      detector.Detect(scenario.train, &scenario.train).ValueOrDie();
+  EXPECT_TRUE(report.anomalies.empty());
+}
+
+TEST(CadDetectorTest, DeterministicAcrossRuns) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport a =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  const DetectionReport b =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  EXPECT_EQ(a.point_labels, b.point_labels);
+  EXPECT_EQ(a.point_scores, b.point_scores);
+  ASSERT_EQ(a.anomalies.size(), b.anomalies.size());
+  for (size_t i = 0; i < a.anomalies.size(); ++i) {
+    EXPECT_EQ(a.anomalies[i].sensors, b.anomalies[i].sensors);
+    EXPECT_EQ(a.anomalies[i].first_round, b.anomalies[i].first_round);
+  }
+}
+
+TEST(CadDetectorTest, ScoreHalfThresholdMatchesLabels) {
+  // Thresholding the score series at 0.5 must reproduce point_labels: the
+  // score is calibrated so 0.5 == the eta-sigma rule.
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  for (int t = 0; t < scenario.test.length(); ++t) {
+    EXPECT_EQ(report.point_scores[t] >= 0.5, report.point_labels[t] == 1)
+        << "t=" << t;
+  }
+}
+
+TEST(CadDetectorTest, ScoresAreInUnitInterval) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  for (double s : report.point_scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(CadDetectorTest, WorksWithoutWarmup) {
+  // SMD protocol: no historical split at all.
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const Result<DetectionReport> report =
+      detector.Detect(scenario.test, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().warmup_seconds, 0.0);
+  EXPECT_EQ(report.value().rounds.size(),
+            static_cast<size_t>((scenario.test.length() - 40) / 4 + 1));
+}
+
+TEST(CadDetectorTest, RoundTraceIsComplete) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  ASSERT_FALSE(report.rounds.empty());
+  for (size_t r = 0; r < report.rounds.size(); ++r) {
+    EXPECT_EQ(report.rounds[r].round, static_cast<int>(r));
+    EXPECT_EQ(report.rounds[r].start_time, static_cast<int>(r) * 4);
+    EXPECT_GE(report.rounds[r].n_variations, 0);
+    EXPECT_GE(report.rounds[r].sigma, 0.0);
+  }
+  // Round 0 can never be abnormal (no preceding round).
+  EXPECT_FALSE(report.rounds[0].abnormal);
+}
+
+TEST(CadDetectorTest, AnomalySensorsSortedAndUnique) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadDetector detector(ScenarioOptions());
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  for (const Anomaly& anomaly : report.anomalies) {
+    EXPECT_TRUE(std::is_sorted(anomaly.sensors.begin(), anomaly.sensors.end()));
+    EXPECT_TRUE(std::adjacent_find(anomaly.sensors.begin(),
+                                   anomaly.sensors.end()) ==
+                anomaly.sensors.end());
+    EXPECT_LE(anomaly.first_round, anomaly.last_round);
+    EXPECT_LT(anomaly.start_time, anomaly.end_time);
+    EXPECT_GE(anomaly.detection_time, anomaly.start_time);
+  }
+}
+
+TEST(CadDetectorTest, ValidationRejectsBadOptions) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadOptions options = ScenarioOptions();
+  options.step = options.window;  // s must be < w
+  CadDetector detector(options);
+  EXPECT_FALSE(detector.Detect(scenario.test, &scenario.train).ok());
+
+  options = ScenarioOptions();
+  options.window = scenario.test.length() + 1;
+  EXPECT_FALSE(
+      CadDetector(options).Detect(scenario.test, &scenario.train).ok());
+
+  options = ScenarioOptions();
+  options.tau = 1.5;
+  EXPECT_FALSE(
+      CadDetector(options).Detect(scenario.test, &scenario.train).ok());
+}
+
+TEST(CadDetectorTest, RejectsSensorCountMismatch) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  const ts::MultivariateSeries other(scenario.test.n_sensors() + 1, 600);
+  CadDetector detector(ScenarioOptions());
+  EXPECT_FALSE(detector.Detect(scenario.test, &other).ok());
+}
+
+TEST(CadDetectorTest, FixedXiAblationRuns) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadOptions options = ScenarioOptions();
+  options.use_sigma_rule = false;
+  options.fixed_xi = 2;
+  CadDetector detector(options);
+  const Result<DetectionReport> report =
+      detector.Detect(scenario.test, &scenario.train);
+  ASSERT_TRUE(report.ok());
+  // The raw-count rule also finds the break (it is strong).
+  EXPECT_FALSE(report.value().anomalies.empty());
+}
+
+}  // namespace
+}  // namespace cad::core

@@ -1,0 +1,165 @@
+#include "core/co_appearance.h"
+
+#include <gtest/gtest.h>
+
+namespace cad::core {
+namespace {
+
+TEST(CoAppearanceNumbersTest, StableCommunitiesFullCoAppearance) {
+  // Everyone stays in the same community: S_r(v) = group size - 1.
+  const std::vector<int> prev = {0, 0, 0, 1, 1};
+  const std::vector<int> cur = {0, 0, 0, 1, 1};
+  const std::vector<int> s = CoAppearanceNumbers(prev, cur);
+  EXPECT_EQ(s, (std::vector<int>{2, 2, 2, 1, 1}));
+}
+
+TEST(CoAppearanceNumbersTest, MoverLosesAllCoAppearances) {
+  // Vertex 2 moves from community 0 to 1; nobody shares its (0, 1) pair.
+  const std::vector<int> prev = {0, 0, 0, 1, 1};
+  const std::vector<int> cur = {0, 0, 1, 1, 1};
+  const std::vector<int> s = CoAppearanceNumbers(prev, cur);
+  EXPECT_EQ(s[2], 0);
+  // The two vertices remaining in 0 still co-appear with each other.
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 1);
+  // 3, 4 stayed in 1 together.
+  EXPECT_EQ(s[3], 1);
+  EXPECT_EQ(s[4], 1);
+}
+
+TEST(CoAppearanceNumbersTest, LabelPermutationIrrelevant) {
+  // Whole community relabeled (1 -> 7): co-appearance is about membership
+  // stability, not label values.
+  const std::vector<int> prev = {0, 0, 1, 1};
+  const std::vector<int> cur = {3, 3, 7, 7};
+  const std::vector<int> s = CoAppearanceNumbers(prev, cur);
+  EXPECT_EQ(s, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(CoAppearanceNumbersTest, CommunitySplit) {
+  // Community {0,1,2,3} splits into {0,1} and {2,3}.
+  const std::vector<int> prev = {0, 0, 0, 0};
+  const std::vector<int> cur = {0, 0, 1, 1};
+  const std::vector<int> s = CoAppearanceNumbers(prev, cur);
+  EXPECT_EQ(s, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(CoAppearanceNumbersTest, PairDefinitionMatchesDefinition4) {
+  // Brute-force check of Definition 4/5 on a scrambled example.
+  const std::vector<int> prev = {0, 1, 0, 1, 2, 2, 0};
+  const std::vector<int> cur = {1, 1, 1, 0, 2, 2, 1};
+  const std::vector<int> s = CoAppearanceNumbers(prev, cur);
+  const int n = static_cast<int>(prev.size());
+  for (int v = 0; v < n; ++v) {
+    int expected = 0;
+    for (int u = 0; u < n; ++u) {
+      if (u == v) continue;
+      if (prev[u] == prev[v] && cur[u] == cur[v]) ++expected;
+    }
+    EXPECT_EQ(s[v], expected) << "vertex " << v;
+  }
+}
+
+TEST(CoAppearanceTrackerTest, RatioStartsAtOne) {
+  CoAppearanceTracker tracker(5);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(tracker.ratio(v), 1.0);
+  EXPECT_EQ(tracker.transitions(), 0);
+}
+
+TEST(CoAppearanceTrackerTest, StableNetworkKeepsRatioOne) {
+  // Stable vertices sit at RC = 1 under community normalization regardless
+  // of how many communities the graph has — the property that makes a fixed
+  // theta meaningful at every scale (co_appearance.h header comment).
+  CoAppearanceTracker tracker(6);
+  const std::vector<int> comm = {0, 0, 0, 1, 1, 1};
+  for (int r = 0; r < 5; ++r) tracker.Observe(comm, comm);
+  for (int v = 0; v < 6; ++v) EXPECT_DOUBLE_EQ(tracker.ratio(v), 1.0);
+}
+
+TEST(CoAppearanceTrackerTest, RatioDropsForUnstableVertex) {
+  CoAppearanceTracker tracker(4);
+  const std::vector<int> a = {0, 0, 0, 1};
+  const std::vector<int> b = {0, 0, 1, 1};
+  tracker.Observe(a, a);  // stable round: everyone at ratio 1
+  tracker.Observe(a, b);  // vertex 2 defects from community 0
+  // Vertex 2: ratio_1 = 2/2 = 1, ratio_2 = 0/2 = 0 -> RC = 0.5.
+  EXPECT_NEAR(tracker.ratio(2), 0.5, 1e-12);
+  // Vertex 0: ratio_1 = 1, ratio_2 = 1/2 (kept only vertex 1) -> 0.75.
+  EXPECT_NEAR(tracker.ratio(0), 0.75, 1e-12);
+  // Vertex 3 was a singleton: nobody to co-appear with, ratio 0 both rounds
+  // (the literal Eq. 3 behaviour for isolates).
+  EXPECT_DOUBLE_EQ(tracker.ratio(3), 0.0);
+}
+
+TEST(CoAppearanceTrackerTest, GlobalNormalizationMatchesEquation3) {
+  // Ablation mode: the literal Eq. 3 prefix average with (n-1) denominator.
+  CoAppearanceOptions options;
+  options.normalization = RcNormalization::kGlobal;
+  options.window = 0;  // full history
+  CoAppearanceTracker tracker(4, options);
+  const std::vector<int> a = {0, 0, 0, 1};
+  const std::vector<int> b = {0, 0, 1, 1};
+  tracker.Observe(a, a);
+  tracker.Observe(a, b);
+  // Vertex 2: S_1 = 2, S_2 = 0 -> RC = (2 + 0) / (2 * 3) = 1/3.
+  EXPECT_NEAR(tracker.ratio(2), 1.0 / 3.0, 1e-12);
+  // Vertex 0: S_1 = 2, S_2 = 1 -> 0.5.
+  EXPECT_NEAR(tracker.ratio(0), 0.5, 1e-12);
+}
+
+TEST(CoAppearanceTrackerTest, WindowForgetsOldHistory) {
+  CoAppearanceOptions options;
+  options.window = 4;
+  CoAppearanceTracker tracker(4, options);
+  const std::vector<int> stable = {0, 0, 0, 0};
+  const std::vector<int> split = {0, 0, 1, 1};
+  for (int r = 0; r < 100; ++r) tracker.Observe(stable, stable);
+  EXPECT_DOUBLE_EQ(tracker.ratio(0), 1.0);
+  // Defections displace the window within `window` rounds, not ~100.
+  tracker.Observe(stable, split);
+  tracker.Observe(split, split);
+  tracker.Observe(split, split);
+  tracker.Observe(split, split);
+  // Vertex 0 stayed with vertex 1 throughout: ratio_i = 1/3 after the split
+  // transition, then 1 within the new community.
+  EXPECT_GT(tracker.ratio(0), 0.5);
+  // A full window of the post-split regime: old perfect history is gone.
+  EXPECT_LT(tracker.ratio(0), 1.0);
+}
+
+TEST(CoAppearanceTrackerTest, RatioAlwaysInUnitInterval) {
+  CoAppearanceTracker tracker(6);
+  std::vector<int> prev = {0, 1, 2, 0, 1, 2};
+  for (int r = 0; r < 10; ++r) {
+    std::vector<int> cur = prev;
+    cur[r % 6] = (cur[r % 6] + 1) % 3;  // keep perturbing one vertex
+    tracker.Observe(prev, cur);
+    for (int v = 0; v < 6; ++v) {
+      EXPECT_GE(tracker.ratio(v), 0.0);
+      EXPECT_LE(tracker.ratio(v), 1.0);
+    }
+    prev = cur;
+  }
+}
+
+TEST(CoAppearanceTrackerTest, ResetClearsHistory) {
+  CoAppearanceTracker tracker(3);
+  tracker.Observe({0, 0, 1}, {0, 1, 1});
+  EXPECT_EQ(tracker.transitions(), 1);
+  tracker.Reset();
+  EXPECT_EQ(tracker.transitions(), 0);
+  EXPECT_EQ(tracker.ratio(0), 1.0);
+}
+
+TEST(CoAppearanceTrackerTest, SingleVertexGraphIsPermanentIsolate) {
+  // A lone vertex has nobody to co-appear with: ratio 0 after the first
+  // transition (it becomes a permanent outlier, which only produces one
+  // n_r transition ever — harmless, see co_appearance.h).
+  CoAppearanceTracker tracker(1);
+  EXPECT_EQ(tracker.ratio(0), 1.0);  // before any transition
+  tracker.Observe({0}, {0});
+  EXPECT_EQ(tracker.ratio(0), 0.0);
+}
+
+}  // namespace
+}  // namespace cad::core

@@ -1,0 +1,92 @@
+#include "core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cad::core {
+namespace {
+
+DetectionReport MakeReport() {
+  DetectionReport report;
+  Anomaly anomaly;
+  anomaly.sensors = {1, 4, 7};
+  anomaly.first_round = 10;
+  anomaly.last_round = 12;
+  anomaly.start_time = 100;
+  anomaly.end_time = 160;
+  anomaly.detection_time = 139;
+  report.anomalies.push_back(anomaly);
+  RoundTrace trace;
+  trace.round = 0;
+  trace.n_variations = 2;
+  trace.mu = 0.25;
+  trace.sigma = 0.5;
+  trace.abnormal = true;
+  report.rounds.push_back(trace);
+  report.point_scores = {0.0, 0.5, 1.0};
+  report.warmup_seconds = 1.5;
+  report.detect_seconds = 2.25;
+  report.seconds_per_round = 0.001;
+  return report;
+}
+
+TEST(ReportIoTest, MinimalJsonShape) {
+  const std::string json = ReportToJson(MakeReport());
+  EXPECT_NE(json.find("\"anomalies\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"start\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"end\":160"), std::string::npos);
+  EXPECT_NE(json.find("\"detection_time\":139"), std::string::npos);
+  EXPECT_NE(json.find("\"sensors\":[1,4,7]"), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_processed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"warmup_seconds\":1.5"), std::string::npos);
+  // Optional sections absent by default.
+  EXPECT_EQ(json.find("\"rounds\":["), std::string::npos);
+  EXPECT_EQ(json.find("\"scores\":["), std::string::npos);
+  // Balanced braces / brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ReportIoTest, OptionalSections) {
+  ReportJsonOptions options;
+  options.include_rounds = true;
+  options.include_scores = true;
+  const std::string json = ReportToJson(MakeReport(), options);
+  EXPECT_NE(json.find("\"rounds\":[{\"round\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"abnormal\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"scores\":[0,0.5,1]"), std::string::npos);
+}
+
+TEST(ReportIoTest, EmptyReport) {
+  const std::string json = ReportToJson(DetectionReport{});
+  EXPECT_NE(json.find("\"anomalies\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_processed\":0"), std::string::npos);
+}
+
+TEST(ReportIoTest, WriteToFile) {
+  const std::string path = ::testing::TempDir() + "/cad_report.json";
+  ASSERT_TRUE(WriteReportJson(MakeReport(), path).ok());
+  std::ifstream file(path);
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("\"sensors\":[1,4,7]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportIoTest, WriteToBadPathFails) {
+  EXPECT_EQ(WriteReportJson(MakeReport(), "/no/such/dir/report.json").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cad::core

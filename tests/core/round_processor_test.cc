@@ -1,0 +1,120 @@
+#include "core/round_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testing/synthetic.h"
+
+namespace cad::core {
+namespace {
+
+// Two correlated blocks of sensors driven by independent factors.
+ts::MultivariateSeries TwoBlockSeries(int length, uint64_t seed,
+                                      int block = 4) {
+  Rng rng(seed);
+  ts::MultivariateSeries series(2 * block, length);
+  double f1 = 0.0, f2 = 0.0;
+  for (int t = 0; t < length; ++t) {
+    f1 = 0.9 * f1 + 0.45 * rng.Gaussian();
+    f2 = 0.9 * f2 + 0.45 * rng.Gaussian();
+    for (int i = 0; i < block; ++i) {
+      series.set_value(i, t, f1 + 0.05 * rng.Gaussian());
+      series.set_value(block + i, t, f2 + 0.05 * rng.Gaussian());
+    }
+  }
+  return series;
+}
+
+CadOptions SmallOptions() {
+  CadOptions options;
+  options.window = 40;
+  options.step = 4;
+  options.k = 3;
+  options.tau = 0.55;
+  options.theta = 0.9;
+  return options;
+}
+
+TEST(RoundProcessorTest, FirstRoundHasNoOutliersOrVariations) {
+  const ts::MultivariateSeries series = TwoBlockSeries(200, 1);
+  RoundProcessor processor(series.n_sensors(), SmallOptions());
+  const RoundOutput out = processor.ProcessWindow(series, 0);
+  EXPECT_TRUE(out.outliers.empty());  // RC is 1 before any transition
+  EXPECT_EQ(out.n_variations, 0);
+  EXPECT_GT(out.n_communities, 0);
+  EXPECT_GT(out.n_edges, 0);
+}
+
+TEST(RoundProcessorTest, StableDataProducesNoVariations) {
+  const ts::MultivariateSeries series = TwoBlockSeries(400, 2);
+  RoundProcessor processor(series.n_sensors(), SmallOptions());
+  for (int r = 0; r < 20; ++r) {
+    const RoundOutput out = processor.ProcessWindow(series, r * 4);
+    EXPECT_EQ(out.n_variations, 0) << "round " << r;
+    EXPECT_TRUE(out.outliers.empty()) << "round " << r;
+  }
+  EXPECT_EQ(processor.rounds_processed(), 20);
+}
+
+TEST(RoundProcessorTest, DetectsCommunityStructure) {
+  const ts::MultivariateSeries series = TwoBlockSeries(200, 3);
+  RoundProcessor processor(series.n_sensors(), SmallOptions());
+  processor.ProcessWindow(series, 0);
+  const std::vector<int>& communities = processor.last_communities();
+  ASSERT_EQ(communities.size(), 8u);
+  // Block 0 sensors share a community; block 1 sensors share another.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(communities[i], communities[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(communities[i], communities[4]);
+  EXPECT_NE(communities[0], communities[4]);
+}
+
+TEST(RoundProcessorTest, OutliersAppearAfterCorrelationBreak) {
+  // Feed stable rounds, then rounds where half of block 0 decorrelates.
+  testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadOptions options = SmallOptions();
+  RoundProcessor processor(scenario.test.n_sensors(), options);
+
+  bool saw_variation_in_anomaly = false;
+  for (int start = 0; start + options.window <= scenario.test.length();
+       start += options.step) {
+    const RoundOutput out = processor.ProcessWindow(scenario.test, start);
+    const int end = start + options.window;
+    const bool overlaps_anomaly =
+        start < scenario.anomaly_end && end > scenario.anomaly_start;
+    if (overlaps_anomaly && out.n_variations > 0) {
+      saw_variation_in_anomaly = true;
+    }
+  }
+  EXPECT_TRUE(saw_variation_in_anomaly);
+}
+
+TEST(RoundProcessorTest, ResetRestoresInitialState) {
+  const ts::MultivariateSeries series = TwoBlockSeries(200, 4);
+  RoundProcessor processor(series.n_sensors(), SmallOptions());
+  processor.ProcessWindow(series, 0);
+  processor.ProcessWindow(series, 4);
+  processor.Reset();
+  EXPECT_EQ(processor.rounds_processed(), 0);
+  const RoundOutput out = processor.ProcessWindow(series, 0);
+  EXPECT_TRUE(out.outliers.empty());
+  EXPECT_EQ(out.n_variations, 0);
+}
+
+TEST(RoundProcessorTest, DeterministicAcrossInstances) {
+  testing::SmallScenario scenario = testing::MakeSmallScenario();
+  const CadOptions options = SmallOptions();
+  RoundProcessor a(scenario.test.n_sensors(), options);
+  RoundProcessor b(scenario.test.n_sensors(), options);
+  for (int start = 0; start + options.window <= scenario.test.length();
+       start += options.step * 3) {
+    const RoundOutput oa = a.ProcessWindow(scenario.test, start);
+    const RoundOutput ob = b.ProcessWindow(scenario.test, start);
+    EXPECT_EQ(oa.outliers, ob.outliers);
+    EXPECT_EQ(oa.n_variations, ob.n_variations);
+    EXPECT_EQ(oa.n_communities, ob.n_communities);
+    EXPECT_EQ(oa.n_edges, ob.n_edges);
+  }
+}
+
+}  // namespace
+}  // namespace cad::core

@@ -1,0 +1,94 @@
+#include "datasets/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace cad::datasets {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/cad_dataset_io_" +
+           std::to_string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->line());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+LabeledDataset SmallDataset(bool with_train) {
+  DatasetProfile profile = SmdSubsetProfile(4);
+  profile.train_length = with_train ? 400 : 0;
+  profile.test_length = 700;
+  profile.n_anomalies = 2;
+  return MakeDataset(profile);
+}
+
+TEST_F(DatasetIoTest, RoundTripWithTrain) {
+  const LabeledDataset original = SmallDataset(true);
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  const Result<LabeledDataset> loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().name, original.name);
+  EXPECT_EQ(loaded.value().train.n_sensors(), original.train.n_sensors());
+  EXPECT_EQ(loaded.value().train.length(), original.train.length());
+  EXPECT_EQ(loaded.value().test.length(), original.test.length());
+  EXPECT_EQ(loaded.value().labels, original.labels);
+
+  // CSV serializes doubles with default precision; values agree closely.
+  for (int i = 0; i < original.test.n_sensors(); i += 5) {
+    for (int t = 0; t < original.test.length(); t += 101) {
+      EXPECT_NEAR(loaded.value().test.value(i, t), original.test.value(i, t),
+                  1e-4);
+    }
+  }
+
+  ASSERT_EQ(loaded.value().anomalies.size(), original.anomalies.size());
+  for (size_t a = 0; a < original.anomalies.size(); ++a) {
+    EXPECT_EQ(loaded.value().anomalies[a].segment.begin,
+              original.anomalies[a].segment.begin);
+    EXPECT_EQ(loaded.value().anomalies[a].segment.end,
+              original.anomalies[a].segment.end);
+    EXPECT_EQ(loaded.value().anomalies[a].sensors,
+              original.anomalies[a].sensors);
+  }
+
+  const core::CadOptions& a = original.recommended;
+  const core::CadOptions& b = loaded.value().recommended;
+  EXPECT_EQ(a.window, b.window);
+  EXPECT_EQ(a.step, b.step);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_DOUBLE_EQ(a.tau, b.tau);
+  EXPECT_DOUBLE_EQ(a.theta, b.theta);
+  EXPECT_DOUBLE_EQ(a.min_sigma, b.min_sigma);
+}
+
+TEST_F(DatasetIoTest, RoundTripWithoutTrain) {
+  const LabeledDataset original = SmallDataset(false);
+  ASSERT_FALSE(original.has_train());
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  const Result<LabeledDataset> loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().has_train());
+}
+
+TEST_F(DatasetIoTest, LoadFromMissingDirectoryFails) {
+  const Result<LabeledDataset> loaded = LoadDataset("/no/such/dir");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DatasetIoTest, SaveRejectsInconsistentLabels) {
+  LabeledDataset broken = SmallDataset(false);
+  broken.labels.pop_back();
+  EXPECT_FALSE(SaveDataset(broken, dir_).ok());
+}
+
+}  // namespace
+}  // namespace cad::datasets

@@ -1,0 +1,200 @@
+#include "datasets/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.h"
+
+namespace cad::datasets {
+namespace {
+
+TEST(GeneratorTest, ShapeAndDeterminism) {
+  GeneratorOptions options;
+  options.n_sensors = 10;
+  options.n_communities = 2;
+  Rng rng_a(5), rng_b(5);
+  SensorNetworkGenerator gen_a(options, &rng_a);
+  SensorNetworkGenerator gen_b(options, &rng_b);
+  const ts::MultivariateSeries a = gen_a.Generate(100, &rng_a);
+  const ts::MultivariateSeries b = gen_b.Generate(100, &rng_b);
+  EXPECT_EQ(a.n_sensors(), 10);
+  EXPECT_EQ(a.length(), 100);
+  for (int i = 0; i < 10; ++i) {
+    for (int t = 0; t < 100; ++t) {
+      EXPECT_EQ(a.value(i, t), b.value(i, t));
+    }
+  }
+  EXPECT_EQ(gen_a.community_of(), gen_b.community_of());
+}
+
+TEST(GeneratorTest, CommunityAssignmentBalanced) {
+  GeneratorOptions options;
+  options.n_sensors = 20;
+  options.n_communities = 4;
+  Rng rng(6);
+  SensorNetworkGenerator generator(options, &rng);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(generator.CommunityMembers(c).size(), 5u);
+  }
+}
+
+TEST(GeneratorTest, IntraCommunityCorrelationExceedsInter) {
+  GeneratorOptions options;
+  options.n_sensors = 12;
+  options.n_communities = 3;
+  options.noise_std = 0.1;
+  Rng rng(7);
+  SensorNetworkGenerator generator(options, &rng);
+  const ts::MultivariateSeries series = generator.Generate(2000, &rng);
+  const stats::CorrelationMatrix corr =
+      stats::WindowCorrelationMatrix(series, 0, series.length());
+
+  double intra_sum = 0.0, inter_sum = 0.0;
+  int intra_count = 0, inter_count = 0;
+  const std::vector<int>& community = generator.community_of();
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i + 1; j < 12; ++j) {
+      if (community[i] == community[j]) {
+        intra_sum += std::abs(corr.at(i, j));
+        ++intra_count;
+      } else {
+        inter_sum += std::abs(corr.at(i, j));
+        ++inter_count;
+      }
+    }
+  }
+  const double intra_mean = intra_sum / intra_count;
+  const double inter_mean = inter_sum / inter_count;
+  EXPECT_GT(intra_mean, 0.85);
+  EXPECT_LT(inter_mean, 0.35);
+}
+
+TEST(GeneratorTest, ConsecutiveCallsAreSeamless) {
+  // Generate(100) twice should produce a continuous stream: factor state
+  // persists, so the pieces correlate like one long series.
+  GeneratorOptions options;
+  options.n_sensors = 4;
+  options.n_communities = 1;
+  Rng rng(8);
+  SensorNetworkGenerator generator(options, &rng);
+  const ts::MultivariateSeries first = generator.Generate(100, &rng);
+  const ts::MultivariateSeries second = generator.Generate(100, &rng);
+  // No jump discontinuity: the boundary step should be comparable to typical
+  // in-series steps (AR(1) increments), not a fresh restart.
+  double typical = 0.0;
+  for (int t = 1; t < 100; ++t) {
+    typical += std::abs(first.value(0, t) - first.value(0, t - 1));
+  }
+  typical /= 99.0;
+  const double boundary = std::abs(second.value(0, 0) - first.value(0, 99));
+  EXPECT_LT(boundary, 8.0 * typical);
+}
+
+TEST(GeneratorTest, SensorStdApproximatesEmpirical) {
+  GeneratorOptions options;
+  options.n_sensors = 6;
+  options.n_communities = 2;
+  options.noise_std = 0.2;
+  Rng rng(9);
+  SensorNetworkGenerator generator(options, &rng);
+  const ts::MultivariateSeries series = generator.Generate(20000, &rng);
+  for (int i = 0; i < 6; ++i) {
+    auto x = series.sensor(i);
+    double mean = 0.0;
+    for (double v : x) mean += v;
+    mean /= x.size();
+    double var = 0.0;
+    for (double v : x) var += (v - mean) * (v - mean);
+    var /= x.size();
+    const double predicted = generator.SensorStd(i);
+    EXPECT_NEAR(std::sqrt(var), predicted, predicted * 0.35) << "sensor " << i;
+  }
+}
+
+TEST(GeneratorTest, BaselineDriftWandersSlowly) {
+  GeneratorOptions options;
+  options.n_sensors = 4;
+  options.n_communities = 1;
+  options.noise_std = 0.05;
+  options.baseline_drift_std = 0.05;
+  Rng rng(11);
+  SensorNetworkGenerator generator(options, &rng);
+  const ts::MultivariateSeries series = generator.Generate(4000, &rng);
+  // The level of the last stretch should have wandered away from the level
+  // of the first stretch by a macroscopic amount (drift ~ 0.05 * sqrt(4000)
+  // ~ 3 sigma), far beyond what the stationary process alone produces.
+  auto level = [&](int begin, int end) {
+    double mean = 0.0;
+    for (int t = begin; t < end; ++t) mean += series.value(0, t);
+    return mean / (end - begin);
+  };
+  GeneratorOptions no_drift = options;
+  no_drift.baseline_drift_std = 0.0;
+  Rng rng2(11);
+  SensorNetworkGenerator stationary(no_drift, &rng2);
+  const ts::MultivariateSeries reference = stationary.Generate(4000, &rng2);
+  auto ref_level = [&](int begin, int end) {
+    double mean = 0.0;
+    for (int t = begin; t < end; ++t) mean += reference.value(0, t);
+    return mean / (end - begin);
+  };
+  const double drifted = std::abs(level(3500, 4000) - level(0, 500));
+  const double still = std::abs(ref_level(3500, 4000) - ref_level(0, 500));
+  EXPECT_GT(drifted, still + 0.5);
+}
+
+TEST(GeneratorTest, DriftPreservesWindowCorrelations) {
+  // Drift is slow: within one CAD-scale window the community correlation
+  // structure must survive (this is why CAD tolerates drift).
+  GeneratorOptions options;
+  options.n_sensors = 6;
+  options.n_communities = 2;
+  options.noise_std = 0.2;
+  options.baseline_drift_std = 0.05;
+  Rng rng(12);
+  SensorNetworkGenerator generator(options, &rng);
+  const ts::MultivariateSeries series = generator.Generate(3000, &rng);
+  const std::vector<int>& community = generator.community_of();
+  // Mean |corr| of same-community pairs within a late window stays high.
+  const stats::CorrelationMatrix corr =
+      stats::WindowCorrelationMatrix(series, 2800, 100);
+  double intra = 0.0;
+  int count = 0;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      if (community[i] == community[j]) {
+        intra += std::abs(corr.at(i, j));
+        ++count;
+      }
+    }
+  }
+  EXPECT_GT(intra / count, 0.6);
+}
+
+TEST(GeneratorTest, SeasonalComponentCreatesPeriodicity) {
+  GeneratorOptions options;
+  options.n_sensors = 2;
+  options.n_communities = 1;
+  options.seasonal_period = 50;
+  options.seasonal_amplitude = 2.0;
+  options.noise_std = 0.05;
+  options.factor_smoothness = 0.5;  // weak AR so the seasonal term dominates
+  Rng rng(10);
+  SensorNetworkGenerator generator(options, &rng);
+  const ts::MultivariateSeries series = generator.Generate(1000, &rng);
+  // Lag-50 autocorrelation should be strongly positive.
+  auto x = series.sensor(0);
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= x.size();
+  double num = 0.0, denom = 0.0;
+  for (size_t t = 0; t + 50 < x.size(); ++t) {
+    num += (x[t] - mean) * (x[t + 50] - mean);
+  }
+  for (double v : x) denom += (v - mean) * (v - mean);
+  EXPECT_GT(num / denom, 0.4);
+}
+
+}  // namespace
+}  // namespace cad::datasets

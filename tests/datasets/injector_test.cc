@@ -1,0 +1,236 @@
+#include "datasets/anomaly_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.h"
+
+namespace cad::datasets {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(42), generator(MakeOptions(), &rng) {
+    series = generator.Generate(1000, &rng);
+  }
+  static GeneratorOptions MakeOptions() {
+    GeneratorOptions options;
+    options.n_sensors = 8;
+    options.n_communities = 2;
+    options.noise_std = 0.1;
+    return options;
+  }
+  Rng rng;
+  SensorNetworkGenerator generator;
+  ts::MultivariateSeries series;
+};
+
+TEST(InjectorTest, LabelsCoverExactlyTheEvents) {
+  Fixture f;
+  AnomalyEvent event;
+  event.type = AnomalyType::kLevelShift;
+  event.start = 200;
+  event.duration = 50;
+  event.sensors = {0, 1};
+  const eval::Labels labels =
+      InjectAnomalies(f.generator, {event}, &f.series, &f.rng);
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_EQ(labels[t], t >= 200 && t < 250 ? 1 : 0) << "t=" << t;
+  }
+}
+
+TEST(InjectorTest, LevelShiftMovesTheMean) {
+  Fixture f;
+  const double before = f.series.value(0, 225);
+  AnomalyEvent event;
+  event.type = AnomalyType::kLevelShift;
+  event.start = 200;
+  event.duration = 50;
+  event.sensors = {0};
+  event.magnitude = 3.0;
+  InjectAnomalies(f.generator, {event}, &f.series, &f.rng);
+  const double delta = f.series.value(0, 225) - before;
+  EXPECT_NEAR(delta, 3.0 * f.generator.SensorStd(0), 1e-9);
+  // Unaffected sensor untouched at the same time.
+}
+
+TEST(InjectorTest, CorrelationBreakDecorrelatesAffectedSensors) {
+  Fixture f;
+  // Pick two sensors of the same community: correlated before injection.
+  const std::vector<int> members = f.generator.CommunityMembers(0);
+  ASSERT_GE(members.size(), 2u);
+  const int a = members[0], b = members[1];
+  const stats::CorrelationMatrix before =
+      stats::WindowCorrelationMatrix(f.series, 300, 200);
+  ASSERT_GT(std::abs(before.at(a, b)), 0.7);
+
+  AnomalyEvent event;
+  event.type = AnomalyType::kCorrelationBreak;
+  event.start = 300;
+  event.duration = 200;
+  event.sensors = {a};  // only sensor a detaches
+  InjectAnomalies(f.generator, {event}, &f.series, &f.rng);
+
+  const stats::CorrelationMatrix after =
+      stats::WindowCorrelationMatrix(f.series, 300, 200);
+  EXPECT_LT(std::abs(after.at(a, b)), 0.5);
+}
+
+TEST(InjectorTest, CorrelationBreakKeepsAmplitudePlausible) {
+  Fixture f;
+  AnomalyEvent event;
+  event.type = AnomalyType::kCorrelationBreak;
+  event.start = 300;
+  event.duration = 200;
+  event.sensors = {0};
+  InjectAnomalies(f.generator, {event}, &f.series, &f.rng);
+  // The replaced stretch should stay within a few sigma of the local level:
+  // no trivial amplitude giveaway.
+  const double sigma = f.generator.SensorStd(0);
+  double max_dev = 0.0;
+  double level = 0.0;
+  for (int t = 250; t < 300; ++t) level += f.series.value(0, t);
+  level /= 50.0;
+  for (int t = 300; t < 500; ++t) {
+    max_dev = std::max(max_dev, std::abs(f.series.value(0, t) - level));
+  }
+  EXPECT_LT(max_dev, 6.0 * sigma);
+}
+
+TEST(InjectorTest, GradualOnsetDeviatesSlowlyInValueSpace) {
+  // With onset_fraction = 0.5, point-wise deviation from the original signal
+  // during the first tenth of the event is much smaller than at its core —
+  // while correlation is already decaying (the early-detection regime).
+  Fixture f;
+  const ts::MultivariateSeries original = f.series;
+  AnomalyEvent event;
+  event.type = AnomalyType::kCorrelationBreak;
+  event.start = 300;
+  event.duration = 200;
+  event.sensors = {0};
+  event.onset_fraction = 0.5;
+  InjectAnomalies(f.generator, {event}, &f.series, &f.rng);
+
+  auto mean_abs_dev = [&](int begin, int end) {
+    double dev = 0.0;
+    for (int t = begin; t < end; ++t) {
+      dev += std::abs(f.series.value(0, t) - original.value(0, t));
+    }
+    return dev / (end - begin);
+  };
+  const double early = mean_abs_dev(300, 320);
+  const double core = mean_abs_dev(420, 500);
+  EXPECT_LT(early, core * 0.6);
+}
+
+TEST(InjectorTest, AbruptOnsetWhenFractionZero) {
+  Fixture f;
+  const ts::MultivariateSeries original = f.series;
+  AnomalyEvent event;
+  event.type = AnomalyType::kCorrelationBreak;
+  event.start = 300;
+  event.duration = 200;
+  event.sensors = {0};
+  event.onset_fraction = 0.0;
+  InjectAnomalies(f.generator, {event}, &f.series, &f.rng);
+  // With no ramp the very first anomalous points already follow the
+  // replacement walk (deviation comparable to the event core).
+  double early = 0.0, core = 0.0;
+  for (int t = 302; t < 322; ++t) {
+    early += std::abs(f.series.value(0, t) - original.value(0, t));
+  }
+  for (int t = 420; t < 440; ++t) {
+    core += std::abs(f.series.value(0, t) - original.value(0, t));
+  }
+  EXPECT_GT(early, core * 0.25);
+}
+
+TEST(InjectorTest, TrendDriftRampsUp) {
+  Fixture f;
+  const double early_before = f.series.value(0, 405);
+  const double late_before = f.series.value(0, 495);
+  AnomalyEvent event;
+  event.type = AnomalyType::kTrendDrift;
+  event.start = 400;
+  event.duration = 100;
+  event.sensors = {0};
+  event.magnitude = 2.0;
+  InjectAnomalies(f.generator, {event}, &f.series, &f.rng);
+  const double early_delta = f.series.value(0, 405) - early_before;
+  const double late_delta = f.series.value(0, 495) - late_before;
+  EXPECT_GT(late_delta, early_delta * 5.0);
+}
+
+TEST(InjectorTest, EventOutOfRangeAborts) {
+  Fixture f;
+  AnomalyEvent event;
+  event.start = 990;
+  event.duration = 50;  // overruns length 1000
+  event.sensors = {0};
+  EXPECT_DEATH(InjectAnomalies(f.generator, {event}, &f.series, &f.rng),
+               "out of series range");
+}
+
+TEST(ToGroundTruthTest, SortsAndConverts) {
+  AnomalyEvent late, early;
+  early.start = 10;
+  early.duration = 5;
+  early.sensors = {3, 1};
+  late.start = 100;
+  late.duration = 10;
+  late.sensors = {2};
+  const auto truth = ToGroundTruth({late, early});
+  ASSERT_EQ(truth.size(), 2u);
+  EXPECT_EQ(truth[0].segment.begin, 10);
+  EXPECT_EQ(truth[0].segment.end, 15);
+  EXPECT_EQ(truth[0].sensors, (std::vector<int>{1, 3}));  // sorted
+  EXPECT_EQ(truth[1].segment.begin, 100);
+}
+
+TEST(ToGroundTruthTest, MergesTouchingEvents) {
+  AnomalyEvent a, b;
+  a.start = 10;
+  a.duration = 10;  // [10, 20)
+  a.sensors = {1};
+  b.start = 20;
+  b.duration = 5;  // [20, 25) touches a
+  b.sensors = {2};
+  const auto truth = ToGroundTruth({a, b});
+  ASSERT_EQ(truth.size(), 1u);
+  EXPECT_EQ(truth[0].segment.begin, 10);
+  EXPECT_EQ(truth[0].segment.end, 25);
+  EXPECT_EQ(truth[0].sensors, (std::vector<int>{1, 2}));
+}
+
+TEST(PlanEventsTest, EventsRespectConstraints) {
+  Fixture f;
+  const std::vector<AnomalyEvent> events =
+      PlanEvents(f.generator, 1000, 4, 20, 40, 50, &f.rng);
+  ASSERT_EQ(events.size(), 4u);
+  int prev_end = -1;
+  for (const AnomalyEvent& event : events) {
+    EXPECT_GE(event.duration, 20);
+    EXPECT_LE(event.duration, 40);
+    EXPECT_GE(event.start, 50);
+    EXPECT_LE(event.start + event.duration, 1000);
+    EXPECT_GT(event.start, prev_end);  // non-overlapping, ordered
+    prev_end = event.start + event.duration;
+    EXPECT_FALSE(event.sensors.empty());
+    EXPECT_TRUE(std::is_sorted(event.sensors.begin(), event.sensors.end()));
+  }
+}
+
+TEST(PlanEventsTest, SensorsComeFromOneCommunity) {
+  Fixture f;
+  const std::vector<AnomalyEvent> events =
+      PlanEvents(f.generator, 1000, 3, 20, 30, 50, &f.rng);
+  for (const AnomalyEvent& event : events) {
+    const int community = f.generator.community_of()[event.sensors[0]];
+    for (int sensor : event.sensors) {
+      EXPECT_EQ(f.generator.community_of()[sensor], community);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cad::datasets

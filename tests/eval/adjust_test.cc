@@ -1,0 +1,147 @@
+#include "eval/adjust.h"
+
+#include <gtest/gtest.h>
+
+namespace cad::eval {
+namespace {
+
+// The paper's Figure 3 example, reconstructed exactly: ten time points
+// t1..t10 (0-indexed 0..9), ground truth anomalies at t2-t4 and t7-t10
+// (0-indexed [1,4) and [6,10)), method M1 detecting t2 and t10 (0-indexed 1
+// and 9). Expected: F1 = 44.4%, F1_PA = 100%, F1_DPA = 72.7%.
+struct Figure3 {
+  Labels truth = {0, 1, 1, 1, 0, 0, 1, 1, 1, 1};
+  Labels m1 = {0, 1, 0, 0, 0, 0, 0, 0, 0, 1};
+  // M2 detects each anomaly one point later than its start.
+  Labels m2 = {0, 0, 1, 0, 0, 0, 0, 1, 0, 0};
+};
+
+TEST(AdjustTest, Figure3RawF1) {
+  const Figure3 fig;
+  const PrfScore s = ScoreWithAdjustment(Adjustment::kNone, fig.m1, fig.truth);
+  EXPECT_NEAR(s.f1, 4.0 / 9.0, 1e-9);  // 44.4%
+}
+
+TEST(AdjustTest, Figure3PointAdjustGives100) {
+  const Figure3 fig;
+  const PrfScore s =
+      ScoreWithAdjustment(Adjustment::kPointAdjust, fig.m1, fig.truth);
+  EXPECT_NEAR(s.f1, 1.0, 1e-9);
+}
+
+TEST(AdjustTest, Figure3DelayPointAdjustGives727) {
+  const Figure3 fig;
+  const PrfScore s =
+      ScoreWithAdjustment(Adjustment::kDelayPointAdjust, fig.m1, fig.truth);
+  EXPECT_NEAR(s.f1, 8.0 / 11.0, 1e-9);  // 72.7%
+}
+
+TEST(AdjustTest, PaFillsWholeSegment) {
+  const Labels truth = {0, 1, 1, 1, 0};
+  const Labels pred = {0, 0, 1, 0, 0};
+  const Labels adjusted = PointAdjust(pred, truth);
+  EXPECT_EQ(adjusted, (Labels{0, 1, 1, 1, 0}));
+}
+
+TEST(AdjustTest, DpaFillsOnlyAfterFirstTp) {
+  const Labels truth = {0, 1, 1, 1, 0};
+  const Labels pred = {0, 0, 1, 0, 0};
+  const Labels adjusted = DelayPointAdjust(pred, truth);
+  EXPECT_EQ(adjusted, (Labels{0, 0, 1, 1, 0}));
+}
+
+TEST(AdjustTest, UndetectedSegmentUnchanged) {
+  const Labels truth = {1, 1, 0, 1, 1};
+  const Labels pred = {0, 0, 0, 1, 0};
+  EXPECT_EQ(PointAdjust(pred, truth), (Labels{0, 0, 0, 1, 1}));
+  EXPECT_EQ(DelayPointAdjust(pred, truth), (Labels{0, 0, 0, 1, 1}));
+}
+
+TEST(AdjustTest, FalsePositivesOutsideSegmentsKept) {
+  const Labels truth = {0, 0, 1, 1, 0};
+  const Labels pred = {1, 0, 1, 0, 1};
+  const Labels pa = PointAdjust(pred, truth);
+  EXPECT_EQ(pa[0], 1);  // FP untouched
+  EXPECT_EQ(pa[4], 1);  // FP untouched
+  EXPECT_EQ(pa[3], 1);  // FN adjusted
+}
+
+TEST(AdjustTest, SegmentTouchingSeriesEnd) {
+  const Labels truth = {0, 0, 1, 1};
+  const Labels pred = {0, 0, 0, 1};
+  EXPECT_EQ(PointAdjust(pred, truth), (Labels{0, 0, 1, 1}));
+  EXPECT_EQ(DelayPointAdjust(pred, truth), (Labels{0, 0, 0, 1}));
+}
+
+TEST(AdjustTest, NoAnomaliesIsIdentity) {
+  const Labels truth = {0, 0, 0};
+  const Labels pred = {1, 0, 1};
+  EXPECT_EQ(PointAdjust(pred, truth), pred);
+  EXPECT_EQ(DelayPointAdjust(pred, truth), pred);
+}
+
+TEST(ExtractSegmentsTest, FindsAllRuns) {
+  const Labels truth = {1, 1, 0, 0, 1, 0, 1};
+  const std::vector<Segment> segments = ExtractSegments(truth);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].begin, 0);
+  EXPECT_EQ(segments[0].end, 2);
+  EXPECT_EQ(segments[1].begin, 4);
+  EXPECT_EQ(segments[1].end, 5);
+  EXPECT_EQ(segments[2].begin, 6);
+  EXPECT_EQ(segments[2].end, 7);
+}
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  const Labels pred = {1, 1, 0, 0};
+  const Labels truth = {1, 0, 1, 0};
+  const Confusion c = Count(pred, truth);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+  const PrfScore s = FromConfusion(c);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(ConfusionTest, DegenerateAllNegative) {
+  const PrfScore s = FromConfusion(Count({0, 0}, {0, 0}));
+  EXPECT_EQ(s.precision, 0.0);
+  EXPECT_EQ(s.recall, 0.0);
+  EXPECT_EQ(s.f1, 0.0);
+}
+
+// Property: DPA is sandwiched between raw and PA — F1 <= F1_DPA <= F1_PA —
+// across many random prediction patterns.
+class DpaSandwich : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpaSandwich, F1Ordering) {
+  const unsigned seed = static_cast<unsigned>(GetParam());
+  Labels truth(60, 0), pred(60, 0);
+  unsigned state = seed;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  // Two fixed anomaly segments.
+  for (int t = 10; t < 20; ++t) truth[t] = 1;
+  for (int t = 40; t < 52; ++t) truth[t] = 1;
+  for (int t = 0; t < 60; ++t) pred[t] = (next() % 4) == 0 ? 1 : 0;
+
+  const double raw =
+      ScoreWithAdjustment(Adjustment::kNone, pred, truth).f1;
+  const double dpa =
+      ScoreWithAdjustment(Adjustment::kDelayPointAdjust, pred, truth).f1;
+  const double pa =
+      ScoreWithAdjustment(Adjustment::kPointAdjust, pred, truth).f1;
+  EXPECT_LE(raw, dpa + 1e-12);
+  EXPECT_LE(dpa, pa + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPredictions, DpaSandwich,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace cad::eval

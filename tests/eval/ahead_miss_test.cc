@@ -1,0 +1,94 @@
+#include "eval/ahead_miss.h"
+
+#include <gtest/gtest.h>
+
+namespace cad::eval {
+namespace {
+
+// Figure 3 of the paper: M1 detects anomaly 1 earlier, M2 detects anomaly 2
+// earlier; neither misses. Ahead(M1 vs M2) = 50%, Miss = 0.
+TEST(AheadMissTest, Figure3Example) {
+  const Labels truth = {0, 1, 1, 1, 0, 0, 1, 1, 1, 1};
+  const Labels m1 = {0, 1, 0, 0, 0, 0, 0, 0, 0, 1};
+  const Labels m2 = {0, 0, 1, 0, 0, 0, 0, 1, 0, 0};
+  const AheadMiss result = CompareAheadMiss(m1, m2, truth);
+  EXPECT_EQ(result.total_anomalies, 2);
+  EXPECT_EQ(result.detected_by_m1, 2);
+  EXPECT_EQ(result.ahead_count, 1);
+  EXPECT_DOUBLE_EQ(result.ahead, 0.5);
+  EXPECT_DOUBLE_EQ(result.miss, 0.0);
+}
+
+TEST(AheadMissTest, IdealCase) {
+  const Labels truth = {1, 1, 0, 1, 1};
+  const Labels m1 = {1, 0, 0, 1, 0};    // detects both at their first point
+  const Labels m2 = {0, 1, 0, 0, 1};    // one point later on both
+  const AheadMiss result = CompareAheadMiss(m1, m2, truth);
+  EXPECT_DOUBLE_EQ(result.ahead, 1.0);
+  EXPECT_DOUBLE_EQ(result.miss, 0.0);
+}
+
+TEST(AheadMissTest, AnomalyMissedByM2CountsAsAhead) {
+  const Labels truth = {1, 1, 0};
+  const Labels m1 = {0, 1, 0};
+  const Labels m2 = {0, 0, 0};  // misses entirely
+  const AheadMiss result = CompareAheadMiss(m1, m2, truth);
+  EXPECT_EQ(result.ahead_count, 1);
+  EXPECT_DOUBLE_EQ(result.ahead, 1.0);
+}
+
+TEST(AheadMissTest, TieIsNotAhead) {
+  const Labels truth = {1, 1, 0};
+  const Labels m1 = {0, 1, 0};
+  const Labels m2 = {0, 1, 0};
+  const AheadMiss result = CompareAheadMiss(m1, m2, truth);
+  EXPECT_EQ(result.ahead_count, 0);
+  EXPECT_DOUBLE_EQ(result.ahead, 0.0);
+}
+
+TEST(AheadMissTest, MissCountsOnlyWhatM2Caught) {
+  const Labels truth = {1, 0, 1, 0, 1};  // three single-point anomalies
+  const Labels m1 = {1, 0, 0, 0, 0};     // detects only the first
+  const Labels m2 = {0, 0, 1, 0, 0};     // detects only the second
+  const AheadMiss result = CompareAheadMiss(m1, m2, truth);
+  EXPECT_EQ(result.detected_by_m1, 1);
+  // M1 missed 2 anomalies; M2 caught 1 of them -> Miss = 1/2.
+  EXPECT_EQ(result.miss_count, 1);
+  EXPECT_DOUBLE_EQ(result.miss, 0.5);
+}
+
+TEST(AheadMissTest, MissZeroWhenM1DetectsAll) {
+  const Labels truth = {1, 0, 1};
+  const Labels m1 = {1, 0, 1};
+  const Labels m2 = {0, 0, 0};
+  const AheadMiss result = CompareAheadMiss(m1, m2, truth);
+  EXPECT_DOUBLE_EQ(result.miss, 0.0);  // I_d == I convention
+}
+
+TEST(AheadMissTest, M1DetectsNothing) {
+  const Labels truth = {1, 1, 0, 1};
+  const Labels m1 = {0, 0, 0, 0};
+  const Labels m2 = {1, 0, 0, 1};
+  const AheadMiss result = CompareAheadMiss(m1, m2, truth);
+  EXPECT_EQ(result.detected_by_m1, 0);
+  EXPECT_DOUBLE_EQ(result.ahead, 0.0);
+  EXPECT_DOUBLE_EQ(result.miss, 1.0);  // both missed anomalies caught by M2
+}
+
+TEST(AheadMissTest, NoAnomaliesAtAll) {
+  const Labels truth = {0, 0, 0};
+  const AheadMiss result = CompareAheadMiss({1, 0, 0}, {0, 1, 0}, truth);
+  EXPECT_EQ(result.total_anomalies, 0);
+  EXPECT_DOUBLE_EQ(result.ahead, 0.0);
+  EXPECT_DOUBLE_EQ(result.miss, 0.0);
+}
+
+TEST(FirstDetectionTest, FindsFirstPointInSegment) {
+  const Labels pred = {0, 0, 1, 1, 0};
+  EXPECT_EQ(FirstDetection(pred, {1, 5}), 2);
+  EXPECT_EQ(FirstDetection(pred, {0, 2}), -1);
+  EXPECT_EQ(FirstDetection(pred, {3, 4}), 3);
+}
+
+}  // namespace
+}  // namespace cad::eval

@@ -1,0 +1,90 @@
+#include "eval/range_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cad::eval {
+namespace {
+
+TEST(RangeMetricsTest, PerfectPredictionScoresOne) {
+  const Labels truth = {0, 1, 1, 1, 0, 0, 1, 1, 0};
+  const RangePrf s = RangeBasedScore(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(RangeMetricsTest, NoPredictionScoresZero) {
+  const Labels truth = {0, 1, 1, 0};
+  const Labels pred = {0, 0, 0, 0};
+  const RangePrf s = RangeBasedScore(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(RangeMetricsTest, ExistenceRewardHalfForSinglePointHit) {
+  // One real range of 4, predicted hit on one point: recall gets the full
+  // alpha existence reward plus (1-alpha) * 1/4 overlap (flat bias).
+  const Labels truth = {1, 1, 1, 1};
+  const Labels pred = {0, 1, 0, 0};
+  RangeMetricOptions options;
+  options.alpha = 0.5;
+  const RangePrf s = RangeBasedScore(pred, truth, options);
+  EXPECT_NEAR(s.recall, 0.5 + 0.5 * 0.25, 1e-12);
+  // The predicted single-point range is fully inside truth: precision 1.
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+}
+
+TEST(RangeMetricsTest, FrontBiasPrefersEarlyOverlap) {
+  const Labels truth = {1, 1, 1, 1, 1, 1};
+  const Labels early = {1, 1, 0, 0, 0, 0};
+  const Labels late = {0, 0, 0, 0, 1, 1};
+  RangeMetricOptions options;
+  options.alpha = 0.0;  // isolate the overlap term
+  options.bias = PositionalBias::kFront;
+  const double early_recall = RangeBasedScore(early, truth, options).recall;
+  const double late_recall = RangeBasedScore(late, truth, options).recall;
+  EXPECT_GT(early_recall, late_recall * 2.0);
+}
+
+TEST(RangeMetricsTest, FlatBiasSymmetric) {
+  const Labels truth = {1, 1, 1, 1, 1, 1};
+  const Labels early = {1, 1, 0, 0, 0, 0};
+  const Labels late = {0, 0, 0, 0, 1, 1};
+  RangeMetricOptions options;
+  options.alpha = 0.0;
+  const double a = RangeBasedScore(early, truth, options).recall;
+  const double b = RangeBasedScore(late, truth, options).recall;
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(RangeMetricsTest, CardinalityPenalizesFragmentation) {
+  // Same 4 covered points, once contiguous and once as 4 fragments.
+  const Labels truth = {1, 1, 1, 1, 1, 1, 1, 1};
+  const Labels contiguous = {1, 1, 1, 1, 0, 0, 0, 0};
+  const Labels fragmented = {1, 0, 1, 0, 1, 0, 1, 0};
+  RangeMetricOptions options;
+  options.alpha = 0.0;
+  const double whole = RangeBasedScore(contiguous, truth, options).recall;
+  const double split = RangeBasedScore(fragmented, truth, options).recall;
+  EXPECT_GT(whole, split);
+}
+
+TEST(RangeMetricsTest, FalsePositiveRangeHurtsPrecisionOnly) {
+  const Labels truth = {0, 0, 1, 1, 0, 0, 0, 0};
+  const Labels pred = {0, 0, 1, 1, 0, 0, 1, 1};  // second range is spurious
+  const RangePrf s = RangeBasedScore(pred, truth);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_NEAR(s.precision, 0.5, 1e-12);  // one perfect, one zero
+}
+
+TEST(RangeMetricsTest, EmptyTruthGivesZeroRecall) {
+  const Labels truth = {0, 0, 0};
+  const Labels pred = {0, 1, 0};
+  const RangePrf s = RangeBasedScore(pred, truth);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);  // the predicted range overlaps nothing
+}
+
+}  // namespace
+}  // namespace cad::eval

@@ -1,0 +1,45 @@
+#include "eval/rank.h"
+
+#include <gtest/gtest.h>
+
+namespace cad::eval {
+namespace {
+
+TEST(RankColumnTest, HigherScoreLowerRank) {
+  const std::vector<double> ranks = RankColumn({0.9, 0.5, 0.7});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(RankColumnTest, TiesShareAverageRank) {
+  const std::vector<double> ranks = RankColumn({0.5, 0.9, 0.5});
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);  // tied for ranks 2 and 3
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+}
+
+TEST(RankColumnTest, AllTied) {
+  const std::vector<double> ranks = RankColumn({1.0, 1.0, 1.0, 1.0});
+  for (double r : ranks) EXPECT_DOUBLE_EQ(r, 2.5);
+}
+
+TEST(AverageRanksTest, AveragesAcrossColumns) {
+  // Method 0 is best in column 0 (rank 1) and worst in column 1 (rank 2):
+  // average 1.5. Method 1 the mirror image.
+  const std::vector<double> avg =
+      AverageRanks({{0.9, 0.1}, {0.2, 0.8}});
+  EXPECT_DOUBLE_EQ(avg[0], 1.5);
+  EXPECT_DOUBLE_EQ(avg[1], 1.5);
+}
+
+TEST(AverageRanksTest, ConsistentWinnerRanksFirst) {
+  const std::vector<double> avg =
+      AverageRanks({{0.9, 0.5, 0.1}, {0.8, 0.6, 0.2}, {0.95, 0.4, 0.3}});
+  EXPECT_DOUBLE_EQ(avg[0], 1.0);
+  EXPECT_DOUBLE_EQ(avg[1], 2.0);
+  EXPECT_DOUBLE_EQ(avg[2], 3.0);
+}
+
+}  // namespace
+}  // namespace cad::eval

@@ -1,0 +1,79 @@
+#include "eval/sensor_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace cad::eval {
+namespace {
+
+TEST(SensorSetF1Test, ExactMatch) {
+  EXPECT_DOUBLE_EQ(SensorSetF1({1, 2, 3}, {1, 2, 3}).f1, 1.0);
+}
+
+TEST(SensorSetF1Test, PartialOverlap) {
+  // predicted {1,2}, actual {2,3}: tp=1, fp=1, fn=1 -> p=r=f1=0.5.
+  const PrfScore s = SensorSetF1({1, 2}, {2, 3});
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(SensorSetF1Test, Disjoint) {
+  EXPECT_DOUBLE_EQ(SensorSetF1({1}, {2}).f1, 0.0);
+}
+
+TEST(SensorSetF1Test, EmptyPrediction) {
+  EXPECT_DOUBLE_EQ(SensorSetF1({}, {1, 2}).f1, 0.0);
+}
+
+TEST(SensorF1Test, MergesOverlappingPredictions) {
+  // Two predictions overlap the single anomaly; their sensor sets union.
+  const std::vector<SensorGroundTruth> truth = {{{10, 30}, {1, 2, 3, 4}}};
+  const std::vector<SensorPrediction> predictions = {
+      {{8, 15}, {1, 2}},
+      {{20, 40}, {3, 4}},
+  };
+  EXPECT_DOUBLE_EQ(SensorF1(predictions, truth), 1.0);
+}
+
+TEST(SensorF1Test, NonOverlappingPredictionIgnored) {
+  const std::vector<SensorGroundTruth> truth = {{{10, 20}, {1, 2}}};
+  const std::vector<SensorPrediction> predictions = {
+      {{50, 60}, {1, 2}},  // right sensors, wrong time
+  };
+  EXPECT_DOUBLE_EQ(SensorF1(predictions, truth), 0.0);
+}
+
+TEST(SensorF1Test, MacroAverageOverAnomalies) {
+  const std::vector<SensorGroundTruth> truth = {
+      {{0, 10}, {1, 2}},
+      {{50, 60}, {5, 6}},
+  };
+  const std::vector<SensorPrediction> predictions = {
+      {{0, 10}, {1, 2}},  // perfect on first
+                          // second anomaly undetected -> 0
+  };
+  EXPECT_DOUBLE_EQ(SensorF1(predictions, truth), 0.5);
+}
+
+TEST(SensorF1Test, DuplicateSensorsDeduplicated) {
+  const std::vector<SensorGroundTruth> truth = {{{0, 10}, {1, 2}}};
+  const std::vector<SensorPrediction> predictions = {
+      {{0, 5}, {1, 2}},
+      {{5, 10}, {1, 2}},  // same sensors again: no precision penalty
+  };
+  EXPECT_DOUBLE_EQ(SensorF1(predictions, truth), 1.0);
+}
+
+TEST(SensorF1Test, EmptyGroundTruthIsZero) {
+  EXPECT_DOUBLE_EQ(SensorF1({}, {}), 0.0);
+}
+
+TEST(SensorF1Test, TouchingButNotOverlappingSegments) {
+  // [0, 10) and [10, 20) share no point: not an overlap.
+  const std::vector<SensorGroundTruth> truth = {{{10, 20}, {1}}};
+  const std::vector<SensorPrediction> predictions = {{{0, 10}, {1}}};
+  EXPECT_DOUBLE_EQ(SensorF1(predictions, truth), 0.0);
+}
+
+}  // namespace
+}  // namespace cad::eval

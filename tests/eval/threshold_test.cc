@@ -1,0 +1,152 @@
+#include "eval/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cad::eval {
+namespace {
+
+TEST(BestF1Test, PerfectScoresReachF1One) {
+  const Labels truth = {0, 0, 1, 1, 0, 0};
+  const std::vector<double> scores = {0.1, 0.2, 0.9, 0.8, 0.1, 0.0};
+  const BestF1 best = BestF1Search(scores, truth, Adjustment::kNone);
+  EXPECT_NEAR(best.f1, 1.0, 1e-9);
+  EXPECT_GT(best.threshold, 0.2);
+  EXPECT_LE(best.threshold, 0.8);
+}
+
+TEST(BestF1Test, AllZeroScoresDetectEverythingAtThresholdZero) {
+  // Threshold 0 marks everything abnormal -> recall 1, precision = positive
+  // rate; the search reports that as the best achievable.
+  const Labels truth = {1, 0, 0, 0};
+  const std::vector<double> scores = {0.0, 0.0, 0.0, 0.0};
+  const BestF1 best = BestF1Search(scores, truth, Adjustment::kNone);
+  EXPECT_NEAR(best.f1, 2.0 * 0.25 / 1.25, 1e-9);  // p=0.25, r=1
+}
+
+TEST(BestF1Test, PaAdjustmentNeverHurts) {
+  cad::Rng rng(42);
+  Labels truth(200, 0);
+  for (int t = 50; t < 80; ++t) truth[t] = 1;
+  for (int t = 140; t < 160; ++t) truth[t] = 1;
+  std::vector<double> scores(200);
+  for (double& s : scores) s = rng.NextDouble();
+  const double raw = BestF1Search(scores, truth, Adjustment::kNone, 0.01).f1;
+  const double dpa =
+      BestF1Search(scores, truth, Adjustment::kDelayPointAdjust, 0.01).f1;
+  const double pa =
+      BestF1Search(scores, truth, Adjustment::kPointAdjust, 0.01).f1;
+  EXPECT_LE(raw, dpa + 1e-12);
+  EXPECT_LE(dpa, pa + 1e-12);
+}
+
+TEST(AucRocTest, PerfectSeparationNearOne) {
+  Labels truth(100, 0);
+  std::vector<double> scores(100, 0.1);
+  for (int t = 40; t < 60; ++t) {
+    truth[t] = 1;
+    scores[t] = 0.9;
+  }
+  EXPECT_GT(AucRoc(scores, truth, Adjustment::kNone), 0.99);
+}
+
+TEST(AucRocTest, RandomScoresNearHalf) {
+  cad::Rng rng(7);
+  Labels truth(4000, 0);
+  for (int t = 0; t < 4000; ++t) truth[t] = rng.NextDouble() < 0.3 ? 1 : 0;
+  std::vector<double> scores(4000);
+  for (double& s : scores) s = rng.NextDouble();
+  const double auc = AucRoc(scores, truth, Adjustment::kNone);
+  EXPECT_NEAR(auc, 0.5, 0.05);
+}
+
+TEST(AucRocTest, InvertedScoresNearZero) {
+  Labels truth(100, 0);
+  std::vector<double> scores(100, 0.9);
+  for (int t = 40; t < 60; ++t) {
+    truth[t] = 1;
+    scores[t] = 0.1;  // anomalies get the LOWEST scores
+  }
+  EXPECT_LT(AucRoc(scores, truth, Adjustment::kNone), 0.1);
+}
+
+TEST(AucPrTest, PerfectSeparationNearOne) {
+  Labels truth(100, 0);
+  std::vector<double> scores(100, 0.1);
+  for (int t = 40; t < 60; ++t) {
+    truth[t] = 1;
+    scores[t] = 0.9;
+  }
+  EXPECT_GT(AucPr(scores, truth, Adjustment::kNone), 0.95);
+}
+
+TEST(AucPrTest, RandomScoresNearPositiveRate) {
+  cad::Rng rng(9);
+  Labels truth(4000, 0);
+  for (int t = 0; t < 4000; ++t) truth[t] = rng.NextDouble() < 0.2 ? 1 : 0;
+  std::vector<double> scores(4000);
+  for (double& s : scores) s = rng.NextDouble();
+  EXPECT_NEAR(AucPr(scores, truth, Adjustment::kNone), 0.2, 0.07);
+}
+
+TEST(DilateTruthTest, ExtendsSegments) {
+  const Labels truth = {0, 0, 0, 1, 1, 0, 0, 0};
+  EXPECT_EQ(DilateTruth(truth, 1), (Labels{0, 0, 1, 1, 1, 1, 0, 0}));
+  EXPECT_EQ(DilateTruth(truth, 0), truth);
+}
+
+TEST(DilateTruthTest, ClampsAtBoundaries) {
+  const Labels truth = {1, 0, 0, 0, 1};
+  EXPECT_EQ(DilateTruth(truth, 2), (Labels{1, 1, 1, 1, 1}));
+}
+
+TEST(VusTest, MatchesAucWhenWindowZero) {
+  Labels truth(80, 0);
+  std::vector<double> scores(80, 0.2);
+  for (int t = 30; t < 45; ++t) {
+    truth[t] = 1;
+    scores[t] = 0.8;
+  }
+  VusOptions options;
+  options.max_window = 0;
+  options.window_step = 1;
+  EXPECT_NEAR(VusRoc(scores, truth, Adjustment::kNone, options),
+              AucRoc(scores, truth, Adjustment::kNone), 1e-12);
+  EXPECT_NEAR(VusPr(scores, truth, Adjustment::kNone, options),
+              AucPr(scores, truth, Adjustment::kNone), 1e-12);
+}
+
+TEST(VusTest, ToleratesBoundaryMisalignment) {
+  // Prediction shifted 3 points late: plain AUC-PR punishes it, VUS with a
+  // tolerance window forgives the boundary, so VUS > AUC.
+  Labels truth(120, 0);
+  for (int t = 50; t < 70; ++t) truth[t] = 1;
+  std::vector<double> scores(120, 0.1);
+  for (int t = 53; t < 73; ++t) scores[t] = 0.9;
+  VusOptions options;
+  options.max_window = 12;
+  options.window_step = 4;
+  EXPECT_GT(VusPr(scores, truth, Adjustment::kNone, options),
+            AucPr(scores, truth, Adjustment::kNone));
+}
+
+TEST(VusTest, ScoresBounded) {
+  cad::Rng rng(13);
+  Labels truth(300, 0);
+  for (int t = 100; t < 130; ++t) truth[t] = 1;
+  std::vector<double> scores(300);
+  for (double& s : scores) s = rng.NextDouble();
+  for (Adjustment mode : {Adjustment::kNone, Adjustment::kPointAdjust,
+                          Adjustment::kDelayPointAdjust}) {
+    const double roc = VusRoc(scores, truth, mode);
+    const double pr = VusPr(scores, truth, mode);
+    EXPECT_GE(roc, 0.0);
+    EXPECT_LE(roc, 1.0 + 1e-9);
+    EXPECT_GE(pr, 0.0);
+    EXPECT_LE(pr, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cad::eval

@@ -1,0 +1,102 @@
+#include "graph/knn_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cad::graph {
+namespace {
+
+stats::CorrelationMatrix MakeMatrix(
+    const std::vector<std::vector<double>>& values) {
+  stats::CorrelationMatrix corr(static_cast<int>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = i + 1; j < values.size(); ++j) {
+      corr.set(static_cast<int>(i), static_cast<int>(j), values[i][j]);
+    }
+  }
+  return corr;
+}
+
+TEST(KnnGraphTest, TauPrunesWeakEdges) {
+  // 0-1 strongly correlated, 0-2 weakly: only 0-1 survives tau = 0.5.
+  auto corr = MakeMatrix({{1.0, 0.9, 0.2}, {0.9, 1.0, 0.1}, {0.2, 0.1, 1.0}});
+  const Graph g = BuildKnnGraph(corr, {.k = 2, .tau = 0.5});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.n_edges(), 1);
+}
+
+TEST(KnnGraphTest, NegativeCorrelationCountsByMagnitude) {
+  auto corr =
+      MakeMatrix({{1.0, -0.95, 0.3}, {-0.95, 1.0, 0.2}, {0.3, 0.2, 1.0}});
+  const Graph g = BuildKnnGraph(corr, {.k = 1, .tau = 0.5});
+  ASSERT_TRUE(g.HasEdge(0, 1));
+  // The signed weight is preserved on the edge.
+  EXPECT_EQ(g.neighbors(0)[0].weight, -0.95);
+}
+
+TEST(KnnGraphTest, KLimitsDirectedPicksButUnionApplies) {
+  // Vertex 0 correlates with everyone; with k = 1, 0 picks only its best,
+  // but the others also pick 0 so the union has all three edges to 0.
+  auto corr = MakeMatrix({{1.0, 0.9, 0.8, 0.7},
+                          {0.9, 1.0, 0.1, 0.1},
+                          {0.8, 0.1, 1.0, 0.1},
+                          {0.7, 0.1, 0.1, 1.0}});
+  const Graph g = BuildKnnGraph(corr, {.k = 1, .tau = 0.5});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.n_edges(), 3);
+}
+
+TEST(KnnGraphTest, LargeTauYieldsEmptyGraph) {
+  auto corr = MakeMatrix({{1.0, 0.6}, {0.6, 1.0}});
+  const Graph g = BuildKnnGraph(corr, {.k = 1, .tau = 0.95});
+  EXPECT_EQ(g.n_edges(), 0);
+}
+
+TEST(KnnGraphTest, DeterministicOnTies) {
+  auto corr = MakeMatrix({{1.0, 0.7, 0.7, 0.7},
+                          {0.7, 1.0, 0.7, 0.7},
+                          {0.7, 0.7, 1.0, 0.7},
+                          {0.7, 0.7, 0.7, 1.0}});
+  const Graph a = BuildKnnGraph(corr, {.k = 2, .tau = 0.5});
+  const Graph b = BuildKnnGraph(corr, {.k = 2, .tau = 0.5});
+  const auto ea = a.SortedEdges();
+  const auto eb = b.SortedEdges();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].u, eb[i].u);
+    EXPECT_EQ(ea[i].v, eb[i].v);
+  }
+  // Tie-break by index: vertex 0 with k = 2 picks 1 and 2.
+  EXPECT_TRUE(a.HasEdge(0, 1));
+  EXPECT_TRUE(a.HasEdge(0, 2));
+}
+
+TEST(KnnGraphTest, NoSelfLoopsEver) {
+  auto corr = MakeMatrix({{1.0, 0.9}, {0.9, 1.0}});
+  const Graph g = BuildKnnGraph(corr, {.k = 5, .tau = 0.0});
+  for (const Edge& e : g.SortedEdges()) EXPECT_NE(e.u, e.v);
+}
+
+// Property: every vertex's degree from its own picks is <= k before the
+// symmetric union, so total edges <= n * k.
+TEST(KnnGraphTest, EdgeCountBounded) {
+  const int n = 20;
+  stats::CorrelationMatrix corr(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      corr.set(i, j, 0.5 + 0.4 * std::sin(i * 13 + j * 7));
+    }
+  }
+  for (int k = 1; k <= 5; ++k) {
+    const Graph g = BuildKnnGraph(corr, {.k = k, .tau = 0.0});
+    EXPECT_LE(g.n_edges(), static_cast<int64_t>(n) * k);
+  }
+}
+
+}  // namespace
+}  // namespace cad::graph

@@ -1,0 +1,136 @@
+// Structural Louvain tests on classic benchmark topologies (ring of
+// cliques, star, weighted barbell) plus parameterized sweeps over graph
+// size — properties Louvain must hold for CAD's TSGs at any scale.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/louvain.h"
+
+namespace cad::graph {
+namespace {
+
+// `n_cliques` cliques of `clique_size`, neighbouring cliques joined by one
+// weak edge — the canonical Louvain test topology.
+Graph RingOfCliques(int n_cliques, int clique_size, double bridge = 0.1) {
+  Graph g(n_cliques * clique_size);
+  for (int c = 0; c < n_cliques; ++c) {
+    const int base = c * clique_size;
+    for (int i = 0; i < clique_size; ++i) {
+      for (int j = i + 1; j < clique_size; ++j) {
+        g.AddEdge(base + i, base + j, 1.0);
+      }
+    }
+    const int next_base = ((c + 1) % n_cliques) * clique_size;
+    g.AddEdge(base, next_base, bridge);
+  }
+  return g;
+}
+
+TEST(LouvainStructureTest, RingOfCliquesRecovered) {
+  const int n_cliques = 6, clique_size = 5;
+  const Partition p = Louvain(RingOfCliques(n_cliques, clique_size));
+  EXPECT_EQ(p.n_communities, n_cliques);
+  for (int c = 0; c < n_cliques; ++c) {
+    for (int i = 1; i < clique_size; ++i) {
+      EXPECT_EQ(p.community[c * clique_size + i],
+                p.community[c * clique_size]);
+    }
+  }
+}
+
+TEST(LouvainStructureTest, StarGraphSingleCommunity) {
+  Graph g(9);
+  for (int leaf = 1; leaf < 9; ++leaf) g.AddEdge(0, leaf, 1.0);
+  const Partition p = Louvain(g);
+  // A star has no sub-structure worth splitting; Louvain may keep it whole
+  // or split leaves, but the hub must share a community with some leaves and
+  // modularity must be >= the singleton baseline (0 - sum k^2 term < 0).
+  std::vector<int> singletons(9);
+  for (int v = 0; v < 9; ++v) singletons[v] = v;
+  EXPECT_GE(Modularity(g, p.community), Modularity(g, singletons));
+}
+
+TEST(LouvainStructureTest, WeightedBarbellSplitsAtWeakBridge) {
+  // Two triangles of weight 5 joined by a bridge of weight 0.5.
+  Graph g(6);
+  for (int base : {0, 3}) {
+    g.AddEdge(base, base + 1, 5.0);
+    g.AddEdge(base, base + 2, 5.0);
+    g.AddEdge(base + 1, base + 2, 5.0);
+  }
+  g.AddEdge(2, 3, 0.5);
+  const Partition p = Louvain(g);
+  EXPECT_EQ(p.n_communities, 2);
+  EXPECT_EQ(p.community[0], p.community[2]);
+  EXPECT_EQ(p.community[3], p.community[5]);
+  EXPECT_NE(p.community[0], p.community[3]);
+}
+
+TEST(LouvainStructureTest, HeavyBridgeMergesBarbell) {
+  // Same shape but the bridge outweighs the triangles: merging wins.
+  Graph g(6);
+  for (int base : {0, 3}) {
+    g.AddEdge(base, base + 1, 0.2);
+    g.AddEdge(base, base + 2, 0.2);
+    g.AddEdge(base + 1, base + 2, 0.2);
+  }
+  g.AddEdge(2, 3, 5.0);
+  const Partition p = Louvain(g);
+  // Vertices 2 and 3 must share a community across the heavy bridge.
+  EXPECT_EQ(p.community[2], p.community[3]);
+}
+
+class LouvainScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LouvainScaleSweep, PlantedPartitionRecovered) {
+  // Planted partition: dense within blocks, sparse across.
+  const int n_blocks = GetParam();
+  const int block = 8;
+  cad::Rng rng(1000 + n_blocks);
+  Graph g(n_blocks * block);
+  for (int u = 0; u < g.n_vertices(); ++u) {
+    for (int v = u + 1; v < g.n_vertices(); ++v) {
+      const bool same = u / block == v / block;
+      const double p_edge = same ? 0.9 : 0.02;
+      if (rng.NextDouble() < p_edge) {
+        g.AddEdge(u, v, same ? rng.Uniform(0.7, 1.0) : rng.Uniform(0.1, 0.3));
+      }
+    }
+  }
+  const Partition p = Louvain(g);
+  // Count pair agreement within blocks (should be near-perfect).
+  int same_pairs = 0, agree = 0;
+  for (int u = 0; u < g.n_vertices(); ++u) {
+    for (int v = u + 1; v < g.n_vertices(); ++v) {
+      if (u / block != v / block) continue;
+      ++same_pairs;
+      if (p.community[u] == p.community[v]) ++agree;
+    }
+  }
+  EXPECT_GE(static_cast<double>(agree) / same_pairs, 0.9)
+      << n_blocks << " blocks";
+  EXPECT_GE(p.n_communities, n_blocks / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCounts, LouvainScaleSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(LouvainStructureTest, LabelsAreDense) {
+  cad::Rng rng(5);
+  Graph g(40);
+  for (int i = 0; i < 120; ++i) {
+    const int u = rng.UniformInt(0, 40);
+    const int v = rng.UniformInt(0, 40);
+    if (u != v && !g.HasEdge(u, v)) g.AddEdge(u, v, rng.Uniform(0.2, 1.0));
+  }
+  const Partition p = Louvain(g);
+  std::set<int> labels(p.community.begin(), p.community.end());
+  EXPECT_EQ(static_cast<int>(labels.size()), p.n_communities);
+  EXPECT_EQ(*labels.begin(), 0);
+  EXPECT_EQ(*labels.rbegin(), p.n_communities - 1);
+}
+
+}  // namespace
+}  // namespace cad::graph

@@ -1,0 +1,141 @@
+#include "graph/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace cad::graph {
+namespace {
+
+// Two dense cliques joined by one weak bridge.
+Graph TwoCliques(int clique_size, double intra_weight, double bridge_weight) {
+  Graph g(2 * clique_size);
+  for (int base : {0, clique_size}) {
+    for (int i = 0; i < clique_size; ++i) {
+      for (int j = i + 1; j < clique_size; ++j) {
+        g.AddEdge(base + i, base + j, intra_weight);
+      }
+    }
+  }
+  g.AddEdge(0, clique_size, bridge_weight);
+  return g;
+}
+
+TEST(LouvainTest, SeparatesTwoCliques) {
+  const Graph g = TwoCliques(5, 1.0, 0.1);
+  const Partition p = Louvain(g);
+  EXPECT_EQ(p.n_communities, 2);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(p.community[i], p.community[0]);
+  for (int i = 6; i < 10; ++i) EXPECT_EQ(p.community[i], p.community[5]);
+  EXPECT_NE(p.community[0], p.community[5]);
+}
+
+TEST(LouvainTest, CanonicalLabelsByLowestMember) {
+  const Graph g = TwoCliques(4, 1.0, 0.05);
+  const Partition p = Louvain(g);
+  // Community containing vertex 0 must be labeled 0.
+  EXPECT_EQ(p.community[0], 0);
+}
+
+TEST(LouvainTest, DeterministicAcrossRuns) {
+  cad::Rng rng(55);
+  Graph g(30);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = i + 1; j < 30; ++j) {
+      if (rng.NextDouble() < 0.2) g.AddEdge(i, j, rng.Uniform(0.3, 1.0));
+    }
+  }
+  const Partition a = Louvain(g);
+  const Partition b = Louvain(g);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.n_communities, b.n_communities);
+}
+
+TEST(LouvainTest, EmptyAndEdgelessGraphs) {
+  const Partition empty = Louvain(Graph(0));
+  EXPECT_EQ(empty.n_communities, 0);
+  const Partition isolated = Louvain(Graph(5));
+  EXPECT_EQ(isolated.n_communities, 5);  // every vertex its own community
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(isolated.community[v], v);
+}
+
+TEST(LouvainTest, NegativeWeightsTreatedByMagnitude) {
+  // Anti-correlated clique should still form one community.
+  Graph g(6);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 3; ++j) g.AddEdge(i, j, -1.0);
+  }
+  for (int i = 3; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) g.AddEdge(i, j, 1.0);
+  }
+  g.AddEdge(0, 3, 0.05);
+  const Partition p = Louvain(g);
+  EXPECT_EQ(p.n_communities, 2);
+  EXPECT_EQ(p.community[0], p.community[1]);
+  EXPECT_EQ(p.community[1], p.community[2]);
+}
+
+TEST(LouvainTest, ImprovesModularityOverSingletons) {
+  const Graph g = TwoCliques(6, 1.0, 0.2);
+  std::vector<int> singletons(g.n_vertices());
+  for (int v = 0; v < g.n_vertices(); ++v) singletons[v] = v;
+  const Partition p = Louvain(g);
+  EXPECT_GT(Modularity(g, p.community), Modularity(g, singletons));
+  EXPECT_GT(Modularity(g, p.community), 0.3);  // clean two-block structure
+}
+
+TEST(ModularityTest, KnownValues) {
+  // Single edge, both vertices together: Q = w/m - (2w)^2/(4m^2) = 1 - 1 = 0.
+  Graph g(2);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_NEAR(Modularity(g, {0, 0}), 0.0, 1e-12);
+  // Separated: Q = 0 - (1 + 1)/4 = -0.5.
+  EXPECT_NEAR(Modularity(g, {0, 1}), -0.5, 1e-12);
+}
+
+TEST(ModularityTest, EdgelessGraphIsZero) {
+  Graph g(3);
+  EXPECT_EQ(Modularity(g, {0, 1, 2}), 0.0);
+}
+
+TEST(ConnectedComponentsTest, FindsComponents) {
+  Graph g(6);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(4, 5, 1.0);
+  const Partition p = ConnectedComponents(g);
+  EXPECT_EQ(p.n_communities, 3);  // {0,1,2}, {3}, {4,5}
+  EXPECT_EQ(p.community[0], p.community[2]);
+  EXPECT_NE(p.community[0], p.community[3]);
+  EXPECT_EQ(p.community[4], p.community[5]);
+}
+
+TEST(LouvainTest, CommunitiesRespectComponents) {
+  // Vertices in different connected components can never share a community.
+  cad::Rng rng(77);
+  Graph g(24);
+  // Three disjoint random blobs.
+  for (int base : {0, 8, 16}) {
+    for (int i = 0; i < 8; ++i) {
+      for (int j = i + 1; j < 8; ++j) {
+        if (rng.NextDouble() < 0.5) {
+          g.AddEdge(base + i, base + j, rng.Uniform(0.5, 1.0));
+        }
+      }
+    }
+  }
+  const Partition louvain = Louvain(g);
+  const Partition components = ConnectedComponents(g);
+  for (int u = 0; u < 24; ++u) {
+    for (int v = 0; v < 24; ++v) {
+      if (louvain.community[u] == louvain.community[v]) {
+        EXPECT_EQ(components.community[u], components.community[v]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cad::graph

@@ -1,0 +1,150 @@
+// End-to-end integration tests: dataset generation -> CAD detection ->
+// evaluation, exercising the same pipeline as the benchmark harness on
+// shrunken dataset profiles.
+#include <gtest/gtest.h>
+
+#include "baselines/cad_adapter.h"
+#include "baselines/method_registry.h"
+#include "core/cad_detector.h"
+#include "datasets/registry.h"
+#include "eval/ahead_miss.h"
+#include "eval/sensor_eval.h"
+#include "eval/threshold.h"
+
+namespace cad {
+namespace {
+
+datasets::LabeledDataset SmallPsm() {
+  datasets::DatasetProfile profile =
+      datasets::ProfileByName("PSM").ValueOrDie();
+  profile.train_length = 800;
+  profile.test_length = 1500;
+  profile.n_anomalies = 4;
+  return datasets::MakeDataset(profile);
+}
+
+TEST(PipelineTest, CadAchievesHighF1OnPsmLikeData) {
+  const datasets::LabeledDataset dataset = SmallPsm();
+  core::CadDetector detector(dataset.recommended);
+  const core::DetectionReport report =
+      detector.Detect(dataset.test, &dataset.train).ValueOrDie();
+
+  const eval::BestF1 pa = eval::BestF1Search(
+      report.point_scores, dataset.labels, eval::Adjustment::kPointAdjust, 0.01);
+  const eval::BestF1 dpa =
+      eval::BestF1Search(report.point_scores, dataset.labels,
+                         eval::Adjustment::kDelayPointAdjust, 0.01);
+  EXPECT_GT(pa.f1, 0.8) << "F1_PA too low";
+  EXPECT_GT(dpa.f1, 0.6) << "F1_DPA too low";
+  EXPECT_LE(dpa.f1, pa.f1 + 1e-12);
+}
+
+TEST(PipelineTest, CadSensorAttributionBeatsChance) {
+  const datasets::LabeledDataset dataset = SmallPsm();
+  baselines::CadAdapter adapter(dataset.recommended);
+  ASSERT_TRUE(adapter.Fit(dataset.train).ok());
+  adapter.Score(dataset.test).ValueOrDie();
+
+  std::vector<eval::SensorPrediction> predictions;
+  for (const core::Anomaly& anomaly : adapter.last_report()->anomalies) {
+    predictions.push_back(
+        {{anomaly.start_time, anomaly.end_time}, anomaly.sensors});
+  }
+  const double f1_sensor = eval::SensorF1(predictions, dataset.anomalies);
+  EXPECT_GT(f1_sensor, 0.4);
+}
+
+TEST(PipelineTest, CadDetectsEarlyRelativeToDetectionSpan) {
+  // Every detected anomaly's detection time should fall in the first half of
+  // the overlapping ground-truth segment (early detection, Section VI-G).
+  const datasets::LabeledDataset dataset = SmallPsm();
+  core::CadDetector detector(dataset.recommended);
+  const core::DetectionReport report =
+      detector.Detect(dataset.test, &dataset.train).ValueOrDie();
+
+  int matched = 0, early = 0;
+  for (const eval::SensorGroundTruth& truth : dataset.anomalies) {
+    for (const core::Anomaly& anomaly : report.anomalies) {
+      if (anomaly.start_time < truth.segment.end &&
+          anomaly.end_time > truth.segment.begin) {
+        ++matched;
+        const int midpoint = (truth.segment.begin + truth.segment.end) / 2;
+        if (anomaly.detection_time <= midpoint) ++early;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(matched, 0);
+  EXPECT_GE(early * 2, matched);  // at least half of detections are early
+}
+
+TEST(PipelineTest, DaEComparesCadAgainstEcod) {
+  const datasets::LabeledDataset dataset = SmallPsm();
+
+  auto cad = baselines::MakeMethod("CAD", dataset.recommended, 1);
+  auto ecod = baselines::MakeMethod("ECOD", dataset.recommended, 1);
+  ASSERT_TRUE(cad->Fit(dataset.train).ok());
+  ASSERT_TRUE(ecod->Fit(dataset.train).ok());
+  const std::vector<double> cad_scores = cad->Score(dataset.test).ValueOrDie();
+  const std::vector<double> ecod_scores =
+      ecod->Score(dataset.test).ValueOrDie();
+
+  // Binarize each method at its own best-F1 threshold (paper protocol).
+  auto binarize = [&](const std::vector<double>& scores) {
+    const eval::BestF1 best = eval::BestF1Search(
+        scores, dataset.labels, eval::Adjustment::kDelayPointAdjust, 0.01);
+    eval::Labels pred(scores.size(), 0);
+    for (size_t t = 0; t < scores.size(); ++t) {
+      pred[t] = scores[t] >= best.threshold ? 1 : 0;
+    }
+    return pred;
+  };
+  const eval::AheadMiss result = eval::CompareAheadMiss(
+      binarize(cad_scores), binarize(ecod_scores), dataset.labels);
+  EXPECT_EQ(result.total_anomalies, 4);
+  // CAD should detect most anomalies on this easy profile.
+  EXPECT_GE(result.detected_by_m1, 3);
+  // Sanity on ranges.
+  EXPECT_GE(result.ahead, 0.0);
+  EXPECT_LE(result.ahead, 1.0);
+  EXPECT_GE(result.miss, 0.0);
+  EXPECT_LE(result.miss, 1.0);
+}
+
+TEST(PipelineTest, SmdSubsetWithoutWarmupWorks) {
+  datasets::DatasetProfile profile = datasets::SmdSubsetProfile(2);
+  profile.train_length = 0;  // CAD's SMD protocol: no warm-up
+  profile.test_length = 1200;
+  profile.n_anomalies = 3;
+  const datasets::LabeledDataset dataset = datasets::MakeDataset(profile);
+  ASSERT_FALSE(dataset.has_train());
+
+  core::CadDetector detector(dataset.recommended);
+  const core::DetectionReport report =
+      detector.Detect(dataset.test, nullptr).ValueOrDie();
+  const eval::BestF1 pa = eval::BestF1Search(
+      report.point_scores, dataset.labels, eval::Adjustment::kPointAdjust, 0.01);
+  EXPECT_GT(pa.f1, 0.5);
+}
+
+TEST(PipelineTest, StochasticMethodsVaryDeterministicOnesDoNot) {
+  datasets::DatasetProfile profile = datasets::ProfileByName("PSM").ValueOrDie();
+  profile.train_length = 500;
+  profile.test_length = 700;
+  profile.n_anomalies = 2;
+  const datasets::LabeledDataset dataset = datasets::MakeDataset(profile);
+
+  auto run = [&](const std::string& name, uint64_t seed) {
+    auto method = baselines::MakeMethod(name, dataset.recommended, seed);
+    if (dataset.has_train()) {
+      EXPECT_TRUE(method->Fit(dataset.train).ok());
+    }
+    return method->Score(dataset.test).ValueOrDie();
+  };
+  EXPECT_EQ(run("CAD", 1), run("CAD", 2));
+  EXPECT_EQ(run("ECOD", 1), run("ECOD", 2));
+  EXPECT_NE(run("IForest", 1), run("IForest", 2));
+}
+
+}  // namespace
+}  // namespace cad

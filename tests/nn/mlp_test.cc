@@ -1,0 +1,122 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cad::nn {
+namespace {
+
+MlpOptions SmallAutoencoder(int dim) {
+  MlpOptions options;
+  options.layer_sizes = {dim, 8, 3, 8, dim};
+  options.output_activation = Activation::kSigmoid;
+  options.learning_rate = 5e-3;
+  return options;
+}
+
+TEST(MlpTest, ForwardShapeAndRange) {
+  Rng rng(1);
+  Mlp mlp(SmallAutoencoder(4), &rng);
+  const std::vector<double> input = {0.1, 0.5, 0.9, 0.3};
+  const std::vector<double> out = mlp.Forward(input);
+  ASSERT_EQ(out.size(), 4u);
+  for (double v : out) {
+    EXPECT_GT(v, 0.0);  // sigmoid output
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(MlpTest, DeterministicPerSeed) {
+  Rng rng_a(3), rng_b(3);
+  Mlp a(SmallAutoencoder(4), &rng_a);
+  Mlp b(SmallAutoencoder(4), &rng_b);
+  const std::vector<double> input = {0.2, 0.4, 0.6, 0.8};
+  EXPECT_EQ(a.Forward(input), b.Forward(input));
+}
+
+TEST(MlpTest, DifferentSeedsDifferentNets) {
+  Rng rng_a(3), rng_b(4);
+  Mlp a(SmallAutoencoder(4), &rng_a);
+  Mlp b(SmallAutoencoder(4), &rng_b);
+  const std::vector<double> input = {0.2, 0.4, 0.6, 0.8};
+  EXPECT_NE(a.Forward(input), b.Forward(input));
+}
+
+TEST(MlpTest, LearnsToReconstructAPattern) {
+  Rng rng(7);
+  Mlp mlp(SmallAutoencoder(6), &rng);
+  // Two recurring patterns.
+  const std::vector<std::vector<double>> patterns = {
+      {0.9, 0.1, 0.9, 0.1, 0.9, 0.1},
+      {0.1, 0.9, 0.1, 0.9, 0.1, 0.9},
+  };
+  double initial = 0.0;
+  for (const auto& p : patterns) initial += mlp.Loss(p, p);
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    for (const auto& p : patterns) mlp.TrainStep(p, p);
+  }
+  double trained = 0.0;
+  for (const auto& p : patterns) trained += mlp.Loss(p, p);
+  EXPECT_LT(trained, initial * 0.2);
+  EXPECT_LT(trained / 2.0, 0.01);
+}
+
+TEST(MlpTest, AnomalousInputReconstructsWorse) {
+  Rng rng(9);
+  Mlp mlp(SmallAutoencoder(6), &rng);
+  const std::vector<double> normal = {0.8, 0.2, 0.8, 0.2, 0.8, 0.2};
+  for (int epoch = 0; epoch < 1000; ++epoch) mlp.TrainStep(normal, normal);
+  const std::vector<double> anomaly = {0.2, 0.8, 0.2, 0.8, 0.2, 0.8};
+  EXPECT_LT(mlp.Loss(normal, normal), mlp.Loss(anomaly, anomaly));
+}
+
+TEST(MlpTest, TrainStepReturnsDecreasingLoss) {
+  Rng rng(11);
+  MlpOptions options;
+  options.layer_sizes = {3, 6, 3};
+  options.output_activation = Activation::kIdentity;
+  options.learning_rate = 1e-2;
+  Mlp mlp(options, &rng);
+  const std::vector<double> x = {1.0, -0.5, 0.25};
+  const std::vector<double> y = {0.5, 0.5, -0.5};
+  const double first = mlp.TrainStep(x, y);
+  double last = first;
+  for (int i = 0; i < 300; ++i) last = mlp.TrainStep(x, y);
+  EXPECT_LT(last, first * 0.05);
+}
+
+TEST(MlpTest, InputGradientFlowsBack) {
+  Rng rng(13);
+  MlpOptions options;
+  options.layer_sizes = {2, 4, 2};
+  options.output_activation = Activation::kIdentity;
+  Mlp mlp(options, &rng);
+  std::vector<double> input_gradient;
+  const std::vector<double> x = {0.5, -0.5};
+  const std::vector<double> y = {1.0, 1.0};
+  mlp.TrainStep(x, y, 1.0, &input_gradient);
+  ASSERT_EQ(input_gradient.size(), 2u);
+  // Gradient should be non-trivial for a random net.
+  EXPECT_NE(input_gradient[0], 0.0);
+}
+
+TEST(MlpTest, LossScaleScalesUpdates) {
+  // loss_scale = 0 must freeze the weights.
+  Rng rng(15);
+  MlpOptions options;
+  options.layer_sizes = {2, 3, 2};
+  options.output_activation = Activation::kIdentity;
+  Mlp mlp(options, &rng);
+  const std::vector<double> x = {0.3, 0.7};
+  const std::vector<double> before = mlp.Forward(x);
+  const std::vector<double> target = {5.0, -5.0};
+  mlp.TrainStep(x, target, /*loss_scale=*/0.0);
+  const std::vector<double> after = mlp.Forward(x);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cad::nn

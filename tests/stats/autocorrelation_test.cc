@@ -1,0 +1,75 @@
+#include "stats/autocorrelation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cad::stats {
+namespace {
+
+std::vector<double> Sine(int length, int period, double noise,
+                         cad::Rng* rng) {
+  std::vector<double> x(length);
+  for (int t = 0; t < length; ++t) {
+    x[t] = std::sin(2.0 * M_PI * t / period) +
+           (rng != nullptr ? noise * rng->Gaussian() : 0.0);
+  }
+  return x;
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  cad::Rng rng(31);
+  std::vector<double> x(100);
+  for (double& v : x) v = rng.Gaussian();
+  const std::vector<double> acf = Autocorrelation(x, 10);
+  ASSERT_EQ(acf.size(), 11u);
+  EXPECT_NEAR(acf[0], 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesAllZero) {
+  const std::vector<double> x(50, 4.2);
+  const std::vector<double> acf = Autocorrelation(x, 5);
+  for (double v : acf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AutocorrelationTest, SinePeaksAtPeriod) {
+  const std::vector<double> x = Sine(400, 20, 0.0, nullptr);
+  const std::vector<double> acf = Autocorrelation(x, 50);
+  // ACF of a sinusoid peaks again at the period.
+  EXPECT_GT(acf[20], 0.9);
+  EXPECT_LT(acf[10], 0.0);  // anti-phase at half period
+}
+
+TEST(AutocorrelationTest, MaxLagClampedToLength) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> acf = Autocorrelation(x, 100);
+  EXPECT_EQ(acf.size(), 3u);  // lags 0..2
+}
+
+TEST(DominantPeriodTest, FindsSinePeriod) {
+  const std::vector<double> x = Sine(600, 25, 0.0, nullptr);
+  EXPECT_EQ(EstimateDominantPeriod(x, 4, 100), 25);
+}
+
+TEST(DominantPeriodTest, RobustToModerateNoise) {
+  cad::Rng rng(33);
+  const std::vector<double> x = Sine(800, 30, 0.3, &rng);
+  const int period = EstimateDominantPeriod(x, 4, 120);
+  EXPECT_NEAR(period, 30, 2);
+}
+
+TEST(DominantPeriodTest, FallsBackOnWhiteNoise) {
+  cad::Rng rng(35);
+  std::vector<double> x(500);
+  for (double& v : x) v = rng.Gaussian();
+  // White noise has no prominent ACF peak above 0.5.
+  EXPECT_EQ(EstimateDominantPeriod(x, 4, 100, /*min_acf=*/0.5,
+                                   /*fallback=*/77),
+            77);
+}
+
+}  // namespace
+}  // namespace cad::stats

@@ -1,0 +1,117 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cad::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed: x = {1,2,3}, y = {1,3,2} -> r = 0.5.
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 3, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.5, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {5, 5, 5, 5};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+  EXPECT_EQ(PearsonCorrelation(y, x), 0.0);
+}
+
+TEST(PearsonTest, TooShortGivesZero) {
+  const std::vector<double> x = {1};
+  EXPECT_EQ(PearsonCorrelation(x, x), 0.0);
+}
+
+TEST(PearsonTest, AffineInvariance) {
+  cad::Rng rng(3);
+  std::vector<double> x(64), y(64), y_affine(64);
+  for (int i = 0; i < 64; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = 0.7 * x[i] + 0.3 * rng.Gaussian();
+    y_affine[i] = 5.0 * y[i] - 11.0;  // positive affine transform
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), PearsonCorrelation(x, y_affine),
+              1e-12);
+}
+
+TEST(PearsonTest, SymmetricAndBounded) {
+  cad::Rng rng(4);
+  std::vector<double> x(32), y(32);
+  for (int i = 0; i < 32; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+  }
+  const double r = PearsonCorrelation(x, y);
+  EXPECT_NEAR(r, PearsonCorrelation(y, x), 1e-14);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(CorrelationMatrixTest, MatchesPairwise) {
+  cad::Rng rng(7);
+  const int n = 6, len = 40;
+  ts::MultivariateSeries series(n, len);
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < len; ++t) series.set_value(i, t, rng.Gaussian());
+  }
+  const CorrelationMatrix corr = WindowCorrelationMatrix(series, 5, 30);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(corr.at(i, i), 1.0);
+    for (int j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(corr.at(i, j), corr.at(j, i));
+      const double expected = PearsonCorrelation(series.sensor_window(i, 5, 30),
+                                                 series.sensor_window(j, 5, 30));
+      EXPECT_NEAR(corr.at(i, j), i == j ? 1.0 : expected, 1e-10);
+    }
+  }
+}
+
+TEST(CorrelationMatrixTest, DegenerateSensorRowIsZero) {
+  ts::MultivariateSeries series(2, 10);
+  for (int t = 0; t < 10; ++t) {
+    series.set_value(0, t, 3.0);               // constant
+    series.set_value(1, t, static_cast<double>(t));
+  }
+  const CorrelationMatrix corr = WindowCorrelationMatrix(series, 0, 10);
+  EXPECT_EQ(corr.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(corr.at(0, 0), 1.0);
+}
+
+TEST(CorrelationMatrixTest, CorrelatedGroupDetected) {
+  // Two sensors driven by one factor correlate strongly; the third is
+  // independent noise.
+  cad::Rng rng(11);
+  const int len = 200;
+  ts::MultivariateSeries series(3, len);
+  for (int t = 0; t < len; ++t) {
+    const double f = rng.Gaussian();
+    series.set_value(0, t, f + 0.1 * rng.Gaussian());
+    series.set_value(1, t, -f + 0.1 * rng.Gaussian());
+    series.set_value(2, t, rng.Gaussian());
+  }
+  const CorrelationMatrix corr = WindowCorrelationMatrix(series, 0, len);
+  EXPECT_LT(corr.at(0, 1), -0.9);
+  EXPECT_LT(std::abs(corr.at(0, 2)), 0.3);
+}
+
+}  // namespace
+}  // namespace cad::stats

@@ -1,0 +1,64 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cad::stats {
+namespace {
+
+TEST(EcdfTest, LeftAndRightProbabilities) {
+  const std::vector<double> sample = {1, 2, 3, 4, 5};
+  const Ecdf ecdf(sample);
+  EXPECT_DOUBLE_EQ(ecdf.Left(3.0), 0.6);   // P(X <= 3) = 3/5
+  EXPECT_DOUBLE_EQ(ecdf.Right(3.0), 0.6);  // P(X >= 3) = 3/5
+  EXPECT_DOUBLE_EQ(ecdf.Left(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Right(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Left(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Right(10.0), 0.0);
+}
+
+TEST(EcdfTest, HandlesDuplicates) {
+  const std::vector<double> sample = {2, 2, 2, 5};
+  const Ecdf ecdf(sample);
+  EXPECT_DOUBLE_EQ(ecdf.Left(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.Right(2.0), 1.0);
+}
+
+TEST(EcdfTest, EmptySampleIsZero) {
+  const Ecdf ecdf(std::vector<double>{});
+  EXPECT_EQ(ecdf.Left(1.0), 0.0);
+  EXPECT_EQ(ecdf.Right(1.0), 0.0);
+  EXPECT_EQ(ecdf.sample_size(), 0u);
+}
+
+TEST(EcdfTest, UnsortedInputAccepted) {
+  const std::vector<double> sample = {5, 1, 3, 2, 4};
+  const Ecdf ecdf(sample);
+  EXPECT_DOUBLE_EQ(ecdf.Left(2.5), 0.4);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  const std::vector<double> sample = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(sample, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(sample, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(sample, 0.5), 25.0);  // interpolated
+}
+
+TEST(QuantileTest, SingleElement) {
+  const std::vector<double> sample = {7.0};
+  EXPECT_DOUBLE_EQ(Quantile(sample, 0.25), 7.0);
+}
+
+TEST(QuantileTest, MonotoneInQ) {
+  const std::vector<double> sample = {3, 1, 4, 1, 5, 9, 2, 6};
+  double prev = Quantile(sample, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double v = Quantile(sample, q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace cad::stats

@@ -1,0 +1,96 @@
+#include "stats/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cad::stats {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  SymmetricMatrix m(3);
+  m.set(0, 0, 3.0);
+  m.set(1, 1, 1.0);
+  m.set(2, 2, 2.0);
+  const EigenDecomposition eig = JacobiEigen(m);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);  // descending order
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors along
+  // (1,1)/sqrt2 and (1,-1)/sqrt2.
+  SymmetricMatrix m(2);
+  m.set(0, 0, 2.0);
+  m.set(1, 1, 2.0);
+  m.set(0, 1, 1.0);
+  const EigenDecomposition eig = JacobiEigen(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(eig.vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(eig.vectors[0][1]), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(JacobiEigenTest, ReconstructsRandomSymmetricMatrix) {
+  cad::Rng rng(9);
+  const int n = 12;
+  SymmetricMatrix m(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) m.set(i, j, rng.Gaussian());
+  }
+  const EigenDecomposition eig = JacobiEigen(m);
+  // A = sum_k lambda_k v_k v_k^T must reproduce the input.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double reconstructed = 0.0;
+      for (int k = 0; k < n; ++k) {
+        reconstructed += eig.values[k] * eig.vectors[k][i] * eig.vectors[k][j];
+      }
+      EXPECT_NEAR(reconstructed, m.at(i, j), 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  cad::Rng rng(10);
+  const int n = 8;
+  SymmetricMatrix m(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) m.set(i, j, rng.Uniform(-1.0, 1.0));
+  }
+  const EigenDecomposition eig = JacobiEigen(m);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += eig.vectors[a][i] * eig.vectors[b][i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, PsdCovarianceHasNonNegativeEigenvalues) {
+  // Gram matrix of random vectors is PSD.
+  cad::Rng rng(11);
+  const int n = 6, samples = 40;
+  std::vector<std::vector<double>> data(samples, std::vector<double>(n));
+  for (auto& row : data) {
+    for (double& v : row) v = rng.Gaussian();
+  }
+  SymmetricMatrix cov(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double sum = 0.0;
+      for (int s = 0; s < samples; ++s) sum += data[s][i] * data[s][j];
+      cov.set(i, j, sum / samples);
+    }
+  }
+  const EigenDecomposition eig = JacobiEigen(cov);
+  for (double lambda : eig.values) EXPECT_GE(lambda, -1e-10);
+}
+
+}  // namespace
+}  // namespace cad::stats

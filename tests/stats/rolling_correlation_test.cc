@@ -1,0 +1,118 @@
+#include "stats/rolling_correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace cad::stats {
+namespace {
+
+ts::MultivariateSeries RandomSeries(int n, int length, uint64_t seed) {
+  cad::Rng rng(seed);
+  ts::MultivariateSeries series(n, length);
+  double f = 0.0;
+  for (int t = 0; t < length; ++t) {
+    f = 0.7 * f + 0.7 * rng.Gaussian();
+    for (int i = 0; i < n; ++i) {
+      series.set_value(i, t, (i % 2 == 0 ? f : -f) + 0.3 * rng.Gaussian());
+    }
+  }
+  return series;
+}
+
+TEST(RollingCorrelationTest, ResetMatchesDirectComputation) {
+  const ts::MultivariateSeries series = RandomSeries(8, 300, 1);
+  RollingCorrelationTracker tracker(8, 64);
+  tracker.Reset(series, 50);
+  const CorrelationMatrix rolling = tracker.Correlations();
+  const CorrelationMatrix direct = WindowCorrelationMatrix(series, 50, 64);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(rolling.at(i, j), direct.at(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(RollingCorrelationTest, SlidesMatchDirectAtEveryStep) {
+  const ts::MultivariateSeries series = RandomSeries(6, 500, 2);
+  const int w = 48, s = 4;
+  RollingCorrelationTracker tracker(6, w);
+  tracker.Reset(series, 0);
+  for (int start = s; start + w <= series.length(); start += s) {
+    tracker.SlideTo(series, start);
+    const CorrelationMatrix rolling = tracker.Correlations();
+    const CorrelationMatrix direct = WindowCorrelationMatrix(series, start, w);
+    for (int i = 0; i < 6; ++i) {
+      for (int j = i + 1; j < 6; ++j) {
+        ASSERT_NEAR(rolling.at(i, j), direct.at(i, j), 1e-9)
+            << "start=" << start;
+      }
+    }
+  }
+}
+
+TEST(RollingCorrelationTest, DriftBoundedOverManySlides) {
+  // Hundreds of slides with step 1 — the worst case for accumulation error;
+  // the periodic refresh keeps the drift microscopic.
+  const ts::MultivariateSeries series = RandomSeries(4, 2000, 3);
+  const int w = 64;
+  RollingCorrelationTracker tracker(4, w, /*refresh_interval=*/64);
+  tracker.Reset(series, 0);
+  double max_error = 0.0;
+  for (int start = 1; start + w <= series.length(); ++start) {
+    tracker.SlideTo(series, start);
+    const CorrelationMatrix rolling = tracker.Correlations();
+    const CorrelationMatrix direct = WindowCorrelationMatrix(series, start, w);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        max_error = std::max(max_error,
+                             std::abs(rolling.at(i, j) - direct.at(i, j)));
+      }
+    }
+  }
+  EXPECT_LT(max_error, 1e-8);
+}
+
+TEST(RollingCorrelationTest, NonOverlappingSlideFallsBackToReset) {
+  const ts::MultivariateSeries series = RandomSeries(4, 400, 4);
+  RollingCorrelationTracker tracker(4, 50);
+  tracker.Reset(series, 0);
+  tracker.SlideTo(series, 200);  // disjoint from [0, 50): internal reset
+  EXPECT_EQ(tracker.start(), 200);
+  const CorrelationMatrix rolling = tracker.Correlations();
+  const CorrelationMatrix direct = WindowCorrelationMatrix(series, 200, 50);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(rolling.at(i, j), direct.at(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(RollingCorrelationTest, BackwardSlideAlsoResets) {
+  const ts::MultivariateSeries series = RandomSeries(3, 300, 5);
+  RollingCorrelationTracker tracker(3, 40);
+  tracker.Reset(series, 100);
+  tracker.SlideTo(series, 60);
+  EXPECT_EQ(tracker.start(), 60);
+  const CorrelationMatrix direct = WindowCorrelationMatrix(series, 60, 40);
+  EXPECT_NEAR(tracker.Correlations().at(0, 1), direct.at(0, 1), 1e-10);
+}
+
+TEST(RollingCorrelationTest, ConstantSensorStaysZero) {
+  ts::MultivariateSeries series(2, 200);
+  cad::Rng rng(6);
+  for (int t = 0; t < 200; ++t) {
+    series.set_value(0, t, 5.0);
+    series.set_value(1, t, rng.Gaussian());
+  }
+  RollingCorrelationTracker tracker(2, 32);
+  tracker.Reset(series, 0);
+  tracker.SlideTo(series, 8);
+  EXPECT_EQ(tracker.Correlations().at(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace cad::stats

@@ -1,0 +1,106 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cad::stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(7.5);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_EQ(stats.mean(), 7.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 7.5);
+  EXPECT_EQ(stats.max(), 7.5);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  cad::Rng rng(21);
+  std::vector<double> values(1000);
+  RunningStats stats;
+  for (double& v : values) {
+    v = rng.Gaussian(3.0, 2.0);
+    stats.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-9);
+  EXPECT_NEAR(stats.sample_variance(), var * 1000.0 / 999.0, 1e-9);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  cad::Rng rng(22);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian();
+    all.Add(v);
+    (i < 200 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // empty rhs: unchanged
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.mean(), 2.0);
+  b.Merge(a_copy);  // empty lhs: becomes rhs
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(RollingStatsTest, WindowEviction) {
+  RollingStats rolling(3);
+  rolling.Add(1.0);
+  rolling.Add(2.0);
+  rolling.Add(3.0);
+  EXPECT_TRUE(rolling.full());
+  EXPECT_DOUBLE_EQ(rolling.mean(), 2.0);
+  rolling.Add(10.0);  // evicts 1.0 -> {2, 3, 10}
+  EXPECT_DOUBLE_EQ(rolling.mean(), 5.0);
+  EXPECT_EQ(rolling.size(), 3u);
+}
+
+TEST(RollingStatsTest, VarianceMatchesWindow) {
+  RollingStats rolling(4);
+  for (double v : {2.0, 4.0, 6.0, 8.0}) rolling.Add(v);
+  // Population variance of {2,4,6,8} = 5.
+  EXPECT_NEAR(rolling.variance(), 5.0, 1e-12);
+  EXPECT_NEAR(rolling.stddev(), std::sqrt(5.0), 1e-12);
+}
+
+TEST(RollingStatsTest, NonNegativeVarianceUnderCancellation) {
+  RollingStats rolling(8);
+  for (int i = 0; i < 100; ++i) rolling.Add(1e9 + 0.001 * (i % 2));
+  EXPECT_GE(rolling.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace cad::stats

@@ -1,0 +1,94 @@
+#include "ts/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace cad::ts {
+namespace {
+
+TEST(CsvTest, ParseWithHeader) {
+  auto series = ParseCsv("a,b\n1,2\n3,4\n5,6\n");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value().n_sensors(), 2);
+  EXPECT_EQ(series.value().length(), 3);
+  EXPECT_EQ(series.value().sensor_name(0), "a");
+  EXPECT_EQ(series.value().value(1, 2), 6.0);  // sensor b, t=2
+}
+
+TEST(CsvTest, ParseWithoutHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  auto series = ParseCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value().length(), 2);
+  EXPECT_EQ(series.value().sensor_name(0), "s1");
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto series = ParseCsv("a,b\n1,2\n\n3,4\n\n");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value().length(), 2);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto series = ParseCsv("a,b\n1,2\n3\n");
+  EXPECT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  auto series = ParseCsv("a,b\n1,two\n");
+  EXPECT_FALSE(series.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("only,a,header\n").ok());
+}
+
+TEST(CsvTest, ParsesScientificAndNegative) {
+  auto series = ParseCsv("x\n-1.5\n2e3\n+0.25\n");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value().value(0, 0), -1.5);
+  EXPECT_EQ(series.value().value(0, 1), 2000.0);
+  EXPECT_EQ(series.value().value(0, 2), 0.25);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto series = ParseCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value().n_sensors(), 2);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  auto original =
+      MultivariateSeries::FromRows({{1.5, -2.25, 3}, {4, 5, 6.125}})
+          .ValueOrDie();
+  original.set_sensor_name(0, "pressure");
+  const std::string path = ::testing::TempDir() + "/cad_csv_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().n_sensors(), 2);
+  EXPECT_EQ(loaded.value().length(), 3);
+  EXPECT_EQ(loaded.value().sensor_name(0), "pressure");
+  for (int i = 0; i < 2; ++i) {
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_DOUBLE_EQ(loaded.value().value(i, t), original.value(i, t));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsIoError) {
+  auto series = ReadCsv("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cad::ts

@@ -1,0 +1,93 @@
+#include "ts/multivariate_series.h"
+
+#include <gtest/gtest.h>
+
+namespace cad::ts {
+namespace {
+
+TEST(MultivariateSeriesTest, ZeroInitialized) {
+  MultivariateSeries series(3, 5);
+  EXPECT_EQ(series.n_sensors(), 3);
+  EXPECT_EQ(series.length(), 5);
+  EXPECT_FALSE(series.empty());
+  for (int i = 0; i < 3; ++i) {
+    for (int t = 0; t < 5; ++t) EXPECT_EQ(series.value(i, t), 0.0);
+  }
+}
+
+TEST(MultivariateSeriesTest, DefaultIsEmpty) {
+  MultivariateSeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.n_sensors(), 0);
+}
+
+TEST(MultivariateSeriesTest, FromRowsRoundTrips) {
+  auto series = MultivariateSeries::FromRows({{1, 2, 3}, {4, 5, 6}});
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value().value(0, 2), 3.0);
+  EXPECT_EQ(series.value().value(1, 0), 4.0);
+}
+
+TEST(MultivariateSeriesTest, FromRowsRejectsRagged) {
+  auto series = MultivariateSeries::FromRows({{1, 2, 3}, {4, 5}});
+  EXPECT_FALSE(series.ok());
+  EXPECT_EQ(series.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultivariateSeriesTest, SensorSpanIsContiguous) {
+  auto series =
+      MultivariateSeries::FromRows({{1, 2, 3, 4}, {5, 6, 7, 8}}).ValueOrDie();
+  auto row = series.sensor(1);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], 5.0);
+  EXPECT_EQ(row[3], 8.0);
+}
+
+TEST(MultivariateSeriesTest, SensorWindowSlices) {
+  auto series =
+      MultivariateSeries::FromRows({{1, 2, 3, 4, 5}}).ValueOrDie();
+  auto window = series.sensor_window(0, 1, 3);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0], 2.0);
+  EXPECT_EQ(window[2], 4.0);
+}
+
+TEST(MultivariateSeriesTest, DefaultSensorNames) {
+  MultivariateSeries series(2, 1);
+  EXPECT_EQ(series.sensor_name(0), "s1");
+  EXPECT_EQ(series.sensor_name(1), "s2");
+  series.set_sensor_name(0, "temp");
+  EXPECT_EQ(series.sensor_name(0), "temp");
+}
+
+TEST(MultivariateSeriesTest, SliceCopiesSubMatrix) {
+  auto series =
+      MultivariateSeries::FromRows({{1, 2, 3, 4}, {5, 6, 7, 8}}).ValueOrDie();
+  auto slice = series.Slice(1, 2);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice.value().length(), 2);
+  EXPECT_EQ(slice.value().value(0, 0), 2.0);
+  EXPECT_EQ(slice.value().value(1, 1), 7.0);
+}
+
+TEST(MultivariateSeriesTest, SliceOutOfRangeFails) {
+  MultivariateSeries series(1, 4);
+  EXPECT_FALSE(series.Slice(3, 2).ok());
+  EXPECT_FALSE(series.Slice(-1, 2).ok());
+}
+
+TEST(MultivariateSeriesTest, AppendInTime) {
+  auto a = MultivariateSeries::FromRows({{1, 2}}).ValueOrDie();
+  auto b = MultivariateSeries::FromRows({{3, 4, 5}}).ValueOrDie();
+  ASSERT_TRUE(a.AppendInTime(b).ok());
+  EXPECT_EQ(a.length(), 5);
+  EXPECT_EQ(a.value(0, 4), 5.0);
+}
+
+TEST(MultivariateSeriesTest, AppendRejectsSensorMismatch) {
+  MultivariateSeries a(2, 3), b(3, 3);
+  EXPECT_FALSE(a.AppendInTime(b).ok());
+}
+
+}  // namespace
+}  // namespace cad::ts

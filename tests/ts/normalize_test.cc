@@ -1,0 +1,58 @@
+#include "ts/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cad::ts {
+namespace {
+
+TEST(NormalizeTest, ZScoreCentersAndScales) {
+  auto series =
+      MultivariateSeries::FromRows({{2, 4, 6, 8}, {10, 10, 10, 10}})
+          .ValueOrDie();
+  const Scaler scaler = FitZScore(series);
+  const MultivariateSeries scaled = Apply(scaler, series);
+  // Sensor 0: mean 5, population std sqrt(5).
+  double mean = 0.0, var = 0.0;
+  for (int t = 0; t < 4; ++t) mean += scaled.value(0, t);
+  mean /= 4.0;
+  for (int t = 0; t < 4; ++t) {
+    var += (scaled.value(0, t) - mean) * (scaled.value(0, t) - mean);
+  }
+  var /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+  // Constant sensor maps to 0, not NaN.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(scaled.value(1, t), 0.0);
+  }
+}
+
+TEST(NormalizeTest, MinMaxMapsToUnitInterval) {
+  auto series = MultivariateSeries::FromRows({{-4, 0, 4}}).ValueOrDie();
+  const MultivariateSeries scaled = Apply(FitMinMax(series), series);
+  EXPECT_DOUBLE_EQ(scaled.value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.value(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(scaled.value(0, 2), 1.0);
+}
+
+TEST(NormalizeTest, ScalerFitOnTrainAppliesToTest) {
+  auto train = MultivariateSeries::FromRows({{0, 10}}).ValueOrDie();
+  auto test = MultivariateSeries::FromRows({{20}}).ValueOrDie();
+  // Min-max fitted on train: test values can exceed [0, 1] — no re-fitting.
+  const MultivariateSeries scaled = Apply(FitMinMax(train), test);
+  EXPECT_DOUBLE_EQ(scaled.value(0, 0), 2.0);
+}
+
+TEST(NormalizeTest, ConstantSensorMinMaxSafe) {
+  auto series = MultivariateSeries::FromRows({{3, 3, 3}}).ValueOrDie();
+  const MultivariateSeries scaled = Apply(FitMinMax(series), series);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_FALSE(std::isnan(scaled.value(0, t)));
+    EXPECT_EQ(scaled.value(0, t), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cad::ts

@@ -1,0 +1,89 @@
+#include "ts/window.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace cad::ts {
+namespace {
+
+TEST(WindowPlanTest, PaperFormulaExactDivision) {
+  // R = (|T| - w) / s + 1 when (|T| - w) % s == 0.
+  auto plan = WindowPlan::Make(100, 20, 10).ValueOrDie();
+  EXPECT_EQ(plan.rounds(), 9);
+  EXPECT_EQ(plan.start(0), 0);
+  EXPECT_EQ(plan.end(0), 20);
+  EXPECT_EQ(plan.start(8), 80);
+  EXPECT_EQ(plan.end(8), 100);
+}
+
+TEST(WindowPlanTest, TailTrimmedWhenNotDivisible) {
+  // The paper drops trailing columns when (|T|-w) % s != 0.
+  auto plan = WindowPlan::Make(105, 20, 10).ValueOrDie();
+  EXPECT_EQ(plan.rounds(), 9);
+  EXPECT_EQ(plan.end(plan.rounds() - 1), 100);  // last 5 points unused
+}
+
+TEST(WindowPlanTest, SingleRoundWhenWindowEqualsLength) {
+  auto plan = WindowPlan::Make(50, 50, 5).ValueOrDie();
+  EXPECT_EQ(plan.rounds(), 1);
+}
+
+TEST(WindowPlanTest, RejectsStepNotSmallerThanWindow) {
+  EXPECT_FALSE(WindowPlan::Make(100, 10, 10).ok());
+  EXPECT_FALSE(WindowPlan::Make(100, 10, 11).ok());
+}
+
+TEST(WindowPlanTest, RejectsNonPositive) {
+  EXPECT_FALSE(WindowPlan::Make(100, 0, 1).ok());
+  EXPECT_FALSE(WindowPlan::Make(100, 10, 0).ok());
+}
+
+TEST(WindowPlanTest, RejectsWindowLargerThanSeries) {
+  EXPECT_FALSE(WindowPlan::Make(9, 10, 2).ok());
+}
+
+TEST(WindowPlanTest, LastCompleteRound) {
+  auto plan = WindowPlan::Make(100, 20, 10).ValueOrDie();
+  EXPECT_EQ(plan.LastCompleteRoundAt(10), -1);   // no window fits yet
+  EXPECT_EQ(plan.LastCompleteRoundAt(19), 0);    // first window closes at 19
+  EXPECT_EQ(plan.LastCompleteRoundAt(28), 0);
+  EXPECT_EQ(plan.LastCompleteRoundAt(29), 1);
+  EXPECT_EQ(plan.LastCompleteRoundAt(99), 8);
+  EXPECT_EQ(plan.LastCompleteRoundAt(500), 8);   // clamped to last round
+}
+
+// Property sweep over many (length, window, step) combinations: every round
+// must lie within the series, consecutive rounds advance by exactly `step`,
+// and R matches the paper's floor formula.
+class WindowSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WindowSweep, RoundsAreConsistent) {
+  const auto [length, window, step] = GetParam();
+  auto plan_result = WindowPlan::Make(length, window, step);
+  ASSERT_TRUE(plan_result.ok());
+  const WindowPlan& plan = plan_result.value();
+  EXPECT_EQ(plan.rounds(), (length - window) / step + 1);
+  for (int r = 0; r < plan.rounds(); ++r) {
+    EXPECT_GE(plan.start(r), 0);
+    EXPECT_LE(plan.end(r), length);
+    EXPECT_EQ(plan.end(r) - plan.start(r), window);
+    if (r > 0) {
+      EXPECT_EQ(plan.start(r) - plan.start(r - 1), step);
+    }
+    // The round is the most recent complete round at its own end time.
+    EXPECT_EQ(plan.LastCompleteRoundAt(plan.end(r) - 1) >= r, true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WindowSweep,
+    ::testing::Values(std::make_tuple(100, 20, 10),
+                      std::make_tuple(1000, 100, 2),
+                      std::make_tuple(57, 8, 3), std::make_tuple(64, 32, 1),
+                      std::make_tuple(999, 50, 7),
+                      std::make_tuple(33, 32, 31)));
+
+}  // namespace
+}  // namespace cad::ts
