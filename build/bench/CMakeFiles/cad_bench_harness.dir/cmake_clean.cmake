@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_bench_harness.dir/harness/harness.cc.o"
+  "CMakeFiles/cad_bench_harness.dir/harness/harness.cc.o.d"
+  "libcad_bench_harness.a"
+  "libcad_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_methods.dir/extended_methods.cc.o"
+  "CMakeFiles/extended_methods.dir/extended_methods.cc.o.d"
+  "extended_methods"
+  "extended_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ahead_miss_smd.dir/fig4_ahead_miss_smd.cc.o"
+  "CMakeFiles/fig4_ahead_miss_smd.dir/fig4_ahead_miss_smd.cc.o.d"
+  "fig4_ahead_miss_smd"
+  "fig4_ahead_miss_smd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ahead_miss_smd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_ahead_miss_smd.
+# This may be replaced when dependencies are built.

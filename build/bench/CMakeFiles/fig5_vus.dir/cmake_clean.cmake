@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vus.dir/fig5_vus.cc.o"
+  "CMakeFiles/fig5_vus.dir/fig5_vus.cc.o.d"
+  "fig5_vus"
+  "fig5_vus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

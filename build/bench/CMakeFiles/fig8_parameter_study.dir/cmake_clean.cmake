@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_parameter_study.dir/fig8_parameter_study.cc.o"
+  "CMakeFiles/fig8_parameter_study.dir/fig8_parameter_study.cc.o.d"
+  "fig8_parameter_study"
+  "fig8_parameter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_parameter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_smd.dir/table4_smd.cc.o"
+  "CMakeFiles/table4_smd.dir/table4_smd.cc.o.d"
+  "table4_smd"
+  "table4_smd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_smd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

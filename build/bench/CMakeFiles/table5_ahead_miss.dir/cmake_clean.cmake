@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ahead_miss.dir/table5_ahead_miss.cc.o"
+  "CMakeFiles/table5_ahead_miss.dir/table5_ahead_miss.cc.o.d"
+  "table5_ahead_miss"
+  "table5_ahead_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ahead_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

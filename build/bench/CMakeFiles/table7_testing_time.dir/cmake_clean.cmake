@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_testing_time.dir/table7_testing_time.cc.o"
+  "CMakeFiles/table7_testing_time.dir/table7_testing_time.cc.o.d"
+  "table7_testing_time"
+  "table7_testing_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_testing_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

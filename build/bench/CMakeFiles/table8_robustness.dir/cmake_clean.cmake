@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_robustness.dir/table8_robustness.cc.o"
+  "CMakeFiles/table8_robustness.dir/table8_robustness.cc.o.d"
+  "table8_robustness"
+  "table8_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

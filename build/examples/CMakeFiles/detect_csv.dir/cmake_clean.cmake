@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_csv.dir/detect_csv.cpp.o"
+  "CMakeFiles/detect_csv.dir/detect_csv.cpp.o.d"
+  "detect_csv"
+  "detect_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/copod.cc" "src/baselines/CMakeFiles/cad_baselines.dir/copod.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/copod.cc.o.d"
+  "/root/repo/src/baselines/detector.cc" "src/baselines/CMakeFiles/cad_baselines.dir/detector.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/detector.cc.o.d"
+  "/root/repo/src/baselines/ecod.cc" "src/baselines/CMakeFiles/cad_baselines.dir/ecod.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/ecod.cc.o.d"
+  "/root/repo/src/baselines/hbos.cc" "src/baselines/CMakeFiles/cad_baselines.dir/hbos.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/hbos.cc.o.d"
+  "/root/repo/src/baselines/iforest.cc" "src/baselines/CMakeFiles/cad_baselines.dir/iforest.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/iforest.cc.o.d"
+  "/root/repo/src/baselines/knn.cc" "src/baselines/CMakeFiles/cad_baselines.dir/knn.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/knn.cc.o.d"
+  "/root/repo/src/baselines/loda.cc" "src/baselines/CMakeFiles/cad_baselines.dir/loda.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/loda.cc.o.d"
+  "/root/repo/src/baselines/lof.cc" "src/baselines/CMakeFiles/cad_baselines.dir/lof.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/lof.cc.o.d"
+  "/root/repo/src/baselines/matrix_profile.cc" "src/baselines/CMakeFiles/cad_baselines.dir/matrix_profile.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/matrix_profile.cc.o.d"
+  "/root/repo/src/baselines/method_registry.cc" "src/baselines/CMakeFiles/cad_baselines.dir/method_registry.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/method_registry.cc.o.d"
+  "/root/repo/src/baselines/norma.cc" "src/baselines/CMakeFiles/cad_baselines.dir/norma.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/norma.cc.o.d"
+  "/root/repo/src/baselines/parallel_ensemble.cc" "src/baselines/CMakeFiles/cad_baselines.dir/parallel_ensemble.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/parallel_ensemble.cc.o.d"
+  "/root/repo/src/baselines/pca_detector.cc" "src/baselines/CMakeFiles/cad_baselines.dir/pca_detector.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/pca_detector.cc.o.d"
+  "/root/repo/src/baselines/rcoders.cc" "src/baselines/CMakeFiles/cad_baselines.dir/rcoders.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/rcoders.cc.o.d"
+  "/root/repo/src/baselines/s2g.cc" "src/baselines/CMakeFiles/cad_baselines.dir/s2g.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/s2g.cc.o.d"
+  "/root/repo/src/baselines/sand.cc" "src/baselines/CMakeFiles/cad_baselines.dir/sand.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/sand.cc.o.d"
+  "/root/repo/src/baselines/subsequence.cc" "src/baselines/CMakeFiles/cad_baselines.dir/subsequence.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/subsequence.cc.o.d"
+  "/root/repo/src/baselines/univariate.cc" "src/baselines/CMakeFiles/cad_baselines.dir/univariate.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/univariate.cc.o.d"
+  "/root/repo/src/baselines/usad.cc" "src/baselines/CMakeFiles/cad_baselines.dir/usad.cc.o" "gcc" "src/baselines/CMakeFiles/cad_baselines.dir/usad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/cad_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cad_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cad_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcad_baselines.a"
+)

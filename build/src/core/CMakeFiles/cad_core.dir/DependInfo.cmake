@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cad_detector.cc" "src/core/CMakeFiles/cad_core.dir/cad_detector.cc.o" "gcc" "src/core/CMakeFiles/cad_core.dir/cad_detector.cc.o.d"
+  "/root/repo/src/core/co_appearance.cc" "src/core/CMakeFiles/cad_core.dir/co_appearance.cc.o" "gcc" "src/core/CMakeFiles/cad_core.dir/co_appearance.cc.o.d"
+  "/root/repo/src/core/report_io.cc" "src/core/CMakeFiles/cad_core.dir/report_io.cc.o" "gcc" "src/core/CMakeFiles/cad_core.dir/report_io.cc.o.d"
+  "/root/repo/src/core/round_processor.cc" "src/core/CMakeFiles/cad_core.dir/round_processor.cc.o" "gcc" "src/core/CMakeFiles/cad_core.dir/round_processor.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/cad_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/cad_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/cad_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cad_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cad_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

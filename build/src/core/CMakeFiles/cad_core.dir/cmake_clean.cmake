@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_core.dir/cad_detector.cc.o"
+  "CMakeFiles/cad_core.dir/cad_detector.cc.o.d"
+  "CMakeFiles/cad_core.dir/co_appearance.cc.o"
+  "CMakeFiles/cad_core.dir/co_appearance.cc.o.d"
+  "CMakeFiles/cad_core.dir/report_io.cc.o"
+  "CMakeFiles/cad_core.dir/report_io.cc.o.d"
+  "CMakeFiles/cad_core.dir/round_processor.cc.o"
+  "CMakeFiles/cad_core.dir/round_processor.cc.o.d"
+  "CMakeFiles/cad_core.dir/streaming.cc.o"
+  "CMakeFiles/cad_core.dir/streaming.cc.o.d"
+  "libcad_core.a"
+  "libcad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

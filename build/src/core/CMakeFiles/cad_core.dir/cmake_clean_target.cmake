@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcad_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_datasets.dir/anomaly_injector.cc.o"
+  "CMakeFiles/cad_datasets.dir/anomaly_injector.cc.o.d"
+  "CMakeFiles/cad_datasets.dir/dataset_io.cc.o"
+  "CMakeFiles/cad_datasets.dir/dataset_io.cc.o.d"
+  "CMakeFiles/cad_datasets.dir/generator.cc.o"
+  "CMakeFiles/cad_datasets.dir/generator.cc.o.d"
+  "CMakeFiles/cad_datasets.dir/registry.cc.o"
+  "CMakeFiles/cad_datasets.dir/registry.cc.o.d"
+  "libcad_datasets.a"
+  "libcad_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

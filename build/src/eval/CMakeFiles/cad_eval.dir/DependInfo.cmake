@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/adjust.cc" "src/eval/CMakeFiles/cad_eval.dir/adjust.cc.o" "gcc" "src/eval/CMakeFiles/cad_eval.dir/adjust.cc.o.d"
+  "/root/repo/src/eval/ahead_miss.cc" "src/eval/CMakeFiles/cad_eval.dir/ahead_miss.cc.o" "gcc" "src/eval/CMakeFiles/cad_eval.dir/ahead_miss.cc.o.d"
+  "/root/repo/src/eval/range_metrics.cc" "src/eval/CMakeFiles/cad_eval.dir/range_metrics.cc.o" "gcc" "src/eval/CMakeFiles/cad_eval.dir/range_metrics.cc.o.d"
+  "/root/repo/src/eval/sensor_eval.cc" "src/eval/CMakeFiles/cad_eval.dir/sensor_eval.cc.o" "gcc" "src/eval/CMakeFiles/cad_eval.dir/sensor_eval.cc.o.d"
+  "/root/repo/src/eval/threshold.cc" "src/eval/CMakeFiles/cad_eval.dir/threshold.cc.o" "gcc" "src/eval/CMakeFiles/cad_eval.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_eval.dir/adjust.cc.o"
+  "CMakeFiles/cad_eval.dir/adjust.cc.o.d"
+  "CMakeFiles/cad_eval.dir/ahead_miss.cc.o"
+  "CMakeFiles/cad_eval.dir/ahead_miss.cc.o.d"
+  "CMakeFiles/cad_eval.dir/range_metrics.cc.o"
+  "CMakeFiles/cad_eval.dir/range_metrics.cc.o.d"
+  "CMakeFiles/cad_eval.dir/sensor_eval.cc.o"
+  "CMakeFiles/cad_eval.dir/sensor_eval.cc.o.d"
+  "CMakeFiles/cad_eval.dir/threshold.cc.o"
+  "CMakeFiles/cad_eval.dir/threshold.cc.o.d"
+  "libcad_eval.a"
+  "libcad_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

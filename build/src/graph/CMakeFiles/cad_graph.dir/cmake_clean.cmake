@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_graph.dir/knn_graph.cc.o"
+  "CMakeFiles/cad_graph.dir/knn_graph.cc.o.d"
+  "CMakeFiles/cad_graph.dir/louvain.cc.o"
+  "CMakeFiles/cad_graph.dir/louvain.cc.o.d"
+  "libcad_graph.a"
+  "libcad_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_nn.dir/mlp.cc.o"
+  "CMakeFiles/cad_nn.dir/mlp.cc.o.d"
+  "libcad_nn.a"
+  "libcad_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cc" "src/stats/CMakeFiles/cad_stats.dir/autocorrelation.cc.o" "gcc" "src/stats/CMakeFiles/cad_stats.dir/autocorrelation.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/cad_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/cad_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/eigen.cc" "src/stats/CMakeFiles/cad_stats.dir/eigen.cc.o" "gcc" "src/stats/CMakeFiles/cad_stats.dir/eigen.cc.o.d"
+  "/root/repo/src/stats/rolling_correlation.cc" "src/stats/CMakeFiles/cad_stats.dir/rolling_correlation.cc.o" "gcc" "src/stats/CMakeFiles/cad_stats.dir/rolling_correlation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/cad_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

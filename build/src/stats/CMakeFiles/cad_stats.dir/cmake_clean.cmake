@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_stats.dir/autocorrelation.cc.o"
+  "CMakeFiles/cad_stats.dir/autocorrelation.cc.o.d"
+  "CMakeFiles/cad_stats.dir/correlation.cc.o"
+  "CMakeFiles/cad_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/cad_stats.dir/eigen.cc.o"
+  "CMakeFiles/cad_stats.dir/eigen.cc.o.d"
+  "CMakeFiles/cad_stats.dir/rolling_correlation.cc.o"
+  "CMakeFiles/cad_stats.dir/rolling_correlation.cc.o.d"
+  "libcad_stats.a"
+  "libcad_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_ts.dir/csv.cc.o"
+  "CMakeFiles/cad_ts.dir/csv.cc.o.d"
+  "CMakeFiles/cad_ts.dir/normalize.cc.o"
+  "CMakeFiles/cad_ts.dir/normalize.cc.o.d"
+  "libcad_ts.a"
+  "libcad_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/cad_detector_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cad_detector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cad_options_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cad_options_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/co_appearance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/co_appearance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/metamorphic_test.cc.o"
+  "CMakeFiles/core_test.dir/core/metamorphic_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/report_io_test.cc.o"
+  "CMakeFiles/core_test.dir/core/report_io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/round_processor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/round_processor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/streaming_test.cc.o"
+  "CMakeFiles/core_test.dir/core/streaming_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datasets/dataset_io_test.cc" "tests/CMakeFiles/datasets_test.dir/datasets/dataset_io_test.cc.o" "gcc" "tests/CMakeFiles/datasets_test.dir/datasets/dataset_io_test.cc.o.d"
+  "/root/repo/tests/datasets/generator_test.cc" "tests/CMakeFiles/datasets_test.dir/datasets/generator_test.cc.o" "gcc" "tests/CMakeFiles/datasets_test.dir/datasets/generator_test.cc.o.d"
+  "/root/repo/tests/datasets/injector_test.cc" "tests/CMakeFiles/datasets_test.dir/datasets/injector_test.cc.o" "gcc" "tests/CMakeFiles/datasets_test.dir/datasets/injector_test.cc.o.d"
+  "/root/repo/tests/datasets/registry_test.cc" "tests/CMakeFiles/datasets_test.dir/datasets/registry_test.cc.o" "gcc" "tests/CMakeFiles/datasets_test.dir/datasets/registry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/cad_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cad_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cad_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/cad_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

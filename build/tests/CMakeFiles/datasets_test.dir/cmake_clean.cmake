@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_test.dir/datasets/dataset_io_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/dataset_io_test.cc.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/generator_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/generator_test.cc.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/injector_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/injector_test.cc.o.d"
+  "CMakeFiles/datasets_test.dir/datasets/registry_test.cc.o"
+  "CMakeFiles/datasets_test.dir/datasets/registry_test.cc.o.d"
+  "datasets_test"
+  "datasets_test.pdb"
+  "datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

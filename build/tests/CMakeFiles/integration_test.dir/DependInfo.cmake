@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/limitations_test.cc" "tests/CMakeFiles/integration_test.dir/integration/limitations_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/limitations_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_test.cc" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/robustness_test.cc" "tests/CMakeFiles/integration_test.dir/integration/robustness_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/cad_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cad_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cad_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/cad_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

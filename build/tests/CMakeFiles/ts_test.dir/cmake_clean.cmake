@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_test.dir/ts/csv_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/csv_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/multivariate_series_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/multivariate_series_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/normalize_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/normalize_test.cc.o.d"
+  "CMakeFiles/ts_test.dir/ts/window_test.cc.o"
+  "CMakeFiles/ts_test.dir/ts/window_test.cc.o.d"
+  "ts_test"
+  "ts_test.pdb"
+  "ts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
