@@ -62,6 +62,7 @@ int Main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print();
+  args.WriteTelemetryIfRequested();
   return 0;
 }
 

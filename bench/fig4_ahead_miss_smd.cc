@@ -73,6 +73,7 @@ int Main(int argc, char** argv) {
 
   print_series("#subsets with Ahead >= x:", ahead, /*at_least=*/true);
   print_series("#subsets with Miss <= x:", miss, /*at_least=*/false);
+  args.WriteTelemetryIfRequested();
   return 0;
 }
 

@@ -79,6 +79,7 @@ int Main(int argc, char** argv) {
     table.Print();
     std::printf("\n");
   }
+  args.WriteTelemetryIfRequested();
   return 0;
 }
 

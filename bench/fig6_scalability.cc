@@ -47,6 +47,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "\nTPR should grow subquadratically with the sensor count\n"
       "(correlation matrix O(n^2 w) dominates; Louvain is O(n log n)).\n");
+  args.WriteTelemetryIfRequested();
   return 0;
 }
 

@@ -115,6 +115,7 @@ int Main(int argc, char** argv) {
     for (int v : merged) std::printf(" s%d", v + 1);
     std::printf("\n");
   }
+  args.WriteTelemetryIfRequested();
   return 0;
 }
 

@@ -203,6 +203,7 @@ int Main(int argc, char** argv) {
             return options;
           });
   }
+  args.WriteTelemetryIfRequested();
   return 0;
 }
 

@@ -9,6 +9,9 @@
 #include "baselines/cad_adapter.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cad::bench {
 
@@ -30,8 +33,11 @@ BenchArgs BenchArgs::Parse(int argc, char** argv, int default_repeats) {
       args.scale = std::atof(next());
     } else if (flag == "--methods") {
       args.methods = Split(next(), ',');
+    } else if (flag == "--telemetry-out") {
+      args.telemetry_out = next();
     } else if (flag == "--help") {
-      std::cout << "flags: --repeats N  --scale X  --methods a,b,c\n";
+      std::cout << "flags: --repeats N  --scale X  --methods a,b,c  "
+                   "--telemetry-out path\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << flag << " (try --help)\n";
@@ -40,7 +46,20 @@ BenchArgs BenchArgs::Parse(int argc, char** argv, int default_repeats) {
   }
   if (args.repeats < 1) args.repeats = 1;
   if (args.scale <= 0.0) args.scale = 1.0;
+  if (!args.telemetry_out.empty()) obs::Tracer::Global().Enable();
   return args;
+}
+
+void BenchArgs::WriteTelemetryIfRequested() const {
+  if (telemetry_out.empty()) return;
+  const Status status = obs::WriteTelemetry(
+      telemetry_out, obs::Registry::Global().TakeSnapshot(),
+      obs::Tracer::Global());
+  if (!status.ok()) {
+    std::cerr << "telemetry write failed: " << status.ToString() << "\n";
+  } else {
+    std::cerr << "telemetry written to " << telemetry_out << " (+ .trace.jsonl, .prom)\n";
+  }
 }
 
 datasets::DatasetProfile Scaled(datasets::DatasetProfile profile,
@@ -82,24 +101,29 @@ std::vector<MethodResult> EvaluateMethods(
       auto method = baselines::MakeMethod(name, dataset.recommended,
                                           base_seed + 7919ull * run);
       MethodRun record;
-      Stopwatch fit_timer;
-      const bool skip_fit = name == "CAD" && !cad_warmup;
-      if (dataset.has_train() && !skip_fit) {
-        const Status status = method->Fit(dataset.train);
-        CAD_CHECK(status.ok(),
-                  name + " Fit failed: " + status.ToString());
+      {
+        ScopedTimer fit_timer(&record.fit_seconds);
+        const bool skip_fit = name == "CAD" && !cad_warmup;
+        if (dataset.has_train() && !skip_fit) {
+          const Status status = method->Fit(dataset.train);
+          CAD_CHECK(status.ok(),
+                    name + " Fit failed: " + status.ToString());
+        }
       }
-      record.fit_seconds = fit_timer.ElapsedSeconds();
 
-      Stopwatch score_timer;
-      Result<std::vector<double>> scores = method->Score(dataset.test);
+      Result<std::vector<double>> scores =
+          Status::FailedPrecondition("not scored");
+      {
+        ScopedTimer score_timer(&record.score_seconds);
+        scores = method->Score(dataset.test);
+      }
       CAD_CHECK(scores.ok(), name + " Score failed: " + scores.status().ToString());
-      record.score_seconds = score_timer.ElapsedSeconds();
       record.scores = std::move(scores).value();
 
       if (auto* cad = dynamic_cast<baselines::CadAdapter*>(method.get())) {
         const core::DetectionReport& report = *cad->last_report();
         record.seconds_per_round = report.seconds_per_round;
+        record.round_latency = report.round_latency;
         for (const core::Anomaly& anomaly : report.anomalies) {
           record.sensor_predictions.push_back(
               {{anomaly.start_time, anomaly.end_time}, anomaly.sensors});

@@ -6,6 +6,9 @@
 //   --repeats N   repeats for stochastic methods (default per binary)
 //   --scale X     scales dataset lengths by X (e.g. 0.5 for a smoke run)
 //   --methods a,b restricts the method roster
+//   --telemetry-out path   dump the metrics registry + span trace after the
+//                          run (enables the global tracer; see DESIGN.md
+//                          "Observability")
 // so the default `for b in build/bench/*; do $b; done` sweep finishes on a
 // laptop while full-fidelity runs remain one flag away.
 #ifndef CAD_BENCH_HARNESS_HARNESS_H_
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "baselines/method_registry.h"
+#include "core/cad_detector.h"
 #include "datasets/registry.h"
 #include "eval/adjust.h"
 #include "eval/threshold.h"
@@ -26,13 +30,21 @@ struct BenchArgs {
   int repeats = 3;
   double scale = 1.0;
   std::vector<std::string> methods;  // empty = all ten
+  std::string telemetry_out;         // empty = no telemetry dump
 
-  // Parses argv; exits with a usage message on unknown flags.
+  // Parses argv; exits with a usage message on unknown flags. When
+  // --telemetry-out is present the global obs::Tracer is enabled so the run
+  // records spans from the start.
   static BenchArgs Parse(int argc, char** argv, int default_repeats);
 
   std::vector<std::string> MethodRoster() const {
     return methods.empty() ? baselines::AllMethodNames() : methods;
   }
+
+  // Writes the global registry snapshot + span trace to telemetry_out (and
+  // the .trace.jsonl / .prom siblings); no-op when the flag was not given.
+  // Every bench Main calls this right before returning.
+  void WriteTelemetryIfRequested() const;
 };
 
 // Applies --scale to a profile's lengths (anomaly count is kept).
@@ -53,6 +65,9 @@ struct MethodRun {
   // Populated for CAD only: per-anomaly sensor attribution + TPR.
   std::vector<eval::SensorPrediction> sensor_predictions;
   double seconds_per_round = 0.0;
+  // CAD only: percentiles of the individually measured round latencies
+  // (Table VII prints the p95/p99 rows from this).
+  core::RoundLatencySummary round_latency;
 };
 
 struct MethodResult {

@@ -2,13 +2,25 @@
 // window correlation matrix, TSG construction, Louvain, and a complete
 // OutlierDetection round — the costs behind Table VII's TPR and the O(n log n)
 // claim of Section IV-F.
+//
+// Accepts --telemetry-out <path> in addition to the google-benchmark flags:
+// the run then records spans (tracer enabled) and dumps the metrics registry
+// + trace next to the benchmark output (see DESIGN.md "Observability").
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/round_processor.h"
 #include "datasets/generator.h"
 #include "graph/knn_graph.h"
 #include "graph/louvain.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/correlation.h"
 
 namespace cad {
@@ -120,4 +132,40 @@ BENCHMARK(BM_WindowCorrelationMatrixThreaded)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 }  // namespace cad
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips --telemetry-out before
+// google-benchmark sees argv (it rejects unknown flags), enables the global
+// tracer for the run, and writes the telemetry files at exit.
+int main(int argc, char** argv) {
+  std::string telemetry_out;
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
+      telemetry_out = argv[i] + 16;
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  if (!telemetry_out.empty()) cad::obs::Tracer::Global().Enable();
+
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!telemetry_out.empty()) {
+    const cad::Status status = cad::obs::WriteTelemetry(
+        telemetry_out, cad::obs::Registry::Global().TakeSnapshot(),
+        cad::obs::Tracer::Global());
+    if (!status.ok()) {
+      std::cerr << "telemetry write failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "telemetry written to " << telemetry_out
+              << " (+ .trace.jsonl, .prom)\n";
+  }
+  return 0;
+}

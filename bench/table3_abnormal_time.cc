@@ -76,6 +76,7 @@ int Main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print();
+  args.WriteTelemetryIfRequested();
   return 0;
 }
 

@@ -1,20 +1,35 @@
 // Quickstart: generate a small correlated sensor network, inject one
 // correlation-break anomaly, run CAD, and print what it found.
 //
-//   ./quickstart
+//   ./quickstart [--telemetry-out out.json]
 //
 // This is the 60-second tour of the public API:
 //   datasets::SensorNetworkGenerator / InjectAnomalies  (synthetic data)
 //   core::CadOptions / core::CadDetector                (the detector)
 //   core::DetectionReport                               (results)
+// With --telemetry-out the run also records per-stage spans and dumps the
+// metrics registry + Chrome-trace JSONL (see DESIGN.md "Observability").
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/rng.h"
 #include "core/cad_detector.h"
 #include "datasets/anomaly_injector.h"
 #include "datasets/generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string telemetry_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-out") == 0 && i + 1 < argc) {
+      telemetry_out = argv[++i];
+    }
+  }
+  if (!telemetry_out.empty()) cad::obs::Tracer::Global().Enable();
+
   // --- 1. A machine with 16 sensors in 4 correlated groups. ---------------
   cad::Rng rng(2024);
   cad::datasets::GeneratorOptions generator_options;
@@ -70,6 +85,19 @@ int main() {
   if (!report.anomalies.empty()) {
     const int delay = report.anomalies.front().detection_time - fault.start;
     std::printf("\nFirst alarm fired %d points after fault onset.\n", delay);
+  }
+
+  // --- 5. Optional: dump run telemetry. ------------------------------------
+  if (!telemetry_out.empty()) {
+    const cad::Status status = cad::obs::WriteTelemetry(
+        telemetry_out, report.telemetry, cad::obs::Tracer::Global());
+    if (!status.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Telemetry written to %s (+ .trace.jsonl, .prom).\n",
+                telemetry_out.c_str());
   }
   return 0;
 }

@@ -21,12 +21,12 @@ class CadAdapter : public Detector {
   std::string name() const override { return "CAD"; }
   bool deterministic() const override { return true; }
 
-  Status Fit(const ts::MultivariateSeries& train) override {
+  Status FitImpl(const ts::MultivariateSeries& train) override {
     train_ = train;
     return Status::Ok();
   }
 
-  Result<std::vector<double>> Score(
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override {
     core::CadDetector detector(options_);
     Result<core::DetectionReport> report =

@@ -32,7 +32,7 @@ double SafeNegLog(double p, size_t sample_size) {
 
 }  // namespace
 
-Status Copod::Fit(const ts::MultivariateSeries& train) {
+Status Copod::FitImpl(const ts::MultivariateSeries& train) {
   if (train.empty()) return Status::InvalidArgument("empty training series");
   ecdf_.clear();
   skewness_.clear();
@@ -44,7 +44,7 @@ Status Copod::Fit(const ts::MultivariateSeries& train) {
   return Status::Ok();
 }
 
-Result<std::vector<double>> Copod::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Copod::ScoreImpl(const ts::MultivariateSeries& test) {
   if (!fitted_) {
     CAD_RETURN_NOT_OK(Fit(test));
   }

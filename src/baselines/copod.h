@@ -16,8 +16,8 @@ class Copod : public Detector {
   std::string name() const override { return "COPOD"; }
   bool deterministic() const override { return true; }
 
-  Status Fit(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> Score(
+  Status FitImpl(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

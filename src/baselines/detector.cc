@@ -2,7 +2,61 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
+
 namespace cad::baselines {
+
+namespace {
+
+// Fit/Score instrumentation shared by every detector (all nine baselines
+// plus the CAD adapter and ensembles): one span per call, labelled with the
+// method name, and aggregate duration histograms + call counters in the
+// global registry. Per-method latency breakdowns live in the trace (span
+// arg "method"); the registry keeps method-agnostic aggregates.
+struct DetectorMetrics {
+  obs::Counter* fit_total;
+  obs::Counter* score_total;
+  obs::Histogram* fit_seconds;
+  obs::Histogram* score_seconds;
+
+  static const DetectorMetrics& Get() {
+    static const DetectorMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      return DetectorMetrics{
+          &registry.counter("cad_detector_fit_total",
+                            "Detector::Fit calls across all methods"),
+          &registry.counter("cad_detector_score_total",
+                            "Detector::Score calls across all methods"),
+          &registry.histogram("cad_detector_fit_seconds", {},
+                              "Detector::Fit latency across all methods"),
+          &registry.histogram("cad_detector_score_seconds", {},
+                              "Detector::Score latency across all methods")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Status Detector::Fit(const ts::MultivariateSeries& train) {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  metrics.fit_total->Increment();
+  obs::Span span(obs::Tracer::Global(), "fit");
+  if (span.active()) span.AddArg("method", name());
+  obs::ScopedHistogramTimer timer(metrics.fit_seconds);
+  return FitImpl(train);
+}
+
+Result<std::vector<double>> Detector::Score(const ts::MultivariateSeries& test) {
+  const DetectorMetrics& metrics = DetectorMetrics::Get();
+  metrics.score_total->Increment();
+  obs::Span span(obs::Tracer::Global(), "score");
+  if (span.active()) span.AddArg("method", name());
+  obs::ScopedHistogramTimer timer(metrics.score_seconds);
+  return ScoreImpl(test);
+}
 
 void MinMaxNormalize(std::vector<double>* scores) {
   if (scores->empty()) return;

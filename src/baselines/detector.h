@@ -30,13 +30,16 @@ class Detector {
   // methods by this).
   virtual bool deterministic() const = 0;
 
-  // Trains / fits on the historical split. Implementations that need no
-  // training data return OK immediately.
-  virtual Status Fit(const ts::MultivariateSeries& train) = 0;
+  // Trains / fits on the historical split (no-op for methods that need no
+  // training data). Non-virtual: wraps FitImpl in an obs::Span
+  // ("fit", method label) and records the duration into the global
+  // cad_detector_fit_seconds histogram, so all methods are observed
+  // uniformly regardless of implementation.
+  Status Fit(const ts::MultivariateSeries& train);
 
-  // Scores every time point of `test` in [0, 1].
-  virtual Result<std::vector<double>> Score(
-      const ts::MultivariateSeries& test) = 0;
+  // Scores every time point of `test` in [0, 1]. Non-virtual wrapper over
+  // ScoreImpl, instrumented like Fit (cad_detector_score_seconds).
+  Result<std::vector<double>> Score(const ts::MultivariateSeries& test);
 
   // Sensor-level attribution: scores_per_sensor[i][t] in [0, 1]. Only ECOD
   // and RCoders provide this in the paper (Table IV's F1_sensor comparison);
@@ -48,6 +51,12 @@ class Detector {
     return Status::FailedPrecondition(name() +
                                       " does not provide sensor scores");
   }
+
+ protected:
+  // The actual method implementations, supplied by each detector.
+  virtual Status FitImpl(const ts::MultivariateSeries& train) = 0;
+  virtual Result<std::vector<double>> ScoreImpl(
+      const ts::MultivariateSeries& test) = 0;
 };
 
 // Min-max normalizes raw scores into [0, 1] in place; a constant score

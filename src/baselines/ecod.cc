@@ -33,7 +33,7 @@ double SafeNegLog(double p, size_t sample_size) {
 
 }  // namespace
 
-Status Ecod::Fit(const ts::MultivariateSeries& train) {
+Status Ecod::FitImpl(const ts::MultivariateSeries& train) {
   if (train.empty()) return Status::InvalidArgument("empty training series");
   ecdf_.clear();
   skewness_.clear();
@@ -73,7 +73,7 @@ Result<std::vector<std::vector<double>>> Ecod::DimensionScores(
   return per_sensor;
 }
 
-Result<std::vector<double>> Ecod::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Ecod::ScoreImpl(const ts::MultivariateSeries& test) {
   CAD_RETURN_NOT_OK(EnsureFitted(test));
   std::vector<double> scores(test.length(), 0.0);
   std::vector<double> sum_left(test.length(), 0.0);

@@ -21,8 +21,8 @@ class Ecod : public Detector {
   std::string name() const override { return "ECOD"; }
   bool deterministic() const override { return true; }
 
-  Status Fit(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> Score(
+  Status FitImpl(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
   bool provides_sensor_scores() const override { return true; }

@@ -11,7 +11,7 @@ namespace {
 constexpr double kDensityFloor = 1e-4;
 }  // namespace
 
-Status Hbos::Fit(const ts::MultivariateSeries& train) {
+Status Hbos::FitImpl(const ts::MultivariateSeries& train) {
   if (train.empty()) return Status::InvalidArgument("empty training series");
   histograms_.assign(train.n_sensors(), {});
   for (int i = 0; i < train.n_sensors(); ++i) {
@@ -37,7 +37,7 @@ Status Hbos::Fit(const ts::MultivariateSeries& train) {
   return Status::Ok();
 }
 
-Result<std::vector<double>> Hbos::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Hbos::ScoreImpl(const ts::MultivariateSeries& test) {
   if (!fitted_) {
     CAD_RETURN_NOT_OK(Fit(test));  // unsupervised fallback
   }

@@ -109,13 +109,13 @@ double Iforest::PathLength(const Tree& tree,
   }
 }
 
-Status Iforest::Fit(const ts::MultivariateSeries& train) {
+Status Iforest::FitImpl(const ts::MultivariateSeries& train) {
   if (train.empty()) return Status::InvalidArgument("empty training series");
   FitOnPoints(ToPoints(train));
   return Status::Ok();
 }
 
-Result<std::vector<double>> Iforest::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Iforest::ScoreImpl(const ts::MultivariateSeries& test) {
   if (!fitted_) {
     if (test.empty()) return Status::InvalidArgument("empty series");
     FitOnPoints(ToPoints(test));

@@ -29,8 +29,8 @@ class Iforest : public Detector {
   std::string name() const override { return "IForest"; }
   bool deterministic() const override { return false; }
 
-  Status Fit(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> Score(
+  Status FitImpl(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

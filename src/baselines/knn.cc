@@ -22,7 +22,7 @@ std::vector<std::vector<double>> ToPoints(const ts::MultivariateSeries& series,
 
 }  // namespace
 
-Status KnnDetector::Fit(const ts::MultivariateSeries& train) {
+Status KnnDetector::FitImpl(const ts::MultivariateSeries& train) {
   if (train.length() <= options_.k) {
     return Status::InvalidArgument("kNN needs more training points than k");
   }
@@ -43,7 +43,7 @@ Status KnnDetector::Fit(const ts::MultivariateSeries& train) {
   return Status::Ok();
 }
 
-Result<std::vector<double>> KnnDetector::Score(
+Result<std::vector<double>> KnnDetector::ScoreImpl(
     const ts::MultivariateSeries& test) {
   if (!fitted_) {
     CAD_RETURN_NOT_OK(Fit(test));  // unsupervised fallback

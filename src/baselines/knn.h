@@ -22,8 +22,8 @@ class KnnDetector : public Detector {
   std::string name() const override { return "kNN"; }
   bool deterministic() const override { return true; }
 
-  Status Fit(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> Score(
+  Status FitImpl(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

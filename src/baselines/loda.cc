@@ -20,7 +20,7 @@ double Loda::Project(const Projection& projection,
   return value;
 }
 
-Status Loda::Fit(const ts::MultivariateSeries& train) {
+Status Loda::FitImpl(const ts::MultivariateSeries& train) {
   if (train.empty()) return Status::InvalidArgument("empty training series");
   const int n = train.n_sensors();
   scaler_ = ts::FitZScore(train);
@@ -58,7 +58,7 @@ Status Loda::Fit(const ts::MultivariateSeries& train) {
   return Status::Ok();
 }
 
-Result<std::vector<double>> Loda::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Loda::ScoreImpl(const ts::MultivariateSeries& test) {
   if (!fitted_) {
     CAD_RETURN_NOT_OK(Fit(test));
   }

@@ -101,7 +101,7 @@ void Lof::FitOnPoints(const std::vector<std::vector<double>>& points) {
   fitted_ = true;
 }
 
-Status Lof::Fit(const ts::MultivariateSeries& train) {
+Status Lof::FitImpl(const ts::MultivariateSeries& train) {
   if (train.length() <= options_.k) {
     return Status::InvalidArgument("LOF needs more training points than k");
   }
@@ -110,7 +110,7 @@ Status Lof::Fit(const ts::MultivariateSeries& train) {
   return Status::Ok();
 }
 
-Result<std::vector<double>> Lof::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Lof::ScoreImpl(const ts::MultivariateSeries& test) {
   if (!fitted_) {
     // Unsupervised fallback: fit on the test series itself.
     if (test.length() <= options_.k) {

@@ -4,7 +4,7 @@
 
 namespace cad::baselines {
 
-Result<std::vector<double>> ParallelEnsemble::Score(
+Result<std::vector<double>> ParallelEnsemble::ScoreImpl(
     const ts::MultivariateSeries& test) {
   std::vector<double> fused(test.length(), 0.0);
   for (const auto& member : members_) {

@@ -45,14 +45,14 @@ class ParallelEnsemble : public Detector {
     return true;
   }
 
-  Status Fit(const ts::MultivariateSeries& train) override {
+  Status FitImpl(const ts::MultivariateSeries& train) override {
     for (const auto& member : members_) {
       CAD_RETURN_NOT_OK(member->Fit(train));
     }
     return Status::Ok();
   }
 
-  Result<std::vector<double>> Score(
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

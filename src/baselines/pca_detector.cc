@@ -5,7 +5,7 @@
 
 namespace cad::baselines {
 
-Status PcaDetector::Fit(const ts::MultivariateSeries& train) {
+Status PcaDetector::FitImpl(const ts::MultivariateSeries& train) {
   if (train.length() < 2) {
     return Status::InvalidArgument("PCA needs at least two training points");
   }
@@ -39,7 +39,7 @@ Status PcaDetector::Fit(const ts::MultivariateSeries& train) {
   return Status::Ok();
 }
 
-Result<std::vector<double>> PcaDetector::Score(
+Result<std::vector<double>> PcaDetector::ScoreImpl(
     const ts::MultivariateSeries& test) {
   if (!fitted_) {
     CAD_RETURN_NOT_OK(Fit(test));

@@ -28,8 +28,8 @@ class PcaDetector : public Detector {
   std::string name() const override { return "PCA"; }
   bool deterministic() const override { return true; }
 
-  Status Fit(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> Score(
+  Status FitImpl(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

@@ -21,7 +21,7 @@ std::vector<double> Flatten(const ts::MultivariateSeries& scaled, int start,
 
 }  // namespace
 
-Status Rcoders::Fit(const ts::MultivariateSeries& train) {
+Status Rcoders::FitImpl(const ts::MultivariateSeries& train) {
   if (train.length() < options_.window * 2) {
     return Status::InvalidArgument("training series shorter than two windows");
   }
@@ -92,7 +92,7 @@ Result<std::vector<std::vector<double>>> Rcoders::ReconstructionErrors(
   return errors;
 }
 
-Result<std::vector<double>> Rcoders::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Rcoders::ScoreImpl(const ts::MultivariateSeries& test) {
   Result<std::vector<std::vector<double>>> errors = ReconstructionErrors(test);
   if (!errors.ok()) return errors.status();
   std::vector<double> scores(test.length(), 0.0);

@@ -38,8 +38,8 @@ class Rcoders : public Detector {
   std::string name() const override { return "RCoders"; }
   bool deterministic() const override { return false; }
 
-  Status Fit(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> Score(
+  Status FitImpl(const ts::MultivariateSeries& train) override;
+  Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
   bool provides_sensor_scores() const override { return true; }

@@ -2,7 +2,7 @@
 
 namespace cad::baselines {
 
-Result<std::vector<double>> UnivariateEnsemble::Score(
+Result<std::vector<double>> UnivariateEnsemble::ScoreImpl(
     const ts::MultivariateSeries& test) {
   if (test.empty()) return Status::InvalidArgument("empty series");
   if (train_.length() > 0 && train_.n_sensors() != test.n_sensors()) {

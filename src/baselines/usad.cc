@@ -23,7 +23,7 @@ std::vector<std::vector<double>> Usad::MakeWindows(
   return windows;
 }
 
-Status Usad::Fit(const ts::MultivariateSeries& train) {
+Status Usad::FitImpl(const ts::MultivariateSeries& train) {
   if (train.length() < options_.window * 2) {
     return Status::InvalidArgument("training series shorter than two windows");
   }
@@ -67,7 +67,7 @@ Status Usad::Fit(const ts::MultivariateSeries& train) {
   return Status::Ok();
 }
 
-Result<std::vector<double>> Usad::Score(const ts::MultivariateSeries& test) {
+Result<std::vector<double>> Usad::ScoreImpl(const ts::MultivariateSeries& test) {
   if (ae1_ == nullptr) {
     return Status::FailedPrecondition("USAD requires Fit before Score");
   }

@@ -24,6 +24,23 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+// RAII timer: adds the elapsed seconds of its scope to `*sink` on
+// destruction. Replaces hand-rolled Stopwatch start/stop pairs; see
+// obs::ScopedHistogramTimer for the histogram-recording flavor.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (sink_ != nullptr) *sink_ += watch_.ElapsedSeconds();
+  }
+
+ private:
+  Stopwatch watch_;
+  double* sink_;
+};
+
 }  // namespace cad
 
 #endif  // CAD_COMMON_STOPWATCH_H_

@@ -4,10 +4,37 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 
 namespace cad::core {
 
 namespace {
+
+// Exact empirical quantile of the measured per-round latencies (nearest-rank
+// on the sorted sample; unlike the registry histogram this has no bucket
+// resolution limit).
+double SampleQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+RoundLatencySummary SummarizeRoundLatencies(std::vector<double> seconds) {
+  RoundLatencySummary summary;
+  if (seconds.empty()) return summary;
+  double sum = 0.0;
+  for (double s : seconds) sum += s;
+  summary.mean = sum / static_cast<double>(seconds.size());
+  std::sort(seconds.begin(), seconds.end());
+  summary.p50 = SampleQuantile(seconds, 0.50);
+  summary.p95 = SampleQuantile(seconds, 0.95);
+  summary.p99 = SampleQuantile(seconds, 0.99);
+  return summary;
+}
 
 // Threshold on |n_r - mu|. A zero sigma would make the >= comparison fire on
 // every round including n_r == mu; the tiny floor keeps the faithful "any
@@ -35,14 +62,22 @@ Result<DetectionReport> CadDetector::Detect(
   DetectionReport report;
   stats::RunningStats variation_stats;  // the series N of Algorithm 2
 
+  obs::Tracer& tracer = obs::ResolveTracer(options_.tracer);
+  obs::Registry& registry = obs::ResolveRegistry(options_.metrics_registry);
+  obs::PipelineMetrics metrics = obs::PipelineMetrics::For(registry);
+
   // --- Warm-up (Algorithm 2, WarmUp): outlier detection only, no anomaly
   // decisions; every n_r seeds mu and sigma.
-  Stopwatch warmup_timer;
   if (historical != nullptr) {
+    obs::Span warmup_span(tracer, "warmup");
+    ScopedTimer warmup_timer(&report.warmup_seconds);
     Result<ts::WindowPlan> plan = ts::WindowPlan::Make(
         historical->length(), options_.window, options_.step);
     if (!plan.ok()) return plan.status();
     RoundProcessor processor(n, options_);
+    // Distinguish warm-up rounds from detection rounds in the trace: only
+    // "round" spans correspond to DetectionReport::rounds entries.
+    processor.set_span_name("warmup_round");
     const int warmup_burn_in = options_.EffectiveBurnIn();
     for (int r = 0; r < plan.value().rounds(); ++r) {
       RoundOutput round = processor.ProcessWindow(*historical,
@@ -50,7 +85,6 @@ Result<DetectionReport> CadDetector::Detect(
       // Cold-start rounds are artifacts of the empty outlier state, not data.
       if (r >= warmup_burn_in) variation_stats.Add(round.n_variations);
     }
-    report.warmup_seconds = warmup_timer.ElapsedSeconds();
   }
 
   // --- Detection (Algorithm 2, main loop). Processor state restarts with
@@ -94,6 +128,7 @@ Result<DetectionReport> CadDetector::Detect(
     anomaly.end_time = plan.end(last_round);
     anomaly.detection_time = plan.end(open_first_round) - 1;
     for (int v : anomaly.sensors) report.sensor_labels[v] = 1;
+    metrics.anomalies_total->Increment();
     report.anomalies.push_back(std::move(anomaly));
     open_sensors.clear();
     open_movers.clear();
@@ -101,76 +136,85 @@ Result<DetectionReport> CadDetector::Detect(
     open_first_round = -1;
   };
 
-  Stopwatch detect_timer;
-  for (int r = 0; r < plan.rounds(); ++r) {
-    RoundOutput round = processor.ProcessWindow(series, plan.start(r));
+  std::vector<double> round_seconds;
+  round_seconds.reserve(plan.rounds());
+  {
+    // Scoped so the timer lands in `report` before it moves into the Result.
+    obs::Span detect_span(tracer, "detect");
+    ScopedTimer detect_timer(&report.detect_seconds);
+    for (int r = 0; r < plan.rounds(); ++r) {
+      Stopwatch round_watch;
+      RoundOutput round = processor.ProcessWindow(series, plan.start(r));
 
-    RoundTrace trace;
-    trace.round = r;
-    trace.start_time = plan.start(r);
-    trace.n_variations = round.n_variations;
-    trace.n_outliers = static_cast<int>(round.outliers.size());
-    trace.n_communities = round.n_communities;
-    trace.n_edges = round.n_edges;
-    trace.mu = variation_stats.mean();
-    trace.sigma = variation_stats.stddev();
+      RoundTrace trace;
+      trace.round = r;
+      trace.start_time = plan.start(r);
+      trace.n_variations = round.n_variations;
+      trace.n_outliers = static_cast<int>(round.outliers.size());
+      trace.n_communities = round.n_communities;
+      trace.n_edges = round.n_edges;
+      trace.mu = variation_stats.mean();
+      trace.sigma = variation_stats.stddev();
 
-    // Round 0 has no preceding round (the paper's r > 1 guard) and burn-in
-    // rounds carry cold-start artifacts; neither can be judged abnormal.
-    // Without warm-up the first rounds also have no mu yet.
-    const int burn_in = options_.EffectiveBurnIn();
-    bool abnormal = false;
-    double score = 0.0;
-    if (r > 0 && r >= burn_in && variation_stats.count() > 0) {
-      const double deviation = std::abs(round.n_variations - trace.mu);
-      if (options_.use_sigma_rule) {
-        const double threshold = DeviationThreshold(options_, trace.sigma);
-        abnormal = deviation >= threshold;
-        score = std::min(1.0, 0.5 * deviation / threshold);
-      } else {
-        abnormal = round.n_variations >= options_.fixed_xi;
-        score = std::min(
-            1.0, 0.5 * round.n_variations / static_cast<double>(options_.fixed_xi));
-      }
-    }
-    trace.abnormal = abnormal;
-
-    if (abnormal) {
-      if (open_first_round < 0) open_first_round = r;
-      // Candidates are the vertices newly turned outlier: pre-existing
-      // outliers are background isolates, not sensors this anomaly affected.
-      for (int v : round.entered) {
-        if (!open_sensor_flags[v]) {
-          open_sensor_flags[v] = 1;
-          open_sensors.push_back(v);
+      // Round 0 has no preceding round (the paper's r > 1 guard) and burn-in
+      // rounds carry cold-start artifacts; neither can be judged abnormal.
+      // Without warm-up the first rounds also have no mu yet.
+      const int burn_in = options_.EffectiveBurnIn();
+      bool abnormal = false;
+      double score = 0.0;
+      if (r > 0 && r >= burn_in && variation_stats.count() > 0) {
+        const double deviation = std::abs(round.n_variations - trace.mu);
+        if (options_.use_sigma_rule) {
+          const double threshold = DeviationThreshold(options_, trace.sigma);
+          abnormal = deviation >= threshold;
+          score = std::min(1.0, 0.5 * deviation / threshold);
+        } else {
+          abnormal = round.n_variations >= options_.fixed_xi;
+          score = std::min(
+              1.0, 0.5 * round.n_variations / static_cast<double>(options_.fixed_xi));
         }
       }
-      for (int v : round.entered_movers) open_movers.push_back(v);
-    } else if (open_first_round >= 0) {
-      close_anomaly(r - 1);
-    }
+      trace.abnormal = abnormal;
 
-    // Time-domain footprint of this round: the trailing fraction of the
-    // window (cad_options.h window_mark_fraction).
-    const int marked = std::max(
-        options_.step,
-        static_cast<int>(options_.window * options_.window_mark_fraction));
-    const int slice_begin = r == 0 ? plan.start(r)
-                                   : std::max(plan.start(r),
-                                              plan.end(r) - marked);
-    for (int t = slice_begin; t < plan.end(r); ++t) {
-      report.point_scores[t] = std::max(report.point_scores[t], score);
-      if (abnormal) report.point_labels[t] = 1;
-    }
+      if (abnormal) {
+        if (open_first_round < 0) open_first_round = r;
+        // Candidates are the vertices newly turned outlier: pre-existing
+        // outliers are background isolates, not sensors this anomaly affected.
+        for (int v : round.entered) {
+          if (!open_sensor_flags[v]) {
+            open_sensor_flags[v] = 1;
+            open_sensors.push_back(v);
+          }
+        }
+        for (int v : round.entered_movers) open_movers.push_back(v);
+      } else if (open_first_round >= 0) {
+        close_anomaly(r - 1);
+      }
 
-    if (r >= burn_in) variation_stats.Add(round.n_variations);
-    report.rounds.push_back(trace);
+      // Time-domain footprint of this round: the trailing fraction of the
+      // window (cad_options.h window_mark_fraction).
+      const int marked = std::max(
+          options_.step,
+          static_cast<int>(options_.window * options_.window_mark_fraction));
+      const int slice_begin = r == 0 ? plan.start(r)
+                                     : std::max(plan.start(r),
+                                                plan.end(r) - marked);
+      for (int t = slice_begin; t < plan.end(r); ++t) {
+        report.point_scores[t] = std::max(report.point_scores[t], score);
+        if (abnormal) report.point_labels[t] = 1;
+      }
+
+      if (abnormal) metrics.abnormal_rounds_total->Increment();
+      if (r >= burn_in) variation_stats.Add(round.n_variations);
+      report.rounds.push_back(trace);
+      round_seconds.push_back(round_watch.ElapsedSeconds());
+    }
+    if (open_first_round >= 0) close_anomaly(plan.rounds() - 1);
   }
-  if (open_first_round >= 0) close_anomaly(plan.rounds() - 1);
 
-  report.detect_seconds = detect_timer.ElapsedSeconds();
-  report.seconds_per_round =
-      plan.rounds() > 0 ? report.detect_seconds / plan.rounds() : 0.0;
+  report.round_latency = SummarizeRoundLatencies(std::move(round_seconds));
+  report.seconds_per_round = report.round_latency.mean;
+  report.telemetry = registry.TakeSnapshot();
   return report;
 }
 

@@ -25,6 +25,7 @@
 
 #include "core/cad_options.h"
 #include "core/round_processor.h"
+#include "obs/metrics.h"
 #include "stats/running_stats.h"
 #include "ts/multivariate_series.h"
 #include "ts/window.h"
@@ -55,6 +56,15 @@ struct RoundTrace {
   bool abnormal = false;
 };
 
+// Distribution of per-round detection latencies, measured per round (not a
+// single overall division) so the tail is visible alongside the mean.
+struct RoundLatencySummary {
+  double mean = 0.0;  // seconds; == DetectionReport::seconds_per_round
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 struct DetectionReport {
   std::vector<Anomaly> anomalies;
   std::vector<RoundTrace> rounds;
@@ -66,7 +76,17 @@ struct DetectionReport {
   std::vector<uint8_t> sensor_labels;
   double warmup_seconds = 0.0;
   double detect_seconds = 0.0;
-  double seconds_per_round = 0.0;  // TPR of Table VII
+  // TPR of Table VII: the *mean* of the individually measured round
+  // latencies (== round_latency.mean). Use round_latency.p50 for a
+  // robust-to-outliers central value and p95/p99 for the tail.
+  double seconds_per_round = 0.0;
+  RoundLatencySummary round_latency;
+  // State of the metrics registry (CadOptions::metrics_registry, the global
+  // one by default) right after this run: cad_rounds_total, the
+  // cad_round_seconds histogram, cad_tsg_edges_pruned, ... — see the
+  // glossary in DESIGN.md "Observability". Counters are cumulative across
+  // runs sharing a registry.
+  obs::Snapshot telemetry;
 };
 
 class CadDetector {

@@ -6,6 +6,11 @@
 
 #include "common/status.h"
 
+namespace cad::obs {
+class Registry;
+class Tracer;
+}  // namespace cad::obs
+
 namespace cad::core {
 
 struct CadOptions {
@@ -108,6 +113,14 @@ struct CadOptions {
   // adaptive eta-sigma rule.
   bool use_sigma_rule = true;
   int fixed_xi = 1;
+
+  // Observability (DESIGN.md "Observability"). nullptr = the process-wide
+  // obs::Registry::Global() / obs::Tracer::Global(). Metrics are always
+  // recorded (lock-free atomics); span tracing additionally requires the
+  // resolved tracer to be Enable()d — the global one is off by default, so
+  // the untraced hot path pays roughly one branch per span site.
+  obs::Registry* metrics_registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 
   // Validates the option set against a series length.
   Status Validate(int series_length) const {

@@ -47,6 +47,15 @@ std::string ReportToJson(const DetectionReport& report,
   AppendDouble(&json, report.detect_seconds);
   json += ",\"seconds_per_round\":";
   AppendDouble(&json, report.seconds_per_round);
+  json += ",\"round_latency\":{\"mean\":";
+  AppendDouble(&json, report.round_latency.mean);
+  json += ",\"p50\":";
+  AppendDouble(&json, report.round_latency.p50);
+  json += ",\"p95\":";
+  AppendDouble(&json, report.round_latency.p95);
+  json += ",\"p99\":";
+  AppendDouble(&json, report.round_latency.p99);
+  json += '}';
 
   if (options.include_rounds) {
     json += ",\"rounds\":[";

@@ -23,6 +23,7 @@ struct ReportJsonOptions {
 //                  "first_round": ..., "last_round": ..., "sensors": [...]}],
 //   "rounds_processed": N, "warmup_seconds": ..., "detect_seconds": ...,
 //   "seconds_per_round": ...,
+//   "round_latency": {"mean": ..., "p50": ..., "p95": ..., "p99": ...},
 //   "rounds": [...optional...], "scores": [...optional...]
 // }
 std::string ReportToJson(const DetectionReport& report,

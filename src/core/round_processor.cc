@@ -40,35 +40,68 @@ std::unordered_map<int, int> PluralitySuccessors(
 RoundOutput RoundProcessor::ProcessWindow(const ts::MultivariateSeries& series,
                                           int start) {
   CAD_CHECK(series.n_sensors() == n_sensors_, "sensor count mismatch");
+  obs::Span round_span(tracer_, span_name_);
+  obs::ScopedHistogramTimer round_timer(metrics_.round_seconds);
   if (options_.incremental_correlation && !options_.use_spearman) {
-    if (rolling_ == nullptr) {
-      rolling_ = std::make_unique<stats::RollingCorrelationTracker>(
-          n_sensors_, options_.window);
-      rolling_->Reset(series, start);
-    } else {
-      rolling_->SlideTo(series, start);
+    {
+      obs::Span corr_span(tracer_, "correlation");
+      obs::ScopedHistogramTimer corr_timer(metrics_.correlation_seconds);
+      if (rolling_ == nullptr) {
+        rolling_ = std::make_unique<stats::RollingCorrelationTracker>(
+            n_sensors_, options_.window);
+        rolling_->Reset(series, start);
+      } else {
+        rolling_->SlideTo(series, start);
+      }
     }
-    return ProcessCorrelation(rolling_->Correlations());
+    return FinishRound(rolling_->Correlations(), &round_span);
   }
+  obs::Span corr_span(tracer_, "correlation");
+  Stopwatch corr_watch;
   stats::CorrelationMatrix corr = stats::WindowCorrelationMatrix(
       series, start, options_.window,
       options_.use_spearman ? stats::CorrelationKind::kSpearman
                             : stats::CorrelationKind::kPearson,
       options_.n_threads);
-  return ProcessCorrelation(corr);
+  metrics_.correlation_seconds->Observe(corr_watch.ElapsedSeconds());
+  corr_span.End();
+  return FinishRound(corr, &round_span);
 }
 
 RoundOutput RoundProcessor::ProcessCorrelation(
     const stats::CorrelationMatrix& corr) {
+  obs::Span round_span(tracer_, span_name_);
+  obs::ScopedHistogramTimer round_timer(metrics_.round_seconds);
+  return FinishRound(corr, &round_span);
+}
+
+RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
+                                        obs::Span* round_span) {
   CAD_CHECK(corr.size() == n_sensors_, "correlation matrix size mismatch");
+  if (round_span->active()) {
+    round_span->AddArg("round", std::to_string(rounds_processed_));
+  }
   RoundOutput out;
+  Stopwatch stage_watch;
 
   // Phase 1: TSG + community detection.
   graph::KnnGraphOptions knn_options{.k = options_.k, .tau = options_.tau};
-  graph::Graph tsg = graph::BuildKnnGraph(corr, knn_options);
+  graph::KnnGraphStats tsg_stats;
+  obs::Span knn_span(tracer_, "knn_graph");
+  graph::Graph tsg = graph::BuildKnnGraph(corr, knn_options, &tsg_stats);
+  knn_span.End();
+  metrics_.knn_build_seconds->Observe(stage_watch.ElapsedSeconds());
   out.n_edges = static_cast<int>(tsg.n_edges());
+
+  stage_watch.Restart();
+  obs::Span louvain_span(tracer_, "louvain");
   graph::Partition partition = graph::Louvain(tsg);
+  louvain_span.End();
+  metrics_.louvain_seconds->Observe(stage_watch.ElapsedSeconds());
   out.n_communities = partition.n_communities;
+
+  stage_watch.Restart();
+  obs::Span coapp_span(tracer_, "co_appearance");
 
   // Phase 2: co-appearance mining against the previous round, plus the
   // Definition 2 moved-vertex flags used for sensor attribution.
@@ -105,6 +138,17 @@ RoundOutput RoundProcessor::ProcessCorrelation(
     }
   }
   out.n_variations = n_variations;
+  coapp_span.End();
+  metrics_.coappearance_seconds->Observe(stage_watch.ElapsedSeconds());
+
+  metrics_.rounds_total->Increment();
+  metrics_.outlier_variations->Increment(static_cast<uint64_t>(n_variations));
+  metrics_.tsg_edges_pruned->Increment(
+      static_cast<uint64_t>(tsg_stats.pruned_pairs()));
+  metrics_.tsg_edges_kept->Increment(
+      static_cast<uint64_t>(tsg_stats.kept_edges));
+  metrics_.communities->Set(out.n_communities);
+  metrics_.outliers->Set(static_cast<double>(out.outliers.size()));
 
   prev_community_ = std::move(partition.community);
   outlier_flags_ = std::move(cur_flags);

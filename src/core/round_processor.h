@@ -6,6 +6,7 @@
 #ifndef CAD_CORE_ROUND_PROCESSOR_H_
 #define CAD_CORE_ROUND_PROCESSOR_H_
 
+#include <string>
 #include <vector>
 
 #include <memory>
@@ -14,6 +15,8 @@
 #include "core/co_appearance.h"
 #include "graph/knn_graph.h"
 #include "graph/louvain.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 #include "stats/rolling_correlation.h"
 #include "ts/multivariate_series.h"
 
@@ -45,7 +48,10 @@ class RoundProcessor {
                                           : RcNormalization::kCommunity,
                      .window = options.rc_window}),
         outlier_flags_(n_sensors, 0),
-        last_moved_round_(n_sensors, -1) {}
+        last_moved_round_(n_sensors, -1),
+        metrics_(obs::PipelineMetrics::For(
+            obs::ResolveRegistry(options.metrics_registry))),
+        tracer_(&obs::ResolveTracer(options.tracer)) {}
 
   // Processes the window [start, start + options.window) of `series`.
   // Rounds must be fed in chronological order.
@@ -58,11 +64,20 @@ class RoundProcessor {
   // Clears all cross-round state (communities, RC history, outlier set).
   void Reset();
 
+  // Name of the per-round span emitted when tracing is enabled ("round" by
+  // default). CadDetector names its warm-up processor's spans "warmup_round"
+  // so detection round-span counts match DetectionReport::rounds.size().
+  void set_span_name(std::string name) { span_name_ = std::move(name); }
+
   int rounds_processed() const { return rounds_processed_; }
   const std::vector<int>& last_communities() const { return prev_community_; }
   const CoAppearanceTracker& tracker() const { return tracker_; }
 
  private:
+  // Phases 1-3 on a ready correlation matrix, inside the given round span.
+  RoundOutput FinishRound(const stats::CorrelationMatrix& corr,
+                          obs::Span* round_span);
+
   int n_sensors_;
   CadOptions options_;
   CoAppearanceTracker tracker_;
@@ -72,6 +87,9 @@ class RoundProcessor {
   // Lazily created when options_.incremental_correlation is set.
   std::unique_ptr<stats::RollingCorrelationTracker> rolling_;
   int rounds_processed_ = 0;
+  obs::PipelineMetrics metrics_;
+  obs::Tracer* tracer_;
+  std::string span_name_ = "round";
 };
 
 }  // namespace cad::core

@@ -11,8 +11,14 @@ StreamingCad::StreamingCad(int n_sensors, const CadOptions& options)
     : n_sensors_(n_sensors),
       options_(options),
       processor_(n_sensors, options),
+      metrics_(obs::PipelineMetrics::For(
+          obs::ResolveRegistry(options.metrics_registry))),
       buffer_(static_cast<size_t>(options.window) * n_sensors, 0.0),
       open_sensor_flags_(n_sensors, 0) {}
+
+obs::Snapshot StreamingCad::TelemetrySnapshot() const {
+  return obs::ResolveRegistry(options_.metrics_registry).TakeSnapshot();
+}
 
 Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {
   if (samples_seen_ > 0) {
@@ -59,12 +65,14 @@ Result<std::optional<StreamEvent>> StreamingCad::Push(
     buffer_head_ = (buffer_head_ + 1) % options_.window;
   }
   ++samples_seen_;
+  metrics_.stream_samples_total->Increment();
 
   if (!RoundReady()) return std::optional<StreamEvent>{};
   return std::optional<StreamEvent>{RunRound()};
 }
 
 StreamEvent StreamingCad::RunRound() {
+  Stopwatch round_watch;
   // Materialize the ring buffer into a window-sized series (sensor-major).
   ts::MultivariateSeries window(n_sensors_, options_.window);
   for (int t = 0; t < options_.window; ++t) {
@@ -131,6 +139,7 @@ StreamEvent StreamingCad::RunRound() {
     anomaly.start_time = open_start_time_;
     anomaly.end_time = samples_seen_ - options_.step;  // end of previous round
     anomaly.detection_time = open_detection_time_;
+    metrics_.anomalies_total->Increment();
     anomalies_.push_back(std::move(anomaly));
     open_sensors_.clear();
     open_movers_.clear();
@@ -138,8 +147,10 @@ StreamEvent StreamingCad::RunRound() {
     open_first_round_ = -1;
   }
 
+  if (event.abnormal) metrics_.abnormal_rounds_total->Increment();
   if (rounds_completed_ >= burn_in) variation_stats_.Add(round.n_variations);
   ++rounds_completed_;
+  event.round_seconds = round_watch.ElapsedSeconds();
   return event;
 }
 

@@ -31,6 +31,9 @@ struct StreamEvent {
   std::vector<int> entered;   // vertices that joined O_r this round
   double mu = 0.0;            // statistics used for the decision
   double sigma = 0.0;
+  // Wall-clock latency of this round (window materialization + Algorithm 1 +
+  // decision) — the per-round TPR sample of Table VII, live.
+  double round_seconds = 0.0;
 };
 
 class StreamingCad {
@@ -58,6 +61,11 @@ class StreamingCad {
   double mu() const { return variation_stats_.mean(); }
   double sigma() const { return variation_stats_.stddev(); }
 
+  // State of the metrics registry this stream records into
+  // (CadOptions::metrics_registry, global by default): cad_rounds_total,
+  // cad_stream_samples_total, the cad_round_seconds histogram, ...
+  obs::Snapshot TelemetrySnapshot() const;
+
  private:
   bool RoundReady() const;
   StreamEvent RunRound();
@@ -66,6 +74,7 @@ class StreamingCad {
   CadOptions options_;
   RoundProcessor processor_;
   stats::RunningStats variation_stats_;
+  obs::PipelineMetrics metrics_;
 
   // Ring buffer of the last `window` samples, sample-major.
   std::vector<double> buffer_;

@@ -8,7 +8,7 @@
 namespace cad::graph {
 
 Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
-                    const KnnGraphOptions& options) {
+                    const KnnGraphOptions& options, KnnGraphStats* stats) {
   const int n = corr.size();
   CAD_CHECK(options.k >= 1, "k must be >= 1");
   Graph graph(n);
@@ -18,12 +18,14 @@ Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
   // symmetric union with each undirected edge added once.
   std::vector<uint8_t> selected(static_cast<size_t>(n) * n, 0);
   std::vector<int> order(n > 0 ? n - 1 : 0);
+  int directed_candidates = 0;
   for (int u = 0; u < n; ++u) {
     order.clear();
     for (int v = 0; v < n; ++v) {
       if (v == u) continue;
       if (std::abs(corr.at(u, v)) >= options.tau) order.push_back(v);
     }
+    directed_candidates += static_cast<int>(order.size());
     const int take = std::min<int>(options.k, static_cast<int>(order.size()));
     // Deterministic selection: strongest |corr| first, index as tie-break.
     std::partial_sort(order.begin(), order.begin() + take, order.end(),
@@ -45,6 +47,12 @@ Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
         graph.AddEdge(u, v, corr.at(u, v));
       }
     }
+  }
+  if (stats != nullptr) {
+    // |corr| is symmetric, so every candidate pair was counted from both
+    // endpoints.
+    stats->candidate_pairs = directed_candidates / 2;
+    stats->kept_edges = static_cast<int>(graph.n_edges());
   }
   return graph;
 }

@@ -16,11 +16,19 @@ struct KnnGraphOptions {
   double tau = 0.5;    // prune edges with |corr| < tau
 };
 
+// Construction statistics, fed into the cad_tsg_edges_* metrics.
+struct KnnGraphStats {
+  int candidate_pairs = 0;  // undirected pairs with |corr| >= tau
+  int kept_edges = 0;       // edges in the resulting TSG
+  int pruned_pairs() const { return candidate_pairs - kept_edges; }
+};
+
 // Builds the TSG: the union of every vertex's k strongest-|corr| neighbour
 // edges, then pruned by tau. Edge weights keep the signed correlation.
 // Deterministic: ties in correlation magnitude are broken by vertex index.
 Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
-                    const KnnGraphOptions& options);
+                    const KnnGraphOptions& options,
+                    KnnGraphStats* stats = nullptr);
 
 }  // namespace cad::graph
 

@@ -1,0 +1,175 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace cad::obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  file << content;
+  if (!file) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const Snapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    if (!c.help.empty()) out += "# HELP " + c.name + " " + c.help + "\n";
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    if (!g.help.empty()) out += "# HELP " + g.name + " " + g.help + "\n";
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " ";
+    AppendDouble(&out, g.value);
+    out += "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (!h.help.empty()) out += "# HELP " + h.name + " " + h.help + "\n";
+    out += "# TYPE " + h.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      out += h.name + "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        AppendDouble(&out, h.bounds[i]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_sum ";
+    AppendDouble(&out, h.sum);
+    out += "\n" + h.name + "_count " + std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+std::string SnapshotToJson(const Snapshot& snapshot) {
+  std::string json = "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) json += ',';
+    AppendJsonString(&json, snapshot.counters[i].name);
+    json += ':' + std::to_string(snapshot.counters[i].value);
+  }
+  json += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) json += ',';
+    AppendJsonString(&json, snapshot.gauges[i].name);
+    json += ':';
+    AppendDouble(&json, snapshot.gauges[i].value);
+  }
+  json += "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    if (i > 0) json += ',';
+    AppendJsonString(&json, h.name);
+    json += ":{\"sum\":";
+    AppendDouble(&json, h.sum);
+    json += ",\"count\":" + std::to_string(h.count());
+    json += ",\"mean\":";
+    AppendDouble(&json, h.mean());
+    json += ",\"p50\":";
+    AppendDouble(&json, h.Quantile(0.50));
+    json += ",\"p95\":";
+    AppendDouble(&json, h.Quantile(0.95));
+    json += ",\"p99\":";
+    AppendDouble(&json, h.Quantile(0.99));
+    json += ",\"buckets\":[";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) json += ',';
+      json += "{\"le\":";
+      if (b < h.bounds.size()) {
+        AppendDouble(&json, h.bounds[b]);
+      } else {
+        json += "\"+Inf\"";
+      }
+      json += ",\"count\":" + std::to_string(h.counts[b]) + '}';
+    }
+    json += "]}";
+  }
+  json += "}}";
+  return json;
+}
+
+std::string TraceEventToJson(const TraceEvent& event) {
+  std::string json = "{\"name\":";
+  AppendJsonString(&json, event.name);
+  json += ",\"cat\":";
+  AppendJsonString(&json, event.category);
+  json += ",\"ph\":\"X\",\"ts\":" + std::to_string(event.start_us);
+  json += ",\"dur\":" + std::to_string(event.duration_us);
+  json += ",\"pid\":1,\"tid\":" + std::to_string(event.thread_id);
+  json += ",\"args\":{\"depth\":\"" + std::to_string(event.depth) + "\"";
+  for (const auto& [key, value] : event.args) {
+    json += ',';
+    AppendJsonString(&json, key);
+    json += ':';
+    AppendJsonString(&json, value);
+  }
+  json += "}}";
+  return json;
+}
+
+std::string TraceToJsonLines(const Tracer& tracer) {
+  std::string out;
+  for (const TraceEvent& event : tracer.events()) {
+    out += TraceEventToJson(event);
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteTelemetry(const std::string& path, const Snapshot& snapshot,
+                      const Tracer& tracer) {
+  std::string combined = "{\"metrics\":" + SnapshotToJson(snapshot);
+  combined += ",\"spans\":[";
+  const std::vector<TraceEvent> events = tracer.events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) combined += ',';
+    combined += TraceEventToJson(events[i]);
+  }
+  combined += "],\"dropped_spans\":" + std::to_string(tracer.dropped()) + "}\n";
+  CAD_RETURN_NOT_OK(WriteFile(path, combined));
+  CAD_RETURN_NOT_OK(WriteFile(path + ".trace.jsonl", TraceToJsonLines(tracer)));
+  return WriteFile(path + ".prom", ToPrometheusText(snapshot));
+}
+
+}  // namespace cad::obs

@@ -1,0 +1,46 @@
+// cad::obs exporters: Prometheus text exposition and dependency-free JSON
+// for metric snapshots, Chrome-trace_event JSONL for span traces, and the
+// combined machine-readable run-telemetry files behind the bench harness's
+// --telemetry-out flag.
+#ifndef CAD_OBS_EXPORT_H_
+#define CAD_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cad::obs {
+
+// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
+// series for histograms, cumulative le="" buckets).
+std::string ToPrometheusText(const Snapshot& snapshot);
+
+// JSON object:
+// {"counters": {name: value, ...}, "gauges": {name: value, ...},
+//  "histograms": {name: {"sum": s, "count": n, "mean": m,
+//                        "p50": ..., "p95": ..., "p99": ...,
+//                        "buckets": [{"le": bound|"+Inf", "count": c}, ...]}}}
+std::string SnapshotToJson(const Snapshot& snapshot);
+
+// One Chrome trace_event "complete" event ({"ph":"X",...}) as a single-line
+// JSON object.
+std::string TraceEventToJson(const TraceEvent& event);
+
+// All recorded spans, one JSON object per line (JSONL). Wrap in [...] (e.g.
+// `jq -s . trace.jsonl`) to load in chrome://tracing; Perfetto's UI accepts
+// the JSONL directly.
+std::string TraceToJsonLines(const Tracer& tracer);
+
+// Writes the full telemetry of a run:
+//   <path>              {"metrics": <SnapshotToJson>, "spans": [events...],
+//                        "dropped_spans": n}   (one JSON document)
+//   <path>.trace.jsonl  the spans as Chrome-trace JSONL
+//   <path>.prom         the metrics in Prometheus text format
+Status WriteTelemetry(const std::string& path, const Snapshot& snapshot,
+                      const Tracer& tracer);
+
+}  // namespace cad::obs
+
+#endif  // CAD_OBS_EXPORT_H_

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace cad::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CAD_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "histogram bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  // Branchless-ish bucket lookup; bucket i holds values <= bounds_[i].
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 1e-5 s .. ~40 s, factor 2.5 per step — covers micro-round latencies on
+  // small sensor counts up to full warm-up phases on IS-5-scale runs.
+  std::vector<double> bounds;
+  for (double b = 1e-5; b < 50.0; b *= 2.5) bounds.push_back(b);
+  return bounds;
+}
+
+uint64_t HistogramSample::count() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+double HistogramSample::mean() const {
+  const uint64_t n = count();
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double HistogramSample::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target && counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // The +Inf bucket has no upper bound; report its lower edge.
+      if (i >= bounds.size()) return lo;
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(cumulative)) / counts[i];
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+const CounterSample* Snapshot::FindCounter(std::string_view name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSample* Snapshot::FindGauge(std::string_view name) const {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSample* Snapshot::FindHistogram(std::string_view name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      Named<Counter>{std::make_unique<Counter>(),
+                                     std::string(help)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      Named<Gauge>{std::make_unique<Gauge>(), std::string(help)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds,
+                               std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = DefaultLatencyBuckets();
+    it = histograms_
+             .emplace(std::string(name),
+                      Named<Histogram>{
+                          std::make_unique<Histogram>(std::move(bounds)),
+                          std::string(help)})
+             .first;
+  }
+  return *it->second.instrument;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, named] : counters_) {
+    snapshot.counters.push_back({name, named.help, named.instrument->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, named] : gauges_) {
+    snapshot.gauges.push_back({name, named.help, named.instrument->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, named] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.help = named.help;
+    sample.bounds = named.instrument->bounds();
+    sample.counts = named.instrument->bucket_counts();
+    sample.sum = named.instrument->sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, named] : counters_) named.instrument->Reset();
+  for (auto& [name, named] : gauges_) named.instrument->Reset();
+  for (auto& [name, named] : histograms_) named.instrument->Reset();
+}
+
+}  // namespace cad::obs

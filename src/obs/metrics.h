@@ -1,0 +1,168 @@
+// cad::obs — process-wide metrics registry (counters, gauges, fixed-bucket
+// latency histograms).
+//
+// Every instrument is lock-free on the hot path: counters and gauges are a
+// single relaxed atomic RMW, histograms are two relaxed RMWs (bucket count +
+// sum). The registry itself takes a mutex only on *registration* — callers
+// resolve their instruments once (see pipeline_metrics.h) and then record
+// through stable pointers, so the parallel ensemble and the bench harness
+// can record concurrently without contention.
+//
+// `Registry::Global()` is the process-wide instance used when a component is
+// not handed an explicit registry (CadOptions::metrics_registry == nullptr).
+// Counters are cumulative across runs, Prometheus-style; per-run deltas are
+// obtained by snapshotting before and after, or by giving the run its own
+// Registry.
+#ifndef CAD_OBS_METRICS_H_
+#define CAD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cad::obs {
+
+// Monotonically increasing integer metric (Prometheus counter semantics).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous value metric (last write wins).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: cumulative counts are derived at snapshot time,
+// storage is one non-cumulative atomic count per bucket plus the +Inf
+// overflow bucket and the running sum. Bucket bounds are upper bounds (le).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Non-cumulative per-bucket counts; size bounds().size() + 1 (+Inf last).
+  std::vector<uint64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;                     // ascending upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+// Default buckets for second-valued latencies: exponential 10us .. ~40s.
+std::vector<double> DefaultLatencyBuckets();
+
+// ---- snapshots -----------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::string help;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  std::vector<double> bounds;    // upper bounds, ascending; +Inf implicit
+  std::vector<uint64_t> counts;  // per-bucket (non-cumulative), size bounds+1
+  double sum = 0.0;
+
+  uint64_t count() const;
+  double mean() const;
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  // bucket that contains the q-th observation. Exact only up to the bucket
+  // resolution; returns 0 when the histogram is empty.
+  double Quantile(double q) const;
+};
+
+// Point-in-time copy of every instrument in a Registry. Value-semantic and
+// self-contained: reports can carry it after the registry is gone.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* FindCounter(std::string_view name) const;
+  const GaugeSample* FindGauge(std::string_view name) const;
+  const HistogramSample* FindHistogram(std::string_view name) const;
+};
+
+// ---- registry ------------------------------------------------------------
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry.
+  static Registry& Global();
+
+  // Find-or-create by name. Returned references stay valid for the lifetime
+  // of the registry. On the first call the help string (and, for histograms,
+  // the bucket bounds) are fixed; later calls with the same name return the
+  // existing instrument unchanged.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {},
+                       std::string_view help = "");
+
+  Snapshot TakeSnapshot() const;
+
+  // Zeroes every instrument (instruments stay registered). Intended for
+  // tests and per-run delta measurement on private registries.
+  void ResetValues();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::unique_ptr<T> instrument;
+    std::string help;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Named<Counter>, std::less<>> counters_;
+  std::map<std::string, Named<Gauge>, std::less<>> gauges_;
+  std::map<std::string, Named<Histogram>, std::less<>> histograms_;
+};
+
+// nullptr-tolerant accessor used by components that accept an optional
+// registry: nullptr means the process-wide one.
+inline Registry& ResolveRegistry(Registry* registry) {
+  return registry != nullptr ? *registry : Registry::Global();
+}
+
+}  // namespace cad::obs
+
+#endif  // CAD_OBS_METRICS_H_

@@ -1,0 +1,90 @@
+// Named instrument handles for the CAD pipeline. Resolved once per component
+// (map lookup + mutex) so the per-round hot path touches only stable atomic
+// instruments. The metric-name glossary lives in DESIGN.md "Observability".
+#ifndef CAD_OBS_PIPELINE_METRICS_H_
+#define CAD_OBS_PIPELINE_METRICS_H_
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace cad::obs {
+
+struct PipelineMetrics {
+  // Counters.
+  Counter* rounds_total = nullptr;          // cad_rounds_total
+  Counter* abnormal_rounds_total = nullptr; // cad_abnormal_rounds_total
+  Counter* outlier_variations = nullptr;    // cad_outlier_variations
+  Counter* tsg_edges_pruned = nullptr;      // cad_tsg_edges_pruned
+  Counter* tsg_edges_kept = nullptr;        // cad_tsg_edges_kept
+  Counter* anomalies_total = nullptr;       // cad_anomalies_total
+  Counter* stream_samples_total = nullptr;  // cad_stream_samples_total
+  // Gauges (state of the most recent round).
+  Gauge* communities = nullptr;             // cad_communities
+  Gauge* outliers = nullptr;                // cad_outliers
+  // Latency histograms (seconds).
+  Histogram* round_seconds = nullptr;         // cad_round_seconds
+  Histogram* correlation_seconds = nullptr;   // cad_correlation_seconds
+  Histogram* knn_build_seconds = nullptr;     // cad_knn_build_seconds
+  Histogram* louvain_seconds = nullptr;       // cad_louvain_seconds
+  Histogram* coappearance_seconds = nullptr;  // cad_coappearance_seconds
+
+  static PipelineMetrics For(Registry& registry) {
+    PipelineMetrics m;
+    m.rounds_total = &registry.counter(
+        "cad_rounds_total", "OutlierDetection rounds processed");
+    m.abnormal_rounds_total = &registry.counter(
+        "cad_abnormal_rounds_total", "rounds flagged by the eta-sigma rule");
+    m.outlier_variations = &registry.counter(
+        "cad_outlier_variations", "cumulative outlier variations (sum of n_r)");
+    m.tsg_edges_pruned = &registry.counter(
+        "cad_tsg_edges_pruned",
+        "candidate TSG edges above tau dropped by k-NN selection");
+    m.tsg_edges_kept = &registry.counter(
+        "cad_tsg_edges_kept", "TSG edges kept after k-NN selection and tau");
+    m.anomalies_total = &registry.counter(
+        "cad_anomalies_total", "anomalies Z = (V_Z, R_Z) closed");
+    m.stream_samples_total = &registry.counter(
+        "cad_stream_samples_total", "samples pushed into StreamingCad");
+    m.communities = &registry.gauge(
+        "cad_communities", "Louvain communities c_r of the latest round");
+    m.outliers = &registry.gauge(
+        "cad_outliers", "outlier-set size |O_r| of the latest round");
+    m.round_seconds = &registry.histogram(
+        "cad_round_seconds", {}, "latency of one OutlierDetection round");
+    m.correlation_seconds = &registry.histogram(
+        "cad_correlation_seconds", {}, "window correlation-matrix latency");
+    m.knn_build_seconds = &registry.histogram(
+        "cad_knn_build_seconds", {}, "TSG k-NN graph construction latency");
+    m.louvain_seconds = &registry.histogram(
+        "cad_louvain_seconds", {}, "Louvain community-detection latency");
+    m.coappearance_seconds = &registry.histogram(
+        "cad_coappearance_seconds",
+        {}, "co-appearance mining + variation-analysis latency");
+    return m;
+  }
+};
+
+// RAII timer observing its scope's wall-clock duration into a Histogram
+// (and, optionally, accumulating into a plain double) on destruction — the
+// histogram-flavored sibling of cad::ScopedTimer.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* histogram, double* also = nullptr)
+      : histogram_(histogram), also_(also) {}
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer() {
+    const double seconds = watch_.ElapsedSeconds();
+    if (histogram_ != nullptr) histogram_->Observe(seconds);
+    if (also_ != nullptr) *also_ += seconds;
+  }
+
+ private:
+  Stopwatch watch_;
+  Histogram* histogram_;
+  double* also_;
+};
+
+}  // namespace cad::obs
+
+#endif  // CAD_OBS_PIPELINE_METRICS_H_

@@ -1,0 +1,114 @@
+// cad::obs — span tracer: nested begin/end events with labels, exportable as
+// Chrome-`trace_event`-compatible JSONL (loadable in Perfetto / about:tracing
+// after wrapping the lines in a JSON array, see DESIGN.md "Observability").
+//
+// The tracer is compiled in but *disabled by default*: constructing a Span
+// against a disabled tracer costs one pointer test plus one relaxed atomic
+// load and records nothing, so instrumentation can stay in the hot path
+// permanently. When enabled, completed spans are appended to a bounded
+// in-memory buffer under a mutex; once the buffer is full further spans are
+// counted as dropped instead of recorded (the trace stays a prefix of the
+// run, never a random sample).
+#ifndef CAD_OBS_TRACE_H_
+#define CAD_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cad::obs {
+
+// One completed span, in the vocabulary of Chrome's trace_event format
+// ("ph":"X" complete events): a named interval on a thread, with string
+// labels carried as `args`.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;     // microseconds since the tracer's epoch
+  int64_t duration_us = 0;  // wall-clock duration
+  uint32_t thread_id = 0;   // stable per-thread ordinal (tid in the JSON)
+  int depth = 0;            // span nesting depth on this thread, 0 = root
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 18;  // ~262k spans
+
+  explicit Tracer(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The process-wide tracer. Off until something calls Enable() (e.g. the
+  // bench harness when --telemetry-out is given).
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends a completed span; drops (and counts) when at capacity.
+  void Record(TraceEvent event);
+
+  // Copy of the recorded spans, in completion order.
+  std::vector<TraceEvent> events() const;
+  size_t event_count() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  // Microseconds since this tracer's construction (the trace epoch).
+  int64_t NowMicros() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t capacity_;
+  std::atomic<uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+// nullptr-tolerant accessor mirroring ResolveRegistry: components take an
+// optional Tracer* and fall back to the global (disabled-by-default) one.
+inline Tracer& ResolveTracer(Tracer* tracer) {
+  return tracer != nullptr ? *tracer : Tracer::Global();
+}
+
+// RAII span. When the tracer is disabled at construction the span is inert:
+// every later member call is a no-op guarded by a single branch. When
+// enabled, destruction (or End()) records one TraceEvent covering the
+// constructor-to-end interval, with per-thread nesting depth tracked so
+// child spans render nested under their parents.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name, std::string_view category = "cad");
+  Span(Tracer& tracer, std::string_view name, std::string_view category = "cad")
+      : Span(&tracer, name, category) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  // Attaches a label exported under the event's `args`.
+  void AddArg(std::string_view key, std::string value);
+
+  bool active() const { return tracer_ != nullptr; }
+
+  // Completes the span now; idempotent.
+  void End();
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when recording is off → everything no-ops
+  TraceEvent event_;
+};
+
+}  // namespace cad::obs
+
+#endif  // CAD_OBS_TRACE_H_

@@ -1,0 +1,198 @@
+// Unit tests for the obs metrics registry: counter/gauge/histogram
+// semantics, snapshots, the Prometheus + JSON exporters, and concurrent
+// recording through the lock-free hot path.
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace cad::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  gauge.Set(7.0);  // last write wins
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // <= 1
+  histogram.Observe(1.0);    // boundary: le is an upper bound, lands in [., 1]
+  histogram.Observe(5.0);    // <= 10
+  histogram.Observe(1000.0); // above every bound -> +Inf
+  const std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1006.5);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+}
+
+TEST(HistogramSampleTest, MeanAndQuantiles) {
+  HistogramSample sample;
+  sample.bounds = {1.0, 2.0, 4.0};
+  sample.counts = {0, 100, 0, 0};  // all observations in (1, 2]
+  sample.sum = 150.0;
+  EXPECT_EQ(sample.count(), 100u);
+  EXPECT_DOUBLE_EQ(sample.mean(), 1.5);
+  // Every quantile interpolates inside the (1, 2] bucket.
+  EXPECT_GT(sample.Quantile(0.5), 1.0);
+  EXPECT_LE(sample.Quantile(0.5), 2.0);
+  EXPECT_LE(sample.Quantile(0.5), sample.Quantile(0.99));
+
+  HistogramSample empty;
+  empty.bounds = {1.0};
+  empty.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableInstruments) {
+  Registry registry;
+  Counter& a = registry.counter("requests", "number of requests");
+  Counter& b = registry.counter("requests", "ignored on second call");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Histogram& h1 = registry.histogram("latency", {0.1, 1.0});
+  Histogram& h2 = registry.histogram("latency");  // bounds fixed on first call
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotCapturesValuesAndHelp) {
+  Registry registry;
+  registry.counter("c", "a counter").Increment(7);
+  registry.gauge("g", "a gauge").Set(1.25);
+  registry.histogram("h", {1.0}, "a histogram").Observe(0.5);
+
+  const Snapshot snapshot = registry.TakeSnapshot();
+  const CounterSample* c = snapshot.FindCounter("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 7u);
+  EXPECT_EQ(c->help, "a counter");
+  const GaugeSample* g = snapshot.FindGauge("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 1.25);
+  const HistogramSample* h = snapshot.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(snapshot.FindCounter("missing"), nullptr);
+}
+
+TEST(RegistryTest, ResetValuesZeroesButKeepsRegistration) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  counter.Increment(5);
+  registry.histogram("h", {1.0}).Observe(0.5);
+  registry.ResetValues();
+  EXPECT_EQ(counter.value(), 0u);
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_NE(snapshot.FindCounter("c"), nullptr);  // still registered
+  EXPECT_EQ(snapshot.FindHistogram("h")->count(), 0u);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  Registry registry;
+  Counter& counter = registry.counter("hits");
+  Histogram& histogram = registry.histogram("lat", {0.5, 1.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        histogram.Observe(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram.count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1.0 * kThreads * kPerThread);
+  // All observations are 1.0: the (0.5, 1.5] bucket holds every one.
+  EXPECT_EQ(histogram.bucket_counts()[1], uint64_t{kThreads} * kPerThread);
+}
+
+TEST(ExportTest, PrometheusTextExposition) {
+  Registry registry;
+  registry.counter("cad_rounds_total", "rounds processed").Increment(3);
+  registry.gauge("cad_communities").Set(4.0);
+  Histogram& h = registry.histogram("cad_round_seconds", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+
+  const std::string text = ToPrometheusText(registry.TakeSnapshot());
+  EXPECT_NE(text.find("# HELP cad_rounds_total rounds processed"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cad_rounds_total counter"), std::string::npos);
+  EXPECT_NE(text.find("cad_rounds_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cad_communities gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cad_round_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative: le="1" holds 1, le="10" holds 2, +Inf holds 2.
+  EXPECT_NE(text.find("cad_round_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cad_round_seconds_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cad_round_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("cad_round_seconds_sum 5.5"), std::string::npos);
+  EXPECT_NE(text.find("cad_round_seconds_count 2"), std::string::npos);
+}
+
+TEST(ExportTest, SnapshotJsonHasAllSections) {
+  Registry registry;
+  registry.counter("c").Increment(2);
+  registry.gauge("g").Set(0.5);
+  registry.histogram("h", {1.0}).Observe(2.0);
+
+  const std::string json = SnapshotToJson(registry.TakeSnapshot());
+  EXPECT_NE(json.find("\"counters\":{\"c\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{\"h\":{\"sum\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+}
+
+TEST(DefaultLatencyBucketsTest, AscendingAndSpanningMicrosToSeconds) {
+  const std::vector<double> buckets = DefaultLatencyBuckets();
+  ASSERT_GE(buckets.size(), 8u);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+  }
+  EXPECT_LE(buckets.front(), 1e-4);  // sub-100us rounds are resolvable
+  EXPECT_GE(buckets.back(), 1.0);    // multi-second rounds too
+}
+
+}  // namespace
+}  // namespace cad::obs

@@ -1,0 +1,133 @@
+// Unit tests for the span tracer: inertness when disabled, nesting depth,
+// bounded-buffer drop semantics, and the Chrome-trace_event JSON shape.
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace cad::obs {
+namespace {
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    Span span(tracer, "work");
+    EXPECT_FALSE(span.active());
+    span.AddArg("k", "v");  // no-op, must not crash
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, EnabledSpanRecordsOneEventWithArgs) {
+  Tracer tracer;
+  tracer.Enable();
+  {
+    Span span(tracer, "round", "pipeline");
+    EXPECT_TRUE(span.active());
+    span.AddArg("round", "7");
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "round");
+  EXPECT_EQ(events[0].category, "pipeline");
+  EXPECT_GE(events[0].duration_us, 0);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "round");
+  EXPECT_EQ(events[0].args[0].second, "7");
+}
+
+TEST(TracerTest, NestedSpansTrackDepthAndCompleteChildFirst) {
+  Tracer tracer;
+  tracer.Enable();
+  {
+    Span parent(tracer, "parent");
+    {
+      Span child(tracer, "child");
+    }
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Events are recorded in completion order: child ends before parent.
+  EXPECT_EQ(events[0].name, "child");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "parent");
+  EXPECT_EQ(events[1].depth, 0);
+  // The parent interval covers the child's.
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+}
+
+TEST(TracerTest, EndIsIdempotent) {
+  Tracer tracer;
+  tracer.Enable();
+  Span span(tracer, "once");
+  span.End();
+  span.End();  // second call must not record again
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(TracerTest, BufferAtCapacityDropsInsteadOfGrowing) {
+  Tracer tracer(/*capacity=*/2);
+  tracer.Enable();
+  for (int i = 0; i < 5; ++i) {
+    Span span(tracer, "s");
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);  // prefix of the run is kept
+  EXPECT_EQ(tracer.dropped(), 3u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, SpansStopRecordingAfterDisable) {
+  Tracer tracer;
+  tracer.Enable();
+  { Span span(tracer, "recorded"); }
+  tracer.Disable();
+  { Span span(tracer, "not recorded"); }
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(TracerTest, NowMicrosIsMonotonic) {
+  Tracer tracer;
+  const int64_t a = tracer.NowMicros();
+  const int64_t b = tracer.NowMicros();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+TEST(TraceExportTest, EventJsonIsChromeTraceShaped) {
+  TraceEvent event;
+  event.name = "round";
+  event.category = "cad";
+  event.start_us = 100;
+  event.duration_us = 25;
+  event.thread_id = 3;
+  event.depth = 1;
+  event.args.emplace_back("round", "12");
+
+  const std::string json = TraceEventToJson(event);
+  EXPECT_NE(json.find("\"name\":\"round\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"round\":\"12\""), std::string::npos);
+}
+
+TEST(TraceExportTest, JsonLinesHasOneLinePerEvent) {
+  Tracer tracer;
+  tracer.Enable();
+  { Span a(tracer, "a"); }
+  { Span b(tracer, "b"); }
+  const std::string lines = TraceToJsonLines(tracer);
+  size_t newlines = 0;
+  for (char c : lines) newlines += c == '\n';
+  EXPECT_EQ(newlines, 2u);
+}
+
+}  // namespace
+}  // namespace cad::obs

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Validates the machine-readable telemetry produced by the observability
+# layer: runs bench/micro_core with --telemetry-out, then checks that the
+# combined JSON parses, carries the pipeline metrics the docs promise
+# (cad_rounds_total, the cad_round_seconds buckets, cad_tsg_edges_pruned),
+# and that the Chrome-trace JSONL is one well-formed event per line.
+#
+# Usage: tools/check_telemetry.sh [build_dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MICRO="$BUILD_DIR/bench/micro_core"
+if [[ ! -x "$MICRO" ]]; then
+  echo "error: $MICRO not found — build first (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+OUT="$OUT_DIR/telemetry.json"
+
+# One small benchmark repetition is enough to populate the round pipeline.
+"$MICRO" --benchmark_filter='BM_OutlierDetectionRound/26$' \
+         --benchmark_min_time=0.05 \
+         --telemetry-out "$OUT" > /dev/null
+
+for f in "$OUT" "$OUT.trace.jsonl" "$OUT.prom"; do
+  [[ -s "$f" ]] || { echo "FAIL: $f missing or empty" >&2; exit 1; }
+done
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+doc = json.load(open(path))
+metrics = doc["metrics"]
+
+rounds = metrics["counters"].get("cad_rounds_total", 0)
+assert rounds > 0, "cad_rounds_total missing or zero"
+
+hist = metrics["histograms"]["cad_round_seconds"]
+assert hist["count"] == rounds, (
+    f"cad_round_seconds count {hist['count']} != cad_rounds_total {rounds}")
+assert hist["buckets"], "cad_round_seconds has no buckets"
+assert sum(b["count"] for b in hist["buckets"]) == hist["count"]
+bounds = [b["le"] for b in hist["buckets"][:-1]]
+assert bounds == sorted(bounds), "bucket bounds must ascend"
+assert hist["buckets"][-1]["le"] == "+Inf", "last bucket must be +Inf"
+
+assert "cad_tsg_edges_pruned" in metrics["counters"], "cad_tsg_edges_pruned missing"
+assert "spans" in doc and "dropped_spans" in doc
+
+# The tracer was enabled, so the trace must hold the per-round spans.
+names = [s["name"] for s in doc["spans"]]
+assert names.count("round") > 0, "no round spans recorded"
+
+with open(path + ".trace.jsonl") as f:
+    n_lines = 0
+    for line in f:
+        event = json.loads(line)
+        assert event["ph"] == "X" and "ts" in event and "dur" in event
+        n_lines += 1
+assert n_lines == len(doc["spans"]), "JSONL line count != embedded span count"
+
+print(f"OK: {rounds} rounds, {n_lines} spans, "
+      f"{len(hist['buckets'])} latency buckets")
+EOF
+
+grep -q '^cad_round_seconds_bucket{le="+Inf"}' "$OUT.prom" \
+  || { echo "FAIL: Prometheus exposition lacks +Inf bucket" >&2; exit 1; }
+
+echo "telemetry check passed"
