@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/strings.h"
+#include "check/check.h"
 #include "eval/ahead_miss.h"
 #include "harness/harness.h"
 

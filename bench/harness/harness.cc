@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "baselines/cad_adapter.h"
+#include "check/check.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "obs/export.h"

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/strings.h"
+#include "check/check.h"
 #include "eval/sensor_eval.h"
 #include "harness/harness.h"
 
@@ -46,7 +47,10 @@ int Main(int argc, char** argv) {
         auto method = baselines::MakeMethod(result.name, dataset.recommended,
                                             subset * 131);
         if (dataset.has_train()) {
-          CAD_CHECK(method->Fit(dataset.train).ok(), "fit failed");
+          // Hoisted out of the check: CAD_CHECK conditions must stay
+          // side-effect free (they vanish at CAD_CHECK_LEVEL=off).
+          const Status fit_status = method->Fit(dataset.train);
+          CAD_CHECK(fit_status.ok(), "fit failed: ", fit_status.ToString());
         }
         method->Score(dataset.test).ValueOrDie();
         const auto sensor_scores =

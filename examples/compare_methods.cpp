@@ -10,6 +10,7 @@
 
 #include "baselines/method_registry.h"
 #include "baselines/parallel_ensemble.h"
+#include "check/check.h"
 #include "datasets/registry.h"
 #include "eval/ahead_miss.h"
 #include "eval/threshold.h"
@@ -87,7 +88,10 @@ int main(int argc, char** argv) {
         cad::baselines::MakeMethod("ECOD", dataset.recommended, 42));
     cad::baselines::ParallelEnsemble ensemble(std::move(members));
     if (dataset.has_train()) {
-      CAD_CHECK(ensemble.Fit(dataset.train).ok(), "ensemble fit failed");
+      // Hoisted out of the check: CAD_CHECK conditions must stay side-effect
+      // free (they vanish at CAD_CHECK_LEVEL=off).
+      const cad::Status fit_status = ensemble.Fit(dataset.train);
+      CAD_CHECK(fit_status.ok(), "ensemble fit failed: ", fit_status.ToString());
     }
     const std::vector<double> scores =
         ensemble.Score(dataset.test).ValueOrDie();

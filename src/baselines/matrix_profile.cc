@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "baselines/subsequence.h"
+#include "check/check.h"
 #include "stats/autocorrelation.h"
 
 namespace cad::baselines {

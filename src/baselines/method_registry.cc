@@ -15,6 +15,7 @@
 #include "baselines/s2g.h"
 #include "baselines/sand.h"
 #include "baselines/usad.h"
+#include "check/check.h"
 
 namespace cad::baselines {
 
@@ -78,8 +79,9 @@ std::unique_ptr<Detector> MakeMethod(const std::string& name,
     return std::make_unique<Loda>(options);
   }
   if (name == "MP") return MakeMatrixProfileEnsemble();
-  CAD_CHECK(false, "unknown method '" + name + "'");
-  return nullptr;
+  // CAD_FATAL (unlike CAD_CHECK(false, ...)) survives every check level, so
+  // this path never falls through to a missing return.
+  CAD_FATAL("unknown method '", name, "'");
 }
 
 }  // namespace cad::baselines

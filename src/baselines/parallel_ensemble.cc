@@ -1,5 +1,7 @@
 #include "baselines/parallel_ensemble.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 
 namespace cad::baselines {

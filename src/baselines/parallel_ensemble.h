@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "baselines/detector.h"
+#include "check/check.h"
 
 namespace cad::baselines {
 
@@ -33,7 +34,11 @@ class ParallelEnsemble : public Detector {
   std::string name() const override {
     std::string name = members_[0]->name();
     for (size_t i = 1; i < members_.size(); ++i) {
-      name += "+" + members_[i]->name();
+      // Appended in two steps: "+" + name() takes the rvalue operator+
+      // overload that trips GCC 12's -Wrestrict false positive (PR105651)
+      // under -Werror.
+      name += '+';
+      name += members_[i]->name();
     }
     return name;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
 #include "common/status.h"
 
 namespace cad::baselines {

@@ -1,5 +1,7 @@
 #include "baselines/univariate.h"
 
+#include "check/check.h"
+
 namespace cad::baselines {
 
 Result<std::vector<double>> UnivariateEnsemble::ScoreImpl(

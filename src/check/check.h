@@ -1,0 +1,226 @@
+// cad::check — contract/invariant macros for the CAD pipeline.
+//
+// CAD's correctness hinges on structural invariants the type system cannot
+// express (symmetric TSGs, disjoint Louvain covers, non-negative running
+// variance, ...). This header provides the enforcement primitives; the
+// structural validators themselves live in check/validators.h.
+//
+// Macro catalog
+//   CAD_CHECK(cond, msg...)   hard invariant; active at level debug and full.
+//   CAD_DCHECK(cond, msg...)  debug-only invariant for hot paths; active at
+//                             level full, and at level debug only in
+//                             !NDEBUG builds (so RelWithDebInfo pays nothing).
+//   CAD_ENSURE(cond, Code, msg...)
+//                             Status-propagating precondition: returns
+//                             ::cad::Status::Code(message) from the enclosing
+//                             function when cond is false. NEVER compiled
+//                             out — it is error handling, not assertion.
+//   CAD_FATAL(msg...)         unconditional [[noreturn]] failure (unreachable
+//                             branches, exhaustive-switch fallthroughs).
+//                             NEVER compiled out.
+//   CAD_VALIDATE(expr)        runs a Status-returning validator and fails a
+//                             check on error; active only at level full.
+//                             Compiled to an *unevaluated* no-op otherwise.
+//
+// Check levels (CMake option CAD_CHECK_LEVEL=off|debug|full, default debug,
+// surfaced here as the CAD_CHECK_LEVEL preprocessor value 0/1/2):
+//   off   (0)  every macro except CAD_ENSURE/CAD_FATAL compiles to an
+//              unevaluated no-op — zero instructions on the hot path.
+//              Benchmark builds only; see the contract below.
+//   debug (1)  CAD_CHECK is one predictable branch; CAD_DCHECK follows
+//              NDEBUG; validators off. The default everywhere.
+//   full  (2)  everything on, including the stage-boundary structural
+//              validators in core/. For CI, fuzzing and soak runs.
+//
+// CONTRACT: condition expressions passed to CAD_CHECK/CAD_DCHECK must be
+// side-effect free. At level off the condition is *not evaluated* (it sits
+// in an unevaluated sizeof so typos still fail to compile), so a condition
+// that does work — `CAD_CHECK(Fit(x).ok(), ...)` — silently loses that work.
+// Hoist the call: `Status st = Fit(x); CAD_CHECK(st.ok(), ...)`. This is the
+// classic assert()-under-NDEBUG hazard; the unevaluated-sizeof expansion
+// keeps it from also being a silent *compile* rot hazard.
+//
+// Failure policy: failed checks format their message, report source
+// location, bump cad::check::failure_count(), and call the installed
+// failure handler (default: write to stderr and abort()). Tests may install
+// a throwing handler via ScopedFailureHandler to observe the exact message
+// without dying.
+#ifndef CAD_CHECK_CHECK_H_
+#define CAD_CHECK_CHECK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+// The build system injects CAD_CHECK_LEVEL as 0 (off), 1 (debug) or 2
+// (full); default to debug for standalone compilation.
+#ifndef CAD_CHECK_LEVEL
+#define CAD_CHECK_LEVEL 1
+#endif
+
+namespace cad::check {
+
+// Source location + stringified condition of a failed check.
+struct CheckContext {
+  const char* file = "";
+  int line = 0;
+  const char* function = "";
+  const char* expression = "";
+};
+
+// Handler invoked with the formatted failure line. It may throw (test
+// harnesses) or log-and-return; if it returns, the process aborts — a failed
+// CAD_CHECK never resumes execution.
+using FailureHandler = void (*)(const CheckContext&, const std::string& message);
+
+namespace internal {
+
+inline std::atomic<FailureHandler>& HandlerSlot() {
+  static std::atomic<FailureHandler> slot{nullptr};
+  return slot;
+}
+
+inline std::atomic<uint64_t>& FailureCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+// Streams every argument into one string; CAD_CHECK(cond) with no message
+// arguments resolves to the zero-argument overload.
+inline std::string FormatMessage() { return std::string(); }
+
+template <typename... Args>
+std::string FormatMessage(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  return out.str();
+}
+
+}  // namespace internal
+
+// Installs `handler` process-wide; nullptr restores the default
+// (stderr + abort). Returns the previous handler.
+inline FailureHandler SetFailureHandler(FailureHandler handler) {
+  return internal::HandlerSlot().exchange(handler);
+}
+
+// Number of check failures observed so far (only visible >0 when a
+// non-aborting handler is installed, e.g. in tests).
+inline uint64_t failure_count() {
+  return internal::FailureCount().load(std::memory_order_relaxed);
+}
+
+// Renders "CAD_CHECK failed at file:line in func: `expr` — message".
+inline std::string FormatFailure(const CheckContext& ctx,
+                                 const std::string& message) {
+  std::ostringstream out;
+  out << "CAD_CHECK failed at " << ctx.file << ":" << ctx.line << " in "
+      << ctx.function << ": `" << ctx.expression << "`";
+  if (!message.empty()) out << " — " << message;
+  return out.str();
+}
+
+// Out-of-line slow path shared by every check macro. Marked noreturn: the
+// installed handler may throw, but plain return falls through to abort().
+[[noreturn]] inline void FailCheck(const CheckContext& ctx,
+                                   const std::string& message) {
+  internal::FailureCount().fetch_add(1, std::memory_order_relaxed);
+  if (FailureHandler handler = internal::HandlerSlot().load()) {
+    handler(ctx, message);  // may throw (test harnesses)
+  } else {
+    std::cerr << FormatFailure(ctx, message) << std::endl;
+  }
+  std::abort();
+}
+
+// RAII failure-handler installation for tests.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler)
+      : previous_(SetFailureHandler(handler)) {}
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+  ~ScopedFailureHandler() { SetFailureHandler(previous_); }
+
+ private:
+  FailureHandler previous_;
+};
+
+}  // namespace cad::check
+
+#define CAD_CHECK_INTERNAL_FAIL(expr_str, ...)                             \
+  ::cad::check::FailCheck(                                                 \
+      ::cad::check::CheckContext{__FILE__, __LINE__, __func__, expr_str},  \
+      ::cad::check::internal::FormatMessage(__VA_ARGS__))
+
+// Active check: one predictable branch on success.
+#define CAD_CHECK_INTERNAL_ACTIVE(cond, ...)                          \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      CAD_CHECK_INTERNAL_FAIL(#cond __VA_OPT__(, ) __VA_ARGS__);      \
+    }                                                                 \
+  } while (false)
+
+// Disabled check: zero runtime cost, but the condition stays inside an
+// unevaluated operand so it must still compile (no bit rot).
+#define CAD_CHECK_INTERNAL_NOOP(cond, ...) \
+  do {                                     \
+    (void)sizeof(!(cond));                 \
+  } while (false)
+
+#if CAD_CHECK_LEVEL >= 1
+#define CAD_CHECK(cond, ...) \
+  CAD_CHECK_INTERNAL_ACTIVE(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define CAD_CHECK(cond, ...) CAD_CHECK_INTERNAL_NOOP(cond)
+#endif
+
+#if CAD_CHECK_LEVEL >= 2 || (CAD_CHECK_LEVEL >= 1 && !defined(NDEBUG))
+#define CAD_DCHECK(cond, ...) \
+  CAD_CHECK_INTERNAL_ACTIVE(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define CAD_DCHECK(cond, ...) CAD_CHECK_INTERNAL_NOOP(cond)
+#endif
+
+// Unconditional failure for unreachable code; never compiled out so the
+// enclosing function needs no dead return path at any check level.
+#define CAD_FATAL(...) \
+  CAD_CHECK_INTERNAL_FAIL("unreachable" __VA_OPT__(, ) __VA_ARGS__)
+
+// Status-propagating precondition. `code` is a ::cad::Status factory name
+// (InvalidArgument, FailedPrecondition, ...); the enclosing function must
+// return ::cad::Status or ::cad::Result<T>. Always active.
+#define CAD_ENSURE(cond, code, ...)                                    \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      return ::cad::Status::code(                                      \
+          ::cad::check::internal::FormatMessage(__VA_ARGS__));         \
+    }                                                                  \
+  } while (false)
+
+// Stage-boundary validator hook: `expr` is a ::cad::Status-returning call
+// (typically a check/validators.h function). Level full turns violations
+// into check failures; below that the call is not evaluated.
+#if CAD_CHECK_LEVEL >= 2
+#define CAD_VALIDATE(expr)                               \
+  do {                                                   \
+    ::cad::Status cad_validate_status = (expr);          \
+    if (!cad_validate_status.ok()) [[unlikely]] {        \
+      CAD_CHECK_INTERNAL_FAIL(#expr,                     \
+                              cad_validate_status.ToString()); \
+    }                                                    \
+  } while (false)
+#define CAD_VALIDATE_ENABLED 1
+#else
+#define CAD_VALIDATE(expr)     \
+  do {                         \
+    (void)sizeof((expr).ok()); \
+  } while (false)
+#define CAD_VALIDATE_ENABLED 0
+#endif
+
+#endif  // CAD_CHECK_CHECK_H_

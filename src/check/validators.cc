@@ -1,0 +1,359 @@
+#include "check/validators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "check/check.h"
+#include "core/cad_detector.h"
+#include "core/co_appearance.h"
+#include "obs/metrics.h"
+
+namespace cad::check {
+
+namespace {
+
+using internal::FormatMessage;
+
+// Records the violation in the registry (global when nullptr) and wraps the
+// message in the Status every validator returns.
+Status Violation(obs::Registry* registry, const char* artifact,
+                 std::string message) {
+  obs::Registry& r = obs::ResolveRegistry(registry);
+  r.counter("cad_check_violations_total",
+            "structural validator violations (all artifacts)")
+      .Increment();
+  r.counter(std::string("cad_check_") + artifact + "_violations",
+            "structural validator violations")
+      .Increment();
+  return Status::FailedPrecondition(std::move(message));
+}
+
+}  // namespace
+
+Status ValidateGraph(const graph::Graph& graph, const GraphBounds& bounds,
+                     obs::Registry* registry) {
+  const int n = graph.n_vertices();
+  // forward/backward half-edge counts + first seen weight per vertex pair
+  // (key packs u < v), used for the symmetry and simple-graph checks.
+  struct PairEntry {
+    int forward = 0;   // entries in the smaller endpoint's list
+    int backward = 0;  // entries in the larger endpoint's list
+    double weight = 0.0;
+  };
+  std::unordered_map<int64_t, PairEntry> pairs;
+  int64_t directed = 0;
+  for (int u = 0; u < n; ++u) {
+    if (bounds.max_degree >= 0 && graph.degree(u) > bounds.max_degree) {
+      return Violation(registry, "graph",
+                       FormatMessage("vertex ", u, " has degree ",
+                                     graph.degree(u), " > max_degree ",
+                                     bounds.max_degree));
+    }
+    for (const graph::Graph::Neighbor& nb : graph.neighbors(u)) {
+      if (nb.vertex < 0 || nb.vertex >= n) {
+        return Violation(registry, "graph",
+                         FormatMessage("vertex ", u, " has neighbor ",
+                                       nb.vertex, " outside [0, ", n, ")"));
+      }
+      if (nb.vertex == u) {
+        return Violation(registry, "graph",
+                         FormatMessage("self-loop at vertex ", u));
+      }
+      if (!std::isfinite(nb.weight)) {
+        return Violation(registry, "graph",
+                         FormatMessage("edge (", u, ", ", nb.vertex,
+                                       ") has non-finite weight"));
+      }
+      if (bounds.max_abs_weight >= 0.0 &&
+          std::abs(nb.weight) > bounds.max_abs_weight) {
+        return Violation(
+            registry, "graph",
+            FormatMessage("edge (", u, ", ", nb.vertex, ") has |weight| ",
+                          std::abs(nb.weight), " > ", bounds.max_abs_weight));
+      }
+      ++directed;
+      const int lo = std::min(u, nb.vertex);
+      const int hi = std::max(u, nb.vertex);
+      PairEntry& entry =
+          pairs[static_cast<int64_t>(lo) * n + hi];
+      if (entry.forward == 0 && entry.backward == 0) entry.weight = nb.weight;
+      int& side = u == lo ? entry.forward : entry.backward;
+      ++side;
+      if (side > 1) {
+        return Violation(registry, "graph",
+                         FormatMessage("duplicate edge (", lo, ", ", hi,
+                                       "): graph must be simple"));
+      }
+      if (entry.weight != nb.weight) {
+        return Violation(
+            registry, "graph",
+            FormatMessage("edge (", lo, ", ", hi, ") weight mismatch: ",
+                          entry.weight, " vs ", nb.weight));
+      }
+    }
+  }
+  for (const auto& [key, entry] : pairs) {
+    if (entry.forward != entry.backward) {
+      const int lo = static_cast<int>(key / n);
+      const int hi = static_cast<int>(key % n);
+      return Violation(registry, "graph",
+                       FormatMessage("asymmetric edge (", lo, ", ", hi,
+                                     "): present in only one adjacency list"));
+    }
+  }
+  if (graph.n_edges() * 2 != directed) {
+    return Violation(registry, "graph",
+                     FormatMessage("edge-count bookkeeping off: n_edges() == ",
+                                   graph.n_edges(), " but adjacency holds ",
+                                   directed, " half-edges"));
+  }
+  if (bounds.max_edges >= 0 && graph.n_edges() > bounds.max_edges) {
+    return Violation(registry, "graph",
+                     FormatMessage("graph has ", graph.n_edges(),
+                                   " edges > max_edges ", bounds.max_edges));
+  }
+  return Status::Ok();
+}
+
+Status ValidatePartition(const graph::Partition& partition, int n_vertices,
+                         obs::Registry* registry) {
+  if (static_cast<int>(partition.community.size()) != n_vertices) {
+    return Violation(
+        registry, "partition",
+        FormatMessage("partition covers ", partition.community.size(),
+                      " vertices, expected ", n_vertices));
+  }
+  if (partition.n_communities < 0 ||
+      (n_vertices == 0 && partition.n_communities != 0)) {
+    return Violation(registry, "partition",
+                     FormatMessage("invalid community count ",
+                                   partition.n_communities, " for ",
+                                   n_vertices, " vertices"));
+  }
+  std::vector<int> size(static_cast<size_t>(std::max(partition.n_communities, 0)), 0);
+  int next_new_id = 0;
+  for (int v = 0; v < n_vertices; ++v) {
+    const int c = partition.community[v];
+    if (c < 0 || c >= partition.n_communities) {
+      return Violation(registry, "partition",
+                       FormatMessage("vertex ", v, " assigned community ", c,
+                                     " outside [0, ", partition.n_communities,
+                                     ")"));
+    }
+    if (size[static_cast<size_t>(c)] == 0) {
+      // First member: canonical numbering assigns ids in order of first
+      // appearance (community ids ordered by smallest member vertex).
+      if (c != next_new_id) {
+        return Violation(
+            registry, "partition",
+            FormatMessage("non-canonical labeling: community ", c,
+                          " first appears (vertex ", v,
+                          ") before community ", next_new_id));
+      }
+      ++next_new_id;
+    }
+    ++size[static_cast<size_t>(c)];
+  }
+  if (next_new_id != partition.n_communities) {
+    return Violation(
+        registry, "partition",
+        FormatMessage("empty communities: only ", next_new_id, " of ",
+                      partition.n_communities, " ids have members"));
+  }
+  return Status::Ok();
+}
+
+Status ValidateCoAppearance(const std::vector<int>& counts,
+                            const std::vector<int>& prev_community,
+                            const std::vector<int>& cur_community,
+                            obs::Registry* registry) {
+  const size_t n = prev_community.size();
+  if (cur_community.size() != n || counts.size() != n) {
+    return Violation(
+        registry, "coappearance",
+        FormatMessage("shape mismatch: ", counts.size(), " counts, ",
+                      prev_community.size(), " previous communities, ",
+                      cur_community.size(), " current communities"));
+  }
+  // Independent recount of S_r(v): vertices co-appear when they share *both*
+  // the previous and the current community, so group by the pair. A group of
+  // m members gives each member count m - 1; comparing against this recount
+  // catches any asymmetric or stale counting, since co-appearance is
+  // symmetric by definition.
+  std::unordered_map<int64_t, int> group_size;
+  group_size.reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    const int64_t key = (static_cast<int64_t>(prev_community[v]) << 32) |
+                        static_cast<uint32_t>(cur_community[v]);
+    ++group_size[key];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (counts[v] < 0 || counts[v] > static_cast<int>(n) - 1) {
+      return Violation(
+          registry, "coappearance",
+          FormatMessage("vertex ", v, " has co-appearance count ", counts[v],
+                        " outside [0, ", n - 1, "]"));
+    }
+    const int64_t key = (static_cast<int64_t>(prev_community[v]) << 32) |
+                        static_cast<uint32_t>(cur_community[v]);
+    const int expected = group_size[key] - 1;
+    if (counts[v] != expected) {
+      return Violation(
+          registry, "coappearance",
+          FormatMessage("vertex ", v, " has co-appearance count ", counts[v],
+                        ", recount gives ", expected));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateCoAppearanceTracker(const core::CoAppearanceTracker& tracker,
+                                   obs::Registry* registry) {
+  for (int v = 0; v < tracker.n_vertices(); ++v) {
+    const double rc = tracker.ratio(v);
+    if (!std::isfinite(rc) || rc < 0.0 || rc > 1.0) {
+      return Violation(registry, "coappearance",
+                       FormatMessage("vertex ", v, " has RC ratio ", rc,
+                                     " outside [0, 1]"));
+    }
+    if (tracker.history_size(v) > tracker.transitions()) {
+      return Violation(
+          registry, "coappearance",
+          FormatMessage("vertex ", v, " holds ", tracker.history_size(v),
+                        " windowed transitions but only ",
+                        tracker.transitions(), " were observed"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateRunningStatsValues(int64_t count, double mean, double variance,
+                                  double min, double max,
+                                  obs::Registry* registry) {
+  if (count < 0) {
+    return Violation(registry, "running_stats",
+                     FormatMessage("negative observation count ", count));
+  }
+  if (count == 0) return Status::Ok();
+  if (!std::isfinite(mean)) {
+    return Violation(registry, "running_stats",
+                     FormatMessage("non-finite mean after ", count,
+                                   " observations"));
+  }
+  if (!std::isfinite(variance) || variance < 0.0) {
+    return Violation(registry, "running_stats",
+                     FormatMessage("variance ", variance,
+                                   " must be finite and >= 0"));
+  }
+  // Welford's mean is a convex combination of the observations; allow only
+  // rounding-level leakage past the observed extremes.
+  const double slack =
+      1e-9 * (std::abs(min) + std::abs(max) + 1.0);
+  if (mean < min - slack || mean > max + slack) {
+    return Violation(registry, "running_stats",
+                     FormatMessage("mean ", mean, " outside observed range [",
+                                   min, ", ", max, "]"));
+  }
+  return Status::Ok();
+}
+
+Status ValidateRunningStats(const stats::RunningStats& stats,
+                            obs::Registry* registry) {
+  return ValidateRunningStatsValues(stats.count(), stats.mean(),
+                                    stats.variance(), stats.min(), stats.max(),
+                                    registry);
+}
+
+Status ValidateReport(const core::DetectionReport& report, int n_sensors,
+                      obs::Registry* registry) {
+  for (size_t i = 0; i < report.rounds.size(); ++i) {
+    if (report.rounds[i].round != static_cast<int>(i)) {
+      return Violation(
+          registry, "report",
+          FormatMessage("round trace ", i, " carries round index ",
+                        report.rounds[i].round,
+                        "; rounds must be sorted, unique and contiguous"));
+    }
+  }
+  if (report.point_scores.size() != report.point_labels.size()) {
+    return Violation(
+        registry, "report",
+        FormatMessage("score/label length mismatch: ",
+                      report.point_scores.size(), " scores vs ",
+                      report.point_labels.size(), " labels"));
+  }
+  for (size_t t = 0; t < report.point_scores.size(); ++t) {
+    const double s = report.point_scores[t];
+    if (!std::isfinite(s) || s < 0.0 || s > 1.0) {
+      return Violation(registry, "report",
+                       FormatMessage("point score at t=", t, " is ", s,
+                                     ", outside [0, 1]"));
+    }
+    if (report.point_labels[t] > 1) {
+      return Violation(registry, "report",
+                       FormatMessage("point label at t=", t, " is ",
+                                     static_cast<int>(report.point_labels[t]),
+                                     ", must be 0 or 1"));
+    }
+  }
+  if (static_cast<int>(report.sensor_labels.size()) != n_sensors) {
+    return Violation(registry, "report",
+                     FormatMessage("sensor_labels covers ",
+                                   report.sensor_labels.size(),
+                                   " sensors, expected ", n_sensors));
+  }
+  for (size_t z = 0; z < report.anomalies.size(); ++z) {
+    const core::Anomaly& anomaly = report.anomalies[z];
+    if (anomaly.first_round > anomaly.last_round) {
+      return Violation(
+          registry, "report",
+          FormatMessage("anomaly ", z, " has round range [",
+                        anomaly.first_round, ", ", anomaly.last_round, "]"));
+    }
+    if (!report.rounds.empty() &&
+        (anomaly.first_round < 0 ||
+         anomaly.last_round >= static_cast<int>(report.rounds.size()))) {
+      return Violation(
+          registry, "report",
+          FormatMessage("anomaly ", z, " rounds [", anomaly.first_round, ", ",
+                        anomaly.last_round, "] exceed the ",
+                        report.rounds.size(), " traced rounds"));
+    }
+    if (anomaly.start_time >= anomaly.end_time) {
+      return Violation(registry, "report",
+                       FormatMessage("anomaly ", z, " has time range [",
+                                     anomaly.start_time, ", ",
+                                     anomaly.end_time, ")"));
+    }
+    if (anomaly.detection_time < anomaly.start_time ||
+        anomaly.detection_time >= anomaly.end_time) {
+      return Violation(
+          registry, "report",
+          FormatMessage("anomaly ", z, " detection time ",
+                        anomaly.detection_time, " outside [",
+                        anomaly.start_time, ", ", anomaly.end_time, ")"));
+    }
+    for (size_t i = 0; i < anomaly.sensors.size(); ++i) {
+      const int v = anomaly.sensors[i];
+      if (v < 0 || v >= n_sensors) {
+        return Violation(registry, "report",
+                         FormatMessage("anomaly ", z, " names sensor ", v,
+                                       " outside [0, ", n_sensors, ")"));
+      }
+      if (i > 0 && anomaly.sensors[i - 1] >= v) {
+        return Violation(
+            registry, "report",
+            FormatMessage("anomaly ", z,
+                          " sensor list must be sorted and unique (",
+                          anomaly.sensors[i - 1], " before ", v, ")"));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cad::check

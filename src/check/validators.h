@@ -1,0 +1,105 @@
+// cad::check validators — structural invariants of the CAD pipeline,
+// checkable at stage boundaries.
+//
+// Each validator walks one pipeline artifact and returns Status::Ok() when
+// every invariant holds, or a FailedPrecondition Status naming the first
+// violation precisely (vertex/round/sensor index and the offending values).
+// On violation it also increments two counters in the given metrics
+// registry (the process-global one when `registry` is nullptr):
+//
+//   cad_check_violations_total            all validators combined
+//   cad_check_<artifact>_violations       per-artifact breakdown
+//
+// so long-running deployments can alert on silent structural corruption even
+// when the abort policy is disabled.
+//
+// Validators are plain functions over data: they are cheap enough to call
+// from tests unconditionally, and the core pipeline invokes them at stage
+// boundaries under CAD_CHECK_LEVEL=full via CAD_VALIDATE (see check.h).
+#ifndef CAD_CHECK_VALIDATORS_H_
+#define CAD_CHECK_VALIDATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/louvain.h"
+#include "stats/running_stats.h"
+
+namespace cad::obs {
+class Registry;
+}  // namespace cad::obs
+
+namespace cad::core {
+struct DetectionReport;
+class CoAppearanceTracker;
+}  // namespace cad::core
+
+namespace cad::check {
+
+// Optional structural bounds for ValidateGraph. Negative = unconstrained.
+struct GraphBounds {
+  // Hard cap on any vertex degree. Note the TSG is a *union* kNN graph, so
+  // its degree is not bounded by k; callers with an a-priori degree bound
+  // (tests, regular topologies) can still enforce one here.
+  int max_degree = -1;
+  // Hard cap on the undirected edge count. For a union kNN graph over n
+  // vertices this is n * k (each vertex contributes at most k picks).
+  int64_t max_edges = -1;
+  // Hard cap on |weight|; 1.0 for correlation TSGs. (Louvain's aggregated
+  // graphs carry summed weights, so this is opt-in.)
+  double max_abs_weight = -1.0;
+};
+
+// TSG invariants: adjacency symmetry (every half-edge has its mirror with an
+// identical weight), no self-loops, no duplicate edges (simple graph),
+// finite weights, endpoint ids in range, edge-count bookkeeping consistent,
+// and the optional bounds.
+Status ValidateGraph(const graph::Graph& graph, const GraphBounds& bounds = {},
+                     obs::Registry* registry = nullptr);
+
+// Louvain partition invariants: exactly one community per vertex (the vector
+// *is* the disjoint cover — what can break is shape and labeling), ids dense
+// in [0, n_communities), every community non-empty, and canonical numbering
+// (community c's first member appears before community c+1's first member,
+// the determinism contract louvain.h documents).
+Status ValidatePartition(const graph::Partition& partition, int n_vertices,
+                         obs::Registry* registry = nullptr);
+
+// Co-appearance invariants for one observed transition: `counts` must equal
+// an independent recomputation of S_r(v) from the two community vectors
+// (co-appearance is symmetric by definition, so the recount catches any
+// asymmetric corruption), and every count must lie in [0, n-1].
+Status ValidateCoAppearance(const std::vector<int>& counts,
+                            const std::vector<int>& prev_community,
+                            const std::vector<int>& cur_community,
+                            obs::Registry* registry = nullptr);
+
+// Tracker-level co-appearance invariants after any number of rounds: every
+// RC ratio finite in [0, 1], and the windowed history never longer than the
+// observed transition count.
+Status ValidateCoAppearanceTracker(const core::CoAppearanceTracker& tracker,
+                                   obs::Registry* registry = nullptr);
+
+// Raw-moment form used by tests to inject broken values (RunningStats itself
+// has no setters): count >= 0, finite mean, variance >= 0, and for count > 0
+// mean within [min, max].
+Status ValidateRunningStatsValues(int64_t count, double mean, double variance,
+                                  double min, double max,
+                                  obs::Registry* registry = nullptr);
+
+// 3-sigma accumulator invariants (Algorithm 2's mu/sigma state).
+Status ValidateRunningStats(const stats::RunningStats& stats,
+                            obs::Registry* registry = nullptr);
+
+// DetectionReport invariants: round traces sorted/unique/contiguous from 0,
+// per-point score/label series the same length with scores in [0, 1] and
+// labels binary, sensor ids in anomalies and sensor_labels in range and
+// each anomaly's sensor list sorted/unique, round and time ranges ordered.
+Status ValidateReport(const core::DetectionReport& report, int n_sensors,
+                      obs::Registry* registry = nullptr);
+
+}  // namespace cad::check
+
+#endif  // CAD_CHECK_VALIDATORS_H_

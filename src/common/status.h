@@ -1,7 +1,8 @@
 // Status and Result<T>: lightweight, exception-free error handling in the
 // style of RocksDB/Arrow. Library entry points that can fail return a Status
 // (or a Result<T> when they also produce a value); internal invariant
-// violations abort via CAD_CHECK.
+// violations abort via CAD_CHECK (check/check.h, which also provides the
+// Status-propagating CAD_ENSURE built on the factories below).
 #ifndef CAD_COMMON_STATUS_H_
 #define CAD_COMMON_STATUS_H_
 
@@ -131,17 +132,6 @@ class Result {
   do {                                         \
     ::cad::Status _st = (expr);                \
     if (!_st.ok()) return _st;                 \
-  } while (false)
-
-// Aborts with a message when an invariant is violated. Used for programmer
-// errors (not data errors, which return Status).
-#define CAD_CHECK(cond, msg)                                              \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      std::cerr << "CAD_CHECK failed at " << __FILE__ << ":" << __LINE__ \
-                << ": " << (msg) << std::endl;                            \
-      std::abort();                                                       \
-    }                                                                     \
   } while (false)
 
 #endif  // CAD_COMMON_STATUS_H_

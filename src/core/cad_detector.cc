@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "common/stopwatch.h"
 #include "obs/pipeline_metrics.h"
 #include "obs/trace.h"
@@ -215,6 +217,12 @@ Result<DetectionReport> CadDetector::Detect(
   report.round_latency = SummarizeRoundLatencies(std::move(round_seconds));
   report.seconds_per_round = report.round_latency.mean;
   report.telemetry = registry.TakeSnapshot();
+  // Stage-boundary contract (CAD_CHECK_LEVEL=full only): the 3-sigma state
+  // and the assembled report must be structurally sound before they leave
+  // the detector.
+  CAD_VALIDATE(check::ValidateRunningStats(variation_stats,
+                                           options_.metrics_registry));
+  CAD_VALIDATE(check::ValidateReport(report, n, options_.metrics_registry));
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "core/co_appearance.h"
 
+#include "check/check.h"
+
 #include <cstdint>
 #include <unordered_map>
 

@@ -34,6 +34,7 @@
 #ifndef CAD_CORE_CO_APPEARANCE_H_
 #define CAD_CORE_CO_APPEARANCE_H_
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -81,11 +82,18 @@ class CoAppearanceTracker {
   // transition (no evidence of instability yet).
   double ratio(int v) const {
     if (history_[v].empty()) return 1.0;
-    return sums_[v] / static_cast<double>(history_[v].size());
+    // The windowed sum slides by add/subtract, so it carries O(eps) drift
+    // even though every member ratio is in [0, 1]; the clamp restores the
+    // documented RC range (check/validators.h asserts it).
+    const double rc = sums_[v] / static_cast<double>(history_[v].size());
+    return std::clamp(rc, 0.0, 1.0);
   }
 
   int transitions() const { return transitions_; }
   int n_vertices() const { return n_vertices_; }
+  // Windowed transitions currently retained for v (<= options.window and
+  // <= transitions()); exposed for the check/validators.h invariants.
+  int history_size(int v) const { return static_cast<int>(history_[v].size()); }
 
   void Reset() {
     std::fill(sums_.begin(), sums_.end(), 0.0);

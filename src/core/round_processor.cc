@@ -2,6 +2,9 @@
 
 #include <unordered_map>
 
+#include "check/check.h"
+#include "check/validators.h"
+
 namespace cad::core {
 
 namespace {
@@ -92,6 +95,15 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
   knn_span.End();
   metrics_.knn_build_seconds->Observe(stage_watch.ElapsedSeconds());
   out.n_edges = static_cast<int>(tsg.n_edges());
+  // Stage-boundary contract (CAD_CHECK_LEVEL=full only): the TSG must be a
+  // symmetric simple graph of correlation edges; the union-kNN construction
+  // bounds the edge count by n * k, not the degree.
+  CAD_VALIDATE(check::ValidateGraph(
+      tsg,
+      check::GraphBounds{
+          .max_edges = static_cast<int64_t>(n_sensors_) * options_.k,
+          .max_abs_weight = 1.0 + 1e-6},
+      options_.metrics_registry));
 
   stage_watch.Restart();
   obs::Span louvain_span(tracer_, "louvain");
@@ -99,6 +111,8 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
   louvain_span.End();
   metrics_.louvain_seconds->Observe(stage_watch.ElapsedSeconds());
   out.n_communities = partition.n_communities;
+  CAD_VALIDATE(check::ValidatePartition(partition, n_sensors_,
+                                        options_.metrics_registry));
 
   stage_watch.Restart();
   obs::Span coapp_span(tracer_, "co_appearance");
@@ -106,7 +120,20 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
   // Phase 2: co-appearance mining against the previous round, plus the
   // Definition 2 moved-vertex flags used for sensor attribution.
   if (!prev_community_.empty()) {
+#if CAD_VALIDATE_ENABLED
+    // Keep this round's S_r(v) so the independent recount in
+    // ValidateCoAppearance can cross-check the tracker's bookkeeping.
+    const std::vector<int> coappearance_counts =
+        tracker_.Observe(prev_community_, partition.community);
+    CAD_VALIDATE(check::ValidateCoAppearance(coappearance_counts,
+                                             prev_community_,
+                                             partition.community,
+                                             options_.metrics_registry));
+    CAD_VALIDATE(check::ValidateCoAppearanceTracker(tracker_,
+                                                    options_.metrics_registry));
+#else
     tracker_.Observe(prev_community_, partition.community);
+#endif
     const std::unordered_map<int, int> successor =
         PluralitySuccessors(prev_community_, partition.community);
     for (int v = 0; v < n_sensors_; ++v) {

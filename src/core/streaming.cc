@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
+#include "check/validators.h"
 #include "ts/window.h"
 
 namespace cad::core {
@@ -38,6 +40,10 @@ Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {
         warmup_processor.ProcessWindow(historical, plan.value().start(r));
     if (r >= burn_in) variation_stats_.Add(round.n_variations);
   }
+  // Stage-boundary contract (CAD_CHECK_LEVEL=full only): warm-up must leave
+  // a well-formed mu/sigma accumulator behind.
+  CAD_VALIDATE(check::ValidateRunningStats(variation_stats_,
+                                           options_.metrics_registry));
   warmed_up_ = true;
   return Status::Ok();
 }
@@ -149,6 +155,8 @@ StreamEvent StreamingCad::RunRound() {
 
   if (event.abnormal) metrics_.abnormal_rounds_total->Increment();
   if (rounds_completed_ >= burn_in) variation_stats_.Add(round.n_variations);
+  CAD_VALIDATE(check::ValidateRunningStats(variation_stats_,
+                                           options_.metrics_registry));
   ++rounds_completed_;
   event.round_seconds = round_watch.ElapsedSeconds();
   return event;

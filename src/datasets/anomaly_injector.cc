@@ -1,5 +1,7 @@
 #include "datasets/anomaly_injector.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 

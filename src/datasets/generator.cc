@@ -1,5 +1,7 @@
 #include "datasets/generator.h"
 
+#include "check/check.h"
+
 #include <cmath>
 #include <numeric>
 

@@ -1,5 +1,7 @@
 #include "datasets/registry.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 

@@ -1,5 +1,7 @@
 #include "eval/adjust.h"
 
+#include "check/check.h"
+
 namespace cad::eval {
 
 Labels PointAdjust(const Labels& pred, const Labels& truth) {

@@ -1,5 +1,7 @@
 #include "eval/ahead_miss.h"
 
+#include "check/check.h"
+
 namespace cad::eval {
 
 int FirstDetection(const Labels& pred, const Segment& segment) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/check.h"
 #include "common/status.h"
 
 namespace cad::eval {

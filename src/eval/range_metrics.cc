@@ -1,5 +1,7 @@
 #include "eval/range_metrics.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 

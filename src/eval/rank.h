@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "check/check.h"
 #include "common/status.h"
 
 namespace cad::eval {

@@ -1,5 +1,7 @@
 #include "eval/threshold.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/check.h"
 #include "common/status.h"
 
 namespace cad::graph {
@@ -85,6 +86,14 @@ class Graph {
       if (nb.vertex == v) return true;
     }
     return false;
+  }
+
+  // Test-only back door: appends one directed half-edge, bypassing the
+  // AddEdge invariants and the n_edges() bookkeeping. Exists so the
+  // check/validators.h tests can construct minimally-corrupted graphs;
+  // production code must use AddEdge.
+  void CorruptHalfEdgeForTesting(int u, int v, double weight) {
+    adjacency_[u].push_back({v, weight});
   }
 
  private:

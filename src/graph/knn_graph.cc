@@ -1,5 +1,7 @@
 #include "graph/knn_graph.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>

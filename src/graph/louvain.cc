@@ -1,5 +1,7 @@
 #include "graph/louvain.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>

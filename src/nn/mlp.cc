@@ -1,5 +1,7 @@
 #include "nn/mlp.h"
 
+#include "check/check.h"
+
 #include <cmath>
 
 namespace cad::nn {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "common/status.h"
 
 namespace cad::obs {

@@ -1,5 +1,7 @@
 #include "stats/correlation.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>

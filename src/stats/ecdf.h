@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "check/check.h"
 #include "common/status.h"
 
 namespace cad::stats {

@@ -1,5 +1,7 @@
 #include "stats/rolling_correlation.h"
 
+#include "check/check.h"
+
 #include <cmath>
 
 namespace cad::stats {

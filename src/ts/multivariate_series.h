@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.h"
 #include "common/status.h"
 
 namespace cad::ts {
@@ -28,7 +29,12 @@ class MultivariateSeries {
     CAD_CHECK(n_sensors >= 0 && length >= 0, "negative shape");
     data_.assign(static_cast<size_t>(n_sensors) * length, 0.0);
     for (int i = 0; i < n_sensors; ++i) {
-      sensor_names_.push_back("s" + std::to_string(i + 1));
+      // Built with += rather than "s" + to_string(...): the rvalue
+      // operator+ overload trips GCC 12's -Wrestrict false positive
+      // (PR105651) under -Werror.
+      std::string name = "s";
+      name += std::to_string(i + 1);
+      sensor_names_.push_back(std::move(name));
     }
   }
 

@@ -1,5 +1,7 @@
 #include "ts/normalize.h"
 
+#include "check/check.h"
+
 #include <algorithm>
 #include <cmath>
 

@@ -1,0 +1,121 @@
+#include "check/check.h"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace cad {
+namespace {
+
+// The thrown-message capture used with ScopedFailureHandler: a function
+// pointer cannot carry state, so the formatted line travels in the
+// exception itself.
+struct CheckFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void ThrowingHandler(const check::CheckContext& ctx,
+                                  const std::string& message) {
+  throw CheckFailure(check::FormatFailure(ctx, message));
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  const uint64_t before = check::failure_count();
+  CAD_CHECK(1 + 1 == 2);
+  CAD_CHECK(true, "never rendered ", 42);
+  CAD_DCHECK(true, "never rendered");
+  EXPECT_EQ(check::failure_count(), before);
+}
+
+#if CAD_CHECK_LEVEL >= 1
+TEST(CheckTest, FailingCheckReportsExpressionAndFormattedMessage) {
+  check::ScopedFailureHandler guard(&ThrowingHandler);
+  const uint64_t before = check::failure_count();
+  const int k = -3;
+  try {
+    CAD_CHECK(k >= 1, "k must be >= 1, got ", k);
+    FAIL() << "CAD_CHECK did not fire";
+  } catch (const CheckFailure& failure) {
+    const std::string what = failure.what();
+    EXPECT_NE(what.find("`k >= 1`"), std::string::npos) << what;
+    EXPECT_NE(what.find("k must be >= 1, got -3"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+  }
+  EXPECT_EQ(check::failure_count(), before + 1);
+}
+
+TEST(CheckTest, MessageIsOptional) {
+  check::ScopedFailureHandler guard(&ThrowingHandler);
+  try {
+    CAD_CHECK(2 < 1);
+    FAIL() << "CAD_CHECK did not fire";
+  } catch (const CheckFailure& failure) {
+    EXPECT_NE(std::string(failure.what()).find("`2 < 1`"), std::string::npos);
+  }
+}
+
+TEST(CheckDeathTest, DefaultHandlerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CAD_CHECK(false, "boom at level ", CAD_CHECK_LEVEL),
+               "CAD_CHECK failed .*`false`.*boom");
+}
+#else
+TEST(CheckTest, LevelOffCompilesConditionsOutUnevaluated) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  CAD_CHECK(count(), "must not run or fail");
+  CAD_DCHECK(count(), "must not run or fail");
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+TEST(CheckDeathTest, FatalFiresAtEveryLevel) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CAD_FATAL("unhandled enum value ", 7),
+               "unreachable.*unhandled enum value 7");
+}
+
+Status NeedsPositive(int x) {
+  CAD_ENSURE(x > 0, InvalidArgument, "x must be positive, got ", x);
+  return Status::Ok();
+}
+
+Result<int> HalvesEven(int x) {
+  CAD_ENSURE(x % 2 == 0, FailedPrecondition, "x must be even, got ", x);
+  return x / 2;
+}
+
+TEST(EnsureTest, PropagatesExactStatusCodeAndMessage) {
+  EXPECT_TRUE(NeedsPositive(3).ok());
+  const Status status = NeedsPositive(-2);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "x must be positive, got -2");
+}
+
+TEST(EnsureTest, WorksInResultReturningFunctionsAtEveryLevel) {
+  // CAD_ENSURE is error handling, not assertion: it must stay active even
+  // when CAD_CHECK_LEVEL=off compiles the check macros out.
+  EXPECT_EQ(HalvesEven(8).value(), 4);
+  const Result<int> result = HalvesEven(7);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(result.status().message(), "x must be even, got 7");
+}
+
+TEST(CheckTest, HandlerInstallIsScopedAndRestored) {
+  EXPECT_EQ(check::SetFailureHandler(nullptr), nullptr);
+  {
+    check::ScopedFailureHandler guard(&ThrowingHandler);
+    EXPECT_EQ(check::SetFailureHandler(&ThrowingHandler), &ThrowingHandler);
+  }
+  EXPECT_EQ(check::SetFailureHandler(nullptr), nullptr);
+}
+
+}  // namespace
+}  // namespace cad

@@ -14,6 +14,8 @@ if [[ ! -x "$MICRO" ]]; then
   echo "error: $MICRO not found — build first (cmake --build $BUILD_DIR)" >&2
   exit 1
 fi
+command -v python3 > /dev/null 2>&1 \
+  || { echo "error: python3 required to validate telemetry JSON" >&2; exit 1; }
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -34,6 +36,10 @@ import json, sys
 path = sys.argv[1]
 doc = json.load(open(path))
 metrics = doc["metrics"]
+
+for name, value in metrics["counters"].items():
+    assert isinstance(value, int) and value >= 0, (
+        f"counter {name} must be a non-negative integer, got {value!r}")
 
 rounds = metrics["counters"].get("cad_rounds_total", 0)
 assert rounds > 0, "cad_rounds_total missing or zero"

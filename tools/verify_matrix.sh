@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# The verification matrix: builds and tests the tree under every checking
+# regime the repo supports, in increasing order of cost.
+#
+#   1. checked    — CAD_CHECK_LEVEL=full + CAD_WERROR: stage-boundary
+#                   validators live, -Werror (-Wconversion -Wshadow in
+#                   src/core and src/graph), full ctest suite, then the
+#                   telemetry contract (tools/check_telemetry.sh).
+#   2. asan-ubsan — AddressSanitizer + UBSan with full checks, full ctest.
+#   3. tsan       — ThreadSanitizer, full ctest including the
+#                   check/concurrency_stress_test.cc registry + StreamingCad
+#                   hammering, which exists for exactly this stage.
+#   4. lint       — clang-tidy + clang-format via tools/run_lint.sh
+#                   (skips gracefully when the tools are not installed).
+#
+# Presets come from CMakePresets.json; each stage uses its own binaryDir so
+# the matrix never contaminates the default build/.
+#
+# Usage: tools/verify_matrix.sh [stage ...]
+#   with no arguments, runs all stages; otherwise only the named ones
+#   (checked, asan-ubsan, tsan, lint).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2> /dev/null || echo 2)"
+STAGES=("$@")
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint)
+
+run_preset() {
+  local preset="$1"
+  echo
+  echo "==== [$preset] configure + build + test ===="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    checked)
+      run_preset checked
+      echo "==== [checked] telemetry contract ===="
+      tools/check_telemetry.sh build-checked
+      ;;
+    asan-ubsan)
+      run_preset asan-ubsan
+      ;;
+    tsan)
+      run_preset tsan
+      ;;
+    lint)
+      echo
+      echo "==== [lint] clang-tidy + clang-format ===="
+      # Lint reads compile_commands.json from whichever matrix build exists.
+      lint_dir=build-checked
+      [[ -f $lint_dir/compile_commands.json ]] || lint_dir=build
+      tools/run_lint.sh "$lint_dir"
+      ;;
+    *)
+      echo "error: unknown stage '$stage'" \
+           "(expected: checked, asan-ubsan, tsan, lint)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+echo "verification matrix passed: ${STAGES[*]}"
