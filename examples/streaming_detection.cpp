@@ -44,7 +44,12 @@ int main() {
   options.min_sigma = 0.3;  // require ~2 simultaneous variations per alarm
 
   cad::core::StreamingCad detector(stream.n_sensors(), options);
-  detector.WarmUp(history);
+  const cad::Status warmup_status = detector.WarmUp(history);
+  if (!warmup_status.ok()) {
+    std::fprintf(stderr, "Warm-up failed: %s\n",
+                 warmup_status.message().c_str());
+    return 1;
+  }
   std::printf("Warm-up done: mu=%.2f sigma=%.2f over the healthy history.\n\n",
               detector.mu(), detector.sigma());
 
@@ -65,7 +70,8 @@ int main() {
       std::printf("\n");
     }
     if (!event->abnormal && was_open) {
-      const cad::core::Anomaly& closed = detector.anomalies().back();
+      // anomalies() returns a snapshot copy; keep the element by value.
+      const cad::core::Anomaly closed = detector.anomalies().back();
       std::printf("t=%-5d cleared; anomaly spanned [%d, %d), sensors:",
                   t, closed.start_time, closed.end_time);
       for (int sensor : closed.sensors) std::printf(" %d", sensor);

@@ -21,12 +21,12 @@ class CadAdapter : public Detector {
   std::string name() const override { return "CAD"; }
   bool deterministic() const override { return true; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override {
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override {
     train_ = train;
     return Status::Ok();
   }
 
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override {
     core::CadDetector detector(options_);
     Result<core::DetectionReport> report =
@@ -39,7 +39,7 @@ class CadAdapter : public Detector {
   bool provides_sensor_scores() const override { return true; }
 
   // Per-sensor score 1 across each detected anomaly's time span.
-  Result<std::vector<std::vector<double>>> SensorScores(
+  [[nodiscard]] Result<std::vector<std::vector<double>>> SensorScores(
       const ts::MultivariateSeries& test) override {
     if (!last_report_.has_value()) {
       Result<std::vector<double>> scores = Score(test);

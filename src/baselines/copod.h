@@ -16,8 +16,8 @@ class Copod : public Detector {
   std::string name() const override { return "COPOD"; }
   bool deterministic() const override { return true; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override;
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

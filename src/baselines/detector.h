@@ -35,17 +35,17 @@ class Detector {
   // ("fit", method label) and records the duration into the global
   // cad_detector_fit_seconds histogram, so all methods are observed
   // uniformly regardless of implementation.
-  Status Fit(const ts::MultivariateSeries& train);
+  [[nodiscard]] Status Fit(const ts::MultivariateSeries& train);
 
   // Scores every time point of `test` in [0, 1]. Non-virtual wrapper over
   // ScoreImpl, instrumented like Fit (cad_detector_score_seconds).
-  Result<std::vector<double>> Score(const ts::MultivariateSeries& test);
+  [[nodiscard]] Result<std::vector<double>> Score(const ts::MultivariateSeries& test);
 
   // Sensor-level attribution: scores_per_sensor[i][t] in [0, 1]. Only ECOD
   // and RCoders provide this in the paper (Table IV's F1_sensor comparison);
   // the default reports non-support.
   virtual bool provides_sensor_scores() const { return false; }
-  virtual Result<std::vector<std::vector<double>>> SensorScores(
+  [[nodiscard]] virtual Result<std::vector<std::vector<double>>> SensorScores(
       const ts::MultivariateSeries& test) {
     (void)test;
     return Status::FailedPrecondition(name() +
@@ -54,8 +54,8 @@ class Detector {
 
  protected:
   // The actual method implementations, supplied by each detector.
-  virtual Status FitImpl(const ts::MultivariateSeries& train) = 0;
-  virtual Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] virtual Status FitImpl(const ts::MultivariateSeries& train) = 0;
+  [[nodiscard]] virtual Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) = 0;
 };
 

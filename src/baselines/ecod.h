@@ -21,18 +21,18 @@ class Ecod : public Detector {
   std::string name() const override { return "ECOD"; }
   bool deterministic() const override { return true; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override;
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
   bool provides_sensor_scores() const override { return true; }
-  Result<std::vector<std::vector<double>>> SensorScores(
+  [[nodiscard]] Result<std::vector<std::vector<double>>> SensorScores(
       const ts::MultivariateSeries& test) override;
 
  private:
-  Status EnsureFitted(const ts::MultivariateSeries& fallback);
+  [[nodiscard]] Status EnsureFitted(const ts::MultivariateSeries& fallback);
   // Per-sensor dimension scores [sensor][t]: the skewness-directed O_auto.
-  Result<std::vector<std::vector<double>>> DimensionScores(
+  [[nodiscard]] Result<std::vector<std::vector<double>>> DimensionScores(
       const ts::MultivariateSeries& test) const;
 
   bool fitted_ = false;

@@ -21,8 +21,8 @@ class Hbos : public Detector {
   std::string name() const override { return "HBOS"; }
   bool deterministic() const override { return true; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override;
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

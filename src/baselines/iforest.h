@@ -29,8 +29,8 @@ class Iforest : public Detector {
   std::string name() const override { return "IForest"; }
   bool deterministic() const override { return false; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override;
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

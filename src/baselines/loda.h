@@ -26,8 +26,8 @@ class Loda : public Detector {
   std::string name() const override { return "LODA"; }
   bool deterministic() const override { return false; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override;
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

@@ -1,24 +1,79 @@
 #include "baselines/parallel_ensemble.h"
 
-#include "check/check.h"
-
 #include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "check/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cad::baselines {
 
+namespace {
+
+// Error slot shared by the scoring workers. The lowest failing member index
+// wins so the reported Status does not depend on thread scheduling.
+struct ScoreErrors {
+  common::Mutex mu;
+  Status first_error GUARDED_BY(mu) = Status::Ok();
+  size_t first_error_member GUARDED_BY(mu) = SIZE_MAX;
+};
+
+}  // namespace
+
 Result<std::vector<double>> ParallelEnsemble::ScoreImpl(
     const ts::MultivariateSeries& test) {
+  // Members score concurrently: each worker owns a disjoint set of member
+  // detectors (strided assignment) and writes into its own result slots, so
+  // the only cross-thread state is the error slot above plus the internally
+  // synchronized obs registry/tracer. Fusion then runs sequentially over the
+  // slots in member order — byte-identical to the old sequential fold, which
+  // matters because kMean addition is not FP-associative.
+  const size_t n_members = members_.size();
+  std::vector<std::vector<double>> slots(n_members);
+  ScoreErrors errors;
+
+  const size_t n_threads = std::min<size_t>(
+      n_members,
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  for (size_t w = 0; w < n_threads; ++w) {
+    workers.emplace_back([this, &test, &slots, &errors, w, n_threads,
+                          n_members] {
+      for (size_t m = w; m < n_members; m += n_threads) {
+        Result<std::vector<double>> scores = members_[m]->Score(test);
+        if (!scores.ok()) {
+          common::MutexLock lock(errors.mu);
+          if (m < errors.first_error_member) {
+            errors.first_error_member = m;
+            errors.first_error = scores.status();
+          }
+          continue;
+        }
+        slots[m] = std::move(scores).value();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  {
+    common::MutexLock lock(errors.mu);
+    if (errors.first_error_member != SIZE_MAX) return errors.first_error;
+  }
+
   std::vector<double> fused(test.length(), 0.0);
-  for (const auto& member : members_) {
-    Result<std::vector<double>> scores = member->Score(test);
-    if (!scores.ok()) return scores.status();
-    CAD_CHECK(scores.value().size() == fused.size(),
-              member->name() + " returned wrong score length");
+  for (size_t m = 0; m < n_members; ++m) {
+    const std::vector<double>& scores = slots[m];
+    CAD_CHECK(scores.size() == fused.size(),
+              members_[m]->name() + " returned wrong score length");
     for (size_t t = 0; t < fused.size(); ++t) {
       if (fusion_ == ScoreFusion::kMax) {
-        fused[t] = std::max(fused[t], scores.value()[t]);
+        fused[t] = std::max(fused[t], scores[t]);
       } else {
-        fused[t] += scores.value()[t];
+        fused[t] += scores[t];
       }
     }
   }

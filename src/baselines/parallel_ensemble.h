@@ -7,6 +7,11 @@
 // anomalies that change amplitudes but never correlations, e.g. a uniform
 // level shift across a whole community); kMean trades that recall for
 // fewer false positives.
+//
+// Scoring runs the members on a thread per hardware core (strided member
+// assignment, per-member result slots, thread-safety-annotated error slot in
+// parallel_ensemble.cc) and fuses sequentially in member order, so the fused
+// scores are byte-identical to a sequential evaluation.
 #ifndef CAD_BASELINES_PARALLEL_ENSEMBLE_H_
 #define CAD_BASELINES_PARALLEL_ENSEMBLE_H_
 
@@ -50,14 +55,14 @@ class ParallelEnsemble : public Detector {
     return true;
   }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override {
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override {
     for (const auto& member : members_) {
       CAD_RETURN_NOT_OK(member->Fit(train));
     }
     return Status::Ok();
   }
 
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

@@ -38,17 +38,17 @@ class Rcoders : public Detector {
   std::string name() const override { return "RCoders"; }
   bool deterministic() const override { return false; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override;
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override;
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
   bool provides_sensor_scores() const override { return true; }
-  Result<std::vector<std::vector<double>>> SensorScores(
+  [[nodiscard]] Result<std::vector<std::vector<double>>> SensorScores(
       const ts::MultivariateSeries& test) override;
 
  private:
   // Per-sensor squared reconstruction errors [sensor][t].
-  Result<std::vector<std::vector<double>>> ReconstructionErrors(
+  [[nodiscard]] Result<std::vector<std::vector<double>>> ReconstructionErrors(
       const ts::MultivariateSeries& test);
 
   RcodersOptions options_;

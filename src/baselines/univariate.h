@@ -40,12 +40,12 @@ class UnivariateEnsemble : public Detector {
   std::string name() const override { return name_; }
   bool deterministic() const override { return deterministic_; }
 
-  Status FitImpl(const ts::MultivariateSeries& train) override {
+  [[nodiscard]] Status FitImpl(const ts::MultivariateSeries& train) override {
     train_ = train;  // kept only to hand each sensor its history
     return Status::Ok();
   }
 
-  Result<std::vector<double>> ScoreImpl(
+  [[nodiscard]] Result<std::vector<double>> ScoreImpl(
       const ts::MultivariateSeries& test) override;
 
  private:

@@ -96,14 +96,23 @@ Status ValidateGraph(const graph::Graph& graph, const GraphBounds& bounds,
       }
     }
   }
+  // Deterministic diagnostic: a min-reduction over the pair map picks the
+  // smallest asymmetric edge regardless of hash iteration order, so the
+  // failure message is byte-stable across runs.
+  int64_t asymmetric_key = -1;
+  // cad-lint: allow(CL003) min-reduction is independent of iteration order
   for (const auto& [key, entry] : pairs) {
-    if (entry.forward != entry.backward) {
-      const int lo = static_cast<int>(key / n);
-      const int hi = static_cast<int>(key % n);
-      return Violation(registry, "graph",
-                       FormatMessage("asymmetric edge (", lo, ", ", hi,
-                                     "): present in only one adjacency list"));
+    if (entry.forward != entry.backward &&
+        (asymmetric_key < 0 || key < asymmetric_key)) {
+      asymmetric_key = key;
     }
+  }
+  if (asymmetric_key >= 0) {
+    const int lo = static_cast<int>(asymmetric_key / n);
+    const int hi = static_cast<int>(asymmetric_key % n);
+    return Violation(registry, "graph",
+                     FormatMessage("asymmetric edge (", lo, ", ", hi,
+                                   "): present in only one adjacency list"));
   }
   if (graph.n_edges() * 2 != directed) {
     return Violation(registry, "graph",

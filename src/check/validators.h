@@ -56,7 +56,7 @@ struct GraphBounds {
 // identical weight), no self-loops, no duplicate edges (simple graph),
 // finite weights, endpoint ids in range, edge-count bookkeeping consistent,
 // and the optional bounds.
-Status ValidateGraph(const graph::Graph& graph, const GraphBounds& bounds = {},
+[[nodiscard]] Status ValidateGraph(const graph::Graph& graph, const GraphBounds& bounds = {},
                      obs::Registry* registry = nullptr);
 
 // Louvain partition invariants: exactly one community per vertex (the vector
@@ -64,14 +64,14 @@ Status ValidateGraph(const graph::Graph& graph, const GraphBounds& bounds = {},
 // in [0, n_communities), every community non-empty, and canonical numbering
 // (community c's first member appears before community c+1's first member,
 // the determinism contract louvain.h documents).
-Status ValidatePartition(const graph::Partition& partition, int n_vertices,
+[[nodiscard]] Status ValidatePartition(const graph::Partition& partition, int n_vertices,
                          obs::Registry* registry = nullptr);
 
 // Co-appearance invariants for one observed transition: `counts` must equal
 // an independent recomputation of S_r(v) from the two community vectors
 // (co-appearance is symmetric by definition, so the recount catches any
 // asymmetric corruption), and every count must lie in [0, n-1].
-Status ValidateCoAppearance(const std::vector<int>& counts,
+[[nodiscard]] Status ValidateCoAppearance(const std::vector<int>& counts,
                             const std::vector<int>& prev_community,
                             const std::vector<int>& cur_community,
                             obs::Registry* registry = nullptr);
@@ -79,25 +79,25 @@ Status ValidateCoAppearance(const std::vector<int>& counts,
 // Tracker-level co-appearance invariants after any number of rounds: every
 // RC ratio finite in [0, 1], and the windowed history never longer than the
 // observed transition count.
-Status ValidateCoAppearanceTracker(const core::CoAppearanceTracker& tracker,
+[[nodiscard]] Status ValidateCoAppearanceTracker(const core::CoAppearanceTracker& tracker,
                                    obs::Registry* registry = nullptr);
 
 // Raw-moment form used by tests to inject broken values (RunningStats itself
 // has no setters): count >= 0, finite mean, variance >= 0, and for count > 0
 // mean within [min, max].
-Status ValidateRunningStatsValues(int64_t count, double mean, double variance,
+[[nodiscard]] Status ValidateRunningStatsValues(int64_t count, double mean, double variance,
                                   double min, double max,
                                   obs::Registry* registry = nullptr);
 
 // 3-sigma accumulator invariants (Algorithm 2's mu/sigma state).
-Status ValidateRunningStats(const stats::RunningStats& stats,
+[[nodiscard]] Status ValidateRunningStats(const stats::RunningStats& stats,
                             obs::Registry* registry = nullptr);
 
 // DetectionReport invariants: round traces sorted/unique/contiguous from 0,
 // per-point score/label series the same length with scores in [0, 1] and
 // labels binary, sensor ids in anomalies and sensor_labels in range and
 // each anomaly's sensor list sorted/unique, round and time ranges ordered.
-Status ValidateReport(const core::DetectionReport& report, int n_sensors,
+[[nodiscard]] Status ValidateReport(const core::DetectionReport& report, int n_sensors,
                       obs::Registry* registry = nullptr);
 
 }  // namespace cad::check

@@ -1,0 +1,67 @@
+// Clang thread-safety-analysis attribute macros (tier 4 of the static
+// analysis stack, DESIGN.md "Static analysis layers").
+//
+// The macros follow the modern capability vocabulary from
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html: a mutex is a
+// CAPABILITY, data it protects is GUARDED_BY it, functions that expect it
+// held are REQUIRES, lock/unlock primitives are ACQUIRE/RELEASE. Under
+// Clang the analysis runs at compile time (-Wthread-safety, promoted to an
+// error by the top-level CMakeLists), so a forgotten lock is a build break
+// instead of a TSan sample; under GCC every macro expands to nothing.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// against it directly would flag every correctly-locked access. Use
+// cad::common::Mutex / MutexLock (common/mutex.h) instead — an annotated
+// shim over std::mutex with identical cost.
+#ifndef CAD_COMMON_THREAD_ANNOTATIONS_H_
+#define CAD_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CAD_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CAD_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+// Type attribute: this class is a synchronization capability (e.g. "mutex").
+#define CAPABILITY(x) CAD_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Type attribute: RAII object that acquires a capability at construction and
+// releases it at destruction (scoped lock guards).
+#define SCOPED_CAPABILITY CAD_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data member attribute: reads and writes require holding `x`.
+#define GUARDED_BY(x) CAD_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer member attribute: the pointed-to data (not the pointer) is guarded.
+#define PT_GUARDED_BY(x) CAD_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Function attribute: callers must hold the listed capabilities.
+#define REQUIRES(...) \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Function attribute: callers must NOT hold the listed capabilities
+// (deadlock prevention for functions that acquire them internally).
+#define EXCLUDES(...) \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function attributes for lock primitives: the function acquires / releases
+// the listed capabilities (or `this` when the list is empty).
+#define ACQUIRE(...) \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Function attribute: acquires the capability only when returning `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+// Function attribute: returns a reference to the given capability (lets the
+// analysis see through accessor functions like `Mutex& mu()`).
+#define RETURN_CAPABILITY(x) CAD_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use needs a
+// comment explaining why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CAD_COMMON_THREAD_ANNOTATIONS_H_

@@ -97,7 +97,7 @@ class CadDetector {
 
   // Runs warm-up (optional: pass nullptr to skip, as the paper does on SMD)
   // followed by detection. Validates options against both series.
-  Result<DetectionReport> Detect(const ts::MultivariateSeries& series,
+  [[nodiscard]] Result<DetectionReport> Detect(const ts::MultivariateSeries& series,
                                  const ts::MultivariateSeries* historical) const;
 
  private:

@@ -123,7 +123,7 @@ struct CadOptions {
   obs::Tracer* tracer = nullptr;
 
   // Validates the option set against a series length.
-  Status Validate(int series_length) const {
+  [[nodiscard]] Status Validate(int series_length) const {
     if (window <= 0 || step <= 0) {
       return Status::InvalidArgument("window and step must be positive");
     }

@@ -30,7 +30,7 @@ std::string ReportToJson(const DetectionReport& report,
                          const ReportJsonOptions& options = {});
 
 // Writes ReportToJson(...) to a file.
-Status WriteReportJson(const DetectionReport& report, const std::string& path,
+[[nodiscard]] Status WriteReportJson(const DetectionReport& report, const std::string& path,
                        const ReportJsonOptions& options = {});
 
 }  // namespace cad::core

@@ -1,6 +1,9 @@
 #include "core/round_processor.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "check/check.h"
 #include "check/validators.h"
@@ -16,21 +19,27 @@ namespace {
 std::unordered_map<int, int> PluralitySuccessors(
     const std::vector<int>& prev_community,
     const std::vector<int>& cur_community) {
-  // votes[(prev, cur)] = members of prev now in cur.
+  // votes[(prev, cur)] = members of prev now in cur. Counting is keyed
+  // lookups only; the emit loop below runs over *sorted* keys so the
+  // plurality winner never depends on hash iteration order (cad_lint CL003).
   std::unordered_map<int64_t, int> votes;
   for (size_t v = 0; v < prev_community.size(); ++v) {
     const int64_t key = (static_cast<int64_t>(prev_community[v]) << 32) |
                         static_cast<uint32_t>(cur_community[v]);
     ++votes[key];
   }
+  std::vector<std::pair<int64_t, int>> sorted_votes(votes.begin(),
+                                                    votes.end());
+  std::sort(sorted_votes.begin(), sorted_votes.end());
   std::unordered_map<int, int> successor;
   std::unordered_map<int, int> best_count;
-  for (const auto& [key, count] : votes) {
+  for (const auto& [key, count] : sorted_votes) {
     const int prev = static_cast<int>(key >> 32);
     const int cur = static_cast<int>(key & 0xffffffff);
+    // Keys sort by (prev, cur), so within a prev group the first strictly
+    // larger count wins and ties keep the smaller cur.
     auto it = best_count.find(prev);
-    if (it == best_count.end() || count > it->second ||
-        (count == it->second && cur < successor[prev])) {
+    if (it == best_count.end() || count > it->second) {
       best_count[prev] = count;
       successor[prev] = cur;
     }

@@ -12,9 +12,9 @@ namespace cad::core {
 StreamingCad::StreamingCad(int n_sensors, const CadOptions& options)
     : n_sensors_(n_sensors),
       options_(options),
-      processor_(n_sensors, options),
       metrics_(obs::PipelineMetrics::For(
           obs::ResolveRegistry(options.metrics_registry))),
+      processor_(n_sensors, options),
       buffer_(static_cast<size_t>(options.window) * n_sensors, 0.0),
       open_sensor_flags_(n_sensors, 0) {}
 
@@ -23,6 +23,7 @@ obs::Snapshot StreamingCad::TelemetrySnapshot() const {
 }
 
 Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {
+  common::MutexLock lock(mu_);
   if (samples_seen_ > 0) {
     return Status::FailedPrecondition("WarmUp must precede the first Push");
   }
@@ -61,6 +62,7 @@ Result<std::optional<StreamEvent>> StreamingCad::Push(
                                    " readings, expected " +
                                    std::to_string(n_sensors_));
   }
+  common::MutexLock lock(mu_);
   // Overwrite the oldest slot.
   const int slot = (buffer_head_ + buffered_) % options_.window;
   std::copy(readings.begin(), readings.end(),

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/cad_detector.h"
 #include "core/cad_options.h"
 #include "core/round_processor.h"
@@ -36,30 +38,56 @@ struct StreamEvent {
   double round_seconds = 0.0;
 };
 
+// Internally synchronized: one producer may Push while other threads read
+// the accessors (a telemetry poller, a query endpoint). All mutable state is
+// GUARDED_BY(mu_), so under Clang's -Werror=thread-safety an unlocked access
+// is a compile error; under TSan the same discipline is checked dynamically
+// by tests/check/concurrency_stress_test.cc.
 class StreamingCad {
  public:
   StreamingCad(int n_sensors, const CadOptions& options);
 
   // Seeds mu / sigma from a historical series, mirroring Algorithm 2's
   // WarmUp. Must be called before the first Push.
-  Status WarmUp(const ts::MultivariateSeries& historical);
+  [[nodiscard]] Status WarmUp(const ts::MultivariateSeries& historical) EXCLUDES(mu_);
 
   // Pushes the readings of all sensors for one time point. Returns an event
-  // when this sample completes a round, std::nullopt otherwise.
-  Result<std::optional<StreamEvent>> Push(std::span<const double> readings);
+  // when this sample completes a round, std::nullopt otherwise. Calls from
+  // multiple producers serialize on the internal mutex.
+  [[nodiscard]] Result<std::optional<StreamEvent>> Push(std::span<const double> readings)
+      EXCLUDES(mu_);
 
   // Anomalies fully closed so far (an anomaly closes when a normal round
-  // follows abnormal ones).
-  const std::vector<Anomaly>& anomalies() const { return anomalies_; }
+  // follows abnormal ones). Returns a copy: a reference into guarded state
+  // would dangle the moment the lock is released.
+  std::vector<Anomaly> anomalies() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return anomalies_;
+  }
 
   // True while the most recent rounds are abnormal and the anomaly is still
   // being assembled.
-  bool anomaly_open() const { return open_first_round_ >= 0; }
+  bool anomaly_open() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return open_first_round_ >= 0;
+  }
 
-  int samples_seen() const { return samples_seen_; }
-  int rounds_completed() const { return rounds_completed_; }
-  double mu() const { return variation_stats_.mean(); }
-  double sigma() const { return variation_stats_.stddev(); }
+  int samples_seen() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return samples_seen_;
+  }
+  int rounds_completed() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return rounds_completed_;
+  }
+  double mu() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return variation_stats_.mean();
+  }
+  double sigma() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return variation_stats_.stddev();
+  }
 
   // State of the metrics registry this stream records into
   // (CadOptions::metrics_registry, global by default): cad_rounds_total,
@@ -67,32 +95,34 @@ class StreamingCad {
   obs::Snapshot TelemetrySnapshot() const;
 
  private:
-  bool RoundReady() const;
-  StreamEvent RunRound();
+  bool RoundReady() const REQUIRES(mu_);
+  StreamEvent RunRound() REQUIRES(mu_);
 
-  int n_sensors_;
-  CadOptions options_;
-  RoundProcessor processor_;
-  stats::RunningStats variation_stats_;
-  obs::PipelineMetrics metrics_;
+  const int n_sensors_;
+  const CadOptions options_;
+  const obs::PipelineMetrics metrics_;  // stable pointers, atomic recording
+
+  mutable common::Mutex mu_;
+  RoundProcessor processor_ GUARDED_BY(mu_);
+  stats::RunningStats variation_stats_ GUARDED_BY(mu_);
 
   // Ring buffer of the last `window` samples, sample-major.
-  std::vector<double> buffer_;
-  int buffer_head_ = 0;  // index of the oldest sample in the ring
-  int buffered_ = 0;     // number of valid samples (<= window)
+  std::vector<double> buffer_ GUARDED_BY(mu_);
+  int buffer_head_ GUARDED_BY(mu_) = 0;  // index of the oldest ring sample
+  int buffered_ GUARDED_BY(mu_) = 0;     // number of valid samples (<= window)
 
-  int samples_seen_ = 0;
-  int rounds_completed_ = 0;
-  bool warmed_up_ = false;
+  int samples_seen_ GUARDED_BY(mu_) = 0;
+  int rounds_completed_ GUARDED_BY(mu_) = 0;
+  bool warmed_up_ GUARDED_BY(mu_) = false;
 
   // Anomaly assembly, as in CadDetector.
-  std::vector<Anomaly> anomalies_;
-  std::vector<int> open_sensors_;
-  std::vector<int> open_movers_;
-  std::vector<uint8_t> open_sensor_flags_;
-  int open_first_round_ = -1;
-  int open_start_time_ = 0;
-  int open_detection_time_ = 0;
+  std::vector<Anomaly> anomalies_ GUARDED_BY(mu_);
+  std::vector<int> open_sensors_ GUARDED_BY(mu_);
+  std::vector<int> open_movers_ GUARDED_BY(mu_);
+  std::vector<uint8_t> open_sensor_flags_ GUARDED_BY(mu_);
+  int open_first_round_ GUARDED_BY(mu_) = -1;
+  int open_start_time_ GUARDED_BY(mu_) = 0;
+  int open_detection_time_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cad::core

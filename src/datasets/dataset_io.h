@@ -20,10 +20,10 @@
 namespace cad::datasets {
 
 // Writes all files into `dir` (which must already exist).
-Status SaveDataset(const LabeledDataset& dataset, const std::string& dir);
+[[nodiscard]] Status SaveDataset(const LabeledDataset& dataset, const std::string& dir);
 
 // Loads a dataset previously written by SaveDataset.
-Result<LabeledDataset> LoadDataset(const std::string& dir);
+[[nodiscard]] Result<LabeledDataset> LoadDataset(const std::string& dir);
 
 }  // namespace cad::datasets
 

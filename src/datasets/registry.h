@@ -50,7 +50,7 @@ struct DatasetProfile {
 std::vector<DatasetProfile> StandardProfiles();
 
 // Profile by name ("PSM", "SWaT", "IS-1", ..., "IS-5").
-Result<DatasetProfile> ProfileByName(const std::string& name);
+[[nodiscard]] Result<DatasetProfile> ProfileByName(const std::string& name);
 
 // One of the 28 SMD subsets (index in [1, 28]), mirroring the paper's
 // machine-1-1 .. machine-3-11 naming as SMD i. No warm-up split.

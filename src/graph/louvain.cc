@@ -152,12 +152,19 @@ double Modularity(const Graph& graph, const std::vector<int>& community) {
   for (const Edge& e : graph.SortedEdges()) {
     if (community[e.u] == community[e.v]) intra += std::abs(e.weight);
   }
-  std::unordered_map<int, double> community_degree;
+  // Dense accumulation in label order: summing k_c^2 in unordered_map
+  // iteration order would make the FP rounding (and thus mu/sigma and every
+  // serialized report downstream) depend on hash layout — cad_lint CL003.
+  int max_label = -1;
+  for (int c : community) max_label = std::max(max_label, c);
+  std::vector<double> community_degree(static_cast<size_t>(max_label + 1),
+                                       0.0);
   for (int v = 0; v < graph.n_vertices(); ++v) {
-    community_degree[community[v]] += graph.WeightedDegree(v);
+    community_degree[static_cast<size_t>(community[static_cast<size_t>(v)])] +=
+        graph.WeightedDegree(v);
   }
   double degree_term = 0.0;
-  for (const auto& [c, k] : community_degree) degree_term += k * k;
+  for (double k : community_degree) degree_term += k * k;
   return intra / m - degree_term / (4.0 * m * m);
 }
 

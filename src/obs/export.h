@@ -38,7 +38,7 @@ std::string TraceToJsonLines(const Tracer& tracer);
 //                        "dropped_spans": n}   (one JSON document)
 //   <path>.trace.jsonl  the spans as Chrome-trace JSONL
 //   <path>.prom         the metrics in Prometheus text format
-Status WriteTelemetry(const std::string& path, const Snapshot& snapshot,
+[[nodiscard]] Status WriteTelemetry(const std::string& path, const Snapshot& snapshot,
                       const Tracer& tracer);
 
 }  // namespace cad::obs

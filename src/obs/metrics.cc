@@ -113,7 +113,7 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -126,7 +126,7 @@ Counter& Registry::counter(std::string_view name, std::string_view help) {
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -140,7 +140,7 @@ Gauge& Registry::gauge(std::string_view name, std::string_view help) {
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> bounds,
                                std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (bounds.empty()) bounds = DefaultLatencyBuckets();
@@ -155,7 +155,7 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 Snapshot Registry::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Snapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, named] : counters_) {
@@ -179,7 +179,7 @@ Snapshot Registry::TakeSnapshot() const {
 }
 
 void Registry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [name, named] : counters_) named.instrument->Reset();
   for (auto& [name, named] : gauges_) named.instrument->Reset();
   for (auto& [name, named] : histograms_) named.instrument->Reset();

@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cad::obs {
 
@@ -133,16 +135,18 @@ class Registry {
   // of the registry. On the first call the help string (and, for histograms,
   // the bucket bounds) are fixed; later calls with the same name return the
   // existing instrument unchanged.
-  Counter& counter(std::string_view name, std::string_view help = "");
-  Gauge& gauge(std::string_view name, std::string_view help = "");
+  Counter& counter(std::string_view name, std::string_view help = "")
+      EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name, std::string_view help = "")
+      EXCLUDES(mu_);
   Histogram& histogram(std::string_view name, std::vector<double> bounds = {},
-                       std::string_view help = "");
+                       std::string_view help = "") EXCLUDES(mu_);
 
-  Snapshot TakeSnapshot() const;
+  Snapshot TakeSnapshot() const EXCLUDES(mu_);
 
   // Zeroes every instrument (instruments stay registered). Intended for
   // tests and per-run delta measurement on private registries.
-  void ResetValues();
+  void ResetValues() EXCLUDES(mu_);
 
  private:
   template <typename T>
@@ -151,10 +155,13 @@ class Registry {
     std::string help;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Named<Counter>, std::less<>> counters_;
-  std::map<std::string, Named<Gauge>, std::less<>> gauges_;
-  std::map<std::string, Named<Histogram>, std::less<>> histograms_;
+  // Guards registration (map growth) only; recording goes through the stable
+  // instrument pointers and their relaxed atomics, never this mutex.
+  mutable common::Mutex mu_;
+  std::map<std::string, Named<Counter>, std::less<>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Named<Gauge>, std::less<>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Named<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 // nullptr-tolerant accessor used by components that accept an optional

@@ -24,7 +24,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (events_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -33,17 +33,17 @@ void Tracer::Record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return events_;
 }
 
 size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return events_.size();
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   events_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }

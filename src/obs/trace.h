@@ -15,13 +15,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cad::obs {
 
@@ -55,24 +56,24 @@ class Tracer {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Appends a completed span; drops (and counts) when at capacity.
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) EXCLUDES(mu_);
 
   // Copy of the recorded spans, in completion order.
-  std::vector<TraceEvent> events() const;
-  size_t event_count() const;
+  std::vector<TraceEvent> events() const EXCLUDES(mu_);
+  size_t event_count() const EXCLUDES(mu_);
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   // Microseconds since this tracer's construction (the trace epoch).
   int64_t NowMicros() const;
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  size_t capacity_;
+  mutable common::Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  const size_t capacity_;  // immutable after construction, lock-free reads
   std::atomic<uint64_t> dropped_{0};
-  std::chrono::steady_clock::time_point epoch_ =
+  const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };
 

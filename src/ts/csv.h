@@ -20,15 +20,15 @@ struct CsvOptions {
 
 // Reads a CSV file into a series; every row must have the same field count
 // and every field must parse as a double.
-Result<MultivariateSeries> ReadCsv(const std::string& path,
+[[nodiscard]] Result<MultivariateSeries> ReadCsv(const std::string& path,
                                    const CsvOptions& options = {});
 
 // Parses CSV content from a string (used by tests and small fixtures).
-Result<MultivariateSeries> ParseCsv(const std::string& content,
+[[nodiscard]] Result<MultivariateSeries> ParseCsv(const std::string& content,
                                     const CsvOptions& options = {});
 
 // Writes a series to CSV (time-major rows, header of sensor names).
-Status WriteCsv(const MultivariateSeries& series, const std::string& path,
+[[nodiscard]] Status WriteCsv(const MultivariateSeries& series, const std::string& path,
                 const CsvOptions& options = {});
 
 }  // namespace cad::ts

@@ -39,7 +39,7 @@ class MultivariateSeries {
   }
 
   // Builds from per-sensor rows; all rows must have equal length.
-  static Result<MultivariateSeries> FromRows(
+  [[nodiscard]] static Result<MultivariateSeries> FromRows(
       const std::vector<std::vector<double>>& rows) {
     MultivariateSeries series(static_cast<int>(rows.size()),
                               rows.empty() ? 0 : static_cast<int>(rows[0].size()));
@@ -90,7 +90,7 @@ class MultivariateSeries {
   const std::vector<std::string>& sensor_names() const { return sensor_names_; }
 
   // Copies the sub-matrix T[t0 : t0 + len) across all sensors.
-  Result<MultivariateSeries> Slice(int t0, int len) const {
+  [[nodiscard]] Result<MultivariateSeries> Slice(int t0, int len) const {
     if (t0 < 0 || len < 0 || t0 + len > length_) {
       return Status::OutOfRange("slice [" + std::to_string(t0) + ", " +
                                 std::to_string(t0 + len) + ") out of [0, " +
@@ -106,7 +106,7 @@ class MultivariateSeries {
   }
 
   // Appends `other` in time (same sensor set required).
-  Status AppendInTime(const MultivariateSeries& other) {
+  [[nodiscard]] Status AppendInTime(const MultivariateSeries& other) {
     if (other.n_sensors_ != n_sensors_) {
       return Status::InvalidArgument("sensor count mismatch in AppendInTime");
     }

@@ -14,7 +14,7 @@ namespace cad::ts {
 class WindowPlan {
  public:
   // Validates the paper's constraints: 0 < s < w <= length.
-  static Result<WindowPlan> Make(int length, int window, int step) {
+  [[nodiscard]] static Result<WindowPlan> Make(int length, int window, int step) {
     if (window <= 0 || step <= 0) {
       return Status::InvalidArgument("window and step must be positive");
     }

@@ -1,0 +1,143 @@
+// Byte-determinism contract for everything the pipeline serializes.
+//
+// The cad_lint CL003 rule (no iteration over unordered containers in
+// report/serialization paths) and the sorted-key fixes in louvain.cc,
+// round_processor.cc and validators.cc exist so that two identical runs
+// produce *byte-identical* artifacts — not merely numerically-close ones.
+// These tests pin that contract: report JSON, metric snapshots in both
+// exposition formats, and the parallel ensemble's fused scores must not
+// depend on hash iteration order, FP summation order, or thread scheduling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/hbos.h"
+#include "baselines/parallel_ensemble.h"
+#include "baselines/pca_detector.h"
+#include "core/cad_detector.h"
+#include "core/report_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "testing/synthetic.h"
+
+namespace cad::core {
+namespace {
+
+CadOptions ScenarioOptions() {
+  CadOptions options;
+  options.window = 40;
+  options.step = 4;
+  options.k = 3;
+  options.tau = 0.55;
+  options.theta = 0.9;
+  return options;
+}
+
+struct RunArtifacts {
+  std::string report_json;
+  std::string metrics_json;
+  std::string metrics_prom;
+};
+
+RunArtifacts RunPipelineOnce() {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  obs::Registry registry;
+  CadOptions options = ScenarioOptions();
+  options.metrics_registry = &registry;
+  CadDetector detector(options);
+  DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+
+  // Wall-clock measurements are the one legitimately nondeterministic part
+  // of a report; zero them so the comparison pins everything else —
+  // anomaly spans, sensor attribution, per-round traces, scores — to the
+  // byte.
+  report.warmup_seconds = 0.0;
+  report.detect_seconds = 0.0;
+  report.seconds_per_round = 0.0;
+  report.round_latency = RoundLatencySummary{};
+
+  const ReportJsonOptions json_options{.include_rounds = true,
+                                       .include_scores = true};
+  const obs::Snapshot snapshot = registry.TakeSnapshot();
+  return RunArtifacts{ReportToJson(report, json_options),
+                      obs::SnapshotToJson(snapshot),
+                      obs::ToPrometheusText(snapshot)};
+}
+
+TEST(DeterminismTest, ReportJsonIsByteIdenticalAcrossRuns) {
+  const RunArtifacts first = RunPipelineOnce();
+  const RunArtifacts second = RunPipelineOnce();
+  EXPECT_EQ(first.report_json, second.report_json);
+}
+
+// Wall-clock histograms (cad_*_seconds) legitimately differ between runs;
+// every other exported line — counters, gauges, and histogram observation
+// counts — must be byte-identical.
+TEST(DeterminismTest, StructuralMetricLinesAreByteIdenticalAcrossRuns) {
+  const auto structural_lines = [](const std::string& prom) {
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < prom.size()) {
+      size_t end = prom.find('\n', start);
+      if (end == std::string::npos) end = prom.size();
+      const std::string line = prom.substr(start, end - start);
+      if (line.find("seconds") == std::string::npos) lines.push_back(line);
+      start = end + 1;
+    }
+    return lines;
+  };
+  const RunArtifacts first = RunPipelineOnce();
+  const RunArtifacts second = RunPipelineOnce();
+  EXPECT_EQ(structural_lines(first.metrics_prom),
+            structural_lines(second.metrics_prom));
+}
+
+// Counters and gauges carry no wall-clock component, so a snapshot
+// restricted to them serializes identically.
+TEST(DeterminismTest, CounterAndGaugeExportIsByteIdentical) {
+  const auto run = [] {
+    obs::Registry registry;
+    registry.counter("cad_rounds_total", "rounds").Increment(7);
+    registry.counter("cad_outlier_variations_total", "variations")
+        .Increment(3);
+    registry.gauge("cad_communities", "communities").Set(5);
+    registry.gauge("cad_outliers", "outliers").Set(2);
+    const obs::Snapshot snapshot = registry.TakeSnapshot();
+    return std::make_pair(obs::SnapshotToJson(snapshot),
+                          obs::ToPrometheusText(snapshot));
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+// The parallel ensemble scores members on worker threads but fuses
+// sequentially in member order; thread scheduling must never leak into the
+// fused scores.
+TEST(DeterminismTest, ParallelEnsembleScoresAreExactlyReproducible) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  const auto run = [&] {
+    std::vector<std::unique_ptr<baselines::Detector>> members;
+    members.push_back(std::make_unique<baselines::Hbos>());
+    members.push_back(std::make_unique<baselines::PcaDetector>());
+    baselines::ParallelEnsemble ensemble(std::move(members),
+                                         baselines::ScoreFusion::kMean);
+    EXPECT_TRUE(ensemble.Fit(scenario.train).ok());
+    return ensemble.Score(scenario.test).ValueOrDie();
+  };
+  const std::vector<double> first = run();
+  const std::vector<double> second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    // Bitwise equality, not tolerance: fusion order is pinned.
+    EXPECT_EQ(first[i], second[i]) << "score diverged at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cad::core

@@ -91,14 +91,13 @@ TEST(StreamingCadTest, AnomaliesMatchBatch) {
     streaming.Push(SampleAt(scenario.test, t)).ValueOrDie();
   }
   // Any anomaly still open at stream end is not yet closed; batch closes it.
-  const size_t closed = streaming.anomalies().size();
+  const std::vector<Anomaly> stream_anomalies = streaming.anomalies();
+  const size_t closed = stream_anomalies.size();
   ASSERT_LE(closed, report.anomalies.size());
   for (size_t i = 0; i < closed; ++i) {
-    EXPECT_EQ(streaming.anomalies()[i].sensors, report.anomalies[i].sensors);
-    EXPECT_EQ(streaming.anomalies()[i].first_round,
-              report.anomalies[i].first_round);
-    EXPECT_EQ(streaming.anomalies()[i].last_round,
-              report.anomalies[i].last_round);
+    EXPECT_EQ(stream_anomalies[i].sensors, report.anomalies[i].sensors);
+    EXPECT_EQ(stream_anomalies[i].first_round, report.anomalies[i].first_round);
+    EXPECT_EQ(stream_anomalies[i].last_round, report.anomalies[i].last_round);
   }
   EXPECT_EQ(closed + (streaming.anomaly_open() ? 1 : 0),
             report.anomalies.size());

@@ -1,0 +1,5 @@
+// Fixture: suppression without a reason is itself a violation (CL000).
+int SuppressedWithoutReason() {
+  int total = 0;  // cad-lint: allow(CL003)
+  return total;
+}

@@ -1,0 +1,4 @@
+// Fixture: side effect inside a check-macro condition (CL001).
+void Consume(int samples) {
+  CAD_CHECK(samples-- > 0, "consumes a sample even when checks are off");
+}

@@ -1,0 +1,5 @@
+// Fixture: pure condition in a check macro — clean under CL001.
+void Consume(int samples) {
+  CAD_CHECK(samples > 0, "no side effects; comparisons are fine: a <= b");
+  CAD_DCHECK(samples != 0, "maximal munch keeps != out of the = rule");
+}

@@ -1,0 +1,5 @@
+// Fixture: CL001 finding silenced by an inline suppression with a reason.
+void Consume(int samples) {
+  // cad-lint: allow(CL001) fixture exercises the suppression path
+  CAD_CHECK(samples-- > 0, "intentionally mutating");
+}

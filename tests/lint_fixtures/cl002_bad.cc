@@ -1,0 +1,3 @@
+// Fixture: ad-hoc randomness (CL002).
+#include <cstdlib>
+int NoisySample() { return std::rand(); }

@@ -1,0 +1,8 @@
+// Fixture: the string "rand" in a literal or member call is not a finding.
+struct Clock {
+  int time(int t) const { return t; }
+};
+int Sample(const Clock& clock) {
+  const char* label = "rand";  // literals never match identifier rules
+  return clock.time(label != nullptr ? 1 : 0);
+}

@@ -1,0 +1,7 @@
+// Fixture: CL002 silenced from the line above.
+#include <cstdlib>
+int SeededLegacyPath() {
+  // cad-lint: allow(CL002) fixture exercises line-above suppression
+  std::srand(42);
+  return 0;
+}

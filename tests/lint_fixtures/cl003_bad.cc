@@ -1,0 +1,7 @@
+// Fixture: range-for over an unordered container (CL003).
+#include <unordered_map>
+double Sum(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, weight] : weights) total += weight;
+  return total;
+}

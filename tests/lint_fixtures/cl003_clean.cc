@@ -1,0 +1,10 @@
+// Fixture: keyed lookups into unordered containers are fine; only
+// iteration order is banned.
+#include <unordered_map>
+#include <vector>
+double Sum(const std::unordered_map<int, double>& weights,
+           const std::vector<int>& sorted_keys) {
+  double total = 0.0;
+  for (int key : sorted_keys) total += weights.at(key);
+  return total;
+}

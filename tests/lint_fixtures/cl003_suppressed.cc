@@ -1,0 +1,10 @@
+// Fixture: order-independent reduction, suppressed with a reason.
+#include <unordered_map>
+int MaxValue(const std::unordered_map<int, int>& counts) {
+  int best = 0;
+  // cad-lint: allow(CL003) max-reduction is independent of iteration order
+  for (const auto& [key, count] : counts) {
+    if (count > best) best = count;
+  }
+  return best;
+}

@@ -1,0 +1,9 @@
+// Fixture: Status/Result-returning declarations without [[nodiscard]]
+// (CL004). The include guard keeps CL006 quiet.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL004_BAD_H_
+#define CAD_TESTS_LINT_FIXTURES_CL004_BAD_H_
+
+Status LoadModel(const char* path);
+Result<int> ParsePort(const char* text);
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL004_BAD_H_

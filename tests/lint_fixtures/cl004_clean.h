@@ -1,0 +1,11 @@
+// Fixture: [[nodiscard]] present, out-of-line definitions and non-Status
+// declarations are all clean under CL004.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL004_CLEAN_H_
+#define CAD_TESTS_LINT_FIXTURES_CL004_CLEAN_H_
+
+[[nodiscard]] Status LoadModel(const char* path);
+[[nodiscard]] Result<int> ParsePort(const char* text);
+void FireAndForget(int x);
+using StatusCallback = void (*)(int);
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL004_CLEAN_H_

@@ -1,0 +1,8 @@
+// Fixture: CL004 suppressed with a reason.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL004_SUPPRESSED_H_
+#define CAD_TESTS_LINT_FIXTURES_CL004_SUPPRESSED_H_
+
+// cad-lint: allow(CL004) fixture keeps a legacy signature verbatim
+Status LegacyLoad(const char* path);
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL004_SUPPRESSED_H_

@@ -1,0 +1,17 @@
+// Fixture: data member next to a mutex without GUARDED_BY (CL005).
+#ifndef CAD_TESTS_LINT_FIXTURES_CL005_BAD_H_
+#define CAD_TESTS_LINT_FIXTURES_CL005_BAD_H_
+
+#include <mutex>
+#include <vector>
+
+class EventBuffer {
+ public:
+  void Push(double v);
+
+ private:
+  std::mutex mu_;
+  std::vector<double> events_;
+};
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL005_BAD_H_

@@ -1,0 +1,22 @@
+// Fixture: every sibling of the mutex is annotated, const, static or
+// atomic — clean under CL005.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL005_CLEAN_H_
+#define CAD_TESTS_LINT_FIXTURES_CL005_CLEAN_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+class EventBuffer {
+ public:
+  void Push(double v);
+
+ private:
+  const int capacity_ = 128;
+  static int instances_;
+  std::atomic<bool> open_{true};
+  std::mutex mu_;
+  std::vector<double> events_ GUARDED_BY(mu_);
+};
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL005_CLEAN_H_

@@ -1,0 +1,14 @@
+// Fixture: CL005 suppressed with a reason.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL005_SUPPRESSED_H_
+#define CAD_TESTS_LINT_FIXTURES_CL005_SUPPRESSED_H_
+
+#include <mutex>
+
+class EventBuffer {
+ private:
+  std::mutex mu_;
+  // cad-lint: allow(CL005) written once before threads start, never mutated
+  int capacity_;
+};
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL005_SUPPRESSED_H_

@@ -1,0 +1,6 @@
+// Fixture: header with no include guard and a using-directive (CL006 x2).
+#include <vector>
+
+using namespace std;
+
+inline int Twice(int x) { return 2 * x; }

@@ -1,0 +1,9 @@
+// Fixture: guarded header without using-directives — clean under CL006.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL006_CLEAN_H_
+#define CAD_TESTS_LINT_FIXTURES_CL006_CLEAN_H_
+
+#include <vector>
+
+inline int Twice(int x) { return 2 * x; }
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL006_CLEAN_H_

@@ -1,0 +1,7 @@
+// Fixture: using-namespace suppressed with a reason; guard present.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL006_SUPPRESSED_H_
+#define CAD_TESTS_LINT_FIXTURES_CL006_SUPPRESSED_H_
+
+using namespace std;  // cad-lint: allow(CL006) fixture exercises trailing suppression
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL006_SUPPRESSED_H_

@@ -1,0 +1,276 @@
+// Tests for tools/cad_lint: the rule engine as a library (LintSource) and
+// the installed binary end-to-end (exit codes, JSON report shape,
+// --fix-list worklist) over the snippets in tests/lint_fixtures/, which
+// hold one violating, one clean and one suppressed file per rule.
+//
+// CAD_LINT_BIN and CAD_LINT_FIXTURES are injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace cad_lint {
+namespace {
+
+struct BinaryResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+BinaryResult RunBinary(const std::string& args) {
+  const std::string command =
+      std::string(CAD_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to spawn: " << command;
+  BinaryResult result;
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(CAD_LINT_FIXTURES) + "/" + name;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule,
+              bool suppressed) {
+  int count = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.suppressed == suppressed) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Library-level rule engine tests.
+// ---------------------------------------------------------------------------
+
+TEST(LintRulesTest, Cl001FlagsMutationInCheckCondition) {
+  const std::vector<Finding> findings = LintSource(
+      "sample.cc", "void F(int n) {\n  CAD_CHECK(n++ < 3, \"bad\");\n}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL001");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(LintRulesTest, Cl001IgnoresMessageArgumentsAndComparisons) {
+  // Mutation in the *message* argument (after the comma) is evaluated
+  // unconditionally by the macro, so only the condition is scanned.
+  const std::vector<Finding> findings = LintSource(
+      "sample.cc",
+      "void F(int n) {\n  CAD_CHECK(n == 3, \"count\", n++);\n}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(LintRulesTest, Cl001IgnoresDesignatedInitializers) {
+  const std::vector<Finding> findings = LintSource(
+      "sample.cc",
+      "void F() {\n  CAD_VALIDATE(Check(Bounds{.max_edges = 5}));\n}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(LintRulesTest, Cl002IgnoresIdentifiersInsideStringLiterals) {
+  const std::vector<Finding> findings = LintSource(
+      "sample.cc", "const char* kDoc = \"std::rand() time(nullptr)\";\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(LintRulesTest, Cl003RequiresDeclaredUnorderedContainer) {
+  const std::string source =
+      "#include <unordered_map>\n"
+      "int F(const std::unordered_map<int, int>& m) {\n"
+      "  int total = 0;\n"
+      "  for (const auto& [k, v] : m) total += v;\n"
+      "  return total;\n"
+      "}\n";
+  const std::vector<Finding> findings = LintSource("sample.cc", source);
+  ASSERT_EQ(CountRule(findings, "CL003", /*suppressed=*/false), 1);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintRulesTest, Cl004SkipsNonHeaderFiles) {
+  const std::string decl = "Status Load(const char* path);\n";
+  EXPECT_EQ(LintSource("sample.cc", decl).size(), 0u);
+  ASSERT_EQ(LintSource("sample.h", "#ifndef G_\n#define G_\n" + decl +
+                                       "#endif  // G_\n")
+                .size(),
+            1u);
+}
+
+TEST(LintRulesTest, SuppressionNeedsReasonAndKnownRule) {
+  const std::vector<Finding> missing_reason =
+      LintSource("sample.cc", "int x;  // cad-lint: allow(CL003)\n");
+  ASSERT_EQ(missing_reason.size(), 1u);
+  EXPECT_EQ(missing_reason[0].rule, "CL000");
+
+  const std::vector<Finding> unknown_rule = LintSource(
+      "sample.cc", "int x;  // cad-lint: allow(CL999) bogus rule\n");
+  ASSERT_EQ(unknown_rule.size(), 1u);
+  EXPECT_EQ(unknown_rule[0].rule, "CL000");
+}
+
+TEST(LintRulesTest, ProseMentioningTheSyntaxIsNotASuppression) {
+  // Only comments that *start* with "cad-lint:" participate; docs that
+  // mention the convention mid-sentence must not emit CL000.
+  const std::vector<Finding> findings = LintSource(
+      "sample.cc", "// Suppress with `// cad-lint: allow(CLxxx) why`.\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(LintRulesTest, RuleCatalogIsCompleteAndOrdered) {
+  const std::vector<RuleInfo>& rules = Rules();
+  ASSERT_EQ(rules.size(), 7u);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, "CL00" + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture matrix: violating / clean / suppressed snippet per rule, driven
+// through the real binary.
+// ---------------------------------------------------------------------------
+
+struct FixtureCase {
+  const char* file;
+  const char* rule;
+  int violations;  // expected unsuppressed findings of `rule`
+  int suppressed;  // expected suppressed findings of `rule`
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixtureTest, BinaryMatchesExpectedOutcome) {
+  const FixtureCase& c = GetParam();
+  const BinaryResult result = RunBinary("--json " + Fixture(c.file));
+  EXPECT_EQ(result.exit_code, c.violations > 0 ? 1 : 0) << result.output;
+  const std::string violations_key =
+      "\"violations\":" + std::to_string(c.violations);
+  const std::string suppressed_key =
+      "\"suppressed\":" + std::to_string(c.suppressed);
+  EXPECT_NE(result.output.find(violations_key), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find(suppressed_key), std::string::npos)
+      << result.output;
+  if (c.violations + c.suppressed > 0) {
+    EXPECT_NE(result.output.find(std::string("\"rule\":\"") + c.rule + "\""),
+              std::string::npos)
+        << result.output;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtureTest,
+    ::testing::Values(
+        FixtureCase{"cl000_bad.cc", "CL000", 1, 0},
+        FixtureCase{"cl001_bad.cc", "CL001", 1, 0},
+        FixtureCase{"cl001_clean.cc", "CL001", 0, 0},
+        FixtureCase{"cl001_suppressed.cc", "CL001", 0, 1},
+        FixtureCase{"cl002_bad.cc", "CL002", 1, 0},
+        FixtureCase{"cl002_clean.cc", "CL002", 0, 0},
+        FixtureCase{"cl002_suppressed.cc", "CL002", 0, 1},
+        FixtureCase{"cl003_bad.cc", "CL003", 1, 0},
+        FixtureCase{"cl003_clean.cc", "CL003", 0, 0},
+        FixtureCase{"cl003_suppressed.cc", "CL003", 0, 1},
+        FixtureCase{"cl004_bad.h", "CL004", 2, 0},
+        FixtureCase{"cl004_clean.h", "CL004", 0, 0},
+        FixtureCase{"cl004_suppressed.h", "CL004", 0, 1},
+        FixtureCase{"cl005_bad.h", "CL005", 1, 0},
+        FixtureCase{"cl005_clean.h", "CL005", 0, 0},
+        FixtureCase{"cl005_suppressed.h", "CL005", 0, 1},
+        FixtureCase{"cl006_bad.h", "CL006", 2, 0},
+        FixtureCase{"cl006_clean.h", "CL006", 0, 0},
+        FixtureCase{"cl006_suppressed.h", "CL006", 0, 1}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.file;
+      for (char& c : name) {
+        if (c == '.' || c == '/') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Binary behavior: report shapes and exit codes.
+// ---------------------------------------------------------------------------
+
+TEST(LintBinaryTest, JsonReportHasStableShape) {
+  const BinaryResult result =
+      RunBinary("--json " + Fixture("cl003_bad.cc"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("\"tool\":\"cad_lint\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(result.output.find("\"files_scanned\":1"), std::string::npos);
+  EXPECT_NE(result.output.find("\"findings\":[{"), std::string::npos);
+  EXPECT_NE(result.output.find("\"line\":5"), std::string::npos);
+  EXPECT_NE(result.output.find("\"message\":\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"suggestion\":\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"suppressed\":false"), std::string::npos);
+}
+
+TEST(LintBinaryTest, FixListIncludesSuppressedFindings) {
+  const BinaryResult result =
+      RunBinary("--fix-list " + Fixture("cl001_suppressed.cc"));
+  // Suppressed findings keep the exit code clean but stay on the worklist.
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("\tCL001\tsuppressed\t"), std::string::npos)
+      << result.output;
+}
+
+TEST(LintBinaryTest, FixListRowsAreTabSeparatedWithFiveColumns) {
+  const BinaryResult result =
+      RunBinary("--fix-list " + Fixture("cl004_bad.h"));
+  EXPECT_EQ(result.exit_code, 1);
+  size_t start = 0;
+  int rows = 0;
+  while (start < result.output.size()) {
+    size_t end = result.output.find('\n', start);
+    if (end == std::string::npos) break;
+    const std::string line = result.output.substr(start, end - start);
+    int tabs = 0;
+    for (char c : line) {
+      if (c == '\t') ++tabs;
+    }
+    EXPECT_EQ(tabs, 4) << line;
+    ++rows;
+    start = end + 1;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(LintBinaryTest, ListRulesPrintsTheCatalog) {
+  const BinaryResult result = RunBinary("--list-rules");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const RuleInfo& rule : Rules()) {
+    EXPECT_NE(result.output.find(std::string(rule.id)), std::string::npos);
+  }
+}
+
+TEST(LintBinaryTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunBinary("--definitely-not-a-flag x.cc").exit_code, 2);
+  EXPECT_EQ(RunBinary("").exit_code, 2);
+  EXPECT_EQ(RunBinary(Fixture("no_such_file.cc")).exit_code, 2);
+  EXPECT_EQ(RunBinary("--json --fix-list " + Fixture("cl001_clean.cc"))
+                .exit_code,
+            2);
+}
+
+TEST(LintBinaryTest, JsonReportIsByteDeterministicAcrossRuns) {
+  const std::string args = "--json " + std::string(CAD_LINT_FIXTURES);
+  const BinaryResult first = RunBinary(args);
+  const BinaryResult second = RunBinary(args);
+  EXPECT_EQ(first.exit_code, 1);  // the *_bad fixtures
+  EXPECT_EQ(first.output, second.output);
+}
+
+}  // namespace
+}  // namespace cad_lint

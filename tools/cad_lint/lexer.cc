@@ -1,0 +1,267 @@
+#include "lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace cad_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so maximal munch falls out of
+// the scan order. `==`/`<=`/`+=` must not decompose into `=`-containing
+// pairs or the side-effect rule would flag comparisons.
+constexpr std::array<std::string_view, 36> kPuncts = {
+    "<<=", ">>=", "->*", "...", "::*",
+    "::",  "->",  "++",  "--",  "<<",  ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=",
+    "##",  "<",   ">",   "=",   "+",   "-",  "!",  "&",  "|",  "^",  "%"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentifierOrLiteralPrefix();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLit();
+        continue;
+      }
+      LexPunct();
+    }
+    out_.n_lines = line_;
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void LexLineComment() {
+    const int start_line = line_;
+    pos_ += 2;
+    const size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(Comment{
+        std::string(src_.substr(begin, pos_ - begin)), start_line, start_line});
+  }
+
+  void LexBlockComment() {
+    const int start_line = line_;
+    pos_ += 2;
+    const size_t begin = pos_;
+    size_t end = begin;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+      end = pos_;
+    }
+    out_.comments.push_back(
+        Comment{std::string(src_.substr(begin, end - begin)), start_line,
+                line_});
+  }
+
+  void LexDirective() {
+    const int start_line = line_;
+    const size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && Peek(1) == '\n') {  // line continuation
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      // Comments may trail a directive; stop the directive text there.
+      if (src_[pos_] == '/' && (Peek(1) == '/' || Peek(1) == '*')) break;
+      ++pos_;
+    }
+    Emit(TokKind::kDirective, std::string(src_.substr(begin, pos_ - begin)),
+         start_line);
+  }
+
+  void LexIdentifierOrLiteralPrefix() {
+    const size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    std::string text(src_.substr(begin, pos_ - begin));
+    // String-literal prefixes: R"...", u8"...", L'...' etc.
+    const bool raw = !text.empty() && text.back() == 'R';
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (raw || text == "u8" || text == "u" || text == "U" || text == "L")) {
+      LexString(raw);
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      LexCharLit();
+      return;
+    }
+    Emit(TokKind::kIdentifier, std::move(text), line_);
+  }
+
+  void LexNumber() {
+    const int start_line = line_;
+    const size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e-5, 0x1.8p+3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, std::string(src_.substr(begin, pos_ - begin)),
+         start_line);
+  }
+
+  void LexString(bool raw) {
+    const int start_line = line_;
+    ++pos_;  // consume the opening quote
+    std::string delim;
+    if (raw) {
+      while (pos_ < src_.size() && src_[pos_] != '(') {
+        delim += src_[pos_++];
+      }
+      if (pos_ < src_.size()) ++pos_;  // consume '('
+    }
+    const size_t begin = pos_;
+    size_t end = begin;
+    while (pos_ < src_.size()) {
+      if (raw) {
+        if (src_[pos_] == ')' &&
+            src_.substr(pos_ + 1, delim.size()) == delim &&
+            Peek(1 + delim.size()) == '"') {
+          end = pos_;
+          pos_ += 2 + delim.size();
+          break;
+        }
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+        end = pos_;
+        continue;
+      }
+      if (src_[pos_] == '\\') {
+        pos_ += 2;
+        end = pos_;
+        continue;
+      }
+      if (src_[pos_] == '"' || src_[pos_] == '\n') {
+        end = pos_;
+        if (src_[pos_] == '"') ++pos_;
+        break;
+      }
+      ++pos_;
+      end = pos_;
+    }
+    Emit(TokKind::kString, std::string(src_.substr(begin, end - begin)),
+         start_line);
+  }
+
+  void LexCharLit() {
+    const int start_line = line_;
+    ++pos_;  // consume the opening quote
+    const size_t begin = pos_;
+    size_t end = begin;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\') {
+        pos_ += 2;
+        end = pos_;
+        continue;
+      }
+      if (src_[pos_] == '\'' || src_[pos_] == '\n') {
+        end = pos_;
+        if (src_[pos_] == '\'') ++pos_;
+        break;
+      }
+      ++pos_;
+      end = pos_;
+    }
+    Emit(TokKind::kCharLit, std::string(src_.substr(begin, end - begin)),
+         start_line);
+  }
+
+  void LexPunct() {
+    for (std::string_view punct : kPuncts) {
+      if (src_.substr(pos_, punct.size()) == punct) {
+        Emit(TokKind::kPunct, std::string(punct), line_);
+        pos_ += punct.size();
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace cad_lint

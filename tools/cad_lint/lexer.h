@@ -1,0 +1,53 @@
+// cad_lint — minimal C++ tokenizer.
+//
+// Just enough lexing for the project-invariant rules in rules.h: real
+// identifier/punctuator tokens (so `rand` inside a string literal never
+// matches a rule), preprocessor directives as single tokens (for the
+// include-guard rule), and comments collected separately with line numbers
+// (for `// cad-lint: allow(...)` suppressions). No preprocessing, no
+// semantic analysis — rules are token-pattern scanners by design, which
+// keeps the tool dependency-free (no libclang) and fast enough to run on
+// every build.
+#ifndef CAD_TOOLS_CAD_LINT_LEXER_H_
+#define CAD_TOOLS_CAD_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cad_lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kString,     // string literal, including raw strings; text excludes quotes
+  kCharLit,    // character literal
+  kPunct,      // operators/punctuation, maximal munch (see lexer.cc)
+  kDirective,  // one whole preprocessor line (continuations folded in)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 0;      // line the comment starts on
+  int end_line = 0;  // line the comment ends on (== line for // comments)
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int n_lines = 0;
+};
+
+// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+// punctuators, unterminated literals run to end of line.
+LexedFile Lex(std::string_view source);
+
+}  // namespace cad_lint
+
+#endif  // CAD_TOOLS_CAD_LINT_LEXER_H_

@@ -1,0 +1,235 @@
+// cad_lint — project-specific static analysis for the CAD tree.
+//
+// Usage:
+//   cad_lint [--json | --fix-list] <file-or-dir>...
+//   cad_lint --list-rules
+//
+// Scans .h/.hpp/.cc/.cpp files (directories recurse; build/ and dot-dirs are
+// skipped), applies the rules in rules.h, and prints diagnostics with
+// file:line positions. Exit code 0 means clean (suppressed findings do not
+// fail the run), 1 means unsuppressed violations, 2 means usage or I/O
+// error — so both CI and `ctest` can gate on it directly.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace cad_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kUsage =
+    "usage: cad_lint [--json | --fix-list] <file-or-dir>...\n"
+    "       cad_lint --list-rules\n"
+    "\n"
+    "  --json       machine-readable report (all findings, incl. "
+    "suppressed)\n"
+    "  --fix-list   tab-separated worklist: path line rule status "
+    "suggestion\n"
+    "  --list-rules print the rule catalog and exit\n";
+
+bool LintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool SkippedDir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "build" || (!name.empty() && name.front() == '.');
+}
+
+// Expands files/directories into a sorted, deduplicated file list so the
+// report (and therefore CI diffs) are byte-stable across runs.
+bool CollectFiles(const std::vector<std::string>& inputs,
+                  std::vector<std::string>* files) {
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      fs::recursive_directory_iterator it(
+          input, fs::directory_options::skip_permission_denied, ec);
+      if (ec) {
+        std::cerr << "cad_lint: cannot read directory " << input << ": "
+                  << ec.message() << "\n";
+        return false;
+      }
+      for (auto end = fs::end(it); it != end; it.increment(ec)) {
+        if (ec) break;
+        if (it->is_directory() && SkippedDir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && LintableExtension(it->path())) {
+          files->push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files->push_back(fs::path(input).generic_string());
+    } else {
+      std::cerr << "cad_lint: no such file or directory: " << input << "\n";
+      return false;
+    }
+  }
+  std::sort(files->begin(), files->end());
+  files->erase(std::unique(files->begin(), files->end()), files->end());
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintJson(const std::vector<Finding>& findings, size_t files_scanned,
+               size_t violations, size_t suppressed) {
+  std::ostringstream out;
+  out << "{\"tool\":\"cad_lint\",\"version\":1,\"files_scanned\":"
+      << files_scanned << ",\"violations\":" << violations
+      << ",\"suppressed\":" << suppressed << ",\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ",";
+    out << "{\"path\":\"" << JsonEscape(f.path) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << f.rule << "\",\"message\":\""
+        << JsonEscape(f.message) << "\",\"suggestion\":\""
+        << JsonEscape(f.suggestion) << "\",\"suppressed\":"
+        << (f.suppressed ? "true" : "false") << "}";
+  }
+  out << "]}";
+  std::cout << out.str() << "\n";
+}
+
+void PrintFixList(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::cout << f.path << "\t" << f.line << "\t" << f.rule << "\t"
+              << (f.suppressed ? "suppressed" : "active") << "\t"
+              << f.suggestion << "\n";
+  }
+}
+
+void PrintHuman(const std::vector<Finding>& findings, size_t files_scanned,
+                size_t violations, size_t suppressed) {
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n    fix: " << f.suggestion << "\n";
+  }
+  std::cout << "cad_lint: " << files_scanned << " files, " << violations
+            << " violation" << (violations == 1 ? "" : "s") << ", "
+            << suppressed << " suppressed\n";
+}
+
+int Run(int argc, char** argv) {
+  bool json = false;
+  bool fix_list = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix-list") {
+      fix_list = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& rule : Rules()) {
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "cad_lint: unknown flag " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (json && fix_list) {
+    std::cerr << "cad_lint: --json and --fix-list are mutually exclusive\n";
+    return 2;
+  }
+  if (inputs.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  if (!CollectFiles(inputs, &files)) return 2;
+
+  std::vector<Finding> findings;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cad_lint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Finding> file_findings = LintSource(path, buf.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  size_t violations = 0;
+  size_t suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+    } else {
+      ++violations;
+    }
+  }
+
+  if (json) {
+    PrintJson(findings, files.size(), violations, suppressed);
+  } else if (fix_list) {
+    PrintFixList(findings);
+  } else {
+    PrintHuman(findings, files.size(), violations, suppressed);
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cad_lint
+
+int main(int argc, char** argv) { return cad_lint::Run(argc, argv); }

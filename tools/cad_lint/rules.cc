@@ -1,0 +1,658 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace cad_lint {
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool IsKnownRule(std::string_view id) {
+  for (const RuleInfo& rule : Rules()) {
+    if (rule.id == id) return true;
+  }
+  return false;
+}
+
+// A validated `cad-lint: allow(rule)` directive. It silences `rule` on the
+// comment's own line(s) and on the line directly below, so both trailing
+// and line-above placements work.
+struct Suppression {
+  std::string rule;
+  int first_line = 0;
+  int last_line = 0;  // inclusive
+};
+
+// Parses suppression comments. A comment participates only when its trimmed
+// text *starts* with "cad-lint:" — prose that merely mentions the syntax
+// (docs, this very file) is ignored. Malformed directives become CL000
+// findings, which are themselves unsuppressable.
+void ParseSuppressions(const LexedFile& lex, std::vector<Suppression>* sups,
+                       std::vector<Finding>* findings) {
+  constexpr std::string_view kPrefix = "cad-lint:";
+  constexpr std::string_view kAllow = "allow(";
+  for (const Comment& comment : lex.comments) {
+    std::string_view text = Trim(comment.text);
+    if (text.substr(0, kPrefix.size()) != kPrefix) continue;
+    text = Trim(text.substr(kPrefix.size()));
+    const auto bad = [&](const std::string& why) {
+      findings->push_back(Finding{
+          "", comment.line, "CL000", "malformed cad-lint suppression: " + why,
+          "write `// cad-lint: allow(CLxxx) <reason>`", false});
+    };
+    if (text.substr(0, kAllow.size()) != kAllow) {
+      bad("expected `allow(<rule>)` after `cad-lint:`");
+      continue;
+    }
+    text.remove_prefix(kAllow.size());
+    const size_t close = text.find(')');
+    if (close == std::string_view::npos) {
+      bad("unterminated `allow(`");
+      continue;
+    }
+    const std::string rule(Trim(text.substr(0, close)));
+    if (!IsKnownRule(rule)) {
+      bad("unknown rule id `" + rule + "`");
+      continue;
+    }
+    const std::string_view reason = Trim(text.substr(close + 1));
+    if (reason.empty()) {
+      bad("missing reason after `allow(" + rule + ")`");
+      continue;
+    }
+    sups->push_back(Suppression{rule, comment.line, comment.end_line + 1});
+  }
+}
+
+bool IsSuppressed(const std::vector<Suppression>& sups,
+                  const std::string& rule, int line) {
+  for (const Suppression& sup : sups) {
+    if (sup.rule == rule && line >= sup.first_line && line <= sup.last_line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const Token* At(const std::vector<Token>& toks, size_t i) {
+  return i < toks.size() ? &toks[i] : nullptr;
+}
+
+bool TokIs(const std::vector<Token>& toks, size_t i, std::string_view text) {
+  const Token* t = At(toks, i);
+  return t != nullptr && t->text == text;
+}
+
+// Skips a balanced template-argument list. `i` must index the opening `<`;
+// returns the index just past the matching close, or `i` when the list never
+// closes (the caller then bails on the pattern).
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < toks.size(); ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == "<<") {
+      depth += 2;
+    } else if (t == ">") {
+      --depth;
+    } else if (t == ">>") {
+      depth -= 2;
+    } else if (t == ";" || t == "{") {
+      return i;  // not a template-argument list after all
+    }
+    if (depth <= 0) return j + 1;
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// CL001: side effects inside check-macro conditions.
+// ---------------------------------------------------------------------------
+
+void RunCl001(const std::vector<Token>& toks, std::vector<Finding>* out) {
+  const std::set<std::string_view> kMacros = {"CAD_CHECK", "CAD_DCHECK",
+                                             "CAD_VALIDATE"};
+  const std::set<std::string_view> kSideEffects = {
+      "=",  "++", "--", "+=", "-=",  "*=",  "/=",
+      "%=", "&=", "|=", "^=", "<<=", ">>="};
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier ||
+        kMacros.count(toks[i].text) == 0 || !TokIs(toks, i + 1, "(")) {
+      continue;
+    }
+    int depth = 1;
+    for (size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") {
+        ++depth;
+      } else if (t == ")") {
+        --depth;
+      } else if (t == "," && depth == 1) {
+        break;  // only the condition argument is conditionally evaluated
+      } else if (toks[j].kind == TokKind::kPunct &&
+                 kSideEffects.count(t) > 0) {
+        // `[=]` lambda captures and `.field = v` designated initializers
+        // are not assignments.
+        if (t == "=" && TokIs(toks, j - 1, "[")) continue;
+        if (t == "=" && j >= 2 && toks[j - 1].kind == TokKind::kIdentifier &&
+            TokIs(toks, j - 2, ".")) {
+          continue;
+        }
+        out->push_back(Finding{
+            "", toks[j].line, "CL001",
+            "side effect `" + t + "` inside " + toks[i].text +
+                " condition; the expression is skipped entirely when checks "
+                "are compiled out",
+            "hoist the mutation onto its own statement before the check",
+            false});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CL002: ad-hoc randomness / wall-clock seeding.
+// ---------------------------------------------------------------------------
+
+void RunCl002(const std::string& path, const std::vector<Token>& toks,
+              std::vector<Finding>* out) {
+  if (EndsWith(path, "common/rng.h") || EndsWith(path, "common/rng.cc")) {
+    return;  // the one sanctioned home for RNG plumbing
+  }
+  const std::set<std::string_view> kBanned = {
+      "rand", "srand", "drand48", "lrand48", "srand48", "random_device"};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier) continue;
+    // Member access (`watch.time(...)`) is someone else's API, not libc.
+    const bool member = TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->");
+    if (kBanned.count(toks[i].text) > 0 && !member) {
+      out->push_back(Finding{
+          "", toks[i].line, "CL002",
+          "`" + toks[i].text +
+              "` bypasses the seeded generator; detection output would "
+              "change run to run",
+          "route randomness through cad::Rng (common/rng.h) with an "
+          "explicit seed",
+          false});
+      continue;
+    }
+    if (toks[i].text == "time" && !member && TokIs(toks, i + 1, "(") &&
+        TokIs(toks, i + 3, ")") &&
+        (TokIs(toks, i + 2, "nullptr") || TokIs(toks, i + 2, "NULL") ||
+         TokIs(toks, i + 2, "0"))) {
+      out->push_back(Finding{
+          "", toks[i].line, "CL002",
+          "wall-clock seeding via `time(...)` makes runs irreproducible",
+          "route randomness through cad::Rng (common/rng.h) with an "
+          "explicit seed",
+          false});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CL003: range-for over unordered containers.
+// ---------------------------------------------------------------------------
+
+void RunCl003(const std::vector<Token>& toks, std::vector<Finding>* out) {
+  const std::set<std::string_view> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  // Pass A: names declared with an unordered type anywhere in this file
+  // (locals, parameters, and class members all look the same at token level).
+  std::set<std::string> unordered_names;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier ||
+        kUnordered.count(toks[i].text) == 0 || !TokIs(toks, i + 1, "<")) {
+      continue;
+    }
+    size_t j = SkipAngles(toks, i + 1);
+    if (j == i + 1) continue;
+    while (TokIs(toks, j, "&") || TokIs(toks, j, "*") ||
+           TokIs(toks, j, "const") || TokIs(toks, j, "&&")) {
+      ++j;
+    }
+    const Token* name = At(toks, j);
+    if (name != nullptr && name->kind == TokKind::kIdentifier) {
+      unordered_names.insert(name->text);
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass B: range-for statements whose range expression is a plain
+  // identifier chain naming one of those containers. Expressions containing
+  // a call (`SortedKeys(m)`) already reorder and are left alone.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier || toks[i].text != "for" ||
+        !TokIs(toks, i + 1, "(")) {
+      continue;
+    }
+    int depth = 1;
+    size_t colon = 0;
+    size_t close = 0;
+    for (size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++depth;
+      if (t == ")") {
+        --depth;
+        if (depth == 0) close = j;
+      }
+      if (t == ":" && depth == 1 && colon == 0) colon = j;
+      if (t == ";") break;  // classic three-clause for
+    }
+    if (colon == 0 || close == 0) continue;
+    bool has_call = false;
+    std::string offender;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].text == "(") has_call = true;
+      if (toks[j].kind == TokKind::kIdentifier &&
+          unordered_names.count(toks[j].text) > 0) {
+        offender = toks[j].text;
+      }
+    }
+    if (!offender.empty() && !has_call) {
+      out->push_back(Finding{
+          "", toks[colon].line, "CL003",
+          "range-for over unordered container `" + offender +
+              "`; hash iteration order leaks into whatever this loop "
+              "produces",
+          "sort the keys at the emit point or use an ordered container; "
+          "suppress with a reason only for order-independent reductions",
+          false});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CL004 + CL005: scope-aware rules (one shared brace-classifying walk).
+// ---------------------------------------------------------------------------
+
+enum class BraceKind { kScope, kClass, kBody };
+
+// Classifies the `{` at `brace` by the statement tokens since the last
+// boundary. Paren depth matters: `struct` inside a parameter list does not
+// make the following brace a class body.
+BraceKind ClassifyBrace(const std::vector<Token>& toks, size_t stmt_start,
+                        size_t brace) {
+  int paren_depth = 0;
+  bool saw_eq = false;
+  BraceKind kind = BraceKind::kBody;
+  for (size_t i = stmt_start; i < brace; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") ++paren_depth;
+    if (t == ")") --paren_depth;
+    if (toks[i].kind != TokKind::kIdentifier) {
+      if (t == "=") saw_eq = true;
+      continue;
+    }
+    if (paren_depth != 0) continue;
+    if (t == "enum" || t == "namespace" || t == "extern") {
+      return BraceKind::kScope;
+    }
+    if (t == "class" || t == "struct" || t == "union") {
+      kind = BraceKind::kClass;
+    }
+  }
+  if (saw_eq) return BraceKind::kBody;  // brace-init, lambda assignment, ...
+  return kind;
+}
+
+// Extracts the class name for diagnostics: the first identifier after the
+// class keyword, skipping attribute-macro calls like CAPABILITY("mutex").
+std::string ClassName(const std::vector<Token>& toks, size_t stmt_start,
+                      size_t brace) {
+  for (size_t i = stmt_start; i < brace; ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "class" && t != "struct" && t != "union") continue;
+    for (size_t j = i + 1; j < brace; ++j) {
+      if (toks[j].kind != TokKind::kIdentifier) continue;
+      if (TokIs(toks, j + 1, "(")) {  // attribute macro — skip its arguments
+        int depth = 0;
+        size_t k = j + 1;
+        for (; k < brace; ++k) {
+          if (toks[k].text == "(") ++depth;
+          if (toks[k].text == ")" && --depth == 0) break;
+        }
+        j = k;
+        continue;
+      }
+      return toks[j].text;
+    }
+  }
+  return "(anonymous)";
+}
+
+struct ClassFrame {
+  std::string name;
+  std::vector<std::vector<size_t>> stmts;  // direct-member statements
+  std::vector<size_t> cur;
+};
+
+const std::set<std::string_view>& MemberExemptKeywords() {
+  static const std::set<std::string_view> kExempt = {
+      "static", "constexpr", "const",  "atomic",   "thread_local",
+      "using",  "typedef",   "friend", "operator", "template"};
+  return kExempt;
+}
+
+void FlagUnguardedMembers(const std::vector<Token>& toks,
+                          const ClassFrame& frame,
+                          std::vector<Finding>* out) {
+  std::string mutex_name;
+  std::vector<const std::vector<size_t>*> candidates;
+  for (const std::vector<size_t>& stmt : frame.stmts) {
+    if (stmt.empty()) continue;
+    bool has_paren = false;
+    bool exempt = false;
+    bool is_mutex = false;
+    std::string last_ident;
+    std::string name;  // last identifier before any initializer
+    for (size_t idx : stmt) {
+      const Token& t = toks[idx];
+      if (t.text == "(") has_paren = true;
+      if (t.text == "=" && name.empty()) name = last_ident;
+      if (t.kind == TokKind::kIdentifier) {
+        last_ident = t.text;
+        if (MemberExemptKeywords().count(t.text) > 0) exempt = true;
+        if (t.text.find("utex") != std::string::npos) is_mutex = true;
+      }
+    }
+    if (name.empty()) name = last_ident;
+    if (is_mutex && !has_paren) {
+      if (mutex_name.empty()) mutex_name = name;
+      continue;
+    }
+    // GUARDED_BY(...) and function declarations both carry parens; either
+    // way the statement is not an unannotated data member.
+    if (has_paren || exempt || name.empty()) continue;
+    candidates.push_back(&stmt);
+  }
+  if (mutex_name.empty()) return;
+  for (const std::vector<size_t>* stmt : candidates) {
+    std::string name;
+    std::string last_ident;
+    for (size_t idx : *stmt) {
+      const Token& t = toks[idx];
+      if (t.text == "=" && name.empty()) name = last_ident;
+      if (t.kind == TokKind::kIdentifier) last_ident = t.text;
+    }
+    if (name.empty()) name = last_ident;
+    out->push_back(Finding{
+        "", toks[stmt->front()].line, "CL005",
+        "member `" + name + "` of `" + frame.name +
+            "` sits next to mutex `" + mutex_name +
+            "` without GUARDED_BY, const, static, or atomic; its locking "
+            "contract is undocumented",
+        "annotate with GUARDED_BY(" + mutex_name +
+            ") or make the member const/atomic",
+        false});
+  }
+}
+
+// Keywords whose presence in the declaration prefix means the Status/Result
+// token is not the return type of a new declaration.
+bool PrefixBlocksCl004(const std::vector<Token>& toks, size_t stmt_start,
+                       size_t i) {
+  const std::set<std::string_view> kBlockers = {
+      "using",  "typedef", "friend", "operator", "class",
+      "struct", "enum",    "return", "nodiscard"};
+  for (size_t j = stmt_start; j < i; ++j) {
+    if (toks[j].kind == TokKind::kIdentifier &&
+        kBlockers.count(toks[j].text) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RunScopedRules(const std::string& path, const std::vector<Token>& toks,
+                    std::vector<Finding>* out) {
+  const bool header = IsHeaderPath(path);
+  std::vector<BraceKind> brace_stack;
+  // Parallel to brace_stack: index into class_frames, or -1.
+  std::vector<int> frame_at_level;
+  std::vector<ClassFrame> class_frames;
+  size_t stmt_start = 0;
+  int paren_depth = 0;
+  int body_depth = 0;  // how many kBody braces enclose the current token
+
+  const auto top_frame = [&]() -> ClassFrame* {
+    if (frame_at_level.empty() || frame_at_level.back() < 0) return nullptr;
+    return &class_frames[static_cast<size_t>(frame_at_level.back())];
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind == TokKind::kDirective) {
+      if (ClassFrame* frame = top_frame(); frame != nullptr) {
+        frame->stmts.push_back(frame->cur);
+        frame->cur.clear();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+    const std::string& t = tok.text;
+    if (t == "(") ++paren_depth;
+    if (t == ")" && paren_depth > 0) --paren_depth;
+
+    if (t == "{" && paren_depth == 0) {
+      if (ClassFrame* frame = top_frame(); frame != nullptr) {
+        frame->cur.clear();  // method body / nested type: not a data member
+      }
+      const BraceKind kind = ClassifyBrace(toks, stmt_start, i);
+      brace_stack.push_back(kind);
+      if (kind == BraceKind::kBody) ++body_depth;
+      if (kind == BraceKind::kClass) {
+        class_frames.push_back(
+            ClassFrame{ClassName(toks, stmt_start, i), {}, {}});
+        frame_at_level.push_back(static_cast<int>(class_frames.size()) - 1);
+      } else {
+        frame_at_level.push_back(-1);
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == "}" && paren_depth == 0) {
+      if (!brace_stack.empty()) {
+        if (frame_at_level.back() >= 0) {
+          ClassFrame& frame =
+              class_frames[static_cast<size_t>(frame_at_level.back())];
+          frame.stmts.push_back(frame.cur);
+          FlagUnguardedMembers(toks, frame, out);
+        }
+        if (brace_stack.back() == BraceKind::kBody) --body_depth;
+        brace_stack.pop_back();
+        frame_at_level.pop_back();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == ";" && paren_depth == 0) {
+      if (ClassFrame* frame = top_frame(); frame != nullptr) {
+        frame->stmts.push_back(frame->cur);
+        frame->cur.clear();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == ":" && paren_depth == 0) {
+      if (ClassFrame* frame = top_frame(); frame != nullptr) {
+        const std::vector<size_t>& cur = frame->cur;
+        if (cur.size() == 1 && (toks[cur[0]].text == "public" ||
+                                toks[cur[0]].text == "private" ||
+                                toks[cur[0]].text == "protected")) {
+          frame->cur.clear();
+          stmt_start = i + 1;
+          continue;
+        }
+      }
+    }
+    if (ClassFrame* frame = top_frame(); frame != nullptr) {
+      frame->cur.push_back(i);
+    }
+
+    // CL004: Status/Result return types at declaration scope in headers.
+    if (header && body_depth == 0 && paren_depth == 0 &&
+        tok.kind == TokKind::kIdentifier &&
+        (t == "Status" || t == "Result") &&
+        !PrefixBlocksCl004(toks, stmt_start, i)) {
+      size_t j = i + 1;
+      if (t == "Result") {
+        if (!TokIs(toks, j, "<")) continue;
+        j = SkipAngles(toks, j);
+        if (j == i + 1) continue;
+      }
+      while (TokIs(toks, j, "&") || TokIs(toks, j, "*") ||
+             TokIs(toks, j, "const")) {
+        ++j;
+      }
+      const Token* name = At(toks, j);
+      if (name == nullptr || name->kind != TokKind::kIdentifier ||
+          name->text == "operator") {
+        continue;
+      }
+      if (TokIs(toks, j + 1, "::")) continue;  // out-of-line definition
+      if (!TokIs(toks, j + 1, "(")) continue;  // not a function declaration
+      out->push_back(Finding{
+          "", tok.line, "CL004",
+          "`" + name->text + "` returns " + t +
+              " but is not [[nodiscard]]; a dropped return value silently "
+              "swallows the error",
+          "add [[nodiscard]] to the declaration", false});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CL006: include hygiene (headers only).
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SplitWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) words.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+void RunCl006(const std::string& path, const LexedFile& lex,
+              std::vector<Finding>* out) {
+  if (!IsHeaderPath(path) || lex.tokens.empty()) return;
+  std::vector<const Token*> directives;
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokKind::kDirective) directives.push_back(&tok);
+  }
+  bool guarded = false;
+  if (directives.size() >= 1) {
+    const std::vector<std::string> first = SplitWords(directives[0]->text);
+    if (first.size() >= 2 && first[0] == "#pragma" && first[1] == "once") {
+      guarded = true;
+    } else if (directives.size() >= 2 && first.size() >= 2 &&
+               first[0] == "#ifndef") {
+      const std::vector<std::string> second =
+          SplitWords(directives[1]->text);
+      guarded = second.size() >= 2 && second[0] == "#define" &&
+                second[1] == first[1];
+    }
+  }
+  if (!guarded) {
+    out->push_back(Finding{
+        "", 1, "CL006",
+        "header lacks an include guard (#ifndef/#define pair or #pragma "
+        "once)",
+        "open the header with `#ifndef CAD_<PATH>_H_` / `#define "
+        "CAD_<PATH>_H_`",
+        false});
+  }
+  for (size_t i = 0; i + 1 < lex.tokens.size(); ++i) {
+    if (lex.tokens[i].kind == TokKind::kIdentifier &&
+        lex.tokens[i].text == "using" &&
+        TokIs(lex.tokens, i + 1, "namespace")) {
+      out->push_back(Finding{
+          "", lex.tokens[i].line, "CL006",
+          "`using namespace` in a header injects the namespace into every "
+          "includer",
+          "qualify names explicitly or move the using-directive into a .cc "
+          "file",
+          false});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"CL000", "malformed cad-lint suppression comment"},
+      {"CL001", "side effect inside CAD_CHECK/CAD_DCHECK/CAD_VALIDATE"},
+      {"CL002", "ad-hoc randomness or wall-clock seeding outside cad::Rng"},
+      {"CL003", "range-for over unordered_map/unordered_set"},
+      {"CL004", "Status/Result-returning declaration missing [[nodiscard]]"},
+      {"CL005", "data member next to a mutex without GUARDED_BY"},
+      {"CL006", "header missing include guard or using-namespace in header"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view source) {
+  const LexedFile lex = Lex(source);
+  std::vector<Finding> findings;
+  std::vector<Suppression> sups;
+  ParseSuppressions(lex, &sups, &findings);
+
+  std::vector<Finding> rule_findings;
+  RunCl001(lex.tokens, &rule_findings);
+  RunCl002(path, lex.tokens, &rule_findings);
+  RunCl003(lex.tokens, &rule_findings);
+  RunScopedRules(path, lex.tokens, &rule_findings);
+  RunCl006(path, lex, &rule_findings);
+
+  for (Finding& finding : rule_findings) {
+    finding.suppressed = IsSuppressed(sups, finding.rule, finding.line);
+    findings.push_back(std::move(finding));
+  }
+  for (Finding& finding : findings) finding.path = path;
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace cad_lint

@@ -1,0 +1,70 @@
+// cad_lint — numbered project-invariant rules for the CAD tree.
+//
+// Rule catalog (see DESIGN.md "Static analysis layers" for the rationale
+// behind each; tests/lint_fixtures/ holds one violating, one clean and one
+// suppressed snippet per rule):
+//   CL000  malformed suppression: `// cad-lint: allow(CLxxx)` without a
+//          reason, or an unknown rule id. Suppressions are auditable
+//          debt markers, so the reason is mandatory.
+//   CL001  side effect (`=`, `++`, `--`, compound assignment) inside a
+//          CAD_CHECK / CAD_DCHECK / CAD_VALIDATE condition. Conditions are
+//          unevaluated at CAD_CHECK_LEVEL=off, so the work would vanish.
+//   CL002  ad-hoc randomness: std::rand / srand / std::random_device /
+//          time(nullptr)-style seeding anywhere outside common/rng.h.
+//          Detection scores must be reproducible run-to-run (Theorem 1's
+//          3-sigma rule and the DaE Ahead/Miss numbers are statistics over
+//          them), so all randomness routes through cad::Rng with an
+//          explicit seed.
+//   CL003  range-for over an unordered_map/unordered_set. Hash iteration
+//          order is not part of any contract; iterating it feeds
+//          nondeterministic ordering (or FP summation order) into reports.
+//          Sort keys at the emit point, use an ordered container, or
+//          suppress with a reason when the loop is an order-independent
+//          reduction.
+//   CL004  Status/Result-returning declaration in a header without
+//          [[nodiscard]]. A dropped Status is a swallowed error.
+//   CL005  class owns a mutex but a sibling data member is neither
+//          GUARDED_BY one, const, static, nor atomic — the member's locking
+//          story is undocumented and invisible to -Wthread-safety.
+//   CL006  include hygiene: header without an include guard
+//          (#ifndef/#define or #pragma once), or `using namespace` in a
+//          header.
+//
+// Suppression convention: `// cad-lint: allow(CLxxx) <reason>` on the same
+// line as the finding or on the line directly above it. The reason is
+// required; suppressed findings stay visible to `cad_lint --fix-list`.
+#ifndef CAD_TOOLS_CAD_LINT_RULES_H_
+#define CAD_TOOLS_CAD_LINT_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cad_lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;        // "CL003"
+  std::string message;     // human diagnostic
+  std::string suggestion;  // machine-actionable fix hint (--fix-list column)
+  bool suppressed = false;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+// The rule catalog, in id order.
+const std::vector<RuleInfo>& Rules();
+
+// Lints one file. `path` is used for diagnostics and for path-conditional
+// rules (header-only rules, the common/rng.h allowlist). Findings come back
+// ordered by line.
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view source);
+
+}  // namespace cad_lint
+
+#endif  // CAD_TOOLS_CAD_LINT_RULES_H_

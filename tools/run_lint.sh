@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Static lint stage of the verification matrix: clang-tidy over the contract
-# and core subsystems (configuration in .clang-tidy) and a clang-format
-# conformance check (configuration in .clang-format).
+# and core subsystems (configuration in .clang-tidy), a clang-format
+# conformance check (configuration in .clang-format), and the project's own
+# linter (tools/cad_lint) over the whole tree.
 #
-# Both tools are optional in minimal containers: a missing binary SKIPs its
-# stage with a message instead of failing, so tools/verify_matrix.sh stays
-# runnable everywhere. When the tools are present, findings are fatal.
+# The clang tools are optional in minimal containers: a missing binary SKIPs
+# its stage with a message instead of failing, so tools/verify_matrix.sh
+# stays runnable everywhere. cad_lint is built from this repo and always
+# runs. When a tool runs, findings are fatal.
 #
 # Usage: tools/run_lint.sh [compile_commands_dir]   (default: build)
 set -euo pipefail
@@ -44,6 +46,18 @@ if command -v clang-format > /dev/null 2>&1; then
   fi
 else
   echo "SKIP: clang-format not installed; .clang-format config is checked in"
+fi
+
+echo "== cad_lint (src, bench, examples, tools) =="
+CAD_LINT_BUILD_DIR="$BUILD_DIR"
+[[ -f "$CAD_LINT_BUILD_DIR/CMakeCache.txt" ]] || CAD_LINT_BUILD_DIR=build
+[[ -f "$CAD_LINT_BUILD_DIR/CMakeCache.txt" ]] || \
+  cmake -B "$CAD_LINT_BUILD_DIR" -S . > /dev/null
+cmake --build "$CAD_LINT_BUILD_DIR" --target cad_lint > /dev/null
+if ! "$CAD_LINT_BUILD_DIR/tools/cad_lint/cad_lint" src bench examples tools; then
+  echo "FAIL: cad_lint reported violations" \
+       "(worklist: cad_lint --fix-list src bench examples tools)" >&2
+  status=1
 fi
 
 if [[ $status -eq 0 ]]; then

@@ -10,22 +10,38 @@
 #   3. tsan       — ThreadSanitizer, full ctest including the
 #                   check/concurrency_stress_test.cc registry + StreamingCad
 #                   hammering, which exists for exactly this stage.
-#   4. lint       — clang-tidy + clang-format via tools/run_lint.sh
-#                   (skips gracefully when the tools are not installed).
+#   4. lint       — clang-tidy + clang-format + cad_lint via
+#                   tools/run_lint.sh (clang tools skip gracefully when not
+#                   installed; cad_lint is built from source and always runs).
+#   5. lint-cad   — just the project linter (tools/cad_lint) over src, bench,
+#                   examples and tools: fast enough for a pre-commit hook.
+#   6. thread-safety — Clang build with -Werror=thread-safety armed by the
+#                   CAPABILITY/GUARDED_BY annotations; SKIPs when clang++ is
+#                   not installed (GCC compiles the annotations to no-ops).
 #
 # Presets come from CMakePresets.json; each stage uses its own binaryDir so
 # the matrix never contaminates the default build/.
 #
 # Usage: tools/verify_matrix.sh [stage ...]
 #   with no arguments, runs all stages; otherwise only the named ones
-#   (checked, asan-ubsan, tsan, lint).
+#   (checked, asan-ubsan, tsan, lint, lint-cad, thread-safety).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2> /dev/null || echo 2)"
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety)
+
+# Builds tools/cad_lint (reusing the default build dir) and prints the
+# binary's path. The linter has no dependencies beyond a C++20 compiler, so
+# unlike clang-tidy it never skips.
+build_cad_lint() {
+  local dir=build
+  [[ -f $dir/CMakeCache.txt ]] || cmake -B "$dir" -S . > /dev/null
+  cmake --build "$dir" --target cad_lint -j "$JOBS" > /dev/null
+  echo "$dir/tools/cad_lint/cad_lint"
+}
 
 run_preset() {
   local preset="$1"
@@ -57,9 +73,27 @@ for stage in "${STAGES[@]}"; do
       [[ -f $lint_dir/compile_commands.json ]] || lint_dir=build
       tools/run_lint.sh "$lint_dir"
       ;;
+    lint-cad)
+      echo
+      echo "==== [lint-cad] project linter (tools/cad_lint) ===="
+      lint_bin="$(build_cad_lint)"
+      "$lint_bin" src bench examples tools
+      ;;
+    thread-safety)
+      echo
+      echo "==== [thread-safety] clang -Werror=thread-safety ===="
+      if command -v clang++ > /dev/null 2>&1; then
+        run_preset thread-safety
+      else
+        echo "SKIP: clang++ not installed; the thread-safety annotations" \
+             "(src/common/thread_annotations.h) compile to no-ops under GCC." \
+             "Run 'cmake --preset thread-safety' wherever Clang exists."
+      fi
+      ;;
     *)
       echo "error: unknown stage '$stage'" \
-           "(expected: checked, asan-ubsan, tsan, lint)" >&2
+           "(expected: checked, asan-ubsan, tsan, lint, lint-cad," \
+           "thread-safety)" >&2
       exit 2
       ;;
   esac
