@@ -1,0 +1,281 @@
+// Engine throughput bench: runs the same synthetic stream through both
+// detection drivers — CadDetector::Detect (batch) and StreamingCad
+// (per-sample Push) — and emits BENCH_engine.json so the perf trajectory of
+// future PRs is machine-readable:
+//
+//   rounds/sec, p50/p95/p99 round latency, steady-state heap allocations
+//   per round for each driver.
+//
+// Allocations are measured two ways: the binary links cad_alloc_hook (a
+// global operator-new replacement counting into a thread-local), giving an
+// end-to-end allocs-per-round figure that includes driver overhead, and the
+// `cad_round_allocs` gauge, which the engine sets from inside the round and
+// therefore isolates the hot path (-1 while the gauge is not registered).
+//
+// Flags:
+//   --smoke      small configuration for ctest (a few seconds)
+//   --out PATH   output path (default BENCH_engine.json)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/alloc_tracker.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/cad_detector.h"
+#include "core/streaming.h"
+#include "datasets/generator.h"
+#include "obs/metrics.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::bench {
+namespace {
+
+struct EngineBenchConfig {
+  int n_sensors = 48;
+  int n_communities = 4;
+  int train_length = 1200;
+  int rounds = 1500;
+  int window = 120;
+  int step = 4;
+  int k = 5;
+  // Rounds skipped before allocation accounting starts: the first rounds pay
+  // one-time capacity growth that steady state never repeats.
+  int alloc_warmup_rounds = 16;
+
+  int test_length() const { return window + (rounds - 1) * step; }
+};
+
+core::CadOptions MakeOptions(const EngineBenchConfig& config,
+                             obs::Registry* registry) {
+  core::CadOptions options;
+  options.window = config.window;
+  options.step = config.step;
+  options.k = config.k;
+  options.tau = 0.55;
+  options.theta = 0.9;
+  options.metrics_registry = registry;
+  return options;
+}
+
+// Exact empirical quantile (nearest-rank with interpolation), matching
+// core::SummarizeRoundLatencies so the two drivers' tails are comparable.
+double SampleQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct DriverResult {
+  int rounds = 0;
+  double rounds_per_sec = 0.0;
+  double p50_round_seconds = 0.0;
+  double p95_round_seconds = 0.0;
+  double p99_round_seconds = 0.0;
+  // Heap allocations per steady-state round, end to end (operator-new hook).
+  double allocs_per_round = -1.0;
+  // Last value of the engine's cad_round_allocs gauge; -1 if unregistered.
+  double round_allocs_gauge = -1.0;
+  double total_seconds = 0.0;
+};
+
+void FillLatency(DriverResult* result, std::vector<double> seconds) {
+  result->rounds = static_cast<int>(seconds.size());
+  double sum = 0.0;
+  for (double s : seconds) sum += s;
+  if (sum > 0.0) {
+    result->rounds_per_sec = static_cast<double>(seconds.size()) / sum;
+  }
+  std::sort(seconds.begin(), seconds.end());
+  result->p50_round_seconds = SampleQuantile(seconds, 0.50);
+  result->p95_round_seconds = SampleQuantile(seconds, 0.95);
+  result->p99_round_seconds = SampleQuantile(seconds, 0.99);
+}
+
+double GaugeValue(const obs::Snapshot& snapshot, const char* name) {
+  const obs::GaugeSample* sample = snapshot.FindGauge(name);
+  return sample != nullptr ? sample->value : -1.0;
+}
+
+DriverResult RunBatch(const EngineBenchConfig& config,
+                      const ts::MultivariateSeries& train,
+                      const ts::MultivariateSeries& test) {
+  obs::Registry registry;
+  core::CadDetector detector(MakeOptions(config, &registry));
+
+  Stopwatch watch;
+  const int64_t allocs_before = common::ThreadAllocCount();
+  const core::DetectionReport report =
+      detector.Detect(test, &train).ValueOrDie();
+  const int64_t allocs_after = common::ThreadAllocCount();
+
+  DriverResult result;
+  result.total_seconds = watch.ElapsedSeconds();
+  result.rounds = static_cast<int>(report.rounds.size());
+  if (report.round_latency.mean > 0.0) {
+    result.rounds_per_sec = 1.0 / report.round_latency.mean;
+  }
+  result.p50_round_seconds = report.round_latency.p50;
+  result.p95_round_seconds = report.round_latency.p95;
+  result.p99_round_seconds = report.round_latency.p99;
+  // The batch driver runs warmup + all rounds + report assembly in one call,
+  // so the hook figure amortizes everything over the rounds — an upper bound
+  // on the per-round cost, still comparable across commits.
+  if (common::AllocHookInstalled() && result.rounds > 0) {
+    result.allocs_per_round = static_cast<double>(allocs_after - allocs_before) /
+                              static_cast<double>(result.rounds);
+  }
+  result.round_allocs_gauge = GaugeValue(report.telemetry, "cad_round_allocs");
+  return result;
+}
+
+DriverResult RunStreaming(const EngineBenchConfig& config,
+                          const ts::MultivariateSeries& train,
+                          const ts::MultivariateSeries& test) {
+  obs::Registry registry;
+  core::StreamingCad streaming(test.n_sensors(), MakeOptions(config, &registry));
+  if (!streaming.WarmUp(train).ok()) {
+    std::fprintf(stderr, "engine_bench: streaming warm-up failed\n");
+    std::exit(1);
+  }
+
+  std::vector<double> sample(test.n_sensors());
+  std::vector<double> round_seconds;
+  round_seconds.reserve(config.rounds);
+  int64_t steady_allocs = 0;
+  int steady_rounds = 0;
+
+  Stopwatch watch;
+  for (int t = 0; t < test.length(); ++t) {
+    for (int i = 0; i < test.n_sensors(); ++i) sample[i] = test.value(i, t);
+    const int64_t allocs_before = common::ThreadAllocCount();
+    auto event = streaming.Push(sample).ValueOrDie();
+    const int64_t allocs_after = common::ThreadAllocCount();
+    if (!event.has_value()) continue;
+    round_seconds.push_back(event->round_seconds);
+    // The measured Push delta covers ring-buffer upkeep, the round, and the
+    // StreamEvent the caller receives — the whole per-round streaming cost.
+    if (static_cast<int>(round_seconds.size()) > config.alloc_warmup_rounds) {
+      steady_allocs += allocs_after - allocs_before;
+      ++steady_rounds;
+    }
+  }
+
+  DriverResult result;
+  result.total_seconds = watch.ElapsedSeconds();
+  FillLatency(&result, std::move(round_seconds));
+  if (common::AllocHookInstalled() && steady_rounds > 0) {
+    result.allocs_per_round = static_cast<double>(steady_allocs) /
+                              static_cast<double>(steady_rounds);
+  }
+  result.round_allocs_gauge =
+      GaugeValue(registry.TakeSnapshot(), "cad_round_allocs");
+  return result;
+}
+
+void PrintDriverJson(std::FILE* out, const char* name,
+                     const DriverResult& result, bool trailing_comma) {
+  std::fprintf(out,
+               "  \"%s\": {\n"
+               "    \"rounds\": %d,\n"
+               "    \"rounds_per_sec\": %.3f,\n"
+               "    \"p50_round_seconds\": %.9f,\n"
+               "    \"p95_round_seconds\": %.9f,\n"
+               "    \"p99_round_seconds\": %.9f,\n"
+               "    \"allocs_per_round\": %.3f,\n"
+               "    \"round_allocs_gauge\": %.1f,\n"
+               "    \"total_seconds\": %.6f\n"
+               "  }%s\n",
+               name, result.rounds, result.rounds_per_sec,
+               result.p50_round_seconds, result.p95_round_seconds,
+               result.p99_round_seconds, result.allocs_per_round,
+               result.round_allocs_gauge, result.total_seconds,
+               trailing_comma ? "," : "");
+}
+
+int Main(int argc, char** argv) {
+  cad::common::LinkAllocHook();
+
+  bool smoke = false;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: engine_bench [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  EngineBenchConfig config;
+  if (smoke) {
+    config.n_sensors = 16;
+    config.n_communities = 3;
+    config.train_length = 400;
+    config.rounds = 80;
+    config.window = 80;
+    config.k = 3;
+    config.alloc_warmup_rounds = 8;
+  }
+
+  Rng rng(2026);
+  datasets::GeneratorOptions gen_options;
+  gen_options.n_sensors = config.n_sensors;
+  gen_options.n_communities = config.n_communities;
+  datasets::SensorNetworkGenerator generator(gen_options, &rng);
+  const ts::MultivariateSeries train =
+      generator.Generate(config.train_length, &rng);
+  const ts::MultivariateSeries test =
+      generator.Generate(config.test_length(), &rng);
+
+  std::fprintf(stderr, "[engine_bench] %d sensors, window %d, step %d, %d rounds%s\n",
+               config.n_sensors, config.window, config.step, config.rounds,
+               smoke ? " (smoke)" : "");
+
+  const DriverResult batch = RunBatch(config, train, test);
+  std::fprintf(stderr, "[engine_bench] batch:  %.0f rounds/sec, %.2f allocs/round\n",
+               batch.rounds_per_sec, batch.allocs_per_round);
+  const DriverResult stream = RunStreaming(config, train, test);
+  std::fprintf(stderr, "[engine_bench] stream: %.0f rounds/sec, %.2f allocs/round\n",
+               stream.rounds_per_sec, stream.allocs_per_round);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "engine_bench: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"engine\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"config\": {\n"
+               "    \"n_sensors\": %d,\n"
+               "    \"n_communities\": %d,\n"
+               "    \"train_length\": %d,\n"
+               "    \"test_length\": %d,\n"
+               "    \"window\": %d,\n"
+               "    \"step\": %d,\n"
+               "    \"k\": %d\n"
+               "  },\n",
+               smoke ? "true" : "false", config.n_sensors, config.n_communities,
+               config.train_length, config.test_length(), config.window,
+               config.step, config.k);
+  PrintDriverJson(out, "batch", batch, /*trailing_comma=*/true);
+  PrintDriverJson(out, "stream", stream, /*trailing_comma=*/false);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[engine_bench] wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

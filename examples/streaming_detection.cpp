@@ -67,6 +67,12 @@ int main() {
       std::printf("t=%-5d ALARM #%d  n_r=%d (mu=%.2f sigma=%.2f) outliers:",
                   t, alarms, event->n_variations, event->mu, event->sigma);
       for (int sensor : event->entered) std::printf(" %d", sensor);
+      // Movers (Definition 2) are the attribution-grade subset: sensors that
+      // changed community this round, not merely persistent outliers.
+      if (!event->entered_movers.empty()) {
+        std::printf("  movers:");
+        for (int sensor : event->entered_movers) std::printf(" %d", sensor);
+      }
       std::printf("\n");
     }
     if (!event->abnormal && was_open) {

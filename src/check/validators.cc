@@ -10,6 +10,8 @@
 #include "check/check.h"
 #include "core/cad_detector.h"
 #include "core/co_appearance.h"
+#include "core/engine.h"
+#include "core/round_processor.h"
 #include "obs/metrics.h"
 
 namespace cad::check {
@@ -275,6 +277,121 @@ Status ValidateRunningStats(const stats::RunningStats& stats,
   return ValidateRunningStatsValues(stats.count(), stats.mean(),
                                     stats.variance(), stats.min(), stats.max(),
                                     registry);
+}
+
+Status ValidateAssembler(const core::AnomalyAssembler& assembler,
+                         int n_sensors, obs::Registry* registry) {
+  const std::vector<uint8_t>& flags = assembler.open_sensor_flags();
+  if (static_cast<int>(flags.size()) != n_sensors) {
+    return Violation(registry, "assembler",
+                     FormatMessage("open_sensor_flags covers ", flags.size(),
+                                   " sensors, expected ", n_sensors));
+  }
+  size_t flags_set = 0;
+  for (uint8_t f : flags) flags_set += f != 0 ? 1 : 0;
+  if (assembler.open_first_round() < 0) {
+    if (!assembler.open_sensors().empty() ||
+        !assembler.open_movers().empty() || flags_set != 0) {
+      return Violation(
+          registry, "assembler",
+          FormatMessage("closed assembler still holds ",
+                        assembler.open_sensors().size(), " sensors, ",
+                        assembler.open_movers().size(), " movers and ",
+                        flags_set, " set flags"));
+    }
+  } else {
+    if (flags_set != assembler.open_sensors().size()) {
+      return Violation(
+          registry, "assembler",
+          FormatMessage("open assembler has ", flags_set,
+                        " flagged sensors but ",
+                        assembler.open_sensors().size(), " accumulated"));
+    }
+    for (int v : assembler.open_sensors()) {
+      if (v < 0 || v >= n_sensors) {
+        return Violation(registry, "assembler",
+                         FormatMessage("open sensor ", v, " outside [0, ",
+                                       n_sensors, ")"));
+      }
+      if (!flags[static_cast<size_t>(v)]) {
+        return Violation(
+            registry, "assembler",
+            FormatMessage("open sensor ", v, " is missing its flag "
+                          "(duplicate accumulation?)"));
+      }
+    }
+    for (int v : assembler.open_movers()) {
+      if (v < 0 || v >= n_sensors) {
+        return Violation(registry, "assembler",
+                         FormatMessage("open mover ", v, " outside [0, ",
+                                       n_sensors, ")"));
+      }
+    }
+  }
+  for (size_t z = 0; z < assembler.anomalies().size(); ++z) {
+    const core::Anomaly& anomaly = assembler.anomalies()[z];
+    if (anomaly.first_round > anomaly.last_round) {
+      return Violation(
+          registry, "assembler",
+          FormatMessage("anomaly ", z, " has round range [",
+                        anomaly.first_round, ", ", anomaly.last_round, "]"));
+    }
+    if (anomaly.start_time >= anomaly.end_time ||
+        anomaly.detection_time < anomaly.start_time ||
+        anomaly.detection_time >= anomaly.end_time) {
+      return Violation(
+          registry, "assembler",
+          FormatMessage("anomaly ", z, " has times start=", anomaly.start_time,
+                        " detection=", anomaly.detection_time,
+                        " end=", anomaly.end_time));
+    }
+    for (size_t i = 0; i < anomaly.sensors.size(); ++i) {
+      const int v = anomaly.sensors[i];
+      if (v < 0 || v >= n_sensors ||
+          (i > 0 && anomaly.sensors[i - 1] >= v)) {
+        return Violation(
+            registry, "assembler",
+            FormatMessage("anomaly ", z, " sensor list invalid at index ", i,
+                          " (value ", v, ")"));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateRoundWorkspace(const core::RoundWorkspace& workspace,
+                              int n_sensors, obs::Registry* registry) {
+  if (workspace.correlation.size() != n_sensors) {
+    return Violation(registry, "workspace",
+                     FormatMessage("correlation matrix is ",
+                                   workspace.correlation.size(), "x",
+                                   workspace.correlation.size(),
+                                   ", expected ", n_sensors));
+  }
+  if (workspace.tsg.n_vertices() != n_sensors) {
+    return Violation(registry, "workspace",
+                     FormatMessage("TSG has ", workspace.tsg.n_vertices(),
+                                   " vertices, expected ", n_sensors));
+  }
+  if (static_cast<int>(workspace.partition.community.size()) != n_sensors) {
+    return Violation(registry, "workspace",
+                     FormatMessage("partition covers ",
+                                   workspace.partition.community.size(),
+                                   " vertices, expected ", n_sensors));
+  }
+  if (static_cast<int>(workspace.cur_flags.size()) != n_sensors) {
+    return Violation(registry, "workspace",
+                     FormatMessage("outlier flag buffer covers ",
+                                   workspace.cur_flags.size(),
+                                   " vertices, expected ", n_sensors));
+  }
+  if (workspace.successor.size() != workspace.successor_count.size()) {
+    return Violation(registry, "workspace",
+                     FormatMessage("successor tables diverge: ",
+                                   workspace.successor.size(), " vs ",
+                                   workspace.successor_count.size()));
+  }
+  return Status::Ok();
 }
 
 Status ValidateReport(const core::DetectionReport& report, int n_sensors,

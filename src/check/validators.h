@@ -34,6 +34,8 @@ class Registry;
 namespace cad::core {
 struct DetectionReport;
 class CoAppearanceTracker;
+class AnomalyAssembler;
+struct RoundWorkspace;
 }  // namespace cad::core
 
 namespace cad::check {
@@ -92,6 +94,21 @@ struct GraphBounds {
 // 3-sigma accumulator invariants (Algorithm 2's mu/sigma state).
 [[nodiscard]] Status ValidateRunningStats(const stats::RunningStats& stats,
                             obs::Registry* registry = nullptr);
+
+// Anomaly-assembler state-machine invariants, checked after every engine
+// round: the open/closed state is internally consistent (closed => no
+// accumulated candidate sensors and a clean flag set; open => the flag set
+// is exactly the membership structure of open_sensors), and every closed
+// anomaly is well-formed (ordered round and time ranges, detection time
+// inside the footprint, sensors strictly ascending and in range).
+[[nodiscard]] Status ValidateAssembler(const core::AnomalyAssembler& assembler,
+                         int n_sensors, obs::Registry* registry = nullptr);
+
+// Round-workspace size invariants after a finished round: every reused
+// buffer in core::RoundWorkspace must be shaped for exactly n_sensors
+// vertices (a stale size would silently mix rounds of different problems).
+[[nodiscard]] Status ValidateRoundWorkspace(const core::RoundWorkspace& workspace,
+                              int n_sensors, obs::Registry* registry = nullptr);
 
 // DetectionReport invariants: round traces sorted/unique/contiguous from 0,
 // per-point score/label series the same length with scores in [0, 1] and

@@ -1,0 +1,83 @@
+// Global operator new/delete replacement counting heap allocations into the
+// thread-local counter of common/alloc_tracker.h.
+//
+// Lives in its own static library (`cad_alloc_hook`) so only binaries that
+// opt in — the engine allocation test and bench/engine_bench — replace the
+// allocator; the libraries themselves stay hook-free. A static-library
+// object is only pulled into the link when one of its symbols is referenced,
+// so opting in means calling cad::common::LinkAllocHook() once at startup
+// (which also lets tests verify the hook is live via AllocHookInstalled()).
+//
+// The replacement forwards to malloc/free, which keeps it compatible with
+// ASan/TSan/UBSan builds: the sanitizers intercept malloc underneath us.
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_tracker.h"
+
+namespace cad::common {
+
+void LinkAllocHook() {
+  internal::g_alloc_hook_installed.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace cad::common
+
+namespace {
+
+void* AllocOrThrow(std::size_t size) {
+  cad::common::BumpThreadAllocCount();
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* AllocAligned(std::size_t size, std::size_t alignment) {
+  cad::common::BumpThreadAllocCount();
+  if (size == 0) size = 1;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return AllocOrThrow(size); }
+void* operator new[](std::size_t size) { return AllocOrThrow(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  cad::common::BumpThreadAllocCount();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  cad::common::BumpThreadAllocCount();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return AllocAligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return AllocAligned(size, static_cast<std::size_t>(alignment));
+}
+
+// posix_memalign memory is free()-compatible, so every delete funnels to
+// free regardless of size/alignment arguments.
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

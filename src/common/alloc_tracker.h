@@ -1,0 +1,50 @@
+// Thread-local heap-allocation counting, used to *prove* (not estimate) that
+// the steady-state detection round performs zero allocations.
+//
+// Two halves:
+//  - This header: a thread-local counter plus accessors. Always available,
+//    costs nothing unless something bumps it.
+//  - The optional `cad_alloc_hook` library (src/common/alloc_hook.cc): a
+//    global operator new/delete replacement that bumps the counter on every
+//    heap allocation made by the linking binary. Only binaries that link the
+//    hook *and* call LinkAllocHook() observe real counts; everywhere else
+//    ThreadAllocCount() stays at its last value (0) and the
+//    `cad_round_allocs` gauge derived from it reads 0 trivially.
+//
+// The counter is thread-local so one instrumented round measured on the
+// calling thread is not polluted by concurrent allocations elsewhere.
+#ifndef CAD_COMMON_ALLOC_TRACKER_H_
+#define CAD_COMMON_ALLOC_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cad::common {
+
+namespace internal {
+inline thread_local int64_t g_thread_allocs = 0;
+inline std::atomic<bool> g_alloc_hook_installed{false};
+}  // namespace internal
+
+// Number of heap allocations observed on this thread since it started
+// (monotonic; callers measure deltas). 0 forever unless the hook is linked.
+inline int64_t ThreadAllocCount() { return internal::g_thread_allocs; }
+
+// Called by the replaced operator new in alloc_hook.cc.
+inline void BumpThreadAllocCount() { ++internal::g_thread_allocs; }
+
+// True once LinkAllocHook() has run, i.e. the binary really replaces
+// operator new. Lets tests distinguish "zero allocations" from "not
+// measuring".
+inline bool AllocHookInstalled() {
+  return internal::g_alloc_hook_installed.load(std::memory_order_relaxed);
+}
+
+// Defined in alloc_hook.cc. Calling it forces the hook's object file (and
+// with it the operator new/delete replacement) into the link, and marks the
+// hook installed. Binaries that want real counts call this once at startup.
+void LinkAllocHook();
+
+}  // namespace cad::common
+
+#endif  // CAD_COMMON_ALLOC_TRACKER_H_

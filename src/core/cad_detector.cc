@@ -1,13 +1,14 @@
 #include "core/cad_detector.h"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "check/check.h"
 #include "check/validators.h"
 #include "common/stopwatch.h"
-#include "obs/pipeline_metrics.h"
+#include "core/engine.h"
 #include "obs/trace.h"
+#include "ts/window.h"
 
 namespace cad::core {
 
@@ -38,14 +39,6 @@ RoundLatencySummary SummarizeRoundLatencies(std::vector<double> seconds) {
   return summary;
 }
 
-// Threshold on |n_r - mu|. A zero sigma would make the >= comparison fire on
-// every round including n_r == mu; the tiny floor keeps the faithful "any
-// deviation from mu is abnormal" semantics in that degenerate case.
-double DeviationThreshold(const CadOptions& options, double sigma) {
-  const double s = std::max(sigma, options.min_sigma);
-  return std::max(options.eta * s, 1e-9);
-}
-
 }  // namespace
 
 Result<DetectionReport> CadDetector::Detect(
@@ -62,34 +55,20 @@ Result<DetectionReport> CadDetector::Detect(
 
   const int n = series.n_sensors();
   DetectionReport report;
-  stats::RunningStats variation_stats;  // the series N of Algorithm 2
 
   obs::Tracer& tracer = obs::ResolveTracer(options_.tracer);
   obs::Registry& registry = obs::ResolveRegistry(options_.metrics_registry);
-  obs::PipelineMetrics metrics = obs::PipelineMetrics::For(registry);
+
+  DetectionEngine engine(n, options_);
 
   // --- Warm-up (Algorithm 2, WarmUp): outlier detection only, no anomaly
   // decisions; every n_r seeds mu and sigma.
   if (historical != nullptr) {
-    obs::Span warmup_span(tracer, "warmup");
     ScopedTimer warmup_timer(&report.warmup_seconds);
-    Result<ts::WindowPlan> plan = ts::WindowPlan::Make(
-        historical->length(), options_.window, options_.step);
-    if (!plan.ok()) return plan.status();
-    RoundProcessor processor(n, options_);
-    // Distinguish warm-up rounds from detection rounds in the trace: only
-    // "round" spans correspond to DetectionReport::rounds entries.
-    processor.set_span_name("warmup_round");
-    const int warmup_burn_in = options_.EffectiveBurnIn();
-    for (int r = 0; r < plan.value().rounds(); ++r) {
-      RoundOutput round = processor.ProcessWindow(*historical,
-                                                  plan.value().start(r));
-      // Cold-start rounds are artifacts of the empty outlier state, not data.
-      if (r >= warmup_burn_in) variation_stats.Add(round.n_variations);
-    }
+    CAD_RETURN_NOT_OK(engine.WarmUp(*historical));
   }
 
-  // --- Detection (Algorithm 2, main loop). Processor state restarts with
+  // --- Detection (Algorithm 2, main loop). Engine state starts with
   // O_0 = empty, exactly as line 2 of the pseudo-code.
   Result<ts::WindowPlan> plan_result =
       ts::WindowPlan::Make(series.length(), options_.window, options_.step);
@@ -101,43 +80,6 @@ Result<DetectionReport> CadDetector::Detect(
   report.sensor_labels.assign(n, 0);
   report.rounds.reserve(plan.rounds());
 
-  RoundProcessor processor(n, options_);
-  std::vector<int> open_sensors;  // entered outliers while the anomaly is open
-  std::vector<int> open_movers;   // ... that also moved (Definition 2)
-  std::vector<uint8_t> open_sensor_flags(n, 0);
-  int open_first_round = -1;
-
-  auto close_anomaly = [&](int last_round) {
-    Anomaly anomaly;
-    // Attribution (V_Z): prefer vertices that moved communities themselves
-    // (Definition 2) over peers merely abandoned by defectors; then keep the
-    // ones whose RC is still depressed at close time — defectors stay low,
-    // grazed peers have already recovered (cad_options.h).
-    const std::vector<int>& candidates =
-        !open_movers.empty() ? open_movers : open_sensors;
-    const double cut = options_.EffectiveAttributionCut();
-    for (int v : candidates) {
-      if (processor.tracker().ratio(v) < cut) anomaly.sensors.push_back(v);
-    }
-    if (anomaly.sensors.empty()) anomaly.sensors = candidates;
-    std::sort(anomaly.sensors.begin(), anomaly.sensors.end());
-    anomaly.sensors.erase(
-        std::unique(anomaly.sensors.begin(), anomaly.sensors.end()),
-        anomaly.sensors.end());
-    anomaly.first_round = open_first_round;
-    anomaly.last_round = last_round;
-    anomaly.start_time = plan.start(open_first_round);
-    anomaly.end_time = plan.end(last_round);
-    anomaly.detection_time = plan.end(open_first_round) - 1;
-    for (int v : anomaly.sensors) report.sensor_labels[v] = 1;
-    metrics.anomalies_total->Increment();
-    report.anomalies.push_back(std::move(anomaly));
-    open_sensors.clear();
-    open_movers.clear();
-    std::fill(open_sensor_flags.begin(), open_sensor_flags.end(), 0);
-    open_first_round = -1;
-  };
-
   std::vector<double> round_seconds;
   round_seconds.reserve(plan.rounds());
   {
@@ -146,52 +88,19 @@ Result<DetectionReport> CadDetector::Detect(
     ScopedTimer detect_timer(&report.detect_seconds);
     for (int r = 0; r < plan.rounds(); ++r) {
       Stopwatch round_watch;
-      RoundOutput round = processor.ProcessWindow(series, plan.start(r));
+      const EngineRound round =
+          engine.Step(series, plan.start(r), plan.start(r), plan.end(r));
 
       RoundTrace trace;
       trace.round = r;
       trace.start_time = plan.start(r);
-      trace.n_variations = round.n_variations;
-      trace.n_outliers = static_cast<int>(round.outliers.size());
-      trace.n_communities = round.n_communities;
-      trace.n_edges = round.n_edges;
-      trace.mu = variation_stats.mean();
-      trace.sigma = variation_stats.stddev();
-
-      // Round 0 has no preceding round (the paper's r > 1 guard) and burn-in
-      // rounds carry cold-start artifacts; neither can be judged abnormal.
-      // Without warm-up the first rounds also have no mu yet.
-      const int burn_in = options_.EffectiveBurnIn();
-      bool abnormal = false;
-      double score = 0.0;
-      if (r > 0 && r >= burn_in && variation_stats.count() > 0) {
-        const double deviation = std::abs(round.n_variations - trace.mu);
-        if (options_.use_sigma_rule) {
-          const double threshold = DeviationThreshold(options_, trace.sigma);
-          abnormal = deviation >= threshold;
-          score = std::min(1.0, 0.5 * deviation / threshold);
-        } else {
-          abnormal = round.n_variations >= options_.fixed_xi;
-          score = std::min(
-              1.0, 0.5 * round.n_variations / static_cast<double>(options_.fixed_xi));
-        }
-      }
-      trace.abnormal = abnormal;
-
-      if (abnormal) {
-        if (open_first_round < 0) open_first_round = r;
-        // Candidates are the vertices newly turned outlier: pre-existing
-        // outliers are background isolates, not sensors this anomaly affected.
-        for (int v : round.entered) {
-          if (!open_sensor_flags[v]) {
-            open_sensor_flags[v] = 1;
-            open_sensors.push_back(v);
-          }
-        }
-        for (int v : round.entered_movers) open_movers.push_back(v);
-      } else if (open_first_round >= 0) {
-        close_anomaly(r - 1);
-      }
+      trace.n_variations = round.output->n_variations;
+      trace.n_outliers = static_cast<int>(round.output->outliers.size());
+      trace.n_communities = round.output->n_communities;
+      trace.n_edges = round.output->n_edges;
+      trace.mu = round.mu;
+      trace.sigma = round.sigma;
+      trace.abnormal = round.abnormal;
 
       // Time-domain footprint of this round: the trailing fraction of the
       // window (cad_options.h window_mark_fraction).
@@ -202,16 +111,19 @@ Result<DetectionReport> CadDetector::Detect(
                                      : std::max(plan.start(r),
                                                 plan.end(r) - marked);
       for (int t = slice_begin; t < plan.end(r); ++t) {
-        report.point_scores[t] = std::max(report.point_scores[t], score);
-        if (abnormal) report.point_labels[t] = 1;
+        report.point_scores[t] = std::max(report.point_scores[t], round.score);
+        if (round.abnormal) report.point_labels[t] = 1;
       }
 
-      if (abnormal) metrics.abnormal_rounds_total->Increment();
-      if (r >= burn_in) variation_stats.Add(round.n_variations);
       report.rounds.push_back(trace);
       round_seconds.push_back(round_watch.ElapsedSeconds());
     }
-    if (open_first_round >= 0) close_anomaly(plan.rounds() - 1);
+    engine.Finish();
+  }
+
+  report.anomalies = engine.TakeAnomalies();
+  for (const Anomaly& anomaly : report.anomalies) {
+    for (int v : anomaly.sensors) report.sensor_labels[v] = 1;
   }
 
   report.round_latency = SummarizeRoundLatencies(std::move(round_seconds));
@@ -220,7 +132,7 @@ Result<DetectionReport> CadDetector::Detect(
   // Stage-boundary contract (CAD_CHECK_LEVEL=full only): the 3-sigma state
   // and the assembled report must be structurally sound before they leave
   // the detector.
-  CAD_VALIDATE(check::ValidateRunningStats(variation_stats,
+  CAD_VALIDATE(check::ValidateRunningStats(engine.policy().stats(),
                                            options_.metrics_registry));
   CAD_VALIDATE(check::ValidateReport(report, n, options_.metrics_registry));
   return report;

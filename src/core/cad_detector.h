@@ -1,4 +1,10 @@
-// CadDetector: the full CAD anomaly-detection pipeline (paper Algorithm 2).
+// CadDetector: the batch driver of the CAD pipeline (paper Algorithm 2).
+//
+// The round loop, eta-sigma decision, mu/sigma update and anomaly assembly
+// all live in core::DetectionEngine (engine.h); this driver walks a
+// WindowPlan over the stored series, feeds each window to the engine, and
+// derives the batch-only artifacts: per-round traces, per-time-point scores
+// and labels, and latency summaries.
 //
 // Workflow:
 //   1. Warm-up on a historical series T_his from the same source: runs
@@ -24,37 +30,11 @@
 #include <vector>
 
 #include "core/cad_options.h"
-#include "core/round_processor.h"
+#include "core/types.h"
 #include "obs/metrics.h"
-#include "stats/running_stats.h"
 #include "ts/multivariate_series.h"
-#include "ts/window.h"
 
 namespace cad::core {
-
-// One detected anomaly Z = (V_Z, R_Z) with its time-domain footprint.
-struct Anomaly {
-  std::vector<int> sensors;  // V_Z, ascending sensor ids
-  int first_round = 0;       // R_Z = [first_round, last_round], 0-based
-  int last_round = 0;
-  int start_time = 0;      // first time point covered by the abnormal rounds
-  int end_time = 0;        // one-past-the-end time point
-  int detection_time = 0;  // time point at which the alarm fires (end of the
-                           // first abnormal round's window, minus one)
-};
-
-// Per-round trace for introspection, parameter studies and tests.
-struct RoundTrace {
-  int round = 0;
-  int start_time = 0;
-  int n_variations = 0;   // n_r
-  int n_outliers = 0;     // |O_r|
-  int n_communities = 0;  // c_r
-  int n_edges = 0;        // TSG edges after pruning
-  double mu = 0.0;        // running mean before this round's update
-  double sigma = 0.0;     // running stddev before this round's update
-  bool abnormal = false;
-};
 
 // Distribution of per-round detection latencies, measured per round (not a
 // single overall division) so the tail is visible alongside the mean.

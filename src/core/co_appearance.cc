@@ -28,41 +28,69 @@ std::vector<int> CoAppearanceNumbers(const std::vector<int>& prev_community,
   return s;
 }
 
-std::vector<int> CoAppearanceTracker::Observe(
+const std::vector<int>& CoAppearanceTracker::Observe(
     const std::vector<int>& prev_community,
     const std::vector<int>& cur_community) {
   CAD_CHECK(static_cast<int>(cur_community.size()) == n_vertices_,
             "vertex count mismatch");
-  std::vector<int> s = CoAppearanceNumbers(prev_community, cur_community);
+  CAD_CHECK(prev_community.size() == cur_community.size(),
+            "community vectors differ in size");
+  const int n = n_vertices_;
 
-  // Previous-round community sizes for the community normalization.
-  std::unordered_map<int, int> prev_size;
-  for (int c : prev_community) ++prev_size[c];
+  // S_r(v) = |group(v)| - 1 where groups share the (prev, cur) community
+  // pair. Counting is sort-based instead of hashed so the hot path reuses
+  // flat buffers; the counts are integers, so the method cannot change them.
+  keys_.resize(n);
+  for (int v = 0; v < n; ++v) {
+    keys_[v] = (static_cast<int64_t>(prev_community[v]) << 32) |
+               static_cast<uint32_t>(cur_community[v]);
+  }
+  sorted_keys_.assign(keys_.begin(), keys_.end());
+  std::sort(sorted_keys_.begin(), sorted_keys_.end());
+  s_.resize(n);
+  for (int v = 0; v < n; ++v) {
+    const auto [lo, hi] = std::equal_range(sorted_keys_.begin(),
+                                           sorted_keys_.end(), keys_[v]);
+    s_[v] = static_cast<int>(hi - lo) - 1;
+  }
 
-  for (int v = 0; v < n_vertices_; ++v) {
+  // Previous-round community sizes for the community normalization; ids are
+  // dense (Louvain canonicalizes them), so a flat table suffices.
+  int max_prev = 0;
+  for (int c : prev_community) {
+    CAD_DCHECK(c >= 0, "negative community id");
+    max_prev = std::max(max_prev, c);
+  }
+  prev_size_.assign(max_prev + 1, 0);
+  for (int c : prev_community) ++prev_size_[c];
+
+  const int window = options_.window;
+  const int slot = window > 0 ? transitions_ % window : 0;
+  const bool evict = window > 0 && transitions_ >= window;
+  for (int v = 0; v < n; ++v) {
     double ratio;
     if (options_.normalization == RcNormalization::kGlobal) {
       ratio = n_vertices_ > 1
-                  ? static_cast<double>(s[v]) / (n_vertices_ - 1)
+                  ? static_cast<double>(s_[v]) / (n_vertices_ - 1)
                   : 1.0;
     } else {
-      const int denom = prev_size[prev_community[v]] - 1;
+      const int denom = prev_size_[prev_community[v]] - 1;
       // A singleton has nobody to co-appear with: ratio 0, exactly as the
       // literal Eq. 3 gives (S = 0). Persistently isolated vertices become
       // persistent outliers, which is harmless — only outlier-set
       // *transitions* feed the variation count n_r.
-      ratio = denom > 0 ? static_cast<double>(s[v]) / denom : 0.0;
+      ratio = denom > 0 ? static_cast<double>(s_[v]) / denom : 0.0;
     }
-    history_[v].push_back(ratio);
+    // Same FP order as the deque implementation: add the new ratio first,
+    // then subtract the evicted one.
     sums_[v] += ratio;
-    if (options_.window > 0 &&
-        static_cast<int>(history_[v].size()) > options_.window) {
-      sums_[v] -= history_[v].front();
-      history_[v].pop_front();
+    if (evict) {
+      sums_[v] -= ring_[static_cast<size_t>(v) * window + slot];
     }
+    if (window > 0) ring_[static_cast<size_t>(v) * window + slot] = ratio;
   }
   ++transitions_;
-  return s;
+  return s_;
 }
 
 }  // namespace cad::core

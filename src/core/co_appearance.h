@@ -35,7 +35,7 @@
 #define CAD_CORE_CO_APPEARANCE_H_
 
 #include <algorithm>
-#include <deque>
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -64,6 +64,11 @@ struct CoAppearanceOptions {
 };
 
 // Tracks normalized co-appearance across rounds and exposes RC_{v,r}.
+//
+// History is a flat n x window ring of ratios (all vertices share the same
+// transition count, so one write cursor serves every vertex) and the group
+// counting inside Observe is sort-based — after the buffers reach capacity
+// on the first few rounds, Observe never touches the heap.
 class CoAppearanceTracker {
  public:
   explicit CoAppearanceTracker(int n_vertices,
@@ -71,42 +76,57 @@ class CoAppearanceTracker {
       : n_vertices_(n_vertices),
         options_(options),
         sums_(n_vertices, 0.0),
-        history_(n_vertices) {}
+        ring_(options.window > 0
+                  ? static_cast<size_t>(n_vertices) * options.window
+                  : 0,
+              0.0) {}
 
   // Feeds the transition from the previous round's communities to the
-  // current round's and returns this round's S_r(v) per vertex.
-  std::vector<int> Observe(const std::vector<int>& prev_community,
-                           const std::vector<int>& cur_community);
+  // current round's and returns this round's S_r(v) per vertex. The
+  // reference stays valid until the next Observe or Reset.
+  const std::vector<int>& Observe(const std::vector<int>& prev_community,
+                                  const std::vector<int>& cur_community);
 
   // RC_{v,r} over the windowed transitions observed so far; 1.0 before any
   // transition (no evidence of instability yet).
   double ratio(int v) const {
-    if (history_[v].empty()) return 1.0;
+    const int size = history_size(v);
+    if (size == 0) return 1.0;
     // The windowed sum slides by add/subtract, so it carries O(eps) drift
     // even though every member ratio is in [0, 1]; the clamp restores the
     // documented RC range (check/validators.h asserts it).
-    const double rc = sums_[v] / static_cast<double>(history_[v].size());
+    const double rc = sums_[v] / static_cast<double>(size);
     return std::clamp(rc, 0.0, 1.0);
   }
 
   int transitions() const { return transitions_; }
   int n_vertices() const { return n_vertices_; }
   // Windowed transitions currently retained for v (<= options.window and
-  // <= transitions()); exposed for the check/validators.h invariants.
-  int history_size(int v) const { return static_cast<int>(history_[v].size()); }
+  // <= transitions()); exposed for the check/validators.h invariants. Every
+  // vertex observes every transition, so the count is vertex-independent.
+  int history_size(int v) const {
+    (void)v;
+    return options_.window > 0 ? std::min(transitions_, options_.window)
+                               : transitions_;
+  }
 
   void Reset() {
     std::fill(sums_.begin(), sums_.end(), 0.0);
-    for (auto& h : history_) h.clear();
+    std::fill(ring_.begin(), ring_.end(), 0.0);
     transitions_ = 0;
   }
 
  private:
   int n_vertices_;
   CoAppearanceOptions options_;
-  std::vector<double> sums_;                // windowed sum of ratios
-  std::vector<std::deque<double>> history_; // per-vertex recent ratios
+  std::vector<double> sums_;  // windowed sum of ratios
+  std::vector<double> ring_;  // n x window recent ratios (window > 0 only)
   int transitions_ = 0;
+  // Observe scratch, capacity retained across rounds.
+  std::vector<int> s_;
+  std::vector<int64_t> keys_;
+  std::vector<int64_t> sorted_keys_;
+  std::vector<int> prev_size_;
 };
 
 }  // namespace cad::core

@@ -1,0 +1,170 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/check.h"
+#include "check/validators.h"
+#include "common/alloc_tracker.h"
+#include "obs/trace.h"
+#include "ts/window.h"
+
+namespace cad::core {
+
+DecisionPolicy::Decision DecisionPolicy::Judge(int round,
+                                               int n_variations) const {
+  Decision decision;
+  decision.mu = stats_.mean();
+  decision.sigma = stats_.stddev();
+  if (round <= 0 || round < burn_in_ || stats_.count() == 0) return decision;
+  const double deviation = std::abs(n_variations - decision.mu);
+  if (options_.use_sigma_rule) {
+    // A zero sigma would make the >= comparison fire on every round
+    // including n_r == mu; the tiny floor keeps the faithful "any deviation
+    // from mu is abnormal" semantics in that degenerate case.
+    const double sigma = std::max(decision.sigma, options_.min_sigma);
+    const double threshold = std::max(options_.eta * sigma, 1e-9);
+    decision.abnormal = deviation >= threshold;
+    decision.score = std::min(1.0, 0.5 * deviation / threshold);
+  } else {
+    decision.abnormal = n_variations >= options_.fixed_xi;
+    decision.score = std::min(
+        1.0, 0.5 * n_variations / static_cast<double>(options_.fixed_xi));
+  }
+  return decision;
+}
+
+void AnomalyAssembler::Observe(int round, bool abnormal,
+                               const RoundOutput& out, int window_start_time,
+                               int window_end_time,
+                               const CoAppearanceTracker& tracker) {
+  if (abnormal) {
+    if (open_first_round_ < 0) {
+      open_first_round_ = round;
+      open_start_time_ = window_start_time;
+      open_detection_time_ = window_end_time - 1;
+    }
+    // Candidates are the vertices newly turned outlier: pre-existing
+    // outliers are background isolates, not sensors this anomaly affected.
+    for (int v : out.entered) {
+      if (!open_sensor_flags_[v]) {
+        open_sensor_flags_[v] = 1;
+        open_sensors_.push_back(v);
+      }
+    }
+    for (int v : out.entered_movers) open_movers_.push_back(v);
+  } else if (open_first_round_ >= 0) {
+    Close(last_round_, prev_window_end_, tracker);
+  }
+  last_round_ = round;
+  prev_window_end_ = window_end_time;
+}
+
+void AnomalyAssembler::Finish(const CoAppearanceTracker& tracker) {
+  if (open_first_round_ >= 0) Close(last_round_, prev_window_end_, tracker);
+}
+
+void AnomalyAssembler::Close(int last_round, int end_time,
+                             const CoAppearanceTracker& tracker) {
+  Anomaly anomaly;
+  // Attribution (V_Z): prefer vertices that moved communities themselves
+  // (Definition 2) over peers merely abandoned by defectors; then keep the
+  // ones whose RC is still depressed at close time — defectors stay low,
+  // grazed peers have already recovered (cad_options.h).
+  const std::vector<int>& candidates =
+      !open_movers_.empty() ? open_movers_ : open_sensors_;
+  const double cut = options_.EffectiveAttributionCut();
+  for (int v : candidates) {
+    if (tracker.ratio(v) < cut) anomaly.sensors.push_back(v);
+  }
+  if (anomaly.sensors.empty()) anomaly.sensors = candidates;
+  std::sort(anomaly.sensors.begin(), anomaly.sensors.end());
+  anomaly.sensors.erase(
+      std::unique(anomaly.sensors.begin(), anomaly.sensors.end()),
+      anomaly.sensors.end());
+  anomaly.first_round = open_first_round_;
+  anomaly.last_round = last_round;
+  anomaly.start_time = open_start_time_;
+  anomaly.end_time = end_time;
+  anomaly.detection_time = open_detection_time_;
+  metrics_.anomalies_total->Increment();
+  anomalies_.push_back(std::move(anomaly));
+  open_sensors_.clear();
+  open_movers_.clear();
+  std::fill(open_sensor_flags_.begin(), open_sensor_flags_.end(), 0);
+  open_first_round_ = -1;
+}
+
+DetectionEngine::DetectionEngine(int n_sensors, const CadOptions& options)
+    : n_sensors_(n_sensors),
+      options_(options),
+      metrics_(obs::PipelineMetrics::For(
+          obs::ResolveRegistry(options.metrics_registry))),
+      processor_(n_sensors, options),
+      policy_(options),
+      assembler_(n_sensors, options, metrics_) {}
+
+Status DetectionEngine::WarmUp(const ts::MultivariateSeries& historical) {
+  if (historical.n_sensors() != n_sensors_) {
+    return Status::InvalidArgument(
+        "historical series has a different sensor count");
+  }
+  CAD_RETURN_NOT_OK(options_.Validate(historical.length()));
+  Result<ts::WindowPlan> plan = ts::WindowPlan::Make(
+      historical.length(), options_.window, options_.step);
+  if (!plan.ok()) return plan.status();
+
+  obs::Span warmup_span(obs::ResolveTracer(options_.tracer), "warmup");
+  RoundProcessor processor(n_sensors_, options_);
+  // Distinguish warm-up rounds from detection rounds in the trace: only
+  // "round" spans correspond to detection rounds the drivers report.
+  processor.set_span_name("warmup_round");
+  const int burn_in = options_.EffectiveBurnIn();
+  for (int r = 0; r < plan.value().rounds(); ++r) {
+    const RoundOutput& round =
+        processor.ProcessWindow(historical, plan.value().start(r));
+    // Cold-start rounds are artifacts of the empty outlier state, not data.
+    if (r >= burn_in) policy_.Seed(round.n_variations);
+  }
+  // Stage-boundary contract (CAD_CHECK_LEVEL=full only): warm-up must leave
+  // a well-formed mu/sigma accumulator behind.
+  CAD_VALIDATE(check::ValidateRunningStats(policy_.stats(),
+                                           options_.metrics_registry));
+  return Status::Ok();
+}
+
+EngineRound DetectionEngine::Step(const ts::MultivariateSeries& series,
+                                  int start, int window_start_time,
+                                  int window_end_time) {
+  const int64_t allocs_before = common::ThreadAllocCount();
+
+  const RoundOutput& out = processor_.ProcessWindow(series, start);
+
+  EngineRound result;
+  result.round = round_index_;
+  result.output = &out;
+  const DecisionPolicy::Decision decision =
+      policy_.Judge(round_index_, out.n_variations);
+  result.abnormal = decision.abnormal;
+  result.score = decision.score;
+  result.mu = decision.mu;
+  result.sigma = decision.sigma;
+
+  assembler_.Observe(round_index_, decision.abnormal, out, window_start_time,
+                     window_end_time, processor_.tracker());
+  if (decision.abnormal) metrics_.abnormal_rounds_total->Increment();
+  // Every n_r (abnormal or not) sharpens mu/sigma — after the decision, so a
+  // round is never judged against statistics containing itself.
+  policy_.Update(round_index_, out.n_variations);
+  CAD_VALIDATE(check::ValidateRunningStats(policy_.stats(),
+                                           options_.metrics_registry));
+  CAD_VALIDATE(check::ValidateAssembler(assembler_, n_sensors_,
+                                        options_.metrics_registry));
+  ++round_index_;
+
+  metrics_.round_allocs->Set(
+      static_cast<double>(common::ThreadAllocCount() - allocs_before));
+  return result;
+}
+
+}  // namespace cad::core

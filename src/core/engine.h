@@ -1,0 +1,186 @@
+// DetectionEngine: the driver-independent core of CAD's Algorithm 2.
+//
+// CadDetector (batch) and StreamingCad (online) are thin drivers over this
+// engine: the batch driver walks a WindowPlan over a stored series, the
+// streaming driver materializes windows from a ring buffer under a mutex —
+// but the round loop itself (Algorithm 1 via RoundProcessor, the eta-sigma
+// decision, the running mu/sigma update, and anomaly assembly) lives here
+// exactly once. DESIGN.md "Engine architecture" shows the full picture and
+// how to add a third driver.
+//
+// The engine is not synchronized; drivers that need thread safety (the
+// streaming driver) wrap it in their own lock. Each Step also publishes the
+// number of heap allocations it performed as the `cad_round_allocs` gauge
+// (real counts only in binaries that link cad_alloc_hook; see
+// common/alloc_tracker.h) — the steady-state contract is zero.
+#ifndef CAD_CORE_ENGINE_H_
+#define CAD_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cad_options.h"
+#include "core/round_processor.h"
+#include "core/types.h"
+#include "obs/pipeline_metrics.h"
+#include "stats/running_stats.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::core {
+
+// The eta-sigma abnormality rule (paper Theorem 1) plus the running mu/sigma
+// state it judges against (the series N of Algorithm 2). Judging and
+// updating are split so a round is always judged with the statistics that
+// exclude its own n_r, in both drivers.
+class DecisionPolicy {
+ public:
+  struct Decision {
+    bool abnormal = false;
+    // Normalized deviation in [0, 1]; 0.5 sits exactly on the decision
+    // boundary, so thresholding a score series at 0.5 reproduces the rule.
+    double score = 0.0;
+    double mu = 0.0;     // statistics used for the decision
+    double sigma = 0.0;
+  };
+
+  explicit DecisionPolicy(const CadOptions& options)
+      : options_(options), burn_in_(options.EffectiveBurnIn()) {}
+
+  // Judges round `round` carrying n_r = `n_variations` against the current
+  // statistics. Round 0 has no preceding round (the paper's r > 1 guard),
+  // burn-in rounds carry cold-start artifacts, and rounds with no statistics
+  // yet cannot deviate from them; none of those can be abnormal.
+  Decision Judge(int round, int n_variations) const;
+
+  // Folds n_r into mu/sigma (burn-in rounds are cold-start artifacts of the
+  // empty outlier state, not data, and are skipped).
+  void Update(int round, int n_variations) {
+    if (round >= burn_in_) stats_.Add(n_variations);
+  }
+
+  // Warm-up seeding (Algorithm 2, WarmUp): the caller applies its own
+  // burn-in filter over the historical rounds.
+  void Seed(int n_variations) { stats_.Add(n_variations); }
+
+  const stats::RunningStats& stats() const { return stats_; }
+
+ private:
+  CadOptions options_;
+  int burn_in_;
+  stats::RunningStats stats_;  // the series N of Algorithm 2
+};
+
+// Folds per-round decisions into anomalies Z = (V_Z, R_Z): consecutive
+// abnormal rounds form one open anomaly; the first normal round after them
+// closes it. V_Z prefers vertices that moved communities themselves
+// (Definition 2) over peers merely abandoned by defectors, then keeps the
+// ones whose RC is still depressed at close time (cad_options.h).
+class AnomalyAssembler {
+ public:
+  AnomalyAssembler(int n_sensors, const CadOptions& options,
+                   const obs::PipelineMetrics& metrics)
+      : n_sensors_(n_sensors),
+        options_(options),
+        metrics_(metrics),
+        open_sensor_flags_(n_sensors, 0) {}
+
+  // Feeds one round's decision. `window_start_time` / `window_end_time` are
+  // the round's window [start, end) on the driver's global time axis; the
+  // anomaly's detection_time is the end of its first abnormal window, minus
+  // one, and its end_time is the end of its last abnormal window.
+  void Observe(int round, bool abnormal, const RoundOutput& out,
+               int window_start_time, int window_end_time,
+               const CoAppearanceTracker& tracker);
+
+  // Closes any anomaly still open after the final round (batch end-of-series).
+  void Finish(const CoAppearanceTracker& tracker);
+
+  bool open() const { return open_first_round_ >= 0; }
+  const std::vector<Anomaly>& anomalies() const { return anomalies_; }
+  std::vector<Anomaly> TakeAnomalies() { return std::move(anomalies_); }
+
+  // Introspection for check::ValidateAssembler (and tests).
+  int open_first_round() const { return open_first_round_; }
+  const std::vector<int>& open_sensors() const { return open_sensors_; }
+  const std::vector<int>& open_movers() const { return open_movers_; }
+  const std::vector<uint8_t>& open_sensor_flags() const {
+    return open_sensor_flags_;
+  }
+
+ private:
+  void Close(int last_round, int end_time, const CoAppearanceTracker& tracker);
+
+  int n_sensors_;
+  CadOptions options_;
+  obs::PipelineMetrics metrics_;
+
+  std::vector<Anomaly> anomalies_;
+  std::vector<int> open_sensors_;  // entered outliers while the anomaly is open
+  std::vector<int> open_movers_;   // ... that also moved (Definition 2)
+  std::vector<uint8_t> open_sensor_flags_;  // membership of open_sensors_
+  int open_first_round_ = -1;
+  int open_start_time_ = 0;
+  int open_detection_time_ = 0;
+  int last_round_ = -1;       // most recently observed round
+  int prev_window_end_ = 0;   // its window end (the close-time end_time)
+};
+
+// What one engine round produced. `output` points at the engine's reused
+// round state and stays valid until the next Step.
+struct EngineRound {
+  int round = 0;
+  const RoundOutput* output = nullptr;
+  bool abnormal = false;
+  double score = 0.0;
+  double mu = 0.0;     // statistics used for the decision (pre-update)
+  double sigma = 0.0;
+};
+
+class DetectionEngine {
+ public:
+  DetectionEngine(int n_sensors, const CadOptions& options);
+
+  // Algorithm 2's WarmUp: seeds mu/sigma from the historical series using a
+  // throwaway round processor; the engine's detection state is untouched
+  // (detection restarts with O_0 = empty, line 2 of the pseudo-code).
+  [[nodiscard]] Status WarmUp(const ts::MultivariateSeries& historical);
+
+  // Runs one detection round on the window [start, start + window) of
+  // `series` and feeds the decision through the assembler.
+  // `window_start_time` / `window_end_time` place the window on the driver's
+  // global time axis (batch: plan.start/end(r); streaming: samples_seen -
+  // window / samples_seen).
+  EngineRound Step(const ts::MultivariateSeries& series, int start,
+                   int window_start_time, int window_end_time);
+
+  // Closes any anomaly still open after the last Step.
+  void Finish() { assembler_.Finish(processor_.tracker()); }
+
+  int n_sensors() const { return n_sensors_; }
+  int rounds() const { return round_index_; }
+  double mu() const { return policy_.stats().mean(); }
+  double sigma() const { return policy_.stats().stddev(); }
+  bool anomaly_open() const { return assembler_.open(); }
+  const std::vector<Anomaly>& anomalies() const {
+    return assembler_.anomalies();
+  }
+  std::vector<Anomaly> TakeAnomalies() { return assembler_.TakeAnomalies(); }
+  const DecisionPolicy& policy() const { return policy_; }
+  const AnomalyAssembler& assembler() const { return assembler_; }
+  const CoAppearanceTracker& tracker() const { return processor_.tracker(); }
+
+ private:
+  int n_sensors_;
+  CadOptions options_;
+  obs::PipelineMetrics metrics_;
+  RoundProcessor processor_;
+  DecisionPolicy policy_;
+  AnomalyAssembler assembler_;
+  int round_index_ = 0;
+};
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_ENGINE_H_

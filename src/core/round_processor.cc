@@ -1,7 +1,6 @@
 #include "core/round_processor.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -16,41 +15,47 @@ namespace {
 // plurality of its members (ties broken by smaller community id, keeping the
 // mapping deterministic). A vertex whose current community differs from its
 // previous community's successor has *moved* in the sense of Definition 2.
-std::unordered_map<int, int> PluralitySuccessors(
-    const std::vector<int>& prev_community,
-    const std::vector<int>& cur_community) {
-  // votes[(prev, cur)] = members of prev now in cur. Counting is keyed
-  // lookups only; the emit loop below runs over *sorted* keys so the
-  // plurality winner never depends on hash iteration order (cad_lint CL003).
-  std::unordered_map<int64_t, int> votes;
-  for (size_t v = 0; v < prev_community.size(); ++v) {
-    const int64_t key = (static_cast<int64_t>(prev_community[v]) << 32) |
-                        static_cast<uint32_t>(cur_community[v]);
-    ++votes[key];
+//
+// Votes are (prev, cur) keys counted by sorting the key array — runs of
+// equal keys are the vote counts, visited in ascending (prev, cur) order, so
+// within a prev group the first strictly larger count wins and ties keep the
+// smaller cur, exactly as the earlier map-plus-sorted-emit implementation.
+// Community ids are dense (Louvain canonicalizes), so the successor tables
+// are flat vectors; everything lives in the workspace and is reused.
+void PluralitySuccessors(const std::vector<int>& prev_community,
+                         const std::vector<int>& cur_community,
+                         RoundWorkspace* ws) {
+  const size_t n = prev_community.size();
+  ws->vote_keys.resize(n);
+  int max_prev = 0;
+  for (size_t v = 0; v < n; ++v) {
+    CAD_DCHECK(prev_community[v] >= 0, "negative community id");
+    max_prev = std::max(max_prev, prev_community[v]);
+    ws->vote_keys[v] = (static_cast<int64_t>(prev_community[v]) << 32) |
+                       static_cast<uint32_t>(cur_community[v]);
   }
-  std::vector<std::pair<int64_t, int>> sorted_votes(votes.begin(),
-                                                    votes.end());
-  std::sort(sorted_votes.begin(), sorted_votes.end());
-  std::unordered_map<int, int> successor;
-  std::unordered_map<int, int> best_count;
-  for (const auto& [key, count] : sorted_votes) {
+  std::sort(ws->vote_keys.begin(), ws->vote_keys.end());
+
+  ws->successor.assign(max_prev + 1, -1);
+  ws->successor_count.assign(max_prev + 1, 0);
+  size_t i = 0;
+  while (i < n) {
+    const int64_t key = ws->vote_keys[i];
+    int count = 0;
+    for (; i < n && ws->vote_keys[i] == key; ++i) ++count;
     const int prev = static_cast<int>(key >> 32);
     const int cur = static_cast<int>(key & 0xffffffff);
-    // Keys sort by (prev, cur), so within a prev group the first strictly
-    // larger count wins and ties keep the smaller cur.
-    auto it = best_count.find(prev);
-    if (it == best_count.end() || count > it->second) {
-      best_count[prev] = count;
-      successor[prev] = cur;
+    if (ws->successor[prev] < 0 || count > ws->successor_count[prev]) {
+      ws->successor_count[prev] = count;
+      ws->successor[prev] = cur;
     }
   }
-  return successor;
 }
 
 }  // namespace
 
-RoundOutput RoundProcessor::ProcessWindow(const ts::MultivariateSeries& series,
-                                          int start) {
+const RoundOutput& RoundProcessor::ProcessWindow(
+    const ts::MultivariateSeries& series, int start) {
   CAD_CHECK(series.n_sensors() == n_sensors_, "sensor count mismatch");
   obs::Span round_span(tracer_, span_name_);
   obs::ScopedHistogramTimer round_timer(metrics_.round_seconds);
@@ -65,42 +70,47 @@ RoundOutput RoundProcessor::ProcessWindow(const ts::MultivariateSeries& series,
       } else {
         rolling_->SlideTo(series, start);
       }
+      rolling_->CorrelationsInto(&workspace_.correlation);
     }
-    return FinishRound(rolling_->Correlations(), &round_span);
+    return FinishRound(workspace_.correlation, &round_span);
   }
   obs::Span corr_span(tracer_, "correlation");
   Stopwatch corr_watch;
-  stats::CorrelationMatrix corr = stats::WindowCorrelationMatrix(
+  stats::WindowCorrelationMatrixInto(
       series, start, options_.window,
       options_.use_spearman ? stats::CorrelationKind::kSpearman
                             : stats::CorrelationKind::kPearson,
-      options_.n_threads);
+      options_.n_threads, &workspace_.correlation_scratch,
+      &workspace_.correlation);
   metrics_.correlation_seconds->Observe(corr_watch.ElapsedSeconds());
   corr_span.End();
-  return FinishRound(corr, &round_span);
+  return FinishRound(workspace_.correlation, &round_span);
 }
 
-RoundOutput RoundProcessor::ProcessCorrelation(
+const RoundOutput& RoundProcessor::ProcessCorrelation(
     const stats::CorrelationMatrix& corr) {
   obs::Span round_span(tracer_, span_name_);
   obs::ScopedHistogramTimer round_timer(metrics_.round_seconds);
   return FinishRound(corr, &round_span);
 }
 
-RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
-                                        obs::Span* round_span) {
+const RoundOutput& RoundProcessor::FinishRound(
+    const stats::CorrelationMatrix& corr, obs::Span* round_span) {
   CAD_CHECK(corr.size() == n_sensors_, "correlation matrix size mismatch");
   if (round_span->active()) {
     round_span->AddArg("round", std::to_string(rounds_processed_));
   }
-  RoundOutput out;
+  RoundOutput& out = out_;
+  out.Clear();
   Stopwatch stage_watch;
 
   // Phase 1: TSG + community detection.
   graph::KnnGraphOptions knn_options{.k = options_.k, .tau = options_.tau};
   graph::KnnGraphStats tsg_stats;
   obs::Span knn_span(tracer_, "knn_graph");
-  graph::Graph tsg = graph::BuildKnnGraph(corr, knn_options, &tsg_stats);
+  graph::BuildKnnGraphInto(corr, knn_options, &workspace_.knn,
+                           &workspace_.tsg, &tsg_stats);
+  const graph::Graph& tsg = workspace_.tsg;
   knn_span.End();
   metrics_.knn_build_seconds->Observe(stage_watch.ElapsedSeconds());
   out.n_edges = static_cast<int>(tsg.n_edges());
@@ -116,7 +126,8 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
 
   stage_watch.Restart();
   obs::Span louvain_span(tracer_, "louvain");
-  graph::Partition partition = graph::Louvain(tsg);
+  graph::LouvainInto(tsg, {}, &workspace_.louvain, &workspace_.partition);
+  const graph::Partition& partition = workspace_.partition;
   louvain_span.End();
   metrics_.louvain_seconds->Observe(stage_watch.ElapsedSeconds());
   out.n_communities = partition.n_communities;
@@ -132,7 +143,7 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
 #if CAD_VALIDATE_ENABLED
     // Keep this round's S_r(v) so the independent recount in
     // ValidateCoAppearance can cross-check the tracker's bookkeeping.
-    const std::vector<int> coappearance_counts =
+    const std::vector<int>& coappearance_counts =
         tracker_.Observe(prev_community_, partition.community);
     CAD_VALIDATE(check::ValidateCoAppearance(coappearance_counts,
                                              prev_community_,
@@ -143,10 +154,9 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
 #else
     tracker_.Observe(prev_community_, partition.community);
 #endif
-    const std::unordered_map<int, int> successor =
-        PluralitySuccessors(prev_community_, partition.community);
+    PluralitySuccessors(prev_community_, partition.community, &workspace_);
     for (int v = 0; v < n_sensors_; ++v) {
-      if (partition.community[v] != successor.at(prev_community_[v])) {
+      if (partition.community[v] != workspace_.successor[prev_community_[v]]) {
         last_moved_round_[v] = rounds_processed_;
       }
     }
@@ -157,7 +167,8 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
 
   // Phase 3: variation analysis. n_r counts vertices transitioning between
   // outlier and normal states across the two most recent rounds.
-  std::vector<uint8_t> cur_flags(n_sensors_, 0);
+  std::vector<uint8_t>& cur_flags = workspace_.cur_flags;
+  cur_flags.assign(n_sensors_, 0);
   for (int v : out.outliers) cur_flags[v] = 1;
   int n_variations = 0;
   for (int v = 0; v < n_sensors_; ++v) {
@@ -186,9 +197,14 @@ RoundOutput RoundProcessor::FinishRound(const stats::CorrelationMatrix& corr,
   metrics_.communities->Set(out.n_communities);
   metrics_.outliers->Set(static_cast<double>(out.outliers.size()));
 
-  prev_community_ = std::move(partition.community);
-  outlier_flags_ = std::move(cur_flags);
+  prev_community_.assign(partition.community.begin(),
+                         partition.community.end());
+  std::swap(outlier_flags_, cur_flags);
   ++rounds_processed_;
+  // Stage-boundary contract (CAD_CHECK_LEVEL=full only): every reused
+  // workspace buffer must still be shaped for this problem size.
+  CAD_VALIDATE(check::ValidateRoundWorkspace(workspace_, n_sensors_,
+                                             options_.metrics_registry));
   return out;
 }
 

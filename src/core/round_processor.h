@@ -6,6 +6,7 @@
 #ifndef CAD_CORE_ROUND_PROCESSOR_H_
 #define CAD_CORE_ROUND_PROCESSOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,35 @@ struct RoundOutput {
   int n_variations = 0;          // n_r (Definition 8)
   int n_communities = 0;         // c_r after Louvain
   int n_edges = 0;               // TSG size after tau pruning
+
+  void Clear() {
+    outliers.clear();
+    entered.clear();
+    entered_movers.clear();
+    n_variations = 0;
+    n_communities = 0;
+    n_edges = 0;
+  }
+};
+
+// Every buffer the round hot path reuses across rounds: the correlation
+// matrix and its residual scratch, the TSG and kNN pick arrays, the Louvain
+// partition and level scratch, plus the processor's own flag/vote buffers.
+// All members have Clear()-and-reuse semantics — capacity grows to the
+// problem size during the first rounds and steady-state rounds perform zero
+// heap allocations (proved by the cad_round_allocs gauge and
+// tests/core/engine_alloc_test.cc).
+struct RoundWorkspace {
+  stats::CorrelationMatrix correlation;
+  stats::CorrelationScratch correlation_scratch;
+  graph::Graph tsg;
+  graph::KnnScratch knn;
+  graph::Partition partition;
+  graph::LouvainWorkspace louvain;
+  std::vector<uint8_t> cur_flags;   // membership of O_r being built
+  std::vector<int64_t> vote_keys;   // PluralitySuccessors (prev, cur) keys
+  std::vector<int> successor;       // prev community -> plurality successor
+  std::vector<int> successor_count;  // votes behind each successor entry
 };
 
 class RoundProcessor {
@@ -54,12 +84,14 @@ class RoundProcessor {
         tracer_(&obs::ResolveTracer(options.tracer)) {}
 
   // Processes the window [start, start + options.window) of `series`.
-  // Rounds must be fed in chronological order.
-  RoundOutput ProcessWindow(const ts::MultivariateSeries& series, int start);
+  // Rounds must be fed in chronological order. The returned reference points
+  // at the processor's reused output and stays valid until the next round.
+  const RoundOutput& ProcessWindow(const ts::MultivariateSeries& series,
+                                   int start);
 
   // Same, but the caller supplies a pre-built correlation matrix (used by the
   // micro benches to isolate graph/community cost).
-  RoundOutput ProcessCorrelation(const stats::CorrelationMatrix& corr);
+  const RoundOutput& ProcessCorrelation(const stats::CorrelationMatrix& corr);
 
   // Clears all cross-round state (communities, RC history, outlier set).
   void Reset();
@@ -75,8 +107,8 @@ class RoundProcessor {
 
  private:
   // Phases 1-3 on a ready correlation matrix, inside the given round span.
-  RoundOutput FinishRound(const stats::CorrelationMatrix& corr,
-                          obs::Span* round_span);
+  const RoundOutput& FinishRound(const stats::CorrelationMatrix& corr,
+                                 obs::Span* round_span);
 
   int n_sensors_;
   CadOptions options_;
@@ -86,6 +118,8 @@ class RoundProcessor {
   std::vector<int> last_moved_round_;   // -1 = never moved (Definition 2)
   // Lazily created when options_.incremental_correlation is set.
   std::unique_ptr<stats::RollingCorrelationTracker> rolling_;
+  RoundWorkspace workspace_;
+  RoundOutput out_;  // reused across rounds; returned by const reference
   int rounds_processed_ = 0;
   obs::PipelineMetrics metrics_;
   obs::Tracer* tracer_;

@@ -1,11 +1,9 @@
 #include "core/streaming.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "check/check.h"
-#include "check/validators.h"
-#include "ts/window.h"
+#include "common/stopwatch.h"
 
 namespace cad::core {
 
@@ -14,11 +12,12 @@ StreamingCad::StreamingCad(int n_sensors, const CadOptions& options)
       options_(options),
       metrics_(obs::PipelineMetrics::For(
           obs::ResolveRegistry(options.metrics_registry))),
-      processor_(n_sensors, options),
+      engine_(n_sensors, options),
       buffer_(static_cast<size_t>(options.window) * n_sensors, 0.0),
-      open_sensor_flags_(n_sensors, 0) {}
+      window_(n_sensors, options.window) {}
 
 obs::Snapshot StreamingCad::TelemetrySnapshot() const {
+  common::MutexLock lock(mu_);
   return obs::ResolveRegistry(options_.metrics_registry).TakeSnapshot();
 }
 
@@ -30,23 +29,7 @@ Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {
   if (historical.n_sensors() != n_sensors_) {
     return Status::InvalidArgument("historical sensor count mismatch");
   }
-  CAD_RETURN_NOT_OK(options_.Validate(historical.length()));
-  Result<ts::WindowPlan> plan =
-      ts::WindowPlan::Make(historical.length(), options_.window, options_.step);
-  if (!plan.ok()) return plan.status();
-  RoundProcessor warmup_processor(n_sensors_, options_);
-  const int burn_in = options_.EffectiveBurnIn();
-  for (int r = 0; r < plan.value().rounds(); ++r) {
-    RoundOutput round =
-        warmup_processor.ProcessWindow(historical, plan.value().start(r));
-    if (r >= burn_in) variation_stats_.Add(round.n_variations);
-  }
-  // Stage-boundary contract (CAD_CHECK_LEVEL=full only): warm-up must leave
-  // a well-formed mu/sigma accumulator behind.
-  CAD_VALIDATE(check::ValidateRunningStats(variation_stats_,
-                                           options_.metrics_registry));
-  warmed_up_ = true;
-  return Status::Ok();
+  return engine_.WarmUp(historical);
 }
 
 bool StreamingCad::RoundReady() const {
@@ -81,85 +64,29 @@ Result<std::optional<StreamEvent>> StreamingCad::Push(
 
 StreamEvent StreamingCad::RunRound() {
   Stopwatch round_watch;
-  // Materialize the ring buffer into a window-sized series (sensor-major).
-  ts::MultivariateSeries window(n_sensors_, options_.window);
+  // Materialize the ring buffer into the reused window series (sensor-major).
   for (int t = 0; t < options_.window; ++t) {
     const int slot = (buffer_head_ + t) % options_.window;
     const double* sample = buffer_.data() + static_cast<size_t>(slot) * n_sensors_;
-    for (int i = 0; i < n_sensors_; ++i) window.set_value(i, t, sample[i]);
+    for (int i = 0; i < n_sensors_; ++i) window_.set_value(i, t, sample[i]);
   }
 
-  RoundOutput round = processor_.ProcessWindow(window, 0);
+  // The engine handles the decision, mu/sigma update and anomaly assembly;
+  // this driver only supplies the window's position on the stream's time
+  // axis: [samples_seen - window, samples_seen).
+  const EngineRound round = engine_.Step(
+      window_, 0, samples_seen_ - options_.window, samples_seen_);
 
   StreamEvent event;
-  event.round = rounds_completed_;
+  event.round = round.round;
   event.time_index = samples_seen_ - 1;
-  event.n_variations = round.n_variations;
-  event.outliers = round.outliers;
-  event.entered = round.entered;
-  event.mu = variation_stats_.mean();
-  event.sigma = variation_stats_.stddev();
-
-  // Decision mirrors CadDetector: the first stream round has no preceding
-  // round, burn-in rounds carry cold-start artifacts, and afterwards the
-  // eta-sigma rule applies as soon as any statistics exist.
-  const int burn_in = options_.EffectiveBurnIn();
-  if (rounds_completed_ > 0 && rounds_completed_ >= burn_in &&
-      variation_stats_.count() > 0) {
-    const double deviation = std::abs(round.n_variations - event.mu);
-    if (options_.use_sigma_rule) {
-      const double sigma = std::max(event.sigma, options_.min_sigma);
-      event.abnormal = deviation >= std::max(options_.eta * sigma, 1e-9);
-    } else {
-      event.abnormal = round.n_variations >= options_.fixed_xi;
-    }
-  }
-
-  if (event.abnormal) {
-    if (open_first_round_ < 0) {
-      open_first_round_ = event.round;
-      open_start_time_ = samples_seen_ - options_.window;
-      open_detection_time_ = event.time_index;
-    }
-    for (int v : event.entered) {
-      if (!open_sensor_flags_[v]) {
-        open_sensor_flags_[v] = 1;
-        open_sensors_.push_back(v);
-      }
-    }
-    for (int v : round.entered_movers) open_movers_.push_back(v);
-  } else if (open_first_round_ >= 0) {
-    Anomaly anomaly;
-    // Same attribution pipeline as CadDetector::Detect (cad_options.h).
-    const std::vector<int>& candidates =
-        !open_movers_.empty() ? open_movers_ : open_sensors_;
-    const double cut = options_.EffectiveAttributionCut();
-    for (int v : candidates) {
-      if (processor_.tracker().ratio(v) < cut) anomaly.sensors.push_back(v);
-    }
-    if (anomaly.sensors.empty()) anomaly.sensors = candidates;
-    std::sort(anomaly.sensors.begin(), anomaly.sensors.end());
-    anomaly.sensors.erase(
-        std::unique(anomaly.sensors.begin(), anomaly.sensors.end()),
-        anomaly.sensors.end());
-    anomaly.first_round = open_first_round_;
-    anomaly.last_round = event.round - 1;
-    anomaly.start_time = open_start_time_;
-    anomaly.end_time = samples_seen_ - options_.step;  // end of previous round
-    anomaly.detection_time = open_detection_time_;
-    metrics_.anomalies_total->Increment();
-    anomalies_.push_back(std::move(anomaly));
-    open_sensors_.clear();
-    open_movers_.clear();
-    std::fill(open_sensor_flags_.begin(), open_sensor_flags_.end(), 0);
-    open_first_round_ = -1;
-  }
-
-  if (event.abnormal) metrics_.abnormal_rounds_total->Increment();
-  if (rounds_completed_ >= burn_in) variation_stats_.Add(round.n_variations);
-  CAD_VALIDATE(check::ValidateRunningStats(variation_stats_,
-                                           options_.metrics_registry));
-  ++rounds_completed_;
+  event.n_variations = round.output->n_variations;
+  event.abnormal = round.abnormal;
+  event.outliers = round.output->outliers;
+  event.entered = round.output->entered;
+  event.entered_movers = round.output->entered_movers;
+  event.mu = round.mu;
+  event.sigma = round.sigma;
   event.round_seconds = round_watch.ElapsedSeconds();
   return event;
 }

@@ -1,11 +1,13 @@
-// StreamingCad: the online generalization of CAD (paper Section IV-F).
+// StreamingCad: the online driver of CAD (paper Section IV-F).
 //
 // Samples arrive one time point at a time; whenever a full window closes
-// (every `step` points once `window` points have been seen), the detector
-// runs one OutlierDetection round, applies the eta-sigma rule with the
-// current mu / sigma, and then folds the round's n_r into the running
-// statistics — so, as the paper notes, mu and sigma keep sharpening as the
-// stream progresses. Per-round latency is what Table VII reports as TPR.
+// (every `step` points once `window` points have been seen), the driver
+// materializes the ring buffer into a reused window series and hands it to
+// the shared core::DetectionEngine, which runs one OutlierDetection round,
+// applies the eta-sigma rule with the current mu / sigma, and folds the
+// round's n_r into the running statistics — so, as the paper notes, mu and
+// sigma keep sharpening as the stream progresses. Per-round latency is what
+// Table VII reports as TPR.
 #ifndef CAD_CORE_STREAMING_H_
 #define CAD_CORE_STREAMING_H_
 
@@ -15,10 +17,9 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
-#include "core/cad_detector.h"
 #include "core/cad_options.h"
-#include "core/round_processor.h"
-#include "stats/running_stats.h"
+#include "core/engine.h"
+#include "core/types.h"
 #include "ts/multivariate_series.h"
 
 namespace cad::core {
@@ -31,6 +32,10 @@ struct StreamEvent {
   bool abnormal = false;
   std::vector<int> outliers;  // O_r
   std::vector<int> entered;   // vertices that joined O_r this round
+  // Subset of `entered` that also moved communities recently (Definition 2)
+  // — the attribution-grade V_Z signal, surfaced live with the same meaning
+  // it has in batch anomaly assembly (see RoundOutput::entered_movers).
+  std::vector<int> entered_movers;
   double mu = 0.0;            // statistics used for the decision
   double sigma = 0.0;
   // Wall-clock latency of this round (window materialization + Algorithm 1 +
@@ -62,14 +67,14 @@ class StreamingCad {
   // would dangle the moment the lock is released.
   std::vector<Anomaly> anomalies() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    return anomalies_;
+    return engine_.anomalies();
   }
 
   // True while the most recent rounds are abnormal and the anomaly is still
   // being assembled.
   bool anomaly_open() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    return open_first_round_ >= 0;
+    return engine_.anomaly_open();
   }
 
   int samples_seen() const EXCLUDES(mu_) {
@@ -78,21 +83,22 @@ class StreamingCad {
   }
   int rounds_completed() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    return rounds_completed_;
+    return engine_.rounds();
   }
   double mu() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    return variation_stats_.mean();
+    return engine_.mu();
   }
   double sigma() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    return variation_stats_.stddev();
+    return engine_.sigma();
   }
 
   // State of the metrics registry this stream records into
   // (CadOptions::metrics_registry, global by default): cad_rounds_total,
-  // cad_stream_samples_total, the cad_round_seconds histogram, ...
-  obs::Snapshot TelemetrySnapshot() const;
+  // cad_stream_samples_total, the cad_round_seconds histogram, ... Snapshots
+  // under the lock so the counters are consistent with a round boundary.
+  obs::Snapshot TelemetrySnapshot() const EXCLUDES(mu_);
 
  private:
   bool RoundReady() const REQUIRES(mu_);
@@ -103,26 +109,18 @@ class StreamingCad {
   const obs::PipelineMetrics metrics_;  // stable pointers, atomic recording
 
   mutable common::Mutex mu_;
-  RoundProcessor processor_ GUARDED_BY(mu_);
-  stats::RunningStats variation_stats_ GUARDED_BY(mu_);
+  // The shared batch/streaming engine: round loop, decision, mu/sigma,
+  // anomaly assembly (engine.h).
+  DetectionEngine engine_ GUARDED_BY(mu_);
 
-  // Ring buffer of the last `window` samples, sample-major.
+  // Ring buffer of the last `window` samples, sample-major, plus the reused
+  // sensor-major window the engine consumes.
   std::vector<double> buffer_ GUARDED_BY(mu_);
+  ts::MultivariateSeries window_ GUARDED_BY(mu_);
   int buffer_head_ GUARDED_BY(mu_) = 0;  // index of the oldest ring sample
   int buffered_ GUARDED_BY(mu_) = 0;     // number of valid samples (<= window)
 
   int samples_seen_ GUARDED_BY(mu_) = 0;
-  int rounds_completed_ GUARDED_BY(mu_) = 0;
-  bool warmed_up_ GUARDED_BY(mu_) = false;
-
-  // Anomaly assembly, as in CadDetector.
-  std::vector<Anomaly> anomalies_ GUARDED_BY(mu_);
-  std::vector<int> open_sensors_ GUARDED_BY(mu_);
-  std::vector<int> open_movers_ GUARDED_BY(mu_);
-  std::vector<uint8_t> open_sensor_flags_ GUARDED_BY(mu_);
-  int open_first_round_ GUARDED_BY(mu_) = -1;
-  int open_start_time_ GUARDED_BY(mu_) = 0;
-  int open_detection_time_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cad::core

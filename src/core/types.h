@@ -1,0 +1,38 @@
+// Result types shared by every CAD driver (batch CadDetector, streaming
+// StreamingCad, and any future driver built on core::DetectionEngine). Kept
+// free of pipeline includes so drivers can expose anomalies without pulling
+// in each other's machinery.
+#ifndef CAD_CORE_TYPES_H_
+#define CAD_CORE_TYPES_H_
+
+#include <vector>
+
+namespace cad::core {
+
+// One detected anomaly Z = (V_Z, R_Z) with its time-domain footprint.
+struct Anomaly {
+  std::vector<int> sensors;  // V_Z, ascending sensor ids
+  int first_round = 0;       // R_Z = [first_round, last_round], 0-based
+  int last_round = 0;
+  int start_time = 0;      // first time point covered by the abnormal rounds
+  int end_time = 0;        // one-past-the-end time point
+  int detection_time = 0;  // time point at which the alarm fires (end of the
+                           // first abnormal round's window, minus one)
+};
+
+// Per-round trace for introspection, parameter studies and tests.
+struct RoundTrace {
+  int round = 0;
+  int start_time = 0;
+  int n_variations = 0;   // n_r
+  int n_outliers = 0;     // |O_r|
+  int n_communities = 0;  // c_r
+  int n_edges = 0;        // TSG edges after pruning
+  double mu = 0.0;        // running mean before this round's update
+  double sigma = 0.0;     // running stddev before this round's update
+  bool abnormal = false;
+};
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_TYPES_H_

@@ -26,6 +26,17 @@ class Graph {
   Graph() = default;
   explicit Graph(int n_vertices) : adjacency_(n_vertices) {}
 
+  // Re-shapes to `n_vertices` isolated vertices. Inner adjacency capacity is
+  // retained, so a graph rebuilt every round stops allocating once it has
+  // seen its peak per-vertex degree.
+  void Reset(int n_vertices) {
+    if (static_cast<int>(adjacency_.size()) != n_vertices) {
+      adjacency_.resize(n_vertices);
+    }
+    for (auto& adjacency : adjacency_) adjacency.clear();
+    n_edges_ = 0;
+  }
+
   int n_vertices() const { return static_cast<int>(adjacency_.size()); }
   int64_t n_edges() const { return n_edges_; }
 
@@ -66,18 +77,23 @@ class Graph {
   }
 
   // All edges with u < v, sorted lexicographically (useful for tests and for
-  // deterministic serialization).
-  std::vector<Edge> SortedEdges() const {
-    std::vector<Edge> edges;
-    edges.reserve(static_cast<size_t>(n_edges_));
+  // deterministic serialization). The Into form reuses `edges`' capacity.
+  void SortedEdgesInto(std::vector<Edge>* edges) const {
+    edges->clear();
+    edges->reserve(static_cast<size_t>(n_edges_));
     for (int u = 0; u < n_vertices(); ++u) {
       for (const Neighbor& nb : adjacency_[u]) {
-        if (u < nb.vertex) edges.push_back({u, nb.vertex, nb.weight});
+        if (u < nb.vertex) edges->push_back({u, nb.vertex, nb.weight});
       }
     }
-    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    std::sort(edges->begin(), edges->end(), [](const Edge& a, const Edge& b) {
       return a.u != b.u ? a.u < b.u : a.v < b.v;
     });
+  }
+
+  std::vector<Edge> SortedEdges() const {
+    std::vector<Edge> edges;
+    SortedEdgesInto(&edges);
     return edges;
   }
 

@@ -9,17 +9,21 @@
 
 namespace cad::graph {
 
-Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
-                    const KnnGraphOptions& options, KnnGraphStats* stats) {
+void BuildKnnGraphInto(const stats::CorrelationMatrix& corr,
+                       const KnnGraphOptions& options, KnnScratch* scratch,
+                       Graph* out, KnnGraphStats* stats) {
   const int n = corr.size();
   CAD_CHECK(options.k >= 1, "k must be >= 1");
-  Graph graph(n);
+  out->Reset(n);
+  Graph& graph = *out;
 
   // Candidate neighbour list per vertex: the k largest |corr| entries above
   // tau. selected[u * n + v] marks directed picks; the final edge set is the
   // symmetric union with each undirected edge added once.
-  std::vector<uint8_t> selected(static_cast<size_t>(n) * n, 0);
-  std::vector<int> order(n > 0 ? n - 1 : 0);
+  std::vector<uint8_t>& selected = scratch->selected;
+  selected.assign(static_cast<size_t>(n) * n, 0);
+  std::vector<int>& order = scratch->order;
+  order.reserve(n > 0 ? n - 1 : 0);
   int directed_candidates = 0;
   for (int u = 0; u < n; ++u) {
     order.clear();
@@ -56,6 +60,13 @@ Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
     stats->candidate_pairs = directed_candidates / 2;
     stats->kept_edges = static_cast<int>(graph.n_edges());
   }
+}
+
+Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
+                    const KnnGraphOptions& options, KnnGraphStats* stats) {
+  Graph graph;
+  KnnScratch scratch;
+  BuildKnnGraphInto(corr, options, &scratch, &graph, stats);
   return graph;
 }
 

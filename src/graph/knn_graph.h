@@ -23,12 +23,25 @@ struct KnnGraphStats {
   int pruned_pairs() const { return candidate_pairs - kept_edges; }
 };
 
+// Reusable buffers for BuildKnnGraphInto; capacity is retained across
+// rounds so steady-state TSG construction touches no heap.
+struct KnnScratch {
+  std::vector<uint8_t> selected;  // n x n directed pick marks
+  std::vector<int> order;         // candidate neighbour indices of one vertex
+};
+
 // Builds the TSG: the union of every vertex's k strongest-|corr| neighbour
 // edges, then pruned by tau. Edge weights keep the signed correlation.
 // Deterministic: ties in correlation magnitude are broken by vertex index.
 Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
                     const KnnGraphOptions& options,
                     KnnGraphStats* stats = nullptr);
+
+// Allocation-free form: Reset()s `graph` and rebuilds it in place using
+// `scratch`'s buffers. Identical output to BuildKnnGraph.
+void BuildKnnGraphInto(const stats::CorrelationMatrix& corr,
+                       const KnnGraphOptions& options, KnnScratch* scratch,
+                       Graph* graph, KnnGraphStats* stats = nullptr);
 
 }  // namespace cad::graph
 

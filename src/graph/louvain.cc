@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_map>
 #include <vector>
 
 namespace cad::graph {
@@ -13,18 +12,50 @@ namespace cad::graph {
 namespace {
 
 // Renumbers community ids densely; communities are ordered by their smallest
-// member so the labeling is canonical and deterministic.
-int Canonicalize(std::vector<int>* community) {
+// member so the labeling is canonical and deterministic. `remap` is an
+// old-id -> dense-id table; ids are always < community->size() here (they
+// start as vertex ids and only ever shrink through aggregation).
+int CanonicalizeWith(std::vector<int>* community, std::vector<int>* remap) {
   const int n = static_cast<int>(community->size());
-  std::unordered_map<int, int> remap;
-  remap.reserve(n);
+  remap->assign(n, -1);
   int next = 0;
   for (int v = 0; v < n; ++v) {
-    auto [it, inserted] = remap.emplace((*community)[v], next);
-    if (inserted) ++next;
-    (*community)[v] = it->second;
+    CAD_DCHECK((*community)[v] >= 0 && (*community)[v] < n,
+               "community id out of dense range");
+    int& slot = (*remap)[(*community)[v]];
+    if (slot < 0) slot = next++;
+    (*community)[v] = slot;
   }
   return next;
+}
+
+// Modularity over a pre-sorted edge list (u < v, lexicographic) so callers
+// that hold the graph's edges can amortize the sort. The arithmetic — intra
+// sum in sorted-edge order, k_c^2 in dense label order — is exactly the
+// public Modularity's (cad_lint CL003: hash-order FP accumulation is
+// forbidden on this path).
+double ModularityOverEdges(const Graph& graph,
+                           const std::vector<int>& community,
+                           const std::vector<Edge>& sorted_edges,
+                           std::vector<double>* community_degree) {
+  CAD_CHECK(static_cast<int>(community.size()) == graph.n_vertices(),
+            "community size mismatch");
+  const double m = graph.TotalWeight();
+  if (m <= 0.0) return 0.0;
+  double intra = 0.0;
+  for (const Edge& e : sorted_edges) {
+    if (community[e.u] == community[e.v]) intra += std::abs(e.weight);
+  }
+  int max_label = -1;
+  for (int c : community) max_label = std::max(max_label, c);
+  community_degree->assign(static_cast<size_t>(max_label + 1), 0.0);
+  for (int v = 0; v < graph.n_vertices(); ++v) {
+    (*community_degree)[static_cast<size_t>(community[static_cast<size_t>(v)])] +=
+        graph.WeightedDegree(v);
+  }
+  double degree_term = 0.0;
+  for (double k : *community_degree) degree_term += k * k;
+  return intra / m - degree_term / (4.0 * m * m);
 }
 
 // One Louvain level: local moving on `graph`, writing the found community per
@@ -34,25 +65,29 @@ int Canonicalize(std::vector<int>* community) {
 // standard self-loop convention), but never to w(v -> c) since it moves with
 // the vertex.
 bool LocalMoving(const Graph& graph, const std::vector<double>& self_weight,
-                 const LouvainOptions& options, std::vector<int>* community) {
+                 const LouvainOptions& options, std::vector<int>* community,
+                 LouvainWorkspace* ws) {
   const int n = graph.n_vertices();
   double total_weight = graph.TotalWeight();  // m
   for (double s : self_weight) total_weight += s;
   if (total_weight <= 0.0) return false;
   const double two_m = 2.0 * total_weight;
 
-  std::vector<double> vertex_weight(n);  // k_i (absolute weighted degree)
+  std::vector<double>& vertex_weight = ws->vertex_weight;  // k_i
+  vertex_weight.resize(n);
   for (int v = 0; v < n; ++v) {
     vertex_weight[v] = graph.WeightedDegree(v) + 2.0 * self_weight[v];
   }
 
   // Sum of k_i over members of each community.
-  std::vector<double> community_total(n, 0.0);
+  std::vector<double>& community_total = ws->community_total;
+  community_total.assign(n, 0.0);
   for (int v = 0; v < n; ++v) community_total[(*community)[v]] += vertex_weight[v];
 
   bool any_move = false;
-  std::vector<double> weight_to_community(n, 0.0);
-  std::vector<int> touched;
+  std::vector<double>& weight_to_community = ws->weight_to_community;
+  weight_to_community.assign(n, 0.0);
+  std::vector<int>& touched = ws->touched;
 
   for (int pass = 0; pass < options.max_passes_per_level; ++pass) {
     int moves = 0;
@@ -100,138 +135,138 @@ bool LocalMoving(const Graph& graph, const std::vector<double>& self_weight,
   return any_move;
 }
 
-// Builds the aggregated graph whose vertices are the communities of `graph`.
-Graph Aggregate(const Graph& graph, const std::vector<int>& community,
-                int n_communities) {
-  // Accumulate inter-community |weight|; intra-community weight becomes a
-  // self-loop which we fold into vertex weight via an explicit trick: Graph
-  // forbids self-loops, so we carry intra weights in a parallel vector and
-  // re-add them as paired half-edges. Louvain only needs k_i and w(v->c),
-  // both of which survive if we model the self-loop as extra weighted degree.
-  // To keep Graph simple we instead encode the self-loop as an edge to a
-  // phantom twin; simpler: store aggregated weights densely here and emit a
-  // graph with an extra "self weight" channel folded into WeightedDegree by
-  // duplicating the mass on a dedicated structure.
-  //
-  // In practice CAD's TSGs aggregate to tiny graphs, so we keep a dense map.
-  std::unordered_map<int64_t, double> agg;
-  std::vector<double> self_weight(n_communities, 0.0);
-  for (const Edge& e : graph.SortedEdges()) {
+// Builds the aggregated graph whose vertices are the communities of the
+// level whose sorted edges are `level_edges`. Intra-community weight becomes
+// self-loop mass which Graph cannot store; the caller re-derives it into the
+// companion self_weight vector (see LouvainInto). Inter-community mass is
+// accumulated per community pair in sorted-edge order: entries are tagged
+// with their edge sequence number and sorted by (key, seq), so each pair's
+// FP sum adds contributions in exactly the order the map-based
+// implementation did, and edges are emitted in ascending key order exactly
+// as the sorted map emit did.
+void AggregateInto(const std::vector<Edge>& level_edges,
+                   const std::vector<int>& community, int n_communities,
+                   LouvainWorkspace* ws, Graph* out) {
+  std::vector<LouvainWorkspace::AggEntry>& agg = ws->agg;
+  agg.clear();
+  int seq = 0;
+  for (const Edge& e : level_edges) {
     const int cu = community[e.u];
     const int cv = community[e.v];
-    const double w = std::abs(e.weight);
-    if (cu == cv) {
-      self_weight[cu] += w;
-    } else {
-      const int a = std::min(cu, cv), b = std::max(cu, cv);
-      agg[static_cast<int64_t>(a) * n_communities + b] += w;
-    }
+    if (cu == cv) continue;
+    const int a = std::min(cu, cv), b = std::max(cu, cv);
+    agg.push_back({static_cast<int64_t>(a) * n_communities + b, seq++,
+                   std::abs(e.weight)});
   }
-  // Graph cannot store self-loops; we emulate each community self-loop of
-  // weight s as a pair of vertices? No — instead we return the inter-edges
-  // and attach self weights through the companion vector in LouvainImpl.
-  Graph out(n_communities);
-  std::vector<std::pair<int64_t, double>> sorted(agg.begin(), agg.end());
-  std::sort(sorted.begin(), sorted.end());
-  for (const auto& [key, w] : sorted) {
-    out.AddEdge(static_cast<int>(key / n_communities),
-                static_cast<int>(key % n_communities), w);
+  std::sort(agg.begin(), agg.end(),
+            [](const LouvainWorkspace::AggEntry& x,
+               const LouvainWorkspace::AggEntry& y) {
+              return x.key != y.key ? x.key < y.key : x.seq < y.seq;
+            });
+
+  out->Reset(n_communities);
+  size_t i = 0;
+  while (i < agg.size()) {
+    const int64_t key = agg[i].key;
+    double w = 0.0;
+    for (; i < agg.size() && agg[i].key == key; ++i) w += agg[i].weight;
+    out->AddEdge(static_cast<int>(key / n_communities),
+                 static_cast<int>(key % n_communities), w);
   }
-  // self_weight is re-derived by the caller; see LouvainImpl.
-  return out;
 }
 
 }  // namespace
 
 double Modularity(const Graph& graph, const std::vector<int>& community) {
-  CAD_CHECK(static_cast<int>(community.size()) == graph.n_vertices(),
-            "community size mismatch");
-  const double m = graph.TotalWeight();
-  if (m <= 0.0) return 0.0;
-  double intra = 0.0;
-  for (const Edge& e : graph.SortedEdges()) {
-    if (community[e.u] == community[e.v]) intra += std::abs(e.weight);
-  }
-  // Dense accumulation in label order: summing k_c^2 in unordered_map
-  // iteration order would make the FP rounding (and thus mu/sigma and every
-  // serialized report downstream) depend on hash layout — cad_lint CL003.
-  int max_label = -1;
-  for (int c : community) max_label = std::max(max_label, c);
-  std::vector<double> community_degree(static_cast<size_t>(max_label + 1),
-                                       0.0);
-  for (int v = 0; v < graph.n_vertices(); ++v) {
-    community_degree[static_cast<size_t>(community[static_cast<size_t>(v)])] +=
-        graph.WeightedDegree(v);
-  }
-  double degree_term = 0.0;
-  for (double k : community_degree) degree_term += k * k;
-  return intra / m - degree_term / (4.0 * m * m);
+  std::vector<Edge> edges;
+  graph.SortedEdgesInto(&edges);
+  std::vector<double> community_degree;
+  return ModularityOverEdges(graph, community, edges, &community_degree);
 }
 
-Partition Louvain(const Graph& graph, const LouvainOptions& options) {
+void LouvainInto(const Graph& graph, const LouvainOptions& options,
+                 LouvainWorkspace* ws, Partition* out) {
   const int n = graph.n_vertices();
-  Partition result;
-  result.community.resize(n);
-  std::iota(result.community.begin(), result.community.end(), 0);
+  out->community.resize(n);
+  std::iota(out->community.begin(), out->community.end(), 0);
   if (n == 0) {
-    result.n_communities = 0;
-    return result;
+    out->n_communities = 0;
+    return;
   }
 
-  // level_community maps current-level vertices to communities; mapping[v]
-  // tracks each original vertex's current-level vertex.
-  Graph level_graph = graph;
-  std::vector<int> mapping(n);
-  std::iota(mapping.begin(), mapping.end(), 0);
+  // The original graph never changes, so its sorted edges — consumed by the
+  // per-level true-modularity gate — are materialized once.
+  graph.SortedEdgesInto(&ws->mod_edges);
+
+  // level_graph points at the graph of the current level; aggregation
+  // ping-pongs between the two workspace graphs. mapping[v] tracks each
+  // original vertex's current-level vertex.
+  const Graph* level_graph = &graph;
+  ws->mapping.resize(n);
+  std::iota(ws->mapping.begin(), ws->mapping.end(), 0);
   // Self-loop weights accumulated by aggregation (not representable in
   // Graph); they only add to a vertex's weighted degree and to the total
   // weight, never to inter-community moves, so we thread them explicitly.
-  std::vector<double> self_weight(n, 0.0);
+  ws->self_weight.assign(n, 0.0);
 
-  double previous_modularity = Modularity(graph, result.community);
+  double previous_modularity = ModularityOverEdges(
+      graph, out->community, ws->mod_edges, &ws->community_degree);
 
   for (int level = 0; level < options.max_levels; ++level) {
-    std::vector<int> level_community(level_graph.n_vertices());
-    std::iota(level_community.begin(), level_community.end(), 0);
+    const int n_level = level_graph->n_vertices();
+    ws->level_community.resize(n_level);
+    std::iota(ws->level_community.begin(), ws->level_community.end(), 0);
 
-    const bool moved =
-        LocalMoving(level_graph, self_weight, options, &level_community);
+    const bool moved = LocalMoving(*level_graph, ws->self_weight, options,
+                                   &ws->level_community, ws);
     if (!moved) break;
 
-    const int n_level_communities = Canonicalize(&level_community);
+    const int n_level_communities =
+        CanonicalizeWith(&ws->level_community, &ws->remap);
 
     // Tentatively project onto original vertices; keep the level only if it
     // improves true modularity on the original graph.
-    std::vector<int> candidate(n);
+    ws->candidate.resize(n);
     for (int v = 0; v < n; ++v) {
-      candidate[v] = level_community[mapping[v]];
+      ws->candidate[v] = ws->level_community[ws->mapping[v]];
     }
-    const double modularity = Modularity(graph, candidate);
+    const double modularity = ModularityOverEdges(
+        graph, ws->candidate, ws->mod_edges, &ws->community_degree);
     if (modularity <= previous_modularity + options.min_modularity_gain) {
-      break;  // result.community keeps the previous (better) level
+      break;  // out->community keeps the previous (better) level
     }
-    result.community = std::move(candidate);
+    out->community.assign(ws->candidate.begin(), ws->candidate.end());
     previous_modularity = modularity;
 
     // Aggregate for the next level.
-    Graph next = Aggregate(level_graph, level_community, n_level_communities);
-    std::vector<double> next_self(n_level_communities, 0.0);
-    for (const Edge& e : level_graph.SortedEdges()) {
-      if (level_community[e.u] == level_community[e.v]) {
-        next_self[level_community[e.u]] += std::abs(e.weight);
+    level_graph->SortedEdgesInto(&ws->level_edges);
+    Graph* next =
+        (level_graph == &ws->level_graph) ? &ws->next_graph : &ws->level_graph;
+    AggregateInto(ws->level_edges, ws->level_community, n_level_communities,
+                  ws, next);
+    ws->next_self.assign(n_level_communities, 0.0);
+    for (const Edge& e : ws->level_edges) {
+      if (ws->level_community[e.u] == ws->level_community[e.v]) {
+        ws->next_self[ws->level_community[e.u]] += std::abs(e.weight);
       }
     }
-    for (int v = 0; v < level_graph.n_vertices(); ++v) {
-      next_self[level_community[v]] += self_weight[v];
+    for (int v = 0; v < n_level; ++v) {
+      ws->next_self[ws->level_community[v]] += ws->self_weight[v];
     }
-    level_graph = std::move(next);
-    self_weight = std::move(next_self);
-    for (int v = 0; v < n; ++v) mapping[v] = result.community[v];
+    std::swap(ws->self_weight, ws->next_self);
+    level_graph = next;
+    for (int v = 0; v < n; ++v) ws->mapping[v] = out->community[v];
 
-    if (level_graph.n_vertices() <= 1) break;
+    if (level_graph->n_vertices() <= 1) break;
   }
 
-  result.n_communities = Canonicalize(&result.community);
+  out->n_communities = CanonicalizeWith(&out->community, &ws->remap);
+}
+
+Partition Louvain(const Graph& graph, const LouvainOptions& options) {
+  Partition result;
+  LouvainWorkspace workspace;
+  LouvainInto(graph, options, &workspace, &result);
   return result;
 }
 

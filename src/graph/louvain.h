@@ -36,12 +36,51 @@ struct Partition {
   int n_communities = 0;
 };
 
+// Reusable buffers for LouvainInto. Every vector Louvain needs — per-level
+// communities, local-moving accumulators, aggregation entries, the two
+// ping-ponged aggregated graphs — lives here with clear()-and-reuse
+// semantics, so steady-state rounds run the full multi-level method without
+// touching the heap.
+struct LouvainWorkspace {
+  // One inter-community mass contribution of the level being aggregated;
+  // `seq` preserves sorted-edge order within a key so the per-key FP sums
+  // accumulate in exactly the order the map-based implementation used.
+  struct AggEntry {
+    int64_t key = 0;  // min(cu,cv) * n_communities + max(cu,cv)
+    int seq = 0;
+    double weight = 0.0;
+  };
+
+  std::vector<Edge> level_edges;  // SortedEdgesInto of the current level
+  std::vector<Edge> mod_edges;    // SortedEdgesInto of the original graph
+  std::vector<double> vertex_weight;
+  std::vector<double> community_total;
+  std::vector<double> weight_to_community;
+  std::vector<int> touched;
+  std::vector<int> remap;  // Canonicalize old-id -> dense-id table
+  std::vector<int> level_community;
+  std::vector<int> candidate;
+  std::vector<int> mapping;
+  std::vector<double> self_weight;
+  std::vector<double> next_self;
+  std::vector<double> community_degree;  // Modularity label-order accumulator
+  std::vector<AggEntry> agg;
+  Graph level_graph;
+  Graph next_graph;
+};
+
 // Newman modularity of a partition under absolute edge weights. Isolated
 // vertices contribute nothing; an edgeless graph has modularity 0.
 double Modularity(const Graph& graph, const std::vector<int>& community);
 
 // Runs the full multi-level Louvain method.
 Partition Louvain(const Graph& graph, const LouvainOptions& options = {});
+
+// Allocation-free form: identical partition (byte-identical modularity
+// arithmetic included), with all scratch drawn from `workspace` and the
+// result written into `out`.
+void LouvainInto(const Graph& graph, const LouvainOptions& options,
+                 LouvainWorkspace* workspace, Partition* out);
 
 // Connected components (ignores weights); used by tests as a coarse
 // consistency check against Louvain (every community is within a component).

@@ -21,6 +21,7 @@ struct PipelineMetrics {
   // Gauges (state of the most recent round).
   Gauge* communities = nullptr;             // cad_communities
   Gauge* outliers = nullptr;                // cad_outliers
+  Gauge* round_allocs = nullptr;            // cad_round_allocs
   // Latency histograms (seconds).
   Histogram* round_seconds = nullptr;         // cad_round_seconds
   Histogram* correlation_seconds = nullptr;   // cad_correlation_seconds
@@ -49,6 +50,10 @@ struct PipelineMetrics {
         "cad_communities", "Louvain communities c_r of the latest round");
     m.outliers = &registry.gauge(
         "cad_outliers", "outlier-set size |O_r| of the latest round");
+    m.round_allocs = &registry.gauge(
+        "cad_round_allocs",
+        "heap allocations in the latest engine round (0 in steady state; "
+        "real counts only in binaries linking cad_alloc_hook)");
     m.round_seconds = &registry.histogram(
         "cad_round_seconds", {}, "latency of one OutlierDetection round");
     m.correlation_seconds = &registry.histogram(

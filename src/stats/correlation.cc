@@ -40,21 +40,28 @@ double PearsonCorrelation(std::span<const double> x, std::span<const double> y) 
   return r;
 }
 
-std::vector<double> RankTransform(std::span<const double> x) {
+void RankTransformInto(std::span<const double> x, std::vector<int>* order,
+                       std::vector<double>* ranks) {
   const int n = static_cast<int>(x.size());
-  std::vector<int> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
+  order->resize(n);
+  std::iota(order->begin(), order->end(), 0);
+  std::sort(order->begin(), order->end(),
             [&](int a, int b) { return x[a] < x[b]; });
-  std::vector<double> ranks(n, 0.0);
+  ranks->assign(n, 0.0);
   int i = 0;
   while (i < n) {
     int j = i;
-    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    while (j + 1 < n && x[(*order)[j + 1]] == x[(*order)[i]]) ++j;
     const double shared = (static_cast<double>(i) + j) / 2.0 + 1.0;
-    for (int idx = i; idx <= j; ++idx) ranks[order[idx]] = shared;
+    for (int idx = i; idx <= j; ++idx) (*ranks)[(*order)[idx]] = shared;
     i = j + 1;
   }
+}
+
+std::vector<double> RankTransform(std::span<const double> x) {
+  std::vector<int> order;
+  std::vector<double> ranks;
+  RankTransformInto(x, &order, &ranks);
   return ranks;
 }
 
@@ -67,24 +74,27 @@ double SpearmanCorrelation(std::span<const double> x,
   return PearsonCorrelation(rx, ry);
 }
 
-CorrelationMatrix WindowCorrelationMatrix(const ts::MultivariateSeries& series,
-                                          int start, int w,
-                                          CorrelationKind kind, int n_threads) {
+void WindowCorrelationMatrixInto(const ts::MultivariateSeries& series,
+                                 int start, int w, CorrelationKind kind,
+                                 int n_threads, CorrelationScratch* scratch,
+                                 CorrelationMatrix* out) {
   const int n = series.n_sensors();
   CAD_CHECK(start >= 0 && start + w <= series.length(), "window out of range");
-  CorrelationMatrix corr(n);
+  out->Reset(n);
+  CorrelationMatrix& corr = *out;
 
   // Center and unit-normalize each sensor's window (rank-transformed first
   // for Spearman); the correlation of two sensors is then a dot product.
-  std::vector<double> residuals(static_cast<size_t>(n) * w);
-  std::vector<uint8_t> degenerate(n, 0);
+  std::vector<double>& residuals = scratch->residuals;
+  residuals.assign(static_cast<size_t>(n) * w, 0.0);
+  std::vector<uint8_t>& degenerate = scratch->degenerate;
+  degenerate.assign(n, 0);
   for (int i = 0; i < n; ++i) {
     auto window = series.sensor_window(i, start, w);
-    std::vector<double> ranked;
     std::span<const double> x = window;
     if (kind == CorrelationKind::kSpearman) {
-      ranked = RankTransform(window);
-      x = ranked;
+      RankTransformInto(window, &scratch->rank_order, &scratch->ranked);
+      x = scratch->ranked;
     }
     double mean = 0.0;
     for (double v : x) mean += v;
@@ -134,6 +144,15 @@ CorrelationMatrix WindowCorrelationMatrix(const ts::MultivariateSeries& series,
     }
     for (std::thread& worker : workers) worker.join();
   }
+}
+
+CorrelationMatrix WindowCorrelationMatrix(const ts::MultivariateSeries& series,
+                                          int start, int w,
+                                          CorrelationKind kind, int n_threads) {
+  CorrelationMatrix corr;
+  CorrelationScratch scratch;
+  WindowCorrelationMatrixInto(series, start, w, kind, n_threads, &scratch,
+                              &corr);
   return corr;
 }
 

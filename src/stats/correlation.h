@@ -36,7 +36,13 @@ double SpearmanCorrelation(std::span<const double> x,
 class CorrelationMatrix {
  public:
   CorrelationMatrix() = default;
-  explicit CorrelationMatrix(int n) : n_(n), values_(static_cast<size_t>(n) * n, 0.0) {
+  explicit CorrelationMatrix(int n) { Reset(n); }
+
+  // Re-shapes to n x n identity. Capacity is retained, so a matrix reused
+  // across rounds of the same width never reallocates.
+  void Reset(int n) {
+    n_ = n;
+    values_.assign(static_cast<size_t>(n) * n, 0.0);
     for (int i = 0; i < n; ++i) set(i, i, 1.0);
   }
 
@@ -52,6 +58,16 @@ class CorrelationMatrix {
   std::vector<double> values_;
 };
 
+// Reusable buffers for WindowCorrelationMatrixInto. Buffers grow to the
+// problem size on first use and are reused verbatim afterwards, so the
+// steady-state recomputation touches no heap.
+struct CorrelationScratch {
+  std::vector<double> residuals;   // n x w, row-major
+  std::vector<uint8_t> degenerate;  // per sensor
+  std::vector<double> ranked;       // Spearman only: one sensor's ranks
+  std::vector<int> rank_order;      // Spearman only: argsort scratch
+};
+
 // Correlation matrix of all sensor pairs within window [start, start + w) of
 // `series`. Constant sensors correlate 0 with everything (and 1 with self).
 // `n_threads` > 1 parallelizes the pairwise products (results identical).
@@ -59,8 +75,19 @@ CorrelationMatrix WindowCorrelationMatrix(
     const ts::MultivariateSeries& series, int start, int w,
     CorrelationKind kind = CorrelationKind::kPearson, int n_threads = 1);
 
+// Allocation-free form: writes into `out` using `scratch`'s buffers.
+// Bitwise-identical to WindowCorrelationMatrix for every input.
+void WindowCorrelationMatrixInto(const ts::MultivariateSeries& series,
+                                 int start, int w, CorrelationKind kind,
+                                 int n_threads, CorrelationScratch* scratch,
+                                 CorrelationMatrix* out);
+
 // Average ranks of `x` (ties share the mean rank); the Spearman transform.
 std::vector<double> RankTransform(std::span<const double> x);
+
+// Allocation-free form; `order` is argsort scratch, `ranks` the output.
+void RankTransformInto(std::span<const double> x, std::vector<int>* order,
+                       std::vector<double>* ranks);
 
 }  // namespace cad::stats
 

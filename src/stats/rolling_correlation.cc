@@ -17,14 +17,16 @@ RollingCorrelationTracker::RollingCorrelationTracker(int n_sensors, int window,
       refresh_interval_(refresh_interval),
       sum_(n_sensors, 0.0),
       sum_sq_(n_sensors, 0.0),
-      cross_(static_cast<size_t>(n_sensors) * n_sensors, 0.0) {
+      cross_(static_cast<size_t>(n_sensors) * n_sensors, 0.0),
+      column_scratch_(n_sensors, 0.0),
+      centered_norm_(n_sensors, 0.0) {
   CAD_CHECK(n_sensors > 0 && window > 0, "bad tracker shape");
 }
 
 void RollingCorrelationTracker::Accumulate(const ts::MultivariateSeries& series,
                                            int column, double sign) {
   // Gather the column once (series is sensor-major).
-  std::vector<double> values(n_sensors_);
+  std::vector<double>& values = column_scratch_;
   for (int i = 0; i < n_sensors_; ++i) values[i] = series.value(i, column);
   for (int i = 0; i < n_sensors_; ++i) {
     const double xi = values[i];
@@ -69,12 +71,13 @@ void RollingCorrelationTracker::SlideTo(const ts::MultivariateSeries& series,
   start_ = new_start;
 }
 
-CorrelationMatrix RollingCorrelationTracker::Correlations() const {
+void RollingCorrelationTracker::CorrelationsInto(CorrelationMatrix* out) const {
   CAD_CHECK(start_ >= 0, "tracker not positioned; call Reset first");
-  CorrelationMatrix corr(n_sensors_);
+  out->Reset(n_sensors_);
+  CorrelationMatrix& corr = *out;
   const double w = static_cast<double>(window_);
   // Per-sensor centered norms: sum((x - mean)^2) = sum_sq - sum^2 / w.
-  std::vector<double> centered_norm(n_sensors_);
+  std::vector<double>& centered_norm = centered_norm_;
   for (int i = 0; i < n_sensors_; ++i) {
     centered_norm[i] = sum_sq_[i] - sum_[i] * sum_[i] / w;
   }
@@ -90,6 +93,11 @@ CorrelationMatrix RollingCorrelationTracker::Correlations() const {
       corr.set(i, j, r);
     }
   }
+}
+
+CorrelationMatrix RollingCorrelationTracker::Correlations() const {
+  CorrelationMatrix corr;
+  CorrelationsInto(&corr);
   return corr;
 }
 

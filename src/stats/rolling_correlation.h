@@ -39,6 +39,11 @@ class RollingCorrelationTracker {
   // The correlation matrix of the current window.
   CorrelationMatrix Correlations() const;
 
+  // Allocation-free form: writes into `out` (bitwise-identical to
+  // Correlations). The tracker's own scratch is sized at construction, so a
+  // Reset/SlideTo/CorrelationsInto cycle never touches the heap.
+  void CorrelationsInto(CorrelationMatrix* out) const;
+
   int start() const { return start_; }
   int window() const { return window_; }
 
@@ -55,6 +60,10 @@ class RollingCorrelationTracker {
   std::vector<double> sum_;      // per sensor
   std::vector<double> sum_sq_;   // per sensor
   std::vector<double> cross_;    // n x n upper triangle, row-major full
+  // Reused per-call buffers (sized at construction; mutable because
+  // CorrelationsInto is logically const).
+  std::vector<double> column_scratch_;        // one column's readings
+  mutable std::vector<double> centered_norm_;  // per sensor
 };
 
 }  // namespace cad::stats

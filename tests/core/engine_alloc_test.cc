@@ -1,0 +1,115 @@
+// Proof that steady-state detection rounds are allocation-free: this binary
+// links cad_alloc_hook (global operator-new replacement counting into a
+// thread-local), the engine measures the count delta across each round and
+// publishes it as the `cad_round_allocs` gauge, and this test asserts the
+// gauge reads zero for steady-state rounds of both drivers.
+//
+// Rounds that *close* an anomaly may allocate (the assembler appends the
+// finished anomaly); warm-up rounds grow workspace capacity once. The test
+// therefore asserts on rounds past a warm-up prefix that report no anomaly
+// transition.
+//
+// At CAD_CHECK_LEVEL=full the CAD_VALIDATE contract validators re-derive
+// structures on the side (by design, with their own allocations), so the
+// zero assertion only holds in non-validating builds; under the `checked`
+// preset the test downgrades to "the gauge is registered and finite".
+#include <gtest/gtest.h>
+
+#include "check/check.h"
+#include "common/alloc_tracker.h"
+#include "core/cad_detector.h"
+#include "core/streaming.h"
+#include "obs/metrics.h"
+#include "testing/synthetic.h"
+
+namespace cad::core {
+namespace {
+
+CadOptions MakeOptions(obs::Registry* registry) {
+  CadOptions options;
+  options.window = 40;
+  options.step = 4;
+  options.k = 3;
+  options.tau = 0.55;
+  options.theta = 0.9;
+  options.metrics_registry = registry;
+  return options;
+}
+
+double RoundAllocsGauge(const obs::Snapshot& snapshot) {
+  const obs::GaugeSample* gauge = snapshot.FindGauge("cad_round_allocs");
+  EXPECT_NE(gauge, nullptr) << "cad_round_allocs gauge not registered";
+  return gauge != nullptr ? gauge->value : -1.0;
+}
+
+TEST(EngineAllocTest, HookIsInstalled) {
+  common::LinkAllocHook();
+  EXPECT_TRUE(common::AllocHookInstalled());
+  const int64_t before = common::ThreadAllocCount();
+  // Call the replaced operator directly: a plain new/delete pair is eligible
+  // for allocation elision at -O2 and would leave the counter untouched.
+  void* probe = ::operator new(16);
+  const int64_t after = common::ThreadAllocCount();
+  ::operator delete(probe);
+  EXPECT_GT(after, before) << "operator new replacement is not counting";
+}
+
+TEST(EngineAllocTest, StreamingSteadyStateRoundsAreAllocationFree) {
+  common::LinkAllocHook();
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  obs::Registry registry;
+  StreamingCad streaming(scenario.test.n_sensors(), MakeOptions(&registry));
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+
+  // The first rounds grow workspace buffers to capacity; everything after
+  // must run without touching the heap.
+  constexpr int kWarmupRounds = 8;
+  int steady_rounds = 0;
+  bool prev_abnormal = false;
+  std::vector<double> sample(scenario.test.n_sensors());
+  for (int t = 0; t < scenario.test.length(); ++t) {
+    for (int i = 0; i < scenario.test.n_sensors(); ++i) {
+      sample[i] = scenario.test.value(i, t);
+    }
+    auto event = streaming.Push(sample).ValueOrDie();
+    if (!event.has_value()) continue;
+    // Rounds that open or close an anomaly may append to the assembler by
+    // design; the zero contract covers steady-state rounds only.
+    const bool transition = event->abnormal || prev_abnormal;
+    prev_abnormal = event->abnormal;
+    if (event->round < kWarmupRounds || transition) continue;
+    const double allocs = RoundAllocsGauge(registry.TakeSnapshot());
+#if CAD_VALIDATE_ENABLED
+    EXPECT_GE(allocs, 0.0);  // validators allocate by design at level=full
+#else
+    EXPECT_EQ(allocs, 0.0) << "round " << event->round
+                           << " allocated on the steady-state path";
+#endif
+    ++steady_rounds;
+  }
+  EXPECT_GT(steady_rounds, 50) << "scenario too short to exercise steady state";
+}
+
+TEST(EngineAllocTest, BatchFinalRoundIsAllocationFree) {
+  common::LinkAllocHook();
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  obs::Registry registry;
+  CadDetector detector(MakeOptions(&registry));
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  ASSERT_FALSE(report.rounds.empty());
+
+  // The gauge holds the last completed round's count. The scenario ends on
+  // normal rounds, so that round must be clean too.
+  ASSERT_FALSE(report.rounds.back().abnormal)
+      << "scenario must end on a normal round for this assertion";
+  const double allocs = RoundAllocsGauge(report.telemetry);
+#if CAD_VALIDATE_ENABLED
+  EXPECT_GE(allocs, 0.0);
+#else
+  EXPECT_EQ(allocs, 0.0) << "final batch round allocated";
+#endif
+}
+
+}  // namespace
+}  // namespace cad::core

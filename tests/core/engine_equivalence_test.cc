@@ -1,0 +1,149 @@
+// Batch-vs-streaming equivalence: the ground-truth gate of the shared
+// DetectionEngine. CadDetector::Detect (Algorithm 2) and StreamingCad
+// (Section IV-F) are the same round loop driven two ways, so over the same
+// series they must produce *byte-identical* anomalies, n_r sequences and
+// mu/sigma trajectories — not merely approximately equal ones. Doubles are
+// compared at the bit level: any FP-order divergence between the two drivers
+// is a refactor bug, not rounding noise.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/cad_detector.h"
+#include "core/streaming.h"
+#include "testing/synthetic.h"
+
+namespace cad::core {
+namespace {
+
+// Bit-level double equality (EXPECT_EQ would conflate -0.0 and 0.0).
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ at the bit level";
+}
+
+struct StreamRun {
+  std::vector<int> n_variations;
+  std::vector<bool> abnormal;
+  std::vector<double> mu;     // statistics used for each round's decision
+  std::vector<double> sigma;
+  std::vector<std::vector<int>> entered;
+  std::vector<Anomaly> anomalies;
+  bool open_at_end = false;
+};
+
+StreamRun RunStreaming(const ts::MultivariateSeries& train,
+                       const ts::MultivariateSeries& test,
+                       const CadOptions& options) {
+  StreamRun run;
+  StreamingCad streaming(test.n_sensors(), options);
+  EXPECT_TRUE(streaming.WarmUp(train).ok());
+  std::vector<double> sample(test.n_sensors());
+  for (int t = 0; t < test.length(); ++t) {
+    for (int i = 0; i < test.n_sensors(); ++i) sample[i] = test.value(i, t);
+    auto event = streaming.Push(sample).ValueOrDie();
+    if (!event.has_value()) continue;
+    run.n_variations.push_back(event->n_variations);
+    run.abnormal.push_back(event->abnormal);
+    run.mu.push_back(event->mu);
+    run.sigma.push_back(event->sigma);
+    run.entered.push_back(event->entered);
+  }
+  run.anomalies = streaming.anomalies();
+  run.open_at_end = streaming.anomaly_open();
+  return run;
+}
+
+void ExpectAnomaliesIdentical(const Anomaly& batch, const Anomaly& stream,
+                              size_t index) {
+  SCOPED_TRACE("anomaly " + std::to_string(index));
+  EXPECT_EQ(batch.sensors, stream.sensors);
+  EXPECT_EQ(batch.first_round, stream.first_round);
+  EXPECT_EQ(batch.last_round, stream.last_round);
+  EXPECT_EQ(batch.start_time, stream.start_time);
+  EXPECT_EQ(batch.end_time, stream.end_time);
+  EXPECT_EQ(batch.detection_time, stream.detection_time);
+}
+
+void ExpectEquivalent(const ts::MultivariateSeries& train,
+                      const ts::MultivariateSeries& test,
+                      const CadOptions& options) {
+  CadDetector batch(options);
+  const DetectionReport report = batch.Detect(test, &train).ValueOrDie();
+  const StreamRun stream = RunStreaming(train, test, options);
+
+  // Round-for-round: n_r, the abnormal decision, and the exact mu/sigma the
+  // decision was made against.
+  ASSERT_EQ(stream.n_variations.size(), report.rounds.size());
+  for (size_t r = 0; r < report.rounds.size(); ++r) {
+    SCOPED_TRACE("round " + std::to_string(r));
+    EXPECT_EQ(stream.n_variations[r], report.rounds[r].n_variations);
+    EXPECT_EQ(stream.abnormal[r], report.rounds[r].abnormal);
+    EXPECT_TRUE(BitEqual(stream.mu[r], report.rounds[r].mu));
+    EXPECT_TRUE(BitEqual(stream.sigma[r], report.rounds[r].sigma));
+  }
+
+  // Anomaly-for-anomaly. The stream cannot close an anomaly still open when
+  // the data ends; the batch driver flushes it, so the stream may trail by
+  // exactly that one.
+  const size_t closed = stream.anomalies.size();
+  ASSERT_EQ(closed + (stream.open_at_end ? 1 : 0), report.anomalies.size());
+  for (size_t i = 0; i < closed; ++i) {
+    ExpectAnomaliesIdentical(report.anomalies[i], stream.anomalies[i], i);
+  }
+}
+
+CadOptions BaseOptions() {
+  CadOptions options;
+  options.window = 40;
+  options.step = 4;
+  options.k = 3;
+  options.tau = 0.55;
+  options.theta = 0.9;
+  return options;
+}
+
+TEST(EngineEquivalenceTest, DefaultRule) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  ExpectEquivalent(scenario.train, scenario.test, BaseOptions());
+}
+
+TEST(EngineEquivalenceTest, MinSigmaFloor) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadOptions options = BaseOptions();
+  options.min_sigma = 0.25;
+  ExpectEquivalent(scenario.train, scenario.test, options);
+}
+
+TEST(EngineEquivalenceTest, FixedXiRule) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadOptions options = BaseOptions();
+  options.use_sigma_rule = false;
+  options.fixed_xi = 2;
+  ExpectEquivalent(scenario.train, scenario.test, options);
+}
+
+TEST(EngineEquivalenceTest, GlobalNormalizationAblation) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadOptions options = BaseOptions();
+  options.rc_global_normalization = true;
+  options.theta = 0.25;
+  ExpectEquivalent(scenario.train, scenario.test, options);
+}
+
+TEST(EngineEquivalenceTest, LargerNetworkMoreCommunities) {
+  const testing::SmallScenario scenario =
+      testing::MakeSmallScenario(/*n_sensors=*/24, /*communities=*/4,
+                                 /*train_len=*/700, /*test_len=*/1000,
+                                 /*seed=*/1234);
+  CadOptions options = BaseOptions();
+  options.k = 5;
+  ExpectEquivalent(scenario.train, scenario.test, options);
+}
+
+}  // namespace
+}  // namespace cad::core

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/cad_detector.h"
 #include "testing/synthetic.h"
 
 namespace cad::core {

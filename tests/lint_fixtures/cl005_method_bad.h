@@ -1,0 +1,20 @@
+// Fixture: const method takes the lock in its body but its declaration has
+// no EXCLUDES/REQUIRES annotation (CL005, method shape).
+#ifndef CAD_TESTS_LINT_FIXTURES_CL005_METHOD_BAD_H_
+#define CAD_TESTS_LINT_FIXTURES_CL005_METHOD_BAD_H_
+
+#include <mutex>
+
+class Telemetry {
+ public:
+  int samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int samples_ GUARDED_BY(mu_) = 0;
+};
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL005_METHOD_BAD_H_

@@ -1,0 +1,20 @@
+// Fixture: locking method annotated with EXCLUDES — clean under CL005's
+// method shape.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL005_METHOD_CLEAN_H_
+#define CAD_TESTS_LINT_FIXTURES_CL005_METHOD_CLEAN_H_
+
+#include <mutex>
+
+class Telemetry {
+ public:
+  int samples() const EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int samples_ GUARDED_BY(mu_) = 0;
+};
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL005_METHOD_CLEAN_H_

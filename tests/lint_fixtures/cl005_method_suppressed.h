@@ -1,0 +1,20 @@
+// Fixture: CL005 method shape suppressed with a reason.
+#ifndef CAD_TESTS_LINT_FIXTURES_CL005_METHOD_SUPPRESSED_H_
+#define CAD_TESTS_LINT_FIXTURES_CL005_METHOD_SUPPRESSED_H_
+
+#include <mutex>
+
+class Telemetry {
+ public:
+  // cad-lint: allow(CL005) annotation macros unavailable in this TU
+  int samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int samples_ GUARDED_BY(mu_) = 0;
+};
+
+#endif  // CAD_TESTS_LINT_FIXTURES_CL005_METHOD_SUPPRESSED_H_

@@ -188,6 +188,9 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"cl005_bad.h", "CL005", 1, 0},
         FixtureCase{"cl005_clean.h", "CL005", 0, 0},
         FixtureCase{"cl005_suppressed.h", "CL005", 0, 1},
+        FixtureCase{"cl005_method_bad.h", "CL005", 1, 0},
+        FixtureCase{"cl005_method_clean.h", "CL005", 0, 0},
+        FixtureCase{"cl005_method_suppressed.h", "CL005", 0, 1},
         FixtureCase{"cl006_bad.h", "CL006", 2, 0},
         FixtureCase{"cl006_clean.h", "CL006", 0, 0},
         FixtureCase{"cl006_suppressed.h", "CL006", 0, 1}),

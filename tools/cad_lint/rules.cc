@@ -416,6 +416,47 @@ void FlagUnguardedMembers(const std::vector<Token>& toks,
   }
 }
 
+// CL005, second shape: an inline method that takes a lock must announce its
+// locking contract on the declaration, or -Wthread-safety cannot see it.
+
+struct MethodFrame {
+  bool valid = false;      // this brace is an inline method body in a class
+  bool annotated = false;  // declaration carries EXCLUDES/REQUIRES/...
+  bool takes_lock = false; // body constructs a scoped lock
+  std::string name;
+  int line = 0;
+};
+
+bool IsLockAnnotation(const std::string& t) {
+  return t == "EXCLUDES" || t == "REQUIRES" || t == "REQUIRES_SHARED" ||
+         t == "LOCKS_EXCLUDED" || t == "EXCLUSIVE_LOCKS_REQUIRED" ||
+         t == "SHARED_LOCKS_REQUIRED";
+}
+
+bool IsScopedLockType(const std::string& t) {
+  return t == "MutexLock" || t == "lock_guard" || t == "unique_lock" ||
+         t == "scoped_lock" || t == "shared_lock";
+}
+
+// Builds the method frame for a `{` opening a body directly inside a class,
+// from the declaration statement collected since the previous boundary.
+MethodFrame MakeMethodFrame(const std::vector<Token>& toks,
+                            const std::vector<size_t>& decl) {
+  MethodFrame method;
+  if (decl.empty()) return method;
+  std::string last_ident;
+  for (size_t idx : decl) {
+    const Token& t = toks[idx];
+    if (t.text == "(" && method.name.empty()) method.name = last_ident;
+    if (t.kind != TokKind::kIdentifier) continue;
+    last_ident = t.text;
+    if (IsLockAnnotation(t.text)) method.annotated = true;
+  }
+  method.valid = !method.name.empty();
+  method.line = toks[decl.front()].line;
+  return method;
+}
+
 // Keywords whose presence in the declaration prefix means the Status/Result
 // token is not the return type of a new declaration.
 bool PrefixBlocksCl004(const std::vector<Token>& toks, size_t stmt_start,
@@ -438,6 +479,9 @@ void RunScopedRules(const std::string& path, const std::vector<Token>& toks,
   std::vector<BraceKind> brace_stack;
   // Parallel to brace_stack: index into class_frames, or -1.
   std::vector<int> frame_at_level;
+  // Parallel to brace_stack: the inline-method declaration this brace opened
+  // (valid only for method bodies directly inside a class).
+  std::vector<MethodFrame> method_stack;
   std::vector<ClassFrame> class_frames;
   size_t stmt_start = 0;
   int paren_depth = 0;
@@ -463,10 +507,14 @@ void RunScopedRules(const std::string& path, const std::vector<Token>& toks,
     if (t == ")" && paren_depth > 0) --paren_depth;
 
     if (t == "{" && paren_depth == 0) {
+      MethodFrame method;
       if (ClassFrame* frame = top_frame(); frame != nullptr) {
+        method = MakeMethodFrame(toks, frame->cur);
         frame->cur.clear();  // method body / nested type: not a data member
       }
       const BraceKind kind = ClassifyBrace(toks, stmt_start, i);
+      if (kind != BraceKind::kBody) method.valid = false;
+      method_stack.push_back(method);
       brace_stack.push_back(kind);
       if (kind == BraceKind::kBody) ++body_depth;
       if (kind == BraceKind::kClass) {
@@ -487,6 +535,20 @@ void RunScopedRules(const std::string& path, const std::vector<Token>& toks,
           frame.stmts.push_back(frame.cur);
           FlagUnguardedMembers(toks, frame, out);
         }
+        const MethodFrame& method = method_stack.back();
+        if (header && method.valid && method.takes_lock &&
+            !method.annotated) {
+          out->push_back(Finding{
+              "", method.line, "CL005",
+              "method `" + method.name +
+                  "` takes a lock in its body but its declaration carries "
+                  "no thread-safety annotation; callers (and "
+                  "-Wthread-safety) cannot see the locking contract",
+              "annotate the declaration with EXCLUDES(<mutex>) (or "
+              "REQUIRES if the caller must hold it)",
+              false});
+        }
+        method_stack.pop_back();
         if (brace_stack.back() == BraceKind::kBody) --body_depth;
         brace_stack.pop_back();
         frame_at_level.pop_back();
@@ -516,6 +578,14 @@ void RunScopedRules(const std::string& path, const std::vector<Token>& toks,
     }
     if (ClassFrame* frame = top_frame(); frame != nullptr) {
       frame->cur.push_back(i);
+    }
+
+    // CL005 (method shape): a scoped-lock construction anywhere inside an
+    // inline method body marks every enclosing method frame.
+    if (tok.kind == TokKind::kIdentifier && IsScopedLockType(t)) {
+      for (MethodFrame& method : method_stack) {
+        if (method.valid) method.takes_lock = true;
+      }
     }
 
     // CL004: Status/Result return types at declaration scope in headers.
@@ -622,7 +692,9 @@ const std::vector<RuleInfo>& Rules() {
       {"CL002", "ad-hoc randomness or wall-clock seeding outside cad::Rng"},
       {"CL003", "range-for over unordered_map/unordered_set"},
       {"CL004", "Status/Result-returning declaration missing [[nodiscard]]"},
-      {"CL005", "data member next to a mutex without GUARDED_BY"},
+      {"CL005",
+       "mutex discipline: unguarded member, or locking method without "
+       "annotation"},
       {"CL006", "header missing include guard or using-namespace in header"},
   };
   return kRules;

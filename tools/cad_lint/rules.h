@@ -23,9 +23,12 @@
 //          reduction.
 //   CL004  Status/Result-returning declaration in a header without
 //          [[nodiscard]]. A dropped Status is a swallowed error.
-//   CL005  class owns a mutex but a sibling data member is neither
-//          GUARDED_BY one, const, static, nor atomic — the member's locking
-//          story is undocumented and invisible to -Wthread-safety.
+//   CL005  mutex discipline in headers, two shapes: (a) a class owns a
+//          mutex but a sibling data member is neither GUARDED_BY one,
+//          const, static, nor atomic; (b) an inline method body takes a
+//          lock (MutexLock / lock_guard / ...) but its declaration carries
+//          no EXCLUDES/REQUIRES annotation. Either way the locking story is
+//          undocumented and invisible to -Wthread-safety.
 //   CL006  include hygiene: header without an include guard
 //          (#ifndef/#define or #pragma once), or `using namespace` in a
 //          header.

@@ -18,20 +18,24 @@
 #   6. thread-safety — Clang build with -Werror=thread-safety armed by the
 #                   CAPABILITY/GUARDED_BY annotations; SKIPs when clang++ is
 #                   not installed (GCC compiles the annotations to no-ops).
+#   7. engine     — focused re-run of the batch/streaming equivalence and
+#                   allocation-gauge tests under the asan-ubsan and tsan
+#                   presets: byte-identical drivers must stay identical when
+#                   the sanitizers perturb layout and scheduling.
 #
 # Presets come from CMakePresets.json; each stage uses its own binaryDir so
 # the matrix never contaminates the default build/.
 #
 # Usage: tools/verify_matrix.sh [stage ...]
 #   with no arguments, runs all stages; otherwise only the named ones
-#   (checked, asan-ubsan, tsan, lint, lint-cad, thread-safety).
+#   (checked, asan-ubsan, tsan, lint, lint-cad, thread-safety, engine).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2> /dev/null || echo 2)"
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine)
 
 # Builds tools/cad_lint (reusing the default build dir) and prints the
 # binary's path. The linter has no dependencies beyond a C++20 compiler, so
@@ -50,6 +54,18 @@ run_preset() {
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$JOBS"
   ctest --preset "$preset" -j "$JOBS"
+}
+
+# Builds a sanitizer preset and runs only the engine unification tests
+# (driver equivalence + allocation gauge) under it.
+run_engine_under() {
+  local preset="$1"
+  echo
+  echo "==== [engine/$preset] equivalence + alloc gauge ===="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -R 'EngineEquivalenceTest|EngineAllocTest' \
+    --output-on-failure
 }
 
 for stage in "${STAGES[@]}"; do
@@ -90,10 +106,14 @@ for stage in "${STAGES[@]}"; do
              "Run 'cmake --preset thread-safety' wherever Clang exists."
       fi
       ;;
+    engine)
+      run_engine_under asan-ubsan
+      run_engine_under tsan
+      ;;
     *)
       echo "error: unknown stage '$stage'" \
            "(expected: checked, asan-ubsan, tsan, lint, lint-cad," \
-           "thread-safety)" >&2
+           "thread-safety, engine)" >&2
       exit 2
       ;;
   esac
