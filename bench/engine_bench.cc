@@ -12,9 +12,15 @@
 // `cad_round_allocs` gauge, which the engine sets from inside the round and
 // therefore isolates the hot path (-1 while the gauge is not registered).
 //
+// The streaming driver is additionally run with the flight recorder
+// disabled, so BENCH_engine.json carries the recording overhead
+// (flight_recorder.overhead_pct; contract: < 5% rounds/sec and zero
+// steady-state allocs/round with the recorder on).
+//
 // Flags:
-//   --smoke      small configuration for ctest (a few seconds)
-//   --out PATH   output path (default BENCH_engine.json)
+//   --smoke             small configuration for ctest (a few seconds)
+//   --out PATH          output path (default BENCH_engine.json)
+//   --flight-out PATH   also dump the streaming run's flight log as JSONL
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -49,7 +55,7 @@ struct EngineBenchConfig {
 };
 
 core::CadOptions MakeOptions(const EngineBenchConfig& config,
-                             obs::Registry* registry) {
+                             obs::Registry* registry, int flight_capacity) {
   core::CadOptions options;
   options.window = config.window;
   options.step = config.step;
@@ -57,8 +63,13 @@ core::CadOptions MakeOptions(const EngineBenchConfig& config,
   options.tau = 0.55;
   options.theta = 0.9;
   options.metrics_registry = registry;
+  options.flight_recorder_capacity = flight_capacity;
   return options;
 }
+
+// The product default ring size (cad_options.h); the "recorder on" runs use
+// it so the bench measures what users actually pay.
+const int kDefaultFlightCapacity = core::CadOptions{}.flight_recorder_capacity;
 
 // Exact empirical quantile (nearest-rank with interpolation), matching
 // core::SummarizeRoundLatencies so the two drivers' tails are comparable.
@@ -106,7 +117,8 @@ DriverResult RunBatch(const EngineBenchConfig& config,
                       const ts::MultivariateSeries& train,
                       const ts::MultivariateSeries& test) {
   obs::Registry registry;
-  core::CadDetector detector(MakeOptions(config, &registry));
+  core::CadDetector detector(
+      MakeOptions(config, &registry, kDefaultFlightCapacity));
 
   Stopwatch watch;
   const int64_t allocs_before = common::ThreadAllocCount();
@@ -136,9 +148,12 @@ DriverResult RunBatch(const EngineBenchConfig& config,
 
 DriverResult RunStreaming(const EngineBenchConfig& config,
                           const ts::MultivariateSeries& train,
-                          const ts::MultivariateSeries& test) {
+                          const ts::MultivariateSeries& test,
+                          int flight_capacity,
+                          const std::string& flight_out) {
   obs::Registry registry;
-  core::StreamingCad streaming(test.n_sensors(), MakeOptions(config, &registry));
+  core::StreamingCad streaming(
+      test.n_sensors(), MakeOptions(config, &registry, flight_capacity));
   if (!streaming.WarmUp(train).ok()) {
     std::fprintf(stderr, "engine_bench: streaming warm-up failed\n");
     std::exit(1);
@@ -175,6 +190,20 @@ DriverResult RunStreaming(const EngineBenchConfig& config,
   }
   result.round_allocs_gauge =
       GaugeValue(registry.TakeSnapshot(), "cad_round_allocs");
+
+  if (!flight_out.empty()) {
+    std::FILE* file = std::fopen(flight_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "engine_bench: cannot open %s\n",
+                   flight_out.c_str());
+      std::exit(1);
+    }
+    const std::string jsonl = streaming.DumpFlightLogJsonl();
+    std::fwrite(jsonl.data(), 1, jsonl.size(), file);
+    std::fclose(file);
+    std::fprintf(stderr, "[engine_bench] wrote flight log %s\n",
+                 flight_out.c_str());
+  }
   return result;
 }
 
@@ -203,13 +232,18 @@ int Main(int argc, char** argv) {
 
   bool smoke = false;
   std::string out_path = "BENCH_engine.json";
+  std::string flight_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-out") == 0 && i + 1 < argc) {
+      flight_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: engine_bench [--smoke] [--out PATH]\n");
+      std::fprintf(stderr,
+                   "usage: engine_bench [--smoke] [--out PATH] "
+                   "[--flight-out PATH]\n");
       return 2;
     }
   }
@@ -242,9 +276,21 @@ int Main(int argc, char** argv) {
   const DriverResult batch = RunBatch(config, train, test);
   std::fprintf(stderr, "[engine_bench] batch:  %.0f rounds/sec, %.2f allocs/round\n",
                batch.rounds_per_sec, batch.allocs_per_round);
-  const DriverResult stream = RunStreaming(config, train, test);
+  const DriverResult stream =
+      RunStreaming(config, train, test, kDefaultFlightCapacity, flight_out);
   std::fprintf(stderr, "[engine_bench] stream: %.0f rounds/sec, %.2f allocs/round\n",
                stream.rounds_per_sec, stream.allocs_per_round);
+  // Same streaming run with the ring disabled isolates the recording cost.
+  const DriverResult stream_off = RunStreaming(config, train, test,
+                                               /*flight_capacity=*/0, "");
+  const double overhead_pct =
+      stream_off.rounds_per_sec > 0.0
+          ? (1.0 - stream.rounds_per_sec / stream_off.rounds_per_sec) * 100.0
+          : 0.0;
+  std::fprintf(stderr,
+               "[engine_bench] flight recorder: %.0f -> %.0f rounds/sec "
+               "(%.2f%% overhead)\n",
+               stream_off.rounds_per_sec, stream.rounds_per_sec, overhead_pct);
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -268,7 +314,19 @@ int Main(int argc, char** argv) {
                config.train_length, config.test_length(), config.window,
                config.step, config.k);
   PrintDriverJson(out, "batch", batch, /*trailing_comma=*/true);
-  PrintDriverJson(out, "stream", stream, /*trailing_comma=*/false);
+  PrintDriverJson(out, "stream", stream, /*trailing_comma=*/true);
+  std::fprintf(out,
+               "  \"flight_recorder\": {\n"
+               "    \"capacity\": %d,\n"
+               "    \"recorder_off_rounds_per_sec\": %.3f,\n"
+               "    \"recorder_on_rounds_per_sec\": %.3f,\n"
+               "    \"overhead_pct\": %.3f,\n"
+               "    \"recorder_on_allocs_per_round\": %.3f,\n"
+               "    \"recorder_on_round_allocs_gauge\": %.1f\n"
+               "  }\n",
+               kDefaultFlightCapacity, stream_off.rounds_per_sec,
+               stream.rounds_per_sec, overhead_pct, stream.allocs_per_round,
+               stream.round_allocs_gauge);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::fprintf(stderr, "[engine_bench] wrote %s\n", out_path.c_str());

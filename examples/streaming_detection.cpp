@@ -2,8 +2,17 @@
 // as a plant-floor data collector would (paper Section IV-F). Alarms are
 // raised the moment a detection round closes — no batch pass over the data.
 //
-//   ./streaming_detection
+//   ./streaming_detection [--serve [port]]
+//
+// With --serve, the detector also exposes its observability surface over
+// HTTP on 127.0.0.1 (port 0 = pick an ephemeral one) while the stream runs:
+//
+//   curl localhost:<port>/metrics            Prometheus text
+//   curl localhost:<port>/healthz            liveness JSON
+//   curl "localhost:<port>/explain?round=50" decision provenance JSON
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
@@ -11,7 +20,16 @@
 #include "datasets/anomaly_injector.h"
 #include "datasets/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  int exposition_port = -1;  // off unless --serve
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      exposition_port = 0;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        exposition_port = std::atoi(argv[++i]);
+      }
+    }
+  }
   cad::Rng rng(7);
   cad::datasets::GeneratorOptions generator_options;
   generator_options.n_sensors = 20;
@@ -42,8 +60,17 @@ int main() {
   options.k = 5;
   options.tau = 0.5;
   options.min_sigma = 0.3;  // require ~2 simultaneous variations per alarm
+  options.exposition_port = exposition_port;
 
   cad::core::StreamingCad detector(stream.n_sensors(), options);
+  if (detector.exposition_port() > 0) {
+    std::printf("Exposition server on 127.0.0.1:%d — try:\n",
+                detector.exposition_port());
+    std::printf("  curl localhost:%d/metrics\n", detector.exposition_port());
+    std::printf("  curl localhost:%d/healthz\n", detector.exposition_port());
+    std::printf("  curl \"localhost:%d/explain?round=50\"\n\n",
+                detector.exposition_port());
+  }
   const cad::Status warmup_status = detector.WarmUp(history);
   if (!warmup_status.ok()) {
     std::fprintf(stderr, "Warm-up failed: %s\n",
@@ -56,12 +83,14 @@ int main() {
   // The ingest loop: one sample per tick.
   std::vector<double> sample(stream.n_sensors());
   int alarms = 0;
+  int last_abnormal_round = -1;
   bool was_open = false;
   for (int t = 0; t < stream.length(); ++t) {
     for (int i = 0; i < stream.n_sensors(); ++i) sample[i] = stream.value(i, t);
     const auto event = detector.Push(sample).ValueOrDie();
     if (!event.has_value()) continue;
 
+    if (event->abnormal) last_abnormal_round = event->round;
     if (event->abnormal && !was_open) {
       ++alarms;
       std::printf("t=%-5d ALARM #%d  n_r=%d (mu=%.2f sigma=%.2f) outliers:",
@@ -88,6 +117,25 @@ int main() {
 
   std::printf("\nStream complete: %d rounds, %zu anomalies closed.\n",
               detector.rounds_completed(), detector.anomalies().size());
+
+  // Decision provenance: the flight recorder can say *why* a round fired
+  // long after the fact (the /explain endpoint serves the same record).
+  if (last_abnormal_round >= 0) {
+    const auto provenance = detector.Explain(last_abnormal_round);
+    if (provenance.has_value()) {
+      const auto& record = provenance->record;
+      std::printf("Why round %d fired: n_r=%d vs mu=%.2f sigma=%.2f "
+                  "(threshold %.2f)",
+                  record.round, record.n_variations, record.mu, record.sigma,
+                  record.threshold);
+      if (provenance->has_prev) {
+        std::printf("; vs round %d: dn_r=%+d dmu=%+.2f",
+                    provenance->prev_round, provenance->delta_n_variations,
+                    provenance->delta_mu);
+      }
+      std::printf("\n");
+    }
+  }
   auto print_fault = [](const cad::datasets::AnomalyEvent& fault) {
     std::printf("  [%d, %d) sensors:", fault.start,
                 fault.start + fault.duration);

@@ -52,9 +52,11 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 // The build system injects CAD_CHECK_LEVEL as 0 (off), 1 (debug) or 2
 // (full); default to debug for standalone compilation.
@@ -108,6 +110,71 @@ inline FailureHandler SetFailureHandler(FailureHandler handler) {
   return internal::HandlerSlot().exchange(handler);
 }
 
+// ---- failure dump hooks ---------------------------------------------------
+//
+// Components holding crash-relevant state (the flight recorder in
+// obs/flight_recorder.h is the canonical one) register a dump hook;
+// FailCheck runs every registered hook once — before the failure handler —
+// so the state reaches disk even though a failed check never resumes.
+// Hooks must be safe to run on the failing thread (which may hold that
+// component's locks) and must not fail checks themselves; a reentrant
+// failure skips the hooks instead of recursing.
+
+using FailureDumpHook = void (*)(void* ctx);
+
+namespace internal {
+
+struct DumpHookSlot {
+  FailureDumpHook hook = nullptr;
+  void* ctx = nullptr;
+};
+
+inline std::mutex& DumpHookMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+inline std::vector<DumpHookSlot>& DumpHooks() {
+  static std::vector<DumpHookSlot> hooks;
+  return hooks;
+}
+
+inline void RunFailureDumpHooks() {
+  thread_local bool dumping = false;
+  if (dumping) return;  // a hook failed a check; do not recurse
+  dumping = true;
+  std::vector<DumpHookSlot> hooks;
+  {
+    std::lock_guard<std::mutex> lock(DumpHookMutex());
+    hooks = DumpHooks();
+  }
+  for (const DumpHookSlot& slot : hooks) slot.hook(slot.ctx);
+  dumping = false;
+}
+
+}  // namespace internal
+
+// Registers a (hook, ctx) pair; duplicate pairs register once.
+inline void AddFailureDumpHook(FailureDumpHook hook, void* ctx) {
+  if (hook == nullptr) return;
+  std::lock_guard<std::mutex> lock(internal::DumpHookMutex());
+  for (const internal::DumpHookSlot& slot : internal::DumpHooks()) {
+    if (slot.hook == hook && slot.ctx == ctx) return;
+  }
+  internal::DumpHooks().push_back({hook, ctx});
+}
+
+inline void RemoveFailureDumpHook(FailureDumpHook hook, void* ctx) {
+  std::lock_guard<std::mutex> lock(internal::DumpHookMutex());
+  auto& hooks = internal::DumpHooks();
+  for (size_t i = 0; i < hooks.size(); ++i) {
+    if (hooks[i].hook == hook && hooks[i].ctx == ctx) {
+      hooks.erase(hooks.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
 // Number of check failures observed so far (only visible >0 when a
 // non-aborting handler is installed, e.g. in tests).
 inline uint64_t failure_count() {
@@ -129,6 +196,7 @@ inline std::string FormatFailure(const CheckContext& ctx,
 [[noreturn]] inline void FailCheck(const CheckContext& ctx,
                                    const std::string& message) {
   internal::FailureCount().fetch_add(1, std::memory_order_relaxed);
+  internal::RunFailureDumpHooks();
   if (FailureHandler handler = internal::HandlerSlot().load()) {
     handler(ctx, message);  // may throw (test harnesses)
   } else {

@@ -41,6 +41,18 @@ RoundLatencySummary SummarizeRoundLatencies(std::vector<double> seconds) {
 
 }  // namespace
 
+std::optional<obs::DecisionProvenance> ExplainRound(
+    const DetectionReport& report, int round) {
+  const obs::DecisionRecord* record = nullptr;
+  const obs::DecisionRecord* previous = nullptr;
+  for (const obs::DecisionRecord& candidate : report.flight_log) {
+    if (candidate.round == round) record = &candidate;
+    if (candidate.round == round - 1) previous = &candidate;
+  }
+  if (record == nullptr) return std::nullopt;
+  return obs::MakeProvenance(*record, previous);
+}
+
 Result<DetectionReport> CadDetector::Detect(
     const ts::MultivariateSeries& series,
     const ts::MultivariateSeries* historical) const {
@@ -129,6 +141,7 @@ Result<DetectionReport> CadDetector::Detect(
   report.round_latency = SummarizeRoundLatencies(std::move(round_seconds));
   report.seconds_per_round = report.round_latency.mean;
   report.telemetry = registry.TakeSnapshot();
+  report.flight_log = engine.recorder().Records();
   // Stage-boundary contract (CAD_CHECK_LEVEL=full only): the 3-sigma state
   // and the assembled report must be structurally sound before they leave
   // the detector.

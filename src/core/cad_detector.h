@@ -27,10 +27,12 @@
 #define CAD_CORE_CAD_DETECTOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/cad_options.h"
 #include "core/types.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "ts/multivariate_series.h"
 
@@ -67,7 +69,18 @@ struct DetectionReport {
   // glossary in DESIGN.md "Observability". Counters are cumulative across
   // runs sharing a registry.
   obs::Snapshot telemetry;
+  // The engine's flight-recorder ring at the end of the run, oldest round
+  // first: the last CadOptions::flight_recorder_capacity rounds of decision
+  // provenance (empty when recording is disabled). The deterministic fields
+  // are byte-identical to what StreamingCad records for the same input.
+  std::vector<obs::DecisionRecord> flight_log;
 };
+
+// Decision provenance for round `round`: its DecisionRecord from
+// `report.flight_log` plus the delta against the previous round. nullopt
+// when the round is not in the (ring-bounded) log.
+std::optional<obs::DecisionProvenance> ExplainRound(
+    const DetectionReport& report, int round);
 
 class CadDetector {
  public:

@@ -122,6 +122,22 @@ struct CadOptions {
   obs::Registry* metrics_registry = nullptr;
   obs::Tracer* tracer = nullptr;
 
+  // Flight recorder (obs/flight_recorder.h): the engine keeps the last
+  // `flight_recorder_capacity` rounds of decision provenance in a
+  // preallocated ring. 0 disables recording (and every feature below).
+  int flight_recorder_capacity = 256;
+  // When set, the engine appends the rounds of every anomaly to this JSONL
+  // file the moment the anomaly closes (the held subset, oldest first).
+  std::string flight_log_path;
+  // When set, a CAD_CHECK failure dumps the whole ring here (truncating)
+  // before the process dies.
+  std::string flight_crash_dump_path;
+
+  // Exposition server (obs/exposition_server.h), honoured by StreamingCad
+  // only: -1 (default) = no server; 0 = serve on an ephemeral 127.0.0.1
+  // port (StreamingCad::exposition_port() reports it); 1..65535 = that port.
+  int exposition_port = -1;
+
   // Validates the option set against a series length.
   [[nodiscard]] Status Validate(int series_length) const {
     if (window <= 0 || step <= 0) {
@@ -153,6 +169,18 @@ struct CadOptions {
     }
     if (!use_sigma_rule && fixed_xi < 1) {
       return Status::InvalidArgument("fixed_xi must be >= 1");
+    }
+    if (flight_recorder_capacity < 0) {
+      return Status::InvalidArgument("flight_recorder_capacity must be >= 0");
+    }
+    if (flight_recorder_capacity == 0 &&
+        (!flight_log_path.empty() || !flight_crash_dump_path.empty())) {
+      return Status::InvalidArgument(
+          "flight log / crash dump paths need flight_recorder_capacity > 0");
+    }
+    if (exposition_port < -1 || exposition_port > 65535) {
+      return Status::InvalidArgument(
+          "exposition_port must be -1 (off) or a port in [0, 65535]");
     }
     return Status::Ok();
   }

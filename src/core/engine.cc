@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "check/check.h"
 #include "check/validators.h"
@@ -24,9 +25,11 @@ DecisionPolicy::Decision DecisionPolicy::Judge(int round,
     // from mu is abnormal" semantics in that degenerate case.
     const double sigma = std::max(decision.sigma, options_.min_sigma);
     const double threshold = std::max(options_.eta * sigma, 1e-9);
+    decision.threshold = threshold;
     decision.abnormal = deviation >= threshold;
     decision.score = std::min(1.0, 0.5 * deviation / threshold);
   } else {
+    decision.threshold = options_.fixed_xi;
     decision.abnormal = n_variations >= options_.fixed_xi;
     decision.score = std::min(
         1.0, 0.5 * n_variations / static_cast<double>(options_.fixed_xi));
@@ -102,7 +105,12 @@ DetectionEngine::DetectionEngine(int n_sensors, const CadOptions& options)
           obs::ResolveRegistry(options.metrics_registry))),
       processor_(n_sensors, options),
       policy_(options),
-      assembler_(n_sensors, options, metrics_) {}
+      assembler_(n_sensors, options, metrics_),
+      recorder_(options.flight_recorder_capacity, n_sensors) {
+  if (!options_.flight_crash_dump_path.empty()) {
+    recorder_.EnableCrashDump(options_.flight_crash_dump_path);
+  }
+}
 
 Status DetectionEngine::WarmUp(const ts::MultivariateSeries& historical) {
   if (historical.n_sensors() != n_sensors_) {
@@ -149,13 +157,46 @@ EngineRound DetectionEngine::Step(const ts::MultivariateSeries& series,
   result.score = decision.score;
   result.mu = decision.mu;
   result.sigma = decision.sigma;
+  result.threshold = decision.threshold;
 
+  const size_t anomalies_before = assembler_.anomalies().size();
   assembler_.Observe(round_index_, decision.abnormal, out, window_start_time,
                      window_end_time, processor_.tracker());
   if (decision.abnormal) metrics_.abnormal_rounds_total->Increment();
   // Every n_r (abnormal or not) sharpens mu/sigma — after the decision, so a
   // round is never judged against statistics containing itself.
   policy_.Update(round_index_, out.n_variations);
+
+  if (recorder_.enabled()) {
+    // Ring slots are preallocated for n_sensors ids, so filling one is
+    // assign()s into reserved capacity — no heap traffic, same contract as
+    // the round itself.
+    obs::DecisionRecord& rec = recorder_.BeginRecord();
+    rec.round = round_index_;
+    rec.window_start = window_start_time;
+    rec.window_end = window_end_time;
+    rec.n_variations = out.n_variations;
+    rec.mu = decision.mu;
+    rec.sigma = decision.sigma;
+    rec.threshold = decision.threshold;
+    rec.score = decision.score;
+    rec.abnormal = decision.abnormal;
+    rec.anomaly_open = assembler_.open();
+    rec.n_outliers = static_cast<int>(out.outliers.size());
+    rec.n_communities = out.n_communities;
+    rec.n_edges = out.n_edges;
+    rec.modularity = out.modularity;
+    rec.entered.assign(out.entered.begin(), out.entered.end());
+    rec.exited.assign(out.exited.begin(), out.exited.end());
+    rec.movers.assign(out.entered_movers.begin(), out.entered_movers.end());
+    rec.correlation_seconds = out.correlation_seconds;
+    rec.knn_seconds = out.knn_seconds;
+    rec.louvain_seconds = out.louvain_seconds;
+    rec.coappearance_seconds = out.coappearance_seconds;
+    rec.round_seconds = out.round_seconds;
+    recorder_.Commit();
+  }
+
   CAD_VALIDATE(check::ValidateRunningStats(policy_.stats(),
                                            options_.metrics_registry));
   CAD_VALIDATE(check::ValidateAssembler(assembler_, n_sensors_,
@@ -164,7 +205,33 @@ EngineRound DetectionEngine::Step(const ts::MultivariateSeries& series,
 
   metrics_.round_allocs->Set(
       static_cast<double>(common::ThreadAllocCount() - allocs_before));
+  // After the alloc accounting: a close-time flight-log append is file I/O,
+  // not round work, and only happens on the rare round that closes one.
+  if (assembler_.anomalies().size() > anomalies_before) {
+    DumpClosedAnomalies(anomalies_before);
+  }
   return result;
+}
+
+void DetectionEngine::Finish() {
+  const size_t anomalies_before = assembler_.anomalies().size();
+  assembler_.Finish(processor_.tracker());
+  if (assembler_.anomalies().size() > anomalies_before) {
+    DumpClosedAnomalies(anomalies_before);
+  }
+}
+
+void DetectionEngine::DumpClosedAnomalies(size_t first_new) {
+  if (!recorder_.enabled() || options_.flight_log_path.empty()) return;
+  std::string jsonl;
+  for (size_t i = first_new; i < assembler_.anomalies().size(); ++i) {
+    const Anomaly& anomaly = assembler_.anomalies()[i];
+    recorder_.AppendRangeJsonl(anomaly.first_round, anomaly.last_round,
+                               &jsonl);
+  }
+  if (jsonl.empty()) return;
+  std::ofstream file(options_.flight_log_path, std::ios::app);
+  if (file) file << jsonl;
 }
 
 }  // namespace cad::core

@@ -17,6 +17,7 @@
 #define CAD_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "core/cad_options.h"
 #include "core/round_processor.h"
 #include "core/types.h"
+#include "obs/flight_recorder.h"
 #include "obs/pipeline_metrics.h"
 #include "stats/running_stats.h"
 #include "ts/multivariate_series.h"
@@ -43,6 +45,10 @@ class DecisionPolicy {
     double score = 0.0;
     double mu = 0.0;     // statistics used for the decision
     double sigma = 0.0;
+    // Deviation threshold the rule applied: eta * max(sigma, min_sigma)
+    // (floored) under the sigma rule, fixed_xi under the ablation rule, and
+    // 0 when the round was not judged (round 0 / burn-in / empty stats).
+    double threshold = 0.0;
   };
 
   explicit DecisionPolicy(const CadOptions& options)
@@ -136,6 +142,7 @@ struct EngineRound {
   double score = 0.0;
   double mu = 0.0;     // statistics used for the decision (pre-update)
   double sigma = 0.0;
+  double threshold = 0.0;  // deviation threshold applied (0 = not judged)
 };
 
 class DetectionEngine {
@@ -155,8 +162,9 @@ class DetectionEngine {
   EngineRound Step(const ts::MultivariateSeries& series, int start,
                    int window_start_time, int window_end_time);
 
-  // Closes any anomaly still open after the last Step.
-  void Finish() { assembler_.Finish(processor_.tracker()); }
+  // Closes any anomaly still open after the last Step (and, like a normal
+  // close, appends its rounds to CadOptions::flight_log_path when set).
+  void Finish();
 
   int n_sensors() const { return n_sensors_; }
   int rounds() const { return round_index_; }
@@ -171,13 +179,27 @@ class DetectionEngine {
   const AnomalyAssembler& assembler() const { return assembler_; }
   const CoAppearanceTracker& tracker() const { return processor_.tracker(); }
 
+  // Flight recorder (CadOptions::flight_recorder_capacity rounds of decision
+  // provenance; disabled at capacity 0).
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+  // Why round `round` fired (or stayed silent): its DecisionRecord plus the
+  // delta against the previous round. nullopt when the round was never
+  // recorded or has been evicted from the ring.
+  std::optional<obs::DecisionProvenance> Explain(int round) const {
+    return recorder_.Explain(round);
+  }
+
  private:
+  // Appends the rounds of anomalies_[first_new..] to flight_log_path.
+  void DumpClosedAnomalies(size_t first_new);
+
   int n_sensors_;
   CadOptions options_;
   obs::PipelineMetrics metrics_;
   RoundProcessor processor_;
   DecisionPolicy policy_;
   AnomalyAssembler assembler_;
+  obs::FlightRecorder recorder_;
   int round_index_ = 0;
 };
 

@@ -57,12 +57,15 @@ void PluralitySuccessors(const std::vector<int>& prev_community,
 const RoundOutput& RoundProcessor::ProcessWindow(
     const ts::MultivariateSeries& series, int start) {
   CAD_CHECK(series.n_sensors() == n_sensors_, "sensor count mismatch");
+  out_.Clear();  // cleared before the stage timers start accumulating
   obs::Span round_span(tracer_, span_name_);
-  obs::ScopedHistogramTimer round_timer(metrics_.round_seconds);
+  obs::ScopedHistogramTimer round_timer(metrics_.round_seconds,
+                                        &out_.round_seconds);
   if (options_.incremental_correlation && !options_.use_spearman) {
     {
       obs::Span corr_span(tracer_, "correlation");
-      obs::ScopedHistogramTimer corr_timer(metrics_.correlation_seconds);
+      obs::ScopedHistogramTimer corr_timer(metrics_.correlation_seconds,
+                                           &out_.correlation_seconds);
       if (rolling_ == nullptr) {
         rolling_ = std::make_unique<stats::RollingCorrelationTracker>(
             n_sensors_, options_.window);
@@ -82,15 +85,18 @@ const RoundOutput& RoundProcessor::ProcessWindow(
                             : stats::CorrelationKind::kPearson,
       options_.n_threads, &workspace_.correlation_scratch,
       &workspace_.correlation);
-  metrics_.correlation_seconds->Observe(corr_watch.ElapsedSeconds());
+  out_.correlation_seconds = corr_watch.ElapsedSeconds();
+  metrics_.correlation_seconds->Observe(out_.correlation_seconds);
   corr_span.End();
   return FinishRound(workspace_.correlation, &round_span);
 }
 
 const RoundOutput& RoundProcessor::ProcessCorrelation(
     const stats::CorrelationMatrix& corr) {
+  out_.Clear();
   obs::Span round_span(tracer_, span_name_);
-  obs::ScopedHistogramTimer round_timer(metrics_.round_seconds);
+  obs::ScopedHistogramTimer round_timer(metrics_.round_seconds,
+                                        &out_.round_seconds);
   return FinishRound(corr, &round_span);
 }
 
@@ -100,8 +106,7 @@ const RoundOutput& RoundProcessor::FinishRound(
   if (round_span->active()) {
     round_span->AddArg("round", std::to_string(rounds_processed_));
   }
-  RoundOutput& out = out_;
-  out.Clear();
+  RoundOutput& out = out_;  // Clear()ed by the ProcessWindow/Correlation entry
   Stopwatch stage_watch;
 
   // Phase 1: TSG + community detection.
@@ -112,7 +117,8 @@ const RoundOutput& RoundProcessor::FinishRound(
                            &workspace_.tsg, &tsg_stats);
   const graph::Graph& tsg = workspace_.tsg;
   knn_span.End();
-  metrics_.knn_build_seconds->Observe(stage_watch.ElapsedSeconds());
+  out.knn_seconds = stage_watch.ElapsedSeconds();
+  metrics_.knn_build_seconds->Observe(out.knn_seconds);
   out.n_edges = static_cast<int>(tsg.n_edges());
   // Stage-boundary contract (CAD_CHECK_LEVEL=full only): the TSG must be a
   // symmetric simple graph of correlation edges; the union-kNN construction
@@ -129,8 +135,10 @@ const RoundOutput& RoundProcessor::FinishRound(
   graph::LouvainInto(tsg, {}, &workspace_.louvain, &workspace_.partition);
   const graph::Partition& partition = workspace_.partition;
   louvain_span.End();
-  metrics_.louvain_seconds->Observe(stage_watch.ElapsedSeconds());
+  out.louvain_seconds = stage_watch.ElapsedSeconds();
+  metrics_.louvain_seconds->Observe(out.louvain_seconds);
   out.n_communities = partition.n_communities;
+  out.modularity = partition.modularity;
   CAD_VALIDATE(check::ValidatePartition(partition, n_sensors_,
                                         options_.metrics_registry));
 
@@ -181,12 +189,15 @@ const RoundOutput& RoundProcessor::FinishRound(
             rounds_processed_ - last_moved_round_[v] <= recency) {
           out.entered_movers.push_back(v);
         }
+      } else {
+        out.exited.push_back(v);
       }
     }
   }
   out.n_variations = n_variations;
   coapp_span.End();
-  metrics_.coappearance_seconds->Observe(stage_watch.ElapsedSeconds());
+  out.coappearance_seconds = stage_watch.ElapsedSeconds();
+  metrics_.coappearance_seconds->Observe(out.coappearance_seconds);
 
   metrics_.rounds_total->Increment();
   metrics_.outlier_variations->Increment(static_cast<uint64_t>(n_variations));

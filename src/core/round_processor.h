@@ -32,17 +32,33 @@ struct RoundOutput {
   // abandoned by defecting peers. This is the attribution-grade signal for
   // V_Z; the full `entered` list still drives n_r.
   std::vector<int> entered_movers;
+  std::vector<int> exited;       // vertices that left O_r this round
   int n_variations = 0;          // n_r (Definition 8)
   int n_communities = 0;         // c_r after Louvain
   int n_edges = 0;               // TSG size after tau pruning
+  double modularity = 0.0;       // Newman modularity of this round's partition
+  // Per-stage wall-clock cost of this round, mirroring the cad_*_seconds
+  // histograms; consumed by the flight recorder's DecisionRecord timings.
+  double correlation_seconds = 0.0;
+  double knn_seconds = 0.0;
+  double louvain_seconds = 0.0;
+  double coappearance_seconds = 0.0;
+  double round_seconds = 0.0;
 
   void Clear() {
     outliers.clear();
     entered.clear();
     entered_movers.clear();
+    exited.clear();
     n_variations = 0;
     n_communities = 0;
     n_edges = 0;
+    modularity = 0.0;
+    correlation_seconds = 0.0;
+    knn_seconds = 0.0;
+    louvain_seconds = 0.0;
+    coappearance_seconds = 0.0;
+    round_seconds = 0.0;
   }
 };
 

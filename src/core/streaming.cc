@@ -1,9 +1,13 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
 #include "check/check.h"
 #include "common/stopwatch.h"
+#include "obs/export.h"
+#include "obs/json_util.h"
 
 namespace cad::core {
 
@@ -14,11 +18,89 @@ StreamingCad::StreamingCad(int n_sensors, const CadOptions& options)
           obs::ResolveRegistry(options.metrics_registry))),
       engine_(n_sensors, options),
       buffer_(static_cast<size_t>(options.window) * n_sensors, 0.0),
-      window_(n_sensors, options.window) {}
+      window_(n_sensors, options.window),
+      // Last in initialization order: every member its handlers touch
+      // (mu_, engine_, the counters) is already alive when the serve thread
+      // starts.
+      server_(MakeServer(this)) {}
+
+std::unique_ptr<obs::ExpositionServer> StreamingCad::MakeServer(
+    StreamingCad* self) {
+  if (self->options_.exposition_port < 0) return nullptr;
+  obs::ExpositionServer::Handlers handlers;
+  handlers.metrics_text = [self] {
+    return obs::ToPrometheusText(self->TelemetrySnapshot());
+  };
+  handlers.healthz_json = [self] { return self->HealthJson(); };
+  handlers.explain_json = [self](int round) { return self->ExplainJson(round); };
+  Result<std::unique_ptr<obs::ExpositionServer>> server =
+      obs::ExpositionServer::Start(
+          static_cast<uint16_t>(self->options_.exposition_port),
+          std::move(handlers));
+  if (!server.ok()) {
+    // Exposition is opt-in telemetry; a bind failure must not take the
+    // detector down with it.
+    std::fprintf(stderr, "StreamingCad: exposition server disabled: %s\n",
+                 server.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(server).value();
+}
 
 obs::Snapshot StreamingCad::TelemetrySnapshot() const {
   common::MutexLock lock(mu_);
   return obs::ResolveRegistry(options_.metrics_registry).TakeSnapshot();
+}
+
+std::optional<obs::DecisionProvenance> StreamingCad::Explain(
+    int round) const {
+  common::MutexLock lock(mu_);
+  return engine_.Explain(round);
+}
+
+std::string StreamingCad::DumpFlightLogJsonl() const {
+  common::MutexLock lock(mu_);
+  std::string jsonl;
+  engine_.recorder().DumpJsonl(&jsonl);
+  return jsonl;
+}
+
+StreamHealth StreamingCad::Health() const {
+  common::MutexLock lock(mu_);
+  StreamHealth health;
+  health.samples_seen = samples_seen_;
+  health.rounds = engine_.rounds();
+  health.anomaly_open = engine_.anomaly_open();
+  const obs::FlightRecorder& recorder = engine_.recorder();
+  health.last_round_age_seconds = recorder.seconds_since_last_record();
+  health.rounds_per_second = recorder.recent_rounds_per_second();
+  health.flight_ring_capacity = recorder.capacity();
+  health.flight_ring_size = recorder.size();
+  return health;
+}
+
+std::string StreamingCad::HealthJson() const {
+  const StreamHealth health = Health();
+  std::string json = "{\"samples_seen\":" +
+                     std::to_string(health.samples_seen);
+  json += ",\"rounds\":" + std::to_string(health.rounds);
+  json += ",\"anomaly_open\":";
+  json += health.anomaly_open ? "true" : "false";
+  json += ",\"last_round_age_seconds\":";
+  obs::AppendJsonNumber(&json, health.last_round_age_seconds);  // inf -> null
+  json += ",\"rounds_per_second\":";
+  obs::AppendJsonNumber(&json, health.rounds_per_second);
+  json += ",\"flight_ring_capacity\":" +
+          std::to_string(health.flight_ring_capacity);
+  json += ",\"flight_ring_size\":" + std::to_string(health.flight_ring_size);
+  json += '}';
+  return json;
+}
+
+std::string StreamingCad::ExplainJson(int round) const {
+  const std::optional<obs::DecisionProvenance> provenance = Explain(round);
+  if (!provenance.has_value()) return std::string();  // 404 upstream
+  return obs::ProvenanceToJson(*provenance);
 }
 
 Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {

@@ -11,8 +11,10 @@
 #ifndef CAD_CORE_STREAMING_H_
 #define CAD_CORE_STREAMING_H_
 
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/mutex.h"
@@ -20,6 +22,7 @@
 #include "core/cad_options.h"
 #include "core/engine.h"
 #include "core/types.h"
+#include "obs/exposition_server.h"
 #include "ts/multivariate_series.h"
 
 namespace cad::core {
@@ -41,6 +44,20 @@ struct StreamEvent {
   // Wall-clock latency of this round (window materialization + Algorithm 1 +
   // decision) — the per-round TPR sample of Table VII, live.
   double round_seconds = 0.0;
+};
+
+// Liveness view of a stream, served as /healthz by the exposition server.
+struct StreamHealth {
+  int samples_seen = 0;
+  int rounds = 0;
+  bool anomaly_open = false;
+  // Seconds since the last completed round on the steady clock; +inf before
+  // the first round (and always +inf when recording is disabled).
+  double last_round_age_seconds = 0.0;
+  // Throughput over the rounds currently held by the flight recorder.
+  double rounds_per_second = 0.0;
+  int flight_ring_capacity = 0;  // 0 = flight recording disabled
+  int flight_ring_size = 0;
 };
 
 // Internally synchronized: one producer may Push while other threads read
@@ -100,9 +117,33 @@ class StreamingCad {
   // under the lock so the counters are consistent with a round boundary.
   obs::Snapshot TelemetrySnapshot() const EXCLUDES(mu_);
 
+  // Decision provenance for round `round` from the engine's flight recorder
+  // (record + delta vs the previous round); nullopt when recording is
+  // disabled or the round left the ring. Copies under the lock.
+  std::optional<obs::DecisionProvenance> Explain(int round) const
+      EXCLUDES(mu_);
+
+  // The whole flight-recorder ring, oldest round first, one JSON object per
+  // line; empty when recording is disabled.
+  std::string DumpFlightLogJsonl() const EXCLUDES(mu_);
+
+  // Liveness snapshot (the /healthz payload).
+  StreamHealth Health() const EXCLUDES(mu_);
+
+  // Port the exposition server is listening on (the resolved ephemeral port
+  // when CadOptions::exposition_port was 0), or -1 when no server is running
+  // (not requested, or it failed to bind — the failure is logged to stderr).
+  int exposition_port() const {
+    return server_ != nullptr ? server_->port() : -1;
+  }
+
  private:
+  static std::unique_ptr<obs::ExpositionServer> MakeServer(StreamingCad* self);
+
   bool RoundReady() const REQUIRES(mu_);
   StreamEvent RunRound() REQUIRES(mu_);
+  std::string HealthJson() const EXCLUDES(mu_);
+  std::string ExplainJson(int round) const EXCLUDES(mu_);
 
   const int n_sensors_;
   const CadOptions options_;
@@ -121,6 +162,13 @@ class StreamingCad {
   int buffered_ GUARDED_BY(mu_) = 0;     // number of valid samples (<= window)
 
   int samples_seen_ GUARDED_BY(mu_) = 0;
+
+  // Declared last so it is destroyed first: the destructor joins the server
+  // thread, whose handlers lock mu_ and read the guarded state above — both
+  // must still be alive until the join returns. const (never reassigned, no
+  // lock needed), built by MakeServer; nullptr unless
+  // CadOptions::exposition_port >= 0.
+  const std::unique_ptr<obs::ExpositionServer> server_;
 };
 
 }  // namespace cad::core

@@ -191,6 +191,7 @@ void LouvainInto(const Graph& graph, const LouvainOptions& options,
   std::iota(out->community.begin(), out->community.end(), 0);
   if (n == 0) {
     out->n_communities = 0;
+    out->modularity = 0.0;
     return;
   }
 
@@ -261,6 +262,7 @@ void LouvainInto(const Graph& graph, const LouvainOptions& options,
   }
 
   out->n_communities = CanonicalizeWith(&out->community, &ws->remap);
+  out->modularity = previous_modularity;  // relabeling cannot change it
 }
 
 Partition Louvain(const Graph& graph, const LouvainOptions& options) {

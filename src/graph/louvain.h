@@ -34,6 +34,10 @@ struct Partition {
   // their smallest member vertex.
   std::vector<int> community;
   int n_communities = 0;
+  // Newman modularity of this partition on the input graph (the same value
+  // the per-level improvement gate computed, so exposing it is free);
+  // invariant under canonical relabeling. 0 for an edgeless graph.
+  double modularity = 0.0;
 };
 
 // Reusable buffers for LouvainInto. Every vector Louvain needs — per-level

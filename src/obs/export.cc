@@ -1,39 +1,12 @@
 #include "obs/export.h"
 
-#include <cstdio>
 #include <fstream>
+
+#include "obs/json_util.h"
 
 namespace cad::obs {
 
 namespace {
-
-void AppendDouble(std::string* out, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  *out += buf;
-}
-
-void AppendJsonString(std::string* out, std::string_view s) {
-  *out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      case '\r': *out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-  *out += '"';
-}
 
 Status WriteFile(const std::string& path, const std::string& content) {
   std::ofstream file(path);
@@ -58,7 +31,7 @@ std::string ToPrometheusText(const Snapshot& snapshot) {
     if (!g.help.empty()) out += "# HELP " + g.name + " " + g.help + "\n";
     out += "# TYPE " + g.name + " gauge\n";
     out += g.name + " ";
-    AppendDouble(&out, g.value);
+    AppendPromNumber(&out, g.value);
     out += "\n";
   }
   for (const HistogramSample& h : snapshot.histograms) {
@@ -69,14 +42,14 @@ std::string ToPrometheusText(const Snapshot& snapshot) {
       cumulative += h.counts[i];
       out += h.name + "_bucket{le=\"";
       if (i < h.bounds.size()) {
-        AppendDouble(&out, h.bounds[i]);
+        AppendPromNumber(&out, h.bounds[i]);
       } else {
         out += "+Inf";
       }
       out += "\"} " + std::to_string(cumulative) + "\n";
     }
     out += h.name + "_sum ";
-    AppendDouble(&out, h.sum);
+    AppendPromNumber(&out, h.sum);
     out += "\n" + h.name + "_count " + std::to_string(h.count()) + "\n";
   }
   return out;
@@ -94,7 +67,7 @@ std::string SnapshotToJson(const Snapshot& snapshot) {
     if (i > 0) json += ',';
     AppendJsonString(&json, snapshot.gauges[i].name);
     json += ':';
-    AppendDouble(&json, snapshot.gauges[i].value);
+    AppendJsonNumber(&json, snapshot.gauges[i].value);
   }
   json += "},\"histograms\":{";
   for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
@@ -102,22 +75,22 @@ std::string SnapshotToJson(const Snapshot& snapshot) {
     if (i > 0) json += ',';
     AppendJsonString(&json, h.name);
     json += ":{\"sum\":";
-    AppendDouble(&json, h.sum);
+    AppendJsonNumber(&json, h.sum);
     json += ",\"count\":" + std::to_string(h.count());
     json += ",\"mean\":";
-    AppendDouble(&json, h.mean());
+    AppendJsonNumber(&json, h.mean());
     json += ",\"p50\":";
-    AppendDouble(&json, h.Quantile(0.50));
+    AppendJsonNumber(&json, h.Quantile(0.50));
     json += ",\"p95\":";
-    AppendDouble(&json, h.Quantile(0.95));
+    AppendJsonNumber(&json, h.Quantile(0.95));
     json += ",\"p99\":";
-    AppendDouble(&json, h.Quantile(0.99));
+    AppendJsonNumber(&json, h.Quantile(0.99));
     json += ",\"buckets\":[";
     for (size_t b = 0; b < h.counts.size(); ++b) {
       if (b > 0) json += ',';
       json += "{\"le\":";
       if (b < h.bounds.size()) {
-        AppendDouble(&json, h.bounds[b]);
+        AppendJsonNumber(&json, h.bounds[b]);
       } else {
         json += "\"+Inf\"";
       }

@@ -1,0 +1,90 @@
+// cad::obs::ExpositionServer — dependency-free HTTP/1.0 exposition of the
+// pipeline's observability surface.
+//
+// A deliberately tiny, blocking poll-loop server (POSIX sockets only, no
+// third-party code) that serves GET requests on 127.0.0.1:
+//
+//   /metrics           Prometheus text exposition of a Registry snapshot
+//   /healthz           JSON liveness: last-round age, rounds/sec, ring
+//                      occupancy (whatever the owner's healthz handler says)
+//   /explain?round=r   JSON decision provenance for round r (404 when the
+//                      round is not in the flight-recorder ring, 400 on a
+//                      malformed round)
+//   /                  plain-text index of the endpoints
+//
+// Content is produced by caller-supplied handlers, so the server knows
+// nothing about the engine; StreamingCad wires its own lock-taking closures
+// in. Handlers run on the server thread — they must be thread-safe against
+// the owner's mutators and must not block indefinitely.
+//
+// Lifecycle: Start() binds (port 0 picks an ephemeral port, reported by
+// port()), spawns the serve thread, and returns; Stop() (or destruction)
+// wakes the poll loop through a self-pipe and joins. One connection is
+// served at a time — scrape traffic is rare and tiny, and serial handling
+// keeps the server trivially correct under TSan.
+#ifndef CAD_OBS_EXPOSITION_SERVER_H_
+#define CAD_OBS_EXPOSITION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace cad::obs {
+
+class ExpositionServer {
+ public:
+  struct Handlers {
+    // Body for /metrics (Prometheus text exposition format).
+    std::function<std::string()> metrics_text;
+    // Body for /healthz (a JSON object).
+    std::function<std::string()> healthz_json;
+    // Body for /explain?round=r, or empty when the round is unknown (404).
+    std::function<std::string(int round)> explain_json;
+  };
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serve thread.
+  ~ExpositionServer();
+  [[nodiscard]] static Result<std::unique_ptr<ExpositionServer>> Start(
+      uint16_t port, Handlers handlers);
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  // The bound port (the actual one when constructed with port 0).
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  // Idempotent and safe to race; wakes the poll loop and joins the serve
+  // thread.
+  void Stop() EXCLUDES(join_mu_);
+
+ private:
+  ExpositionServer(int listen_fd, int wake_read_fd, int wake_write_fd,
+                   uint16_t port, Handlers handlers);
+
+  void Serve();
+  void HandleConnection(int fd);
+  std::string BuildResponse(const std::string& request_line);
+
+  const int listen_fd_;
+  const int wake_read_fd_;   // self-pipe: Stop() writes, poll loop wakes
+  const int wake_write_fd_;
+  const uint16_t port_;
+  const Handlers handlers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  common::Mutex join_mu_;
+  std::thread thread_ GUARDED_BY(join_mu_);  // joined at most once
+};
+
+}  // namespace cad::obs
+
+#endif  // CAD_OBS_EXPOSITION_SERVER_H_

@@ -1,0 +1,302 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#include "check/check.h"
+#include "obs/json_util.h"
+
+namespace cad::obs {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t WallNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendIntArray(std::string* out, const std::vector<int>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += std::to_string(values[i]);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+void DecisionRecord::Clear() {
+  round = -1;
+  window_start = 0;
+  window_end = 0;
+  n_variations = 0;
+  mu = 0.0;
+  sigma = 0.0;
+  threshold = 0.0;
+  score = 0.0;
+  abnormal = false;
+  anomaly_open = false;
+  n_outliers = 0;
+  n_communities = 0;
+  n_edges = 0;
+  modularity = 0.0;
+  entered.clear();
+  exited.clear();
+  movers.clear();
+  correlation_seconds = 0.0;
+  knn_seconds = 0.0;
+  louvain_seconds = 0.0;
+  coappearance_seconds = 0.0;
+  round_seconds = 0.0;
+  unix_us = 0;
+}
+
+DecisionProvenance MakeProvenance(const DecisionRecord& record,
+                                  const DecisionRecord* previous) {
+  DecisionProvenance provenance;
+  provenance.record = record;
+  if (previous != nullptr) {
+    provenance.has_prev = true;
+    provenance.prev_round = previous->round;
+    provenance.verdict_flipped = previous->abnormal != record.abnormal;
+    provenance.delta_n_variations = record.n_variations - previous->n_variations;
+    provenance.delta_mu = record.mu - previous->mu;
+    provenance.delta_sigma = record.sigma - previous->sigma;
+    provenance.delta_threshold = record.threshold - previous->threshold;
+    provenance.delta_score = record.score - previous->score;
+  }
+  return provenance;
+}
+
+std::string DecisionRecordToJson(const DecisionRecord& record,
+                                 bool include_timings) {
+  std::string json = "{\"round\":" + std::to_string(record.round);
+  json += ",\"window_start\":" + std::to_string(record.window_start);
+  json += ",\"window_end\":" + std::to_string(record.window_end);
+  json += ",\"n_variations\":" + std::to_string(record.n_variations);
+  json += ",\"mu\":";
+  AppendJsonNumber(&json, record.mu);
+  json += ",\"sigma\":";
+  AppendJsonNumber(&json, record.sigma);
+  json += ",\"threshold\":";
+  AppendJsonNumber(&json, record.threshold);
+  json += ",\"score\":";
+  AppendJsonNumber(&json, record.score);
+  json += ",\"abnormal\":";
+  json += record.abnormal ? "true" : "false";
+  json += ",\"anomaly_open\":";
+  json += record.anomaly_open ? "true" : "false";
+  json += ",\"n_outliers\":" + std::to_string(record.n_outliers);
+  json += ",\"n_communities\":" + std::to_string(record.n_communities);
+  json += ",\"n_edges\":" + std::to_string(record.n_edges);
+  json += ",\"modularity\":";
+  AppendJsonNumber(&json, record.modularity);
+  json += ",\"entered\":";
+  AppendIntArray(&json, record.entered);
+  json += ",\"exited\":";
+  AppendIntArray(&json, record.exited);
+  json += ",\"movers\":";
+  AppendIntArray(&json, record.movers);
+  if (include_timings) {
+    json += ",\"timings\":{\"correlation_seconds\":";
+    AppendJsonNumber(&json, record.correlation_seconds);
+    json += ",\"knn_seconds\":";
+    AppendJsonNumber(&json, record.knn_seconds);
+    json += ",\"louvain_seconds\":";
+    AppendJsonNumber(&json, record.louvain_seconds);
+    json += ",\"coappearance_seconds\":";
+    AppendJsonNumber(&json, record.coappearance_seconds);
+    json += ",\"round_seconds\":";
+    AppendJsonNumber(&json, record.round_seconds);
+    json += ",\"unix_us\":" + std::to_string(record.unix_us);
+    json += '}';
+  }
+  json += '}';
+  return json;
+}
+
+std::string ProvenanceToJson(const DecisionProvenance& provenance) {
+  std::string json = "{\"record\":";
+  json += DecisionRecordToJson(provenance.record, /*include_timings=*/false);
+  json += ",\"prev\":";
+  if (provenance.has_prev) {
+    json += "{\"round\":" + std::to_string(provenance.prev_round);
+    json += ",\"verdict_flipped\":";
+    json += provenance.verdict_flipped ? "true" : "false";
+    json += ",\"delta_n_variations\":" +
+            std::to_string(provenance.delta_n_variations);
+    json += ",\"delta_mu\":";
+    AppendJsonNumber(&json, provenance.delta_mu);
+    json += ",\"delta_sigma\":";
+    AppendJsonNumber(&json, provenance.delta_sigma);
+    json += ",\"delta_threshold\":";
+    AppendJsonNumber(&json, provenance.delta_threshold);
+    json += ",\"delta_score\":";
+    AppendJsonNumber(&json, provenance.delta_score);
+    json += '}';
+  } else {
+    json += "null";
+  }
+  json += ",\"timings\":{\"correlation_seconds\":";
+  AppendJsonNumber(&json, provenance.record.correlation_seconds);
+  json += ",\"knn_seconds\":";
+  AppendJsonNumber(&json, provenance.record.knn_seconds);
+  json += ",\"louvain_seconds\":";
+  AppendJsonNumber(&json, provenance.record.louvain_seconds);
+  json += ",\"coappearance_seconds\":";
+  AppendJsonNumber(&json, provenance.record.coappearance_seconds);
+  json += ",\"round_seconds\":";
+  AppendJsonNumber(&json, provenance.record.round_seconds);
+  json += ",\"unix_us\":" + std::to_string(provenance.record.unix_us);
+  json += "}}";
+  return json;
+}
+
+FlightRecorder::FlightRecorder(int capacity, int n_sensors)
+    : capacity_(capacity > 0 ? capacity : 0) {
+  CAD_CHECK(capacity >= 0, "flight recorder capacity must be >= 0");
+  if (capacity_ == 0) return;
+  ring_.resize(static_cast<size_t>(capacity_));
+  steady_us_.assign(static_cast<size_t>(capacity_), 0);
+  const size_t reserve = n_sensors > 0 ? static_cast<size_t>(n_sensors) : 0;
+  for (DecisionRecord& record : ring_) {
+    record.entered.reserve(reserve);
+    record.exited.reserve(reserve);
+    record.movers.reserve(reserve);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (crash_hook_registered_) {
+    check::RemoveFailureDumpHook(&FlightRecorder::CrashDumpTrampoline, this);
+  }
+}
+
+int FlightRecorder::size() const {
+  return static_cast<int>(
+      total_ < static_cast<int64_t>(capacity_) ? total_ : capacity_);
+}
+
+int64_t FlightRecorder::total_records() const { return total_; }
+
+DecisionRecord& FlightRecorder::BeginRecord() {
+  CAD_CHECK(enabled(), "BeginRecord on a disabled flight recorder");
+  DecisionRecord& record = ring_[static_cast<size_t>(slot(total_))];
+  record.Clear();
+  return record;
+}
+
+void FlightRecorder::Commit() {
+  CAD_CHECK(enabled(), "Commit on a disabled flight recorder");
+  const size_t index = static_cast<size_t>(slot(total_));
+  ring_[index].unix_us = WallNowUs();
+  steady_us_[index] = SteadyNowUs();
+  ++total_;
+}
+
+const DecisionRecord* FlightRecorder::latest() const {
+  if (total_ == 0) return nullptr;
+  return &ring_[static_cast<size_t>(slot(total_ - 1))];
+}
+
+const DecisionRecord* FlightRecorder::Find(int round) const {
+  if (!enabled() || round < 0) return nullptr;
+  const DecisionRecord& candidate = ring_[static_cast<size_t>(slot(round))];
+  return candidate.round == round ? &candidate : nullptr;
+}
+
+std::optional<DecisionProvenance> FlightRecorder::Explain(int round) const {
+  const DecisionRecord* record = Find(round);
+  if (record == nullptr) return std::nullopt;
+  return MakeProvenance(*record, Find(round - 1));
+}
+
+double FlightRecorder::seconds_since_last_record() const {
+  if (total_ == 0) return std::numeric_limits<double>::infinity();
+  const int64_t last = steady_us_[static_cast<size_t>(slot(total_ - 1))];
+  return static_cast<double>(SteadyNowUs() - last) * 1e-6;
+}
+
+double FlightRecorder::recent_rounds_per_second() const {
+  const int held = size();
+  if (held < 2) return 0.0;
+  const int64_t newest = steady_us_[static_cast<size_t>(slot(total_ - 1))];
+  const int64_t oldest = steady_us_[static_cast<size_t>(slot(total_ - held))];
+  if (newest <= oldest) return 0.0;
+  return static_cast<double>(held - 1) /
+         (static_cast<double>(newest - oldest) * 1e-6);
+}
+
+void FlightRecorder::DumpJsonl(std::string* out) const {
+  const int held = size();
+  for (int i = 0; i < held; ++i) {
+    const DecisionRecord& record =
+        ring_[static_cast<size_t>(slot(total_ - held + i))];
+    *out += DecisionRecordToJson(record);
+    *out += '\n';
+  }
+}
+
+void FlightRecorder::AppendRangeJsonl(int first_round, int last_round,
+                                      std::string* out) const {
+  for (int round = first_round; round <= last_round; ++round) {
+    const DecisionRecord* record = Find(round);
+    if (record == nullptr) continue;  // evicted or never recorded
+    *out += DecisionRecordToJson(*record);
+    *out += '\n';
+  }
+}
+
+std::vector<DecisionRecord> FlightRecorder::Records() const {
+  std::vector<DecisionRecord> records;
+  const int held = size();
+  records.reserve(static_cast<size_t>(held));
+  for (int i = 0; i < held; ++i) {
+    records.push_back(ring_[static_cast<size_t>(slot(total_ - held + i))]);
+  }
+  return records;
+}
+
+void FlightRecorder::EnableCrashDump(std::string path) {
+  crash_dump_path_ = std::move(path);
+  const bool want = enabled() && !crash_dump_path_.empty();
+  if (want && !crash_hook_registered_) {
+    check::AddFailureDumpHook(&FlightRecorder::CrashDumpTrampoline, this);
+    crash_hook_registered_ = true;
+  } else if (!want && crash_hook_registered_) {
+    check::RemoveFailureDumpHook(&FlightRecorder::CrashDumpTrampoline, this);
+    crash_hook_registered_ = false;
+  }
+}
+
+void FlightRecorder::CrashDumpTrampoline(void* self) {
+  static_cast<const FlightRecorder*>(self)->WriteCrashDump();
+}
+
+void FlightRecorder::WriteCrashDump() const {
+  std::string jsonl;
+  DumpJsonl(&jsonl);
+  std::FILE* file = std::fopen(crash_dump_path_.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr,
+                 "cad::obs: flight-recorder crash dump failed to open %s\n",
+                 crash_dump_path_.c_str());
+    return;
+  }
+  std::fwrite(jsonl.data(), 1, jsonl.size(), file);
+  std::fclose(file);
+  std::fprintf(stderr,
+               "cad::obs: flight recorder dumped %d round(s) to %s\n",
+               size(), crash_dump_path_.c_str());
+}
+
+}  // namespace cad::obs

@@ -1,0 +1,73 @@
+// Internal JSON/Prometheus text-building helpers shared by the cad::obs
+// exporters (export.cc, flight_recorder.cc) and the drivers' health
+// endpoints. Append-style into a caller-owned string so exporters can build
+// large documents without intermediate temporaries.
+//
+// Number policy: JSON has no representation for NaN or the infinities, so
+// AppendJsonNumber emits `null` for non-finite values; Prometheus text
+// exposition does ("NaN", "+Inf", "-Inf"), so AppendPromNumber emits those.
+#ifndef CAD_OBS_JSON_UTIL_H_
+#define CAD_OBS_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cad::obs {
+
+// Shortest-ish round-trippable rendering used by every exporter; callers
+// relying on byte-determinism (the serialization contract) get the same
+// bytes for the same double on every platform with IEEE doubles.
+inline void AppendRawDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+// JSON number; non-finite values become `null` (JSON has no NaN/Inf).
+inline void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  AppendRawDouble(out, v);
+}
+
+// Prometheus sample value; non-finite values use the exposition-format
+// spellings ("NaN", "+Inf", "-Inf") scrapers understand.
+inline void AppendPromNumber(std::string* out, double v) {
+  if (std::isnan(v)) {
+    *out += "NaN";
+  } else if (std::isinf(v)) {
+    *out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    AppendRawDouble(out, v);
+  }
+}
+
+inline void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace cad::obs
+
+#endif  // CAD_OBS_JSON_UTIL_H_

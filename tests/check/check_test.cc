@@ -117,5 +117,53 @@ TEST(CheckTest, HandlerInstallIsScopedAndRestored) {
   EXPECT_EQ(check::SetFailureHandler(nullptr), nullptr);
 }
 
+#if CAD_CHECK_LEVEL >= 1
+// Counts hook invocations through the ctx pointer (hooks are plain function
+// pointers, so state travels in ctx like in the failure handler).
+void CountingDumpHook(void* ctx) { ++*static_cast<int*>(ctx); }
+
+// A hook that itself fails a check — the flight recorder's crash dump runs
+// validated code paths, so hook execution must not recurse.
+void ReentrantDumpHook(void* ctx) {
+  ++*static_cast<int*>(ctx);
+  try {
+    CAD_CHECK(false, "failure inside a dump hook");
+  } catch (const CheckFailure&) {
+    // The inner failure still reaches the handler; only hooks are suppressed.
+  }
+}
+
+TEST(CheckTest, DumpHooksRunOnFailureAndDeduplicate) {
+  check::ScopedFailureHandler guard(&ThrowingHandler);
+  int calls = 0;
+  check::AddFailureDumpHook(&CountingDumpHook, &calls);
+  check::AddFailureDumpHook(&CountingDumpHook, &calls);  // dedup: same pair
+  try {
+    CAD_CHECK(false, "trigger the dump");
+  } catch (const CheckFailure&) {
+  }
+  EXPECT_EQ(calls, 1) << "duplicate registration must not double-dump";
+
+  check::RemoveFailureDumpHook(&CountingDumpHook, &calls);
+  try {
+    CAD_CHECK(false, "no dump this time");
+  } catch (const CheckFailure&) {
+  }
+  EXPECT_EQ(calls, 1) << "removed hook must not run";
+}
+
+TEST(CheckTest, DumpHooksDoNotRecurseWhenTheHookItselfFails) {
+  check::ScopedFailureHandler guard(&ThrowingHandler);
+  int calls = 0;
+  check::AddFailureDumpHook(&ReentrantDumpHook, &calls);
+  try {
+    CAD_CHECK(false, "outer failure");
+  } catch (const CheckFailure&) {
+  }
+  check::RemoveFailureDumpHook(&ReentrantDumpHook, &calls);
+  EXPECT_EQ(calls, 1) << "the inner failure re-entered the dump hooks";
+}
+#endif  // CAD_CHECK_LEVEL >= 1
+
 }  // namespace
 }  // namespace cad

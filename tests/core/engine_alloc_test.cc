@@ -90,6 +90,48 @@ TEST(EngineAllocTest, StreamingSteadyStateRoundsAreAllocationFree) {
   EXPECT_GT(steady_rounds, 50) << "scenario too short to exercise steady state";
 }
 
+TEST(EngineAllocTest, FlightRecorderWraparoundStaysAllocationFree) {
+  // A deliberately tiny ring: the run wraps it many times over, so steady
+  // state covers slot reuse (Clear + refill) rather than first-fill growth.
+  // The flight recorder must not cost the hot path a single allocation.
+  common::LinkAllocHook();
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  obs::Registry registry;
+  CadOptions options = MakeOptions(&registry);
+  options.flight_recorder_capacity = 16;
+  StreamingCad streaming(scenario.test.n_sensors(), options);
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+
+  constexpr int kWarmupRounds = 8;
+  int steady_rounds = 0;
+  bool prev_abnormal = false;
+  std::vector<double> sample(scenario.test.n_sensors());
+  for (int t = 0; t < scenario.test.length(); ++t) {
+    for (int i = 0; i < scenario.test.n_sensors(); ++i) {
+      sample[i] = scenario.test.value(i, t);
+    }
+    auto event = streaming.Push(sample).ValueOrDie();
+    if (!event.has_value()) continue;
+    const bool transition = event->abnormal || prev_abnormal;
+    prev_abnormal = event->abnormal;
+    if (event->round < kWarmupRounds || transition) continue;
+    const double allocs = RoundAllocsGauge(registry.TakeSnapshot());
+#if CAD_VALIDATE_ENABLED
+    EXPECT_GE(allocs, 0.0);
+#else
+    EXPECT_EQ(allocs, 0.0) << "round " << event->round
+                           << " allocated while flight recording";
+#endif
+    ++steady_rounds;
+  }
+  // The ring wrapped (rounds >> capacity) and the recorder was live.
+  EXPECT_GT(streaming.rounds_completed(), 10 * options.flight_recorder_capacity);
+  const StreamHealth health = streaming.Health();
+  EXPECT_EQ(health.flight_ring_capacity, 16);
+  EXPECT_EQ(health.flight_ring_size, 16);
+  EXPECT_GT(steady_rounds, 50) << "scenario too short to exercise steady state";
+}
+
 TEST(EngineAllocTest, BatchFinalRoundIsAllocationFree) {
   common::LinkAllocHook();
   const testing::SmallScenario scenario = testing::MakeSmallScenario();

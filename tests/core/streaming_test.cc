@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/cad_detector.h"
@@ -132,6 +133,55 @@ TEST(StreamingCadTest, MuSigmaSharpenOverStream) {
   EXPECT_GE(streaming.mu(), 0.0);
   EXPECT_GE(streaming.sigma(), 0.0);
   (void)mu_initial;
+}
+
+TEST(StreamingCadTest, ExplainAnswersForLiveRounds) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  StreamingCad streaming(scenario.test.n_sensors(), ScenarioOptions());
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+  int last_round = -1;
+  int last_n_variations = -1;
+  for (int t = 0; t < scenario.test.length(); ++t) {
+    auto event = streaming.Push(SampleAt(scenario.test, t)).ValueOrDie();
+    if (!event.has_value()) continue;
+    last_round = event->round;
+    last_n_variations = event->n_variations;
+  }
+  ASSERT_GE(last_round, 1);
+
+  const auto provenance = streaming.Explain(last_round);
+  ASSERT_TRUE(provenance.has_value());
+  EXPECT_EQ(provenance->record.round, last_round);
+  EXPECT_EQ(provenance->record.n_variations, last_n_variations);
+  EXPECT_TRUE(provenance->has_prev);
+  EXPECT_EQ(provenance->prev_round, last_round - 1);
+
+  EXPECT_FALSE(streaming.Explain(last_round + 1).has_value());
+
+  // The JSONL dump holds the ring's rounds, one object per line.
+  const std::string jsonl = streaming.DumpFlightLogJsonl();
+  int lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, streaming.Health().flight_ring_size);
+  EXPECT_NE(jsonl.find("\"round\":" + std::to_string(last_round)),
+            std::string::npos);
+}
+
+TEST(StreamingCadTest, ExplainIsEmptyWhenRecordingIsDisabled) {
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  CadOptions options = ScenarioOptions();
+  options.flight_recorder_capacity = 0;
+  StreamingCad streaming(scenario.test.n_sensors(), options);
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+  for (int t = 0; t < 200; ++t) {
+    streaming.Push(SampleAt(scenario.test, t)).ValueOrDie();
+  }
+  EXPECT_GT(streaming.rounds_completed(), 0);
+  EXPECT_FALSE(streaming.Explain(0).has_value());
+  EXPECT_TRUE(streaming.DumpFlightLogJsonl().empty());
+  const StreamHealth health = streaming.Health();
+  EXPECT_EQ(health.flight_ring_capacity, 0);
+  EXPECT_EQ(health.flight_ring_size, 0);
 }
 
 }  // namespace

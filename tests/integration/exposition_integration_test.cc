@@ -1,0 +1,140 @@
+// Acceptance gate for the observability surface: a live StreamingCad is
+// scraped over HTTP (/metrics, /healthz, /explain?round=r) and the explain
+// record must be byte-identical — in its deterministic prefix — to the
+// decision provenance the batch driver reports for the same input. One
+// detection engine, two drivers, one flight-recorder story.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cad_detector.h"
+#include "core/streaming.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "testing/http_client.h"
+#include "testing/synthetic.h"
+
+namespace cad::core {
+namespace {
+
+using cad::testing::HttpGet;
+using cad::testing::HttpResponse;
+
+CadOptions MakeOptions(obs::Registry* registry) {
+  CadOptions options;
+  options.window = 40;
+  options.step = 4;
+  options.k = 3;
+  options.tau = 0.55;
+  options.theta = 0.9;
+  options.metrics_registry = registry;
+  return options;
+}
+
+// Pushes the whole test split through a stream, sample by sample.
+void PushAll(StreamingCad* streaming, const ts::MultivariateSeries& series) {
+  std::vector<double> sample(series.n_sensors());
+  for (int t = 0; t < series.length(); ++t) {
+    for (int i = 0; i < series.n_sensors(); ++i) {
+      sample[i] = series.value(i, t);
+    }
+    ASSERT_TRUE(streaming->Push(sample).ok());
+  }
+}
+
+TEST(ExpositionIntegrationTest, LiveScrapeMatchesBatchProvenance) {
+  const cad::testing::SmallScenario scenario = cad::testing::MakeSmallScenario();
+
+  // Batch run: the reference provenance.
+  obs::Registry batch_registry;
+  CadDetector detector(MakeOptions(&batch_registry));
+  const DetectionReport report =
+      detector.Detect(scenario.test, &scenario.train).ValueOrDie();
+  ASSERT_FALSE(report.flight_log.empty());
+
+  // Streaming run with the exposition server on an ephemeral port.
+  obs::Registry stream_registry;
+  CadOptions stream_options = MakeOptions(&stream_registry);
+  stream_options.exposition_port = 0;
+  StreamingCad streaming(scenario.test.n_sensors(), stream_options);
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+  PushAll(&streaming, scenario.test);
+  const int port = streaming.exposition_port();
+  ASSERT_GT(port, 0) << "exposition server did not come up";
+
+  // /metrics reflects the stream's registry.
+  const HttpResponse metrics =
+      HttpGet(static_cast<uint16_t>(port), "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status_code, 200);
+  // cad_rounds_total also counts the warm-up rounds over the train split, so
+  // the exact-value anchor is the sample counter.
+  const std::string expected_samples =
+      "cad_stream_samples_total " + std::to_string(scenario.test.length()) +
+      "\n";
+  EXPECT_NE(metrics.body.find(expected_samples), std::string::npos)
+      << "metrics scrape disagrees with the pushed sample count";
+  EXPECT_NE(metrics.body.find("# TYPE cad_rounds_total counter"),
+            std::string::npos);
+
+  // /healthz reports the stream's liveness.
+  const HttpResponse healthz =
+      HttpGet(static_cast<uint16_t>(port), "/healthz");
+  ASSERT_TRUE(healthz.ok);
+  EXPECT_EQ(healthz.status_code, 200);
+  EXPECT_NE(healthz.body.find(
+                "\"samples_seen\":" + std::to_string(scenario.test.length())),
+            std::string::npos);
+  EXPECT_NE(healthz.body.find("\"flight_ring_size\":"), std::string::npos);
+
+  // Every round still held by both recorders has a byte-identical
+  // deterministic record across the drivers.
+  int compared = 0;
+  for (const obs::DecisionRecord& batch_record : report.flight_log) {
+    const std::optional<obs::DecisionProvenance> stream_provenance =
+        streaming.Explain(batch_record.round);
+    ASSERT_TRUE(stream_provenance.has_value())
+        << "round " << batch_record.round << " missing from the stream ring";
+    EXPECT_EQ(
+        obs::DecisionRecordToJson(stream_provenance->record, false),
+        obs::DecisionRecordToJson(batch_record, false))
+        << "drivers disagree on round " << batch_record.round;
+    ++compared;
+  }
+  EXPECT_GT(compared, 50) << "scenario too short for a meaningful comparison";
+
+  // The HTTP explain body embeds exactly that deterministic record.
+  const obs::DecisionRecord& last = report.flight_log.back();
+  const std::optional<obs::DecisionProvenance> batch_provenance =
+      ExplainRound(report, last.round);
+  ASSERT_TRUE(batch_provenance.has_value());
+  const HttpResponse explain = HttpGet(
+      static_cast<uint16_t>(port),
+      "/explain?round=" + std::to_string(last.round));
+  ASSERT_TRUE(explain.ok);
+  EXPECT_EQ(explain.status_code, 200);
+  const std::string expected_record =
+      "{\"record\":" + obs::DecisionRecordToJson(last, false);
+  ASSERT_EQ(explain.body.compare(0, expected_record.size(), expected_record),
+            0)
+      << "explain body prefix:\n"
+      << explain.body.substr(0, expected_record.size()) << "\nexpected:\n"
+      << expected_record;
+
+  // A round the ring never saw 404s.
+  const HttpResponse missing = HttpGet(static_cast<uint16_t>(port),
+                                       "/explain?round=999999");
+  ASSERT_TRUE(missing.ok);
+  EXPECT_EQ(missing.status_code, 404);
+}
+
+TEST(ExpositionIntegrationTest, ServerIsOffByDefault) {
+  obs::Registry registry;
+  StreamingCad streaming(4, MakeOptions(&registry));
+  EXPECT_EQ(streaming.exposition_port(), -1);
+}
+
+}  // namespace
+}  // namespace cad::core

@@ -1,0 +1,85 @@
+// Exposition edge cases: metrics that carry no observations yet, the +Inf
+// bucket's cumulativity, and non-finite gauge values — the states a scraper
+// sees right after startup or when a component publishes NaN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace cad::obs {
+namespace {
+
+TEST(ExportEdgeTest, ZeroObservationHistogramExposesEmptyCumulativeBuckets) {
+  Registry registry;
+  registry.histogram("cad_empty_seconds", {0.001, 0.01, 0.1});
+  const Snapshot snapshot = registry.TakeSnapshot();
+
+  const std::string prom = ToPrometheusText(snapshot);
+  // Every bucket (finite bounds plus +Inf) exists and reads zero.
+  EXPECT_NE(prom.find("cad_empty_seconds_bucket{le=\"0.001\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cad_empty_seconds_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cad_empty_seconds_sum 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("cad_empty_seconds_count 0\n"), std::string::npos);
+
+  // The JSON view agrees and its mean/quantiles stay finite JSON (no NaN
+  // literal leaks from 0/0).
+  const std::string json = SnapshotToJson(snapshot);
+  EXPECT_NE(json.find("\"cad_empty_seconds\":{\"sum\":0,\"count\":0"),
+            std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, InfBucketIsCumulativeOverAllObservations) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("cad_latency_seconds", {0.1, 1.0});
+  histogram.Observe(0.05);   // bucket 0
+  histogram.Observe(0.5);    // bucket 1
+  histogram.Observe(100.0);  // overflow
+  histogram.Observe(200.0);  // overflow
+  const std::string prom = ToPrometheusText(registry.TakeSnapshot());
+
+  EXPECT_NE(prom.find("cad_latency_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cad_latency_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  // The +Inf bucket equals _count: cumulative over every observation.
+  EXPECT_NE(prom.find("cad_latency_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cad_latency_seconds_count 4\n"), std::string::npos);
+}
+
+TEST(ExportEdgeTest, NonFiniteGaugesSpellPrometheusAndNullJson) {
+  Registry registry;
+  registry.gauge("cad_nan_gauge").Set(std::nan(""));
+  registry.gauge("cad_posinf_gauge").Set(
+      std::numeric_limits<double>::infinity());
+  registry.gauge("cad_neginf_gauge").Set(
+      -std::numeric_limits<double>::infinity());
+  const Snapshot snapshot = registry.TakeSnapshot();
+
+  // Prometheus text has spellings for non-finite values.
+  const std::string prom = ToPrometheusText(snapshot);
+  EXPECT_NE(prom.find("cad_nan_gauge NaN\n"), std::string::npos);
+  EXPECT_NE(prom.find("cad_posinf_gauge +Inf\n"), std::string::npos);
+  EXPECT_NE(prom.find("cad_neginf_gauge -Inf\n"), std::string::npos);
+
+  // JSON has none; non-finite serializes as null so the document stays
+  // parseable by any strict JSON reader.
+  const std::string json = SnapshotToJson(snapshot);
+  EXPECT_NE(json.find("\"cad_nan_gauge\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"cad_posinf_gauge\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"cad_neginf_gauge\":null"), std::string::npos);
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+  EXPECT_EQ(json.find("Inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cad::obs

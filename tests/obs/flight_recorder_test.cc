@@ -1,0 +1,260 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+
+namespace cad::obs {
+namespace {
+
+// Fills the next slot with a synthetic round whose fields are derived from
+// the round index, so eviction / lookup results are checkable by value.
+void RecordRound(FlightRecorder* recorder, int round) {
+  DecisionRecord& record = recorder->BeginRecord();
+  record.round = round;
+  record.window_start = round * 4;
+  record.window_end = round * 4 + 40;
+  record.n_variations = round % 5;
+  record.mu = 0.5 * round;
+  record.sigma = 0.25;
+  record.threshold = 0.75;
+  record.score = 0.1;
+  record.abnormal = (round % 3 == 0);
+  record.entered.push_back(round);
+  record.movers.push_back(round);
+  recorder->Commit();
+}
+
+TEST(FlightRecorderTest, DisabledRecorderAnswersEverythingEmpty) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.capacity(), 0);
+  EXPECT_EQ(recorder.size(), 0);
+  EXPECT_EQ(recorder.latest(), nullptr);
+  EXPECT_EQ(recorder.Find(0), nullptr);
+  EXPECT_FALSE(recorder.Explain(0).has_value());
+  EXPECT_TRUE(recorder.Records().empty());
+  std::string jsonl;
+  recorder.DumpJsonl(&jsonl);
+  EXPECT_TRUE(jsonl.empty());
+}
+
+TEST(FlightRecorderTest, RingWrapsAndEvictsOldestRounds) {
+  FlightRecorder recorder(4, 8);
+  for (int round = 0; round < 10; ++round) RecordRound(&recorder, round);
+
+  EXPECT_EQ(recorder.size(), 4);
+  EXPECT_EQ(recorder.total_records(), 10);
+  ASSERT_NE(recorder.latest(), nullptr);
+  EXPECT_EQ(recorder.latest()->round, 9);
+
+  // Rounds 0..5 were evicted, 6..9 are held.
+  for (int round = 0; round < 6; ++round) {
+    EXPECT_EQ(recorder.Find(round), nullptr) << "round " << round;
+  }
+  for (int round = 6; round < 10; ++round) {
+    const DecisionRecord* record = recorder.Find(round);
+    ASSERT_NE(record, nullptr) << "round " << round;
+    EXPECT_EQ(record->round, round);
+    EXPECT_EQ(record->window_start, round * 4);
+    ASSERT_EQ(record->entered.size(), 1u);
+    EXPECT_EQ(record->entered[0], round);
+  }
+
+  const std::vector<DecisionRecord> records = recorder.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().round, 6);  // oldest first
+  EXPECT_EQ(records.back().round, 9);
+}
+
+TEST(FlightRecorderTest, ExplainComputesDeltasAgainstPreviousRound) {
+  FlightRecorder recorder(8, 4);
+  RecordRound(&recorder, 0);  // abnormal (0 % 3 == 0)
+  RecordRound(&recorder, 1);  // normal
+
+  const std::optional<DecisionProvenance> provenance = recorder.Explain(1);
+  ASSERT_TRUE(provenance.has_value());
+  EXPECT_EQ(provenance->record.round, 1);
+  EXPECT_TRUE(provenance->has_prev);
+  EXPECT_EQ(provenance->prev_round, 0);
+  EXPECT_TRUE(provenance->verdict_flipped);
+  EXPECT_EQ(provenance->delta_n_variations, 1);
+  EXPECT_DOUBLE_EQ(provenance->delta_mu, 0.5);
+  EXPECT_DOUBLE_EQ(provenance->delta_sigma, 0.0);
+
+  // Round 0 has no predecessor.
+  const std::optional<DecisionProvenance> first = recorder.Explain(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->has_prev);
+
+  EXPECT_FALSE(recorder.Explain(7).has_value());  // never recorded
+}
+
+TEST(FlightRecorderTest, ExplainSurvivesEvictionOfThePreviousRound) {
+  FlightRecorder recorder(2, 4);
+  for (int round = 0; round < 3; ++round) RecordRound(&recorder, round);
+  // Ring holds rounds 1 and 2; round 1's predecessor is gone.
+  const std::optional<DecisionProvenance> provenance = recorder.Explain(1);
+  ASSERT_TRUE(provenance.has_value());
+  EXPECT_FALSE(provenance->has_prev);
+  const std::optional<DecisionProvenance> newest = recorder.Explain(2);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_TRUE(newest->has_prev);
+}
+
+TEST(FlightRecorderTest, ClearKeepsVectorCapacity) {
+  DecisionRecord record;
+  record.entered.reserve(16);
+  record.entered = {1, 2, 3};
+  record.exited = {4};
+  record.movers = {1};
+  record.round = 7;
+  record.mu = 3.5;
+  const size_t capacity = record.entered.capacity();
+  record.Clear();
+  EXPECT_EQ(record.round, -1);
+  EXPECT_EQ(record.mu, 0.0);
+  EXPECT_TRUE(record.entered.empty());
+  EXPECT_TRUE(record.exited.empty());
+  EXPECT_TRUE(record.movers.empty());
+  EXPECT_GE(record.entered.capacity(), capacity);
+}
+
+TEST(FlightRecorderTest, JsonKeepsTimingsLastAndOmitsThemOnRequest) {
+  DecisionRecord record;
+  record.round = 3;
+  record.n_variations = 2;
+  record.mu = 1.5;
+  record.abnormal = true;
+  record.entered = {4, 7};
+  record.round_seconds = 0.25;
+
+  const std::string with_timings = DecisionRecordToJson(record);
+  const std::string without = DecisionRecordToJson(record, false);
+
+  // The deterministic prefix is everything before ,"timings"; dropping the
+  // timings must reproduce it exactly (plus the closing brace).
+  const size_t cut = with_timings.find(",\"timings\"");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_EQ(without, with_timings.substr(0, cut) + "}");
+
+  EXPECT_NE(with_timings.find("\"round\":3"), std::string::npos);
+  EXPECT_NE(with_timings.find("\"abnormal\":true"), std::string::npos);
+  EXPECT_NE(with_timings.find("\"entered\":[4,7]"), std::string::npos);
+  EXPECT_NE(with_timings.find("\"round_seconds\":0.25"), std::string::npos);
+  EXPECT_EQ(without.find("timings"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpJsonlEmitsOneObjectPerHeldRound) {
+  FlightRecorder recorder(3, 4);
+  for (int round = 0; round < 5; ++round) RecordRound(&recorder, round);
+  std::string jsonl;
+  recorder.DumpJsonl(&jsonl);
+  // Held rounds are 2, 3, 4 — three lines, oldest first.
+  int lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(jsonl.find("\"round\":2"), jsonl.find("\"round\""));
+  EXPECT_NE(jsonl.find("\"round\":4"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"round\":1"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, AppendRangeJsonlSkipsEvictedRounds) {
+  FlightRecorder recorder(3, 4);
+  for (int round = 0; round < 5; ++round) RecordRound(&recorder, round);
+  std::string jsonl;
+  recorder.AppendRangeJsonl(0, 3, &jsonl);  // 0 and 1 are gone
+  int lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 2);
+  EXPECT_NE(jsonl.find("\"round\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"round\":3"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"round\":4"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ProvenanceJsonShapesPrevAndNull) {
+  FlightRecorder recorder(4, 4);
+  RecordRound(&recorder, 0);
+  RecordRound(&recorder, 1);
+
+  const std::string first = ProvenanceToJson(*recorder.Explain(0));
+  EXPECT_NE(first.find("\"prev\":null"), std::string::npos);
+  EXPECT_NE(first.find("\"record\":{"), std::string::npos);
+  EXPECT_NE(first.find("\"timings\":{"), std::string::npos);
+
+  const std::string second = ProvenanceToJson(*recorder.Explain(1));
+  EXPECT_NE(second.find("\"prev\":{\"round\":0"), std::string::npos);
+  EXPECT_NE(second.find("\"verdict_flipped\":true"), std::string::npos);
+  EXPECT_NE(second.find("\"delta_n_variations\":1"), std::string::npos);
+}
+
+#if CAD_CHECK_LEVEL >= 1
+struct CheckFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void ThrowingHandler(const check::CheckContext& ctx,
+                                  const std::string& message) {
+  throw CheckFailure(check::FormatFailure(ctx, message));
+}
+
+TEST(FlightRecorderTest, CrashDumpWritesTheRingWhenACheckFails) {
+  const std::string path = ::testing::TempDir() + "/cad_crash_dump.jsonl";
+  std::remove(path.c_str());
+  {
+    FlightRecorder recorder(4, 4);
+    recorder.EnableCrashDump(path);
+    for (int round = 0; round < 3; ++round) RecordRound(&recorder, round);
+
+    check::ScopedFailureHandler guard(&ThrowingHandler);
+    try {
+      CAD_CHECK(false, "simulated invariant violation");
+    } catch (const CheckFailure&) {
+    }
+  }  // destruction unregisters the hook
+
+  std::ifstream dump(path);
+  ASSERT_TRUE(dump.is_open()) << "crash dump was not written to " << path;
+  std::ostringstream content;
+  content << dump.rdbuf();
+  const std::string jsonl = content.str();
+  int lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 3) << jsonl;
+  EXPECT_NE(jsonl.find("\"round\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"round\":2"), std::string::npos);
+
+  // With the recorder destroyed, another failure must not rewrite the file.
+  std::remove(path.c_str());
+  check::ScopedFailureHandler guard(&ThrowingHandler);
+  try {
+    CAD_CHECK(false, "after unregistration");
+  } catch (const CheckFailure&) {
+  }
+  std::ifstream gone(path);
+  EXPECT_FALSE(gone.is_open()) << "destroyed recorder still dumped";
+}
+#endif  // CAD_CHECK_LEVEL >= 1
+
+TEST(FlightRecorderTest, HealthQueriesReportAgeAndRate) {
+  FlightRecorder recorder(4, 4);
+  EXPECT_TRUE(std::isinf(recorder.seconds_since_last_record()));
+  EXPECT_EQ(recorder.recent_rounds_per_second(), 0.0);
+  RecordRound(&recorder, 0);
+  EXPECT_GE(recorder.seconds_since_last_record(), 0.0);
+  EXPECT_FALSE(std::isinf(recorder.seconds_since_last_record()));
+  EXPECT_EQ(recorder.recent_rounds_per_second(), 0.0);  // < 2 records
+  RecordRound(&recorder, 1);
+  EXPECT_GE(recorder.recent_rounds_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace cad::obs

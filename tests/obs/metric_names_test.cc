@@ -1,0 +1,167 @@
+// Metric-name hygiene gate: every instrument the pipeline registers must
+// match ^cad_[a-z0-9_]+$ and be documented in DESIGN.md's metric glossary
+// (the contract DESIGN.md §Observability states). The test registers the
+// full production instrument set into a private registry — PipelineMetrics,
+// the validator violation counters, the detector aggregates — and then
+// audits the snapshot against the glossary text (CAD_DESIGN_MD points at
+// the source-tree DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/validators.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+
+namespace cad::obs {
+namespace {
+
+bool MatchesNamePolicy(const std::string& name) {
+  if (name.rfind("cad_", 0) != 0) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return name.size() > 4;  // more than just the prefix
+}
+
+std::string ReadDesignMd() {
+#ifndef CAD_DESIGN_MD
+#error "CAD_DESIGN_MD must point at the source-tree DESIGN.md"
+#endif
+  std::ifstream file(CAD_DESIGN_MD);
+  EXPECT_TRUE(file.is_open()) << "cannot open " << CAD_DESIGN_MD;
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+// Backticked `cad_*` tokens from the glossary, with one {a,b} alternation
+// expanded (the glossary writes cad_detector_{fit,score}_total as one row)
+// and <placeholder> segments turned into the marker '*' (template rows like
+// cad_check_<artifact>_violations).
+std::vector<std::string> GlossaryNames(const std::string& design) {
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while ((pos = design.find("`cad_", pos)) != std::string::npos) {
+    const size_t end = design.find('`', pos + 1);
+    if (end == std::string::npos) break;
+    std::string token = design.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+
+    const size_t open = token.find('{');
+    const size_t close = token.find('}');
+    std::vector<std::string> expanded;
+    if (open != std::string::npos && close != std::string::npos &&
+        close > open) {
+      const std::string head = token.substr(0, open);
+      const std::string tail = token.substr(close + 1);
+      std::string alternatives = token.substr(open + 1, close - open - 1);
+      size_t start = 0;
+      while (start <= alternatives.size()) {
+        size_t comma = alternatives.find(',', start);
+        if (comma == std::string::npos) comma = alternatives.size();
+        expanded.push_back(head + alternatives.substr(start, comma - start) +
+                           tail);
+        start = comma + 1;
+      }
+    } else {
+      expanded.push_back(token);
+    }
+    for (std::string& name : expanded) {
+      // Collapse <placeholder> template segments to a wildcard marker.
+      const size_t lt = name.find('<');
+      const size_t gt = name.find('>');
+      if (lt != std::string::npos && gt != std::string::npos && gt > lt) {
+        name = name.substr(0, lt) + "*" + name.substr(gt + 1);
+      }
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+bool GlossaryCovers(const std::vector<std::string>& glossary,
+                    const std::string& name) {
+  for (const std::string& entry : glossary) {
+    const size_t star = entry.find('*');
+    if (star == std::string::npos) {
+      if (entry == name) return true;
+      continue;
+    }
+    const std::string prefix = entry.substr(0, star);
+    const std::string suffix = entry.substr(star + 1);
+    if (name.size() >= prefix.size() + suffix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Every production instrument, registered into `registry`.
+void RegisterProductionInstruments(Registry* registry) {
+  PipelineMetrics::For(*registry);
+  // Forcing a violation registers cad_check_violations_total and the
+  // per-artifact counter (cad_check_running_stats_violations here).
+  const Status violation =
+      check::ValidateRunningStatsValues(-1, 0.0, 0.0, 0.0, 0.0, registry);
+  EXPECT_FALSE(violation.ok()) << "count=-1 must violate";
+  // The baseline Detector aggregates live in Registry::Global() behind a
+  // function-local static, so they cannot be re-registered here; their names
+  // are pinned by this list (keep in sync with baselines/detector.cc).
+  registry->counter("cad_detector_fit_total");
+  registry->counter("cad_detector_score_total");
+  registry->histogram("cad_detector_fit_seconds");
+  registry->histogram("cad_detector_score_seconds");
+}
+
+std::vector<std::string> SnapshotNames(const Snapshot& snapshot) {
+  std::vector<std::string> names;
+  for (const CounterSample& c : snapshot.counters) names.push_back(c.name);
+  for (const GaugeSample& g : snapshot.gauges) names.push_back(g.name);
+  for (const HistogramSample& h : snapshot.histograms) names.push_back(h.name);
+  return names;
+}
+
+TEST(MetricNamesTest, EveryInstrumentMatchesTheNamePolicy) {
+  Registry registry;
+  RegisterProductionInstruments(&registry);
+  const std::vector<std::string> names =
+      SnapshotNames(registry.TakeSnapshot());
+  ASSERT_GE(names.size(), 19u);  // 7+1+2 counters, 3 gauges, 5+2 histograms
+  for (const std::string& name : names) {
+    EXPECT_TRUE(MatchesNamePolicy(name))
+        << "instrument '" << name << "' violates ^cad_[a-z0-9_]+$";
+  }
+}
+
+TEST(MetricNamesTest, EveryInstrumentAppearsInTheDesignGlossary) {
+  const std::vector<std::string> glossary = GlossaryNames(ReadDesignMd());
+  ASSERT_GE(glossary.size(), 15u) << "glossary extraction found too little";
+
+  Registry registry;
+  RegisterProductionInstruments(&registry);
+  for (const std::string& name : SnapshotNames(registry.TakeSnapshot())) {
+    EXPECT_TRUE(GlossaryCovers(glossary, name))
+        << "instrument '" << name
+        << "' is not documented in DESIGN.md's metric glossary";
+  }
+}
+
+TEST(MetricNamesTest, NamePolicyRejectsOffenders) {
+  EXPECT_FALSE(MatchesNamePolicy("rounds_total"));       // missing prefix
+  EXPECT_FALSE(MatchesNamePolicy("cad_Rounds_total"));   // uppercase
+  EXPECT_FALSE(MatchesNamePolicy("cad_rounds-total"));   // dash
+  EXPECT_FALSE(MatchesNamePolicy("cad_"));               // prefix only
+  EXPECT_TRUE(MatchesNamePolicy("cad_rounds_total"));
+}
+
+}  // namespace
+}  // namespace cad::obs

@@ -1,0 +1,74 @@
+// Minimal blocking HTTP GET for tests that scrape obs::ExpositionServer.
+// POSIX sockets only, one request per connection (the server speaks
+// HTTP/1.0 with Connection: close, so reading to EOF is the framing).
+#ifndef CAD_TESTS_TESTING_HTTP_CLIENT_H_
+#define CAD_TESTS_TESTING_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+namespace cad::testing {
+
+struct HttpResponse {
+  bool ok = false;        // transport-level success (connected, got a reply)
+  int status_code = 0;    // parsed from the status line
+  std::string headers;    // raw header block (status line included)
+  std::string body;
+};
+
+// GETs http://127.0.0.1:`port``target` and reads until the server closes.
+inline HttpResponse HttpGet(uint16_t port, const std::string& target) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return response;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return response;
+  }
+
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return response;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return response;
+  response.headers = raw.substr(0, header_end);
+  response.body = raw.substr(header_end + 4);
+  // "HTTP/1.0 200 OK"
+  if (std::sscanf(response.headers.c_str(), "HTTP/%*d.%*d %d",
+                  &response.status_code) != 1) {
+    return response;
+  }
+  response.ok = true;
+  return response;
+}
+
+}  // namespace cad::testing
+
+#endif  // CAD_TESTS_TESTING_HTTP_CLIENT_H_

@@ -1,0 +1,135 @@
+// Spawns the real cad_explain binary over generated flight-log fixtures and
+// checks each mode's output and exit code. CAD_EXPLAIN_BIN is injected by
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct BinaryResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+BinaryResult RunExplain(const std::string& args) {
+  const std::string command =
+      std::string(CAD_EXPLAIN_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to spawn: " << command;
+  BinaryResult result;
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+// A line in the exact shape obs::DecisionRecordToJson emits.
+std::string RecordLine(int round, int n_variations, bool abnormal) {
+  std::string line = "{\"round\":" + std::to_string(round);
+  line += ",\"window_start\":" + std::to_string(round * 4);
+  line += ",\"window_end\":" + std::to_string(round * 4 + 40);
+  line += ",\"n_variations\":" + std::to_string(n_variations);
+  line += ",\"mu\":1.5,\"sigma\":0.5,\"threshold\":1.5,\"score\":0.25";
+  line += std::string(",\"abnormal\":") + (abnormal ? "true" : "false");
+  line += ",\"anomaly_open\":false,\"n_outliers\":2,\"n_communities\":3";
+  line += ",\"n_edges\":30,\"modularity\":0.66";
+  line += ",\"entered\":[4,7],\"exited\":[],\"movers\":[4]";
+  line += ",\"timings\":{\"correlation_seconds\":1e-05,\"knn_seconds\":2e-06";
+  line += ",\"louvain_seconds\":3e-06,\"coappearance_seconds\":1e-06";
+  line += ",\"round_seconds\":2e-05,\"unix_us\":1700000000000000}}";
+  return line;
+}
+
+std::string WriteFixture(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream file(path);
+  file << content;
+  return path;
+}
+
+TEST(CadExplainTest, SummaryListsEveryRoundAndCountsAbnormal) {
+  const std::string path = WriteFixture(
+      "explain_summary.jsonl", RecordLine(0, 0, false) + "\n" +
+                                   RecordLine(1, 4, true) + "\n" +
+                                   RecordLine(2, 1, false) + "\n");
+  const BinaryResult result = RunExplain(path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ABNORMAL"), std::string::npos);
+  EXPECT_NE(result.output.find("3 record(s), 1 abnormal; rounds 0..2"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(CadExplainTest, AbnormalFilterShowsOnlyFiringRounds) {
+  const std::string path = WriteFixture(
+      "explain_filter.jsonl", RecordLine(0, 0, false) + "\n" +
+                                  RecordLine(1, 4, true) + "\n");
+  const BinaryResult result = RunExplain("--abnormal " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ABNORMAL"), std::string::npos);
+  // Round 0's summary row (normal) is filtered out; only the header, the
+  // abnormal row, and the trailer remain.
+  EXPECT_EQ(result.output.find("     0      0"), std::string::npos)
+      << result.output;
+}
+
+TEST(CadExplainTest, RoundDetailExplainsTheRuleAndDeltas) {
+  const std::string path = WriteFixture(
+      "explain_detail.jsonl",
+      RecordLine(5, 1, false) + "\n" + RecordLine(6, 4, true) + "\n");
+  const BinaryResult result = RunExplain("--round 6 " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("round 6  window [24, 64)"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("|n_r - mu| = |4 - 1.5000|"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("vs round 5"), std::string::npos);
+  EXPECT_NE(result.output.find("dn_r +3"), std::string::npos);
+  EXPECT_NE(result.output.find("verdict flipped"), std::string::npos);
+}
+
+TEST(CadExplainTest, MissingRoundExitsThree) {
+  const std::string path =
+      WriteFixture("explain_missing.jsonl", RecordLine(0, 0, false) + "\n");
+  const BinaryResult result = RunExplain("--round 9 " + path);
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_NE(result.output.find("round 9 is not in"), std::string::npos);
+}
+
+TEST(CadExplainTest, ParseErrorsReportTheLineNumberAndExitTwo) {
+  const std::string path = WriteFixture(
+      "explain_broken.jsonl",
+      RecordLine(0, 0, false) + "\nnot json at all\n");
+  const BinaryResult result = RunExplain(path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find(":2:"), std::string::npos) << result.output;
+}
+
+TEST(CadExplainTest, MissingRequiredKeyIsAParseError) {
+  // A valid JSON object that is not a DecisionRecord.
+  const std::string path = WriteFixture("explain_not_record.jsonl",
+                                        "{\"round\":1,\"mu\":0.5}\n");
+  const BinaryResult result = RunExplain(path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("required key"), std::string::npos)
+      << result.output;
+}
+
+TEST(CadExplainTest, UsageErrorsExitOne) {
+  EXPECT_EQ(RunExplain("").exit_code, 1);
+  EXPECT_EQ(RunExplain("--bogus-flag x.jsonl").exit_code, 1);
+  EXPECT_EQ(RunExplain(::testing::TempDir() + "/does_not_exist.jsonl")
+                .exit_code,
+            1);
+}
+
+}  // namespace

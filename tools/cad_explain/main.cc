@@ -1,0 +1,499 @@
+// cad_explain — replay a dumped flight log and say why a round fired.
+//
+// Input is the JSONL flight log written by the engine (anomaly-close appends
+// to CadOptions::flight_log_path, crash dumps, StreamingCad's
+// DumpFlightLogJsonl, engine_bench --flight-out): one DecisionRecord per
+// line, as serialized by obs::DecisionRecordToJson.
+//
+//   cad_explain LOG.jsonl              summary table, one line per round
+//   cad_explain --abnormal LOG.jsonl   only the rounds that fired
+//   cad_explain --round R LOG.jsonl    full provenance for round R: the
+//                                      record, the delta against the
+//                                      previous round in the log, and the
+//                                      stage timings
+//
+// Exit codes: 0 ok, 1 usage/I-O error, 2 parse error (reported with the
+// offending line number), 3 round not found.
+//
+// The parser is a deliberately small recursive-descent JSON reader — the
+// repo's no-third-party-deps rule applies to tools too, and the schema is
+// ours.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cad::tools {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (objects, arrays, strings, numbers, bools,
+// null; no \uXXXX decoding beyond pass-through, which the flight-log schema
+// never emits for its fixed keys).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double Number(const std::string& key, double fallback = 0.0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  bool Bool(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kBool && v->bool_value;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses one JSON value spanning the whole input; on failure, fills
+  // `error` and returns false.
+  bool Parse(JsonValue* out, std::string* error) {
+    pos_ = 0;
+    if (!ParseValue(out, error)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, std::string* error) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      *error = std::string("expected '") + word + "'";
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      *error = "expected string";
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            *error = std::string("unsupported escape \\") + esc;
+            return false;
+        }
+      }
+      *out += c;
+    }
+    if (pos_ >= text_.size()) {
+      *error = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      *error = "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, error);
+    if (c == '[') return ParseArray(out, error);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value, error);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true", error);
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false", error);
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null", error);
+    }
+    // Number.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      *error = std::string("unexpected character '") + c + "'";
+      return false;
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      *error = "malformed number '" + token + "'";
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out, std::string* error) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element, error)) return false;
+      out->array.push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        *error = "unterminated array";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      *error = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out, std::string* error) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key, error)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        *error = "expected ':' after object key";
+        return false;
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value, error)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        *error = "unterminated object";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      *error = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Flight-log model
+// ---------------------------------------------------------------------------
+
+struct LogRecord {
+  int line = 0;  // 1-based line in the file
+  int round = 0;
+  int window_start = 0;
+  int window_end = 0;
+  int n_variations = 0;
+  double mu = 0.0;
+  double sigma = 0.0;
+  double threshold = 0.0;
+  double score = 0.0;
+  bool abnormal = false;
+  bool anomaly_open = false;
+  int n_outliers = 0;
+  int n_communities = 0;
+  int n_edges = 0;
+  double modularity = 0.0;
+  std::vector<int> entered;
+  std::vector<int> exited;
+  std::vector<int> movers;
+  double correlation_seconds = 0.0;
+  double knn_seconds = 0.0;
+  double louvain_seconds = 0.0;
+  double coappearance_seconds = 0.0;
+  double round_seconds = 0.0;
+};
+
+const char* const kRequiredKeys[] = {
+    "round",      "window_start", "window_end",   "n_variations",
+    "mu",         "sigma",        "threshold",    "score",
+    "abnormal",   "anomaly_open", "n_outliers",   "n_communities",
+    "n_edges",    "modularity",   "entered",      "exited",
+    "movers"};
+
+bool IntArray(const JsonValue& object, const char* key,
+              std::vector<int>* out, std::string* error) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kArray) {
+    *error = std::string("key '") + key + "' missing or not an array";
+    return false;
+  }
+  out->clear();
+  for (const JsonValue& element : value->array) {
+    if (element.kind != JsonValue::Kind::kNumber) {
+      *error = std::string("array '") + key + "' holds a non-number";
+      return false;
+    }
+    out->push_back(static_cast<int>(element.number));
+  }
+  return true;
+}
+
+bool RecordFromJson(const JsonValue& json, LogRecord* record,
+                    std::string* error) {
+  if (json.kind != JsonValue::Kind::kObject) {
+    *error = "record is not a JSON object";
+    return false;
+  }
+  for (const char* key : kRequiredKeys) {
+    if (json.Find(key) == nullptr) {
+      *error = std::string("required key '") + key + "' missing";
+      return false;
+    }
+  }
+  record->round = static_cast<int>(json.Number("round", -1));
+  record->window_start = static_cast<int>(json.Number("window_start"));
+  record->window_end = static_cast<int>(json.Number("window_end"));
+  record->n_variations = static_cast<int>(json.Number("n_variations"));
+  record->mu = json.Number("mu");
+  record->sigma = json.Number("sigma");
+  record->threshold = json.Number("threshold");
+  record->score = json.Number("score");
+  record->abnormal = json.Bool("abnormal");
+  record->anomaly_open = json.Bool("anomaly_open");
+  record->n_outliers = static_cast<int>(json.Number("n_outliers"));
+  record->n_communities = static_cast<int>(json.Number("n_communities"));
+  record->n_edges = static_cast<int>(json.Number("n_edges"));
+  record->modularity = json.Number("modularity");
+  if (!IntArray(json, "entered", &record->entered, error)) return false;
+  if (!IntArray(json, "exited", &record->exited, error)) return false;
+  if (!IntArray(json, "movers", &record->movers, error)) return false;
+  if (const JsonValue* timings = json.Find("timings");
+      timings != nullptr && timings->kind == JsonValue::Kind::kObject) {
+    record->correlation_seconds = timings->Number("correlation_seconds");
+    record->knn_seconds = timings->Number("knn_seconds");
+    record->louvain_seconds = timings->Number("louvain_seconds");
+    record->coappearance_seconds = timings->Number("coappearance_seconds");
+    record->round_seconds = timings->Number("round_seconds");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+void PrintIds(const char* label, const std::vector<int>& ids) {
+  std::printf("  %-10s", label);
+  if (ids.empty()) {
+    std::printf(" (none)\n");
+    return;
+  }
+  for (int v : ids) std::printf(" %d", v);
+  std::printf("\n");
+}
+
+void PrintSummaryHeader() {
+  std::printf("%6s %6s %9s %9s %9s %7s %5s %6s %8s  %s\n", "round", "n_r",
+              "mu", "sigma", "thresh", "score", "comm", "edges", "modular",
+              "verdict");
+}
+
+void PrintSummaryLine(const LogRecord& r) {
+  std::printf("%6d %6d %9.4f %9.4f %9.4f %7.3f %5d %6d %8.4f  %s%s\n",
+              r.round, r.n_variations, r.mu, r.sigma, r.threshold, r.score,
+              r.n_communities, r.n_edges, r.modularity,
+              r.abnormal ? "ABNORMAL" : "normal",
+              r.anomaly_open ? " (anomaly open)" : "");
+}
+
+void PrintDetail(const LogRecord& r, const LogRecord* prev) {
+  std::printf("round %d  window [%d, %d)\n", r.round, r.window_start,
+              r.window_end);
+  std::printf("  verdict    %s%s\n", r.abnormal ? "ABNORMAL" : "normal",
+              r.anomaly_open ? ", anomaly open after this round" : "");
+  const double deviation = std::abs(r.n_variations - r.mu);
+  std::printf("  rule       |n_r - mu| = |%d - %.4f| = %.4f %s threshold %.4f\n",
+              r.n_variations, r.mu, deviation, r.abnormal ? ">=" : "<",
+              r.threshold);
+  std::printf("  n_r        %d variation(s); %d outlier(s) in O_r\n",
+              r.n_variations, r.n_outliers);
+  std::printf("  stats      mu %.4f, sigma %.4f, score %.3f\n", r.mu, r.sigma,
+              r.score);
+  std::printf("  structure  %d communities, %d TSG edges, modularity %.4f\n",
+              r.n_communities, r.n_edges, r.modularity);
+  PrintIds("entered", r.entered);
+  PrintIds("exited", r.exited);
+  PrintIds("movers", r.movers);
+  if (prev != nullptr) {
+    std::printf("  vs round %d:", prev->round);
+    std::printf(" dn_r %+d, dmu %+.4f, dsigma %+.4f, dthreshold %+.4f%s\n",
+                r.n_variations - prev->n_variations, r.mu - prev->mu,
+                r.sigma - prev->sigma, r.threshold - prev->threshold,
+                prev->abnormal != r.abnormal ? " — verdict flipped" : "");
+  } else {
+    std::printf("  vs prev    (no preceding round in this log)\n");
+  }
+  std::printf("  timings    corr %.3gs, knn %.3gs, louvain %.3gs, "
+              "coapp %.3gs, round %.3gs\n",
+              r.correlation_seconds, r.knn_seconds, r.louvain_seconds,
+              r.coappearance_seconds, r.round_seconds);
+}
+
+int Main(int argc, char** argv) {
+  bool abnormal_only = false;
+  int target_round = -1;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--abnormal") == 0) {
+      abnormal_only = true;
+    } else if (std::strcmp(argv[i], "--round") == 0 && i + 1 < argc) {
+      target_round = std::atoi(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: cad_explain [--abnormal | --round R] LOG.jsonl\n");
+      return 1;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: cad_explain [--abnormal | --round R] LOG.jsonl\n");
+    return 1;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cad_explain: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<LogRecord> records;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    JsonValue json;
+    std::string error;
+    JsonParser parser(line);
+    if (!parser.Parse(&json, &error)) {
+      std::fprintf(stderr, "cad_explain: %s:%d: %s\n", path.c_str(),
+                   line_number, error.c_str());
+      return 2;
+    }
+    LogRecord record;
+    record.line = line_number;
+    if (!RecordFromJson(json, &record, &error)) {
+      std::fprintf(stderr, "cad_explain: %s:%d: %s\n", path.c_str(),
+                   line_number, error.c_str());
+      return 2;
+    }
+    records.push_back(std::move(record));
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "cad_explain: %s holds no records\n", path.c_str());
+    return 1;
+  }
+
+  if (target_round >= 0) {
+    const LogRecord* record = nullptr;
+    const LogRecord* prev = nullptr;
+    for (const LogRecord& r : records) {
+      if (r.round == target_round) record = &r;
+      if (r.round == target_round - 1) prev = &r;
+    }
+    if (record == nullptr) {
+      std::fprintf(stderr, "cad_explain: round %d is not in %s (%zu records)\n",
+                   target_round, path.c_str(), records.size());
+      return 3;
+    }
+    PrintDetail(*record, prev);
+    return 0;
+  }
+
+  int abnormal = 0;
+  PrintSummaryHeader();
+  for (const LogRecord& r : records) {
+    if (r.abnormal) ++abnormal;
+    if (abnormal_only && !r.abnormal) continue;
+    PrintSummaryLine(r);
+  }
+  std::printf("%zu record(s), %d abnormal; rounds %d..%d\n", records.size(),
+              abnormal, records.front().round, records.back().round);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::tools
+
+int main(int argc, char** argv) { return cad::tools::Main(argc, argv); }

@@ -3,7 +3,10 @@
 # layer: runs bench/micro_core with --telemetry-out, then checks that the
 # combined JSON parses, carries the pipeline metrics the docs promise
 # (cad_rounds_total, the cad_round_seconds buckets, cad_tsg_edges_pruned),
-# and that the Chrome-trace JSONL is one well-formed event per line.
+# and that the Chrome-trace JSONL is one well-formed event per line. Then
+# runs bench/engine_bench --smoke --flight-out and checks the flight log:
+# one parseable JSON object per line, every DecisionRecord key present,
+# consecutive round indices — failures name the offending line.
 #
 # Usage: tools/check_telemetry.sh [build_dir]   (default: build)
 set -euo pipefail
@@ -74,5 +77,62 @@ EOF
 
 grep -q '^cad_round_seconds_bucket{le="+Inf"}' "$OUT.prom" \
   || { echo "FAIL: Prometheus exposition lacks +Inf bucket" >&2; exit 1; }
+
+# --- Flight-recorder JSONL dump -------------------------------------------
+ENGINE_BENCH="$BUILD_DIR/bench/engine_bench"
+if [[ ! -x "$ENGINE_BENCH" ]]; then
+  echo "error: $ENGINE_BENCH not found — build first" >&2
+  exit 1
+fi
+FLIGHT="$OUT_DIR/flight.jsonl"
+"$ENGINE_BENCH" --smoke --flight-out "$FLIGHT" > "$OUT_DIR/bench.json" \
+  2> /dev/null
+[[ -s "$FLIGHT" ]] || { echo "FAIL: $FLIGHT missing or empty" >&2; exit 1; }
+
+python3 - "$FLIGHT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+required = [
+    "round", "window_start", "window_end", "n_variations", "mu", "sigma",
+    "threshold", "score", "abnormal", "anomaly_open", "n_outliers",
+    "n_communities", "n_edges", "modularity", "entered", "exited", "movers",
+    "timings",
+]
+timing_keys = [
+    "correlation_seconds", "knn_seconds", "louvain_seconds",
+    "coappearance_seconds", "round_seconds", "unix_us",
+]
+
+prev_round = None
+n_records = 0
+with open(path) as f:
+    for lineno, line in enumerate(f, start=1):
+        line = line.strip()
+        if not line:
+            sys.exit(f"FAIL: {path}:{lineno}: blank line in flight log")
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"FAIL: {path}:{lineno}: not valid JSON: {e}")
+        for key in required:
+            if key not in record:
+                sys.exit(f"FAIL: {path}:{lineno}: key '{key}' missing")
+        for key in timing_keys:
+            if key not in record["timings"]:
+                sys.exit(f"FAIL: {path}:{lineno}: timings key '{key}' missing")
+        if record["window_start"] >= record["window_end"]:
+            sys.exit(f"FAIL: {path}:{lineno}: empty window span")
+        # The dump walks the ring oldest to newest: consecutive rounds.
+        if prev_round is not None and record["round"] != prev_round + 1:
+            sys.exit(f"FAIL: {path}:{lineno}: round {record['round']} "
+                     f"follows {prev_round} (not consecutive)")
+        prev_round = record["round"]
+        n_records += 1
+
+if n_records == 0:
+    sys.exit(f"FAIL: {path}: no records")
+print(f"OK: {n_records} flight-log records, rounds end at {prev_round}")
+EOF
 
 echo "telemetry check passed"

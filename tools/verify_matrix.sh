@@ -22,6 +22,10 @@
 #                   allocation-gauge tests under the asan-ubsan and tsan
 #                   presets: byte-identical drivers must stay identical when
 #                   the sanitizers perturb layout and scheduling.
+#   8. obs        — exposition-server smoke under the tsan preset: start,
+#                   scrape /metrics, /healthz and /explain, and the
+#                   concurrent-scrape-while-ingesting hammering, plus the
+#                   live-scrape-vs-batch-provenance integration gate.
 #
 # Presets come from CMakePresets.json; each stage uses its own binaryDir so
 # the matrix never contaminates the default build/.
@@ -35,7 +39,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2> /dev/null || echo 2)"
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs)
 
 # Builds tools/cad_lint (reusing the default build dir) and prints the
 # binary's path. The linter has no dependencies beyond a C++20 compiler, so
@@ -110,10 +114,18 @@ for stage in "${STAGES[@]}"; do
       run_engine_under asan-ubsan
       run_engine_under tsan
       ;;
+    obs)
+      echo
+      echo "==== [obs/tsan] exposition server smoke ===="
+      cmake --preset tsan
+      cmake --build --preset tsan -j "$JOBS"
+      ctest --preset tsan -R 'ExpositionServer|ExpositionIntegration' \
+        --output-on-failure
+      ;;
     *)
       echo "error: unknown stage '$stage'" \
            "(expected: checked, asan-ubsan, tsan, lint, lint-cad," \
-           "thread-safety, engine)" >&2
+           "thread-safety, engine, obs)" >&2
       exit 2
       ;;
   esac
