@@ -1,0 +1,263 @@
+// Advisor quality bench: closes the root-cause loop against generator ground
+// truth. Plans injected anomaly incidents (datasets::PlanEvents layout,
+// retyped to the correlation family: breaks and mixed break+drift), runs the
+// batch detector over the injected series with a flight-recorder ring large
+// enough to hold every round, then asks the advisor to triage each
+// incident's sample range and checks whether a truly injected sensor appears
+// in the ranking's top k.
+//
+// Only correlation-family incidents are planned because root-cause triage is
+// only measurable on incidents the detector can see: a pure level shift is
+// invariant under Pearson correlation (the paper's stated blind spot, served
+// by the magnitude baselines), so it leaves no flight-log evidence and the
+// advisor correctly returns an empty ranking — that is a detection gap, not
+// a triage error.
+//
+// Emits BENCH_advisor.json with per-incident verdicts and the aggregate
+// hit@1/2/3 rates. Netdata's Anomaly Advisor is considered useful when the
+// culprit lands in the first screen of 30-50 metrics; with ground truth we
+// gate hard at hit@3 >= 0.9 (the ISSUE 6 acceptance bar) — the bench exits
+// nonzero below it, so ctest catches a ranking regression.
+//
+// Everything is seeded and single-threaded, so the JSON is identical across
+// runs; the bench also re-runs Advise per incident and byte-compares the two
+// reports to prove the determinism contract on real data.
+//
+// Flags:
+//   --smoke       small configuration for ctest (a few seconds)
+//   --out PATH    output path (default BENCH_advisor.json)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "common/rng.h"
+#include "core/cad_detector.h"
+#include "datasets/anomaly_injector.h"
+#include "datasets/generator.h"
+#include "eval/root_cause.h"
+#include "ts/multivariate_series.h"
+
+namespace cad::bench {
+namespace {
+
+struct AdvisorBenchConfig {
+  int n_sensors = 36;
+  int n_communities = 4;
+  int train_length = 900;
+  int test_length = 4800;
+  int n_incidents = 12;
+  int min_duration = 140;
+  int max_duration = 220;
+  int min_gap = 160;
+  int window = 96;
+  int step = 4;
+  int k = 5;
+  // Ring capacity sized to hold every round of the run (a non-default,
+  // larger-than-256 configuration — the configurable-capacity satellite in
+  // action): (test_length - window) / step + 1 rounds must fit.
+  int flight_capacity = 2048;
+};
+
+const char* TypeName(datasets::AnomalyType type) {
+  switch (type) {
+    case datasets::AnomalyType::kCorrelationBreak: return "correlation_break";
+    case datasets::AnomalyType::kLevelShift: return "level_shift";
+    case datasets::AnomalyType::kTrendDrift: return "trend_drift";
+    case datasets::AnomalyType::kSpike: return "spike";
+    case datasets::AnomalyType::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+void PrintIntArray(std::FILE* out, const std::vector<int>& values) {
+  std::fprintf(out, "[");
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(out, "%s%d", i > 0 ? ", " : "", values[i]);
+  }
+  std::fprintf(out, "]");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_advisor.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: advisor_bench [--smoke] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  AdvisorBenchConfig config;
+  if (smoke) {
+    config.n_sensors = 24;
+    config.n_communities = 3;
+    config.train_length = 600;
+    config.test_length = 2400;
+    config.n_incidents = 6;
+    config.min_duration = 120;
+    config.max_duration = 180;
+    config.min_gap = 140;
+    config.window = 80;
+    config.k = 4;
+    config.flight_capacity = 1024;
+  }
+
+  Rng rng(2026);
+  datasets::GeneratorOptions gen_options;
+  gen_options.n_sensors = config.n_sensors;
+  gen_options.n_communities = config.n_communities;
+  datasets::SensorNetworkGenerator generator(gen_options, &rng);
+  const ts::MultivariateSeries train =
+      generator.Generate(config.train_length, &rng);
+  ts::MultivariateSeries test = generator.Generate(config.test_length, &rng);
+
+  std::vector<datasets::AnomalyEvent> events = datasets::PlanEvents(
+      generator, config.test_length, config.n_incidents, config.min_duration,
+      config.max_duration, config.min_gap, &rng);
+  // Keep the planned layout (slots, sensors, magnitudes) but stay in the
+  // correlation family — see the header comment.
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].type = i % 3 == 2 ? datasets::AnomalyType::kMixed
+                                : datasets::AnomalyType::kCorrelationBreak;
+  }
+  (void)datasets::InjectAnomalies(generator, events, &test, &rng);
+  const std::vector<datasets::InjectedGroundTruth> truths =
+      datasets::ExportGroundTruth(events);
+
+  core::CadOptions options;
+  options.window = config.window;
+  options.step = config.step;
+  options.k = config.k;
+  options.flight_log_capacity = config.flight_capacity;
+  core::CadDetector detector(options);
+  const core::DetectionReport report =
+      detector.Detect(test, &train).ValueOrDie();
+  const std::vector<obs::DecisionRecord>& records = report.flight_log;
+
+  std::fprintf(stderr,
+               "[advisor_bench] %d sensors, %d incidents, %zu rounds held "
+               "(ring capacity %d)%s\n",
+               config.n_sensors, config.n_incidents, records.size(),
+               config.flight_capacity, smoke ? " (smoke)" : "");
+
+  struct IncidentResult {
+    const datasets::InjectedGroundTruth* truth = nullptr;
+    advisor::AdviseWindow window;
+    std::vector<int> top;  // leading ranked sensor ids (up to 3)
+    bool hit1 = false, hit2 = false, hit3 = false;
+  };
+  std::vector<IncidentResult> results;
+  int hits1 = 0, hits2 = 0, hits3 = 0;
+
+  for (const datasets::InjectedGroundTruth& truth : truths) {
+    IncidentResult result;
+    result.truth = &truth;
+    // The operator's query: the incident's sample span, plus one window of
+    // trailing slack — detection of a gradually fading-in break lags onset.
+    result.window = advisor::WindowForSamples(
+        records, truth.onset_sample, truth.end_sample + config.window / 2);
+    const advisor::AdviceReport advice = advisor::Advise(records, result.window);
+    // Determinism contract on real data: same records, same bytes.
+    if (advisor::AdviceReportToJson(advice) !=
+        advisor::AdviceReportToJson(advisor::Advise(records, result.window))) {
+      std::fprintf(stderr, "[advisor_bench] FAIL: AdviceReport JSON is not "
+                           "deterministic across runs\n");
+      return 1;
+    }
+    std::vector<int> ranking;
+    ranking.reserve(advice.ranking.size());
+    for (const advisor::SensorFinding& finding : advice.ranking) {
+      ranking.push_back(finding.sensor);
+    }
+    result.top.assign(ranking.begin(),
+                      ranking.begin() + std::min<size_t>(3, ranking.size()));
+    result.hit1 = eval::RootCauseHitAtK(ranking, truth.sensors, 1);
+    result.hit2 = eval::RootCauseHitAtK(ranking, truth.sensors, 2);
+    result.hit3 = eval::RootCauseHitAtK(ranking, truth.sensors, 3);
+    hits1 += result.hit1 ? 1 : 0;
+    hits2 += result.hit2 ? 1 : 0;
+    hits3 += result.hit3 ? 1 : 0;
+    results.push_back(std::move(result));
+  }
+
+  const double n = static_cast<double>(truths.size());
+  const double rate1 = n > 0 ? hits1 / n : 0.0;
+  const double rate2 = n > 0 ? hits2 / n : 0.0;
+  const double rate3 = n > 0 ? hits3 / n : 0.0;
+  std::fprintf(stderr,
+               "[advisor_bench] hit@1 %.2f, hit@2 %.2f, hit@3 %.2f over %d "
+               "incidents\n",
+               rate1, rate2, rate3, static_cast<int>(truths.size()));
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "advisor_bench: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"advisor\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"config\": {\n"
+               "    \"n_sensors\": %d,\n"
+               "    \"n_communities\": %d,\n"
+               "    \"train_length\": %d,\n"
+               "    \"test_length\": %d,\n"
+               "    \"n_incidents\": %d,\n"
+               "    \"window\": %d,\n"
+               "    \"step\": %d,\n"
+               "    \"k\": %d,\n"
+               "    \"flight_log_capacity\": %d\n"
+               "  },\n"
+               "  \"rounds_held\": %zu,\n",
+               smoke ? "true" : "false", config.n_sensors, config.n_communities,
+               config.train_length, config.test_length, config.n_incidents,
+               config.window, config.step, config.k, config.flight_capacity,
+               records.size());
+  std::fprintf(out, "  \"incidents\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const IncidentResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"type\": \"%s\", \"onset_sample\": %d, "
+                 "\"end_sample\": %d, \"rounds\": [%d, %d], \"sensors\": ",
+                 TypeName(r.truth->type), r.truth->onset_sample,
+                 r.truth->end_sample, r.window.first_round,
+                 r.window.last_round);
+    PrintIntArray(out, r.truth->sensors);
+    std::fprintf(out, ", \"top3\": ");
+    PrintIntArray(out, r.top);
+    std::fprintf(out, ", \"hit_at_3\": %s}%s\n", r.hit3 ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"root_cause\": {\n"
+               "    \"hit_at_1\": %.4f,\n"
+               "    \"hit_at_2\": %.4f,\n"
+               "    \"hit_at_3\": %.4f,\n"
+               "    \"target_hit_at_3\": 0.9\n"
+               "  }\n"
+               "}\n",
+               rate1, rate2, rate3);
+  std::fclose(out);
+  std::fprintf(stderr, "[advisor_bench] wrote %s\n", out_path.c_str());
+
+  if (rate3 < 0.9) {
+    std::fprintf(stderr,
+                 "[advisor_bench] FAIL: hit@3 %.2f below the 0.9 target\n",
+                 rate3);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cad::bench
+
+int main(int argc, char** argv) { return cad::bench::Main(argc, argv); }

@@ -63,13 +63,13 @@ core::CadOptions MakeOptions(const EngineBenchConfig& config,
   options.tau = 0.55;
   options.theta = 0.9;
   options.metrics_registry = registry;
-  options.flight_recorder_capacity = flight_capacity;
+  options.flight_log_capacity = flight_capacity;
   return options;
 }
 
 // The product default ring size (cad_options.h); the "recorder on" runs use
 // it so the bench measures what users actually pay.
-const int kDefaultFlightCapacity = core::CadOptions{}.flight_recorder_capacity;
+const int kDefaultFlightCapacity = core::CadOptions{}.flight_log_capacity;
 
 // Exact empirical quantile (nearest-rank with interpolation), matching
 // core::SummarizeRoundLatencies so the two drivers' tails are comparable.

@@ -10,11 +10,13 @@
 //   curl localhost:<port>/metrics            Prometheus text
 //   curl localhost:<port>/healthz            liveness JSON
 //   curl "localhost:<port>/explain?round=50" decision provenance JSON
+//   curl "localhost:<port>/advise"           ranked root-cause advice JSON
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "advisor/advisor.h"
 #include "common/rng.h"
 #include "core/streaming.h"
 #include "datasets/anomaly_injector.h"
@@ -68,7 +70,9 @@ int main(int argc, char** argv) {
                 detector.exposition_port());
     std::printf("  curl localhost:%d/metrics\n", detector.exposition_port());
     std::printf("  curl localhost:%d/healthz\n", detector.exposition_port());
-    std::printf("  curl \"localhost:%d/explain?round=50\"\n\n",
+    std::printf("  curl \"localhost:%d/explain?round=50\"\n",
+                detector.exposition_port());
+    std::printf("  curl \"localhost:%d/advise\"\n\n",
                 detector.exposition_port());
   }
   const cad::Status warmup_status = detector.WarmUp(history);
@@ -134,6 +138,23 @@ int main(int argc, char** argv) {
                     provenance->delta_mu);
       }
       std::printf("\n");
+    }
+  }
+  // Root-cause triage over the whole flight log: who to look at first.
+  // (A live scrape of /advise serves the same ranking as JSON.)
+  const cad::advisor::AdviceReport advice =
+      cad::advisor::Advise(detector.FlightLog(), cad::advisor::AdviseWindow{});
+  if (!advice.ranking.empty()) {
+    std::printf("Top root causes (severity = movers >> deviation >> "
+                "residency >> churn):\n");
+    const size_t shown = advice.ranking.size() < 3 ? advice.ranking.size() : 3;
+    for (size_t i = 0; i < shown; ++i) {
+      const cad::advisor::SensorFinding& finding = advice.ranking[i];
+      std::printf("  #%zu sensor %-3d severity %.2f  onset round %d "
+                  "(samples [%d, %d))  blast radius %d\n",
+                  i + 1, finding.sensor, finding.severity, finding.onset_round,
+                  finding.onset_window_start, finding.onset_window_end,
+                  finding.blast_radius);
     }
   }
   auto print_fault = [](const cad::datasets::AnomalyEvent& fault) {

@@ -1,0 +1,317 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "check/check.h"
+#include "obs/json_util.h"
+
+namespace cad::advisor {
+
+namespace {
+
+// The determinism keystone: the offline path (cad_explain --advise) consumes
+// doubles strtod'd back from a "%.9g" JSONL dump, the live path consumes the
+// engine's original doubles. Pushing every consumed double through the same
+// %.9g round trip makes both paths compute on identical bits, so the report
+// bytes match exactly. Non-finite values collapse to 0 because the JSON dump
+// spells them `null` and the offline reader already reads that as 0.
+double Canonical9g(double v) {
+  if (!std::isfinite(v)) return 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::strtod(buf, nullptr);
+}
+
+// Per-sensor accumulator while replaying the window's rounds.
+struct SensorState {
+  bool member = false;  // currently resident in O_r (replayed)
+  int onset_round = -1;
+  int onset_window_start = 0;
+  int onset_window_end = 0;
+  int outlier_rounds = 0;
+  int mover_rounds = 0;
+  int enter_count = 0;
+  int exit_count = 0;
+  double structural = 0.0;
+
+  bool HasEvidence() const {
+    return onset_round >= 0 || enter_count > 0 || exit_count > 0 ||
+           mover_rounds > 0 || outlier_rounds > 0;
+  }
+};
+
+int MaxSensorId(const std::vector<const obs::DecisionRecord*>& records) {
+  int max_id = -1;
+  for (const obs::DecisionRecord* record : records) {
+    for (int v : record->entered) max_id = std::max(max_id, v);
+    for (int v : record->exited) max_id = std::max(max_id, v);
+    for (int v : record->movers) max_id = std::max(max_id, v);
+  }
+  return max_id;
+}
+
+void AppendIntArray(std::string* out, const std::vector<int>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += std::to_string(values[i]);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+AdviseWindow WindowForSamples(const std::vector<obs::DecisionRecord>& records,
+                              int sample_from, int sample_to) {
+  AdviseWindow window;
+  window.first_round = 1;  // first > last selects nothing until a hit below
+  window.last_round = 0;
+  for (const obs::DecisionRecord& record : records) {
+    // Window spans are [start, end) on the time axis; the sample range is
+    // inclusive on both ends.
+    if (record.window_end <= sample_from || record.window_start > sample_to) {
+      continue;
+    }
+    if (window.first_round > window.last_round) {
+      window.first_round = record.round;
+    }
+    window.last_round = record.round;
+  }
+  return window;
+}
+
+AdviceReport Advise(const std::vector<obs::DecisionRecord>& records,
+                    const AdviseWindow& window) {
+  const int lo = window.first_round < 0 ? std::numeric_limits<int>::min()
+                                        : window.first_round;
+  const int hi = window.last_round < 0 ? std::numeric_limits<int>::max()
+                                       : window.last_round;
+
+  std::vector<const obs::DecisionRecord*> scanned;
+  scanned.reserve(records.size());
+  for (const obs::DecisionRecord& record : records) {
+    if (record.round < lo || record.round > hi) continue;
+    CAD_CHECK(scanned.empty() || record.round > scanned.back()->round,
+              "flight-log records must be ascending in round");
+    scanned.push_back(&record);
+  }
+
+  AdviceReport report;
+  if (scanned.empty()) return report;
+  report.first_round = scanned.front()->round;
+  report.last_round = scanned.back()->round;
+  report.rounds_scanned = static_cast<int>(scanned.size());
+
+  std::vector<SensorState> sensors(
+      static_cast<size_t>(MaxSensorId(scanned) + 1));
+
+  bool in_segment = false;
+  int prev_communities = 0;
+  for (size_t i = 0; i < scanned.size(); ++i) {
+    const obs::DecisionRecord& record = *scanned[i];
+    const double score = Canonical9g(record.score);
+    if (record.abnormal) ++report.rounds_abnormal;
+
+    // Outlier-set membership replay. A sensor exiting without a recorded
+    // entry was resident before the window opened: its onset predates the
+    // evidence, so it is pinned to the window's first round.
+    for (int v : record.entered) {
+      SensorState& state = sensors[static_cast<size_t>(v)];
+      ++state.enter_count;
+      state.member = true;
+      if (state.onset_round < 0) {
+        state.onset_round = record.round;
+        state.onset_window_start = record.window_start;
+        state.onset_window_end = record.window_end;
+      }
+    }
+    for (int v : record.exited) {
+      SensorState& state = sensors[static_cast<size_t>(v)];
+      ++state.exit_count;
+      state.member = false;
+      if (state.onset_round < 0) {
+        state.onset_round = report.first_round;
+        state.onset_window_start = scanned.front()->window_start;
+        state.onset_window_end = scanned.front()->window_end;
+      }
+    }
+    for (int v : record.movers) {
+      ++sensors[static_cast<size_t>(v)].mover_rounds;
+    }
+    for (SensorState& state : sensors) {
+      if (!state.member) continue;
+      ++state.outlier_rounds;
+      state.structural += score;
+    }
+
+    // Incident segments: maximal abnormal / anomaly-open runs.
+    const bool active = record.abnormal || record.anomaly_open;
+    if (active && !in_segment) {
+      IncidentSegment segment;
+      segment.first_round = record.round;
+      segment.last_round = record.round;
+      report.segments.push_back(segment);
+    } else if (active) {
+      report.segments.back().last_round = record.round;
+    }
+    in_segment = active;
+
+    // Timeline: rounds where something happened.
+    const int delta_communities =
+        i == 0 ? 0 : record.n_communities - prev_communities;
+    prev_communities = record.n_communities;
+    if (!record.entered.empty() || !record.exited.empty() ||
+        !record.movers.empty() || record.abnormal || delta_communities != 0) {
+      TimelineEvent event;
+      event.round = record.round;
+      event.window_start = record.window_start;
+      event.window_end = record.window_end;
+      event.abnormal = record.abnormal;
+      event.anomaly_open = record.anomaly_open;
+      event.score = score;
+      event.n_communities = record.n_communities;
+      event.delta_communities = delta_communities;
+      event.modularity = Canonical9g(record.modularity);
+      event.entered = record.entered;
+      event.exited = record.exited;
+      event.movers = record.movers;
+      report.timeline.push_back(std::move(event));
+    }
+  }
+
+  // Findings, with severity from the documented formula.
+  for (size_t id = 0; id < sensors.size(); ++id) {
+    const SensorState& state = sensors[id];
+    if (!state.HasEvidence()) continue;
+    SensorFinding finding;
+    finding.sensor = static_cast<int>(id);
+    finding.onset_round = state.onset_round;
+    finding.onset_window_start = state.onset_window_start;
+    finding.onset_window_end = state.onset_window_end;
+    finding.outlier_rounds = state.outlier_rounds;
+    finding.mover_rounds = state.mover_rounds;
+    finding.enter_count = state.enter_count;
+    finding.exit_count = state.exit_count;
+    finding.structural = state.structural;
+    finding.severity = kMoverWeight * state.mover_rounds + state.structural +
+                       kPresenceWeight * state.outlier_rounds +
+                       kChurnWeight * (state.enter_count + state.exit_count);
+    report.ranking.push_back(std::move(finding));
+  }
+
+  // Blast radius: within each segment, a sensor's peers are the sensors
+  // whose onset falls at or after its own — the part of the cascade it
+  // plausibly dragged along.
+  for (IncidentSegment& segment : report.segments) {
+    std::vector<SensorFinding*> onsets;
+    for (SensorFinding& finding : report.ranking) {
+      if (finding.onset_round >= segment.first_round &&
+          finding.onset_round <= segment.last_round) {
+        onsets.push_back(&finding);
+      }
+    }
+    std::sort(onsets.begin(), onsets.end(),
+              [](const SensorFinding* a, const SensorFinding* b) {
+                if (a->onset_round != b->onset_round) {
+                  return a->onset_round < b->onset_round;
+                }
+                return a->sensor < b->sensor;
+              });
+    for (SensorFinding* finding : onsets) {
+      segment.onset_order.push_back(finding->sensor);
+    }
+    for (SensorFinding* finding : onsets) {
+      for (const SensorFinding* other : onsets) {
+        if (other == finding) continue;
+        if (other->onset_round >= finding->onset_round) {
+          finding->peers.push_back(other->sensor);
+        }
+      }
+      std::sort(finding->peers.begin(), finding->peers.end());
+      finding->blast_radius = static_cast<int>(finding->peers.size());
+    }
+  }
+
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [](const SensorFinding& a, const SensorFinding& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              if (a.onset_round != b.onset_round) {
+                return a.onset_round < b.onset_round;
+              }
+              return a.sensor < b.sensor;
+            });
+  return report;
+}
+
+std::string AdviceReportToJson(const AdviceReport& report) {
+  std::string json = "{\"advice_version\":1,\"window\":{\"first_round\":";
+  json += std::to_string(report.first_round);
+  json += ",\"last_round\":" + std::to_string(report.last_round);
+  json += ",\"rounds_scanned\":" + std::to_string(report.rounds_scanned);
+  json += ",\"rounds_abnormal\":" + std::to_string(report.rounds_abnormal);
+  json += "},\"ranking\":[";
+  for (size_t i = 0; i < report.ranking.size(); ++i) {
+    const SensorFinding& finding = report.ranking[i];
+    if (i > 0) json += ',';
+    json += "{\"sensor\":" + std::to_string(finding.sensor);
+    json += ",\"severity\":";
+    obs::AppendJsonNumber(&json, finding.severity);
+    json += ",\"onset_round\":" + std::to_string(finding.onset_round);
+    json += ",\"onset_window_start\":" +
+            std::to_string(finding.onset_window_start);
+    json += ",\"onset_window_end\":" + std::to_string(finding.onset_window_end);
+    json += ",\"mover_rounds\":" + std::to_string(finding.mover_rounds);
+    json += ",\"outlier_rounds\":" + std::to_string(finding.outlier_rounds);
+    json += ",\"enter_count\":" + std::to_string(finding.enter_count);
+    json += ",\"exit_count\":" + std::to_string(finding.exit_count);
+    json += ",\"structural\":";
+    obs::AppendJsonNumber(&json, finding.structural);
+    json += ",\"blast_radius\":" + std::to_string(finding.blast_radius);
+    json += ",\"peers\":";
+    AppendIntArray(&json, finding.peers);
+    json += '}';
+  }
+  json += "],\"segments\":[";
+  for (size_t i = 0; i < report.segments.size(); ++i) {
+    const IncidentSegment& segment = report.segments[i];
+    if (i > 0) json += ',';
+    json += "{\"first_round\":" + std::to_string(segment.first_round);
+    json += ",\"last_round\":" + std::to_string(segment.last_round);
+    json += ",\"onset_order\":";
+    AppendIntArray(&json, segment.onset_order);
+    json += '}';
+  }
+  json += "],\"timeline\":[";
+  for (size_t i = 0; i < report.timeline.size(); ++i) {
+    const TimelineEvent& event = report.timeline[i];
+    if (i > 0) json += ',';
+    json += "{\"round\":" + std::to_string(event.round);
+    json += ",\"window_start\":" + std::to_string(event.window_start);
+    json += ",\"window_end\":" + std::to_string(event.window_end);
+    json += ",\"abnormal\":";
+    json += event.abnormal ? "true" : "false";
+    json += ",\"anomaly_open\":";
+    json += event.anomaly_open ? "true" : "false";
+    json += ",\"score\":";
+    obs::AppendJsonNumber(&json, event.score);
+    json += ",\"n_communities\":" + std::to_string(event.n_communities);
+    json += ",\"delta_communities\":" + std::to_string(event.delta_communities);
+    json += ",\"modularity\":";
+    obs::AppendJsonNumber(&json, event.modularity);
+    json += ",\"entered\":";
+    AppendIntArray(&json, event.entered);
+    json += ",\"exited\":";
+    AppendIntArray(&json, event.exited);
+    json += ",\"movers\":";
+    AppendIntArray(&json, event.movers);
+    json += '}';
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace cad::advisor

@@ -1,0 +1,154 @@
+// cad::advisor — root-cause triage over flight-recorder provenance.
+//
+// The detection pipeline stops at "round r is abnormal"; during an incident
+// the operator's real questions are *which sensors broke first*, *how bad is
+// each one*, and *what did the break drag down with it*. The advisor answers
+// them from data the engine already keeps: the per-round DecisionRecords of
+// the flight recorder (obs/flight_recorder.h). Given an incident window it
+// scores every sensor on three axes:
+//
+//   severity      a weighted blend of mover rounds (Definition 2 community
+//                 defection — the causal signal), cumulative
+//                 correlation-structure deviation (the round score summed
+//                 over the rounds the sensor sat in O_r, CSCAD-style
+//                 continuous severity), outlier-set residency, and
+//                 enter/exit churn;
+//   onset         the first round the sensor deviated (joined the outlier
+//                 set) inside the window — earlier onset ranks first among
+//                 severity ties, because the first defector is the best
+//                 root-cause candidate;
+//   blast radius  the peers that deviated at or after the sensor's onset
+//                 within the same incident segment — how far the break
+//                 cascaded.
+//
+// and reconstructs a propagation timeline (round-by-round enter/exit/mover
+// events plus community-structure deltas) and incident segments (maximal
+// abnormal/anomaly-open runs with their onset order).
+//
+// Determinism contract: AdviceReportToJson is byte-deterministic for a given
+// flight log, including across the live path (records straight from the
+// ring) and the offline path (records re-parsed from a JSONL dump, i.e.
+// cad_explain --advise). The JSONL dump renders doubles with "%.9g"
+// (obs/json_util.h), so Advise first canonicalizes every double it consumes
+// through the same %.9g round trip — both paths then compute on identical
+// bits. Wall-clock fields (timings, unix_us) are never consumed.
+//
+// Surfaces: this library call, the /advise?from=..&to=.. endpoint of
+// obs::ExpositionServer (wired by StreamingCad), and cad_explain --advise.
+#ifndef CAD_ADVISOR_ADVISOR_H_
+#define CAD_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace cad::advisor {
+
+// Round range of an incident, inclusive on both ends. -1 = unbounded on that
+// side (clamped to the rounds actually present in the flight log).
+struct AdviseWindow {
+  int first_round = -1;
+  int last_round = -1;
+};
+
+// Everything the advisor holds against (or in favour of) one sensor.
+struct SensorFinding {
+  int sensor = -1;
+  // Composite severity; see kMoverWeight/kPresenceWeight/kChurnWeight and
+  // DESIGN.md "Advisor architecture" for the formula.
+  double severity = 0.0;
+  int onset_round = -1;        // first round the sensor deviated in-window
+  int onset_window_start = 0;  // that round's window span on the time axis
+  int onset_window_end = 0;
+  int outlier_rounds = 0;      // rounds resident in O_r (replayed membership)
+  int mover_rounds = 0;        // rounds listed as a Definition-2 mover
+  int enter_count = 0;         // times it joined O_r
+  int exit_count = 0;          // times it left O_r
+  // Sum of the round deviation score over the sensor's resident rounds —
+  // the CSCAD-style continuous correlation-structure severity.
+  double structural = 0.0;
+  // Peers whose onset falls at/after this sensor's onset inside the same
+  // incident segment (ascending ids); blast_radius == peers.size().
+  int blast_radius = 0;
+  std::vector<int> peers;
+};
+
+// One row of the propagation timeline. Only rounds with activity appear:
+// outlier-set changes, movers, an abnormal verdict, or a community-count
+// change against the previous in-window round.
+struct TimelineEvent {
+  int round = -1;
+  int window_start = 0;
+  int window_end = 0;
+  bool abnormal = false;
+  bool anomaly_open = false;
+  double score = 0.0;
+  int n_communities = 0;
+  int delta_communities = 0;  // vs the previous in-window round (0 for first)
+  double modularity = 0.0;
+  std::vector<int> entered;
+  std::vector<int> exited;
+  std::vector<int> movers;
+};
+
+// A maximal run of rounds that were abnormal or had an anomaly open — the
+// advisor's notion of "one incident" inside the window. `onset_order` lists
+// the sensors that first deviated during the segment, in (onset round,
+// sensor id) order: the propagation order of the cascade.
+struct IncidentSegment {
+  int first_round = -1;
+  int last_round = -1;
+  std::vector<int> onset_order;
+};
+
+struct AdviceReport {
+  // The window actually scanned (clamped to the records present).
+  int first_round = -1;
+  int last_round = -1;
+  int rounds_scanned = 0;
+  int rounds_abnormal = 0;
+  // Sensors with any evidence, sorted by severity descending, then onset
+  // round ascending (the earlier deviator is the better root-cause
+  // candidate), then sensor id ascending. ranking.front() is the advisor's
+  // root-cause verdict.
+  std::vector<SensorFinding> ranking;
+  std::vector<IncidentSegment> segments;
+  std::vector<TimelineEvent> timeline;
+};
+
+// Severity formula weights (severity = kMoverWeight * mover_rounds +
+// structural + kPresenceWeight * outlier_rounds + kChurnWeight *
+// (enter_count + exit_count)). Movers dominate: a sensor that left its
+// community itself is causally implicated, a sensor whose peers left it is
+// collateral.
+inline constexpr double kMoverWeight = 3.0;
+inline constexpr double kPresenceWeight = 0.5;
+inline constexpr double kChurnWeight = 0.25;
+
+// Scores every sensor over the in-window subset of `records` and builds the
+// ranked report. `records` must be ascending in round (the order every
+// flight-log surface emits); out-of-window records are ignored. An empty
+// window yields an empty report (rounds_scanned == 0).
+[[nodiscard]] AdviceReport Advise(
+    const std::vector<obs::DecisionRecord>& records,
+    const AdviseWindow& window = AdviseWindow());
+
+// Maps a sample (time-axis) range to the round range whose windows intersect
+// [sample_from, sample_to], using the window spans the records themselves
+// carry — no window/step arithmetic assumptions. When no record's window
+// intersects the range, the returned window has first_round > last_round
+// (both non-negative), which Advise treats as "select nothing".
+[[nodiscard]] AdviseWindow WindowForSamples(
+    const std::vector<obs::DecisionRecord>& records, int sample_from,
+    int sample_to);
+
+// One-line, byte-deterministic JSON rendering of the report (field order
+// fixed, doubles via the shared %.9g policy, no wall-clock facts). The
+// /advise HTTP body and cad_explain --advise stdout (modulo one trailing
+// newline) are exactly this string.
+[[nodiscard]] std::string AdviceReportToJson(const AdviceReport& report);
+
+}  // namespace cad::advisor
+
+#endif  // CAD_ADVISOR_ADVISOR_H_

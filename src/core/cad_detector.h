@@ -70,7 +70,7 @@ struct DetectionReport {
   // runs sharing a registry.
   obs::Snapshot telemetry;
   // The engine's flight-recorder ring at the end of the run, oldest round
-  // first: the last CadOptions::flight_recorder_capacity rounds of decision
+  // first: the last CadOptions::flight_log_capacity rounds of decision
   // provenance (empty when recording is disabled). The deterministic fields
   // are byte-identical to what StreamingCad records for the same input.
   std::vector<obs::DecisionRecord> flight_log;

@@ -123,9 +123,9 @@ struct CadOptions {
   obs::Tracer* tracer = nullptr;
 
   // Flight recorder (obs/flight_recorder.h): the engine keeps the last
-  // `flight_recorder_capacity` rounds of decision provenance in a
+  // `flight_log_capacity` rounds of decision provenance in a
   // preallocated ring. 0 disables recording (and every feature below).
-  int flight_recorder_capacity = 256;
+  int flight_log_capacity = 256;
   // When set, the engine appends the rounds of every anomaly to this JSONL
   // file the moment the anomaly closes (the held subset, oldest first).
   std::string flight_log_path;
@@ -170,13 +170,13 @@ struct CadOptions {
     if (!use_sigma_rule && fixed_xi < 1) {
       return Status::InvalidArgument("fixed_xi must be >= 1");
     }
-    if (flight_recorder_capacity < 0) {
-      return Status::InvalidArgument("flight_recorder_capacity must be >= 0");
+    if (flight_log_capacity < 0) {
+      return Status::InvalidArgument("flight_log_capacity must be >= 0");
     }
-    if (flight_recorder_capacity == 0 &&
+    if (flight_log_capacity == 0 &&
         (!flight_log_path.empty() || !flight_crash_dump_path.empty())) {
       return Status::InvalidArgument(
-          "flight log / crash dump paths need flight_recorder_capacity > 0");
+          "flight log / crash dump paths need flight_log_capacity > 0");
     }
     if (exposition_port < -1 || exposition_port > 65535) {
       return Status::InvalidArgument(

@@ -106,7 +106,7 @@ DetectionEngine::DetectionEngine(int n_sensors, const CadOptions& options)
       processor_(n_sensors, options),
       policy_(options),
       assembler_(n_sensors, options, metrics_),
-      recorder_(options.flight_recorder_capacity, n_sensors) {
+      recorder_(options.flight_log_capacity, n_sensors) {
   if (!options_.flight_crash_dump_path.empty()) {
     recorder_.EnableCrashDump(options_.flight_crash_dump_path);
   }

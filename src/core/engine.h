@@ -179,7 +179,7 @@ class DetectionEngine {
   const AnomalyAssembler& assembler() const { return assembler_; }
   const CoAppearanceTracker& tracker() const { return processor_.tracker(); }
 
-  // Flight recorder (CadOptions::flight_recorder_capacity rounds of decision
+  // Flight recorder (CadOptions::flight_log_capacity rounds of decision
   // provenance; disabled at capacity 0).
   const obs::FlightRecorder& recorder() const { return recorder_; }
   // Why round `round` fired (or stayed silent): its DecisionRecord plus the

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "advisor/advisor.h"
 #include "check/check.h"
 #include "common/stopwatch.h"
 #include "obs/export.h"
@@ -33,6 +34,9 @@ std::unique_ptr<obs::ExpositionServer> StreamingCad::MakeServer(
   };
   handlers.healthz_json = [self] { return self->HealthJson(); };
   handlers.explain_json = [self](int round) { return self->ExplainJson(round); };
+  handlers.advise_json = [self](int from_round, int to_round) {
+    return self->AdviseJson(from_round, to_round);
+  };
   Result<std::unique_ptr<obs::ExpositionServer>> server =
       obs::ExpositionServer::Start(
           static_cast<uint16_t>(self->options_.exposition_port),
@@ -63,6 +67,21 @@ std::string StreamingCad::DumpFlightLogJsonl() const {
   std::string jsonl;
   engine_.recorder().DumpJsonl(&jsonl);
   return jsonl;
+}
+
+std::vector<obs::DecisionRecord> StreamingCad::FlightLog() const {
+  common::MutexLock lock(mu_);
+  return engine_.recorder().Records();
+}
+
+std::string StreamingCad::AdviseJson(int from_round, int to_round) const {
+  std::vector<obs::DecisionRecord> records = FlightLog();
+  advisor::AdviseWindow window;
+  window.first_round = from_round;
+  window.last_round = to_round;
+  const advisor::AdviceReport report = advisor::Advise(records, window);
+  if (report.rounds_scanned == 0) return std::string();  // 404 upstream
+  return advisor::AdviceReportToJson(report);
 }
 
 StreamHealth StreamingCad::Health() const {

@@ -127,6 +127,20 @@ class StreamingCad {
   // line; empty when recording is disabled.
   std::string DumpFlightLogJsonl() const EXCLUDES(mu_);
 
+  // Snapshot of the flight-recorder ring, oldest round first; empty when
+  // recording is disabled. Copies under the lock — feed the result to
+  // advisor::Advise for structured triage instead of reparsing AdviseJson.
+  [[nodiscard]] std::vector<obs::DecisionRecord> FlightLog() const
+      EXCLUDES(mu_);
+
+  // Root-cause advice (advisor::AdviceReportToJson) over the inclusive round
+  // range [from_round, to_round] of the flight-recorder ring; -1 = unbounded
+  // on that side. Empty string when the range selects no recorded rounds —
+  // the /advise handler turns that into a 404. Copies the ring under the
+  // lock, then scores outside it so Push is never blocked by triage.
+  [[nodiscard]] std::string AdviseJson(int from_round, int to_round) const
+      EXCLUDES(mu_);
+
   // Liveness snapshot (the /healthz payload).
   StreamHealth Health() const EXCLUDES(mu_);
 

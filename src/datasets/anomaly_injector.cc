@@ -148,6 +148,26 @@ std::vector<eval::SensorGroundTruth> ToGroundTruth(
   return truth;
 }
 
+std::vector<InjectedGroundTruth> ExportGroundTruth(
+    const std::vector<AnomalyEvent>& events) {
+  std::vector<InjectedGroundTruth> truth;
+  truth.reserve(events.size());
+  for (const AnomalyEvent& event : events) {
+    InjectedGroundTruth record;
+    record.type = event.type;
+    record.onset_sample = event.start;
+    record.end_sample = event.start + event.duration;
+    record.sensors = event.sensors;
+    std::sort(record.sensors.begin(), record.sensors.end());
+    truth.push_back(std::move(record));
+  }
+  std::sort(truth.begin(), truth.end(),
+            [](const InjectedGroundTruth& a, const InjectedGroundTruth& b) {
+              return a.onset_sample < b.onset_sample;
+            });
+  return truth;
+}
+
 std::vector<AnomalyEvent> PlanEvents(const SensorNetworkGenerator& generator,
                                      int length, int n_events, int min_duration,
                                      int max_duration, int min_gap, Rng* rng) {

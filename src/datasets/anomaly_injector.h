@@ -59,6 +59,22 @@ eval::Labels InjectAnomalies(const SensorNetworkGenerator& generator,
 std::vector<eval::SensorGroundTruth> ToGroundTruth(
     const std::vector<AnomalyEvent>& events);
 
+// Stable per-incident ground truth for root-cause evaluation: exactly what
+// was injected and when, one entry per event (never merged — the advisor is
+// judged incident by incident), sorted by onset then sensors ascending.
+// `onset_sample`/`end_sample` are on the series time axis; the eval layer
+// maps them to round indices (eval/root_cause.h FirstRoundCovering, or
+// advisor::WindowForSamples against a concrete flight log).
+struct InjectedGroundTruth {
+  AnomalyType type = AnomalyType::kCorrelationBreak;
+  int onset_sample = 0;      // first affected sample (event.start)
+  int end_sample = 0;        // one past the last affected sample
+  std::vector<int> sensors;  // injected (true root-cause) sensors, ascending
+};
+
+[[nodiscard]] std::vector<InjectedGroundTruth> ExportGroundTruth(
+    const std::vector<AnomalyEvent>& events);
+
 // Plans `n_events` non-overlapping events over [warmup_margin, length), each
 // affecting a random fraction of one random community, with at least
 // `min_gap` normal points between consecutive events. Types cycle through

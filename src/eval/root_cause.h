@@ -1,0 +1,54 @@
+// Root-cause ranking metrics: did the advisor's ranked sensor list name the
+// truly injected sensor near the top? Netdata's Anomaly Advisor is judged on
+// "the culprit is in the first screen of 30-50 metrics"; with ground truth
+// we can be stricter — bench/advisor_bench gates on hit@3.
+#ifndef CAD_EVAL_ROOT_CAUSE_H_
+#define CAD_EVAL_ROOT_CAUSE_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace cad::eval {
+
+// True when any of the first `k` entries of `ranking` (advisor order, best
+// candidate first) is one of the truly injected `true_sensors`.
+[[nodiscard]] inline bool RootCauseHitAtK(const std::vector<int>& ranking,
+                                          const std::vector<int>& true_sensors,
+                                          int k) {
+  const int limit = std::min<int>(k, static_cast<int>(ranking.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (std::find(true_sensors.begin(), true_sensors.end(), ranking[i]) !=
+        true_sensors.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Fraction of incidents whose ranking hit the truth within the top k.
+// hits[i] is RootCauseHitAtK for incident i; empty input yields 0.
+[[nodiscard]] inline double RootCauseHitRate(const std::vector<bool>& hits) {
+  if (hits.empty()) return 0.0;
+  int n_hits = 0;
+  for (bool hit : hits) {
+    if (hit) ++n_hits;
+  }
+  return static_cast<double>(n_hits) / static_cast<double>(hits.size());
+}
+
+// First detection round whose window [r*step, r*step + window) covers
+// `sample`, for a driver whose round r sees exactly that span (both the
+// batch and streaming drivers do, counting samples from 0). Returns -1 when
+// no round covers the sample (only possible for step > window gaps).
+// This is the pure window/step arithmetic; advisor::WindowForSamples derives
+// the same mapping from a concrete flight log's recorded spans — the
+// injector round-trip test holds the two against each other.
+[[nodiscard]] inline int FirstRoundCovering(int sample, int window, int step) {
+  if (sample < 0 || window <= 0 || step <= 0) return -1;
+  const int r = sample >= window ? (sample - window) / step + 1 : 0;
+  return r * step <= sample ? r : -1;
+}
+
+}  // namespace cad::eval
+
+#endif  // CAD_EVAL_ROOT_CAUSE_H_

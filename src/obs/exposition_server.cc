@@ -36,29 +36,32 @@ std::string HttpResponse(int code, const char* reason,
   return response;
 }
 
-// Parses the decimal round from "round=NNN" in a query string; returns false
-// on absent/malformed/overflowing values.
-bool ParseRoundQuery(const std::string& query, int* round) {
-  const std::string key = "round=";
+// Outcome of looking up one integer query parameter.
+enum class QueryParam { kAbsent, kOk, kMalformed };
+
+// Finds `key` ("name=") in the query string and parses its decimal value;
+// kMalformed covers empty, non-digit and overflowing values.
+QueryParam ParseIntParam(const std::string& query, const std::string& key,
+                         int* value) {
   size_t pos = 0;
   while (pos < query.size()) {
     size_t end = query.find('&', pos);
     if (end == std::string::npos) end = query.size();
     if (query.compare(pos, key.size(), key) == 0) {
-      const std::string value = query.substr(pos + key.size(),
-                                             end - pos - key.size());
-      if (value.empty() || value.size() > 9) return false;
+      const std::string text = query.substr(pos + key.size(),
+                                            end - pos - key.size());
+      if (text.empty() || text.size() > 9) return QueryParam::kMalformed;
       long parsed = 0;
-      for (char c : value) {
-        if (c < '0' || c > '9') return false;
+      for (char c : text) {
+        if (c < '0' || c > '9') return QueryParam::kMalformed;
         parsed = parsed * 10 + (c - '0');
       }
-      *round = static_cast<int>(parsed);
-      return true;
+      *value = static_cast<int>(parsed);
+      return QueryParam::kOk;
     }
     pos = end + 1;
   }
-  return false;
+  return QueryParam::kAbsent;
 }
 
 }  // namespace
@@ -222,7 +225,7 @@ std::string ExpositionServer::BuildResponse(const std::string& request_line) {
   }
   if (target == "/explain") {
     int round = -1;
-    if (!ParseRoundQuery(query, &round)) {
+    if (ParseIntParam(query, "round=", &round) != QueryParam::kOk) {
       return HttpResponse(400, "Bad Request", "text/plain",
                           "usage: /explain?round=<non-negative integer>\n");
     }
@@ -235,12 +238,31 @@ std::string ExpositionServer::BuildResponse(const std::string& request_line) {
     }
     return HttpResponse(200, "OK", "application/json", body);
   }
+  if (target == "/advise") {
+    int from_round = -1;
+    int to_round = -1;
+    if (ParseIntParam(query, "from=", &from_round) == QueryParam::kMalformed ||
+        ParseIntParam(query, "to=", &to_round) == QueryParam::kMalformed) {
+      return HttpResponse(
+          400, "Bad Request", "text/plain",
+          "usage: /advise?from=<round>&to=<round> (both optional)\n");
+    }
+    const std::string body = handlers_.advise_json
+                                 ? handlers_.advise_json(from_round, to_round)
+                                 : std::string();
+    if (body.empty()) {
+      return HttpResponse(404, "Not Found", "text/plain",
+                          "no recorded rounds in the requested range\n");
+    }
+    return HttpResponse(200, "OK", "application/json", body);
+  }
   if (target == "/") {
     return HttpResponse(200, "OK", "text/plain",
                         "cad exposition endpoints:\n"
-                        "  /metrics           Prometheus text\n"
-                        "  /healthz           liveness JSON\n"
-                        "  /explain?round=r   decision provenance JSON\n");
+                        "  /metrics               Prometheus text\n"
+                        "  /healthz               liveness JSON\n"
+                        "  /explain?round=r       decision provenance JSON\n"
+                        "  /advise?from=a&to=b    root-cause advice JSON\n");
   }
   return HttpResponse(404, "Not Found", "text/plain", "unknown endpoint\n");
 }

@@ -10,6 +10,10 @@
 //   /explain?round=r   JSON decision provenance for round r (404 when the
 //                      round is not in the flight-recorder ring, 400 on a
 //                      malformed round)
+//   /advise?from=..&to=..  JSON root-cause advice over the round range
+//                      [from, to]; both bounds optional (default: the whole
+//                      ring). 400 on a malformed bound, 404 when the range
+//                      selects no recorded rounds.
 //   /                  plain-text index of the endpoints
 //
 // Content is produced by caller-supplied handlers, so the server knows
@@ -47,6 +51,10 @@ class ExpositionServer {
     std::function<std::string()> healthz_json;
     // Body for /explain?round=r, or empty when the round is unknown (404).
     std::function<std::string(int round)> explain_json;
+    // Body for /advise?from=..&to=.. — root-cause advice over the inclusive
+    // round range [from_round, to_round], -1 meaning unbounded on that side.
+    // Empty when the range selects no recorded rounds (404).
+    std::function<std::string(int from_round, int to_round)> advise_json;
   };
 
   // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serve thread.

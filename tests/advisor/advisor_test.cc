@@ -1,0 +1,211 @@
+// Unit tests for cad::advisor: window selection, membership replay, onset /
+// severity / blast-radius semantics, incident segments, and the
+// byte-determinism contract (including the %.9g canonicalization that keeps
+// the live and offline paths byte-identical).
+#include "advisor/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace cad::advisor {
+namespace {
+
+obs::DecisionRecord MakeRecord(int round, double score = 0.5,
+                               bool abnormal = false,
+                               bool anomaly_open = false) {
+  obs::DecisionRecord record;
+  record.round = round;
+  record.window_start = round * 4;
+  record.window_end = round * 4 + 40;
+  record.score = score;
+  record.abnormal = abnormal;
+  record.anomaly_open = anomaly_open;
+  record.n_communities = 3;
+  record.modularity = 0.42;
+  return record;
+}
+
+TEST(AdvisorTest, EmptyInputYieldsEmptyReport) {
+  const AdviceReport report = Advise({});
+  EXPECT_EQ(report.rounds_scanned, 0);
+  EXPECT_EQ(report.first_round, -1);
+  EXPECT_TRUE(report.ranking.empty());
+  EXPECT_TRUE(report.segments.empty());
+  EXPECT_TRUE(report.timeline.empty());
+  EXPECT_EQ(AdviceReportToJson(report),
+            "{\"advice_version\":1,\"window\":{\"first_round\":-1,"
+            "\"last_round\":-1,\"rounds_scanned\":0,\"rounds_abnormal\":0},"
+            "\"ranking\":[],\"segments\":[],\"timeline\":[]}");
+}
+
+TEST(AdvisorTest, WindowBoundsSelectInclusiveRoundRange) {
+  std::vector<obs::DecisionRecord> records;
+  for (int r = 0; r < 10; ++r) records.push_back(MakeRecord(r));
+  const AdviceReport report = Advise(records, AdviseWindow{3, 5});
+  EXPECT_EQ(report.first_round, 3);
+  EXPECT_EQ(report.last_round, 5);
+  EXPECT_EQ(report.rounds_scanned, 3);
+
+  // Unbounded sides clamp to the records present.
+  const AdviceReport all = Advise(records);
+  EXPECT_EQ(all.first_round, 0);
+  EXPECT_EQ(all.last_round, 9);
+  EXPECT_EQ(all.rounds_scanned, 10);
+
+  // first > last (both non-negative) selects nothing.
+  EXPECT_EQ(Advise(records, AdviseWindow{5, 3}).rounds_scanned, 0);
+}
+
+TEST(AdvisorTest, OnsetSeverityAndBlastRadius) {
+  std::vector<obs::DecisionRecord> records;
+  obs::DecisionRecord r0 = MakeRecord(0, 0.8, /*abnormal=*/true);
+  r0.entered = {1};
+  r0.movers = {1};
+  obs::DecisionRecord r1 =
+      MakeRecord(1, 0.9, /*abnormal=*/true, /*anomaly_open=*/true);
+  r1.entered = {2};
+  obs::DecisionRecord r2 = MakeRecord(2, 0.1);
+  r2.exited = {1, 2};
+  records = {r0, r1, r2};
+
+  const AdviceReport report = Advise(records);
+  ASSERT_EQ(report.ranking.size(), 2u);
+  const SensorFinding& first = report.ranking[0];
+  const SensorFinding& second = report.ranking[1];
+
+  // Sensor 1: mover at round 0, resident rounds 0-1, one enter + one exit.
+  EXPECT_EQ(first.sensor, 1);
+  EXPECT_EQ(first.onset_round, 0);
+  EXPECT_EQ(first.onset_window_start, 0);
+  EXPECT_EQ(first.onset_window_end, 40);
+  EXPECT_EQ(first.mover_rounds, 1);
+  EXPECT_EQ(first.outlier_rounds, 2);
+  EXPECT_EQ(first.enter_count, 1);
+  EXPECT_EQ(first.exit_count, 1);
+  EXPECT_DOUBLE_EQ(first.structural, 0.8 + 0.9);
+  EXPECT_DOUBLE_EQ(first.severity, kMoverWeight * 1 + (0.8 + 0.9) +
+                                       kPresenceWeight * 2 +
+                                       kChurnWeight * (1 + 1));
+
+  // Sensor 2: collateral — joined later, never moved communities.
+  EXPECT_EQ(second.sensor, 2);
+  EXPECT_EQ(second.onset_round, 1);
+  EXPECT_EQ(second.mover_rounds, 0);
+  EXPECT_EQ(second.outlier_rounds, 1);
+  EXPECT_LT(second.severity, first.severity);
+
+  // One incident segment spanning the abnormal/anomaly-open rounds, with the
+  // cascade order and the asymmetric blast radius.
+  ASSERT_EQ(report.segments.size(), 1u);
+  EXPECT_EQ(report.segments[0].first_round, 0);
+  EXPECT_EQ(report.segments[0].last_round, 1);
+  EXPECT_EQ(report.segments[0].onset_order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(first.blast_radius, 1);
+  EXPECT_EQ(first.peers, (std::vector<int>{2}));
+  EXPECT_EQ(second.blast_radius, 0);
+  EXPECT_TRUE(second.peers.empty());
+
+  // All three rounds had activity (set changes / abnormal verdicts).
+  EXPECT_EQ(report.timeline.size(), 3u);
+  EXPECT_EQ(report.timeline[0].delta_communities, 0);
+  EXPECT_TRUE(report.timeline[0].abnormal);
+  EXPECT_FALSE(report.timeline[2].abnormal);
+}
+
+TEST(AdvisorTest, ExitWithoutEntryPinsOnsetToWindowStart) {
+  // Sensor 7 was resident before the scanned window opened; the only
+  // in-window evidence is its exit. Its onset predates the window, so it is
+  // pinned to the window's first scanned round.
+  std::vector<obs::DecisionRecord> records = {MakeRecord(5), MakeRecord(6)};
+  records[1].exited = {7};
+  const AdviceReport report = Advise(records);
+  ASSERT_EQ(report.ranking.size(), 1u);
+  EXPECT_EQ(report.ranking[0].sensor, 7);
+  EXPECT_EQ(report.ranking[0].onset_round, 5);
+  EXPECT_EQ(report.ranking[0].onset_window_start, 20);
+  EXPECT_EQ(report.ranking[0].exit_count, 1);
+  // Residency was never observed in-window, so no outlier rounds accrue.
+  EXPECT_EQ(report.ranking[0].outlier_rounds, 0);
+}
+
+TEST(AdvisorTest, SeparateAbnormalRunsYieldSeparateSegments) {
+  std::vector<obs::DecisionRecord> records;
+  records.push_back(MakeRecord(0, 0.9, true));
+  records.push_back(MakeRecord(1, 0.1));
+  records.push_back(MakeRecord(2, 0.9, true));
+  records.push_back(MakeRecord(3, 0.9, true));
+  const AdviceReport report = Advise(records);
+  ASSERT_EQ(report.segments.size(), 2u);
+  EXPECT_EQ(report.segments[0].first_round, 0);
+  EXPECT_EQ(report.segments[0].last_round, 0);
+  EXPECT_EQ(report.segments[1].first_round, 2);
+  EXPECT_EQ(report.segments[1].last_round, 3);
+  EXPECT_EQ(report.rounds_abnormal, 3);
+}
+
+TEST(AdvisorTest, WindowForSamplesUsesRecordedSpans) {
+  std::vector<obs::DecisionRecord> records;
+  for (int r = 0; r < 10; ++r) records.push_back(MakeRecord(r));
+  // Round r spans [4r, 4r + 40): sample 50 is covered by rounds 3..9 (the
+  // first window containing it starts at round ceil((50-40+1)/4) = 3).
+  AdviseWindow window = WindowForSamples(records, 50, 50);
+  EXPECT_EQ(window.first_round, 3);
+  EXPECT_EQ(window.last_round, 9);
+  // A range beyond every span selects nothing, and Advise agrees.
+  window = WindowForSamples(records, 500, 600);
+  EXPECT_GT(window.first_round, window.last_round);
+  EXPECT_EQ(Advise(records, window).rounds_scanned, 0);
+}
+
+// The offline path re-parses doubles from their %.9g rendering. Advise must
+// produce byte-identical JSON from the original and the re-parsed records.
+TEST(AdvisorTest, CanonicalizationMakesLiveAndReparsedRecordsAgree) {
+  std::vector<obs::DecisionRecord> live;
+  obs::DecisionRecord r0 = MakeRecord(0, 0.123456789123456789, true);
+  r0.entered = {1, 2};
+  r0.movers = {1};
+  r0.modularity = 0.987654321987654321;
+  obs::DecisionRecord r1 = MakeRecord(1, 0.333333333333333333, true, true);
+  r1.exited = {2};
+  live = {r0, r1};
+
+  std::vector<obs::DecisionRecord> reparsed = live;
+  for (obs::DecisionRecord& record : reparsed) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", record.score);
+    record.score = std::strtod(buf, nullptr);
+    std::snprintf(buf, sizeof(buf), "%.9g", record.modularity);
+    record.modularity = std::strtod(buf, nullptr);
+  }
+  // The re-parse genuinely loses bits (else the test proves nothing)...
+  ASSERT_NE(reparsed[0].score, live[0].score);
+  // ...yet the reports agree byte for byte.
+  EXPECT_EQ(AdviceReportToJson(Advise(live)),
+            AdviceReportToJson(Advise(reparsed)));
+}
+
+TEST(AdvisorTest, JsonIsByteDeterministicAcrossRuns) {
+  std::vector<obs::DecisionRecord> records;
+  for (int r = 0; r < 6; ++r) {
+    obs::DecisionRecord record = MakeRecord(r, 0.1 * r, r % 2 == 1);
+    if (r == 2) record.entered = {3, 5};
+    if (r == 4) record.exited = {5};
+    records.push_back(record);
+  }
+  const std::string a = AdviceReportToJson(Advise(records));
+  const std::string b = AdviceReportToJson(Advise(records));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"advice_version\":1"), std::string::npos);
+  EXPECT_NE(a.find("\"ranking\":["), std::string::npos);
+  EXPECT_NE(a.find("\"segments\":["), std::string::npos);
+  EXPECT_NE(a.find("\"timeline\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cad::advisor

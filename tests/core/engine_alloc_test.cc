@@ -98,7 +98,7 @@ TEST(EngineAllocTest, FlightRecorderWraparoundStaysAllocationFree) {
   const testing::SmallScenario scenario = testing::MakeSmallScenario();
   obs::Registry registry;
   CadOptions options = MakeOptions(&registry);
-  options.flight_recorder_capacity = 16;
+  options.flight_log_capacity = 16;
   StreamingCad streaming(scenario.test.n_sensors(), options);
   ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
 
@@ -125,10 +125,55 @@ TEST(EngineAllocTest, FlightRecorderWraparoundStaysAllocationFree) {
     ++steady_rounds;
   }
   // The ring wrapped (rounds >> capacity) and the recorder was live.
-  EXPECT_GT(streaming.rounds_completed(), 10 * options.flight_recorder_capacity);
+  EXPECT_GT(streaming.rounds_completed(), 10 * options.flight_log_capacity);
   const StreamHealth health = streaming.Health();
   EXPECT_EQ(health.flight_ring_capacity, 16);
   EXPECT_EQ(health.flight_ring_size, 16);
+  EXPECT_GT(steady_rounds, 50) << "scenario too short to exercise steady state";
+}
+
+TEST(EngineAllocTest, LargeNonDefaultCapacityStaysAllocationFree) {
+  // The other direction from the tiny-ring test: a ring far above the 256
+  // default (CadOptions::flight_log_capacity is configurable so the advisor
+  // can triage long incidents). Preallocation must cover the whole capacity
+  // up front — holding more rounds than the default could ever keep must not
+  // put a single allocation on the steady-state path.
+  common::LinkAllocHook();
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  obs::Registry registry;
+  CadOptions options = MakeOptions(&registry);
+  options.step = 2;  // more rounds than the 256 default would retain
+  options.flight_log_capacity = 1024;
+  StreamingCad streaming(scenario.test.n_sensors(), options);
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+
+  constexpr int kWarmupRounds = 8;
+  int steady_rounds = 0;
+  bool prev_abnormal = false;
+  std::vector<double> sample(scenario.test.n_sensors());
+  for (int t = 0; t < scenario.test.length(); ++t) {
+    for (int i = 0; i < scenario.test.n_sensors(); ++i) {
+      sample[i] = scenario.test.value(i, t);
+    }
+    auto event = streaming.Push(sample).ValueOrDie();
+    if (!event.has_value()) continue;
+    const bool transition = event->abnormal || prev_abnormal;
+    prev_abnormal = event->abnormal;
+    if (event->round < kWarmupRounds || transition) continue;
+    const double allocs = RoundAllocsGauge(registry.TakeSnapshot());
+#if CAD_VALIDATE_ENABLED
+    EXPECT_GE(allocs, 0.0);
+#else
+    EXPECT_EQ(allocs, 0.0) << "round " << event->round
+                           << " allocated with a large flight ring";
+#endif
+    ++steady_rounds;
+  }
+  // Every round is still held — more than the default capacity could keep.
+  const StreamHealth health = streaming.Health();
+  EXPECT_EQ(health.flight_ring_capacity, 1024);
+  EXPECT_EQ(health.flight_ring_size, streaming.rounds_completed());
+  EXPECT_GT(health.flight_ring_size, CadOptions{}.flight_log_capacity);
   EXPECT_GT(steady_rounds, 50) << "scenario too short to exercise steady state";
 }
 

@@ -170,7 +170,7 @@ TEST(StreamingCadTest, ExplainAnswersForLiveRounds) {
 TEST(StreamingCadTest, ExplainIsEmptyWhenRecordingIsDisabled) {
   const testing::SmallScenario scenario = testing::MakeSmallScenario();
   CadOptions options = ScenarioOptions();
-  options.flight_recorder_capacity = 0;
+  options.flight_log_capacity = 0;
   StreamingCad streaming(scenario.test.n_sensors(), options);
   ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
   for (int t = 0; t < 200; ++t) {

@@ -1,0 +1,57 @@
+// Tests for eval/root_cause.h: hit@k semantics and the window/step round
+// arithmetic the injector round-trip test builds on.
+#include "eval/root_cause.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cad::eval {
+namespace {
+
+TEST(RootCauseTest, HitAtKRespectsTheCutoff) {
+  const std::vector<int> ranking = {4, 9, 2, 7};
+  EXPECT_TRUE(RootCauseHitAtK(ranking, {4}, 1));
+  EXPECT_FALSE(RootCauseHitAtK(ranking, {2}, 2));
+  EXPECT_TRUE(RootCauseHitAtK(ranking, {2}, 3));
+  EXPECT_TRUE(RootCauseHitAtK(ranking, {1, 7}, 4));
+  EXPECT_FALSE(RootCauseHitAtK(ranking, {1, 3}, 4));
+  // k beyond the ranking and empty inputs degrade gracefully.
+  EXPECT_TRUE(RootCauseHitAtK(ranking, {7}, 100));
+  EXPECT_FALSE(RootCauseHitAtK({}, {7}, 3));
+  EXPECT_FALSE(RootCauseHitAtK(ranking, {}, 3));
+}
+
+TEST(RootCauseTest, HitRateAveragesIncidents) {
+  EXPECT_EQ(RootCauseHitRate({}), 0.0);
+  EXPECT_EQ(RootCauseHitRate({true, true, false, true}), 0.75);
+  EXPECT_EQ(RootCauseHitRate({false}), 0.0);
+}
+
+TEST(RootCauseTest, FirstRoundCoveringMatchesWindowArithmetic) {
+  // window 40, step 4: round r sees [4r, 4r + 40).
+  EXPECT_EQ(FirstRoundCovering(0, 40, 4), 0);
+  EXPECT_EQ(FirstRoundCovering(39, 40, 4), 0);
+  EXPECT_EQ(FirstRoundCovering(40, 40, 4), 1);  // round 1 spans [4, 44)
+  EXPECT_EQ(FirstRoundCovering(50, 40, 4), 3);  // round 3 spans [12, 52)
+  // Brute-force agreement over a dense grid of samples.
+  for (int sample = 0; sample < 400; ++sample) {
+    int expected = -1;
+    for (int r = 0; r < 200; ++r) {
+      if (r * 4 <= sample && sample < r * 4 + 40) {
+        expected = r;
+        break;
+      }
+    }
+    EXPECT_EQ(FirstRoundCovering(sample, 40, 4), expected) << sample;
+  }
+  // step > window leaves gaps no round covers.
+  EXPECT_EQ(FirstRoundCovering(10, 8, 16), -1);
+  EXPECT_EQ(FirstRoundCovering(16, 8, 16), 1);
+  // Degenerate inputs.
+  EXPECT_EQ(FirstRoundCovering(-1, 40, 4), -1);
+  EXPECT_EQ(FirstRoundCovering(5, 0, 4), -1);
+}
+
+}  // namespace
+}  // namespace cad::eval

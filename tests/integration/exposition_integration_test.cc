@@ -1,10 +1,16 @@
 // Acceptance gate for the observability surface: a live StreamingCad is
-// scraped over HTTP (/metrics, /healthz, /explain?round=r) and the explain
-// record must be byte-identical — in its deterministic prefix — to the
-// decision provenance the batch driver reports for the same input. One
-// detection engine, two drivers, one flight-recorder story.
+// scraped over HTTP (/metrics, /healthz, /explain?round=r, /advise) and the
+// explain record must be byte-identical — in its deterministic prefix — to
+// the decision provenance the batch driver reports for the same input. One
+// detection engine, two drivers, one flight-recorder story. The /advise body
+// must additionally byte-compare against the offline replay: the real
+// cad_explain binary (CAD_EXPLAIN_BIN) run with --advise over the same
+// flight log dumped to JSONL.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -128,6 +134,71 @@ TEST(ExpositionIntegrationTest, LiveScrapeMatchesBatchProvenance) {
                                        "/explain?round=999999");
   ASSERT_TRUE(missing.ok);
   EXPECT_EQ(missing.status_code, 404);
+}
+
+TEST(ExpositionIntegrationTest, LiveAdviseMatchesOfflineCadExplainByteForByte) {
+  const cad::testing::SmallScenario scenario = cad::testing::MakeSmallScenario();
+
+  obs::Registry registry;
+  CadOptions options = MakeOptions(&registry);
+  options.exposition_port = 0;
+  StreamingCad streaming(scenario.test.n_sensors(), options);
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+  PushAll(&streaming, scenario.test);
+  const int port = streaming.exposition_port();
+  ASSERT_GT(port, 0) << "exposition server did not come up";
+
+  // Live path: scrape /advise over the whole ring.
+  const HttpResponse advise = HttpGet(static_cast<uint16_t>(port), "/advise");
+  ASSERT_TRUE(advise.ok);
+  EXPECT_EQ(advise.status_code, 200);
+  ASSERT_FALSE(advise.body.empty());
+  EXPECT_EQ(advise.body.compare(0, 20, "{\"advice_version\":1,"), 0)
+      << advise.body.substr(0, 80);
+
+  // Offline path: dump the same flight log and replay it through the real
+  // cad_explain binary. Its stdout is the advice JSON plus one newline.
+  const std::string jsonl = streaming.DumpFlightLogJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  const std::string log_path = ::testing::TempDir() + "/advise_live.jsonl";
+  {
+    std::ofstream file(log_path);
+    file << jsonl;
+  }
+  const std::string command =
+      std::string(CAD_EXPLAIN_BIN) + " --advise " + log_path;
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr) << "failed to spawn: " << command;
+  std::string offline;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    offline.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  ASSERT_EQ(WEXITSTATUS(status), 0) << offline;
+
+  // The acceptance bar: live scrape == offline replay, byte for byte.
+  EXPECT_EQ(offline, advise.body + "\n")
+      << "live /advise and cad_explain --advise disagree";
+
+  // Round-range selection narrows the window, malformed bounds 400, an
+  // empty range 404.
+  const int last_round = streaming.rounds_completed() - 1;
+  const HttpResponse ranged =
+      HttpGet(static_cast<uint16_t>(port),
+              "/advise?from=" + std::to_string(last_round) +
+                  "&to=" + std::to_string(last_round));
+  ASSERT_TRUE(ranged.ok);
+  EXPECT_EQ(ranged.status_code, 200);
+  EXPECT_NE(ranged.body.find("\"rounds_scanned\":1"), std::string::npos)
+      << ranged.body.substr(0, 120);
+  EXPECT_EQ(HttpGet(static_cast<uint16_t>(port), "/advise?from=abc").status_code,
+            400);
+  EXPECT_EQ(HttpGet(static_cast<uint16_t>(port),
+                    "/advise?from=999990&to=999999")
+                .status_code,
+            404);
 }
 
 TEST(ExpositionIntegrationTest, ServerIsOffByDefault) {

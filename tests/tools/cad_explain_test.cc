@@ -130,6 +130,71 @@ TEST(CadExplainTest, UsageErrorsExitOne) {
   EXPECT_EQ(RunExplain(::testing::TempDir() + "/does_not_exist.jsonl")
                 .exit_code,
             1);
+  // --from/--to are --advise modifiers only.
+  EXPECT_EQ(RunExplain("--from 2 x.jsonl").exit_code, 1);
+}
+
+TEST(CadExplainTest, UnicodeEscapesDecodeToUtf8) {
+  // \u00e9 = é (2-byte UTF-8), \ud83d\ude00 = 😀 (surrogate pair, 4-byte).
+  // The schema's fixed keys never need escapes, so smuggle them through an
+  // extra key the reader must still parse correctly.
+  std::string line = RecordLine(0, 0, false);
+  line.insert(line.find("\"round\""),
+              "\"note\":\"caf\\u00e9 \\ud83d\\ude00\",");
+  const std::string path = WriteFixture("explain_unicode.jsonl", line + "\n");
+  const BinaryResult result = RunExplain(path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("1 record(s)"), std::string::npos)
+      << result.output;
+}
+
+TEST(CadExplainTest, MalformedUnicodeEscapesAreLineNumberedErrors) {
+  // A lone high surrogate is invalid; the error names line 2.
+  std::string bad = RecordLine(1, 0, false);
+  bad.insert(bad.find("\"round\""), "\"note\":\"\\ud83d\",");
+  const std::string path = WriteFixture(
+      "explain_bad_unicode.jsonl", RecordLine(0, 0, false) + "\n" + bad + "\n");
+  const BinaryResult result = RunExplain(path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find(":2:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("surrogate"), std::string::npos)
+      << result.output;
+}
+
+TEST(CadExplainTest, DuplicateObjectKeysAreLineNumberedErrors) {
+  // Silently keeping either value would lie about the record; the reader
+  // must reject the line and name it.
+  std::string dup = RecordLine(1, 0, false);
+  dup.insert(dup.find("\"window_start\""), "\"round\":99,");
+  const std::string path = WriteFixture(
+      "explain_dup_key.jsonl", RecordLine(0, 0, false) + "\n" + dup + "\n");
+  const BinaryResult result = RunExplain(path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find(":2:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("duplicate object key 'round'"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(CadExplainTest, AdviseEmitsRankedReportJson) {
+  const std::string path = WriteFixture(
+      "explain_advise.jsonl", RecordLine(0, 0, false) + "\n" +
+                                  RecordLine(1, 4, true) + "\n" +
+                                  RecordLine(2, 1, false) + "\n");
+  const BinaryResult result = RunExplain("--advise " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // One JSON line; the fixture's movers (sensor 4) must lead the ranking.
+  EXPECT_EQ(result.output.find("{\"advice_version\":1,"), 0u) << result.output;
+  EXPECT_NE(result.output.find("\"ranking\":[{\"sensor\":4,"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("\"rounds_scanned\":3"), std::string::npos);
+
+  // Range selection and its not-found exit.
+  const BinaryResult ranged = RunExplain("--advise --from 1 --to 1 " + path);
+  EXPECT_EQ(ranged.exit_code, 0);
+  EXPECT_NE(ranged.output.find("\"rounds_scanned\":1"), std::string::npos);
+  EXPECT_EQ(RunExplain("--advise --from 7 --to 9 " + path).exit_code, 3);
 }
 
 }  // namespace

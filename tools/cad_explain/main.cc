@@ -11,14 +11,22 @@
 //                                      record, the delta against the
 //                                      previous round in the log, and the
 //                                      stage timings
+//   cad_explain --advise [--from A] [--to B] LOG.jsonl
+//                                      root-cause advice over the inclusive
+//                                      round range [A, B] (default: the
+//                                      whole log): the advisor::AdviceReport
+//                                      JSON, byte-identical to a live
+//                                      /advise?from=A&to=B scrape of the
+//                                      same flight log
 //
 // Exit codes: 0 ok, 1 usage/I-O error, 2 parse error (reported with the
-// offending line number), 3 round not found.
+// offending line number), 3 round (or advise range) not found.
 //
 // The parser is a deliberately small recursive-descent JSON reader — the
 // repo's no-third-party-deps rule applies to tools too, and the schema is
 // ours.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,13 +36,18 @@
 #include <string>
 #include <vector>
 
+#include "advisor/advisor.h"
+#include "obs/flight_recorder.h"
+
 namespace cad::tools {
 namespace {
 
 // ---------------------------------------------------------------------------
 // Minimal JSON value + parser (objects, arrays, strings, numbers, bools,
-// null; no \uXXXX decoding beyond pass-through, which the flight-log schema
-// never emits for its fixed keys).
+// null). Strings decode every RFC 8259 escape including \uXXXX (with
+// surrogate pairs) to UTF-8; duplicate object keys are a hard error — a
+// flight log never legitimately repeats a key, so a duplicate means a
+// corrupt or hand-mangled line and silently keeping either value would lie.
 // ---------------------------------------------------------------------------
 
 struct JsonValue {
@@ -95,6 +108,49 @@ class JsonParser {
     return true;
   }
 
+  // Reads the four hex digits of a \uXXXX escape (pos_ on the first digit).
+  bool ParseHex4(uint32_t* out, std::string* error) {
+    if (pos_ + 4 > text_.size()) {
+      *error = "truncated \\u escape";
+      return false;
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      value <<= 4;
+      if (h >= '0' && h <= '9') {
+        value |= static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        value |= static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        value |= static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        *error = std::string("non-hex digit '") + h + "' in \\u escape";
+        return false;
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
   bool ParseString(std::string* out, std::string* error) {
     if (pos_ >= text_.size() || text_[pos_] != '"') {
       *error = "expected string";
@@ -111,9 +167,36 @@ class JsonParser {
           case 'n': c = '\n'; break;
           case 't': c = '\t'; break;
           case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
           case '"': c = '"'; break;
           case '\\': c = '\\'; break;
           case '/': c = '/'; break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!ParseHex4(&cp, error)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: the low half must follow as another \uXXXX.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                *error = "high surrogate not followed by \\u low surrogate";
+                return false;
+              }
+              pos_ += 2;
+              uint32_t low = 0;
+              if (!ParseHex4(&low, error)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                *error = "invalid low surrogate in \\u pair";
+                return false;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              *error = "unpaired low surrogate in \\u escape";
+              return false;
+            }
+            AppendUtf8(cp, out);
+            continue;
+          }
           default:
             *error = std::string("unsupported escape \\") + esc;
             return false;
@@ -229,6 +312,10 @@ class JsonParser {
       ++pos_;
       JsonValue value;
       if (!ParseValue(&value, error)) return false;
+      if (out->object.find(key) != out->object.end()) {
+        *error = "duplicate object key '" + key + "'";
+        return false;
+      }
       out->object.emplace(std::move(key), std::move(value));
       SkipSpace();
       if (pos_ >= text_.size()) {
@@ -408,26 +495,61 @@ void PrintDetail(const LogRecord& r, const LogRecord* prev) {
               r.coappearance_seconds, r.round_seconds);
 }
 
+// Rehydrates the deterministic prefix of a DecisionRecord from a parsed log
+// line — exactly the fields the advisor consumes (it never reads timings).
+obs::DecisionRecord ToDecisionRecord(const LogRecord& r) {
+  obs::DecisionRecord record;
+  record.round = r.round;
+  record.window_start = r.window_start;
+  record.window_end = r.window_end;
+  record.n_variations = r.n_variations;
+  record.mu = r.mu;
+  record.sigma = r.sigma;
+  record.threshold = r.threshold;
+  record.score = r.score;
+  record.abnormal = r.abnormal;
+  record.anomaly_open = r.anomaly_open;
+  record.n_outliers = r.n_outliers;
+  record.n_communities = r.n_communities;
+  record.n_edges = r.n_edges;
+  record.modularity = r.modularity;
+  record.entered = r.entered;
+  record.exited = r.exited;
+  record.movers = r.movers;
+  return record;
+}
+
+constexpr char kUsage[] =
+    "usage: cad_explain [--abnormal | --round R | "
+    "--advise [--from A] [--to B]] LOG.jsonl\n";
+
 int Main(int argc, char** argv) {
   bool abnormal_only = false;
+  bool advise = false;
   int target_round = -1;
+  int from_round = -1;
+  int to_round = -1;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--abnormal") == 0) {
       abnormal_only = true;
     } else if (std::strcmp(argv[i], "--round") == 0 && i + 1 < argc) {
       target_round = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--advise") == 0) {
+      advise = true;
+    } else if (std::strcmp(argv[i], "--from") == 0 && i + 1 < argc) {
+      from_round = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--to") == 0 && i + 1 < argc) {
+      to_round = std::atoi(argv[++i]);
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: cad_explain [--abnormal | --round R] LOG.jsonl\n");
+      std::fprintf(stderr, kUsage);
       return 1;
     } else {
       path = argv[i];
     }
   }
-  if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: cad_explain [--abnormal | --round R] LOG.jsonl\n");
+  if (path.empty() || (!advise && (from_round >= 0 || to_round >= 0))) {
+    std::fprintf(stderr, kUsage);
     return 1;
   }
 
@@ -463,6 +585,36 @@ int Main(int argc, char** argv) {
   if (records.empty()) {
     std::fprintf(stderr, "cad_explain: %s holds no records\n", path.c_str());
     return 1;
+  }
+
+  if (advise) {
+    std::vector<obs::DecisionRecord> decision_records;
+    decision_records.reserve(records.size());
+    for (const LogRecord& r : records) {
+      // Advise() requires rounds ascending; a flight log always is, so a
+      // violation means the file was mangled — report the offending line.
+      if (!decision_records.empty() && r.round <= decision_records.back().round) {
+        std::fprintf(stderr,
+                     "cad_explain: %s:%d: round %d does not ascend past %d\n",
+                     path.c_str(), r.line, r.round,
+                     decision_records.back().round);
+        return 2;
+      }
+      decision_records.push_back(ToDecisionRecord(r));
+    }
+    advisor::AdviseWindow window;
+    window.first_round = from_round;
+    window.last_round = to_round;
+    const advisor::AdviceReport report =
+        advisor::Advise(decision_records, window);
+    if (report.rounds_scanned == 0) {
+      std::fprintf(stderr,
+                   "cad_explain: no rounds of %s fall in [%d, %d]\n",
+                   path.c_str(), from_round, to_round);
+      return 3;
+    }
+    std::printf("%s\n", advisor::AdviceReportToJson(report).c_str());
+    return 0;
   }
 
   if (target_round >= 0) {

@@ -6,7 +6,10 @@
 # and that the Chrome-trace JSONL is one well-formed event per line. Then
 # runs bench/engine_bench --smoke --flight-out and checks the flight log:
 # one parseable JSON object per line, every DecisionRecord key present,
-# consecutive round indices — failures name the offending line.
+# consecutive round indices — failures name the offending line. Finally the
+# advisor contract: tools/cad_explain --advise over that same flight log must
+# emit one AdviceReport JSON line with the documented shape (advice_version,
+# window, ranking, segments, timeline) and be byte-identical across two runs.
 #
 # Usage: tools/check_telemetry.sh [build_dir]   (default: build)
 set -euo pipefail
@@ -133,6 +136,68 @@ with open(path) as f:
 if n_records == 0:
     sys.exit(f"FAIL: {path}: no records")
 print(f"OK: {n_records} flight-log records, rounds end at {prev_round}")
+EOF
+
+# --- Root-cause advice JSON ------------------------------------------------
+CAD_EXPLAIN="$BUILD_DIR/tools/cad_explain/cad_explain"
+if [[ ! -x "$CAD_EXPLAIN" ]]; then
+  echo "error: $CAD_EXPLAIN not found — build first" >&2
+  exit 1
+fi
+ADVICE="$OUT_DIR/advice.json"
+"$CAD_EXPLAIN" --advise "$FLIGHT" > "$ADVICE"
+[[ -s "$ADVICE" ]] || { echo "FAIL: $ADVICE missing or empty" >&2; exit 1; }
+# The offline replay is pure: same flight log in, same bytes out.
+"$CAD_EXPLAIN" --advise "$FLIGHT" | cmp -s - "$ADVICE" \
+  || { echo "FAIL: cad_explain --advise is not byte-deterministic" >&2
+       exit 1; }
+
+python3 - "$ADVICE" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+doc = json.load(open(path))
+
+assert doc.get("advice_version") == 1, "advice_version must be 1"
+window = doc["window"]
+for key in ("first_round", "last_round", "rounds_scanned", "rounds_abnormal"):
+    assert isinstance(window.get(key), int), f"window.{key} must be an int"
+assert window["rounds_scanned"] > 0, "advice over an empty window"
+
+ranking = doc["ranking"]
+finding_keys = [
+    "sensor", "severity", "onset_round", "onset_window_start",
+    "onset_window_end", "mover_rounds", "outlier_rounds", "enter_count",
+    "exit_count", "structural", "blast_radius", "peers",
+]
+prev_severity = None
+for i, finding in enumerate(ranking):
+    for key in finding_keys:
+        assert key in finding, f"ranking[{i}] lacks '{key}'"
+    assert finding["blast_radius"] == len(finding["peers"]), (
+        f"ranking[{i}]: blast_radius != len(peers)")
+    if prev_severity is not None:
+        assert finding["severity"] <= prev_severity, (
+            f"ranking[{i}]: severity must be non-increasing")
+    prev_severity = finding["severity"]
+
+for i, segment in enumerate(doc["segments"]):
+    assert segment["first_round"] <= segment["last_round"], (
+        f"segments[{i}]: empty segment")
+
+prev_round = None
+for i, event in enumerate(doc["timeline"]):
+    for key in ("round", "abnormal", "anomaly_open", "score", "entered",
+                "exited", "movers"):
+        assert key in event, f"timeline[{i}] lacks '{key}'"
+    if prev_round is not None:
+        assert event["round"] > prev_round, "timeline rounds must ascend"
+    prev_round = event["round"]
+
+print(f"OK: advice ranks {len(ranking)} sensor(s) over "
+      f"{window['rounds_scanned']} rounds, "
+      f"{len(doc['segments'])} segment(s), "
+      f"{len(doc['timeline'])} timeline event(s)")
 EOF
 
 echo "telemetry check passed"

@@ -26,6 +26,11 @@
 #                   scrape /metrics, /healthz and /explain, and the
 #                   concurrent-scrape-while-ingesting hammering, plus the
 #                   live-scrape-vs-batch-provenance integration gate.
+#   9. advisor    — root-cause advisor gates: the advisor unit suite and the
+#                   advise-consuming tests under asan-ubsan, then the
+#                   live-/advise-vs-offline-cad_explain byte-compare under
+#                   tsan (server thread + triage under instrumentation), and
+#                   the advisor_bench --smoke hit@3 quality gate.
 #
 # Presets come from CMakePresets.json; each stage uses its own binaryDir so
 # the matrix never contaminates the default build/.
@@ -39,7 +44,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2> /dev/null || echo 2)"
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs advisor)
 
 # Builds tools/cad_lint (reusing the default build dir) and prints the
 # binary's path. The linter has no dependencies beyond a C++20 compiler, so
@@ -122,10 +127,25 @@ for stage in "${STAGES[@]}"; do
       ctest --preset tsan -R 'ExpositionServer|ExpositionIntegration' \
         --output-on-failure
       ;;
+    advisor)
+      echo
+      echo "==== [advisor/asan-ubsan] advisor suite ===="
+      cmake --preset asan-ubsan
+      cmake --build --preset asan-ubsan -j "$JOBS"
+      ctest --preset asan-ubsan \
+        -R 'AdvisorTest|RootCauseTest|GroundTruthExportTest|CadExplainTest|advisor_bench_smoke' \
+        --output-on-failure
+      echo
+      echo "==== [advisor/tsan] live /advise vs offline replay ===="
+      cmake --preset tsan
+      cmake --build --preset tsan -j "$JOBS"
+      ctest --preset tsan -R 'LiveAdviseMatchesOfflineCadExplain' \
+        --output-on-failure
+      ;;
     *)
       echo "error: unknown stage '$stage'" \
            "(expected: checked, asan-ubsan, tsan, lint, lint-cad," \
-           "thread-safety, engine, obs)" >&2
+           "thread-safety, engine, obs, advisor)" >&2
       exit 2
       ;;
   esac
