@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/alloc_tracker.h"
+#include "common/realtime.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/cad_detector.h"
@@ -323,9 +324,30 @@ int Main(int argc, char** argv) {
                "    \"overhead_pct\": %.3f,\n"
                "    \"recorder_on_allocs_per_round\": %.3f,\n"
                "    \"recorder_on_round_allocs_gauge\": %.1f\n"
-               "  }\n",
+               "  },\n",
                kDefaultFlightCapacity, stream_off.rounds_per_sec,
                stream.rounds_per_sec, overhead_pct, stream.allocs_per_round,
+               stream.round_allocs_gauge);
+  // Perf contract for the realtime annotations (src/common/realtime.h):
+  // the CAD_REALTIME family must cost nothing. Under GCC the macros are
+  // textual no-ops (attributes_active = false); under Clang 20+ the
+  // [[clang::nonblocking]] attributes affect diagnostics only, never
+  // codegen. Either way the batch/stream throughput above IS the annotated
+  // build's throughput — this block records it alongside the flag so a
+  // run on any toolchain documents which regime it measured.
+  std::fprintf(out,
+               "  \"realtime_annotations\": {\n"
+               "    \"attributes_active\": %s,\n"
+               "    \"enforcement\": \"%s\",\n"
+               "    \"batch_rounds_per_sec\": %.3f,\n"
+               "    \"stream_rounds_per_sec\": %.3f,\n"
+               "    \"stream_round_allocs_gauge\": %.1f\n"
+               "  }\n",
+               CAD_REALTIME_ATTRIBUTES_ENABLED ? "true" : "false",
+               CAD_REALTIME_ATTRIBUTES_ENABLED
+                   ? "clang function-effects + cad_lint CL007/CL008"
+                   : "cad_lint CL007/CL008 (attributes compiled out)",
+               batch.rounds_per_sec, stream.rounds_per_sec,
                stream.round_allocs_gauge);
   std::fprintf(out, "}\n");
   std::fclose(out);

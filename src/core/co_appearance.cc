@@ -30,7 +30,7 @@ std::vector<int> CoAppearanceNumbers(const std::vector<int>& prev_community,
 
 const std::vector<int>& CoAppearanceTracker::Observe(
     const std::vector<int>& prev_community,
-    const std::vector<int>& cur_community) {
+    const std::vector<int>& cur_community) CAD_REALTIME_AUDITED {
   CAD_CHECK(static_cast<int>(cur_community.size()) == n_vertices_,
             "vertex count mismatch");
   CAD_CHECK(prev_community.size() == cur_community.size(),

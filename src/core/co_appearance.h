@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/realtime.h"
 #include "common/status.h"
 
 namespace cad::core {
@@ -85,11 +86,12 @@ class CoAppearanceTracker {
   // current round's and returns this round's S_r(v) per vertex. The
   // reference stays valid until the next Observe or Reset.
   const std::vector<int>& Observe(const std::vector<int>& prev_community,
-                                  const std::vector<int>& cur_community);
+                                  const std::vector<int>& cur_community)
+      CAD_REALTIME_AUDITED;
 
   // RC_{v,r} over the windowed transitions observed so far; 1.0 before any
   // transition (no evidence of instability yet).
-  double ratio(int v) const {
+  double ratio(int v) const CAD_REALTIME {
     const int size = history_size(v);
     if (size == 0) return 1.0;
     // The windowed sum slides by add/subtract, so it carries O(eps) drift
@@ -104,7 +106,7 @@ class CoAppearanceTracker {
   // Windowed transitions currently retained for v (<= options.window and
   // <= transitions()); exposed for the check/validators.h invariants. Every
   // vertex observes every transition, so the count is vertex-independent.
-  int history_size(int v) const {
+  int history_size(int v) const CAD_REALTIME {
     (void)v;
     return options_.window > 0 ? std::min(transitions_, options_.window)
                                : transitions_;

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/realtime.h"
 #include "common/status.h"
 #include "core/cad_options.h"
 #include "core/round_processor.h"
@@ -58,17 +59,17 @@ class DecisionPolicy {
   // statistics. Round 0 has no preceding round (the paper's r > 1 guard),
   // burn-in rounds carry cold-start artifacts, and rounds with no statistics
   // yet cannot deviate from them; none of those can be abnormal.
-  Decision Judge(int round, int n_variations) const;
+  Decision Judge(int round, int n_variations) const CAD_REALTIME;
 
   // Folds n_r into mu/sigma (burn-in rounds are cold-start artifacts of the
   // empty outlier state, not data, and are skipped).
-  void Update(int round, int n_variations) {
+  void Update(int round, int n_variations) CAD_REALTIME {
     if (round >= burn_in_) stats_.Add(n_variations);
   }
 
   // Warm-up seeding (Algorithm 2, WarmUp): the caller applies its own
   // burn-in filter over the historical rounds.
-  void Seed(int n_variations) { stats_.Add(n_variations); }
+  void Seed(int n_variations) CAD_REALTIME { stats_.Add(n_variations); }
 
   const stats::RunningStats& stats() const { return stats_; }
 
@@ -98,7 +99,7 @@ class AnomalyAssembler {
   // one, and its end_time is the end of its last abnormal window.
   void Observe(int round, bool abnormal, const RoundOutput& out,
                int window_start_time, int window_end_time,
-               const CoAppearanceTracker& tracker);
+               const CoAppearanceTracker& tracker) CAD_REALTIME_AUDITED;
 
   // Closes any anomaly still open after the final round (batch end-of-series).
   void Finish(const CoAppearanceTracker& tracker);
@@ -116,7 +117,11 @@ class AnomalyAssembler {
   }
 
  private:
-  void Close(int last_round, int end_time, const CoAppearanceTracker& tracker);
+  // Audited rather than strict: closing pushes the finished anomaly onto
+  // anomalies_ (bounded by the anomaly count, capacity retained) — a rare
+  // event, not steady-state round work.
+  void Close(int last_round, int end_time,
+             const CoAppearanceTracker& tracker) CAD_REALTIME_AUDITED;
 
   int n_sensors_;
   CadOptions options_;
@@ -160,7 +165,8 @@ class DetectionEngine {
   // global time axis (batch: plan.start/end(r); streaming: samples_seen -
   // window / samples_seen).
   EngineRound Step(const ts::MultivariateSeries& series, int start,
-                   int window_start_time, int window_end_time);
+                   int window_start_time,
+                   int window_end_time) CAD_REALTIME_AUDITED;
 
   // Closes any anomaly still open after the last Step (and, like a normal
   // close, appends its rounds to CadOptions::flight_log_path when set).

@@ -24,7 +24,7 @@ namespace {
 // are flat vectors; everything lives in the workspace and is reused.
 void PluralitySuccessors(const std::vector<int>& prev_community,
                          const std::vector<int>& cur_community,
-                         RoundWorkspace* ws) {
+                         RoundWorkspace* ws) CAD_REALTIME_AUDITED {
   const size_t n = prev_community.size();
   ws->vote_keys.resize(n);
   int max_prev = 0;
@@ -55,7 +55,7 @@ void PluralitySuccessors(const std::vector<int>& prev_community,
 }  // namespace
 
 const RoundOutput& RoundProcessor::ProcessWindow(
-    const ts::MultivariateSeries& series, int start) {
+    const ts::MultivariateSeries& series, int start) CAD_REALTIME_AUDITED {
   CAD_CHECK(series.n_sensors() == n_sensors_, "sensor count mismatch");
   out_.Clear();  // cleared before the stage timers start accumulating
   obs::Span round_span(tracer_, span_name_);
@@ -67,6 +67,7 @@ const RoundOutput& RoundProcessor::ProcessWindow(
       obs::ScopedHistogramTimer corr_timer(metrics_.correlation_seconds,
                                            &out_.correlation_seconds);
       if (rolling_ == nullptr) {
+        // cad-lint: allow(CL007) one-time lazy construction on the first round only; every later round takes the SlideTo branch
         rolling_ = std::make_unique<stats::RollingCorrelationTracker>(
             n_sensors_, options_.window);
         rolling_->Reset(series, start);
@@ -92,7 +93,7 @@ const RoundOutput& RoundProcessor::ProcessWindow(
 }
 
 const RoundOutput& RoundProcessor::ProcessCorrelation(
-    const stats::CorrelationMatrix& corr) {
+    const stats::CorrelationMatrix& corr) CAD_REALTIME_AUDITED {
   out_.Clear();
   obs::Span round_span(tracer_, span_name_);
   obs::ScopedHistogramTimer round_timer(metrics_.round_seconds,
@@ -101,9 +102,11 @@ const RoundOutput& RoundProcessor::ProcessCorrelation(
 }
 
 const RoundOutput& RoundProcessor::FinishRound(
-    const stats::CorrelationMatrix& corr, obs::Span* round_span) {
+    const stats::CorrelationMatrix& corr,
+    obs::Span* round_span) CAD_REALTIME_AUDITED {
   CAD_CHECK(corr.size() == n_sensors_, "correlation matrix size mismatch");
   if (round_span->active()) {
+    // cad-lint: allow(CL007) guarded by active(): only runs when a tracer is attached, an opt-in diagnostic mode
     round_span->AddArg("round", std::to_string(rounds_processed_));
   }
   RoundOutput& out = out_;  // Clear()ed by the ProcessWindow/Correlation entry
@@ -170,6 +173,7 @@ const RoundOutput& RoundProcessor::FinishRound(
     }
   }
   for (int v = 0; v < n_sensors_; ++v) {
+    // cad-lint: allow(CL007) RoundOutput is Clear()-and-reuse: bounded by n_sensors, capacity retained across rounds
     if (tracker_.ratio(v) < options_.theta) out.outliers.push_back(v);
   }
 
@@ -183,13 +187,16 @@ const RoundOutput& RoundProcessor::FinishRound(
     if (cur_flags[v] != outlier_flags_[v]) {
       ++n_variations;
       if (cur_flags[v]) {
+        // cad-lint: allow(CL007) Clear()-and-reuse RoundOutput buffer, bounded by n_sensors
         out.entered.push_back(v);
         const int recency = options_.rc_window > 0 ? options_.rc_window : 8;
         if (last_moved_round_[v] >= 0 &&
             rounds_processed_ - last_moved_round_[v] <= recency) {
+          // cad-lint: allow(CL007) Clear()-and-reuse RoundOutput buffer, bounded by n_sensors
           out.entered_movers.push_back(v);
         }
       } else {
+        // cad-lint: allow(CL007) Clear()-and-reuse RoundOutput buffer, bounded by n_sensors
         out.exited.push_back(v);
       }
     }

@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "common/realtime.h"
 #include "core/cad_options.h"
 #include "core/co_appearance.h"
 #include "graph/knn_graph.h"
@@ -103,11 +104,12 @@ class RoundProcessor {
   // Rounds must be fed in chronological order. The returned reference points
   // at the processor's reused output and stays valid until the next round.
   const RoundOutput& ProcessWindow(const ts::MultivariateSeries& series,
-                                   int start);
+                                   int start) CAD_REALTIME_AUDITED;
 
   // Same, but the caller supplies a pre-built correlation matrix (used by the
   // micro benches to isolate graph/community cost).
-  const RoundOutput& ProcessCorrelation(const stats::CorrelationMatrix& corr);
+  const RoundOutput& ProcessCorrelation(const stats::CorrelationMatrix& corr)
+      CAD_REALTIME_AUDITED;
 
   // Clears all cross-round state (communities, RC history, outlier set).
   void Reset();
@@ -124,7 +126,7 @@ class RoundProcessor {
  private:
   // Phases 1-3 on a ready correlation matrix, inside the given round span.
   const RoundOutput& FinishRound(const stats::CorrelationMatrix& corr,
-                                 obs::Span* round_span);
+                                 obs::Span* round_span) CAD_REALTIME_AUDITED;
 
   int n_sensors_;
   CadOptions options_;

@@ -83,6 +83,7 @@ class StreamingCad {
   // follows abnormal ones). Returns a copy: a reference into guarded state
   // would dangle the moment the lock is released.
   std::vector<Anomaly> anomalies() const EXCLUDES(mu_) {
+    // cad-lint: allow(CL007) name-resolution over-approximation: the engine's `.anomalies()` is DetectionEngine::anomalies, not this driver API, which is never called from inside Step
     common::MutexLock lock(mu_);
     return engine_.anomalies();
   }

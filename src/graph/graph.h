@@ -46,6 +46,7 @@ class Graph {
     CAD_CHECK(u != v, "self-loop");
     CAD_CHECK(u >= 0 && u < n_vertices() && v >= 0 && v < n_vertices(),
               "edge endpoint out of range");
+    // cad-lint: allow(CL007) adjacency capacity is retained across Reset(); steady-state rebuilds push into reserved storage (engine_alloc_test)
     adjacency_[u].push_back({v, weight});
     adjacency_[v].push_back({u, weight});
     ++n_edges_;
@@ -80,6 +81,7 @@ class Graph {
   // deterministic serialization). The Into form reuses `edges`' capacity.
   void SortedEdgesInto(std::vector<Edge>* edges) const {
     edges->clear();
+    // cad-lint: allow(CL007) reserve into retained capacity: the caller's workspace vector keeps its storage across rounds
     edges->reserve(static_cast<size_t>(n_edges_));
     for (int u = 0; u < n_vertices(); ++u) {
       for (const Neighbor& nb : adjacency_[u]) {

@@ -11,7 +11,7 @@ namespace cad::graph {
 
 void BuildKnnGraphInto(const stats::CorrelationMatrix& corr,
                        const KnnGraphOptions& options, KnnScratch* scratch,
-                       Graph* out, KnnGraphStats* stats) {
+                       Graph* out, KnnGraphStats* stats) CAD_REALTIME_AUDITED {
   const int n = corr.size();
   CAD_CHECK(options.k >= 1, "k must be >= 1");
   out->Reset(n);
@@ -23,12 +23,14 @@ void BuildKnnGraphInto(const stats::CorrelationMatrix& corr,
   std::vector<uint8_t>& selected = scratch->selected;
   selected.assign(static_cast<size_t>(n) * n, 0);
   std::vector<int>& order = scratch->order;
+  // cad-lint: allow(CL007) KnnScratch retains capacity across rounds; the reserve is a no-op after the first round
   order.reserve(n > 0 ? n - 1 : 0);
   int directed_candidates = 0;
   for (int u = 0; u < n; ++u) {
     order.clear();
     for (int v = 0; v < n; ++v) {
       if (v == u) continue;
+      // cad-lint: allow(CL007) pushes into the reserved KnnScratch capacity above
       if (std::abs(corr.at(u, v)) >= options.tau) order.push_back(v);
     }
     directed_candidates += static_cast<int>(order.size());

@@ -6,6 +6,7 @@
 #ifndef CAD_GRAPH_KNN_GRAPH_H_
 #define CAD_GRAPH_KNN_GRAPH_H_
 
+#include "common/realtime.h"
 #include "graph/graph.h"
 #include "stats/correlation.h"
 
@@ -41,7 +42,8 @@ Graph BuildKnnGraph(const stats::CorrelationMatrix& corr,
 // `scratch`'s buffers. Identical output to BuildKnnGraph.
 void BuildKnnGraphInto(const stats::CorrelationMatrix& corr,
                        const KnnGraphOptions& options, KnnScratch* scratch,
-                       Graph* graph, KnnGraphStats* stats = nullptr);
+                       Graph* graph,
+                       KnnGraphStats* stats = nullptr) CAD_REALTIME_AUDITED;
 
 }  // namespace cad::graph
 

@@ -98,6 +98,7 @@ bool LocalMoving(const Graph& graph, const std::vector<double>& self_weight,
       touched.clear();
       for (const Graph::Neighbor& nb : graph.neighbors(v)) {
         const int c = (*community)[nb.vertex];
+        // cad-lint: allow(CL007) LouvainWorkspace buffer with clear()-and-reuse semantics, bounded by the community count
         if (weight_to_community[c] == 0.0) touched.push_back(c);
         weight_to_community[c] += std::abs(nb.weight);
       }
@@ -155,6 +156,7 @@ void AggregateInto(const std::vector<Edge>& level_edges,
     const int cv = community[e.v];
     if (cu == cv) continue;
     const int a = std::min(cu, cv), b = std::max(cu, cv);
+    // cad-lint: allow(CL007) LouvainWorkspace buffer with clear()-and-reuse semantics, bounded by the level's edge count
     agg.push_back({static_cast<int64_t>(a) * n_communities + b, seq++,
                    std::abs(e.weight)});
   }
@@ -185,7 +187,7 @@ double Modularity(const Graph& graph, const std::vector<int>& community) {
 }
 
 void LouvainInto(const Graph& graph, const LouvainOptions& options,
-                 LouvainWorkspace* ws, Partition* out) {
+                 LouvainWorkspace* ws, Partition* out) CAD_REALTIME_AUDITED {
   const int n = graph.n_vertices();
   out->community.resize(n);
   std::iota(out->community.begin(), out->community.end(), 0);

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/realtime.h"
 #include "graph/graph.h"
 
 namespace cad::graph {
@@ -84,7 +85,8 @@ Partition Louvain(const Graph& graph, const LouvainOptions& options = {});
 // arithmetic included), with all scratch drawn from `workspace` and the
 // result written into `out`.
 void LouvainInto(const Graph& graph, const LouvainOptions& options,
-                 LouvainWorkspace* workspace, Partition* out);
+                 LouvainWorkspace* workspace,
+                 Partition* out) CAD_REALTIME_AUDITED;
 
 // Connected components (ignores weights); used by tests as a coarse
 // consistency check against Louvain (every community is within a component).

@@ -34,7 +34,7 @@ void AppendIntArray(std::string* out, const std::vector<int>& values) {
 
 }  // namespace
 
-void DecisionRecord::Clear() {
+void DecisionRecord::Clear() CAD_REALTIME_AUDITED {
   round = -1;
   window_start = 0;
   window_end = 0;
@@ -188,14 +188,14 @@ int FlightRecorder::size() const {
 
 int64_t FlightRecorder::total_records() const { return total_; }
 
-DecisionRecord& FlightRecorder::BeginRecord() {
+DecisionRecord& FlightRecorder::BeginRecord() CAD_REALTIME_AUDITED {
   CAD_CHECK(enabled(), "BeginRecord on a disabled flight recorder");
   DecisionRecord& record = ring_[static_cast<size_t>(slot(total_))];
   record.Clear();
   return record;
 }
 
-void FlightRecorder::Commit() {
+void FlightRecorder::Commit() CAD_REALTIME_AUDITED {
   CAD_CHECK(enabled(), "Commit on a disabled flight recorder");
   const size_t index = static_cast<size_t>(slot(total_));
   ring_[index].unix_us = WallNowUs();

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "common/realtime.h"
+
 namespace cad::obs {
 
 // Everything one engine round's decision was made from. The deterministic
@@ -66,7 +68,7 @@ struct DecisionRecord {
   int64_t unix_us = 0;  // wall-clock commit time, microseconds since epoch
 
   // Resets values but keeps vector capacity (ring-slot reuse).
-  void Clear();
+  void Clear() CAD_REALTIME_AUDITED;
 };
 
 // A record plus the delta against the preceding round — the "what changed
@@ -116,8 +118,8 @@ class FlightRecorder {
   // The slot the next round should fill, Clear()ed. Callers fill it and then
   // Commit(); Begin without Commit overwrites the same slot. Must not be
   // called on a disabled recorder.
-  DecisionRecord& BeginRecord();
-  void Commit();
+  DecisionRecord& BeginRecord() CAD_REALTIME_AUDITED;
+  void Commit() CAD_REALTIME_AUDITED;
 
   // Newest committed record; nullptr while empty.
   const DecisionRecord* latest() const;

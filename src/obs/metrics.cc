@@ -14,7 +14,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value) CAD_REALTIME {
   // Branchless-ish bucket lookup; bucket i holds values <= bounds_[i].
   const size_t bucket =
       std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/realtime.h"
 #include "common/thread_annotations.h"
 
 namespace cad::obs {
@@ -32,7 +33,7 @@ namespace cad::obs {
 // Monotonically increasing integer metric (Prometheus counter semantics).
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) {
+  void Increment(uint64_t delta = 1) CAD_REALTIME {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
@@ -45,8 +46,10 @@ class Counter {
 // Instantaneous value metric (last write wins).
 class Gauge {
  public:
-  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(double v) CAD_REALTIME { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) CAD_REALTIME {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { Set(0.0); }
 
@@ -61,7 +64,7 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
-  void Observe(double value);
+  void Observe(double value) CAD_REALTIME;
 
   const std::vector<double>& bounds() const { return bounds_; }
   uint64_t count() const;

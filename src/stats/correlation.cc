@@ -77,7 +77,7 @@ double SpearmanCorrelation(std::span<const double> x,
 void WindowCorrelationMatrixInto(const ts::MultivariateSeries& series,
                                  int start, int w, CorrelationKind kind,
                                  int n_threads, CorrelationScratch* scratch,
-                                 CorrelationMatrix* out) {
+                                 CorrelationMatrix* out) CAD_REALTIME_AUDITED {
   const int n = series.n_sensors();
   CAD_CHECK(start >= 0 && start + w <= series.length(), "window out of range");
   out->Reset(n);
@@ -138,10 +138,13 @@ void WindowCorrelationMatrixInto(const ts::MultivariateSeries& series,
     compute_rows(0, 1);
   } else {
     std::vector<std::thread> workers;
+    // cad-lint: allow(CL007) opt-in n_threads>1 path; the engine's default single-thread configuration never reaches it
     workers.reserve(n_threads);
     for (int t = 0; t < n_threads; ++t) {
+      // cad-lint: allow(CL007) thread spawn on the opt-in n_threads>1 path only
       workers.emplace_back(compute_rows, t, n_threads);
     }
+    // cad-lint: allow(CL007) join on the opt-in n_threads>1 path only
     for (std::thread& worker : workers) worker.join();
   }
 }

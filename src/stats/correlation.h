@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/realtime.h"
 #include "ts/multivariate_series.h"
 
 namespace cad::stats {
@@ -80,7 +81,7 @@ CorrelationMatrix WindowCorrelationMatrix(
 void WindowCorrelationMatrixInto(const ts::MultivariateSeries& series,
                                  int start, int w, CorrelationKind kind,
                                  int n_threads, CorrelationScratch* scratch,
-                                 CorrelationMatrix* out);
+                                 CorrelationMatrix* out) CAD_REALTIME_AUDITED;
 
 // Average ranks of `x` (ties share the mean rank); the Spearman transform.
 std::vector<double> RankTransform(std::span<const double> x);

@@ -53,8 +53,8 @@ void RollingCorrelationTracker::Reset(const ts::MultivariateSeries& series,
   slides_since_refresh_ = 0;
 }
 
-void RollingCorrelationTracker::SlideTo(const ts::MultivariateSeries& series,
-                                        int new_start) {
+void RollingCorrelationTracker::SlideTo(
+    const ts::MultivariateSeries& series, int new_start) CAD_REALTIME_AUDITED {
   CAD_CHECK(new_start >= 0 && new_start + window_ <= series.length(),
             "window out of range");
   const bool overlaps =
@@ -71,7 +71,8 @@ void RollingCorrelationTracker::SlideTo(const ts::MultivariateSeries& series,
   start_ = new_start;
 }
 
-void RollingCorrelationTracker::CorrelationsInto(CorrelationMatrix* out) const {
+void RollingCorrelationTracker::CorrelationsInto(CorrelationMatrix* out) const
+    CAD_REALTIME_AUDITED {
   CAD_CHECK(start_ >= 0, "tracker not positioned; call Reset first");
   out->Reset(n_sensors_);
   CorrelationMatrix& corr = *out;

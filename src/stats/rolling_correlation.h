@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/realtime.h"
 #include "stats/correlation.h"
 #include "ts/multivariate_series.h"
 
@@ -34,7 +35,8 @@ class RollingCorrelationTracker {
   // be > current start and <= current start + window so the windows
   // overlap; otherwise the tracker resets). `series` must be the same
   // object passed to Reset.
-  void SlideTo(const ts::MultivariateSeries& series, int new_start);
+  void SlideTo(const ts::MultivariateSeries& series,
+               int new_start) CAD_REALTIME_AUDITED;
 
   // The correlation matrix of the current window.
   CorrelationMatrix Correlations() const;
@@ -42,7 +44,7 @@ class RollingCorrelationTracker {
   // Allocation-free form: writes into `out` (bitwise-identical to
   // Correlations). The tracker's own scratch is sized at construction, so a
   // Reset/SlideTo/CorrelationsInto cycle never touches the heap.
-  void CorrelationsInto(CorrelationMatrix* out) const;
+  void CorrelationsInto(CorrelationMatrix* out) const CAD_REALTIME_AUDITED;
 
   int start() const { return start_; }
   int window() const { return window_; }

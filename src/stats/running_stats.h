@@ -13,11 +13,13 @@
 #include <deque>
 #include <limits>
 
+#include "common/realtime.h"
+
 namespace cad::stats {
 
 class RunningStats {
  public:
-  void Add(double x) {
+  void Add(double x) CAD_REALTIME {
     ++count_;
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(count_);
@@ -73,6 +75,7 @@ class RollingStats {
   explicit RollingStats(size_t capacity) : capacity_(capacity) {}
 
   void Add(double x) {
+    // cad-lint: allow(CL007) name-resolution over-approximation: the policy's `stats_.Add` is RunningStats::Add; RollingStats only backs the streaming baselines
     window_.push_back(x);
     sum_ += x;
     sum_sq_ += x * x;

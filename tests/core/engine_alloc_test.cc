@@ -177,6 +177,75 @@ TEST(EngineAllocTest, LargeNonDefaultCapacityStaysAllocationFree) {
   EXPECT_GT(steady_rounds, 50) << "scenario too short to exercise steady state";
 }
 
+// ---------------------------------------------------------------------------
+// Option-variant sweep: the zero-allocation contract must hold in every
+// supported telemetry/flight-recorder configuration, not just the default
+// one — each variant routes the round loop through different observability
+// code (private vs process-global registry, recording vs skipping the ring).
+// Validators-at-full builds (CAD_CHECK_LEVEL=full) run the same sweep but
+// downgrade the assertion, as the contract validators allocate by design.
+// ---------------------------------------------------------------------------
+
+struct AllocSweepCase {
+  const char* name;
+  bool private_registry;    // false = CadOptions::metrics_registry unset
+                            // (process-global registry)
+  int flight_log_capacity;  // 0 disables the recorder entirely
+};
+
+class EngineAllocSweepTest : public ::testing::TestWithParam<AllocSweepCase> {};
+
+TEST_P(EngineAllocSweepTest, SteadyStateRoundsAreAllocationFree) {
+  const AllocSweepCase& c = GetParam();
+  common::LinkAllocHook();
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  obs::Registry registry;
+  CadOptions options = MakeOptions(c.private_registry ? &registry : nullptr);
+  options.flight_log_capacity = c.flight_log_capacity;
+  StreamingCad streaming(scenario.test.n_sensors(), options);
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+
+  constexpr int kWarmupRounds = 8;
+  int steady_rounds = 0;
+  bool prev_abnormal = false;
+  std::vector<double> sample(scenario.test.n_sensors());
+  for (int t = 0; t < scenario.test.length(); ++t) {
+    for (int i = 0; i < scenario.test.n_sensors(); ++i) {
+      sample[i] = scenario.test.value(i, t);
+    }
+    auto event = streaming.Push(sample).ValueOrDie();
+    if (!event.has_value()) continue;
+    const bool transition = event->abnormal || prev_abnormal;
+    prev_abnormal = event->abnormal;
+    if (event->round < kWarmupRounds || transition) continue;
+    // The gauge lives wherever the engine publishes telemetry: the private
+    // registry when one was supplied, the process-global one otherwise (we
+    // read immediately after our own round, so the last write is ours).
+    obs::Registry& gauge_home =
+        c.private_registry ? registry : obs::Registry::Global();
+    const double allocs = RoundAllocsGauge(gauge_home.TakeSnapshot());
+#if CAD_VALIDATE_ENABLED
+    EXPECT_GE(allocs, 0.0);  // validators allocate by design at level=full
+#else
+    EXPECT_EQ(allocs, 0.0) << "round " << event->round << " allocated under "
+                           << c.name;
+#endif
+    ++steady_rounds;
+  }
+  EXPECT_GT(steady_rounds, 50) << "scenario too short to exercise steady state";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionVariants, EngineAllocSweepTest,
+    ::testing::Values(
+        AllocSweepCase{"private_registry_flight_off", true, 0},
+        AllocSweepCase{"private_registry_flight_default", true, 256},
+        AllocSweepCase{"global_registry_flight_off", false, 0},
+        AllocSweepCase{"global_registry_flight_default", false, 256}),
+    [](const ::testing::TestParamInfo<AllocSweepCase>& info) {
+      return std::string(info.param.name);
+    });
+
 TEST(EngineAllocTest, BatchFinalRoundIsAllocationFree) {
   common::LinkAllocHook();
   const testing::SmallScenario scenario = testing::MakeSmallScenario();

@@ -1,0 +1,14 @@
+// CL007 violating fixture: strict realtime annotations forbid both effect
+// classes — one root allocates directly (push_back), the other blocks
+// directly (MutexLock). Both primitives sit in the root's own body, so the
+// findings carry no call-path suffix.
+#include <mutex>
+#include <vector>
+
+void Cl007BadAllocRoot(std::vector<int>* out) CAD_REALTIME {
+  out->push_back(1);
+}
+
+void Cl007BadBlockRoot(std::mutex* mu) CAD_REALTIME {
+  std::lock_guard<std::mutex> lock(*mu);
+}

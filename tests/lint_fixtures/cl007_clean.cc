@@ -1,0 +1,18 @@
+// CL007 clean fixture: the Clear-and-reuse idiom (assign/resize/clear into
+// retained capacity) is sanctioned by the allocation policy — the dynamic
+// alloc-hook tests are its enforcement — and annotated callees are trusted
+// boundaries covered by their own root walk.
+#include <vector>
+
+void Cl007CleanHelper(std::vector<int>* out) CAD_REALTIME {
+  out->clear();
+  out->resize(8);
+  out->assign(8, 0);
+}
+
+void Cl007CleanRoot(std::vector<int>* out) CAD_REALTIME {
+  Cl007CleanHelper(out);
+  int total = 0;
+  for (int v : *out) total += v;
+  out->front() = total;
+}

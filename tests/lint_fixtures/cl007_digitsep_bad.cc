@@ -1,0 +1,10 @@
+// Lexer regression fixture: C++14 digit separators must not start a bogus
+// character literal — if they did, the push_back below would be swallowed
+// (or misattributed); the finding must land on its real line.
+#include <vector>
+
+void Cl007DigitSepRoot(std::vector<int>* out) CAD_REALTIME {
+  const int big = 1'000'000;
+  const int mask = 0xFF'FF;
+  out->push_back(big + mask);
+}

@@ -1,0 +1,14 @@
+// Lexer regression fixture: raw strings and string-concatenation macros
+// ending in R (PRIuPTR-style) must not derail the token stream. Every banned
+// name below is string *content*; if the lexer mis-tracked the raw-string
+// delimiter (or treated FOOPTR as a raw-string prefix) these would surface
+// as CL007 primitives inside an annotated root.
+#define FOOPTR "zu"
+
+const char* Cl007RawDoc() CAD_REALTIME {
+  return R"(push_back new malloc MutexLock sleep_for printf)";
+}
+
+const char* Cl007RawFormat() CAD_REALTIME {
+  return "count=%" FOOPTR " emplace_back(cout)";
+}

@@ -1,0 +1,8 @@
+// CL007 suppressed fixture: a reasoned allow() at the primitive site keeps
+// the exit code clean while the finding stays on the --fix-list worklist.
+#include <vector>
+
+void Cl007SuppressedRoot(std::vector<int>* out) CAD_REALTIME {
+  // cad-lint: allow(CL007) fixture: capacity is pre-reserved during warm-up
+  out->push_back(1);
+}

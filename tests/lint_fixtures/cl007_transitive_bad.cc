@@ -1,0 +1,21 @@
+// CL007 transitive fixture: the annotated root is clean in its own body; the
+// allocation hides two calls down. The reach analysis must follow the chain
+// and attribute the finding to the *primitive's* line, with the call path in
+// the message.
+#include <vector>
+
+namespace cl007t {
+
+void Cl007GrowBuffer(std::vector<int>* out) {
+  out->push_back(1);
+}
+
+void Cl007Middle(std::vector<int>* out) {
+  Cl007GrowBuffer(out);
+}
+
+void Cl007TransitiveRoot(std::vector<int>* out) CAD_REALTIME {
+  Cl007Middle(out);
+}
+
+}  // namespace cl007t

@@ -1,0 +1,8 @@
+// CL008 violating fixture: a nonblocking+nonallocating caller directly
+// invokes a callee that only promises nonallocating — the blocking half of
+// the caller's contract is unenforced across the call.
+void Cl008WeakCallee() CAD_NONALLOCATING {}
+
+void Cl008StrictCaller() CAD_REALTIME {
+  Cl008WeakCallee();
+}

@@ -1,0 +1,18 @@
+// CL008 clean fixture: annotations are compatible both across the direct
+// call (equal contracts) and across the virtual override (the override
+// restates the base's annotation).
+void Cl008CleanCallee() CAD_REALTIME {}
+
+void Cl008CleanCaller() CAD_REALTIME {
+  Cl008CleanCallee();
+}
+
+class Cl008CleanBase {
+ public:
+  virtual void Cl008CleanTick() CAD_NONALLOCATING {}
+};
+
+class Cl008CleanDerived : public Cl008CleanBase {
+ public:
+  void Cl008CleanTick() CAD_NONALLOCATING override {}
+};

@@ -1,0 +1,12 @@
+// CL008 virtual-override fixture: the base declares the method realtime-safe
+// but the override drops the annotation, so a call through the base pointer
+// can silently lose the contract.
+class Cl008Base {
+ public:
+  virtual void Cl008Tick() CAD_REALTIME {}
+};
+
+class Cl008Derived : public Cl008Base {
+ public:
+  void Cl008Tick() override {}
+};

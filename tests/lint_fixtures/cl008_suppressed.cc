@@ -1,0 +1,8 @@
+// CL008 suppressed fixture: the weaker-callee finding lands on the call
+// site, so the reasoned allow() lives there.
+void Cl008SupCallee() CAD_NONBLOCKING {}
+
+void Cl008SupCaller() CAD_REALTIME {
+  // cad-lint: allow(CL008) fixture: callee is alloc-free by audit, annotation upgrade tracked separately
+  Cl008SupCallee();
+}

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "realtime.h"
 #include "rules.h"
 
 namespace cad_lint {
@@ -130,10 +131,154 @@ TEST(LintRulesTest, ProseMentioningTheSyntaxIsNotASuppression) {
 
 TEST(LintRulesTest, RuleCatalogIsCompleteAndOrdered) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 9u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, "CL00" + std::to_string(i));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Library-level realtime rules (CL007/CL008): the tree-wide call-graph
+// analysis behind the annotation contract in src/common/realtime.h.
+// ---------------------------------------------------------------------------
+
+TEST(LintRealtimeTest, DirectPrimitiveInAnnotatedRoot) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtDirect(std::vector<int>* v) CAD_REALTIME {\n"
+       "  v->push_back(1);\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintRealtime(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL007");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("push_back"), std::string::npos);
+  // A direct hit carries no call-path suffix.
+  EXPECT_EQ(findings[0].message.find("call path"), std::string::npos);
+}
+
+TEST(LintRealtimeTest, TransitiveFindingLandsOnThePrimitiveSite) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtHelper(std::vector<int>* v) {\n"
+       "  v->push_back(1);\n"
+       "}\n"
+       "void RtRoot(std::vector<int>* v) CAD_REALTIME {\n"
+       "  RtHelper(v);\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintRealtime(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL007");
+  EXPECT_EQ(findings[0].line, 2);  // the push_back, not the call site
+  EXPECT_NE(findings[0].message.find("call path: RtRoot -> RtHelper"),
+            std::string::npos);
+}
+
+TEST(LintRealtimeTest, OnePrimitiveSiteServesEveryRoot) {
+  // Two annotated roots funnel through the same helper: the finding is
+  // attributed to the primitive once, so one reasoned suppression there
+  // covers both (the design contract documented in rules.h).
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtShared(std::vector<int>* v) {\n"
+       "  v->push_back(1);\n"
+       "}\n"
+       "void RtRootOne(std::vector<int>* v) CAD_REALTIME { RtShared(v); }\n"
+       "void RtRootTwo(std::vector<int>* v) CAD_REALTIME { RtShared(v); }\n"}};
+  const std::vector<Finding> findings = LintRealtime(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintRealtimeTest, SuppressionResolvesAgainstThePrimitivesFile) {
+  // Root and primitive live in different files; the allow() in the
+  // *primitive's* file must silence the cross-file finding.
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtXHelper(std::vector<int>* v) {\n"
+       "  // cad-lint: allow(CL007) capacity retained by the caller\n"
+       "  v->push_back(1);\n"
+       "}\n"},
+      {"b.cc", "void RtXRoot(std::vector<int>* v) CAD_REALTIME {\n"
+               "  RtXHelper(v);\n"
+               "}\n"}};
+  const std::vector<Finding> findings = LintRealtime(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].path, "a.cc");
+}
+
+TEST(LintRealtimeTest, EffectMasksDistinguishAllocFromBlock) {
+  // A nonallocating-only root may block: the mutex is fine, the push_back
+  // is not.
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtNonAlloc(std::mutex* mu, std::vector<int>* v)\n"
+       "    CAD_NONALLOCATING {\n"
+       "  std::lock_guard<std::mutex> lock(*mu);\n"
+       "  v->push_back(1);\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintRealtime(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("may not allocate"), std::string::npos);
+}
+
+TEST(LintRealtimeTest, ValidateRegionsAreSkipped) {
+  // CAD_VALIDATE compiles out below the full check level, so its argument
+  // region is not part of the steady-state contract.
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtChecked(std::vector<int>* v) CAD_REALTIME {\n"
+       "  CAD_VALIDATE(Audit(std::to_string(v->size())));\n"
+       "  v->front() = 0;\n"
+       "}\n"}};
+  EXPECT_EQ(LintRealtime(files).size(), 0u);
+}
+
+TEST(LintRealtimeTest, Cl008FlagsWeakerAnnotatedCallee) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtWeak() CAD_NONALLOCATING {}\n"
+       "void RtStrict() CAD_REALTIME {\n"
+       "  RtWeak();\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintRealtime(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL008");
+  EXPECT_EQ(findings[0].line, 3);  // the call site
+  EXPECT_NE(findings[0].message.find("RtWeak"), std::string::npos);
+}
+
+TEST(LintRealtimeTest, Cl008FlagsOverrideDroppingTheAnnotation) {
+  const std::vector<FileInput> files = {
+      {"a.h",
+       "class RtBase {\n"
+       " public:\n"
+       "  virtual void Tick() CAD_REALTIME {}\n"
+       "};\n"
+       "class RtDerived : public RtBase {\n"
+       " public:\n"
+       "  void Tick() override {}\n"
+       "};\n"}};
+  const std::vector<Finding> findings = LintRealtime(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL008");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("RtDerived::Tick"), std::string::npos);
+}
+
+TEST(LintRealtimeTest, CompatibleAnnotationsStayQuiet) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void RtOkCallee() CAD_REALTIME {}\n"
+       "void RtOkCaller() CAD_REALTIME { RtOkCallee(); }\n"
+       "void RtOkReuse(std::vector<int>* v) CAD_REALTIME {\n"
+       "  v->clear();\n"
+       "  v->assign(4, 0);\n"
+       "  v->resize(8);\n"
+       "}\n"}};
+  EXPECT_EQ(LintRealtime(files).size(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -193,7 +338,17 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"cl005_method_suppressed.h", "CL005", 0, 1},
         FixtureCase{"cl006_bad.h", "CL006", 2, 0},
         FixtureCase{"cl006_clean.h", "CL006", 0, 0},
-        FixtureCase{"cl006_suppressed.h", "CL006", 0, 1}),
+        FixtureCase{"cl006_suppressed.h", "CL006", 0, 1},
+        FixtureCase{"cl007_bad.cc", "CL007", 2, 0},
+        FixtureCase{"cl007_transitive_bad.cc", "CL007", 1, 0},
+        FixtureCase{"cl007_clean.cc", "CL007", 0, 0},
+        FixtureCase{"cl007_suppressed.cc", "CL007", 0, 1},
+        FixtureCase{"cl007_rawstring_clean.cc", "CL007", 0, 0},
+        FixtureCase{"cl007_digitsep_bad.cc", "CL007", 1, 0},
+        FixtureCase{"cl008_bad.cc", "CL008", 1, 0},
+        FixtureCase{"cl008_override_bad.cc", "CL008", 1, 0},
+        FixtureCase{"cl008_clean.cc", "CL008", 0, 0},
+        FixtureCase{"cl008_suppressed.cc", "CL008", 0, 1}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.file;
       for (char& c : name) {
@@ -265,6 +420,16 @@ TEST(LintBinaryTest, UsageErrorsExitTwo) {
   EXPECT_EQ(RunBinary("--json --fix-list " + Fixture("cl001_clean.cc"))
                 .exit_code,
             2);
+}
+
+TEST(LintBinaryTest, DigitSeparatorsDoNotShiftFindingLines) {
+  // 1'000'000 ahead of the violation must not start a bogus char literal;
+  // the finding lands on the push_back's real line.
+  const BinaryResult result =
+      RunBinary("--json " + Fixture("cl007_digitsep_bad.cc"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("\"line\":9"), std::string::npos)
+      << result.output;
 }
 
 TEST(LintBinaryTest, JsonReportIsByteDeterministicAcrossRuns) {

@@ -137,8 +137,13 @@ class Lexer {
     const size_t begin = pos_;
     while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
     std::string text(src_.substr(begin, pos_ - begin));
-    // String-literal prefixes: R"...", u8"...", L'...' etc.
-    const bool raw = !text.empty() && text.back() == 'R';
+    // String-literal prefixes: R"...", u8"...", L'...' etc. Only the exact
+    // raw prefixes of the grammar count — an arbitrary identifier ending in
+    // R adjacent to a string (`"%" PRIuPTR "\n"`) is macro concatenation,
+    // and treating it as a raw string would swallow source until the next
+    // `)"` (or EOF), derailing every rule downstream.
+    const bool raw = text == "R" || text == "uR" || text == "u8R" ||
+                     text == "UR" || text == "LR";
     if (pos_ < src_.size() && src_[pos_] == '"' &&
         (raw || text == "u8" || text == "u" || text == "U" || text == "L")) {
       LexString(raw);
@@ -159,6 +164,12 @@ class Lexer {
       const char c = src_[pos_];
       if (IsIdentChar(c) || c == '.') {
         ++pos_;
+        continue;
+      }
+      // Digit separators (1'000, 0xFF'FF): the quote belongs to the number
+      // when flanked by digit characters; otherwise it opens a char literal.
+      if (c == '\'' && IsIdentChar(Peek(1))) {
+        pos_ += 2;
         continue;
       }
       // Exponent signs: 1e-5, 0x1.8p+3.

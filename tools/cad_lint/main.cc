@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "realtime.h"
 #include "rules.h"
 
 namespace cad_lint {
@@ -188,7 +189,13 @@ int Run(int argc, char** argv) {
   std::vector<std::string> files;
   if (!CollectFiles(inputs, &files)) return 2;
 
+  // The single-file rules run per file; the realtime rules CL007/CL008 need
+  // every source at once (a core/ hot-path annotation is only provable by
+  // reading the graph/ and stats/ bodies it calls into), so keep the
+  // sources around for one tree-wide pass at the end.
   std::vector<Finding> findings;
+  std::vector<FileInput> tree;
+  tree.reserve(files.size());
   for (const std::string& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -197,11 +204,16 @@ int Run(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    std::vector<Finding> file_findings = LintSource(path, buf.str());
+    tree.push_back(FileInput{path, buf.str()});
+    std::vector<Finding> file_findings = LintSource(path, tree.back().source);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+  std::vector<Finding> realtime_findings = LintRealtime(tree);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(realtime_findings.begin()),
+                  std::make_move_iterator(realtime_findings.end()));
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.path != b.path) return a.path < b.path;

@@ -1,0 +1,56 @@
+// Tree-wide real-time-safety rules CL007/CL008.
+//
+// Unlike the per-file rules in rules.h, these need the whole tree at once:
+// a CAD_REALTIME function in core/ may only be proven allocation-free by
+// looking at the bodies of the graph/ and stats/ helpers it calls. The
+// analysis is token-level and deliberately dependency-free, mirroring what
+// Clang 20+'s -Wfunction-effects proves on toolchains that have it (see
+// src/common/realtime.h for the two-layer contract).
+//
+// What it does, in order:
+//   1. Per file: extract function definitions and declarations (qualified
+//      names via class scopes and explicit `Class::` qualifiers), their
+//      realtime annotations, the call sites inside each body, and any
+//      banned primitives the body touches. CAD_VALIDATE / CAD_DCHECK
+//      argument regions are skipped — they compile out below the `full`
+//      check level, so their cost is not part of the steady-state path.
+//   2. Merge declarations and definitions by qualified name, then walk the
+//      call graph from every annotated root with memoized DFS, once per
+//      effect (allocating / blocking).
+//   3. CL007: a root reaching a banned primitive for an effect its
+//      annotation forbids. The finding is attributed to the *primitive's*
+//      site (with the call chain in the message), so one reasoned
+//      suppression there covers every root that funnels through it.
+//      CL008: an annotated function directly calling an annotated callee
+//      with a weaker contract, or a virtual override dropping its base's
+//      annotation.
+//
+// By design the analysis trusts annotated callees (their own root walk
+// covers them) and resolves calls by name, so it over-approximates on
+// overloads and under-approximates on calls through function pointers —
+// the same trade every token-level layer in this tree makes. The dynamic
+// alloc-hook tests (tests/core/engine_alloc_test.cc) are the cross-check.
+#ifndef CAD_TOOLS_CAD_LINT_REALTIME_H_
+#define CAD_TOOLS_CAD_LINT_REALTIME_H_
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace cad_lint {
+
+struct FileInput {
+  std::string path;
+  std::string source;
+};
+
+// Runs CL007/CL008 over every file at once. Findings come back sorted by
+// (path, line, rule) with `suppressed` already resolved against each
+// finding's own file. CL000 (malformed suppressions) is NOT re-reported
+// here — LintSource already covers it per file.
+std::vector<Finding> LintRealtime(const std::vector<FileInput>& files);
+
+}  // namespace cad_lint
+
+#endif  // CAD_TOOLS_CAD_LINT_REALTIME_H_

@@ -39,14 +39,7 @@ bool IsKnownRule(std::string_view id) {
   return false;
 }
 
-// A validated `cad-lint: allow(rule)` directive. It silences `rule` on the
-// comment's own line(s) and on the line directly below, so both trailing
-// and line-above placements work.
-struct Suppression {
-  std::string rule;
-  int first_line = 0;
-  int last_line = 0;  // inclusive
-};
+}  // namespace
 
 // Parses suppression comments. A comment participates only when its trimmed
 // text *starts* with "cad-lint:" — prose that merely mentions the syntax
@@ -98,6 +91,8 @@ bool IsSuppressed(const std::vector<Suppression>& sups,
   }
   return false;
 }
+
+namespace {
 
 const Token* At(const std::vector<Token>& toks, size_t i) {
   return i < toks.size() ? &toks[i] : nullptr;
@@ -696,6 +691,12 @@ const std::vector<RuleInfo>& Rules() {
        "mutex discipline: unguarded member, or locking method without "
        "annotation"},
       {"CL006", "header missing include guard or using-namespace in header"},
+      {"CL007",
+       "realtime-annotated function reaches an allocating or blocking "
+       "primitive"},
+      {"CL008",
+       "incompatible realtime annotations across a call or virtual "
+       "override"},
   };
   return kRules;
 }

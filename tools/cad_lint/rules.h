@@ -32,6 +32,19 @@
 //   CL006  include hygiene: header without an include guard
 //          (#ifndef/#define or #pragma once), or `using namespace` in a
 //          header.
+//   CL007  real-time safety (tree-wide, see realtime.h): a function
+//          annotated CAD_REALTIME / CAD_REALTIME_AUDITED /
+//          CAD_NONALLOCATING / CAD_NONBLOCKING must not reach an
+//          allocating/blocking primitive — new/delete/malloc, growing
+//          container ops, std::function construction, mutex acquisition,
+//          iostream/printf, throw — directly or transitively through
+//          in-tree callees. Findings attach to the primitive site, so one
+//          reasoned suppression covers every annotated root that funnels
+//          through it.
+//   CL008  real-time annotation consistency (tree-wide): an annotated
+//          function may not call an annotated callee whose contract is
+//          weaker than its own, and a virtual override may not drop the
+//          realtime annotation its base declares.
 //
 // Suppression convention: `// cad-lint: allow(CLxxx) <reason>` on the same
 // line as the finding or on the line directly above it. The reason is
@@ -42,6 +55,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lexer.h"
 
 namespace cad_lint {
 
@@ -64,9 +79,28 @@ const std::vector<RuleInfo>& Rules();
 
 // Lints one file. `path` is used for diagnostics and for path-conditional
 // rules (header-only rules, the common/rng.h allowlist). Findings come back
-// ordered by line.
+// ordered by line. Runs the single-file rules only; the tree-wide rules
+// CL007/CL008 live in realtime.h and need every file at once.
 std::vector<Finding> LintSource(const std::string& path,
                                 std::string_view source);
+
+// A validated `cad-lint: allow(rule)` directive. It silences `rule` on the
+// comment's own line(s) and on the line directly below, so both trailing
+// and line-above placements work. Shared between the single-file rules and
+// the tree-wide realtime rules so both honour the same syntax.
+struct Suppression {
+  std::string rule;
+  int first_line = 0;
+  int last_line = 0;  // inclusive
+};
+
+// Parses suppression comments out of a lexed file. Malformed directives
+// become CL000 findings (path left empty; the caller stamps it).
+void ParseSuppressions(const LexedFile& lex, std::vector<Suppression>* sups,
+                       std::vector<Finding>* findings);
+
+bool IsSuppressed(const std::vector<Suppression>& sups,
+                  const std::string& rule, int line);
 
 }  // namespace cad_lint
 

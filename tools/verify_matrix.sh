@@ -31,6 +31,16 @@
 #                   live-/advise-vs-offline-cad_explain byte-compare under
 #                   tsan (server thread + triage under instrumentation), and
 #                   the advisor_bench --smoke hit@3 quality gate.
+#  10. function-effects — Clang 20+ build with -Werror=function-effects:
+#                   the compiler itself verifies the CAD_REALTIME /
+#                   CAD_NONALLOCATING / CAD_NONBLOCKING annotations across
+#                   the call graph. SKIPs with a reason when clang++ is
+#                   absent or predates the analysis.
+#  11. realtime   — RealtimeSanitizer (-fsanitize=realtime) preset running
+#                   the engine-equivalence, streaming, and flight-recorder
+#                   alloc suites: any allocation or lock inside a
+#                   [[clang::nonblocking]] region aborts at runtime. SKIPs
+#                   with a reason on toolchains without rtsan support.
 #
 # Presets come from CMakePresets.json; each stage uses its own binaryDir so
 # the matrix never contaminates the default build/.
@@ -44,7 +54,18 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2> /dev/null || echo 2)"
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs advisor)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs advisor function-effects realtime)
+
+# Probes whether clang++ accepts a compile flag (e.g. -Wfunction-effects,
+# -fsanitize=realtime). Both realtime stages need Clang 20+; probing the
+# flag itself — not a version number — keeps the check honest across
+# vendor-patched toolchains.
+clang_supports() {
+  local flag="$1"
+  command -v clang++ > /dev/null 2>&1 || return 1
+  echo 'int main() { return 0; }' | clang++ -x c++ "$flag" -Werror \
+    -o /dev/null - > /dev/null 2>&1
+}
 
 # Builds tools/cad_lint (reusing the default build dir) and prints the
 # binary's path. The linter has no dependencies beyond a C++20 compiler, so
@@ -142,10 +163,37 @@ for stage in "${STAGES[@]}"; do
       ctest --preset tsan -R 'LiveAdviseMatchesOfflineCadExplain' \
         --output-on-failure
       ;;
+    function-effects)
+      echo
+      echo "==== [function-effects] clang -Werror=function-effects ===="
+      if clang_supports -Wfunction-effects; then
+        run_preset function-effects
+      else
+        echo "SKIP: clang++ with -Wfunction-effects (Clang 20+) not" \
+             "available; the CAD_REALTIME annotations compile to no-ops" \
+             "here and tools/cad_lint rules CL007/CL008 carry the contract."
+      fi
+      ;;
+    realtime)
+      echo
+      echo "==== [realtime] RealtimeSanitizer engine/streaming/recorder ===="
+      if clang_supports -fsanitize=realtime; then
+        cmake --preset rtsan
+        cmake --build --preset rtsan -j "$JOBS"
+        ctest --preset rtsan \
+          -R 'EngineEquivalenceTest|EngineAllocTest|EngineAllocSweepTest|StreamingCadTest|FlightRecorderTest' \
+          --output-on-failure
+      else
+        echo "SKIP: this toolchain lacks -fsanitize=realtime (Clang 20+);" \
+             "the allocation-hook tests (tests/core/engine_alloc_test.cc)" \
+             "enforce the zero-alloc contract dynamically instead."
+      fi
+      ;;
     *)
       echo "error: unknown stage '$stage'" \
            "(expected: checked, asan-ubsan, tsan, lint, lint-cad," \
-           "thread-safety, engine, obs, advisor)" >&2
+           "thread-safety, engine, obs, advisor, function-effects," \
+           "realtime)" >&2
       exit 2
       ;;
   esac
