@@ -21,13 +21,19 @@
 //   --smoke             small configuration for ctest (a few seconds)
 //   --out PATH          output path (default BENCH_engine.json)
 //   --flight-out PATH   also dump the streaming run's flight log as JSONL
+//   --lint-bin PATH     also time a tree-wide cad_lint run (src bench
+//                       examples tools, so invoke from the repo root) and
+//                       record the wall time in the static_analysis block
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/alloc_tracker.h"
+#include "common/mutex.h"
 #include "common/realtime.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -234,6 +240,7 @@ int Main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_engine.json";
   std::string flight_out;
+  std::string lint_bin;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -241,10 +248,12 @@ int Main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flight-out") == 0 && i + 1 < argc) {
       flight_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--lint-bin") == 0 && i + 1 < argc) {
+      lint_bin = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: engine_bench [--smoke] [--out PATH] "
-                   "[--flight-out PATH]\n");
+                   "[--flight-out PATH] [--lint-bin PATH]\n");
       return 2;
     }
   }
@@ -342,13 +351,60 @@ int Main(int argc, char** argv) {
                "    \"batch_rounds_per_sec\": %.3f,\n"
                "    \"stream_rounds_per_sec\": %.3f,\n"
                "    \"stream_round_allocs_gauge\": %.1f\n"
-               "  }\n",
+               "  },\n",
                CAD_REALTIME_ATTRIBUTES_ENABLED ? "true" : "false",
                CAD_REALTIME_ATTRIBUTES_ENABLED
                    ? "clang function-effects + cad_lint CL007/CL008"
                    : "cad_lint CL007/CL008 (attributes compiled out)",
                batch.rounds_per_sec, stream.rounds_per_sec,
                stream.round_allocs_gauge);
+  // Same pattern for the deadlock contract (common/mutex.h): below
+  // CAD_CHECK_LEVEL=full the lock-order tracker is compiled out and
+  // Mutex::lock *is* std::mutex::lock, so the release-build throughput
+  // above is by construction the tracker-free number. The block records
+  // which regime this run measured so a tracker-armed (`deadlock` preset)
+  // run is never mistaken for the perf baseline.
+  std::fprintf(out,
+               "  \"lock_tracker\": {\n"
+               "    \"tracker_active\": %s,\n"
+               "    \"enforcement\": \"%s\",\n"
+               "    \"stream_rounds_per_sec\": %.3f,\n"
+               "    \"stream_round_allocs_gauge\": %.1f\n"
+               "  },\n",
+               common::LockOrderTrackerActive() ? "true" : "false",
+               common::LockOrderTrackerActive()
+                   ? "runtime acquired-after graph + cad_lint CL009-CL011"
+                   : "cad_lint CL009-CL011 (tracker compiled out)",
+               stream.rounds_per_sec, stream.round_allocs_gauge);
+  // Static analysis is part of the perf story too: the tree-wide cad_lint
+  // pass gates every ctest run, so its wall time is a cost every
+  // contributor pays. Measured only when --lint-bin is given (the smoke
+  // test has no stable path to the binary).
+  if (!lint_bin.empty()) {
+    const std::string command =
+        lint_bin + " src bench examples tools > /dev/null 2>&1";
+    const auto lint_start = std::chrono::steady_clock::now();
+    const int lint_status = std::system(command.c_str());
+    const double lint_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      lint_start)
+            .count();
+    std::fprintf(stderr,
+                 "[engine_bench] cad_lint tree pass: %.3f s (%s)\n",
+                 lint_seconds, lint_status == 0 ? "clean" : "FINDINGS");
+    std::fprintf(out,
+                 "  \"static_analysis\": {\n"
+                 "    \"cad_lint_tree_wall_seconds\": %.3f,\n"
+                 "    \"cad_lint_clean\": %s\n"
+                 "  }\n",
+                 lint_seconds, lint_status == 0 ? "true" : "false");
+  } else {
+    std::fprintf(out,
+                 "  \"static_analysis\": {\n"
+                 "    \"cad_lint_tree_wall_seconds\": null,\n"
+                 "    \"cad_lint_clean\": null\n"
+                 "  }\n");
+  }
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::fprintf(stderr, "[engine_bench] wrote %s\n", out_path.c_str());

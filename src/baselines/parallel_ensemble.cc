@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "check/check.h"
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -16,7 +17,9 @@ namespace {
 // Error slot shared by the scoring workers. The lowest failing member index
 // wins so the reported Status does not depend on thread scheduling.
 struct ScoreErrors {
-  common::Mutex mu;
+  // Rank 40 (common/lock_order.h): leaf — scoring workers hold nothing else.
+  common::Mutex mu{common::lock_order::kEnsembleErrors,
+                   "baselines::ScoreErrors::mu"};
   Status first_error GUARDED_BY(mu) = Status::Ok();
   size_t first_error_member GUARDED_BY(mu) = SIZE_MAX;
 };

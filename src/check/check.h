@@ -157,6 +157,7 @@ inline void RunFailureDumpHooks() {
 // Registers a (hook, ctx) pair; duplicate pairs register once.
 inline void AddFailureDumpHook(FailureDumpHook hook, void* ctx) {
   if (hook == nullptr) return;
+  // cad-lint: allow(CL010) cold-path hook registration at component startup
   std::lock_guard<std::mutex> lock(internal::DumpHookMutex());
   for (const internal::DumpHookSlot& slot : internal::DumpHooks()) {
     if (slot.hook == hook && slot.ctx == ctx) return;

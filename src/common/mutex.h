@@ -1,11 +1,34 @@
-// Annotated mutex shim for Clang thread-safety analysis.
+// Annotated mutex shim for Clang thread-safety analysis, plus the runtime
+// lock-order tracker (tier 7 of the static analysis stack, DESIGN.md
+// "Concurrency contracts").
 //
 // std::mutex in libstdc++ carries no capability attributes, so GUARDED_BY
 // members locked through std::lock_guard are invisible to -Wthread-safety.
 // cad::common::Mutex wraps std::mutex with ACQUIRE/RELEASE-annotated
-// lock/unlock and MutexLock is the annotated lock_guard equivalent; both
-// compile to exactly the std:: primitives (no extra state, no virtual
-// calls), so swapping them in costs nothing at runtime.
+// lock/unlock and MutexLock is the annotated lock_guard equivalent; in
+// release builds both compile to exactly the std:: primitives (no extra
+// state, no virtual calls), so swapping them in costs nothing at runtime.
+//
+// Lock-order contract. A Mutex may carry a rank and a name from the global
+// hierarchy in common/lock_order.h: `Mutex mu_{lock_order::kFoo,
+// "Foo::mu_"}`. Three enforcers consume them:
+//   * Clang (ACQUIRED_BEFORE/ACQUIRED_AFTER, -Wthread-safety-beta) and
+//   * tools/cad_lint CL009 (tree-wide acquired-while-held cycle search)
+//     prove ordering statically;
+//   * at CAD_CHECK_LEVEL=full this header arms a dynamic tracker: every
+//     thread keeps a stack of held Mutexes, every acquisition feeds a
+//     process-wide acquired-after graph, and the first inversion —
+//     acquiring out of rank order, or closing a cycle in the graph —
+//     CAD_FATALs with both conflicting lock chains. Below `full` the
+//     tracker is compiled out entirely (an empty-body if-constexpr-free
+//     #if), which the alloc-hook tests prove: the round loop stays
+//     0 allocs/round because Mutex::lock *is* std::mutex::lock.
+//
+// try_lock acquisitions update the held stack but record no graph edges: a
+// failed try_lock backs off instead of deadlocking, so ordering against it
+// is not a liveness bug. native() bypasses the tracker (and the Clang
+// analysis) entirely — lint rule CL010 confines it to the
+// condition-variable wait idiom.
 #ifndef CAD_COMMON_MUTEX_H_
 #define CAD_COMMON_MUTEX_H_
 
@@ -13,23 +36,293 @@
 
 #include "common/thread_annotations.h"
 
+// The build injects CAD_CHECK_LEVEL globally (root CMakeLists); default to
+// debug for standalone compilation, mirroring check/check.h.
+#ifndef CAD_CHECK_LEVEL
+#define CAD_CHECK_LEVEL 1
+#endif
+
+#if CAD_CHECK_LEVEL >= 2
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#endif
+
 namespace cad::common {
+
+// True when this translation unit was built with the runtime lock-order
+// tracker armed (CAD_CHECK_LEVEL=full). The whole build shares one level
+// (add_compile_definitions), so this is a build property, not a TU one.
+constexpr bool LockOrderTrackerActive() { return CAD_CHECK_LEVEL >= 2; }
+
+#if CAD_CHECK_LEVEL >= 2
+namespace lock_debug {
+
+// One entry of a thread's held-lock stack.
+struct HeldLock {
+  const void* instance = nullptr;  // identity of the Mutex object
+  std::string key;                 // graph node: name, or "anon:<ptr>"
+  int rank = -1;
+};
+
+// The process-wide acquired-after graph. Nodes are lock *classes* (named
+// mutexes share one node per name, lockdep-style; anonymous mutexes get a
+// per-instance node that dies with them). An edge A -> B means "B was
+// acquired while A was held", stamped with the full held chain that first
+// recorded it so inversion reports can show both sides.
+struct Graph {
+  std::mutex mu;  // raw std::mutex: the tracker must not track itself
+  // Both maps are guarded by the raw `mu` above. GUARDED_BY needs an
+  // annotated capability, and annotating the tracker's own lock would make
+  // the tracker track itself.
+  // cad-lint: allow(CL005) guarded by raw `mu`; an annotated guard would self-track
+  std::map<std::string, std::set<std::string>> edges;
+  // cad-lint: allow(CL005) guarded by raw `mu`; an annotated guard would self-track
+  std::map<std::pair<std::string, std::string>, std::string> edge_chain;
+};
+
+// Leaked singletons: mutexes lock during static destruction (stream and
+// server teardown), so the tracker state must outlive every static.
+inline Graph& GlobalGraph() {
+  static Graph* graph = new Graph();
+  return *graph;
+}
+
+inline std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+inline std::string ChainText(const std::vector<HeldLock>& held,
+                             const std::string& next) {
+  std::string out;
+  for (const HeldLock& h : held) {
+    out += h.key;
+    out += " -> ";
+  }
+  out += next;
+  return out;
+}
+
+// Depth-first path search `from` => `to` over the edge graph; returns the
+// node path (inclusive) or empty when unreachable. Caller holds graph.mu.
+inline bool FindPath(const Graph& graph, const std::string& from,
+                     const std::string& to, std::set<std::string>* seen,
+                     std::vector<std::string>* path) {
+  path->push_back(from);
+  if (from == to) return true;
+  seen->insert(from);
+  auto it = graph.edges.find(from);
+  if (it != graph.edges.end()) {
+    for (const std::string& next : it->second) {
+      if (seen->count(next) > 0) continue;
+      if (FindPath(graph, next, to, seen, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+// Pre-acquisition check + graph update. Runs *before* blocking on the
+// underlying mutex so an inversion is reported instead of deadlocking.
+// `record_edges` is false for try_lock (see header comment).
+inline void OnAcquire(const void* mutex, const std::string& key, int rank,
+                      bool record_edges) {
+  std::vector<HeldLock>& held = HeldStack();
+  for (const HeldLock& h : held) {
+    if (h.instance == mutex) {
+      CAD_FATAL("lock-order tracker: recursive acquisition of `", key,
+                "` (already held by this thread; chain: ",
+                ChainText(held, key), ")");
+    }
+    if (rank >= 0 && h.rank >= 0 && h.rank >= rank) {
+      CAD_FATAL("lock-order tracker: rank inversion acquiring `", key,
+                "` (rank ", rank, ") while holding `", h.key, "` (rank ",
+                h.rank,
+                "); ranks must strictly increase along a thread's chain "
+                "(common/lock_order.h). Chain: ",
+                ChainText(held, key));
+    }
+  }
+  if (held.empty() || !record_edges) return;
+
+  // Cycle check: adding h.key -> key for every held lock; if key already
+  // reaches any held lock, the new edge closes a cycle. Report outside the
+  // graph lock (the failure handler may throw).
+  std::string conflict;
+  {
+    Graph& graph = GlobalGraph();
+    // cad-lint: allow(CL010) bounded tracker-metadata update, CAD_CHECK_LEVEL=full only
+    std::lock_guard<std::mutex> lock(graph.mu);
+    for (const HeldLock& h : held) {
+      std::set<std::string> seen;
+      std::vector<std::string> path;
+      if (FindPath(graph, key, h.key, &seen, &path)) {
+        conflict = "lock-order tracker: inversion acquiring `" + key +
+                   "` while holding `" + h.key + "`.\n  this thread: " +
+                   ChainText(held, key) + "\n  recorded order: ";
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          const auto edge = std::make_pair(path[i], path[i + 1]);
+          auto chain_it = graph.edge_chain.find(edge);
+          if (i > 0) conflict += "; ";
+          conflict += "`" + path[i] + "` before `" + path[i + 1] + "`";
+          if (chain_it != graph.edge_chain.end()) {
+            conflict += " (chain: " + chain_it->second + ")";
+          }
+        }
+        break;
+      }
+    }
+    if (conflict.empty()) {
+      // Tracker bookkeeping exists only at CAD_CHECK_LEVEL=full; release
+      // builds compile Mutex::lock down to std::mutex::lock
+      // (engine_alloc_test proves the round loop stays 0 allocs/round).
+      for (const HeldLock& h : held) {
+        // cad-lint: allow(CL007) debug-tier-only bookkeeping, absent from release builds
+        if (graph.edges[h.key].insert(key).second) {
+          graph.edge_chain[{h.key, key}] = ChainText(held, key);
+        }
+      }
+    }
+  }
+  if (!conflict.empty()) {
+    CAD_FATAL(conflict);
+  }
+}
+
+inline void OnAcquired(const void* mutex, std::string key, int rank) {
+  HeldStack().push_back(HeldLock{mutex, std::move(key), rank});
+}
+
+inline void OnRelease(const void* mutex) {
+  std::vector<HeldLock>& held = HeldStack();
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].instance == mutex) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+// Anonymous mutexes key the graph by address; when one dies its node must
+// go with it or a later allocation at the same address inherits stale
+// edges and reports phantom inversions.
+inline void OnDestroy(const std::string& key) {
+  Graph& graph = GlobalGraph();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  graph.edges.erase(key);
+  for (auto& [node, targets] : graph.edges) targets.erase(key);
+  for (auto it = graph.edge_chain.begin(); it != graph.edge_chain.end();) {
+    if (it->first.first == key || it->first.second == key) {
+      it = graph.edge_chain.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+inline std::string AnonKey(const void* mutex) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "anon:%p", mutex);
+  return buf;
+}
+
+}  // namespace lock_debug
+
+// Test hook: forgets every recorded acquired-after edge (unit tests seed
+// deliberate inversions and must not poison later tests). The per-thread
+// held stacks are left alone — they are empty between tests by RAII.
+inline void LockOrderTrackerResetForTest() {
+  lock_debug::Graph& graph = lock_debug::GlobalGraph();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  graph.edges.clear();
+  graph.edge_chain.clear();
+}
+
+// Number of distinct acquired-after edges observed so far (test visibility).
+inline size_t LockOrderTrackedEdgeCount() {
+  lock_debug::Graph& graph = lock_debug::GlobalGraph();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  size_t count = 0;
+  for (const auto& [node, targets] : graph.edges) count += targets.size();
+  return count;
+}
+#else
+// Tracker compiled out: the hooks must still be callable from tests that
+// assert on the build mode.
+inline void LockOrderTrackerResetForTest() {}
+inline size_t LockOrderTrackedEdgeCount() { return 0; }
+#endif  // CAD_CHECK_LEVEL >= 2
 
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
-  Mutex(const Mutex&) = delete;
-  Mutex& operator=(const Mutex&) = delete;
+  // Places this mutex in the global lock-order hierarchy: `rank` from
+  // common/lock_order.h (strictly increasing along any thread's chain),
+  // `name` the diagnostic label shared by all instances of the same lock
+  // class ("StreamingCad::mu_"). Below CAD_CHECK_LEVEL=full both are
+  // discarded at compile time.
+#if CAD_CHECK_LEVEL >= 2
+  explicit Mutex(int rank, const char* name) : rank_(rank), name_(name) {}
+  ~Mutex() {
+    if (name_ == nullptr || name_[0] == '\0') {
+      lock_debug::OnDestroy(lock_debug::AnonKey(this));
+    }
+  }
+
+  void lock() ACQUIRE() {
+    const std::string key = OrderKey();
+    lock_debug::OnAcquire(this, key, rank_, /*record_edges=*/true);
+    mu_.lock();
+    lock_debug::OnAcquired(this, key, rank_);
+  }
+  void unlock() RELEASE() {
+    lock_debug::OnRelease(this);
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    lock_debug::OnAcquire(this, OrderKey(), rank_, /*record_edges=*/false);
+    if (!mu_.try_lock()) return false;
+    lock_debug::OnAcquired(this, OrderKey(), rank_);
+    return true;
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_ != nullptr ? name_ : ""; }
+#else
+  explicit Mutex(int /*rank*/, const char* /*name*/) {}
 
   void lock() ACQUIRE() { mu_.lock(); }
   void unlock() RELEASE() { mu_.unlock(); }
   bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
-  // For condition-variable interop; using the native handle bypasses the
-  // analysis, so confine it to wait loops that already REQUIRES(mutex).
+  int rank() const { return -1; }
+  const char* name() const { return ""; }
+#endif
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // For condition-variable interop; using the native handle bypasses both
+  // the Clang analysis and the lock-order tracker, so lint rule CL010
+  // confines it to wait loops that already REQUIRES(mutex).
   std::mutex& native() RETURN_CAPABILITY(this) { return mu_; }
 
  private:
+#if CAD_CHECK_LEVEL >= 2
+  std::string OrderKey() const {
+    return name_ != nullptr && name_[0] != '\0' ? std::string(name_)
+                                                : lock_debug::AnonKey(this);
+  }
+
+  const int rank_ = -1;
+  const char* const name_ = nullptr;
+#endif
   std::mutex mu_;
 };
 

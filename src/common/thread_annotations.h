@@ -44,6 +44,19 @@
 #define EXCLUDES(...) \
   CAD_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
 
+// Capability attributes: lock-order hierarchy edges. A mutex declared
+// ACQUIRED_BEFORE(other) must always be taken first when both are held;
+// ACQUIRED_AFTER is the mirror. Clang checks these under
+// -Wthread-safety-beta (the ordering analysis is still a beta diagnostic);
+// the project's own linter (CL009) and the runtime lock-order tracker
+// (common/mutex.h, CAD_CHECK_LEVEL=full) enforce the same hierarchy on
+// every toolchain. Ranks for the global hierarchy live in
+// common/lock_order.h.
+#define ACQUIRED_BEFORE(...) \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  CAD_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
 // Function attributes for lock primitives: the function acquires / releases
 // the listed capabilities (or `this` when the list is empty).
 #define ACQUIRE(...) \

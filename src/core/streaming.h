@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/cad_options.h"
@@ -164,7 +165,11 @@ class StreamingCad {
   const CadOptions options_;
   const obs::PipelineMetrics metrics_;  // stable pointers, atomic recording
 
-  mutable common::Mutex mu_;
+  // Rank 20 in the global hierarchy (common/lock_order.h): held across a
+  // round, which records telemetry (Registry::mu_, rank 30) and spans
+  // (Tracer::mu_, rank 31) — so those must rank strictly above this lock.
+  mutable common::Mutex mu_{common::lock_order::kStreamingCad,
+                            "StreamingCad::mu_"};
   // The shared batch/streaming engine: round loop, decision, mu/sigma,
   // anomaly assembly (engine.h).
   DetectionEngine engine_ GUARDED_BY(mu_);

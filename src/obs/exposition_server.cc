@@ -137,6 +137,7 @@ void ExpositionServer::Stop() {
   const char byte = 'x';
   [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
   common::MutexLock lock(join_mu_);
+  // cad-lint: allow(CL010) the documented shutdown pattern: join_mu_ exists solely to serialize concurrent Stop() calls around this join; the serve thread never takes it
   if (thread_.joinable()) thread_.join();
 }
 

@@ -36,6 +36,7 @@
 #include <string>
 #include <thread>
 
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -89,7 +90,12 @@ class ExpositionServer {
   const Handlers handlers_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
-  common::Mutex join_mu_;
+  // Rank 10 (common/lock_order.h), the outermost rank: Stop() holds it
+  // across the serve-thread join, and handler code on that thread takes
+  // every other ranked lock — so this one must never be acquired while any
+  // of them is held.
+  common::Mutex join_mu_{common::lock_order::kExpositionJoin,
+                         "obs::ExpositionServer::join_mu_"};
   std::thread thread_ GUARDED_BY(join_mu_);  // joined at most once
 };
 

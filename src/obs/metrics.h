@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/realtime.h"
 #include "common/thread_annotations.h"
@@ -160,7 +161,11 @@ class Registry {
 
   // Guards registration (map growth) only; recording goes through the stable
   // instrument pointers and their relaxed atomics, never this mutex.
-  mutable common::Mutex mu_;
+  // Rank 30 (common/lock_order.h): registration/snapshot lock, taken inside
+  // a streaming round (under StreamingCad::mu_, rank 20); never held while
+  // acquiring another ranked lock.
+  mutable common::Mutex mu_{common::lock_order::kObsRegistry,
+                            "obs::Registry::mu_"};
   std::map<std::string, Named<Counter>, std::less<>> counters_ GUARDED_BY(mu_);
   std::map<std::string, Named<Gauge>, std::less<>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, Named<Histogram>, std::less<>> histograms_

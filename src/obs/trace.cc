@@ -25,7 +25,7 @@ Tracer& Tracer::Global() {
 
 void Tracer::Record(TraceEvent event) {
   // cad-lint: allow(CL007) only reached when a tracer is attached to the span; tracing is opt-in diagnostics, off on the default hot path
-  common::MutexLock lock(mu_);
+  common::MutexLock lock(mu_);  // cad-lint: allow(CL010) capacity-capped span-buffer append; opt-in diagnostics path
   if (events_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -69,7 +70,11 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable common::Mutex mu_;
+  // Rank 31 (common/lock_order.h): span-buffer lock, taken inside a
+  // streaming round (under StreamingCad::mu_, rank 20) next to the metrics
+  // registry (rank 30); leaf — never held while acquiring another lock.
+  mutable common::Mutex mu_{common::lock_order::kObsTracer,
+                            "obs::Tracer::mu_"};
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
   const size_t capacity_;  // immutable after construction, lock-free reads
   std::atomic<uint64_t> dropped_{0};

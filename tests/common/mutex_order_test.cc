@@ -1,0 +1,159 @@
+// Tests for the runtime lock-order tracker in common/mutex.h.
+//
+// The tracker only exists at CAD_CHECK_LEVEL=full (the `checked` and
+// `deadlock` presets); in debug/release builds Mutex::lock compiles down to
+// std::mutex::lock. Both halves are asserted here: the detection tests
+// GTEST_SKIP below full, and CompiledOutBelowFull proves the inverse — an
+// inversion pattern that would be fatal under the tracker runs silently
+// when it is compiled out, which is what keeps the release hot path free.
+//
+// Detection runs on one thread on purpose: the acquired-after graph is
+// process-wide, so thread 1's `a before b` plus (a serialized) `b then a`
+// is exactly the inversion that deadlocks when the two interleave. The
+// tracker reports it deterministically instead of relying on the unlucky
+// schedule.
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "check/check.h"
+
+namespace cad::common {
+namespace {
+
+struct TrackerFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void ThrowingHandler(const check::CheckContext& /*ctx*/,
+                                  const std::string& message) {
+  throw TrackerFailure(message);
+}
+
+class LockOrderTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!LockOrderTrackerActive()) {
+      GTEST_SKIP() << "lock-order tracker compiled out below "
+                      "CAD_CHECK_LEVEL=full";
+    }
+    LockOrderTrackerResetForTest();
+  }
+  void TearDown() override { LockOrderTrackerResetForTest(); }
+
+  check::ScopedFailureHandler guard_{&ThrowingHandler};
+};
+
+TEST_F(LockOrderTrackerTest, StraightLineNestingIsAccepted) {
+  Mutex a(-1, "test.order.a");
+  Mutex b(-1, "test.order.b");
+  for (int round = 0; round < 3; ++round) {
+    MutexLock outer(a);
+    MutexLock inner(b);
+  }
+  // One edge (a before b), recorded once however often it repeats.
+  EXPECT_EQ(LockOrderTrackedEdgeCount(), 1u);
+}
+
+TEST_F(LockOrderTrackerTest, InversionIsFatalWithBothChains) {
+  Mutex a(-1, "test.inv.a");
+  Mutex b(-1, "test.inv.b");
+  {
+    MutexLock outer(a);
+    MutexLock inner(b);
+  }
+  MutexLock outer(b);
+  try {
+    MutexLock inner(a);
+    FAIL() << "inversion was not detected";
+  } catch (const TrackerFailure& failure) {
+    const std::string message = failure.what();
+    // The report must carry both sides: this thread's chain and the
+    // recorded opposite order.
+    EXPECT_NE(message.find("test.inv.b -> test.inv.a"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("`test.inv.a` before `test.inv.b`"),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST_F(LockOrderTrackerTest, RankInversionIsFatalWithoutHistory) {
+  // Ranks catch the inversion on the very first occurrence — no prior
+  // acquired-after edge needed.
+  Mutex lo(10, "test.rank.lo");
+  Mutex hi(20, "test.rank.hi");
+  MutexLock outer(hi);
+  try {
+    MutexLock inner(lo);
+    FAIL() << "rank inversion was not detected";
+  } catch (const TrackerFailure& failure) {
+    EXPECT_NE(std::string(failure.what()).find("rank inversion"),
+              std::string::npos)
+        << failure.what();
+  }
+}
+
+TEST_F(LockOrderTrackerTest, AscendingRanksAreAccepted) {
+  Mutex lo(10, "test.rankok.lo");
+  Mutex hi(20, "test.rankok.hi");
+  MutexLock outer(lo);
+  MutexLock inner(hi);
+  SUCCEED();
+}
+
+TEST_F(LockOrderTrackerTest, RecursiveAcquisitionIsFatal) {
+  Mutex m(-1, "test.recursive");
+  MutexLock outer(m);
+  EXPECT_THROW(m.lock(), TrackerFailure);
+}
+
+TEST_F(LockOrderTrackerTest, TryLockRecordsNoOrderingEdges) {
+  Mutex a(-1, "test.try.a");
+  Mutex b(-1, "test.try.b");
+  MutexLock outer(a);
+  ASSERT_TRUE(b.try_lock());
+  b.unlock();
+  // A failed try_lock backs off instead of deadlocking, so ordering
+  // against it is not a liveness bug and must not poison the graph.
+  EXPECT_EQ(LockOrderTrackedEdgeCount(), 0u);
+}
+
+TEST_F(LockOrderTrackerTest, AnonymousMutexDeathErasesItsNode) {
+  Mutex named(-1, "test.anon.outer");
+  {
+    Mutex anon;
+    MutexLock outer(named);
+    MutexLock inner(anon);
+    EXPECT_EQ(LockOrderTrackedEdgeCount(), 1u);
+  }
+  // The anonymous node dies with the object, or a later allocation at the
+  // same address would inherit its edges and report phantom inversions.
+  EXPECT_EQ(LockOrderTrackedEdgeCount(), 0u);
+}
+
+TEST(LockOrderTrackerBuildTest, CompiledOutBelowFull) {
+  if (LockOrderTrackerActive()) {
+    GTEST_SKIP() << "tracker armed in this build";
+  }
+  check::ScopedFailureHandler guard(&ThrowingHandler);
+  // The exact pattern InversionIsFatalWithBothChains proves fatal under the
+  // tracker: without it, plain std::mutex semantics — no state, no report.
+  Mutex a(-1, "test.off.a");
+  Mutex b(-1, "test.off.b");
+  {
+    MutexLock outer(a);
+    MutexLock inner(b);
+  }
+  {
+    MutexLock outer(b);
+    MutexLock inner(a);
+  }
+  EXPECT_EQ(LockOrderTrackedEdgeCount(), 0u);
+}
+
+}  // namespace
+}  // namespace cad::common

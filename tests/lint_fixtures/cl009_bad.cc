@@ -1,0 +1,24 @@
+// CL009 violating fixture: the canonical ABBA deadlock — two methods take
+// the same pair of mutexes in opposite orders, closing a cycle in the
+// acquired-while-held graph.
+#include "common/mutex.h"
+
+namespace fixture {
+
+class TwoLocks {
+ public:
+  void Forward() {
+    cad::common::MutexLock first(a_);
+    cad::common::MutexLock second(b_);
+  }
+  void Backward() {
+    cad::common::MutexLock first(b_);
+    cad::common::MutexLock second(a_);
+  }
+
+ private:
+  cad::common::Mutex a_;
+  cad::common::Mutex b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// CL009/CL010 regression fixture for member-call chains: `.lock()` /
+// `->lock()` calls — including chains off temporaries like
+// `h.lock().other()` and `weak.lock()->Use()` — are *calls*, not lock-type
+// declarations, and must never open a held scope. If the parser
+// misattributed one, the push_back below would flag CL010 (allocation
+// while "held") and the reversed pair in the two helpers would fake a
+// CL009 cycle.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Handle {
+  Handle& lock() { return *this; }
+  Handle& other() { return *this; }
+  void Use() {}
+};
+
+void ChainsDoNotHold(Handle h, Handle* p, std::vector<int>* v) {
+  h.lock();
+  p->lock();
+  h.lock().other();
+  p->lock().other().Use();
+  v->push_back(1);
+}
+
+void FakeForward(Handle a, Handle b) {
+  a.lock();
+  b.lock();
+}
+
+void FakeBackward(Handle a, Handle b) {
+  b.lock();
+  a.lock();
+}
+
+void WeakPtrIdiom(std::weak_ptr<Handle> weak) {
+  if (auto strong = weak.lock()) strong->Use();
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// CL009 clean fixture: both paths acquire the pair in the same order, so
+// the acquired-while-held graph is a DAG — nested locking itself is fine.
+#include "common/mutex.h"
+
+namespace fixture {
+
+class OrderedLocks {
+ public:
+  void PathOne() {
+    cad::common::MutexLock first(a_);
+    cad::common::MutexLock second(b_);
+  }
+  void PathTwo() {
+    cad::common::MutexLock first(a_);
+    cad::common::MutexLock second(b_);
+  }
+
+ private:
+  cad::common::Mutex a_;
+  cad::common::Mutex b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// CL009 cross-file fixture, half one: locks g_one before g_two. Clean in
+// isolation; a cycle only appears when linted together with
+// cl009_cross_two.cc, which takes the pair in the opposite order.
+#include "common/mutex.h"
+
+namespace fixture_cross {
+
+extern cad::common::Mutex g_one;
+extern cad::common::Mutex g_two;
+
+void ForwardOrder() {
+  cad::common::MutexLock first(g_one);
+  cad::common::MutexLock second(g_two);
+}
+
+}  // namespace fixture_cross

@@ -1,0 +1,16 @@
+// CL009 cross-file fixture, half two: locks g_two before g_one — the
+// inversion of cl009_cross_one.cc. Each half is clean alone; the tree-wide
+// run over both must report the cycle.
+#include "common/mutex.h"
+
+namespace fixture_cross {
+
+extern cad::common::Mutex g_one;
+extern cad::common::Mutex g_two;
+
+void BackwardOrder() {
+  cad::common::MutexLock first(g_two);
+  cad::common::MutexLock second(g_one);
+}
+
+}  // namespace fixture_cross

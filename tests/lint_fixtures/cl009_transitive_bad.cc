@@ -1,0 +1,26 @@
+// CL009 violating fixture, transitive shape: each side acquires the second
+// lock through a callee, so the cycle only appears once the call graph
+// feeds the acquired-while-held analysis. The report must carry the call
+// path that closes the cycle.
+#include "common/mutex.h"
+
+namespace fixture {
+
+cad::common::Mutex g_first;
+cad::common::Mutex g_second;
+
+void TakeSecond() { cad::common::MutexLock lock(g_second); }
+
+void ForwardPath() {
+  cad::common::MutexLock lock(g_first);
+  TakeSecond();
+}
+
+void TakeFirst() { cad::common::MutexLock lock(g_first); }
+
+void BackwardPath() {
+  cad::common::MutexLock lock(g_second);
+  TakeFirst();
+}
+
+}  // namespace fixture

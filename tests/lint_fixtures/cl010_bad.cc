@@ -1,0 +1,29 @@
+// CL010 violating fixture: a blocking join and a container allocation
+// inside a critical section, plus a raw `Mutex::native()` use outside the
+// condition-variable wait idiom (the one sanctioned escape hatch).
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+cad::common::Mutex g_mu;
+std::vector<int> g_items;
+
+void BlockUnderLock(std::thread* t) {
+  cad::common::MutexLock lock(g_mu);
+  t->join();
+}
+
+void AllocUnderLock() {
+  cad::common::MutexLock lock(g_mu);
+  g_items.push_back(1);
+}
+
+void RawNativeEscape() {
+  g_mu.native().lock();
+  g_mu.native().unlock();
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// CL010 clean fixture: the sanctioned condition-variable wait idiom — a
+// body-local unique_lock over Mutex::native() driving cv.wait — plus
+// allocation hoisted out of the critical section.
+#include <condition_variable>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+cad::common::Mutex g_mu;
+std::condition_variable g_cv;
+bool g_ready = false;
+
+void WaitForReady() {
+  std::unique_lock<std::mutex> lk(g_mu.native());
+  g_cv.wait(lk, [] { return g_ready; });
+}
+
+void AllocOutsideLock(std::vector<int>* v) {
+  v->reserve(8);
+  cad::common::MutexLock lock(g_mu);
+  g_ready = true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// CL010 suppressed fixture: a deliberate copy-under-lock with the reasoned
+// allow() at the lock site — the anchor CL010 uses so one suppression
+// covers every allocating line of the scope.
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+cad::common::Mutex g_mu;
+
+void DeliberateCopyUnderLock(std::vector<int>* v) {
+  // cad-lint: allow(CL010) fixture: bounded copy; callers tolerate the scrape-path latency
+  cad::common::MutexLock lock(g_mu);
+  v->push_back(1);
+  v->push_back(2);
+}
+
+}  // namespace fixture

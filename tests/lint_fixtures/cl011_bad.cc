@@ -1,0 +1,33 @@
+// CL011 violating fixture, one shape per contract: (a) a GUARDED_BY member
+// read without the guard held, (b) a call into a REQUIRES method without
+// holding its lock, (c) a call into an EXCLUDES method while holding the
+// lock it re-acquires (self-deadlock).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  int Read() const {
+    return value_;
+  }
+  void Locked() REQUIRES(mu_) { value_ = 1; }
+  void Unlocked() EXCLUDES(mu_) {
+    cad::common::MutexLock lock(mu_);
+    value_ = 2;
+  }
+  void CallsLocked() {
+    Locked();
+  }
+  void CallsUnlocked() {
+    cad::common::MutexLock lock(mu_);
+    Unlocked();
+  }
+
+ private:
+  mutable cad::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

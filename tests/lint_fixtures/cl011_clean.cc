@@ -1,0 +1,33 @@
+// CL011 clean fixture: the same shapes as cl011_bad.cc done right — the
+// guard is held (directly or via a REQUIRES contract the caller satisfies)
+// and the EXCLUDES method is entered lock-free.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  int Read() const {
+    cad::common::MutexLock lock(mu_);
+    return value_;
+  }
+  void Locked() REQUIRES(mu_) { value_ = 1; }
+  void Unlocked() EXCLUDES(mu_) {
+    cad::common::MutexLock lock(mu_);
+    value_ = 2;
+  }
+  void CallsLocked() {
+    cad::common::MutexLock lock(mu_);
+    Locked();
+  }
+  void CallsUnlocked() {
+    Unlocked();
+  }
+
+ private:
+  mutable cad::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

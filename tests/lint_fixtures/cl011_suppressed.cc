@@ -1,0 +1,24 @@
+// CL011 suppressed fixture: an intentionally unsynchronized read of a
+// guarded member with the mandatory reason.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  int ReadRacy() const {
+    // cad-lint: allow(CL011) fixture: monitoring-only read; staleness is tolerated by design
+    return value_;
+  }
+  void Write() {
+    cad::common::MutexLock lock(mu_);
+    value_ = 1;
+  }
+
+ private:
+  mutable cad::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Seeded lock-order inversion for the Clang thread-safety analysis — the
+// compiler-side third of the deadlock contract (the other two: cad_lint
+// CL009 flags the same shape statically in cl009_bad.cc, and the runtime
+// tracker's InversionIsFatalWithBothChains unit test catches it
+// dynamically). tools/verify_matrix.sh's `deadlock` stage compiles this
+// file with `clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta`
+// and asserts the ACQUIRED_AFTER contract produces a warning on the
+// reversed acquisition below; it is not part of any CMake target and GCC
+// never sees it (the annotations compile to no-ops there).
+//
+// Note this fixture is deliberately *clean* under cad_lint: only one
+// function takes the pair, so there is no cycle — the inversion exists
+// only relative to the declared ACQUIRED_AFTER hierarchy, which is
+// exactly the layer this fixture exercises.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture_clang {
+
+cad::common::Mutex g_first;
+cad::common::Mutex g_second ACQUIRED_AFTER(g_first);
+
+void Reversed() {
+  cad::common::MutexLock outer(g_second);
+  cad::common::MutexLock inner(g_first);  // warning: must be acquired before
+}
+
+void CallSites() { Reversed(); }
+
+}  // namespace fixture_clang

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency.h"
 #include "realtime.h"
 #include "rules.h"
 
@@ -131,9 +132,11 @@ TEST(LintRulesTest, ProseMentioningTheSyntaxIsNotASuppression) {
 
 TEST(LintRulesTest, RuleCatalogIsCompleteAndOrdered) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 12u);
   for (size_t i = 0; i < rules.size(); ++i) {
-    EXPECT_EQ(rules[i].id, "CL00" + std::to_string(i));
+    const std::string expect =
+        (i < 10 ? "CL00" : "CL0") + std::to_string(i);
+    EXPECT_EQ(rules[i].id, expect);
   }
 }
 
@@ -282,6 +285,164 @@ TEST(LintRealtimeTest, CompatibleAnnotationsStayQuiet) {
 }
 
 // ---------------------------------------------------------------------------
+// Library-level concurrency rules (CL009–CL011): the acquired-while-held
+// cycle search and the GCC-side thread-safety parity checks.
+// ---------------------------------------------------------------------------
+
+TEST(LintConcurrencyTest, Cl009WitnessCarriesBothSidesOfTheCycle) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void Fwd(cad::common::Mutex& a, cad::common::Mutex& b) {\n"
+       "  cad::common::MutexLock one(a);\n"
+       "  cad::common::MutexLock two(b);\n"
+       "}\n"
+       "void Bwd(cad::common::Mutex& a, cad::common::Mutex& b) {\n"
+       "  cad::common::MutexLock one(b);\n"
+       "  cad::common::MutexLock two(a);\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintConcurrency(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL009");
+  EXPECT_NE(findings[0].message.find("Fwd"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Bwd"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("`a` -> `b` -> `a`"),
+            std::string::npos);
+}
+
+TEST(LintConcurrencyTest, Cl009TransitiveWitnessNamesTheCallPath) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "cad::common::Mutex g_a;\n"
+       "cad::common::Mutex g_b;\n"
+       "void TakeB() { cad::common::MutexLock lock(g_b); }\n"
+       "void Fwd() {\n"
+       "  cad::common::MutexLock lock(g_a);\n"
+       "  TakeB();\n"
+       "}\n"
+       "void Bwd() {\n"
+       "  cad::common::MutexLock lock(g_b);\n"
+       "  cad::common::MutexLock inner(g_a);\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintConcurrency(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL009");
+  EXPECT_NE(findings[0].message.find("call path: Fwd -> TakeB"),
+            std::string::npos);
+}
+
+TEST(LintConcurrencyTest, LockNamedMethodChainsNeverOpenAHeldScope) {
+  // `h.lock()`, `p->lock()` and chains off temporaries are calls, not
+  // lock-type declarations; if one leaked into the held set the push_back
+  // would flag CL010 and the reversed pair would fake a CL009 cycle.
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void Chains(Handle h, Handle* p, std::vector<int>* v) {\n"
+       "  h.lock();\n"
+       "  p->lock();\n"
+       "  h.lock().other();\n"
+       "  p->lock().other().Use();\n"
+       "  v->push_back(1);\n"
+       "}\n"
+       "void FakeBwd(Handle a, Handle b) {\n"
+       "  b.lock();\n"
+       "  a.lock();\n"
+       "}\n"
+       "void FakeFwd(Handle a, Handle b) {\n"
+       "  a.lock();\n"
+       "  b.lock();\n"
+       "}\n"}};
+  EXPECT_EQ(LintConcurrency(files).size(), 0u);
+}
+
+TEST(LintConcurrencyTest, Cl010SanctionedWaitIdiomStaysQuiet) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void Wait(cad::common::Mutex& mu, std::condition_variable& cv) {\n"
+       "  std::unique_lock<std::mutex> lk(mu.native());\n"
+       "  cv.wait(lk, [] { return Ready(); });\n"
+       "}\n"}};
+  EXPECT_EQ(LintConcurrency(files).size(), 0u);
+}
+
+TEST(LintConcurrencyTest, Cl010FlagsNativeOutsideTheWaitIdiom) {
+  const std::vector<FileInput> files = {
+      {"a.cc",
+       "void Raw(cad::common::Mutex& mu) {\n"
+       "  mu.native().lock();\n"
+       "}\n"}};
+  const std::vector<Finding> findings = LintConcurrency(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "CL010");
+  EXPECT_NE(findings[0].message.find("native()"), std::string::npos);
+}
+
+TEST(LintConcurrencyTest, Cl011RequiresOnDeclarationCoversTheDefinition) {
+  // REQUIRES lives on the header declaration; the out-of-line definition
+  // must inherit it as held-from-entry or every guarded access and nested
+  // call in the .cc would false-positive.
+  const std::vector<FileInput> files = {
+      {"w.h",
+       "class Widget {\n"
+       " public:\n"
+       "  void Tick() REQUIRES(mu_);\n"
+       "  void Step() REQUIRES(mu_);\n"
+       " private:\n"
+       "  cad::common::Mutex mu_;\n"
+       "  int v_ GUARDED_BY(mu_) = 0;\n"
+       "};\n"},
+      {"w.cc",
+       "void Widget::Tick() {\n"
+       "  v_ = 1;\n"
+       "  Step();\n"
+       "}\n"
+       "void Widget::Step() { v_ = 2; }\n"}};
+  EXPECT_EQ(LintConcurrency(files).size(), 0u);
+}
+
+TEST(LintConcurrencyTest, Cl011FlagsGuardedAccessAndRequiresCall) {
+  const std::vector<FileInput> files = {
+      {"w.h",
+       "class Widget {\n"
+       " public:\n"
+       "  int Read() const { return v_; }\n"
+       "  void Tick() REQUIRES(mu_);\n"
+       "  void Loose() { Tick(); }\n"
+       " private:\n"
+       "  mutable cad::common::Mutex mu_;\n"
+       "  int v_ GUARDED_BY(mu_) = 0;\n"
+       "};\n"}};
+  const std::vector<Finding> findings = LintConcurrency(files);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "CL011");
+  EXPECT_NE(findings[0].message.find("v_"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "CL011");
+  EXPECT_NE(findings[1].message.find("REQUIRES"), std::string::npos);
+}
+
+TEST(LintConcurrencyTest, ExplicitReceiverDoesNotInheritSelfContract) {
+  // `inner_.Open()` must not resolve to the *enclosing* class's
+  // EXCLUDES(mu_) overload by last-name match — the receiver is another
+  // object whose type a token-level pass cannot see.
+  const std::vector<FileInput> files = {
+      {"a.h",
+       "class Outer {\n"
+       " public:\n"
+       "  bool Open() const EXCLUDES(mu_) {\n"
+       "    cad::common::MutexLock lock(mu_);\n"
+       "    return inner_.Open();\n"
+       "  }\n"
+       "  bool Snapshot() const {\n"
+       "    cad::common::MutexLock lock(mu_);\n"
+       "    return inner_.Open();\n"
+       "  }\n"
+       " private:\n"
+       "  mutable cad::common::Mutex mu_;\n"
+       "  Inner inner_;\n"
+       "};\n"}};
+  EXPECT_EQ(LintConcurrency(files).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Fixture matrix: violating / clean / suppressed snippet per rule, driven
 // through the real binary.
 // ---------------------------------------------------------------------------
@@ -348,7 +509,22 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"cl008_bad.cc", "CL008", 1, 0},
         FixtureCase{"cl008_override_bad.cc", "CL008", 1, 0},
         FixtureCase{"cl008_clean.cc", "CL008", 0, 0},
-        FixtureCase{"cl008_suppressed.cc", "CL008", 0, 1}),
+        FixtureCase{"cl008_suppressed.cc", "CL008", 0, 1},
+        FixtureCase{"cl009_bad.cc", "CL009", 1, 0},
+        FixtureCase{"cl009_transitive_bad.cc", "CL009", 1, 0},
+        FixtureCase{"cl009_clean.cc", "CL009", 0, 0},
+        FixtureCase{"cl009_suppressed.cc", "CL009", 0, 1},
+        FixtureCase{"cl009_chain_clean.cc", "CL009", 0, 0},
+        // Each half of the cross-file inversion is clean alone; the pair is
+        // covered by CrossFileInversionNeedsBothHalves below.
+        FixtureCase{"cl009_cross_one.cc", "CL009", 0, 0},
+        FixtureCase{"cl009_cross_two.cc", "CL009", 0, 0},
+        FixtureCase{"cl010_bad.cc", "CL010", 4, 0},
+        FixtureCase{"cl010_clean.cc", "CL010", 0, 0},
+        FixtureCase{"cl010_suppressed.cc", "CL010", 0, 1},
+        FixtureCase{"cl011_bad.cc", "CL011", 3, 0},
+        FixtureCase{"cl011_clean.cc", "CL011", 0, 0},
+        FixtureCase{"cl011_suppressed.cc", "CL011", 0, 1}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.file;
       for (char& c : name) {
@@ -429,6 +605,20 @@ TEST(LintBinaryTest, DigitSeparatorsDoNotShiftFindingLines) {
       RunBinary("--json " + Fixture("cl007_digitsep_bad.cc"));
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.output.find("\"line\":9"), std::string::npos)
+      << result.output;
+}
+
+TEST(LintBinaryTest, CrossFileInversionNeedsBothHalves) {
+  // cl009_cross_one.cc locks g_one then g_two; cl009_cross_two.cc locks the
+  // same extern pair in the opposite order. Either file alone is acyclic
+  // (the FixtureCase rows above pin 0 findings each); only a tree-wide run
+  // that merges both acquired-after edges closes the cycle. This is the
+  // property that makes CL009 a *tree* gate rather than a per-file scan.
+  const BinaryResult result = RunBinary(
+      Fixture("cl009_cross_one.cc") + " " + Fixture("cl009_cross_two.cc"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("CL009"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("cl009_cross_two.cc"), std::string::npos)
       << result.output;
 }
 

@@ -1,0 +1,895 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cad_lint {
+
+unsigned AnnotationMask(const std::string& t) {
+  if (t == "CAD_REALTIME" || t == "CAD_REALTIME_AUDITED") {
+    return kEffAlloc | kEffBlock;
+  }
+  if (t == "CAD_NONALLOCATING") return kEffAlloc;
+  if (t == "CAD_NONBLOCKING") return kEffBlock;
+  return 0;
+}
+
+std::string EffectVerb(unsigned effect) {
+  return effect == kEffAlloc ? "allocate" : "block";
+}
+
+bool TokIs(const std::vector<Token>& toks, size_t i, std::string_view text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+bool IsIdent(const std::vector<Token>& toks, size_t i) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdentifier;
+}
+
+bool IsMacroish(const std::string& t) {
+  bool has_alpha = false;
+  for (char c : t) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha && t.size() >= 2;
+}
+
+const std::set<std::string_view>& NonCallKeywords() {
+  static const std::set<std::string_view> kSet = {
+      "if",       "for",      "while",    "switch",   "return",
+      "sizeof",   "alignof",  "alignas",  "decltype", "noexcept",
+      "catch",    "assert",   "defined",  "throw",    "new",
+      "delete",   "void",     "int",      "bool",     "char",
+      "double",   "float",    "long",     "short",    "unsigned",
+      "signed",   "auto",     "explicit", "operator", "static_assert",
+      "co_await", "co_return"};
+  return kSet;
+}
+
+namespace {
+
+// Lock RAII types whose declaration opens a held scope. `unique_lock` is
+// listed separately because it also feeds the cv-wait idiom.
+const std::set<std::string_view>& LockDeclTypes() {
+  static const std::set<std::string_view> kSet = {
+      "MutexLock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  return kSet;
+}
+
+bool IsSimpleIdent(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return !std::isdigit(static_cast<unsigned char>(s[0]));
+}
+
+// Canonical lock key for a subject expression: strip the `.native()`
+// escape hatch (same underlying mutex), qualify bare members with the
+// enclosing class so header and out-of-line uses agree.
+std::string CanonicalLockKey(std::string expr, const std::string& cls) {
+  const auto strip_suffix = [&](std::string_view suffix) {
+    if (expr.size() > suffix.size() &&
+        expr.compare(expr.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      expr.resize(expr.size() - suffix.size());
+    }
+  };
+  strip_suffix(".native()");
+  strip_suffix("->native()");
+  if (expr.rfind("this->", 0) == 0) expr = expr.substr(6);
+  if (IsSimpleIdent(expr) && !cls.empty()) return cls + "::" + expr;
+  return expr;
+}
+
+}  // namespace
+
+std::optional<Primitive> MatchPrimitive(const std::vector<Token>& toks,
+                                        size_t i) {
+  if (toks[i].kind != TokKind::kIdentifier) return std::nullopt;
+  const std::string& t = toks[i].text;
+  const bool member =
+      i > 0 && (TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->"));
+  const bool call = TokIs(toks, i + 1, "(");
+
+  if (t == "new") {
+    if (i > 0 && TokIs(toks, i - 1, "operator")) return std::nullopt;
+    return Primitive{kEffAlloc, "new"};
+  }
+  if (t == "delete") {
+    // `= delete` and `operator delete` declarations are not deallocations.
+    if (i > 0 && (TokIs(toks, i - 1, "operator") || TokIs(toks, i - 1, "=")))
+      return std::nullopt;
+    return Primitive{kEffAlloc, "delete"};
+  }
+  if (t == "throw") return Primitive{kEffAlloc | kEffBlock, "throw"};
+
+  static const std::set<std::string_view> kHeap = {
+      "malloc", "calloc", "realloc", "free", "strdup", "aligned_alloc"};
+  if (!member && call && kHeap.count(t) > 0) {
+    return Primitive{kEffAlloc | kEffBlock, t};
+  }
+  if ((t == "make_unique" || t == "make_shared") &&
+      (call || TokIs(toks, i + 1, "<"))) {
+    return Primitive{kEffAlloc, t};
+  }
+  if (t == "to_string" && call && !member) {
+    return Primitive{kEffAlloc, "to_string"};
+  }
+  if (t == "function" && TokIs(toks, i + 1, "<")) {
+    return Primitive{kEffAlloc, "std::function"};
+  }
+
+  static const std::set<std::string_view> kGrow = {
+      "push_back",  "emplace_back", "emplace", "emplace_front",
+      "push_front", "insert",       "append",  "reserve"};
+  if (member && call && kGrow.count(t) > 0) return Primitive{kEffAlloc, t};
+
+  if (LockDeclTypes().count(t) > 0) return Primitive{kEffBlock, t};
+  if (member && call && t == "lock") return Primitive{kEffBlock, "lock()"};
+
+  static const std::set<std::string_view> kWaits = {
+      "sleep_for", "sleep_until", "wait", "wait_for", "wait_until", "join"};
+  if (call && kWaits.count(t) > 0 &&
+      (member || (i > 0 && TokIs(toks, i - 1, "::")))) {
+    return Primitive{kEffBlock, t};
+  }
+
+  static const std::set<std::string_view> kStreamObjs = {"cout", "cerr",
+                                                         "clog"};
+  if (!member && kStreamObjs.count(t) > 0) {
+    return Primitive{kEffAlloc | kEffBlock, "std::" + t};
+  }
+  static const std::set<std::string_view> kStdio = {
+      "printf", "fprintf", "vfprintf", "puts",   "fputs", "fwrite", "fread",
+      "fopen",  "fclose",  "fflush",   "getline", "system", "popen", "pclose"};
+  if (call && kStdio.count(t) > 0) return Primitive{kEffAlloc | kEffBlock, t};
+  static const std::set<std::string_view> kStreamTypes = {
+      "ofstream",      "ifstream",      "fstream", "stringstream",
+      "ostringstream", "istringstream"};
+  if (kStreamTypes.count(t) > 0) {
+    return Primitive{kEffAlloc | kEffBlock, t};
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Declarator parsing: is this statement a function declaration/definition,
+// and if so what is it called and how is it annotated?
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DeclInfo {
+  std::string name;         // "Name" or "~Name"
+  std::string qual_prefix;  // "Class" when written `Class::Name`, else ""
+  unsigned mask = 0;
+  bool is_virtual = false;
+  bool is_override = false;
+  std::vector<std::string> requires_locks;  // raw exprs, not yet canonical
+  std::vector<std::string> excludes_locks;
+};
+
+// Captures the balanced-paren argument list opening at `open` (which must
+// index a "("), split on top-level commas, each argument token-joined.
+std::vector<std::string> CaptureArgs(const std::vector<Token>& toks,
+                                     const std::vector<size_t>& stmt,
+                                     size_t open) {
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 0;
+  for (size_t k = open; k < stmt.size(); ++k) {
+    const std::string& t = toks[stmt[k]].text;
+    if (t == "(") {
+      if (++depth == 1) continue;
+    }
+    if (t == ")") {
+      if (--depth == 0) break;
+    }
+    if (t == "," && depth == 1) {
+      if (!cur.empty()) args.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += t;
+  }
+  if (!cur.empty()) args.push_back(cur);
+  return args;
+}
+
+// `stmt` holds token indices of one statement (everything since the last
+// boundary, body brace excluded). The declarator is the first top-level
+// `(` preceded by a plausible function name; rejected candidates (macro
+// calls like GUARDED_BY, static_assert) are skipped past their matching
+// `)` so their arguments cannot fake a declarator.
+std::optional<DeclInfo> ParseDecl(const std::vector<Token>& toks,
+                                  const std::vector<size_t>& stmt) {
+  if (stmt.empty()) return std::nullopt;
+  int paren = 0;
+  size_t open = stmt.size();  // index *into stmt* of the declarator's "("
+  for (size_t k = 0; k < stmt.size(); ++k) {
+    const std::string& t = toks[stmt[k]].text;
+    if (t == "(") {
+      if (paren == 0) {
+        bool ok = k > 0 && IsIdent(toks, stmt[k - 1]);
+        if (ok) {
+          const std::string& name = toks[stmt[k - 1]].text;
+          ok = NonCallKeywords().count(name) == 0 && !IsMacroish(name);
+        }
+        if (ok) {
+          open = k;
+          break;
+        }
+      }
+      ++paren;
+      continue;
+    }
+    if (t == ")") {
+      if (paren > 0) --paren;
+      continue;
+    }
+    // A top-level `=` before the declarator means assignment or lambda,
+    // and a control keyword means this is no declaration at all.
+    if (paren == 0) {
+      if (t == "=") return std::nullopt;
+      if (toks[stmt[k]].kind == TokKind::kIdentifier &&
+          (t == "if" || t == "for" || t == "while" || t == "switch" ||
+           t == "catch" || t == "return" || t == "using" || t == "typedef" ||
+           t == "friend" || t == "goto")) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (open >= stmt.size()) return std::nullopt;
+  // The parameter list must close inside this statement.
+  paren = 0;
+  bool closed = false;
+  for (size_t k = open; k < stmt.size(); ++k) {
+    const std::string& t = toks[stmt[k]].text;
+    if (t == "(") ++paren;
+    if (t == ")" && --paren == 0) {
+      closed = true;
+      break;
+    }
+  }
+  if (!closed) return std::nullopt;
+
+  DeclInfo d;
+  size_t name_at = open - 1;
+  d.name = toks[stmt[name_at]].text;
+  size_t before = name_at;  // index of the token just before the name
+  if (name_at >= 1 && TokIs(toks, stmt[name_at - 1], "~")) {
+    d.name = "~" + d.name;
+    before = name_at - 1;
+  }
+  if (before >= 2 && TokIs(toks, stmt[before - 1], "::") &&
+      IsIdent(toks, stmt[before - 2])) {
+    const std::string& q = toks[stmt[before - 2]].text;
+    // Uppercase qualifier = class; lowercase = namespace (project
+    // convention), in which case the function is filed under its bare name.
+    if (std::isupper(static_cast<unsigned char>(q[0]))) d.qual_prefix = q;
+  }
+  for (size_t k = 0; k < stmt.size(); ++k) {
+    if (!IsIdent(toks, stmt[k])) continue;
+    const std::string& t = toks[stmt[k]].text;
+    d.mask |= AnnotationMask(t);
+    if (t == "virtual") d.is_virtual = true;
+    if (t == "override") d.is_override = true;
+    if ((t == "REQUIRES" || t == "EXCLUDES") && k + 1 < stmt.size() &&
+        TokIs(toks, stmt[k + 1], "(")) {
+      std::vector<std::string> args = CaptureArgs(toks, stmt, k + 1);
+      auto& dest = t == "REQUIRES" ? d.requires_locks : d.excludes_locks;
+      for (std::string& arg : args) {
+        // `REQUIRES(!mu)` is a negative capability — not a held lock.
+        if (!arg.empty() && arg[0] != '!') dest.push_back(std::move(arg));
+      }
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file extraction walk.
+// ---------------------------------------------------------------------------
+
+class FileParser {
+ public:
+  FileParser(std::string path, const LexedFile& lex, ParsedFile* out)
+      : path_(std::move(path)), lex_(lex), out_(out) {}
+
+  void Run() {
+    const std::vector<Token>& toks = lex_.tokens;
+    size_t skip_until = 0;  // exclusive token index: CAD_VALIDATE regions
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& tok = toks[i];
+      if (tok.kind == TokKind::kDirective) {
+        if (!InFunction()) ResetStmt();
+        continue;
+      }
+      const std::string& t = tok.text;
+      if (i >= skip_until && tok.kind == TokKind::kIdentifier &&
+          (t == "CAD_VALIDATE" || t == "CAD_DCHECK") &&
+          TokIs(toks, i + 1, "(")) {
+        skip_until = SkipBalancedParens(toks, i + 1);
+      }
+
+      if (t == "{") {
+        OnOpenBrace(i);
+        continue;
+      }
+      if (t == "}") {
+        OnCloseBrace();
+        continue;
+      }
+      if (t == "(") ++paren_;
+      if (t == ")") {
+        if (paren_ > 0) --paren_;
+        if (paren_ == 0) saw_close_ = true;
+      }
+
+      if (InFunction()) {
+        if (i >= skip_until) RecordBodyToken(i);
+        continue;
+      }
+
+      if (paren_ == 0) {
+        if (t == ";") {
+          OnStatementEnd();
+          ResetStmt();
+          continue;
+        }
+        if (t == ":" && tok.kind == TokKind::kPunct) {
+          if (stmt_.size() == 1 && IsIdent(toks, stmt_[0]) &&
+              (toks[stmt_[0]].text == "public" ||
+               toks[stmt_[0]].text == "private" ||
+               toks[stmt_[0]].text == "protected")) {
+            ResetStmt();  // access label
+            continue;
+          }
+          // After the parameter list closed, a lone `:` opens a
+          // constructor initializer list.
+          if (saw_close_ && !saw_eq_) ctor_init_ = true;
+        }
+        if (t == "=") saw_eq_ = true;
+      }
+      stmt_.push_back(i);
+    }
+  }
+
+ private:
+  struct Frame {
+    char kind;  // 'N' namespace/extern/enum, 'C' class, 'F' function body,
+                // 'O' other (control flow, init braces), 'I' ctor-member-init
+    int fn = -1;
+    std::string cls;
+  };
+
+  struct LockScope {
+    std::string key;
+    size_t depth;  // frames_.size() at acquisition; dies when it shrinks below
+  };
+
+  static size_t SkipBalancedParens(const std::vector<Token>& toks,
+                                   size_t open) {
+    int depth = 0;
+    for (size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) return j + 1;
+    }
+    return open + 1;
+  }
+
+  bool InFunction() const {
+    for (const Frame& f : frames_) {
+      if (f.kind == 'F') return true;
+    }
+    return false;
+  }
+
+  ParsedFn* CurrentFn() {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind == 'F') return &out_->fns[static_cast<size_t>(it->fn)];
+    }
+    return nullptr;
+  }
+
+  std::string EnclosingClass() const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind == 'C') return it->cls;
+    }
+    return "";
+  }
+
+  void ResetStmt() {
+    stmt_.clear();
+    ctor_init_ = false;
+    saw_close_ = false;
+    saw_eq_ = false;
+  }
+
+  std::vector<std::string> HeldKeys() const {
+    std::vector<std::string> held;
+    held.reserve(lock_scopes_.size());
+    for (const LockScope& s : lock_scopes_) held.push_back(s.key);
+    return held;
+  }
+
+  // First identifier after the class keyword, skipping attribute-macro
+  // arguments (CAPABILITY("mutex")) and base-class lists.
+  std::string ClassNameFromStmt() const {
+    const std::vector<Token>& toks = lex_.tokens;
+    for (size_t k = 0; k < stmt_.size(); ++k) {
+      const std::string& t = toks[stmt_[k]].text;
+      if (t != "class" && t != "struct" && t != "union") continue;
+      for (size_t j = k + 1; j < stmt_.size(); ++j) {
+        if (!IsIdent(toks, stmt_[j])) continue;
+        if (j + 1 < stmt_.size() && TokIs(toks, stmt_[j + 1], "(")) {
+          int depth = 0;
+          size_t m = j + 1;
+          for (; m < stmt_.size(); ++m) {
+            if (toks[stmt_[m]].text == "(") ++depth;
+            if (toks[stmt_[m]].text == ")" && --depth == 0) break;
+          }
+          j = m;
+          continue;
+        }
+        return toks[stmt_[j]].text;
+      }
+      break;
+    }
+    return "(anonymous)";
+  }
+
+  void RegisterFn(const DeclInfo& d, bool has_body, int line, int* fn_idx) {
+    ParsedFn fn;
+    fn.last = d.name;
+    if (!d.qual_prefix.empty()) {
+      fn.qual = d.qual_prefix + "::" + d.name;
+      fn.cls = d.qual_prefix;
+    } else {
+      const std::string cls = EnclosingClass();
+      fn.qual = cls.empty() ? d.name : cls + "::" + d.name;
+      fn.cls = cls;
+    }
+    fn.path = path_;
+    fn.line = line;
+    fn.mask = d.mask;
+    fn.is_virtual = d.is_virtual;
+    fn.is_override = d.is_override;
+    fn.has_body = has_body;
+    for (const std::string& expr : d.requires_locks) {
+      fn.requires_locks.push_back(CanonicalLockKey(expr, fn.cls));
+    }
+    for (const std::string& expr : d.excludes_locks) {
+      fn.excludes_locks.push_back(CanonicalLockKey(expr, fn.cls));
+    }
+    out_->fns.push_back(std::move(fn));
+    if (fn_idx != nullptr) {
+      *fn_idx = static_cast<int>(out_->fns.size()) - 1;
+    }
+  }
+
+  // `member GUARDED_BY(mutex)` inside a class body.
+  void ScanGuardedMembers() {
+    const std::vector<Token>& toks = lex_.tokens;
+    const std::string cls = EnclosingClass();
+    if (cls.empty()) return;
+    for (size_t k = 1; k + 1 < stmt_.size(); ++k) {
+      if (toks[stmt_[k]].text != "GUARDED_BY" &&
+          toks[stmt_[k]].text != "PT_GUARDED_BY") {
+        continue;
+      }
+      if (!TokIs(toks, stmt_[k + 1], "(") || !IsIdent(toks, stmt_[k - 1])) {
+        continue;
+      }
+      std::vector<std::string> args = CaptureArgs(toks, stmt_, k + 1);
+      if (args.size() != 1) continue;
+      out_->guarded.push_back(GuardedMember{
+          cls, toks[stmt_[k - 1]].text, CanonicalLockKey(args[0], cls), path_,
+          toks[stmt_[k - 1]].line});
+    }
+  }
+
+  void OnStatementEnd() {
+    // Declarations are only meaningful directly inside a class, a
+    // namespace, or at the top level — not inside brace-initializers.
+    if (!frames_.empty() && frames_.back().kind != 'C' &&
+        frames_.back().kind != 'N') {
+      return;
+    }
+    if (frames_.empty() || frames_.back().kind == 'C') ScanGuardedMembers();
+    if (saw_eq_ && !saw_close_) return;  // variable with initializer
+    std::optional<DeclInfo> d = ParseDecl(lex_.tokens, stmt_);
+    if (!d) return;
+    RegisterFn(*d, /*has_body=*/false, lex_.tokens[stmt_.front()].line,
+               nullptr);
+  }
+
+  void OnOpenBrace(size_t i) {
+    const std::vector<Token>& toks = lex_.tokens;
+    if (paren_ > 0 || InFunction()) {
+      frames_.push_back(Frame{'O', -1, ""});
+      return;
+    }
+    // Member-init braces in a ctor initializer list (`: buf_{0} {`): the
+    // statement continues past them; only the body brace closes it.
+    if (ctor_init_ && i > 0 &&
+        (toks[i - 1].kind == TokKind::kIdentifier ||
+         toks[i - 1].text == ">")) {
+      frames_.push_back(Frame{'I', -1, ""});
+      return;
+    }
+    char kind = 'O';
+    std::string cls;
+    int fn_idx = -1;
+    bool ns = false;
+    bool classish = false;
+    int paren = 0;
+    for (size_t k = 0; k < stmt_.size(); ++k) {
+      const Token& st = toks[stmt_[k]];
+      if (st.text == "(") ++paren;
+      if (st.text == ")" && paren > 0) --paren;
+      if (paren != 0 || st.kind != TokKind::kIdentifier) continue;
+      if (st.text == "namespace" || st.text == "extern" || st.text == "enum") {
+        ns = true;
+      }
+      if (st.text == "class" || st.text == "struct" || st.text == "union") {
+        classish = true;
+      }
+    }
+    if (ns) {
+      kind = 'N';
+    } else if (classish && !saw_eq_) {
+      kind = 'C';
+      cls = ClassNameFromStmt();
+    } else if (!saw_eq_ || saw_close_) {
+      if (std::optional<DeclInfo> d = ParseDecl(toks, stmt_)) {
+        kind = 'F';
+        RegisterFn(*d, /*has_body=*/true, toks[stmt_.front()].line, &fn_idx);
+        // REQUIRES(m) locks are held from entry to exit of the body: open
+        // scopes at body depth so they close with the function frame.
+        for (const std::string& key :
+             out_->fns[static_cast<size_t>(fn_idx)].requires_locks) {
+          lock_scopes_.push_back(LockScope{key, frames_.size() + 1});
+        }
+      }
+    }
+    frames_.push_back(Frame{kind, fn_idx, cls});
+    ResetStmt();
+  }
+
+  void OnCloseBrace() {
+    if (frames_.empty()) {
+      ResetStmt();
+      return;
+    }
+    const char kind = frames_.back().kind;
+    frames_.pop_back();
+    while (!lock_scopes_.empty() && lock_scopes_.back().depth > frames_.size()) {
+      lock_scopes_.pop_back();
+    }
+    if (kind == 'F' || !InFunction()) unique_lock_vars_.clear();
+    // 'I' frames sit mid-statement; everything else ends one.
+    if (kind != 'I') ResetStmt();
+  }
+
+  // `LockType [<...>] var(subject)` declaration at `i` (indexing the lock
+  // type). Returns the token index just past the subject's closing paren,
+  // or 0 when the shape does not match (member calls `x.lock_guard(...)`,
+  // unnamed temporaries `MutexLock(mu_)` — chains off temporaries must not
+  // open held scopes).
+  size_t TryLockDecl(size_t i, ParsedFn* fn) {
+    const std::vector<Token>& toks = lex_.tokens;
+    if (i > 0 && (TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->"))) {
+      return 0;
+    }
+    size_t j = i + 1;
+    if (TokIs(toks, j, "<")) {  // template argument list
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+        if (toks[j].text == ">>" && (depth -= 2) <= 0) {
+          ++j;
+          break;
+        }
+        if (toks[j].text == ";") return 0;
+      }
+    }
+    if (!IsIdent(toks, j)) return 0;
+    const std::string var = toks[j].text;
+    const std::string open = j + 1 < toks.size() ? toks[j + 1].text : "";
+    if (open != "(" && open != "{") return 0;
+    const std::string close = open == "(" ? ")" : "}";
+    // Capture the subject, split on top-level commas (scoped_lock takes
+    // several mutexes at once).
+    std::vector<std::string> subjects;
+    std::string cur;
+    int depth = 0;
+    size_t k = j + 1;
+    for (; k < toks.size(); ++k) {
+      const std::string& t = toks[k].text;
+      if (t == open && ++depth == 1) continue;
+      if (t == close && --depth == 0) break;
+      if (t == "," && depth == 1) {
+        subjects.push_back(cur);
+        cur.clear();
+        continue;
+      }
+      cur += t;
+    }
+    if (!cur.empty()) subjects.push_back(cur);
+    if (k >= toks.size() || subjects.empty()) return 0;
+    // A deferred/adopted lock (`unique_lock lk(mu, std::defer_lock)`) holds
+    // nothing at declaration; drop tag arguments, keep real subjects.
+    subjects.erase(
+        std::remove_if(subjects.begin(), subjects.end(),
+                       [](const std::string& s) {
+                         return s.find("defer_lock") != std::string::npos ||
+                                s.find("try_to_lock") != std::string::npos ||
+                                s.find("adopt_lock") != std::string::npos;
+                       }),
+        subjects.end());
+    if (toks[i].text == "unique_lock") unique_lock_vars_.insert(var);
+    for (const std::string& subject : subjects) {
+      if (subject.find("native") != std::string::npos) {
+        sanction_native_until_ = k;
+      }
+      const std::string key = CanonicalLockKey(subject, fn->cls);
+      LockAcquire acq;
+      acq.key = key;
+      acq.path = path_;
+      acq.line = toks[i].line;
+      acq.held = HeldKeys();
+      fn->acquires.push_back(std::move(acq));
+      lock_scopes_.push_back(LockScope{key, frames_.size()});
+    }
+    return k + 1;
+  }
+
+  void RecordBodyToken(size_t i) {
+    ParsedFn* fn = CurrentFn();
+    if (fn == nullptr) return;
+    const std::vector<Token>& toks = lex_.tokens;
+    const Token& tok = toks[i];
+
+    if (tok.kind == TokKind::kIdentifier &&
+        LockDeclTypes().count(tok.text) > 0) {
+      TryLockDecl(i, fn);  // falls through: the type is also a CL007 prim
+    }
+    if (tok.kind == TokKind::kIdentifier && tok.text == "native" && i > 0 &&
+        (TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->")) &&
+        TokIs(toks, i + 1, "(")) {
+      fn->natives.push_back(
+          NativeUse{path_, tok.line, i < sanction_native_until_});
+    }
+
+    if (std::optional<Primitive> prim = MatchPrimitive(toks, i)) {
+      PrimHit hit{prim->label, prim->mask, path_, tok.line, HeldKeys(),
+                  false};
+      // `cv.wait(lk)` where lk is a unique_lock declared in this body is
+      // the sanctioned condition-variable idiom.
+      if ((tok.text == "wait" || tok.text == "wait_for" ||
+           tok.text == "wait_until") &&
+          TokIs(toks, i + 1, "(") && IsIdent(toks, i + 2) &&
+          unique_lock_vars_.count(toks[i + 2].text) > 0) {
+        hit.sanctioned_wait = true;
+      }
+      fn->prims.push_back(std::move(hit));
+      return;
+    }
+    if (tok.kind != TokKind::kIdentifier) return;
+    const std::string& t = tok.text;
+    if (NonCallKeywords().count(t) > 0 || IsMacroish(t)) return;
+
+    // Constructor pattern: `Type var(` / `Type var{` / `Type var;`.
+    if (std::isupper(static_cast<unsigned char>(t[0])) &&
+        IsIdent(toks, i + 1) &&
+        (TokIs(toks, i + 2, "(") || TokIs(toks, i + 2, "{") ||
+         TokIs(toks, i + 2, ";"))) {
+      fn->calls.push_back(
+          CallSite{t + "::" + t, CallKind::kCtor, path_, tok.line,
+                   HeldKeys(), ""});
+      return;
+    }
+    if (!TokIs(toks, i + 1, "(")) {
+      // Not a call: a guarded-member access candidate. Implicit-this
+      // accesses follow the trailing-underscore member convention; explicit
+      // ones keep their single-identifier object prefix.
+      const bool dotted =
+          i > 0 && (TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->"));
+      if (dotted && i > 1 && IsIdent(toks, i - 2)) {
+        fn->accesses.push_back(
+            MemberAccess{t, toks[i - 2].text, path_, tok.line, HeldKeys()});
+      } else if (!dotted && t.size() > 1 && t.back() == '_' &&
+                 !TokIs(toks, i - 1, "::")) {
+        fn->accesses.push_back(
+            MemberAccess{t, "", path_, tok.line, HeldKeys()});
+      }
+      return;
+    }
+    if (i > 0 && (TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->"))) {
+      CallSite site{t, CallKind::kMethod, path_, tok.line, HeldKeys(), ""};
+      if (i > 1 && IsIdent(toks, i - 2)) site.recv = toks[i - 2].text;
+      fn->calls.push_back(std::move(site));
+      return;
+    }
+    if (i > 1 && TokIs(toks, i - 1, "::") && IsIdent(toks, i - 2)) {
+      const std::string& q = toks[i - 2].text;
+      if (std::isupper(static_cast<unsigned char>(q[0]))) {
+        fn->calls.push_back(CallSite{q + "::" + t, CallKind::kQualified,
+                                     path_, tok.line, HeldKeys(), ""});
+      } else {
+        fn->calls.push_back(
+            CallSite{t, CallKind::kFree, path_, tok.line, HeldKeys(), ""});
+      }
+      return;
+    }
+    fn->calls.push_back(
+        CallSite{t, CallKind::kFree, path_, tok.line, HeldKeys(), ""});
+  }
+
+  std::string path_;
+  const LexedFile& lex_;
+  ParsedFile* out_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> stmt_;
+  std::vector<LockScope> lock_scopes_;
+  std::set<std::string> unique_lock_vars_;
+  size_t sanction_native_until_ = 0;
+  int paren_ = 0;
+  bool ctor_init_ = false;
+  bool saw_close_ = false;
+  bool saw_eq_ = false;
+};
+
+}  // namespace
+
+void ParseFile(const std::string& path, const LexedFile& lex,
+               ParsedFile* out) {
+  FileParser(path, lex, out).Run();
+}
+
+// ---------------------------------------------------------------------------
+// Merge + call-graph analysis over the merged function set.
+// ---------------------------------------------------------------------------
+
+std::vector<FuncNode> MergeParsedFns(std::vector<ParsedFn> parsed) {
+  std::map<std::string, FuncNode> merged;
+  std::stable_sort(parsed.begin(), parsed.end(),
+                   [](const ParsedFn& a, const ParsedFn& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     return a.line < b.line;
+                   });
+  const auto append_unique = [](std::vector<std::string>* dest,
+                                const std::vector<std::string>& src) {
+    for (const std::string& s : src) {
+      if (std::find(dest->begin(), dest->end(), s) == dest->end()) {
+        dest->push_back(s);
+      }
+    }
+  };
+  for (ParsedFn& fn : parsed) {
+    FuncNode& node = merged[fn.qual];
+    if (node.qual.empty()) {
+      node.qual = fn.qual;
+      node.last = fn.last;
+      node.cls = fn.cls;
+      node.path = fn.path;
+      node.line = fn.line;
+    }
+    if (fn.has_body && !node.has_body) {
+      node.path = fn.path;  // re-anchor onto the first definition
+      node.line = fn.line;
+      node.has_body = true;
+    }
+    node.mask |= fn.mask;
+    node.is_virtual = node.is_virtual || fn.is_virtual;
+    if (fn.is_override && !node.is_override) {
+      node.is_override = true;
+      node.ovr_path = fn.path;
+      node.ovr_line = fn.line;
+    }
+    node.calls.insert(node.calls.end(), fn.calls.begin(), fn.calls.end());
+    node.prims.insert(node.prims.end(), fn.prims.begin(), fn.prims.end());
+    node.acquires.insert(node.acquires.end(), fn.acquires.begin(),
+                         fn.acquires.end());
+    node.natives.insert(node.natives.end(), fn.natives.begin(),
+                        fn.natives.end());
+    node.accesses.insert(node.accesses.end(), fn.accesses.begin(),
+                         fn.accesses.end());
+    append_unique(&node.requires_locks, fn.requires_locks);
+    append_unique(&node.excludes_locks, fn.excludes_locks);
+  }
+  std::vector<FuncNode> nodes;
+  nodes.reserve(merged.size());
+  for (auto& [qual, node] : merged) nodes.push_back(std::move(node));
+  return nodes;
+}
+
+Analysis::Analysis(std::vector<FuncNode> nodes) : nodes_(std::move(nodes)) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    by_qual_[nodes_[i].qual] = i;
+    by_last_[nodes_[i].last].push_back(i);
+  }
+}
+
+std::vector<size_t> Analysis::Resolve(const CallSite& call) const {
+  std::vector<size_t> out;
+  if (call.kind == CallKind::kCtor || call.kind == CallKind::kQualified) {
+    auto it = by_qual_.find(call.name);
+    if (it != by_qual_.end()) {
+      out.push_back(it->second);
+      return out;
+    }
+    if (call.kind == CallKind::kCtor) return out;
+    // `Base::Name(...)` with no exact hit: fall back to methods named
+    // Name (Base may be an alias or a template instantiation).
+  }
+  const std::string& last = call.kind == CallKind::kQualified
+                                ? call.name.substr(call.name.rfind(':') + 1)
+                                : call.name;
+  auto it = by_last_.find(last);
+  if (it == by_last_.end()) return out;
+  for (size_t idx : it->second) {
+    const FuncNode& n = nodes_[idx];
+    const bool is_method = n.qual != n.last;
+    if ((call.kind == CallKind::kMethod ||
+         call.kind == CallKind::kQualified) &&
+        !is_method) {
+      continue;  // `x.f(...)` cannot land on a free function
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+std::optional<Analysis::Trace> Analysis::Reach(size_t idx, unsigned e) {
+  const auto key = std::make_pair(idx, e);
+  auto memo_it = memo_.find(key);
+  if (memo_it != memo_.end()) return memo_it->second;
+  if (visiting_.count(key) > 0) return std::nullopt;
+  visiting_.insert(key);
+  std::optional<Trace> result;
+  const FuncNode& node = nodes_[idx];
+  for (const PrimHit& prim : node.prims) {
+    if ((prim.mask & e) != 0) {
+      result = Trace{&prim, {idx}};
+      break;
+    }
+  }
+  if (!result) {
+    for (const CallSite& call : node.calls) {
+      for (size_t cand : Resolve(call)) {
+        if (cand == idx) continue;
+        if ((nodes_[cand].mask & e) != 0) continue;  // trusted boundary
+        if (std::optional<Trace> sub = Reach(cand, e)) {
+          result = Trace{sub->prim, {}};
+          result->chain.push_back(idx);
+          result->chain.insert(result->chain.end(), sub->chain.begin(),
+                               sub->chain.end());
+          break;
+        }
+      }
+      if (result) break;
+    }
+  }
+  visiting_.erase(key);
+  memo_[key] = result;
+  return result;
+}
+
+std::string ChainText(const Analysis& a, const std::vector<size_t>& chain) {
+  std::string out;
+  for (size_t idx : chain) {
+    if (!out.empty()) out += " -> ";
+    out += a.nodes()[idx].qual;
+  }
+  return out;
+}
+
+}  // namespace cad_lint

@@ -1,0 +1,218 @@
+// Shared token-level extraction and call-graph machinery for the tree-wide
+// rules: CL007/CL008 (realtime.cc) and CL009–CL011 (concurrency.cc).
+//
+// One pass per file turns the token stream into ParsedFn records — function
+// declarations/definitions with their annotations, call sites, banned
+// primitives, and (for the concurrency rules) the set of mutexes held at
+// every point, derived from `MutexLock`-family RAII declarations. Merging
+// by qualified name yields FuncNode records, and Analysis resolves call
+// sites and answers memoized reachability queries over the merged graph.
+//
+// Lock-expression canonicalization: a bare member like `mu_` becomes
+// "Class::mu_" using the enclosing class (or the explicit `Class::`
+// qualifier of an out-of-line definition), so the same lock gets the same
+// key from the header that declares it and the .cc that locks it. Dotted
+// subjects (`errors.mu`) keep their object prefix — they name an instance,
+// not a class-wide lock. A trailing `.native()` is stripped: a
+// `std::unique_lock` over `mu_.native()` holds the same underlying mutex.
+//
+// Member-call chains off temporaries (`weak.lock().use()`, `x->lock()`)
+// never open a held scope: only a *declaration* of a lock type with a
+// variable name does. The regression fixtures under tests/lint_fixtures/
+// (cl009_chain_*) pin this down.
+#ifndef CAD_TOOLS_CAD_LINT_CALLGRAPH_H_
+#define CAD_TOOLS_CAD_LINT_CALLGRAPH_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+
+namespace cad_lint {
+
+// Effect bits. CAD_REALTIME / CAD_REALTIME_AUDITED forbid both;
+// CAD_NONALLOCATING forbids only allocation, CAD_NONBLOCKING only blocking.
+inline constexpr unsigned kEffAlloc = 1u;
+inline constexpr unsigned kEffBlock = 2u;
+
+unsigned AnnotationMask(const std::string& t);
+std::string EffectVerb(unsigned effect);
+
+bool TokIs(const std::vector<Token>& toks, size_t i, std::string_view text);
+bool IsIdent(const std::vector<Token>& toks, size_t i);
+
+// Macro-convention names (CAD_CHECK, EXPECT_EQ, GUARDED_BY) are neither
+// call targets nor declarators; their *arguments* still get scanned.
+bool IsMacroish(const std::string& t);
+
+const std::set<std::string_view>& NonCallKeywords();
+
+struct Primitive {
+  unsigned mask = 0;
+  std::string label;
+};
+
+// The banned-primitive catalog (see realtime.h for the policy notes that
+// shape it). `i` must index a token of `toks`.
+std::optional<Primitive> MatchPrimitive(const std::vector<Token>& toks,
+                                        size_t i);
+
+enum class CallKind {
+  kFree,       // plain `Name(` — free function or unqualified self-call
+  kMethod,     // `obj.Name(` / `ptr->Name(` — methods only
+  kQualified,  // `Class::Name(` — exact, falling back to methods
+  kCtor,       // `Type var(...)` / `Type var{...}` / `Type var;` — exact only
+};
+
+struct CallSite {
+  std::string name;  // "Name" or "Class::Name"
+  CallKind kind = CallKind::kFree;
+  std::string path;
+  int line = 0;
+  std::vector<std::string> held;  // canonical lock keys held at the call
+  // kMethod only: the receiver identifier ("this", "engine_"), or "" when
+  // the call chains off a temporary (`f().g()`) — name-based resolution
+  // must not pin another class's REQUIRES/EXCLUDES contract on those.
+  std::string recv;
+};
+
+struct PrimHit {
+  std::string label;
+  unsigned mask = 0;
+  std::string path;
+  int line = 0;
+  std::vector<std::string> held;      // canonical lock keys held at the site
+  bool sanctioned_wait = false;       // cv wait through a unique_lock var
+};
+
+// One `MutexLock`-family acquisition inside a body.
+struct LockAcquire {
+  std::string key;  // canonical lock key ("Class::mu_", "errors.mu")
+  std::string path;
+  int line = 0;
+  std::vector<std::string> held;  // keys already held when this one opens
+};
+
+// One `.native()` / `->native()` escape-hatch use inside a body.
+struct NativeUse {
+  std::string path;
+  int line = 0;
+  bool sanctioned = false;  // part of a unique_lock-over-native() wait idiom
+};
+
+// A guarded-member access inside a body. `object` is empty for implicit-
+// this accesses (`buffer_`), or the dotted prefix for explicit ones
+// (`errors` in `errors.first_error`).
+struct MemberAccess {
+  std::string name;
+  std::string object;
+  std::string path;
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+// One function declaration or definition as parsed from one file.
+struct ParsedFn {
+  std::string qual;  // "Class::Name" or "Name"
+  std::string last;  // "Name"
+  std::string cls;   // enclosing class ("" for free functions)
+  std::string path;
+  int line = 0;
+  unsigned mask = 0;
+  bool is_virtual = false;
+  bool is_override = false;
+  bool has_body = false;
+  std::vector<CallSite> calls;
+  std::vector<PrimHit> prims;
+  std::vector<LockAcquire> acquires;
+  std::vector<NativeUse> natives;
+  std::vector<MemberAccess> accesses;
+  std::vector<std::string> requires_locks;  // canonical keys from REQUIRES()
+  std::vector<std::string> excludes_locks;  // canonical keys from EXCLUDES()
+};
+
+// One `member GUARDED_BY(mutex)` declaration inside a class body.
+struct GuardedMember {
+  std::string cls;
+  std::string member;
+  std::string guard_key;  // canonical ("Class::mu_")
+  std::string path;
+  int line = 0;
+};
+
+// Everything one file contributes to the tree-wide analyses.
+struct ParsedFile {
+  std::vector<ParsedFn> fns;
+  std::vector<GuardedMember> guarded;
+};
+
+// Parses one lexed file, appending into `out`.
+void ParseFile(const std::string& path, const LexedFile& lex,
+               ParsedFile* out);
+
+// Merged view of every declaration/definition of one qualified name.
+struct FuncNode {
+  std::string qual;
+  std::string last;
+  std::string cls;
+  std::string path;  // anchor: first definition if any, else first decl
+  int line = 0;
+  unsigned mask = 0;
+  bool is_virtual = false;
+  bool is_override = false;
+  bool has_body = false;
+  std::string ovr_path;  // location of the decl carrying `override`
+  int ovr_line = 0;
+  std::vector<CallSite> calls;
+  std::vector<PrimHit> prims;
+  std::vector<LockAcquire> acquires;
+  std::vector<NativeUse> natives;
+  std::vector<MemberAccess> accesses;
+  std::vector<std::string> requires_locks;
+  std::vector<std::string> excludes_locks;
+};
+
+// Merges by qualified name; the anchor position prefers the first
+// definition (sorted by path/line) so diagnostics point at code, not at
+// forward declarations.
+std::vector<FuncNode> MergeParsedFns(std::vector<ParsedFn> parsed);
+
+class Analysis {
+ public:
+  explicit Analysis(std::vector<FuncNode> nodes);
+
+  // Candidate callee node indices for one call site.
+  std::vector<size_t> Resolve(const CallSite& call) const;
+
+  struct Trace {
+    const PrimHit* prim = nullptr;
+    std::vector<size_t> chain;  // node indices from callee down to prim owner
+  };
+
+  // Can `idx` (an *unannotated-for-e* function) reach a primitive with
+  // effect `e` through in-tree callees? Annotated-for-e callees are trusted
+  // boundaries: their own root walk covers them. Cycles resolve optimistic
+  // (in-progress nodes report "no"), which is fine for a linter and exact
+  // for this tree (the hot path is non-recursive).
+  std::optional<Trace> Reach(size_t idx, unsigned e);
+
+  const std::vector<FuncNode>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<FuncNode> nodes_;
+  std::map<std::string, size_t> by_qual_;
+  std::map<std::string, std::vector<size_t>> by_last_;
+  std::map<std::pair<size_t, unsigned>, std::optional<Trace>> memo_;
+  std::set<std::pair<size_t, unsigned>> visiting_;
+};
+
+std::string ChainText(const Analysis& a, const std::vector<size_t>& chain);
+
+}  // namespace cad_lint
+
+#endif  // CAD_TOOLS_CAD_LINT_CALLGRAPH_H_

@@ -1,0 +1,455 @@
+#include "concurrency.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph.h"
+#include "lexer.h"
+
+namespace cad_lint {
+
+namespace {
+
+// Lock-type primitive labels: acquisitions are CL009's domain, not CL010's.
+bool IsLockPrimitive(const std::string& label) {
+  return label == "MutexLock" || label == "lock_guard" ||
+         label == "unique_lock" || label == "scoped_lock" ||
+         label == "shared_lock" || label == "lock()";
+}
+
+std::string LastComponent(const std::string& key) {
+  const size_t colons = key.rfind("::");
+  const size_t dot = key.find_last_of(".>");  // `.` or the `>` of `->`
+  size_t cut = std::string::npos;
+  if (colons != std::string::npos) cut = colons + 2;
+  if (dot != std::string::npos && (cut == std::string::npos || dot + 1 > cut))
+    cut = dot + 1;
+  return cut == std::string::npos ? key : key.substr(cut);
+}
+
+bool IsQualified(const std::string& key) {
+  return key.find("::") != std::string::npos ||
+         key.find('.') != std::string::npos ||
+         key.find("->") != std::string::npos;
+}
+
+// Do two canonical lock keys plausibly name the same mutex? Exact match, or
+// equal member names when at most one side is qualified — `mu_` written in
+// an annotation matches `StreamingCad::mu_` held by the caller, but
+// `Foo::mu_` never matches `Bar::mu_`.
+bool KeysMatch(const std::string& a, const std::string& b) {
+  if (a == b) return true;
+  if (LastComponent(a) != LastComponent(b)) return false;
+  return !(IsQualified(a) && IsQualified(b));
+}
+
+// REQUIRES(mu) locks are held from function entry. The annotation lives on
+// the header declaration while the scope-held sets are computed from the
+// (often out-of-line) definition, so every held-set check widens the
+// scope-held vector with the merged node's contract. Scope-held keys stay
+// last so `.back()` still names the innermost explicit acquisition.
+std::vector<std::string> EffectiveHeld(const FuncNode& node,
+                                       const std::vector<std::string>& held) {
+  std::vector<std::string> out = node.requires_locks;
+  for (const std::string& h : held) {
+    if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+  }
+  return out;
+}
+
+bool HoldsKey(const std::vector<std::string>& held, const std::string& key) {
+  for (const std::string& h : held) {
+    if (KeysMatch(h, key)) return true;
+  }
+  return false;
+}
+
+std::string JoinHeld(const std::vector<std::string>& held) {
+  std::string out;
+  for (const std::string& h : held) {
+    if (!out.empty()) out += ", ";
+    out += "`" + h + "`";
+  }
+  return out;
+}
+
+// One representative way a function (transitively) acquires a lock key.
+struct AcquireVia {
+  std::vector<size_t> chain;  // node indices, caller-to-acquirer
+  std::string path;           // the MutexLock site
+  int line = 0;
+};
+
+// Memoized transitive-acquisition sets: every lock key a function may take
+// while running, with one representative call chain per key. Trusts
+// nothing — unlike CL007's effect walk there is no annotation boundary;
+// holding a lock across *any* callee that locks is an ordering edge.
+class AcquireSets {
+ public:
+  explicit AcquireSets(Analysis* analysis) : analysis_(analysis) {}
+
+  const std::map<std::string, AcquireVia>& Of(size_t idx) {
+    auto memo_it = memo_.find(idx);
+    if (memo_it != memo_.end()) return memo_it->second;
+    if (visiting_.count(idx) > 0) {
+      static const std::map<std::string, AcquireVia> kEmpty;
+      return kEmpty;  // cycles resolve optimistic, like Analysis::Reach
+    }
+    visiting_.insert(idx);
+    std::map<std::string, AcquireVia> out;
+    const FuncNode& node = analysis_->nodes()[idx];
+    for (const LockAcquire& acq : node.acquires) {
+      if (out.count(acq.key) == 0) {
+        out[acq.key] = AcquireVia{{idx}, acq.path, acq.line};
+      }
+    }
+    for (const CallSite& call : node.calls) {
+      for (size_t cand : analysis_->Resolve(call)) {
+        if (cand == idx) continue;
+        for (const auto& [key, via] : Of(cand)) {
+          if (out.count(key) != 0) continue;
+          AcquireVia mine;
+          mine.chain.push_back(idx);
+          mine.chain.insert(mine.chain.end(), via.chain.begin(),
+                            via.chain.end());
+          mine.path = via.path;
+          mine.line = via.line;
+          out[key] = std::move(mine);
+        }
+      }
+    }
+    visiting_.erase(idx);
+    return memo_[idx] = std::move(out);
+  }
+
+ private:
+  Analysis* analysis_;
+  std::map<size_t, std::map<std::string, AcquireVia>> memo_;
+  std::set<size_t> visiting_;
+};
+
+// One acquired-while-held edge with its first-seen witness.
+struct EdgeInfo {
+  std::string path;
+  int line = 0;
+  std::string how;  // human text: where and through which call path
+};
+
+}  // namespace
+
+std::vector<Finding> LintConcurrency(const std::vector<FileInput>& files) {
+  ParsedFile parsed;
+  std::map<std::string, std::vector<Suppression>> sups;
+  for (const FileInput& file : files) {
+    const LexedFile lex = Lex(file.source);
+    std::vector<Finding> ignored;  // CL000 is LintSource's report, not ours
+    ParseSuppressions(lex, &sups[file.path], &ignored);
+    ParseFile(file.path, lex, &parsed);
+  }
+  std::vector<GuardedMember> guarded = std::move(parsed.guarded);
+  Analysis analysis(MergeParsedFns(std::move(parsed.fns)));
+
+  std::vector<Finding> findings;
+  std::set<std::string> seen;
+  const auto emit = [&](const std::string& path, int line,
+                        const std::string& rule, const std::string& key,
+                        const std::string& message,
+                        const std::string& suggestion) {
+    if (!seen.insert(rule + "|" + key).second) return;
+    Finding f;
+    f.path = path;
+    f.line = line;
+    f.rule = rule;
+    f.message = message;
+    f.suggestion = suggestion;
+    auto it = sups.find(path);
+    f.suppressed = it != sups.end() && IsSuppressed(it->second, rule, line);
+    findings.push_back(std::move(f));
+  };
+
+  // Deterministic node order for every walk below.
+  std::vector<size_t> order(analysis.nodes().size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const FuncNode& na = analysis.nodes()[a];
+    const FuncNode& nb = analysis.nodes()[b];
+    if (na.path != nb.path) return na.path < nb.path;
+    if (na.line != nb.line) return na.line < nb.line;
+    return na.qual < nb.qual;
+  });
+
+  // -------------------------------------------------------------------------
+  // CL009: acquired-while-held graph + cycle search.
+  // -------------------------------------------------------------------------
+  AcquireSets acquire_sets(&analysis);
+  std::map<std::string, std::map<std::string, EdgeInfo>> edges;
+  const auto add_edge = [&](const std::string& from, const std::string& to,
+                            EdgeInfo info) {
+    if (from == to) return;  // same lock class twice is CL011's re-entrancy
+    auto& dest = edges[from];
+    if (dest.count(to) == 0) dest[to] = std::move(info);
+  };
+  for (size_t idx : order) {
+    const FuncNode& node = analysis.nodes()[idx];
+    for (const LockAcquire& acq : node.acquires) {
+      for (const std::string& h : EffectiveHeld(node, acq.held)) {
+        add_edge(h, acq.key,
+                 EdgeInfo{acq.path, acq.line,
+                          "`" + node.qual + "` locks `" + acq.key +
+                              "` while holding `" + h + "` (" + acq.path +
+                              ":" + std::to_string(acq.line) + ")"});
+      }
+    }
+    for (const CallSite& call : node.calls) {
+      const std::vector<std::string> held = EffectiveHeld(node, call.held);
+      if (held.empty()) continue;
+      for (size_t cand : analysis.Resolve(call)) {
+        if (cand == idx) continue;
+        for (const auto& [key, via] : acquire_sets.Of(cand)) {
+          for (const std::string& h : held) {
+            std::vector<size_t> chain;
+            chain.push_back(idx);
+            chain.insert(chain.end(), via.chain.begin(), via.chain.end());
+            add_edge(h, key,
+                     EdgeInfo{call.path, call.line,
+                              "`" + node.qual + "` holds `" + h +
+                                  "` and reaches the lock of `" + key +
+                                  "` at " + via.path + ":" +
+                                  std::to_string(via.line) +
+                                  " (call path: " +
+                                  ChainText(analysis, chain) + ")"});
+          }
+        }
+      }
+    }
+  }
+  // Any edge whose reverse direction is already reachable closes a cycle.
+  const auto find_path =
+      [&](const std::string& from,
+          const std::string& to) -> std::vector<std::string> {
+    std::vector<std::string> stack = {from};
+    std::set<std::string> visited = {from};
+    std::vector<std::pair<std::string, std::vector<std::string>>> work;
+    work.emplace_back(from, stack);
+    while (!work.empty()) {
+      auto [cur, path] = work.back();
+      work.pop_back();
+      if (cur == to) return path;
+      auto it = edges.find(cur);
+      if (it == edges.end()) continue;
+      for (const auto& [next, info] : it->second) {
+        if (!visited.insert(next).second) continue;
+        std::vector<std::string> ext = path;
+        ext.push_back(next);
+        work.emplace_back(next, std::move(ext));
+      }
+    }
+    return {};
+  };
+  std::set<std::string> reported_cycles;
+  for (const auto& [from, outs] : edges) {
+    for (const auto& [to, info] : outs) {
+      std::vector<std::string> back = find_path(to, from);
+      if (back.empty()) continue;
+      // back = to ... from; full cycle = from -> to -> ... -> from.
+      std::vector<std::string> cycle = {from};
+      cycle.insert(cycle.end(), back.begin(), back.end());
+      // Canonical form: rotate so the smallest key leads (the closing
+      // element is implied), so each cycle reports exactly once.
+      std::vector<std::string> ring(cycle.begin(), cycle.end() - 1);
+      size_t min_at = 0;
+      for (size_t i = 1; i < ring.size(); ++i) {
+        if (ring[i] < ring[min_at]) min_at = i;
+      }
+      std::rotate(ring.begin(), ring.begin() + static_cast<long>(min_at),
+                  ring.end());
+      std::string canon;
+      for (const std::string& k : ring) canon += k + "|";
+      if (!reported_cycles.insert(canon).second) continue;
+
+      std::string chain_text;
+      for (const std::string& k : cycle) {
+        if (!chain_text.empty()) chain_text += " -> ";
+        chain_text += "`" + k + "`";
+      }
+      std::string witness = info.how;
+      for (size_t i = 0; i + 1 < back.size(); ++i) {
+        const EdgeInfo& e = edges[back[i]][back[i + 1]];
+        witness += "; " + e.how;
+      }
+      emit(info.path, info.line, "CL009", "cycle:" + canon,
+           "potential deadlock: lock-order cycle " + chain_text +
+               " — two threads taking these locks in opposite orders can "
+               "block each other forever. Witness: " + witness,
+           "rank the locks against common/lock_order.h and always acquire "
+           "in ascending rank, or add `// cad-lint: allow(CL009) <reason>` "
+           "at the acquisition that is provably unreachable concurrently");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // CL010: blocking / allocating primitive while a capability is held.
+  // -------------------------------------------------------------------------
+  for (size_t idx : order) {
+    const FuncNode& node = analysis.nodes()[idx];
+    for (const PrimHit& prim : node.prims) {
+      const std::vector<std::string> held = EffectiveHeld(node, prim.held);
+      if (held.empty()) continue;
+      if (IsLockPrimitive(prim.label)) continue;
+      if (prim.sanctioned_wait) continue;
+      if ((prim.mask & kEffBlock) != 0) {
+        emit(prim.path, prim.line, "CL010",
+             prim.path + ":" + std::to_string(prim.line) + ":" + prim.label,
+             "`" + node.qual + "` invokes blocking `" + prim.label +
+                 "` while holding " + JoinHeld(held) +
+                 " — every waiter on that lock inherits the stall",
+             "release the lock before blocking, use the condition-variable "
+             "wait idiom, or add `// cad-lint: allow(CL010) <reason>`");
+        continue;
+      }
+      // Allocation: anchor one finding per lock scope at the MutexLock
+      // line, so a deliberate copy-under-lock scope needs one reasoned
+      // suppression, not one per allocating line.
+      const std::string& inner = held.back();
+      const LockAcquire* anchor = nullptr;
+      for (const LockAcquire& acq : node.acquires) {
+        if (acq.key != inner || acq.line > prim.line) continue;
+        if (anchor == nullptr || acq.line > anchor->line) anchor = &acq;
+      }
+      const std::string path = anchor != nullptr ? anchor->path : prim.path;
+      const int line = anchor != nullptr ? anchor->line : prim.line;
+      emit(path, line, "CL010",
+           path + ":" + std::to_string(line) + ":alloc:" + inner,
+           "`" + node.qual + "` allocates (`" + prim.label + "`, " +
+               prim.path + ":" + std::to_string(prim.line) +
+               ") inside the `" + inner + "` critical section opened here",
+           "hoist the allocation out of the critical section, pre-reserve, "
+           "or add `// cad-lint: allow(CL010) <reason>` at the lock site");
+    }
+    for (const NativeUse& native : node.natives) {
+      if (native.sanctioned) continue;
+      emit(native.path, native.line, "CL010",
+           native.path + ":" + std::to_string(native.line) + ":native",
+           "`" + node.qual +
+               "` uses `Mutex::native()` outside the condition-variable "
+               "wait idiom — the raw handle bypasses both the Clang "
+               "analysis and the runtime lock-order tracker",
+           "wrap the wait as `std::unique_lock<std::mutex> lk(mu.native()); "
+           "cv.wait(lk, ...)`, or add `// cad-lint: allow(CL010) <reason>`");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // CL011: GUARDED_BY / REQUIRES / EXCLUDES parity.
+  // -------------------------------------------------------------------------
+  std::map<std::string, std::map<std::string, const GuardedMember*>> by_cls;
+  std::map<std::string, std::vector<const GuardedMember*>> by_name;
+  for (const GuardedMember& g : guarded) {
+    by_cls[g.cls][g.member] = &g;
+    by_name[g.member].push_back(&g);
+  }
+  const auto is_ctor_dtor = [](const FuncNode& n) {
+    return !n.cls.empty() && (n.last == n.cls || n.last == "~" + n.cls);
+  };
+  const std::string cl011_fix =
+      "take the guarding mutex (MutexLock) in this scope, annotate the "
+      "function with REQUIRES(<mutex>), or add "
+      "`// cad-lint: allow(CL011) <reason>`";
+  for (size_t idx : order) {
+    const FuncNode& node = analysis.nodes()[idx];
+    const bool exempt = is_ctor_dtor(node);
+    for (const MemberAccess& acc : node.accesses) {
+      const std::vector<std::string> held = EffectiveHeld(node, acc.held);
+      const GuardedMember* g = nullptr;
+      std::string needed;
+      if (acc.object.empty() || acc.object == "this") {
+        if (node.cls.empty()) continue;
+        auto cls_it = by_cls.find(node.cls);
+        if (cls_it == by_cls.end()) continue;
+        auto mem_it = cls_it->second.find(acc.name);
+        if (mem_it == cls_it->second.end()) continue;
+        g = mem_it->second;
+        if (exempt) continue;
+        needed = g->guard_key;
+        if (!HoldsKey(held, needed)) {
+          emit(acc.path, acc.line, "CL011",
+               acc.path + ":" + std::to_string(acc.line) + ":" + acc.name,
+               "`" + node.qual + "` accesses `" + acc.name +
+                   "` (GUARDED_BY " + needed + ") without holding it",
+               cl011_fix);
+        }
+        continue;
+      }
+      // Explicit-object access `obj.member`: only checkable when the member
+      // name maps to exactly one guarded declaration tree-wide.
+      auto name_it = by_name.find(acc.name);
+      if (name_it == by_name.end() || name_it->second.size() != 1) continue;
+      g = name_it->second[0];
+      if (exempt && node.cls == g->cls) continue;
+      // The guard through the same object: `errors.mu` for
+      // `errors.first_error`, or the class-canonical key when held.
+      const std::string via_object =
+          acc.object + "." + LastComponent(g->guard_key);
+      if (HoldsKey(held, via_object) || HoldsKey(held, g->guard_key)) {
+        continue;
+      }
+      emit(acc.path, acc.line, "CL011",
+           acc.path + ":" + std::to_string(acc.line) + ":" + acc.object +
+               "." + acc.name,
+           "`" + node.qual + "` accesses `" + acc.object + "." + acc.name +
+               "` (GUARDED_BY " + g->guard_key + " in `" + g->cls +
+               "`) without holding `" + via_object + "`",
+           cl011_fix);
+    }
+    for (const CallSite& call : node.calls) {
+      // REQUIRES/EXCLUDES contracts bind to a receiver's *type*, which a
+      // token-level pass cannot recover for `obj.Method()` — name-based
+      // resolution would pin, say, `StreamingCad::anomaly_open`'s
+      // EXCLUDES(mu_) on `engine_.anomaly_open()`. Only self-calls
+      // (unqualified, `this->`, or `Class::`-qualified) are checked; Clang
+      // covers the explicit-receiver shapes where it is available.
+      if (call.kind == CallKind::kMethod && call.recv != "this") continue;
+      const std::vector<std::string> held = EffectiveHeld(node, call.held);
+      for (size_t cand : analysis.Resolve(call)) {
+        if (cand == idx) continue;
+        const FuncNode& cn = analysis.nodes()[cand];
+        for (const std::string& req : cn.requires_locks) {
+          if (HoldsKey(held, req)) continue;
+          emit(call.path, call.line, "CL011",
+               call.path + ":" + std::to_string(call.line) + ":req:" +
+                   cn.qual + ":" + req,
+               "`" + node.qual + "` calls `" + cn.qual + "` which REQUIRES(" +
+                   req + "), but does not hold it",
+               cl011_fix);
+        }
+        for (const std::string& ex : cn.excludes_locks) {
+          if (!HoldsKey(held, ex)) continue;
+          emit(call.path, call.line, "CL011",
+               call.path + ":" + std::to_string(call.line) + ":ex:" +
+                   cn.qual + ":" + ex,
+               "`" + node.qual + "` calls `" + cn.qual + "` which EXCLUDES(" +
+                   ex + ") while holding it — the callee re-locks and "
+                   "self-deadlocks",
+               "release the lock before the call, or add "
+               "`// cad-lint: allow(CL011) <reason>`");
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+}  // namespace cad_lint

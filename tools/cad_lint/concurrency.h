@@ -1,0 +1,57 @@
+// Tree-wide concurrency-correctness rules CL009–CL011.
+//
+// These consume the shared extraction in callgraph.h: `MutexLock`-family
+// RAII declarations open held-lock scopes, REQUIRES() annotations hold
+// their locks across the whole body, and every call site, primitive site,
+// and member access carries the canonical set of locks held there.
+//
+//   CL009  potential deadlock: the acquired-while-held graph — an edge
+//          A -> B for every `MutexLock` of B in a scope where A is held,
+//          including transitively through in-tree callees — contains a
+//          cycle. The finding carries the full lock chain and the call
+//          path that closes it. A total lock order (common/lock_order.h)
+//          is exactly the discipline that keeps this graph acyclic.
+//   CL010  blocking or allocating primitive invoked while a capability is
+//          held: waits, joins, sleeps, iostream/stdio, and allocation
+//          inside a `MutexLock` scope stretch every other thread's
+//          tail latency by the same amount (lock-type primitives are
+//          CL009's domain and exempt here). Allocation findings anchor at
+//          the `MutexLock` line — one reasoned suppression covers the
+//          copy-under-lock scope, not each of its lines. The
+//          condition-variable idiom (`cv.wait(lk)` on a `unique_lock`
+//          declared in the same body) is allowed, as is `Mutex::native()`
+//          when it only feeds that idiom; any other `.native()` use is a
+//          finding, because it bypasses both the Clang analysis and the
+//          runtime lock-order tracker.
+//   CL011  thread-safety parity off Clang: a token-level port of the core
+//          GUARDED_BY / REQUIRES / EXCLUDES checks, so GCC-only CI keeps
+//          the same contract -Werror=thread-safety enforces under Clang.
+//          Three shapes: (a) a GUARDED_BY member accessed without its
+//          mutex held (constructors/destructors exempt — no sharing yet);
+//          (b) a call to a REQUIRES(m) function where m is not held;
+//          (c) a call to an EXCLUDES(m) function while m IS held.
+//
+// Like every token-level layer in this tree, the pass resolves calls by
+// name and over-approximates on overloads; member matching leans on the
+// project's trailing-underscore convention for implicit-this accesses. The
+// runtime lock-order tracker (common/mutex.h, CAD_CHECK_LEVEL=full under
+// TSan) is the dynamic cross-check.
+#ifndef CAD_TOOLS_CAD_LINT_CONCURRENCY_H_
+#define CAD_TOOLS_CAD_LINT_CONCURRENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "realtime.h"
+#include "rules.h"
+
+namespace cad_lint {
+
+// Runs CL009/CL010/CL011 over every file at once. Findings come back
+// sorted by (path, line, rule) with `suppressed` resolved against each
+// finding's own file.
+std::vector<Finding> LintConcurrency(const std::vector<FileInput>& files);
+
+}  // namespace cad_lint
+
+#endif  // CAD_TOOLS_CAD_LINT_CONCURRENCY_H_

@@ -18,9 +18,15 @@ bool IsIdentChar(char c) {
 // Multi-character punctuators, longest first so maximal munch falls out of
 // the scan order. `==`/`<=`/`+=` must not decompose into `=`-containing
 // pairs or the side-effect rule would flag comparisons.
-constexpr std::array<std::string_view, 36> kPuncts = {
+// `.*` (pointer-to-member through object) must lex as one token like its
+// siblings `->*` and `::*` — split into `.` `*` it reads as a member access,
+// and a downstream member-chain walk (CL009's held-set tracking) would see
+// a phantom `.`-chain. Plain `.` stays single-char (it is not listed; the
+// fallthrough emits it), and `.5`-style floats are consumed by LexNumber
+// before punctuation is tried.
+constexpr std::array<std::string_view, 37> kPuncts = {
     "<<=", ">>=", "->*", "...", "::*",
-    "::",  "->",  "++",  "--",  "<<",  ">>", "<=", ">=", "==", "!=",
+    "::",  "->",  ".*",  "++",  "--",  "<<", ">>", "<=", ">=", "==", "!=",
     "&&",  "||",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=",
     "##",  "<",   ">",   "=",   "+",   "-",  "!",  "&",  "|",  "^",  "%"};
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency.h"
 #include "realtime.h"
 #include "rules.h"
 
@@ -214,6 +215,10 @@ int Run(int argc, char** argv) {
   findings.insert(findings.end(),
                   std::make_move_iterator(realtime_findings.begin()),
                   std::make_move_iterator(realtime_findings.end()));
+  std::vector<Finding> concurrency_findings = LintConcurrency(tree);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(concurrency_findings.begin()),
+                  std::make_move_iterator(concurrency_findings.end()));
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.path != b.path) return a.path < b.path;

@@ -1,738 +1,27 @@
 #include "realtime.h"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "callgraph.h"
 #include "lexer.h"
 
 namespace cad_lint {
 
-namespace {
-
-// Effect bits. CAD_REALTIME / CAD_REALTIME_AUDITED forbid both;
-// CAD_NONALLOCATING forbids only allocation, CAD_NONBLOCKING only blocking.
-constexpr unsigned kEffAlloc = 1u;
-constexpr unsigned kEffBlock = 2u;
-
-unsigned AnnotationMask(const std::string& t) {
-  if (t == "CAD_REALTIME" || t == "CAD_REALTIME_AUDITED") {
-    return kEffAlloc | kEffBlock;
-  }
-  if (t == "CAD_NONALLOCATING") return kEffAlloc;
-  if (t == "CAD_NONBLOCKING") return kEffBlock;
-  return 0;
-}
-
-std::string EffectVerb(unsigned effect) {
-  return effect == kEffAlloc ? "allocate" : "block";
-}
-
-bool TokIs(const std::vector<Token>& toks, size_t i, std::string_view text) {
-  return i < toks.size() && toks[i].text == text;
-}
-
-bool IsIdent(const std::vector<Token>& toks, size_t i) {
-  return i < toks.size() && toks[i].kind == TokKind::kIdentifier;
-}
-
-// Macro-convention names (CAD_CHECK, EXPECT_EQ, GUARDED_BY) are neither
-// call targets nor declarators; their *arguments* still get scanned.
-bool IsMacroish(const std::string& t) {
-  bool has_alpha = false;
-  for (char c : t) {
-    if (std::islower(static_cast<unsigned char>(c))) return false;
-    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
-  }
-  return has_alpha && t.size() >= 2;
-}
-
-const std::set<std::string_view>& NonCallKeywords() {
-  static const std::set<std::string_view> kSet = {
-      "if",       "for",      "while",    "switch",   "return",
-      "sizeof",   "alignof",  "alignas",  "decltype", "noexcept",
-      "catch",    "assert",   "defined",  "throw",    "new",
-      "delete",   "void",     "int",      "bool",     "char",
-      "double",   "float",    "long",     "short",    "unsigned",
-      "signed",   "auto",     "explicit", "operator", "static_assert",
-      "co_await", "co_return"};
-  return kSet;
-}
-
-struct Primitive {
-  unsigned mask = 0;
-  std::string label;
-};
-
-// The banned-primitive catalog. Policy notes that shape it:
-//  * `assign` / `resize` / `clear` are NOT banned: they are the sanctioned
-//    Clear()-and-reuse idiom — size changes within capacity retained across
-//    rounds. The alloc-hook tests are the enforcement that capacity really
-//    is retained; CL007 bans the ops that *request* growth (push_back,
-//    insert, reserve, ...).
-//  * `throw` counts as both effects: the exception object is
-//    heap-allocated and unwinding is unbounded.
-//  * iostream / stdio count as both: they take libc locks and allocate
-//    buffers.
-std::optional<Primitive> MatchPrimitive(const std::vector<Token>& toks,
-                                        size_t i) {
-  if (toks[i].kind != TokKind::kIdentifier) return std::nullopt;
-  const std::string& t = toks[i].text;
-  const bool member =
-      i > 0 && (TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->"));
-  const bool call = TokIs(toks, i + 1, "(");
-
-  if (t == "new") {
-    if (i > 0 && TokIs(toks, i - 1, "operator")) return std::nullopt;
-    return Primitive{kEffAlloc, "new"};
-  }
-  if (t == "delete") {
-    // `= delete` and `operator delete` declarations are not deallocations.
-    if (i > 0 && (TokIs(toks, i - 1, "operator") || TokIs(toks, i - 1, "=")))
-      return std::nullopt;
-    return Primitive{kEffAlloc, "delete"};
-  }
-  if (t == "throw") return Primitive{kEffAlloc | kEffBlock, "throw"};
-
-  static const std::set<std::string_view> kHeap = {
-      "malloc", "calloc", "realloc", "free", "strdup", "aligned_alloc"};
-  if (!member && call && kHeap.count(t) > 0) {
-    return Primitive{kEffAlloc | kEffBlock, t};
-  }
-  if ((t == "make_unique" || t == "make_shared") &&
-      (call || TokIs(toks, i + 1, "<"))) {
-    return Primitive{kEffAlloc, t};
-  }
-  if (t == "to_string" && call && !member) {
-    return Primitive{kEffAlloc, "to_string"};
-  }
-  if (t == "function" && TokIs(toks, i + 1, "<")) {
-    return Primitive{kEffAlloc, "std::function"};
-  }
-
-  static const std::set<std::string_view> kGrow = {
-      "push_back",  "emplace_back", "emplace", "emplace_front",
-      "push_front", "insert",       "append",  "reserve"};
-  if (member && call && kGrow.count(t) > 0) return Primitive{kEffAlloc, t};
-
-  static const std::set<std::string_view> kLockTypes = {
-      "MutexLock", "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
-  if (kLockTypes.count(t) > 0) return Primitive{kEffBlock, t};
-  if (member && call && t == "lock") return Primitive{kEffBlock, "lock()"};
-
-  static const std::set<std::string_view> kWaits = {
-      "sleep_for", "sleep_until", "wait", "wait_for", "wait_until", "join"};
-  if (call && kWaits.count(t) > 0 &&
-      (member || (i > 0 && TokIs(toks, i - 1, "::")))) {
-    return Primitive{kEffBlock, t};
-  }
-
-  static const std::set<std::string_view> kStreamObjs = {"cout", "cerr",
-                                                         "clog"};
-  if (!member && kStreamObjs.count(t) > 0) {
-    return Primitive{kEffAlloc | kEffBlock, "std::" + t};
-  }
-  static const std::set<std::string_view> kStdio = {
-      "printf", "fprintf", "vfprintf", "puts",   "fputs", "fwrite", "fread",
-      "fopen",  "fclose",  "fflush",   "getline", "system", "popen", "pclose"};
-  if (call && kStdio.count(t) > 0) return Primitive{kEffAlloc | kEffBlock, t};
-  static const std::set<std::string_view> kStreamTypes = {
-      "ofstream",      "ifstream",      "fstream", "stringstream",
-      "ostringstream", "istringstream"};
-  if (kStreamTypes.count(t) > 0) {
-    return Primitive{kEffAlloc | kEffBlock, t};
-  }
-  return std::nullopt;
-}
-
-enum class CallKind {
-  kFree,       // plain `Name(` — free function or unqualified self-call
-  kMethod,     // `obj.Name(` / `ptr->Name(` — methods only
-  kQualified,  // `Class::Name(` — exact, falling back to methods
-  kCtor,       // `Type var(...)` / `Type var{...}` / `Type var;` — exact only
-};
-
-struct CallSite {
-  std::string name;  // "Name" or "Class::Name"
-  CallKind kind = CallKind::kFree;
-  std::string path;
-  int line = 0;
-};
-
-struct PrimHit {
-  std::string label;
-  unsigned mask = 0;
-  std::string path;
-  int line = 0;
-};
-
-// One function declaration or definition as parsed from one file.
-struct ParsedFn {
-  std::string qual;  // "Class::Name" or "Name"
-  std::string last;  // "Name"
-  std::string path;
-  int line = 0;
-  unsigned mask = 0;
-  bool is_virtual = false;
-  bool is_override = false;
-  bool has_body = false;
-  std::vector<CallSite> calls;
-  std::vector<PrimHit> prims;
-};
-
-// ---------------------------------------------------------------------------
-// Declarator parsing: is this statement a function declaration/definition,
-// and if so what is it called and how is it annotated?
-// ---------------------------------------------------------------------------
-
-struct DeclInfo {
-  std::string name;         // "Name" or "~Name"
-  std::string qual_prefix;  // "Class" when written `Class::Name`, else ""
-  unsigned mask = 0;
-  bool is_virtual = false;
-  bool is_override = false;
-};
-
-// `stmt` holds token indices of one statement (everything since the last
-// boundary, body brace excluded). The declarator is the first top-level
-// `(` preceded by a plausible function name; rejected candidates (macro
-// calls like GUARDED_BY, static_assert) are skipped past their matching
-// `)` so their arguments cannot fake a declarator.
-std::optional<DeclInfo> ParseDecl(const std::vector<Token>& toks,
-                                  const std::vector<size_t>& stmt) {
-  if (stmt.empty()) return std::nullopt;
-  int paren = 0;
-  size_t open = stmt.size();  // index *into stmt* of the declarator's "("
-  for (size_t k = 0; k < stmt.size(); ++k) {
-    const std::string& t = toks[stmt[k]].text;
-    if (t == "(") {
-      if (paren == 0) {
-        bool ok = k > 0 && IsIdent(toks, stmt[k - 1]);
-        if (ok) {
-          const std::string& name = toks[stmt[k - 1]].text;
-          ok = NonCallKeywords().count(name) == 0 && !IsMacroish(name);
-        }
-        if (ok) {
-          open = k;
-          break;
-        }
-      }
-      ++paren;
-      continue;
-    }
-    if (t == ")") {
-      if (paren > 0) --paren;
-      continue;
-    }
-    // A top-level `=` before the declarator means assignment or lambda,
-    // and a control keyword means this is no declaration at all.
-    if (paren == 0) {
-      if (t == "=") return std::nullopt;
-      if (toks[stmt[k]].kind == TokKind::kIdentifier &&
-          (t == "if" || t == "for" || t == "while" || t == "switch" ||
-           t == "catch" || t == "return" || t == "using" || t == "typedef" ||
-           t == "friend" || t == "goto")) {
-        return std::nullopt;
-      }
-    }
-  }
-  if (open >= stmt.size()) return std::nullopt;
-  // The parameter list must close inside this statement.
-  paren = 0;
-  bool closed = false;
-  for (size_t k = open; k < stmt.size(); ++k) {
-    const std::string& t = toks[stmt[k]].text;
-    if (t == "(") ++paren;
-    if (t == ")" && --paren == 0) {
-      closed = true;
-      break;
-    }
-  }
-  if (!closed) return std::nullopt;
-
-  DeclInfo d;
-  size_t name_at = open - 1;
-  d.name = toks[stmt[name_at]].text;
-  size_t before = name_at;  // index of the token just before the name
-  if (name_at >= 1 && TokIs(toks, stmt[name_at - 1], "~")) {
-    d.name = "~" + d.name;
-    before = name_at - 1;
-  }
-  if (before >= 2 && TokIs(toks, stmt[before - 1], "::") &&
-      IsIdent(toks, stmt[before - 2])) {
-    const std::string& q = toks[stmt[before - 2]].text;
-    // Uppercase qualifier = class; lowercase = namespace (project
-    // convention), in which case the function is filed under its bare name.
-    if (std::isupper(static_cast<unsigned char>(q[0]))) d.qual_prefix = q;
-  }
-  for (size_t k = 0; k < stmt.size(); ++k) {
-    if (!IsIdent(toks, stmt[k])) continue;
-    const std::string& t = toks[stmt[k]].text;
-    d.mask |= AnnotationMask(t);
-    if (t == "virtual") d.is_virtual = true;
-    if (t == "override") d.is_override = true;
-  }
-  return d;
-}
-
-// ---------------------------------------------------------------------------
-// Per-file extraction walk.
-// ---------------------------------------------------------------------------
-
-class FileParser {
- public:
-  FileParser(std::string path, const LexedFile& lex,
-             std::vector<ParsedFn>* out)
-      : path_(std::move(path)), lex_(lex), out_(out) {}
-
-  void Run() {
-    const std::vector<Token>& toks = lex_.tokens;
-    size_t skip_until = 0;  // exclusive token index: CAD_VALIDATE regions
-    for (size_t i = 0; i < toks.size(); ++i) {
-      const Token& tok = toks[i];
-      if (tok.kind == TokKind::kDirective) {
-        if (!InFunction()) ResetStmt();
-        continue;
-      }
-      const std::string& t = tok.text;
-      if (i >= skip_until && tok.kind == TokKind::kIdentifier &&
-          (t == "CAD_VALIDATE" || t == "CAD_DCHECK") &&
-          TokIs(toks, i + 1, "(")) {
-        skip_until = SkipBalancedParens(toks, i + 1);
-      }
-
-      if (t == "{") {
-        OnOpenBrace(i);
-        continue;
-      }
-      if (t == "}") {
-        OnCloseBrace();
-        continue;
-      }
-      if (t == "(") ++paren_;
-      if (t == ")") {
-        if (paren_ > 0) --paren_;
-        if (paren_ == 0) saw_close_ = true;
-      }
-
-      if (InFunction()) {
-        if (i >= skip_until) RecordBodyToken(i);
-        continue;
-      }
-
-      if (paren_ == 0) {
-        if (t == ";") {
-          OnStatementEnd();
-          ResetStmt();
-          continue;
-        }
-        if (t == ":" && tok.kind == TokKind::kPunct) {
-          if (stmt_.size() == 1 && IsIdent(toks, stmt_[0]) &&
-              (toks[stmt_[0]].text == "public" ||
-               toks[stmt_[0]].text == "private" ||
-               toks[stmt_[0]].text == "protected")) {
-            ResetStmt();  // access label
-            continue;
-          }
-          // After the parameter list closed, a lone `:` opens a
-          // constructor initializer list.
-          if (saw_close_ && !saw_eq_) ctor_init_ = true;
-        }
-        if (t == "=") saw_eq_ = true;
-      }
-      stmt_.push_back(i);
-    }
-  }
-
- private:
-  struct Frame {
-    char kind;  // 'N' namespace/extern/enum, 'C' class, 'F' function body,
-                // 'O' other (control flow, init braces), 'I' ctor-member-init
-    int fn = -1;
-    std::string cls;
-  };
-
-  static size_t SkipBalancedParens(const std::vector<Token>& toks,
-                                   size_t open) {
-    int depth = 0;
-    for (size_t j = open; j < toks.size(); ++j) {
-      if (toks[j].text == "(") ++depth;
-      if (toks[j].text == ")" && --depth == 0) return j + 1;
-    }
-    return open + 1;
-  }
-
-  bool InFunction() const {
-    for (const Frame& f : frames_) {
-      if (f.kind == 'F') return true;
-    }
-    return false;
-  }
-
-  ParsedFn* CurrentFn() {
-    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
-      if (it->kind == 'F') return &(*out_)[static_cast<size_t>(it->fn)];
-    }
-    return nullptr;
-  }
-
-  std::string EnclosingClass() const {
-    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
-      if (it->kind == 'C') return it->cls;
-    }
-    return "";
-  }
-
-  void ResetStmt() {
-    stmt_.clear();
-    ctor_init_ = false;
-    saw_close_ = false;
-    saw_eq_ = false;
-  }
-
-  // First identifier after the class keyword, skipping attribute-macro
-  // arguments (CAPABILITY("mutex")) and base-class lists.
-  std::string ClassNameFromStmt() const {
-    const std::vector<Token>& toks = lex_.tokens;
-    for (size_t k = 0; k < stmt_.size(); ++k) {
-      const std::string& t = toks[stmt_[k]].text;
-      if (t != "class" && t != "struct" && t != "union") continue;
-      for (size_t j = k + 1; j < stmt_.size(); ++j) {
-        if (!IsIdent(toks, stmt_[j])) continue;
-        if (j + 1 < stmt_.size() && TokIs(toks, stmt_[j + 1], "(")) {
-          int depth = 0;
-          size_t m = j + 1;
-          for (; m < stmt_.size(); ++m) {
-            if (toks[stmt_[m]].text == "(") ++depth;
-            if (toks[stmt_[m]].text == ")" && --depth == 0) break;
-          }
-          j = m;
-          continue;
-        }
-        return toks[stmt_[j]].text;
-      }
-      break;
-    }
-    return "(anonymous)";
-  }
-
-  void RegisterFn(const DeclInfo& d, bool has_body, int line, int* fn_idx) {
-    ParsedFn fn;
-    fn.last = d.name;
-    if (!d.qual_prefix.empty()) {
-      fn.qual = d.qual_prefix + "::" + d.name;
-    } else {
-      const std::string cls = EnclosingClass();
-      fn.qual = cls.empty() ? d.name : cls + "::" + d.name;
-    }
-    fn.path = path_;
-    fn.line = line;
-    fn.mask = d.mask;
-    fn.is_virtual = d.is_virtual;
-    fn.is_override = d.is_override;
-    fn.has_body = has_body;
-    out_->push_back(std::move(fn));
-    if (fn_idx != nullptr) *fn_idx = static_cast<int>(out_->size()) - 1;
-  }
-
-  void OnStatementEnd() {
-    // Declarations are only meaningful directly inside a class, a
-    // namespace, or at the top level — not inside brace-initializers.
-    if (!frames_.empty() && frames_.back().kind != 'C' &&
-        frames_.back().kind != 'N') {
-      return;
-    }
-    if (saw_eq_ && !saw_close_) return;  // variable with initializer
-    std::optional<DeclInfo> d = ParseDecl(lex_.tokens, stmt_);
-    if (!d) return;
-    RegisterFn(*d, /*has_body=*/false, lex_.tokens[stmt_.front()].line,
-               nullptr);
-  }
-
-  void OnOpenBrace(size_t i) {
-    const std::vector<Token>& toks = lex_.tokens;
-    if (paren_ > 0 || InFunction()) {
-      frames_.push_back(Frame{'O', -1, ""});
-      return;
-    }
-    // Member-init braces in a ctor initializer list (`: buf_{0} {`): the
-    // statement continues past them; only the body brace closes it.
-    if (ctor_init_ && i > 0 &&
-        (toks[i - 1].kind == TokKind::kIdentifier ||
-         toks[i - 1].text == ">")) {
-      frames_.push_back(Frame{'I', -1, ""});
-      return;
-    }
-    char kind = 'O';
-    std::string cls;
-    int fn_idx = -1;
-    bool ns = false;
-    bool classish = false;
-    int paren = 0;
-    for (size_t k = 0; k < stmt_.size(); ++k) {
-      const Token& st = toks[stmt_[k]];
-      if (st.text == "(") ++paren;
-      if (st.text == ")" && paren > 0) --paren;
-      if (paren != 0 || st.kind != TokKind::kIdentifier) continue;
-      if (st.text == "namespace" || st.text == "extern" || st.text == "enum") {
-        ns = true;
-      }
-      if (st.text == "class" || st.text == "struct" || st.text == "union") {
-        classish = true;
-      }
-    }
-    if (ns) {
-      kind = 'N';
-    } else if (classish && !saw_eq_) {
-      kind = 'C';
-      cls = ClassNameFromStmt();
-    } else if (!saw_eq_ || saw_close_) {
-      if (std::optional<DeclInfo> d = ParseDecl(toks, stmt_)) {
-        kind = 'F';
-        RegisterFn(*d, /*has_body=*/true, toks[stmt_.front()].line, &fn_idx);
-      }
-    }
-    frames_.push_back(Frame{kind, fn_idx, cls});
-    ResetStmt();
-  }
-
-  void OnCloseBrace() {
-    if (frames_.empty()) {
-      ResetStmt();
-      return;
-    }
-    const char kind = frames_.back().kind;
-    frames_.pop_back();
-    // 'I' frames sit mid-statement; everything else ends one.
-    if (kind != 'I') ResetStmt();
-  }
-
-  void RecordBodyToken(size_t i) {
-    ParsedFn* fn = CurrentFn();
-    if (fn == nullptr) return;
-    const std::vector<Token>& toks = lex_.tokens;
-    const Token& tok = toks[i];
-    if (std::optional<Primitive> prim = MatchPrimitive(toks, i)) {
-      fn->prims.push_back(
-          PrimHit{prim->label, prim->mask, path_, tok.line});
-      return;
-    }
-    if (tok.kind != TokKind::kIdentifier) return;
-    const std::string& t = tok.text;
-    if (NonCallKeywords().count(t) > 0 || IsMacroish(t)) return;
-
-    // Constructor pattern: `Type var(` / `Type var{` / `Type var;`.
-    if (std::isupper(static_cast<unsigned char>(t[0])) &&
-        IsIdent(toks, i + 1) &&
-        (TokIs(toks, i + 2, "(") || TokIs(toks, i + 2, "{") ||
-         TokIs(toks, i + 2, ";"))) {
-      fn->calls.push_back(
-          CallSite{t + "::" + t, CallKind::kCtor, path_, tok.line});
-      return;
-    }
-    if (!TokIs(toks, i + 1, "(")) return;
-    if (i > 0 && (TokIs(toks, i - 1, ".") || TokIs(toks, i - 1, "->"))) {
-      fn->calls.push_back(CallSite{t, CallKind::kMethod, path_, tok.line});
-      return;
-    }
-    if (i > 1 && TokIs(toks, i - 1, "::") && IsIdent(toks, i - 2)) {
-      const std::string& q = toks[i - 2].text;
-      if (std::isupper(static_cast<unsigned char>(q[0]))) {
-        fn->calls.push_back(
-            CallSite{q + "::" + t, CallKind::kQualified, path_, tok.line});
-      } else {
-        fn->calls.push_back(CallSite{t, CallKind::kFree, path_, tok.line});
-      }
-      return;
-    }
-    fn->calls.push_back(CallSite{t, CallKind::kFree, path_, tok.line});
-  }
-
-  std::string path_;
-  const LexedFile& lex_;
-  std::vector<ParsedFn>* out_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> stmt_;
-  int paren_ = 0;
-  bool ctor_init_ = false;
-  bool saw_close_ = false;
-  bool saw_eq_ = false;
-};
-
-// ---------------------------------------------------------------------------
-// Call-graph analysis over the merged function set.
-// ---------------------------------------------------------------------------
-
-struct FuncNode {
-  std::string qual;
-  std::string last;
-  std::string path;  // anchor: first definition if any, else first decl
-  int line = 0;
-  unsigned mask = 0;
-  bool is_virtual = false;
-  bool is_override = false;
-  bool has_body = false;
-  std::string ovr_path;  // location of the decl carrying `override`
-  int ovr_line = 0;
-  std::vector<CallSite> calls;
-  std::vector<PrimHit> prims;
-};
-
-class Analysis {
- public:
-  explicit Analysis(std::vector<FuncNode> nodes) : nodes_(std::move(nodes)) {
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      by_qual_[nodes_[i].qual] = i;
-      by_last_[nodes_[i].last].push_back(i);
-    }
-  }
-
-  std::vector<size_t> Resolve(const CallSite& call) const {
-    std::vector<size_t> out;
-    if (call.kind == CallKind::kCtor || call.kind == CallKind::kQualified) {
-      auto it = by_qual_.find(call.name);
-      if (it != by_qual_.end()) {
-        out.push_back(it->second);
-        return out;
-      }
-      if (call.kind == CallKind::kCtor) return out;
-      // `Base::Name(...)` with no exact hit: fall back to methods named
-      // Name (Base may be an alias or a template instantiation).
-    }
-    const std::string& last = call.kind == CallKind::kQualified
-                                  ? call.name.substr(call.name.rfind(':') + 1)
-                                  : call.name;
-    auto it = by_last_.find(last);
-    if (it == by_last_.end()) return out;
-    for (size_t idx : it->second) {
-      const FuncNode& n = nodes_[idx];
-      const bool is_method = n.qual != n.last;
-      if ((call.kind == CallKind::kMethod ||
-           call.kind == CallKind::kQualified) &&
-          !is_method) {
-        continue;  // `x.f(...)` cannot land on a free function
-      }
-      out.push_back(idx);
-    }
-    return out;
-  }
-
-  struct Trace {
-    const PrimHit* prim = nullptr;
-    std::vector<size_t> chain;  // node indices from callee down to prim owner
-  };
-
-  // Can `idx` (an *unannotated-for-e* function) reach a primitive with
-  // effect `e` through in-tree callees? Annotated-for-e callees are trusted
-  // boundaries: their own root walk covers them. Cycles resolve optimistic
-  // (in-progress nodes report "no"), which is fine for a linter and exact
-  // for this tree (the hot path is non-recursive).
-  std::optional<Trace> Reach(size_t idx, unsigned e) {
-    const auto key = std::make_pair(idx, e);
-    auto memo_it = memo_.find(key);
-    if (memo_it != memo_.end()) return memo_it->second;
-    if (visiting_.count(key) > 0) return std::nullopt;
-    visiting_.insert(key);
-    std::optional<Trace> result;
-    const FuncNode& node = nodes_[idx];
-    for (const PrimHit& prim : node.prims) {
-      if ((prim.mask & e) != 0) {
-        result = Trace{&prim, {idx}};
-        break;
-      }
-    }
-    if (!result) {
-      for (const CallSite& call : node.calls) {
-        for (size_t cand : Resolve(call)) {
-          if (cand == idx) continue;
-          if ((nodes_[cand].mask & e) != 0) continue;  // trusted boundary
-          if (std::optional<Trace> sub = Reach(cand, e)) {
-            result = Trace{sub->prim, {}};
-            result->chain.push_back(idx);
-            result->chain.insert(result->chain.end(), sub->chain.begin(),
-                                 sub->chain.end());
-            break;
-          }
-        }
-        if (result) break;
-      }
-    }
-    visiting_.erase(key);
-    memo_[key] = result;
-    return result;
-  }
-
-  const std::vector<FuncNode>& nodes() const { return nodes_; }
-
- private:
-  std::vector<FuncNode> nodes_;
-  std::map<std::string, size_t> by_qual_;
-  std::map<std::string, std::vector<size_t>> by_last_;
-  std::map<std::pair<size_t, unsigned>, std::optional<Trace>> memo_;
-  std::set<std::pair<size_t, unsigned>> visiting_;
-};
-
-std::string ChainText(const Analysis& a, const std::vector<size_t>& chain) {
-  std::string out;
-  for (size_t idx : chain) {
-    if (!out.empty()) out += " -> ";
-    out += a.nodes()[idx].qual;
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<Finding> LintRealtime(const std::vector<FileInput>& files) {
-  std::vector<ParsedFn> parsed;
+  ParsedFile parsed;
   std::map<std::string, std::vector<Suppression>> sups;
   for (const FileInput& file : files) {
     const LexedFile lex = Lex(file.source);
     std::vector<Finding> ignored;  // CL000 is LintSource's report, not ours
     ParseSuppressions(lex, &sups[file.path], &ignored);
-    FileParser(file.path, lex, &parsed).Run();
+    ParseFile(file.path, lex, &parsed);
   }
-
-  // Merge declarations and definitions by qualified name. The anchor
-  // position prefers the first definition (sorted by path/line) so
-  // diagnostics point at code, not at forward declarations.
-  std::map<std::string, FuncNode> merged;
-  std::stable_sort(parsed.begin(), parsed.end(),
-                   [](const ParsedFn& a, const ParsedFn& b) {
-                     if (a.path != b.path) return a.path < b.path;
-                     return a.line < b.line;
-                   });
-  for (const ParsedFn& fn : parsed) {
-    FuncNode& node = merged[fn.qual];
-    if (node.qual.empty()) {
-      node.qual = fn.qual;
-      node.last = fn.last;
-      node.path = fn.path;
-      node.line = fn.line;
-    }
-    if (fn.has_body && !node.has_body) {
-      node.path = fn.path;  // re-anchor onto the first definition
-      node.line = fn.line;
-      node.has_body = true;
-    }
-    node.mask |= fn.mask;
-    node.is_virtual = node.is_virtual || fn.is_virtual;
-    if (fn.is_override && !node.is_override) {
-      node.is_override = true;
-      node.ovr_path = fn.path;
-      node.ovr_line = fn.line;
-    }
-    node.calls.insert(node.calls.end(), fn.calls.begin(), fn.calls.end());
-    node.prims.insert(node.prims.end(), fn.prims.begin(), fn.prims.end());
-  }
-  std::vector<FuncNode> nodes;
-  nodes.reserve(merged.size());
-  for (auto& [qual, node] : merged) nodes.push_back(std::move(node));
-  Analysis analysis(std::move(nodes));
+  Analysis analysis(MergeParsedFns(std::move(parsed.fns)));
 
   std::vector<Finding> findings;
   std::set<std::string> seen;  // dedup key per emitted finding

@@ -697,6 +697,14 @@ const std::vector<RuleInfo>& Rules() {
       {"CL008",
        "incompatible realtime annotations across a call or virtual "
        "override"},
+      {"CL009",
+       "potential deadlock: cycle in the acquired-while-held lock graph"},
+      {"CL010",
+       "blocking or allocating primitive (or raw Mutex::native()) while a "
+       "capability is held"},
+      {"CL011",
+       "GUARDED_BY/REQUIRES/EXCLUDES violation (token-level thread-safety "
+       "parity off Clang)"},
   };
   return kRules;
 }

@@ -45,6 +45,18 @@
 //          function may not call an annotated callee whose contract is
 //          weaker than its own, and a virtual override may not drop the
 //          realtime annotation its base declares.
+//   CL009  potential deadlock (tree-wide, see concurrency.h): the
+//          acquired-while-held graph — built from MutexLock scopes plus
+//          the call graph — contains a cycle. The finding carries the
+//          full lock chain and the call path that closes it; the fix is
+//          the ranked hierarchy in common/lock_order.h.
+//   CL010  blocking or allocating primitive invoked while a capability is
+//          held (tree-wide): waits, joins, stdio, and allocation inside a
+//          MutexLock scope; `cv.wait(lk)` on a body-local unique_lock is
+//          the sanctioned idiom, and `Mutex::native()` is confined to it.
+//   CL011  thread-safety parity off Clang (tree-wide): token-level
+//          GUARDED_BY / REQUIRES / EXCLUDES enforcement so GCC-only CI
+//          keeps the contract -Werror=thread-safety checks under Clang.
 //
 // Suppression convention: `// cad-lint: allow(CLxxx) <reason>` on the same
 // line as the finding or on the line directly above it. The reason is

@@ -41,6 +41,15 @@
 #                   alloc suites: any allocation or lock inside a
 #                   [[clang::nonblocking]] region aborts at runtime. SKIPs
 #                   with a reason on toolchains without rtsan support.
+#  12. deadlock   — ThreadSanitizer with the runtime lock-order tracker
+#                   armed (CAD_CHECK_LEVEL=full): the tracker unit tests,
+#                   the streams+servers+scrapers lock-order stress, and the
+#                   exposition/registry hammering all run with every
+#                   acquisition feeding the acquired-after graph. Then the
+#                   compiler third of the contract: clang++ must warn on the
+#                   seeded ACQUIRED_BEFORE inversion fixture (one-line SKIP
+#                   where clang++ is absent — CL009 and the tracker carry
+#                   the contract there).
 #
 # Presets come from CMakePresets.json; each stage uses its own binaryDir so
 # the matrix never contaminates the default build/.
@@ -54,7 +63,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2> /dev/null || echo 2)"
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs advisor function-effects realtime)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs advisor function-effects realtime deadlock)
 
 # Probes whether clang++ accepts a compile flag (e.g. -Wfunction-effects,
 # -fsanitize=realtime). Both realtime stages need Clang 20+; probing the
@@ -174,6 +183,32 @@ for stage in "${STAGES[@]}"; do
              "here and tools/cad_lint rules CL007/CL008 carry the contract."
       fi
       ;;
+    deadlock)
+      echo
+      echo "==== [deadlock] TSan + runtime lock-order tracker ===="
+      cmake --preset deadlock
+      cmake --build --preset deadlock -j "$JOBS"
+      ctest --preset deadlock \
+        -R 'LockOrderTrackerTest|LockOrderStressTest|ConcurrencyStressTest|ExpositionServer' \
+        --output-on-failure
+      echo
+      echo "==== [deadlock] clang ACQUIRED_BEFORE seeded inversion ===="
+      if command -v clang++ > /dev/null 2>&1; then
+        if clang++ -x c++ -std=c++20 -fsyntax-only -Isrc \
+            -Wthread-safety -Wthread-safety-beta \
+            tests/lint_fixtures/clang_acquired_before_bad.cc 2>&1 \
+            | grep -q 'warning:.*acquired'; then
+          echo "OK: clang warns on the seeded inversion" \
+               "(tests/lint_fixtures/clang_acquired_before_bad.cc)"
+        else
+          echo "error: clang++ did not warn on the seeded ACQUIRED_BEFORE" \
+               "inversion fixture" >&2
+          exit 1
+        fi
+      else
+        echo "SKIP: clang++ not installed; cad_lint CL009 and the runtime lock-order tracker carry the lock-order contract on this toolchain."
+      fi
+      ;;
     realtime)
       echo
       echo "==== [realtime] RealtimeSanitizer engine/streaming/recorder ===="
@@ -193,7 +228,7 @@ for stage in "${STAGES[@]}"; do
       echo "error: unknown stage '$stage'" \
            "(expected: checked, asan-ubsan, tsan, lint, lint-cad," \
            "thread-safety, engine, obs, advisor, function-effects," \
-           "realtime)" >&2
+           "realtime, deadlock)" >&2
       exit 2
       ;;
   esac
