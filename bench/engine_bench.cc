@@ -38,10 +38,12 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/cad_detector.h"
+#include "core/engine.h"
 #include "core/streaming.h"
 #include "datasets/generator.h"
 #include "obs/metrics.h"
 #include "ts/multivariate_series.h"
+#include "ts/window.h"
 
 namespace cad::bench {
 namespace {
@@ -95,8 +97,16 @@ struct DriverResult {
   double p50_round_seconds = 0.0;
   double p95_round_seconds = 0.0;
   double p99_round_seconds = 0.0;
-  // Heap allocations per steady-state round, end to end (operator-new hook).
+  // Heap allocations per steady-state round with the hook window scoped to
+  // the round loop only (operator-new hook; excludes warm-up rounds and
+  // anomaly open/close transitions). 0 by contract; -1 without the hook.
   double allocs_per_round = -1.0;
+  // Batch only: allocations of the whole Detect() call amortized over the
+  // rounds — warm-up, per-round latency/trace collection, report assembly
+  // and telemetry snapshot included. This is *harness-side* cost, which is
+  // why it is nonzero while allocs_per_round and the gauge are 0; kept as
+  // its own field so the two windows can never be conflated again.
+  double detect_call_allocs_per_round = -1.0;
   // Last value of the engine's cad_round_allocs gauge; -1 if unregistered.
   double round_allocs_gauge = -1.0;
   double total_seconds = 0.0;
@@ -118,6 +128,46 @@ void FillLatency(DriverResult* result, std::vector<double> seconds) {
 double GaugeValue(const obs::Snapshot& snapshot, const char* name) {
   const obs::GaugeSample* sample = snapshot.FindGauge(name);
   return sample != nullptr ? sample->value : -1.0;
+}
+
+// Steady-state allocations per round with the hook window bracketing only
+// the engine's round loop: a bare DetectionEngine is warmed up and stepped
+// over the same plan the batch driver uses, so everything CadDetector adds
+// around the rounds (latency vectors, traces, report assembly) stays outside
+// the measurement. Warm-up rounds and anomaly open/close transitions are
+// excluded — those allocate by design (capacity growth, anomaly records).
+double ScopedEngineAllocsPerRound(const EngineBenchConfig& config,
+                                  const ts::MultivariateSeries& train,
+                                  const ts::MultivariateSeries& test) {
+  if (!common::AllocHookInstalled()) return -1.0;
+  obs::Registry registry;
+  core::DetectionEngine engine(
+      test.n_sensors(), MakeOptions(config, &registry, kDefaultFlightCapacity));
+  if (!engine.WarmUp(train).ok()) {
+    std::fprintf(stderr, "engine_bench: engine warm-up failed\n");
+    std::exit(1);
+  }
+  const ts::WindowPlan plan =
+      ts::WindowPlan::Make(test.length(), config.window, config.step)
+          .ValueOrDie();
+  int64_t steady_allocs = 0;
+  int steady_rounds = 0;
+  bool prev_abnormal = false;
+  for (int r = 0; r < plan.rounds(); ++r) {
+    const int64_t allocs_before = common::ThreadAllocCount();
+    const core::EngineRound round =
+        engine.Step(test, plan.start(r), plan.start(r), plan.end(r));
+    const int64_t allocs_after = common::ThreadAllocCount();
+    const bool transition = round.abnormal || prev_abnormal;
+    prev_abnormal = round.abnormal;
+    if (r >= config.alloc_warmup_rounds && !transition) {
+      steady_allocs += allocs_after - allocs_before;
+      ++steady_rounds;
+    }
+  }
+  if (steady_rounds == 0) return -1.0;
+  return static_cast<double>(steady_allocs) /
+         static_cast<double>(steady_rounds);
 }
 
 DriverResult RunBatch(const EngineBenchConfig& config,
@@ -142,13 +192,15 @@ DriverResult RunBatch(const EngineBenchConfig& config,
   result.p50_round_seconds = report.round_latency.p50;
   result.p95_round_seconds = report.round_latency.p95;
   result.p99_round_seconds = report.round_latency.p99;
-  // The batch driver runs warmup + all rounds + report assembly in one call,
-  // so the hook figure amortizes everything over the rounds — an upper bound
-  // on the per-round cost, still comparable across commits.
+  // Whole-call figure: warmup + all rounds + report assembly amortized over
+  // the rounds. Harness-side by definition — compare it against the scoped
+  // figure below to see what the driver (not the hot path) costs.
   if (common::AllocHookInstalled() && result.rounds > 0) {
-    result.allocs_per_round = static_cast<double>(allocs_after - allocs_before) /
-                              static_cast<double>(result.rounds);
+    result.detect_call_allocs_per_round =
+        static_cast<double>(allocs_after - allocs_before) /
+        static_cast<double>(result.rounds);
   }
+  result.allocs_per_round = ScopedEngineAllocsPerRound(config, train, test);
   result.round_allocs_gauge = GaugeValue(report.telemetry, "cad_round_allocs");
   return result;
 }
@@ -171,18 +223,29 @@ DriverResult RunStreaming(const EngineBenchConfig& config,
   round_seconds.reserve(config.rounds);
   int64_t steady_allocs = 0;
   int steady_rounds = 0;
+  // Reused across rounds: the event's vectors keep their capacity, so a
+  // steady-state Push is allocation-free end to end. (The old
+  // optional-returning overload built fresh vectors inside the measured
+  // window — harness-side allocations that showed up as ~14 allocs/round
+  // while the engine's own gauge was 0.)
+  core::StreamEvent event;
+  bool prev_abnormal = false;
 
   Stopwatch watch;
   for (int t = 0; t < test.length(); ++t) {
     for (int i = 0; i < test.n_sensors(); ++i) sample[i] = test.value(i, t);
     const int64_t allocs_before = common::ThreadAllocCount();
-    auto event = streaming.Push(sample).ValueOrDie();
+    const bool completed = streaming.Push(sample, &event).ValueOrDie();
     const int64_t allocs_after = common::ThreadAllocCount();
-    if (!event.has_value()) continue;
-    round_seconds.push_back(event->round_seconds);
-    // The measured Push delta covers ring-buffer upkeep, the round, and the
-    // StreamEvent the caller receives — the whole per-round streaming cost.
-    if (static_cast<int>(round_seconds.size()) > config.alloc_warmup_rounds) {
+    if (!completed) continue;
+    round_seconds.push_back(event.round_seconds);
+    // The measured Push delta covers ring-buffer upkeep, the round, and
+    // filling the reused event — the whole per-round streaming cost. Anomaly
+    // open/close transitions are excluded like in the scoped batch loop.
+    const bool transition = event.abnormal || prev_abnormal;
+    prev_abnormal = event.abnormal;
+    if (static_cast<int>(round_seconds.size()) > config.alloc_warmup_rounds &&
+        !transition) {
       steady_allocs += allocs_after - allocs_before;
       ++steady_rounds;
     }
@@ -224,14 +287,15 @@ void PrintDriverJson(std::FILE* out, const char* name,
                "    \"p95_round_seconds\": %.9f,\n"
                "    \"p99_round_seconds\": %.9f,\n"
                "    \"allocs_per_round\": %.3f,\n"
+               "    \"detect_call_allocs_per_round\": %.3f,\n"
                "    \"round_allocs_gauge\": %.1f,\n"
                "    \"total_seconds\": %.6f\n"
                "  }%s\n",
                name, result.rounds, result.rounds_per_sec,
                result.p50_round_seconds, result.p95_round_seconds,
                result.p99_round_seconds, result.allocs_per_round,
-               result.round_allocs_gauge, result.total_seconds,
-               trailing_comma ? "," : "");
+               result.detect_call_allocs_per_round, result.round_allocs_gauge,
+               result.total_seconds, trailing_comma ? "," : "");
 }
 
 int Main(int argc, char** argv) {
@@ -286,21 +350,67 @@ int Main(int argc, char** argv) {
   const DriverResult batch = RunBatch(config, train, test);
   std::fprintf(stderr, "[engine_bench] batch:  %.0f rounds/sec, %.2f allocs/round\n",
                batch.rounds_per_sec, batch.allocs_per_round);
-  const DriverResult stream =
-      RunStreaming(config, train, test, kDefaultFlightCapacity, flight_out);
+
+  // Flight-recorder overhead protocol: one discarded warm-up pass (the first
+  // run pays cold caches and page faults that neither config should own),
+  // then three repetitions of each config, interleaved in alternating order
+  // so machine drift penalizes neither side, keeping each config's best
+  // repetition. Measuring the two configs back to back in a fixed order used
+  // to report a *negative* overhead: the second config inherited a warm
+  // machine.
+  (void)RunStreaming(config, train, test, kDefaultFlightCapacity, "");
+  DriverResult stream;      // recorder on (ring capacity = product default)
+  DriverResult stream_off;  // recorder off (ring capacity = 0)
+  constexpr int kRecorderReps = 3;
+  for (int rep = 0; rep < kRecorderReps; ++rep) {
+    DriverResult on_rep;
+    DriverResult off_rep;
+    if (rep % 2 == 0) {
+      on_rep = RunStreaming(config, train, test, kDefaultFlightCapacity,
+                            rep == 0 ? flight_out : "");
+      off_rep = RunStreaming(config, train, test, /*flight_capacity=*/0, "");
+    } else {
+      off_rep = RunStreaming(config, train, test, /*flight_capacity=*/0, "");
+      on_rep = RunStreaming(config, train, test, kDefaultFlightCapacity, "");
+    }
+    if (on_rep.rounds_per_sec > stream.rounds_per_sec) stream = on_rep;
+    if (off_rep.rounds_per_sec > stream_off.rounds_per_sec) {
+      stream_off = off_rep;
+    }
+  }
   std::fprintf(stderr, "[engine_bench] stream: %.0f rounds/sec, %.2f allocs/round\n",
                stream.rounds_per_sec, stream.allocs_per_round);
-  // Same streaming run with the ring disabled isolates the recording cost.
-  const DriverResult stream_off = RunStreaming(config, train, test,
-                                               /*flight_capacity=*/0, "");
   const double overhead_pct =
       stream_off.rounds_per_sec > 0.0
           ? (1.0 - stream.rounds_per_sec / stream_off.rounds_per_sec) * 100.0
           : 0.0;
   std::fprintf(stderr,
                "[engine_bench] flight recorder: %.0f -> %.0f rounds/sec "
-               "(%.2f%% overhead)\n",
-               stream_off.rounds_per_sec, stream.rounds_per_sec, overhead_pct);
+               "(%.2f%% overhead, best of %d interleaved)\n",
+               stream_off.rounds_per_sec, stream.rounds_per_sec, overhead_pct,
+               kRecorderReps);
+
+  // Regression gate for the zero-allocation contract: with the hook linked,
+  // the *scoped* round-loop windows must stay far below one allocation per
+  // steady round. The bound is not exactly zero because generator data keeps
+  // discovering co-appearance keys past any fixed warm-up prefix (sparse
+  // capacity high-water growth, mirrored by the cad_round_allocs gauge and
+  // measured at ~0.15/round); the exact-zero proof on saturated data lives in
+  // engine_alloc_test. What this gate catches is harness-window leaks like
+  // the event-vector copies that once inflated the figure to ~14/round.
+  // (The whole-call detect_call_allocs_per_round figure is expected to be
+  // nonzero — that is harness cost, reported separately.)
+  constexpr double kMaxSteadyAllocsPerRound = 1.0;
+  if (common::AllocHookInstalled() &&
+      (batch.allocs_per_round > kMaxSteadyAllocsPerRound ||
+       stream.allocs_per_round > kMaxSteadyAllocsPerRound)) {
+    std::fprintf(stderr,
+                 "[engine_bench] FAIL: steady-state round-loop allocations "
+                 "(batch %.3f/round, stream %.3f/round; gate is %.1f)\n",
+                 batch.allocs_per_round, stream.allocs_per_round,
+                 kMaxSteadyAllocsPerRound);
+    return 1;
+  }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -328,13 +438,17 @@ int Main(int argc, char** argv) {
   std::fprintf(out,
                "  \"flight_recorder\": {\n"
                "    \"capacity\": %d,\n"
+               "    \"protocol\": \"interleaved best-of-%d per config after "
+               "one discarded warm-up run\",\n"
                "    \"recorder_off_rounds_per_sec\": %.3f,\n"
                "    \"recorder_on_rounds_per_sec\": %.3f,\n"
                "    \"overhead_pct\": %.3f,\n"
+               "    \"overhead_pct_definition\": \"(1 - recorder_on_rounds_per_sec"
+               " / recorder_off_rounds_per_sec) * 100\",\n"
                "    \"recorder_on_allocs_per_round\": %.3f,\n"
                "    \"recorder_on_round_allocs_gauge\": %.1f\n"
                "  },\n",
-               kDefaultFlightCapacity, stream_off.rounds_per_sec,
+               kDefaultFlightCapacity, kRecorderReps, stream_off.rounds_per_sec,
                stream.rounds_per_sec, overhead_pct, stream.allocs_per_round,
                stream.round_allocs_gauge);
   // Perf contract for the realtime annotations (src/common/realtime.h):

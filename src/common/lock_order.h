@@ -17,6 +17,26 @@
 //         |                                     | every lock below, so this
 //         |                                     | one must never be taken
 //         |                                     | while any of them is held.
+//    14  | fleet::WeightedScheduler::mu_       | pick/release bookkeeping;
+//         |                                     | always taken with nothing
+//         |                                     | else held — workers pick,
+//         |                                     | release, *then* lock the
+//         |                                     | tenant they were handed.
+//    15  | fleet::WorkspacePool::mu_           | arena free-list pops; taken
+//         |                                     | between scheduler release
+//         |                                     | and the tenant lock, never
+//         |                                     | nested under either.
+//    16  | fleet::FleetEngine Tenant::mu       | per-tenant engine + window
+//         |                                     | state, held for a whole
+//         |                                     | service quantum; a round
+//         |                                     | records telemetry (rank 30)
+//         |                                     | and pops the tenant's
+//         |                                     | ingestion queue (rank 18)
+//         |                                     | while holding it.
+//    18  | common::BoundedSampleQueue::mu_     | per-tenant ingestion ring;
+//         |                                     | producers take it alone,
+//         |                                     | the servicing worker takes
+//         |                                     | it under the tenant lock.
 //    20  | core::StreamingCad::mu_             | the per-stream driver lock;
 //         |                                     | a round records telemetry
 //         |                                     | and spans while holding it.
@@ -53,6 +73,25 @@ namespace cad::common::lock_order {
 
 // obs::ExpositionServer::join_mu_ — held across the serve-thread join.
 inline constexpr int kExpositionJoin = 10;
+
+// fleet::WeightedScheduler::mu_ — tenant pick/release bookkeeping. Workers
+// acquire it with no other lock held and release it before touching the
+// picked tenant, so it never nests inside the rest of the fleet hierarchy.
+inline constexpr int kFleetScheduler = 14;
+
+// fleet::WorkspacePool::mu_ — RoundWorkspace arena free lists, taken alone
+// between the scheduler handoff and the tenant lock.
+inline constexpr int kFleetWorkspacePool = 15;
+
+// fleet::FleetEngine's per-tenant state lock (engine, ingest window), held
+// for a whole service quantum; queue pops (rank 18) and telemetry (rank 30+)
+// happen under it.
+inline constexpr int kFleetTenant = 16;
+
+// common::BoundedSampleQueue::mu_ — the per-tenant bounded ingestion ring.
+// Producers take it alone; the servicing worker takes it while holding the
+// tenant lock, so it must rank above kFleetTenant.
+inline constexpr int kFleetQueue = 18;
 
 // core::StreamingCad::mu_ — the streaming driver's round/state lock.
 inline constexpr int kStreamingCad = 20;

@@ -148,10 +148,12 @@ Status DetectionEngine::WarmUp(const ts::MultivariateSeries& historical) {
 
 EngineRound DetectionEngine::Step(const ts::MultivariateSeries& series,
                                   int start, int window_start_time,
-                                  int window_end_time) CAD_REALTIME_AUDITED {
+                                  int window_end_time,
+                                  RoundWorkspace* workspace)
+    CAD_REALTIME_AUDITED {
   const int64_t allocs_before = common::ThreadAllocCount();
 
-  const RoundOutput& out = processor_.ProcessWindow(series, start);
+  const RoundOutput& out = processor_.ProcessWindow(series, start, workspace);
 
   EngineRound result;
   result.round = round_index_;

@@ -164,9 +164,14 @@ class DetectionEngine {
   // `window_start_time` / `window_end_time` place the window on the driver's
   // global time axis (batch: plan.start/end(r); streaming: samples_seen -
   // window / samples_seen).
+  //
+  // `workspace` optionally supplies the round's scratch arena (per-round
+  // only, no cross-round state — see RoundWorkspace): the fleet's shared
+  // worker pool passes pooled arenas so tenant engines stay workspace-less;
+  // single-tenant drivers omit it and the processor lazily owns one.
   EngineRound Step(const ts::MultivariateSeries& series, int start,
-                   int window_start_time,
-                   int window_end_time) CAD_REALTIME_AUDITED;
+                   int window_start_time, int window_end_time,
+                   RoundWorkspace* workspace = nullptr) CAD_REALTIME_AUDITED;
 
   // Closes any anomaly still open after the last Step (and, like a normal
   // close, appends its rounds to CadOptions::flight_log_path when set).

@@ -54,9 +54,20 @@ void PluralitySuccessors(const std::vector<int>& prev_community,
 
 }  // namespace
 
+RoundWorkspace* RoundProcessor::ResolveWorkspace(RoundWorkspace* workspace) {
+  if (workspace != nullptr) return workspace;
+  if (owned_workspace_ == nullptr) {
+    // cad-lint: allow(CL007) one-time lazy construction on the first externally-workspace-less round; pooled callers never reach this branch
+    owned_workspace_ = std::make_unique<RoundWorkspace>();
+  }
+  return owned_workspace_.get();
+}
+
 const RoundOutput& RoundProcessor::ProcessWindow(
-    const ts::MultivariateSeries& series, int start) CAD_REALTIME_AUDITED {
+    const ts::MultivariateSeries& series, int start,
+    RoundWorkspace* workspace) CAD_REALTIME_AUDITED {
   CAD_CHECK(series.n_sensors() == n_sensors_, "sensor count mismatch");
+  RoundWorkspace* ws = ResolveWorkspace(workspace);
   out_.Clear();  // cleared before the stage timers start accumulating
   obs::Span round_span(tracer_, span_name_);
   obs::ScopedHistogramTimer round_timer(metrics_.round_seconds,
@@ -74,9 +85,9 @@ const RoundOutput& RoundProcessor::ProcessWindow(
       } else {
         rolling_->SlideTo(series, start);
       }
-      rolling_->CorrelationsInto(&workspace_.correlation);
+      rolling_->CorrelationsInto(&ws->correlation);
     }
-    return FinishRound(workspace_.correlation, &round_span);
+    return FinishRound(ws->correlation, &round_span, ws);
   }
   obs::Span corr_span(tracer_, "correlation");
   Stopwatch corr_watch;
@@ -84,26 +95,28 @@ const RoundOutput& RoundProcessor::ProcessWindow(
       series, start, options_.window,
       options_.use_spearman ? stats::CorrelationKind::kSpearman
                             : stats::CorrelationKind::kPearson,
-      options_.n_threads, &workspace_.correlation_scratch,
-      &workspace_.correlation);
+      options_.n_threads, &ws->correlation_scratch, &ws->correlation);
   out_.correlation_seconds = corr_watch.ElapsedSeconds();
   metrics_.correlation_seconds->Observe(out_.correlation_seconds);
   corr_span.End();
-  return FinishRound(workspace_.correlation, &round_span);
+  return FinishRound(ws->correlation, &round_span, ws);
 }
 
 const RoundOutput& RoundProcessor::ProcessCorrelation(
-    const stats::CorrelationMatrix& corr) CAD_REALTIME_AUDITED {
+    const stats::CorrelationMatrix& corr,
+    RoundWorkspace* workspace) CAD_REALTIME_AUDITED {
+  RoundWorkspace* ws = ResolveWorkspace(workspace);
   out_.Clear();
   obs::Span round_span(tracer_, span_name_);
   obs::ScopedHistogramTimer round_timer(metrics_.round_seconds,
                                         &out_.round_seconds);
-  return FinishRound(corr, &round_span);
+  return FinishRound(corr, &round_span, ws);
 }
 
 const RoundOutput& RoundProcessor::FinishRound(
-    const stats::CorrelationMatrix& corr,
-    obs::Span* round_span) CAD_REALTIME_AUDITED {
+    const stats::CorrelationMatrix& corr, obs::Span* round_span,
+    RoundWorkspace* ws_ptr) CAD_REALTIME_AUDITED {
+  RoundWorkspace& ws = *ws_ptr;
   CAD_CHECK(corr.size() == n_sensors_, "correlation matrix size mismatch");
   if (round_span->active()) {
     // cad-lint: allow(CL007) guarded by active(): only runs when a tracer is attached, an opt-in diagnostic mode
@@ -116,9 +129,9 @@ const RoundOutput& RoundProcessor::FinishRound(
   graph::KnnGraphOptions knn_options{.k = options_.k, .tau = options_.tau};
   graph::KnnGraphStats tsg_stats;
   obs::Span knn_span(tracer_, "knn_graph");
-  graph::BuildKnnGraphInto(corr, knn_options, &workspace_.knn,
-                           &workspace_.tsg, &tsg_stats);
-  const graph::Graph& tsg = workspace_.tsg;
+  graph::BuildKnnGraphInto(corr, knn_options, &ws.knn,
+                           &ws.tsg, &tsg_stats);
+  const graph::Graph& tsg = ws.tsg;
   knn_span.End();
   out.knn_seconds = stage_watch.ElapsedSeconds();
   metrics_.knn_build_seconds->Observe(out.knn_seconds);
@@ -135,8 +148,8 @@ const RoundOutput& RoundProcessor::FinishRound(
 
   stage_watch.Restart();
   obs::Span louvain_span(tracer_, "louvain");
-  graph::LouvainInto(tsg, {}, &workspace_.louvain, &workspace_.partition);
-  const graph::Partition& partition = workspace_.partition;
+  graph::LouvainInto(tsg, {}, &ws.louvain, &ws.partition);
+  const graph::Partition& partition = ws.partition;
   louvain_span.End();
   out.louvain_seconds = stage_watch.ElapsedSeconds();
   metrics_.louvain_seconds->Observe(out.louvain_seconds);
@@ -165,9 +178,9 @@ const RoundOutput& RoundProcessor::FinishRound(
 #else
     tracker_.Observe(prev_community_, partition.community);
 #endif
-    PluralitySuccessors(prev_community_, partition.community, &workspace_);
+    PluralitySuccessors(prev_community_, partition.community, &ws);
     for (int v = 0; v < n_sensors_; ++v) {
-      if (partition.community[v] != workspace_.successor[prev_community_[v]]) {
+      if (partition.community[v] != ws.successor[prev_community_[v]]) {
         last_moved_round_[v] = rounds_processed_;
       }
     }
@@ -179,7 +192,7 @@ const RoundOutput& RoundProcessor::FinishRound(
 
   // Phase 3: variation analysis. n_r counts vertices transitioning between
   // outlier and normal states across the two most recent rounds.
-  std::vector<uint8_t>& cur_flags = workspace_.cur_flags;
+  std::vector<uint8_t>& cur_flags = ws.cur_flags;
   cur_flags.assign(n_sensors_, 0);
   for (int v : out.outliers) cur_flags[v] = 1;
   int n_variations = 0;
@@ -221,7 +234,7 @@ const RoundOutput& RoundProcessor::FinishRound(
   ++rounds_processed_;
   // Stage-boundary contract (CAD_CHECK_LEVEL=full only): every reused
   // workspace buffer must still be shaped for this problem size.
-  CAD_VALIDATE(check::ValidateRoundWorkspace(workspace_, n_sensors_,
+  CAD_VALIDATE(check::ValidateRoundWorkspace(ws, n_sensors_,
                                              options_.metrics_registry));
   return out;
 }

@@ -70,6 +70,14 @@ struct RoundOutput {
 // problem size during the first rounds and steady-state rounds perform zero
 // heap allocations (proved by the cad_round_allocs gauge and
 // tests/core/engine_alloc_test.cc).
+//
+// A workspace is *per-round scratch*, not cross-round state: every member is
+// rebuilt from scratch by the round that uses it, so one workspace may serve
+// many processors in turn. fleet::WorkspacePool exploits exactly this — N
+// tenant engines share ~n_workers workspaces per sensor-count bucket instead
+// of owning one each, and the capacities converge to the bucket's high-water
+// problem size after the warm phase (tests/fleet/fleet_engine_test.cc
+// extends the allocation proof to the pooled path).
 struct RoundWorkspace {
   stats::CorrelationMatrix correlation;
   stats::CorrelationScratch correlation_scratch;
@@ -103,12 +111,21 @@ class RoundProcessor {
   // Processes the window [start, start + options.window) of `series`.
   // Rounds must be fed in chronological order. The returned reference points
   // at the processor's reused output and stays valid until the next round.
+  //
+  // `workspace` selects the scratch arena for this round: nullptr uses the
+  // processor's own lazily-created workspace (the single-tenant drivers);
+  // fleet workers pass a pooled arena instead, so thousands of tenant
+  // processors never own one each. The workspace carries no cross-round
+  // state — see the RoundWorkspace comment above.
   const RoundOutput& ProcessWindow(const ts::MultivariateSeries& series,
-                                   int start) CAD_REALTIME_AUDITED;
+                                   int start,
+                                   RoundWorkspace* workspace = nullptr)
+      CAD_REALTIME_AUDITED;
 
   // Same, but the caller supplies a pre-built correlation matrix (used by the
   // micro benches to isolate graph/community cost).
-  const RoundOutput& ProcessCorrelation(const stats::CorrelationMatrix& corr)
+  const RoundOutput& ProcessCorrelation(const stats::CorrelationMatrix& corr,
+                                        RoundWorkspace* workspace = nullptr)
       CAD_REALTIME_AUDITED;
 
   // Clears all cross-round state (communities, RC history, outlier set).
@@ -126,7 +143,13 @@ class RoundProcessor {
  private:
   // Phases 1-3 on a ready correlation matrix, inside the given round span.
   const RoundOutput& FinishRound(const stats::CorrelationMatrix& corr,
-                                 obs::Span* round_span) CAD_REALTIME_AUDITED;
+                                 obs::Span* round_span,
+                                 RoundWorkspace* ws) CAD_REALTIME_AUDITED;
+
+  // The round's arena: the caller-supplied one, else the lazily-created
+  // owned workspace (kept out of the constructor so pooled-only processors
+  // never pay for a private arena).
+  RoundWorkspace* ResolveWorkspace(RoundWorkspace* workspace);
 
   int n_sensors_;
   CadOptions options_;
@@ -136,7 +159,8 @@ class RoundProcessor {
   std::vector<int> last_moved_round_;   // -1 = never moved (Definition 2)
   // Lazily created when options_.incremental_correlation is set.
   std::unique_ptr<stats::RollingCorrelationTracker> rolling_;
-  RoundWorkspace workspace_;
+  // Lazily created on the first round that does not bring its own workspace.
+  std::unique_ptr<RoundWorkspace> owned_workspace_;
   RoundOutput out_;  // reused across rounds; returned by const reference
   int rounds_processed_ = 0;
   obs::PipelineMetrics metrics_;

@@ -1,0 +1,93 @@
+// core::SampleWindow — the streaming ingest state extracted from
+// StreamingCad so every online driver shares one implementation: a ring of
+// the last `window` samples (sample-major) plus the round cadence rule of
+// paper Section IV-F (a round closes every `step` samples once `window`
+// samples have been seen).
+//
+// StreamingCad wraps one SampleWindow behind its mutex; fleet::FleetEngine
+// keeps one per tenant behind the tenant lock. Neither copy of the ring
+// logic exists anymore — StreamingCad is a thin single-tenant facade over
+// exactly the ingest -> materialize -> DetectionEngine::Step path the fleet
+// workers drive.
+//
+// Not synchronized; the owner provides the lock (both owners already hold
+// one across every call). Append and MaterializeInto copy into storage sized
+// at construction, so steady-state ingestion performs zero heap allocations.
+#ifndef CAD_CORE_SAMPLE_WINDOW_H_
+#define CAD_CORE_SAMPLE_WINDOW_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "ts/multivariate_series.h"
+
+namespace cad::core {
+
+class SampleWindow {
+ public:
+  SampleWindow(int n_sensors, int window, int step)
+      : n_sensors_(n_sensors),
+        window_(window),
+        step_(step),
+        buffer_(static_cast<size_t>(window) * n_sensors, 0.0) {}
+
+  // Appends the readings of all sensors for one time point (the oldest ring
+  // slot is overwritten once the ring is full) and returns true when this
+  // sample closes a detection round: samples_seen >= window and the overhang
+  // (samples_seen - window) is a multiple of step. `readings.size()` must
+  // equal the sensor count.
+  bool Append(std::span<const double> readings) {
+    const int slot = (head_ + buffered_) % window_;
+    std::copy(readings.begin(), readings.end(),
+              buffer_.begin() + static_cast<size_t>(slot) * n_sensors_);
+    if (buffered_ < window_) {
+      ++buffered_;
+    } else {
+      head_ = (head_ + 1) % window_;
+    }
+    ++samples_seen_;
+    return RoundReady();
+  }
+
+  // True when the most recent Append closed a round (see Append).
+  bool RoundReady() const {
+    if (samples_seen_ < window_) return false;
+    return (samples_seen_ - window_) % step_ == 0;
+  }
+
+  // Materializes the ring into the sensor-major series the engine consumes
+  // (`out` must be shaped n_sensors x window). Valid once samples_seen() >=
+  // window.
+  void MaterializeInto(ts::MultivariateSeries* out) const {
+    for (int t = 0; t < window_; ++t) {
+      const int slot = (head_ + t) % window_;
+      const double* sample =
+          buffer_.data() + static_cast<size_t>(slot) * n_sensors_;
+      for (int i = 0; i < n_sensors_; ++i) out->set_value(i, t, sample[i]);
+    }
+  }
+
+  // The window's position on the stream's global time axis:
+  // [samples_seen - window, samples_seen).
+  int window_start_time() const { return samples_seen_ - window_; }
+  int window_end_time() const { return samples_seen_; }
+
+  int samples_seen() const { return samples_seen_; }
+  int n_sensors() const { return n_sensors_; }
+  int window() const { return window_; }
+  int step() const { return step_; }
+
+ private:
+  const int n_sensors_;
+  const int window_;
+  const int step_;
+  std::vector<double> buffer_;  // ring, sample-major, never resized
+  int head_ = 0;                // index of the oldest ring sample
+  int buffered_ = 0;            // valid samples (<= window)
+  int samples_seen_ = 0;
+};
+
+}  // namespace cad::core
+
+#endif  // CAD_CORE_SAMPLE_WINDOW_H_

@@ -18,7 +18,7 @@ StreamingCad::StreamingCad(int n_sensors, const CadOptions& options)
       metrics_(obs::PipelineMetrics::For(
           obs::ResolveRegistry(options.metrics_registry))),
       engine_(n_sensors, options),
-      buffer_(static_cast<size_t>(options.window) * n_sensors, 0.0),
+      ingest_(n_sensors, options.window, options.step),
       window_(n_sensors, options.window),
       // Last in initialization order: every member its handlers touch
       // (mu_, engine_, the counters) is already alive when the serve thread
@@ -87,7 +87,7 @@ std::string StreamingCad::AdviseJson(int from_round, int to_round) const {
 StreamHealth StreamingCad::Health() const {
   common::MutexLock lock(mu_);
   StreamHealth health;
-  health.samples_seen = samples_seen_;
+  health.samples_seen = ingest_.samples_seen();
   health.rounds = engine_.rounds();
   health.anomaly_open = engine_.anomaly_open();
   const obs::FlightRecorder& recorder = engine_.recorder();
@@ -124,7 +124,7 @@ std::string StreamingCad::ExplainJson(int round) const {
 
 Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {
   common::MutexLock lock(mu_);
-  if (samples_seen_ > 0) {
+  if (ingest_.samples_seen() > 0) {
     return Status::FailedPrecondition("WarmUp must precede the first Push");
   }
   if (historical.n_sensors() != n_sensors_) {
@@ -133,13 +133,17 @@ Status StreamingCad::WarmUp(const ts::MultivariateSeries& historical) {
   return engine_.WarmUp(historical);
 }
 
-bool StreamingCad::RoundReady() const {
-  if (samples_seen_ < options_.window) return false;
-  return (samples_seen_ - options_.window) % options_.step == 0;
-}
-
 Result<std::optional<StreamEvent>> StreamingCad::Push(
     std::span<const double> readings) {
+  StreamEvent event;
+  Result<bool> completed = Push(readings, &event);
+  if (!completed.ok()) return completed.status();
+  if (!completed.value()) return std::optional<StreamEvent>{};
+  return std::optional<StreamEvent>{std::move(event)};
+}
+
+Result<bool> StreamingCad::Push(std::span<const double> readings,
+                                StreamEvent* event) {
   if (static_cast<int>(readings.size()) != n_sensors_) {
     return Status::InvalidArgument("sample has " +
                                    std::to_string(readings.size()) +
@@ -147,49 +151,41 @@ Result<std::optional<StreamEvent>> StreamingCad::Push(
                                    std::to_string(n_sensors_));
   }
   common::MutexLock lock(mu_);
-  // Overwrite the oldest slot.
-  const int slot = (buffer_head_ + buffered_) % options_.window;
-  std::copy(readings.begin(), readings.end(),
-            buffer_.begin() + static_cast<size_t>(slot) * n_sensors_);
-  if (buffered_ < options_.window) {
-    ++buffered_;
-  } else {
-    buffer_head_ = (buffer_head_ + 1) % options_.window;
-  }
-  ++samples_seen_;
+  const bool round_due = ingest_.Append(readings);
   metrics_.stream_samples_total->Increment();
-
-  if (!RoundReady()) return std::optional<StreamEvent>{};
-  return std::optional<StreamEvent>{RunRound()};
+  if (!round_due) return false;
+  RunRound(event);
+  return true;
 }
 
-StreamEvent StreamingCad::RunRound() {
+void StreamingCad::RunRound(StreamEvent* event) {
   Stopwatch round_watch;
   // Materialize the ring buffer into the reused window series (sensor-major).
-  for (int t = 0; t < options_.window; ++t) {
-    const int slot = (buffer_head_ + t) % options_.window;
-    const double* sample = buffer_.data() + static_cast<size_t>(slot) * n_sensors_;
-    for (int i = 0; i < n_sensors_; ++i) window_.set_value(i, t, sample[i]);
-  }
+  ingest_.MaterializeInto(&window_);
 
   // The engine handles the decision, mu/sigma update and anomaly assembly;
   // this driver only supplies the window's position on the stream's time
   // axis: [samples_seen - window, samples_seen).
-  const EngineRound round = engine_.Step(
-      window_, 0, samples_seen_ - options_.window, samples_seen_);
+  const EngineRound round = engine_.Step(window_, 0,
+                                         ingest_.window_start_time(),
+                                         ingest_.window_end_time());
 
-  StreamEvent event;
-  event.round = round.round;
-  event.time_index = samples_seen_ - 1;
-  event.n_variations = round.output->n_variations;
-  event.abnormal = round.abnormal;
-  event.outliers = round.output->outliers;
-  event.entered = round.output->entered;
-  event.entered_movers = round.output->entered_movers;
-  event.mu = round.mu;
-  event.sigma = round.sigma;
-  event.round_seconds = round_watch.ElapsedSeconds();
-  return event;
+  event->round = round.round;
+  event->time_index = ingest_.samples_seen() - 1;
+  event->n_variations = round.output->n_variations;
+  event->abnormal = round.abnormal;
+  // assign() into the caller's event reuses its vector capacity, so a
+  // steady-state Push stays allocation-free end to end (the std::optional
+  // overload pays for fresh vectors instead).
+  event->outliers.assign(round.output->outliers.begin(),
+                         round.output->outliers.end());
+  event->entered.assign(round.output->entered.begin(),
+                        round.output->entered.end());
+  event->entered_movers.assign(round.output->entered_movers.begin(),
+                               round.output->entered_movers.end());
+  event->mu = round.mu;
+  event->sigma = round.sigma;
+  event->round_seconds = round_watch.ElapsedSeconds();
 }
 
 }  // namespace cad::core

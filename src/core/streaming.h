@@ -22,6 +22,7 @@
 #include "common/thread_annotations.h"
 #include "core/cad_options.h"
 #include "core/engine.h"
+#include "core/sample_window.h"
 #include "core/types.h"
 #include "obs/exposition_server.h"
 #include "ts/multivariate_series.h"
@@ -77,8 +78,20 @@ class StreamingCad {
   // Pushes the readings of all sensors for one time point. Returns an event
   // when this sample completes a round, std::nullopt otherwise. Calls from
   // multiple producers serialize on the internal mutex.
+  //
+  // Allocates the event's vectors afresh each round; steady-state callers
+  // (the bench harness, fleet-style drivers) should use the reusing overload
+  // below instead.
   [[nodiscard]] Result<std::optional<StreamEvent>> Push(std::span<const double> readings)
       EXCLUDES(mu_);
+
+  // Allocation-free form: fills `*event` in place when this sample completes
+  // a round (returning true), reusing the event's vector capacity across
+  // rounds — after a few warm rounds a Push performs zero heap allocations
+  // end to end, matching the engine's own contract (the cad_round_allocs
+  // gauge). The event is untouched when no round completed (false).
+  [[nodiscard]] Result<bool> Push(std::span<const double> readings,
+                                  StreamEvent* event) EXCLUDES(mu_);
 
   // Anomalies fully closed so far (an anomaly closes when a normal round
   // follows abnormal ones). Returns a copy: a reference into guarded state
@@ -98,7 +111,7 @@ class StreamingCad {
 
   int samples_seen() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    return samples_seen_;
+    return ingest_.samples_seen();
   }
   int rounds_completed() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
@@ -156,8 +169,7 @@ class StreamingCad {
  private:
   static std::unique_ptr<obs::ExpositionServer> MakeServer(StreamingCad* self);
 
-  bool RoundReady() const REQUIRES(mu_);
-  StreamEvent RunRound() REQUIRES(mu_);
+  void RunRound(StreamEvent* event) REQUIRES(mu_);
   std::string HealthJson() const EXCLUDES(mu_);
   std::string ExplainJson(int round) const EXCLUDES(mu_);
 
@@ -174,14 +186,12 @@ class StreamingCad {
   // anomaly assembly (engine.h).
   DetectionEngine engine_ GUARDED_BY(mu_);
 
-  // Ring buffer of the last `window` samples, sample-major, plus the reused
-  // sensor-major window the engine consumes.
-  std::vector<double> buffer_ GUARDED_BY(mu_);
+  // The extracted ingest state (ring buffer + round cadence) shared with the
+  // fleet's per-tenant path, plus the reused sensor-major window the engine
+  // consumes — this driver is a thin single-tenant facade over the same
+  // ingest -> materialize -> engine.Step path fleet::FleetEngine drives.
+  SampleWindow ingest_ GUARDED_BY(mu_);
   ts::MultivariateSeries window_ GUARDED_BY(mu_);
-  int buffer_head_ GUARDED_BY(mu_) = 0;  // index of the oldest ring sample
-  int buffered_ GUARDED_BY(mu_) = 0;     // number of valid samples (<= window)
-
-  int samples_seen_ GUARDED_BY(mu_) = 0;
 
   // Declared last so it is destroyed first: the destructor joins the server
   // thread, whose handlers lock mu_ and read the guarded state above — both

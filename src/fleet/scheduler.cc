@@ -1,0 +1,115 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "check/check.h"
+
+namespace cad::fleet {
+
+WeightedScheduler::WeightedScheduler(std::vector<double> weights)
+    : n_tenants_(weights.size()) {
+  tenants_.resize(n_tenants_);
+  heap_.reserve(n_tenants_);  // each tenant is queued at most once
+  for (size_t i = 0; i < n_tenants_; ++i) {
+    CAD_CHECK(weights[i] > 0.0, "scheduler weights must be positive");
+    tenants_[i].weight = weights[i];
+    tenants_[i].stride = 1.0 / weights[i];
+  }
+}
+
+void WeightedScheduler::Enqueue(int tenant) {
+  Tenant& t = tenants_[static_cast<size_t>(tenant)];
+  CAD_DCHECK(!t.queued && !t.busy);
+  t.queued = true;
+  // cad-lint: allow(CL010) pushes into capacity reserved at construction (each tenant is queued at most once, heap_ reserves n_tenants)
+  heap_.emplace_back(t.vtime, tenant);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 std::greater<std::pair<double, int>>());
+}
+
+void WeightedScheduler::MakeReady(int tenant) {
+  CAD_DCHECK(tenant >= 0 && static_cast<size_t>(tenant) < n_tenants_);
+  common::MutexLock lock(mu_);
+  Tenant& t = tenants_[static_cast<size_t>(tenant)];
+  if (!t.ready) {
+    t.ready = true;
+    ++ready_count_;
+  }
+  if (!t.busy && !t.queued) {
+    // Re-entry floor, applied ONLY on the wake-up path: a tenant that slept
+    // cannot bank virtual time it could later spend monopolizing the pool.
+    // The floor must not apply to the continuously-backlogged re-queue in
+    // Release: with several workers in flight, pops are not vtime-monotone,
+    // so vclock can transiently run ahead of an active tenant's earned
+    // vtime — flooring there would silently tax whichever tenants trail the
+    // race, and the lost credit compounds into real unfairness (measured:
+    // ~40% service skew at 1k tenants before this distinction).
+    t.vtime = std::max(t.vtime, vclock_);
+    Enqueue(tenant);
+  }
+}
+
+bool WeightedScheduler::TryAcquire(int* tenant) {
+  common::MutexLock lock(mu_);
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(),
+                std::greater<std::pair<double, int>>());
+  const int id = heap_.back().second;
+  heap_.pop_back();
+  Tenant& t = tenants_[static_cast<size_t>(id)];
+  t.queued = false;
+  t.busy = true;
+  ++busy_count_;
+  if (t.ready) {
+    t.ready = false;
+    --ready_count_;
+  }
+  vclock_ = std::max(vclock_, t.vtime);
+  ++t.quanta;
+  ++total_quanta_;
+  *tenant = id;
+  return true;
+}
+
+void WeightedScheduler::Release(int tenant, bool has_more_work) {
+  common::MutexLock lock(mu_);
+  Tenant& t = tenants_[static_cast<size_t>(tenant)];
+  CAD_DCHECK(t.busy);
+  t.busy = false;
+  --busy_count_;
+  t.vtime += t.stride;
+  if (has_more_work && !t.ready) {
+    t.ready = true;
+    ++ready_count_;
+  }
+  // A producer may have marked the tenant ready mid-service (MakeReady saw
+  // busy and could not enqueue); the release is responsible for re-queuing.
+  if (t.ready && !t.queued) Enqueue(tenant);
+}
+
+bool WeightedScheduler::Idle() const {
+  common::MutexLock lock(mu_);
+  return busy_count_ == 0 && ready_count_ == 0;
+}
+
+uint64_t WeightedScheduler::total_quanta() const {
+  common::MutexLock lock(mu_);
+  return total_quanta_;
+}
+
+std::vector<WeightedScheduler::TenantStats>
+WeightedScheduler::StatsSnapshot() const {
+  std::vector<TenantStats> stats(n_tenants_);
+  common::MutexLock lock(mu_);
+  for (size_t i = 0; i < n_tenants_; ++i) {
+    stats[i].weight = tenants_[i].weight;
+    stats[i].quanta = tenants_[i].quanta;
+    stats[i].busy = tenants_[i].busy;
+    stats[i].ready = tenants_[i].ready;
+  }
+  return stats;
+}
+
+}  // namespace cad::fleet

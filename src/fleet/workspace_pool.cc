@@ -1,0 +1,66 @@
+#include "fleet/workspace_pool.h"
+
+#include <bit>
+
+#include "check/check.h"
+
+namespace cad::fleet {
+
+WorkspacePool::~WorkspacePool() {
+  common::MutexLock lock(mu_);
+  CAD_DCHECK(in_use_ == 0, "workspaces still borrowed at pool destruction");
+}
+
+int WorkspacePool::BucketOf(int n_sensors) {
+  if (n_sensors <= 1) return 0;
+  return std::bit_width(static_cast<unsigned>(n_sensors) - 1u);
+}
+
+WorkspacePool::PooledWorkspace* WorkspacePool::Acquire(int n_sensors) {
+  const int bucket = BucketOf(n_sensors);
+  const size_t b = static_cast<size_t>(bucket);
+  // cad-lint: allow(CL010) allocation under the lock is the cold bucket-growth path only (once per bucket high-water); the warm path pops the reserved free list
+  common::MutexLock lock(mu_);
+  ++acquires_;
+  ++in_use_;
+  if (b >= free_.size()) {
+    free_.resize(b + 1);
+    created_per_bucket_.resize(b + 1, 0);
+  }
+  if (!free_[b].empty()) {
+    PooledWorkspace* ws = free_[b].back().release();
+    free_[b].pop_back();
+    return ws;
+  }
+  // cad-lint: allow(CL007) cold-bucket growth: at most one construction per bucket per concurrent worker, excluded from steady-state accounting
+  auto created = std::make_unique<PooledWorkspace>();
+  created->bucket = bucket;
+  ++created_;
+  ++created_per_bucket_[b];
+  // Keep the free list's capacity ahead of the bucket's population so the
+  // push_back in Release never reallocates on the hot path.
+  free_[b].reserve(static_cast<size_t>(created_per_bucket_[b]));
+  return created.release();
+}
+
+void WorkspacePool::Release(PooledWorkspace* ws) {
+  CAD_DCHECK(ws != nullptr);
+  const size_t b = static_cast<size_t>(ws->bucket);
+  // cad-lint: allow(CL010) the emplace_back pushes into capacity Acquire reserved ahead of the bucket's population; no reallocation on the warm path
+  common::MutexLock lock(mu_);
+  CAD_DCHECK(b < free_.size());
+  CAD_DCHECK(in_use_ > 0);
+  --in_use_;
+  free_[b].emplace_back(ws);
+}
+
+WorkspacePool::Stats WorkspacePool::GetStats() const {
+  common::MutexLock lock(mu_);
+  Stats stats;
+  stats.created = created_;
+  stats.acquires = acquires_;
+  stats.in_use = in_use_;
+  return stats;
+}
+
+}  // namespace cad::fleet

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "obs/json_util.h"
@@ -16,6 +17,53 @@ Status WriteFile(const std::string& path, const std::string& content) {
   file << content;
   if (!file) return Status::IoError("write failed for '" + path + "'");
   return Status::Ok();
+}
+
+// Prometheus exposition-format label-value escaping: backslash, double
+// quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Sorted union of the sample names of one instrument kind across snapshots.
+// Snapshot vectors are already name-sorted (Registry iterates a std::map),
+// so per-snapshot lookups below can binary-search.
+template <typename Sample, typename Project>
+std::vector<std::string> NameUnion(
+    const std::vector<LabeledSnapshot>& snapshots, Project project) {
+  std::vector<std::string> names;
+  for (const LabeledSnapshot& labeled : snapshots) {
+    for (const Sample& sample : project(labeled.snapshot)) {
+      names.push_back(sample.name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+template <typename Sample>
+const Sample* FindByName(const std::vector<Sample>& samples,
+                         const std::string& name) {
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const Sample& sample, const std::string& key) {
+        return sample.name < key;
+      });
+  if (it == samples.end() || it->name != name) return nullptr;
+  return &*it;
 }
 
 }  // namespace
@@ -51,6 +99,91 @@ std::string ToPrometheusText(const Snapshot& snapshot) {
     out += h.name + "_sum ";
     AppendPromNumber(&out, h.sum);
     out += "\n" + h.name + "_count " + std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+std::string ToPrometheusTextLabeled(
+    const std::string& label_key,
+    const std::vector<LabeledSnapshot>& snapshots) {
+  std::string out;
+  // One "{key=\"value\"" prefix per snapshot, reused for every series.
+  std::vector<std::string> label_prefixes;
+  label_prefixes.reserve(snapshots.size());
+  for (const LabeledSnapshot& labeled : snapshots) {
+    label_prefixes.push_back('{' + label_key + "=\"" +
+                             EscapeLabelValue(labeled.label_value) + '"');
+  }
+
+  const std::vector<std::string> counter_names =
+      NameUnion<CounterSample>(snapshots, [](const Snapshot& s) -> const auto& {
+        return s.counters;
+      });
+  for (const std::string& name : counter_names) {
+    bool typed = false;
+    for (size_t s = 0; s < snapshots.size(); ++s) {
+      const CounterSample* c = FindByName(snapshots[s].snapshot.counters, name);
+      if (c == nullptr) continue;
+      if (!typed) {
+        if (!c->help.empty()) out += "# HELP " + name + " " + c->help + "\n";
+        out += "# TYPE " + name + " counter\n";
+        typed = true;
+      }
+      out += name + label_prefixes[s] + "} " + std::to_string(c->value) + "\n";
+    }
+  }
+
+  const std::vector<std::string> gauge_names =
+      NameUnion<GaugeSample>(snapshots, [](const Snapshot& s) -> const auto& {
+        return s.gauges;
+      });
+  for (const std::string& name : gauge_names) {
+    bool typed = false;
+    for (size_t s = 0; s < snapshots.size(); ++s) {
+      const GaugeSample* g = FindByName(snapshots[s].snapshot.gauges, name);
+      if (g == nullptr) continue;
+      if (!typed) {
+        if (!g->help.empty()) out += "# HELP " + name + " " + g->help + "\n";
+        out += "# TYPE " + name + " gauge\n";
+        typed = true;
+      }
+      out += name + label_prefixes[s] + "} ";
+      AppendPromNumber(&out, g->value);
+      out += "\n";
+    }
+  }
+
+  const std::vector<std::string> histogram_names = NameUnion<HistogramSample>(
+      snapshots, [](const Snapshot& s) -> const auto& {
+        return s.histograms;
+      });
+  for (const std::string& name : histogram_names) {
+    bool typed = false;
+    for (size_t s = 0; s < snapshots.size(); ++s) {
+      const HistogramSample* h =
+          FindByName(snapshots[s].snapshot.histograms, name);
+      if (h == nullptr) continue;
+      if (!typed) {
+        if (!h->help.empty()) out += "# HELP " + name + " " + h->help + "\n";
+        out += "# TYPE " + name + " histogram\n";
+        typed = true;
+      }
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h->counts.size(); ++i) {
+        cumulative += h->counts[i];
+        out += name + "_bucket" + label_prefixes[s] + ",le=\"";
+        if (i < h->bounds.size()) {
+          AppendPromNumber(&out, h->bounds[i]);
+        } else {
+          out += "+Inf";
+        }
+        out += "\"} " + std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum" + label_prefixes[s] + "} ";
+      AppendPromNumber(&out, h->sum);
+      out += "\n" + name + "_count" + label_prefixes[s] + "} " +
+             std::to_string(h->count()) + "\n";
+    }
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #define CAD_OBS_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -16,6 +17,24 @@ namespace cad::obs {
 // Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
 // series for histograms, cumulative le="" buckets).
 std::string ToPrometheusText(const Snapshot& snapshot);
+
+// One labelled registry snapshot for ToPrometheusTextLabeled: the fleet
+// exposes each tenant's private Registry under `{tenant="<label_value>"}`.
+struct LabeledSnapshot {
+  std::string label_value;
+  Snapshot snapshot;
+};
+
+// Prometheus text exposition for N labelled snapshots sharing one metric
+// namespace (the fleet's per-tenant registries all carry the same cad_*
+// instrument set). Emits # HELP / # TYPE once per metric name — valid
+// exposition requires a single TYPE line per name — then one labelled series
+// per snapshot that carries the name. Histogram buckets merge the label with
+// `le` ({<key>="<value>",le="..."}). Label values are escaped per the
+// exposition format (backslash, double quote, newline).
+std::string ToPrometheusTextLabeled(
+    const std::string& label_key,
+    const std::vector<LabeledSnapshot>& snapshots);
 
 // JSON object:
 // {"counters": {name: value, ...}, "gauges": {name: value, ...},

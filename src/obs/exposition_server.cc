@@ -64,6 +64,23 @@ QueryParam ParseIntParam(const std::string& query, const std::string& key,
   return QueryParam::kAbsent;
 }
 
+// Finds `key` ("name=") in the query string and copies its raw value;
+// kMalformed only when the value is empty.
+QueryParam ParseStringParam(const std::string& query, const std::string& key,
+                            std::string* value) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    if (query.compare(pos, key.size(), key) == 0) {
+      *value = query.substr(pos + key.size(), end - pos - key.size());
+      return value->empty() ? QueryParam::kMalformed : QueryParam::kOk;
+    }
+    pos = end + 1;
+  }
+  return QueryParam::kAbsent;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ExpositionServer>> ExpositionServer::Start(
@@ -225,10 +242,33 @@ std::string ExpositionServer::BuildResponse(const std::string& request_line) {
     return HttpResponse(200, "OK", "application/json", body);
   }
   if (target == "/explain") {
+    std::string tenant;
+    const QueryParam tenant_param =
+        ParseStringParam(query, "tenant=", &tenant);
+    if (tenant_param == QueryParam::kMalformed) {
+      return HttpResponse(400, "Bad Request", "text/plain",
+                          "usage: /explain?tenant=<name>&round=<round>\n");
+    }
     int round = -1;
     if (ParseIntParam(query, "round=", &round) != QueryParam::kOk) {
-      return HttpResponse(400, "Bad Request", "text/plain",
-                          "usage: /explain?round=<non-negative integer>\n");
+      return HttpResponse(
+          400, "Bad Request", "text/plain",
+          tenant_param == QueryParam::kOk
+              ? "usage: /explain?tenant=<name>&round=<non-negative integer>\n"
+              : "usage: /explain?round=<non-negative integer>\n");
+    }
+    if (tenant_param == QueryParam::kOk) {
+      const std::string body =
+          handlers_.explain_tenant_json
+              ? handlers_.explain_tenant_json(tenant, round)
+              : std::string();
+      if (body.empty()) {
+        return HttpResponse(404, "Not Found", "text/plain",
+                            "tenant '" + tenant + "' is unknown or round " +
+                                std::to_string(round) +
+                                " is not in its flight-recorder ring\n");
+      }
+      return HttpResponse(200, "OK", "application/json", body);
     }
     const std::string body =
         handlers_.explain_json ? handlers_.explain_json(round) : std::string();
@@ -260,10 +300,11 @@ std::string ExpositionServer::BuildResponse(const std::string& request_line) {
   if (target == "/") {
     return HttpResponse(200, "OK", "text/plain",
                         "cad exposition endpoints:\n"
-                        "  /metrics               Prometheus text\n"
-                        "  /healthz               liveness JSON\n"
-                        "  /explain?round=r       decision provenance JSON\n"
-                        "  /advise?from=a&to=b    root-cause advice JSON\n");
+                        "  /metrics                      Prometheus text\n"
+                        "  /healthz                      liveness JSON\n"
+                        "  /explain?round=r              decision provenance JSON\n"
+                        "  /explain?tenant=name&round=r  fleet tenant provenance\n"
+                        "  /advise?from=a&to=b           root-cause advice JSON\n");
   }
   return HttpResponse(404, "Not Found", "text/plain", "unknown endpoint\n");
 }

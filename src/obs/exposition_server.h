@@ -10,6 +10,11 @@
 //   /explain?round=r   JSON decision provenance for round r (404 when the
 //                      round is not in the flight-recorder ring, 400 on a
 //                      malformed round)
+//   /explain?tenant=name&round=r
+//                      same, routed to one tenant of a fleet (404 on an
+//                      unknown tenant; requires the owner to install the
+//                      tenant-aware handler — without one the tenant
+//                      parameter is a 404, since the surface has no tenants)
 //   /advise?from=..&to=..  JSON root-cause advice over the round range
 //                      [from, to]; both bounds optional (default: the whole
 //                      ring). 400 on a malformed bound, 404 when the range
@@ -52,6 +57,12 @@ class ExpositionServer {
     std::function<std::string()> healthz_json;
     // Body for /explain?round=r, or empty when the round is unknown (404).
     std::function<std::string(int round)> explain_json;
+    // Body for /explain?tenant=name&round=r — the fleet's tenant-routed
+    // provenance. Empty when the tenant is unknown or the round is not in
+    // that tenant's flight-recorder ring (404). A request carrying tenant=
+    // on a surface without this handler is a 404 (no such tenant).
+    std::function<std::string(const std::string& tenant, int round)>
+        explain_tenant_json;
     // Body for /advise?from=..&to=.. — root-cause advice over the inclusive
     // round range [from_round, to_round], -1 meaning unbounded on that side.
     // Empty when the range selects no recorded rounds (404).

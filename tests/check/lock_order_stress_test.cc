@@ -9,6 +9,11 @@
 // inversion CAD_FATALs with both chains, any race is a TSan report. In
 // tier-1 builds the tracker is compiled out and this is a plain
 // concurrency smoke over the same seams.
+//
+// The second test sweeps the fleet layer's ranks the same way: scheduler
+// (14), workspace pool (15), tenant (16) and queue (18) mutexes interleaved
+// with registry (30) telemetry across producers, the worker pool, accessor
+// readers and live HTTP scrapers.
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -22,6 +27,7 @@
 #include "common/mutex.h"
 #include "core/cad_options.h"
 #include "core/streaming.h"
+#include "fleet/fleet_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "testing/http_client.h"
@@ -120,6 +126,102 @@ TEST(LockOrderStressTest, StreamsServersAndScrapersInterleave) {
     // The tracker watched the whole interleaving and nothing was fatal;
     // the acquired-after graph must have recorded real nesting (at least
     // StreamingCad::mu_ -> obs::Registry::mu_ from the metrics flush).
+    EXPECT_GT(common::LockOrderTrackedEdgeCount(), 0u);
+  }
+}
+
+TEST(LockOrderStressTest, FleetRanksSweptUnderLoad) {
+  common::LockOrderTrackerResetForTest();
+  constexpr int kTenants = 8;
+  constexpr int kSensors = 5;
+
+  fleet::FleetOptions fleet_options;
+  fleet_options.n_workers = 3;
+  fleet_options.queue_capacity = 64;
+  fleet_options.quantum_samples = 8;
+  fleet_options.exposition_port = 0;
+  obs::Registry fleet_registry;
+  fleet_options.metrics_registry = &fleet_registry;
+  fleet::FleetEngine fleet(fleet_options);
+
+  core::CadOptions options;
+  options.window = 32;
+  options.step = 8;
+  options.k = 3;
+  options.tau = 0.3;
+  for (int t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(fleet
+                    .AddTenant("tenant_" + std::to_string(t), kSensors,
+                               options, 1.0 + t % 3)
+                    .ok());
+  }
+  ASSERT_TRUE(fleet.Start().ok());
+  const int port = fleet.exposition_port();
+  ASSERT_GT(port, 0);
+
+  // Producers exercise queue(18) -> scheduler(14); the worker pool runs
+  // scheduler(14), pool(15), tenant(16){queue(18), registry(30)}
+  // concurrently.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  producers.reserve(2);
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&fleet, &stop, p] {
+      std::vector<double> sample(kSensors);
+      int t = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int i = 0; i < kSensors; ++i) {
+          sample[static_cast<size_t>(i)] =
+              std::sin(0.1 * t + 0.5 * p) + 0.01 * i;
+        }
+        for (int tenant = p; tenant < kTenants; tenant += 2) {
+          ASSERT_TRUE(fleet.Push(tenant, sample).ok());
+        }
+        ++t;
+      }
+    });
+  }
+
+  // Readers take the same tenant(16) / registry(30) locks from the accessor
+  // and HTTP sides while the workers hold them per quantum.
+  std::atomic<int> scrapes_ok{0};
+  std::thread scraper([&stop, &scrapes_ok, port] {
+    const char* const targets[] = {"/metrics", "/healthz",
+                                   "/explain?tenant=tenant_0&round=0"};
+    int turn = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const HttpResponse response =
+          HttpGet(static_cast<uint16_t>(port), targets[turn % 3]);
+      if (response.ok && response.status_code != 0) {
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++turn;
+    }
+  });
+  std::thread reader([&fleet, &stop] {
+    int turn = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)fleet.TenantInfo(turn % kTenants);
+      if (turn % 8 == 0) (void)fleet.HealthJson();
+      ++turn;
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& producer : producers) producer.join();
+  scraper.join();
+  reader.join();
+  fleet.Drain();
+  fleet.Stop();
+
+  EXPECT_GT(scrapes_ok.load(), 0)
+      << "no scrape ever reached the fleet exposition server";
+  EXPECT_GT(fleet.scheduler().total_quanta(), 0u);
+  if (common::LockOrderTrackerActive()) {
+    // The fleet nesting (tenant -> queue, tenant -> registry) must have
+    // been observed on top of the solo hierarchy.
     EXPECT_GT(common::LockOrderTrackedEdgeCount(), 0u);
   }
 }

@@ -246,6 +246,54 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.name);
     });
 
+TEST(EngineAllocTest, ReusingPushOverloadIsAllocationFreeEndToEnd) {
+  // The cad_round_allocs gauge only audits the engine's round; this test
+  // audits the *whole* driver call — queue-free ingest, window
+  // materialization, engine step and event fill-in — by measuring the
+  // thread allocation delta across every Push(sample, &event). This is the
+  // regression fence for the bench discrepancy where the harness reported
+  // ~14 allocs/round while the gauge read 0: those were harness-side
+  // allocations (the allocating Push overload rebuilding event vectors)
+  // leaking into the measurement window. With the reusing overload, steady
+  // state must be zero end to end.
+  common::LinkAllocHook();
+  const testing::SmallScenario scenario = testing::MakeSmallScenario();
+  obs::Registry registry;
+  StreamingCad streaming(scenario.test.n_sensors(), MakeOptions(&registry));
+  ASSERT_TRUE(streaming.WarmUp(scenario.train).ok());
+
+  constexpr int kWarmupRounds = 8;
+  int steady_pushes = 0;
+  bool anomaly_open = false;
+  StreamEvent event;
+  std::vector<double> sample(scenario.test.n_sensors());
+  for (int t = 0; t < scenario.test.length(); ++t) {
+    for (int i = 0; i < scenario.test.n_sensors(); ++i) {
+      sample[i] = scenario.test.value(i, t);
+    }
+    const int64_t before = common::ThreadAllocCount();
+    const bool round_done = streaming.Push(sample, &event).ValueOrDie();
+    const int64_t allocs = common::ThreadAllocCount() - before;
+
+    // Same exclusions as the gauge tests: warm-up rounds grow capacity,
+    // anomaly open/close transitions append to the assembler by design.
+    const bool transition =
+        round_done && (event.abnormal || anomaly_open);
+    if (round_done) anomaly_open = event.abnormal;
+    if (streaming.rounds_completed() <= kWarmupRounds) continue;
+    if (transition || anomaly_open) continue;
+#if CAD_VALIDATE_ENABLED
+    EXPECT_GE(allocs, 0);  // validators allocate by design at level=full
+#else
+    EXPECT_EQ(allocs, 0) << "Push at t=" << t
+                         << (round_done ? " (round)" : " (ingest only)")
+                         << " allocated on the steady-state path";
+#endif
+    ++steady_pushes;
+  }
+  EXPECT_GT(steady_pushes, 200) << "scenario too short to exercise steady state";
+}
+
 TEST(EngineAllocTest, BatchFinalRoundIsAllocationFree) {
   common::LinkAllocHook();
   const testing::SmallScenario scenario = testing::MakeSmallScenario();

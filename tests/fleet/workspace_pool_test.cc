@@ -1,0 +1,104 @@
+// WorkspacePool contract tests: the bucket function, same-bucket arena
+// reuse (one warm arena serves every tenant in its bucket), and the no-alloc
+// steady path (Acquire/Release cycles on a warm bucket never touch the
+// heap — this binary links cad_alloc_hook, so the counts are real).
+#include "fleet/workspace_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "check/check.h"
+#include "common/alloc_tracker.h"
+
+namespace cad::fleet {
+namespace {
+
+TEST(WorkspacePoolTest, BucketOfIsCeilLog2) {
+  EXPECT_EQ(WorkspacePool::BucketOf(1), 0);
+  EXPECT_EQ(WorkspacePool::BucketOf(2), 1);
+  EXPECT_EQ(WorkspacePool::BucketOf(3), 2);
+  EXPECT_EQ(WorkspacePool::BucketOf(4), 2);
+  EXPECT_EQ(WorkspacePool::BucketOf(5), 3);
+  EXPECT_EQ(WorkspacePool::BucketOf(8), 3);
+  EXPECT_EQ(WorkspacePool::BucketOf(9), 4);
+  EXPECT_EQ(WorkspacePool::BucketOf(16), 4);
+  EXPECT_EQ(WorkspacePool::BucketOf(17), 5);
+  EXPECT_EQ(WorkspacePool::BucketOf(1024), 10);
+  EXPECT_EQ(WorkspacePool::BucketOf(1025), 11);
+}
+
+TEST(WorkspacePoolTest, SameBucketReusesTheSameArena) {
+  WorkspacePool pool;
+
+  WorkspacePool::PooledWorkspace* first = pool.Acquire(12);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->bucket, WorkspacePool::BucketOf(12));
+  first->max_sensors = 12;
+  pool.Release(first);
+
+  // 9..16 sensors all land in bucket 4 and must get the warm arena back.
+  for (int sensors : {9, 12, 16}) {
+    WorkspacePool::PooledWorkspace* again = pool.Acquire(sensors);
+    EXPECT_EQ(again, first) << sensors << " sensors";
+    EXPECT_EQ(again->max_sensors, 12);  // high-water mark persists
+    pool.Release(again);
+  }
+
+  const WorkspacePool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.acquires, 4u);
+  EXPECT_EQ(stats.in_use, 0u);
+}
+
+TEST(WorkspacePoolTest, DistinctBucketsAndConcurrentBorrowsGetDistinctArenas) {
+  WorkspacePool pool;
+
+  WorkspacePool::PooledWorkspace* small = pool.Acquire(4);    // bucket 2
+  WorkspacePool::PooledWorkspace* large = pool.Acquire(100);  // bucket 7
+  WorkspacePool::PooledWorkspace* small2 = pool.Acquire(3);   // bucket 2 again
+  EXPECT_NE(small, large);
+  EXPECT_NE(small, small2);  // small is still borrowed; a sibling is created
+  EXPECT_EQ(small2->bucket, small->bucket);
+
+  EXPECT_EQ(pool.GetStats().created, 3u);
+  EXPECT_EQ(pool.GetStats().in_use, 3u);
+  pool.Release(small);
+  pool.Release(large);
+  pool.Release(small2);
+  EXPECT_EQ(pool.GetStats().in_use, 0u);
+}
+
+TEST(WorkspacePoolTest, WarmBucketCyclesAreAllocationFree) {
+  common::LinkAllocHook();
+  WorkspacePool pool;
+
+  // Warm bucket 4 with two arenas (two concurrent borrowers is the worst
+  // case a 2-worker pool produces) and drop them back.
+  WorkspacePool::PooledWorkspace* a = pool.Acquire(12);
+  WorkspacePool::PooledWorkspace* b = pool.Acquire(12);
+  pool.Release(a);
+  pool.Release(b);
+
+  const int64_t before = common::ThreadAllocCount();
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    WorkspacePool::PooledWorkspace* x = pool.Acquire(12);
+    WorkspacePool::PooledWorkspace* y = pool.Acquire(9);
+    pool.Release(x);
+    pool.Release(y);
+  }
+  const int64_t allocs = common::ThreadAllocCount() - before;
+
+  if (common::AllocHookInstalled()) {
+#if CAD_VALIDATE_ENABLED
+    // At CAD_CHECK_LEVEL=full the runtime lock-order tracker allocates on
+    // every mutex acquisition; only the release-tier contract is 0.
+    EXPECT_GE(allocs, 0);
+#else
+    EXPECT_EQ(allocs, 0) << "warm Acquire/Release cycles must not allocate";
+#endif
+  } else {
+    GTEST_SKIP() << "cad_alloc_hook not linked; steady-path audit inert";
+  }
+}
+
+}  // namespace
+}  // namespace cad::fleet

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "check/validators.h"
+#include "fleet/fleet_metrics.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
 
@@ -108,6 +109,9 @@ bool GlossaryCovers(const std::vector<std::string>& glossary,
 // Every production instrument, registered into `registry`.
 void RegisterProductionInstruments(Registry* registry) {
   PipelineMetrics::For(*registry);
+  // The fleet layer's rollups (header-only registration, so this gate does
+  // not need to link cad_fleet).
+  fleet::FleetMetrics::For(*registry);
   // Forcing a violation registers cad_check_violations_total and the
   // per-artifact counter (cad_check_running_stats_violations here).
   const Status violation =

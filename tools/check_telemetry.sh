@@ -6,10 +6,16 @@
 # and that the Chrome-trace JSONL is one well-formed event per line. Then
 # runs bench/engine_bench --smoke --flight-out and checks the flight log:
 # one parseable JSON object per line, every DecisionRecord key present,
-# consecutive round indices — failures name the offending line. Finally the
+# consecutive round indices — failures name the offending line. Then the
 # advisor contract: tools/cad_explain --advise over that same flight log must
 # emit one AdviceReport JSON line with the documented shape (advice_version,
 # window, ranking, segments, timeline) and be byte-identical across two runs.
+# Finally the fleet exposition hygiene gate: bench/fleet_bench --metrics-out
+# dumps the live tenant-labelled /metrics text, and every metric name in it —
+# fleet rollups and per-tenant series alike — must match ^cad_[a-z0-9_]+$,
+# every tenant label value must match the registration charset
+# ([a-z0-9_] then [a-z0-9_.-], <= 120 chars), and the nine documented
+# cad_fleet_* families must all be present.
 #
 # Usage: tools/check_telemetry.sh [build_dir]   (default: build)
 set -euo pipefail
@@ -198,6 +204,78 @@ print(f"OK: advice ranks {len(ranking)} sensor(s) over "
       f"{window['rounds_scanned']} rounds, "
       f"{len(doc['segments'])} segment(s), "
       f"{len(doc['timeline'])} timeline event(s)")
+EOF
+
+# --- Fleet tenant-labelled exposition --------------------------------------
+FLEET_BENCH="$BUILD_DIR/bench/fleet_bench"
+if [[ ! -x "$FLEET_BENCH" ]]; then
+  echo "error: $FLEET_BENCH not found — build first" >&2
+  exit 1
+fi
+FLEET_PROM="$OUT_DIR/fleet.prom"
+"$FLEET_BENCH" --smoke --out "$OUT_DIR/fleet_bench.json" \
+  --metrics-out "$FLEET_PROM" > /dev/null 2> /dev/null
+[[ -s "$FLEET_PROM" ]] || { echo "FAIL: $FLEET_PROM missing or empty" >&2
+                            exit 1; }
+
+python3 - "$FLEET_PROM" <<'EOF'
+import re, sys
+
+path = sys.argv[1]
+# Metric-name hygiene: everything the fleet exposes — rollup counters,
+# histogram series (_bucket/_count/_sum), and per-tenant labelled lines —
+# must stay inside the project namespace and charset.
+name_re = re.compile(r'^cad_[a-z0-9_]+$')
+label_re = re.compile(r'^[a-z_][a-z0-9_]*$')
+# Tenant label values mirror FleetEngine's registration charset.
+tenant_re = re.compile(r'^[a-z0-9_][a-z0-9_.\-]{0,119}$')
+line_re = re.compile(r'^([^\s{]+)(\{[^}]*\})?\s+\S+')
+label_pair_re = re.compile(r'([^=,{}]+)="([^"]*)"')
+
+families = set()
+tenants = set()
+n_series = 0
+with open(path) as f:
+    for lineno, line in enumerate(f, start=1):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        m = line_re.match(line)
+        if not m:
+            sys.exit(f"FAIL: {path}:{lineno}: unparseable exposition line: "
+                     f"{line!r}")
+        name, labels = m.group(1), m.group(2)
+        if not name_re.match(name):
+            sys.exit(f"FAIL: {path}:{lineno}: metric name '{name}' violates "
+                     f"^cad_[a-z0-9_]+$")
+        families.add(re.sub(r'_(bucket|count|sum)$', '', name))
+        n_series += 1
+        if labels:
+            for label, value in label_pair_re.findall(labels):
+                if not label_re.match(label):
+                    sys.exit(f"FAIL: {path}:{lineno}: label name '{label}' "
+                             f"is not a valid Prometheus label")
+                if label == "tenant":
+                    if not tenant_re.match(value):
+                        sys.exit(f"FAIL: {path}:{lineno}: tenant label "
+                                 f"{value!r} violates the registration "
+                                 f"charset")
+                    tenants.add(value)
+
+documented = [
+    "cad_fleet_samples_total", "cad_fleet_samples_rejected_total",
+    "cad_fleet_rounds_total", "cad_fleet_quanta_total",
+    "cad_fleet_steady_rounds_total", "cad_fleet_steady_allocs_total",
+    "cad_fleet_tenants", "cad_fleet_workers", "cad_fleet_round_seconds",
+]
+missing = [name for name in documented if name not in families]
+if missing:
+    sys.exit(f"FAIL: fleet exposition lacks documented families: {missing}")
+if not tenants:
+    sys.exit("FAIL: no tenant-labelled series in the fleet exposition")
+
+print(f"OK: {n_series} fleet series, {len(families)} families, "
+      f"{len(tenants)} tenant label(s), all names within ^cad_[a-z0-9_]+$")
 EOF
 
 echo "telemetry check passed"

@@ -41,7 +41,13 @@
 #                   alloc suites: any allocation or lock inside a
 #                   [[clang::nonblocking]] region aborts at runtime. SKIPs
 #                   with a reason on toolchains without rtsan support.
-#  12. deadlock   — ThreadSanitizer with the runtime lock-order tracker
+#  12. fleet      — the multi-tenant layer under instrumentation: the fleet
+#                   unit suite (scheduler fairness bound, workspace-pool
+#                   reuse, FleetEngine contracts) plus fleet_bench --smoke
+#                   under asan-ubsan, then the heavy-vs-light starvation
+#                   stress and the fleet lock-rank sweep under tsan — the
+#                   stress exists for exactly that stage.
+#  13. deadlock   — ThreadSanitizer with the runtime lock-order tracker
 #                   armed (CAD_CHECK_LEVEL=full): the tracker unit tests,
 #                   the streams+servers+scrapers lock-order stress, and the
 #                   exposition/registry hammering all run with every
@@ -56,14 +62,15 @@
 #
 # Usage: tools/verify_matrix.sh [stage ...]
 #   with no arguments, runs all stages; otherwise only the named ones
-#   (checked, asan-ubsan, tsan, lint, lint-cad, thread-safety, engine).
+#   (checked, asan-ubsan, tsan, lint, lint-cad, thread-safety, engine, obs,
+#   advisor, fleet, function-effects, realtime, deadlock).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2> /dev/null || echo 2)"
 STAGES=("$@")
-[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs advisor function-effects realtime deadlock)
+[[ ${#STAGES[@]} -eq 0 ]] && STAGES=(checked asan-ubsan tsan lint lint-cad thread-safety engine obs advisor fleet function-effects realtime deadlock)
 
 # Probes whether clang++ accepts a compile flag (e.g. -Wfunction-effects,
 # -fsanitize=realtime). Both realtime stages need Clang 20+; probing the
@@ -172,6 +179,21 @@ for stage in "${STAGES[@]}"; do
       ctest --preset tsan -R 'LiveAdviseMatchesOfflineCadExplain' \
         --output-on-failure
       ;;
+    fleet)
+      echo
+      echo "==== [fleet/asan-ubsan] fleet suite + bench smoke ===="
+      cmake --preset asan-ubsan
+      cmake --build --preset asan-ubsan -j "$JOBS"
+      ctest --preset asan-ubsan \
+        -R 'WeightedSchedulerTest|WorkspacePoolTest|FleetEngineTest|fleet_bench_smoke' \
+        --output-on-failure
+      echo
+      echo "==== [fleet/tsan] starvation stress + lock-rank sweep ===="
+      cmake --preset tsan
+      cmake --build --preset tsan -j "$JOBS"
+      ctest --preset tsan -R 'FleetStressTest|LockOrderStressTest' \
+        --output-on-failure
+      ;;
     function-effects)
       echo
       echo "==== [function-effects] clang -Werror=function-effects ===="
@@ -227,7 +249,7 @@ for stage in "${STAGES[@]}"; do
     *)
       echo "error: unknown stage '$stage'" \
            "(expected: checked, asan-ubsan, tsan, lint, lint-cad," \
-           "thread-safety, engine, obs, advisor, function-effects," \
+           "thread-safety, engine, obs, advisor, fleet, function-effects," \
            "realtime, deadlock)" >&2
       exit 2
       ;;
